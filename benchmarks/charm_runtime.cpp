@@ -1,0 +1,156 @@
+// Charm-runtime costs: what the message-driven object layer adds on top
+// of raw Converse messages — entry-method invocation throughput (local
+// and remote), chare-array reduction rate, and quiescence-detection
+// latency.  These are the §5.1 "scheduling cost is paid only by languages
+// such as Charm" numbers, seen from the language side.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "converse/converse.h"
+#include "converse/langs/charm.h"
+#include "converse/util/timer.h"
+
+using namespace converse;
+using namespace converse::charm;
+
+namespace {
+
+struct Counter : Chare {
+  long n = 0;
+  Counter(const void*, std::size_t) {}
+  void Bump(const void*, std::size_t) { ++n; }
+};
+
+double LocalInvokeUs(int reps) {
+  std::atomic<double> us{0};
+  RunConverse(1, [&](int, int) {
+    const int type = RegisterChareType<Counter>("counter");
+    const int bump = RegisterEntryMethod<Counter>(&Counter::Bump);
+    CreateChare(type, nullptr, 0, 0);
+    CsdScheduler(1);
+    const ChareId id{0, 1};
+    const auto t0 = util::NowNs();
+    for (int i = 0; i < reps; ++i) {
+      SendToChare(id, bump, nullptr, 0);
+      CsdScheduler(1);
+    }
+    us = static_cast<double>(util::NowNs() - t0) * 1e-3 / reps;
+  });
+  return us.load();
+}
+
+double RemoteInvokeUs(int reps) {
+  std::atomic<double> us{0};
+  RunConverse(2, [&](int pe, int) {
+    const int type = RegisterChareType<Counter>("counter");
+    const int bump = RegisterEntryMethod<Counter>(&Counter::Bump);
+    if (pe == 0) {
+      CreateChare(type, nullptr, 0, 1);
+      StartQuiescence([] { CsdExitScheduler(); });
+      CsdScheduler(-1);  // wait until the chare exists on PE1
+      const ChareId id{1, 1};
+      const auto t0 = util::NowNs();
+      for (int i = 0; i < reps; ++i) {
+        SendToChare(id, bump, nullptr, 0);
+      }
+      StartQuiescence([] { ConverseBroadcastExit(); });
+      CsdScheduler(-1);
+      us = static_cast<double>(util::NowNs() - t0) * 1e-3 / reps;
+    } else {
+      CsdScheduler(-1);
+    }
+  });
+  return us.load();
+}
+
+double ArrayReductionUs(int nelems, int rounds) {
+  std::atomic<double> us{0};
+  RunConverse(2, [&](int pe, int) {
+    struct Elem : ArrayElement {
+      Elem(int, const void*, std::size_t) {}
+    };
+    const int type = RegisterArrayElementType<Elem>("elem");
+    static int contrib_entry;
+    static int client;
+    static int aid;
+    static int remaining;
+    static std::int64_t t0_ns;
+    remaining = rounds;
+    client = CmiRegisterHandler([&us, rounds](void* msg) {
+      CmiFree(msg);
+      if (--remaining > 0) {
+        BroadcastToArray(aid, contrib_entry, nullptr, 0);
+        return;
+      }
+      us = static_cast<double>(util::NowNs() - t0_ns) * 1e-3 / rounds;
+      ConverseBroadcastExit();
+    });
+    contrib_entry = RegisterEntry([](Chare* c, const void*, std::size_t) {
+      auto* e = static_cast<ArrayElement*>(c);
+      const std::int64_t v = 1;
+      ArrayContribute(e, &v, sizeof(v), CmiReducerSumI64(), client);
+    });
+    if (pe == 0) {
+      aid = CreateArray(type, nelems, nullptr, 0);
+      CsdScheduler(1);
+      t0_ns = util::NowNs();
+      BroadcastToArray(aid, contrib_entry, nullptr, 0);
+    }
+    CsdScheduler(-1);
+  });
+  return us.load();
+}
+
+double QdLatencyUs(int reps) {
+  std::atomic<double> us{0};
+  RunConverse(2, [&](int pe, int) {
+    static int remaining;
+    remaining = reps;
+    static std::int64_t t0_ns;
+    if (pe == 0) {
+      std::function<void()> again = [&us, &again, reps] {
+        if (--remaining > 0) {
+          StartQuiescence(again);
+          return;
+        }
+        us = static_cast<double>(util::NowNs() - t0_ns) * 1e-3 / reps;
+        ConverseBroadcastExit();
+      };
+      t0_ns = util::NowNs();
+      StartQuiescence(again);
+      CsdScheduler(-1);
+    } else {
+      CsdScheduler(-1);
+    }
+  });
+  return us.load();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Charm-layer runtime costs (on the in-process machine)\n");
+  const double local = LocalInvokeUs(50000);
+  std::printf("%-44s %9.3f us\n", "local entry invocation (queued+dispatch)",
+              local);
+  const double remote = RemoteInvokeUs(20000);
+  std::printf("%-44s %9.3f us\n",
+              "remote entry invocation (pipelined, amortized)", remote);
+  const double red = ArrayReductionUs(64, 500);
+  std::printf("%-44s %9.3f us\n",
+              "64-element array reduction (full round)", red);
+  const double qd = QdLatencyUs(300);
+  std::printf("%-44s %9.3f us\n",
+              "quiescence detection on an idle 2-PE machine", qd);
+
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    std::printf("# claim-check %-52s %s\n", what, ok ? "PASS" : "FAIL");
+    if (!ok) ++failures;
+  };
+  check(local < 10.0, "local entry under 10 us");
+  check(red < 5000.0, "array reduction round under 5 ms");
+  check(qd < 5000.0, "QD round under 5 ms");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Ablation: message manager operations (paper §3.2.1) — insert, tag
+// retrieval, wildcard probe, at the mailbox depths blocking receives see.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "converse/cmm.h"
+#include "converse/util/rng.h"
+
+using namespace converse;
+
+static void BM_CmmPutGetSameTag(benchmark::State& state) {
+  MSG_MNGR* mm = CmmNew();
+  const char payload[64] = {};
+  char out[64];
+  for (auto _ : state) {
+    CmmPut(mm, payload, 7, sizeof(payload));
+    benchmark::DoNotOptimize(CmmGet(mm, out, 7, sizeof(out), nullptr));
+  }
+  CmmFree(mm);
+}
+BENCHMARK(BM_CmmPutGetSameTag);
+
+static void BM_CmmGetWithBacklog(benchmark::State& state) {
+  // Retrieval cost when `depth` non-matching messages sit in front — the
+  // linear-scan price of an indexed mailbox.
+  const int depth = static_cast<int>(state.range(0));
+  MSG_MNGR* mm = CmmNew();
+  const char payload[16] = {};
+  for (int i = 0; i < depth; ++i) CmmPut(mm, payload, 1, sizeof(payload));
+  char out[16];
+  for (auto _ : state) {
+    CmmPut(mm, payload, 2, sizeof(payload));
+    benchmark::DoNotOptimize(CmmGet(mm, out, 2, sizeof(out), nullptr));
+  }
+  state.SetLabel("non-matching backlog=" + std::to_string(depth));
+  CmmFree(mm);
+}
+BENCHMARK(BM_CmmGetWithBacklog)->Arg(0)->Arg(8)->Arg(64)->Arg(512);
+
+static void BM_CmmWildcardProbe(benchmark::State& state) {
+  MSG_MNGR* mm = CmmNew();
+  const char payload[16] = {};
+  for (int i = 0; i < 32; ++i) CmmPut(mm, payload, i, sizeof(payload));
+  int rettag = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CmmProbe(mm, CmmWildCard, &rettag));
+  }
+  CmmFree(mm);
+}
+BENCHMARK(BM_CmmWildcardProbe);
+
+static void BM_CmmTwoTagGet(benchmark::State& state) {
+  MSG_MNGR* mm = CmmNew();
+  const char payload[16] = {};
+  char out[16];
+  for (auto _ : state) {
+    CmmPut2(mm, payload, 5, 9, sizeof(payload));
+    benchmark::DoNotOptimize(
+        CmmGet2(mm, out, 5, CmmWildCard, sizeof(out), nullptr, nullptr));
+  }
+  CmmFree(mm);
+}
+BENCHMARK(BM_CmmTwoTagGet);
+
+static void BM_CmmChurn(benchmark::State& state) {
+  // Mixed workload: random tags in, random tags out (PVM-style traffic).
+  MSG_MNGR* mm = CmmNew();
+  util::Xoshiro256 rng(3);
+  const char payload[32] = {};
+  char out[32];
+  for (auto _ : state) {
+    const int tag = static_cast<int>(rng.Below(16));
+    CmmPut(mm, payload, tag, sizeof(payload));
+    const int want = static_cast<int>(rng.Below(16));
+    if (CmmGet(mm, out, want, sizeof(out), nullptr) < 0) {
+      benchmark::DoNotOptimize(CmmGet(mm, out, CmmWildCard, sizeof(out),
+                                      nullptr));
+    }
+  }
+  CmmFree(mm);
+}
+BENCHMARK(BM_CmmChurn);
+
+BENCHMARK_MAIN();

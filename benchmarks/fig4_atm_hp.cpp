@@ -1,0 +1,12 @@
+// Reproduces Figure 4: "Message Passing Performance on ATM-connected HPs".
+#include <cstdlib>
+#include "figure_common.h"
+
+int main() {
+  using namespace converse;
+  const auto costs = bench::MeasureSoftwareCosts();
+  const int failures = bench::EmitFigure(
+      "Figure 4", "Message Passing Performance on ATM-connected HPs",
+      netmodels::AtmHp(), costs, /*with_sched_series=*/false);
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

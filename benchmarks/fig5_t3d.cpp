@@ -1,0 +1,23 @@
+// Reproduces Figure 5: Cray T3D message passing performance, including the
+// packetization-copy jump at 16 KB the paper calls out.
+#include <cstdio>
+#include <cstdlib>
+#include "figure_common.h"
+
+int main() {
+  using namespace converse;
+  const auto costs = bench::MeasureSoftwareCosts();
+  int failures = bench::EmitFigure(
+      "Figure 5", "Message Passing Performance on the Cray T3D",
+      netmodels::CrayT3D(), costs, /*with_sched_series=*/false);
+  // Figure-specific shape: discontinuity at 16 KB.
+  const NetModel m = netmodels::CrayT3D();
+  const double below = m.OnewayUs(16 * 1024);
+  const double above = m.OnewayUs(16 * 1024 + 1);
+  const bool jump = (above - below) > 20.0 * m.per_byte_us;
+  std::printf("# shape-check %-55s %s\n",
+              "discontinuity at 16 KB (packetization copy)",
+              jump ? "PASS" : "FAIL");
+  if (!jump) ++failures;
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

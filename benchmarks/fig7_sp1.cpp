@@ -1,0 +1,12 @@
+// Reproduces Figure 7: "SP1 Message Passing Performance".
+#include <cstdlib>
+#include "figure_common.h"
+
+int main() {
+  using namespace converse;
+  const auto costs = bench::MeasureSoftwareCosts();
+  const int failures = bench::EmitFigure(
+      "Figure 7", "SP1 Message Passing Performance", netmodels::IbmSp1(),
+      costs, /*with_sched_series=*/false);
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 8: Intel Paragon (SUNMOS) message passing performance.
+#include <cstdlib>
+#include "figure_common.h"
+
+int main() {
+  using namespace converse;
+  const auto costs = bench::MeasureSoftwareCosts();
+  const int failures = bench::EmitFigure(
+      "Figure 8", "Paragon (SUNMOS) Message Passing Performance",
+      netmodels::ParagonSunmos(), costs, /*with_sched_series=*/false);
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

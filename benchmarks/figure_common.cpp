@@ -1,0 +1,172 @@
+#include "figure_common.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+#include "converse/converse.h"
+#include "converse/util/timer.h"
+
+namespace converse::bench {
+
+std::vector<std::size_t> FigureSizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 16; s <= 64 * 1024; s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+namespace {
+
+double Interp(const std::vector<std::size_t>& xs,
+              const std::vector<double>& ys, std::size_t x) {
+  assert(!xs.empty());
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (x <= xs[i]) {
+      const double f = static_cast<double>(x - xs[i - 1]) /
+                       static_cast<double>(xs[i] - xs[i - 1]);
+      return ys[i - 1] + f * (ys[i] - ys[i - 1]);
+    }
+  }
+  return ys.back();
+}
+
+}  // namespace
+
+double SoftwareCosts::PathUs(std::size_t size) const {
+  return Interp(sizes, path_us, size);
+}
+
+double SoftwareCosts::SchedExtraUs(std::size_t size) const {
+  return Interp(sizes, sched_extra_us, size);
+}
+
+SoftwareCosts MeasureSoftwareCosts(int reps_per_size) {
+  SoftwareCosts out;
+  out.sizes = FigureSizes();
+  out.path_us.resize(out.sizes.size());
+  out.sched_extra_us.resize(out.sizes.size());
+
+  RunConverse(1, [&](int pe, int) {
+    if (pe != 0) return;
+    // Direct path: self-send through the machine queue, delivered straight
+    // to its handler — what every language pays.
+    int sink = CmiRegisterHandler([](void*) {});
+    // Scheduler path: the §3.3 second-handler idiom — the network handler
+    // grabs the buffer and re-enqueues it for a queued handler.
+    int second = CmiRegisterHandler([](void* msg) { CmiFree(msg); });
+    int first = CmiRegisterHandler([second](void* msg) {
+      CmiGrabBuffer(&msg);
+      CmiSetHandler(msg, second);
+      CsdEnqueue(msg);
+    });
+
+    std::vector<char> payload(64 * 1024, 'x');
+    for (std::size_t i = 0; i < out.sizes.size(); ++i) {
+      const std::size_t s = out.sizes[i];
+      // Warm up allocator caches.
+      for (int r = 0; r < 64; ++r) {
+        void* m = CmiMakeMessage(sink, payload.data(), s);
+        CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+        CmiDeliverMsgs(1);
+      }
+      const auto t0 = util::NowNs();
+      for (int r = 0; r < reps_per_size; ++r) {
+        void* m = CmiMakeMessage(sink, payload.data(), s);
+        CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+        CmiDeliverMsgs(1);
+      }
+      const auto t1 = util::NowNs();
+      for (int r = 0; r < reps_per_size; ++r) {
+        void* m = CmiMakeMessage(first, payload.data(), s);
+        CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+        CmiDeliverMsgs(1);   // runs `first`: grab + enqueue
+        CsdScheduler(1);     // dequeues and runs `second`
+      }
+      const auto t2 = util::NowNs();
+      const double direct =
+          static_cast<double>(t1 - t0) * 1e-3 / reps_per_size;
+      const double sched =
+          static_cast<double>(t2 - t1) * 1e-3 / reps_per_size;
+      out.path_us[i] = direct;
+      out.sched_extra_us[i] = sched > direct ? sched - direct : 0.0;
+    }
+  });
+  return out;
+}
+
+int EmitFigure(const char* figure_id, const char* title,
+               const NetModel& model, const SoftwareCosts& costs,
+               bool with_sched_series) {
+  std::printf("# %s: %s\n", figure_id, title);
+  std::printf("# model: alpha=%.1fus per_byte=%.4fus packet=%zuB\n",
+              model.alpha_us, model.per_byte_us, model.packet_bytes);
+  std::printf("# columns: bytes native_us converse_us%s "
+              "converse_1996est_us%s\n",
+              with_sched_series ? " converse_sched_us" : "",
+              with_sched_series ? " sched_1996est_us" : "");
+
+  const auto sizes = FigureSizes();
+  double max_gap_ratio_large = 0.0;
+  bool converse_above_native = true;
+  bool gap_shrinks_relatively = true;
+  double first_rel_gap = -1.0, last_rel_gap = -1.0;
+
+  for (std::size_t s : sizes) {
+    const double native = model.OnewayUs(s);
+    const double conv = native + costs.PathUs(s);
+    const double conv_era = native + kEraCpuScale * costs.PathUs(s);
+    if (with_sched_series) {
+      const double sched = conv + costs.SchedExtraUs(s);
+      const double sched_era =
+          conv_era + kEraCpuScale * costs.SchedExtraUs(s);
+      std::printf("%7zu %12.2f %12.2f %12.2f %12.2f %12.2f\n", s, native,
+                  conv, sched, conv_era, sched_era);
+    } else {
+      std::printf("%7zu %12.2f %12.2f %12.2f\n", s, native, conv, conv_era);
+    }
+    if (conv < native) converse_above_native = false;
+    const double rel_gap = (conv - native) / native;
+    if (first_rel_gap < 0) first_rel_gap = rel_gap;
+    last_rel_gap = rel_gap;
+    if (s >= 32 * 1024) {
+      max_gap_ratio_large = rel_gap > max_gap_ratio_large
+                                ? rel_gap
+                                : max_gap_ratio_large;
+    }
+  }
+  // "For large messages, the relative difference becomes negligible"
+  // (§5.1): either the relative gap shrinks, or it stays under ~2%.
+  gap_shrinks_relatively =
+      last_rel_gap <= first_rel_gap * 1.05 + 1e-9 || last_rel_gap < 0.02;
+
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    std::printf("# shape-check %-55s %s\n", what, ok ? "PASS" : "FAIL");
+    if (!ok) ++failures;
+  };
+  check(converse_above_native,
+        "Converse sits above native at every size (overhead >= 0)");
+  check(gap_shrinks_relatively,
+        "relative Converse overhead does not grow with message size");
+  check(max_gap_ratio_large < 0.25,
+        "overhead is negligible relative to large-message cost");
+  if (with_sched_series) {
+    const double extra_small = costs.SchedExtraUs(sizes.front());
+    const double extra_large = costs.SchedExtraUs(sizes.back());
+    const double conv_large =
+        model.OnewayUs(sizes.back()) + costs.PathUs(sizes.back());
+    check(extra_small > 0,
+          "scheduling adds a positive cost for short messages");
+    check(extra_large / conv_large < 0.05,
+          "scheduling cost is relatively negligible for large messages");
+    const double era_small = kEraCpuScale * extra_small;
+    check(era_small > 2.0 && era_small < 80.0,
+          "era-scaled scheduling adder is in the paper's 9-15us regime");
+  }
+  std::printf("\n");
+  return failures;
+}
+
+}  // namespace converse::bench

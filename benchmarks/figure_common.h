@@ -1,0 +1,57 @@
+// Shared machinery for reproducing the paper's evaluation figures (4-8).
+//
+// The paper measures round-trip message time vs message size on five 1996
+// machines, with and without the scheduler queue in the path.  Per
+// DESIGN.md §2 we substitute each machine's wire with a calibrated NetModel
+// and *measure* the Converse software path cost of this implementation on
+// the in-process machine:
+//
+//   converse(s)      = model.OnewayUs(s) + measured_path_us(s)
+//   converse_sched(s)= converse(s)       + measured_sched_extra_us(s)
+//
+// where measured_path_us covers exactly what Converse adds over a native
+// message layer — allocation, header fill, payload copy through the
+// machine queue, handler-table dispatch, free — and sched_extra covers the
+// grab + re-enqueue + dequeue + second dispatch of queue-using languages
+// (the cost the paper's Figure 6 isolates).
+//
+// A third series scales the measured software cost by kEraCpuScale to
+// present the curves in 1996-CPU terms (the paper's hosts executed roughly
+// 250x fewer instructions per second than this machine); the shape
+// assertions never use the scaled series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "converse/netmodel.h"
+
+namespace converse::bench {
+
+/// CPU-speed ratio used only for the presentation-scaled series.
+inline constexpr double kEraCpuScale = 250.0;
+
+/// Message sizes the paper's figures sweep (bytes of payload).
+std::vector<std::size_t> FigureSizes();
+
+/// Measured per-message software costs on this host.
+struct SoftwareCosts {
+  std::vector<std::size_t> sizes;
+  std::vector<double> path_us;         // full Converse path, per size
+  std::vector<double> sched_extra_us;  // additional scheduler-queue cost
+
+  double PathUs(std::size_t size) const;
+  double SchedExtraUs(std::size_t size) const;
+};
+
+/// Run the measurement machine (2 PEs; self-contained, a few hundred ms).
+SoftwareCosts MeasureSoftwareCosts(int reps_per_size = 3000);
+
+/// Print one figure: the size sweep with native/converse[/sched] series,
+/// then evaluate and print the paper's shape criteria.  Returns the number
+/// of failed shape checks (0 = reproduction matches the paper's shape).
+int EmitFigure(const char* figure_id, const char* title,
+               const NetModel& model, const SoftwareCosts& costs,
+               bool with_sched_series);
+
+}  // namespace converse::bench

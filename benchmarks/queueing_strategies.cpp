@@ -1,0 +1,119 @@
+// Ablation: cost of the queueing strategies (paper §2.3 — prioritization
+// must not penalize languages that do not use it).  FIFO/LIFO use the
+// deque path; prioritized entries pay the heap.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "converse/msg.h"
+#include "converse/queueing.h"
+#include "converse/util/rng.h"
+
+using namespace converse;
+
+namespace {
+
+void* MakeMsg() { return CmiAlloc(CmiMsgHeaderSizeBytes()); }
+
+}  // namespace
+
+static void BM_EnqueueDequeueFifo(benchmark::State& state) {
+  CqsQueue q;
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<void*> msgs(batch);
+  for (auto& m : msgs) m = MakeMsg();
+  for (auto _ : state) {
+    for (void* m : msgs) q.Enqueue(m);
+    for (int i = 0; i < batch; ++i) benchmark::DoNotOptimize(q.Dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  for (void* m : msgs) CmiFree(m);
+}
+BENCHMARK(BM_EnqueueDequeueFifo)->Arg(64)->Arg(1024);
+
+static void BM_EnqueueDequeueLifo(benchmark::State& state) {
+  CqsQueue q;
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<void*> msgs(batch);
+  for (auto& m : msgs) m = MakeMsg();
+  for (auto _ : state) {
+    for (void* m : msgs) q.EnqueueLifo(m);
+    for (int i = 0; i < batch; ++i) benchmark::DoNotOptimize(q.Dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  for (void* m : msgs) CmiFree(m);
+}
+BENCHMARK(BM_EnqueueDequeueLifo)->Arg(64)->Arg(1024);
+
+static void BM_EnqueueDequeueIntPrio(benchmark::State& state) {
+  CqsQueue q;
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<void*> msgs(batch);
+  for (auto& m : msgs) m = MakeMsg();
+  util::Xoshiro256 rng(11);
+  std::vector<std::int32_t> prios(static_cast<std::size_t>(batch));
+  for (auto& p : prios) p = static_cast<std::int32_t>(rng.Below(1000)) - 500;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      q.EnqueueIntPrio(msgs[static_cast<std::size_t>(i)],
+                       prios[static_cast<std::size_t>(i)]);
+    }
+    for (int i = 0; i < batch; ++i) benchmark::DoNotOptimize(q.Dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  for (void* m : msgs) CmiFree(m);
+}
+BENCHMARK(BM_EnqueueDequeueIntPrio)->Arg(64)->Arg(1024);
+
+static void BM_EnqueueDequeueBitvecPrio(benchmark::State& state) {
+  CqsQueue q;
+  const int batch = static_cast<int>(state.range(0));
+  const int nbits = static_cast<int>(state.range(1));
+  std::vector<void*> msgs(batch);
+  for (auto& m : msgs) m = MakeMsg();
+  util::Xoshiro256 rng(13);
+  const std::size_t nwords = static_cast<std::size_t>((nbits + 31) / 32);
+  std::vector<std::vector<std::uint32_t>> prios;
+  for (int i = 0; i < batch; ++i) {
+    std::vector<std::uint32_t> w(nwords);
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.Next());
+    prios.push_back(std::move(w));
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      q.EnqueueBitvecPrio(msgs[static_cast<std::size_t>(i)],
+                          prios[static_cast<std::size_t>(i)].data(), nbits);
+    }
+    for (int i = 0; i < batch; ++i) benchmark::DoNotOptimize(q.Dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  for (void* m : msgs) CmiFree(m);
+}
+BENCHMARK(BM_EnqueueDequeueBitvecPrio)
+    ->Args({64, 32})
+    ->Args({64, 128})
+    ->Args({1024, 32});
+
+// The need-based-cost comparison in one number: mixed queue where only a
+// fraction of entries are prioritized (the common Charm profile).
+static void BM_MixedMostlyFifo(benchmark::State& state) {
+  CqsQueue q;
+  constexpr int kBatch = 1024;
+  std::vector<void*> msgs(kBatch);
+  for (auto& m : msgs) m = MakeMsg();
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      if (i % 16 == 0) {
+        q.EnqueueIntPrio(msgs[static_cast<std::size_t>(i)], -i);
+      } else {
+        q.Enqueue(msgs[static_cast<std::size_t>(i)]);
+      }
+    }
+    for (int i = 0; i < kBatch; ++i) benchmark::DoNotOptimize(q.Dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  for (void* m : msgs) CmiFree(m);
+}
+BENCHMARK(BM_MixedMostlyFifo);
+
+BENCHMARK_MAIN();

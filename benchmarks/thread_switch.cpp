@@ -1,0 +1,101 @@
+// Ablation: thread-object context switch cost per backend (hand-written
+// x86-64 fiber switch vs ucontext's swapcontext-with-sigprocmask), plus
+// create/awaken/schedule cost — the primitives behind §3.2.2.
+#include <benchmark/benchmark.h>
+
+#include "converse/converse.h"
+#include "converse/util/timer.h"
+
+using namespace converse;
+
+namespace {
+
+CthBackend BackendArg(const benchmark::State& state) {
+  return state.range(0) == 0 ? CthBackend::kAsm : CthBackend::kUcontext;
+}
+
+bool SkipUnlessAvailable(benchmark::State& state) {
+  if (!CthBackendAvailable(BackendArg(state))) {
+    state.SkipWithError("backend not available in this build");
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+/// Raw switch cost: two threads CthResume each other k times.
+static void BM_ContextSwitch(benchmark::State& state) {
+  if (SkipUnlessAvailable(state)) return;
+  constexpr int kSwitches = 20000;
+  for (auto _ : state) {
+    double sec = 0;
+    RunConverse(1, [&](int, int) {
+      CthInit(BackendArg(state));
+      CthThread* a = nullptr;
+      CthThread* b = nullptr;
+      a = CthCreate([&] {
+        for (int i = 0; i < kSwitches / 2; ++i) CthResume(b);
+        CthResume(b);
+      });
+      b = CthCreate([&] {
+        for (int i = 0; i < kSwitches / 2; ++i) CthResume(a);
+      });
+      const auto t0 = util::NowNs();
+      CthResume(a);
+      // a and b alternate until both exit back through the scheduler ctx.
+      const auto t1 = util::NowNs();
+      sec = static_cast<double>(t1 - t0) * 1e-9;
+      CsdScheduleUntilIdle();
+    });
+    state.SetIterationTime(sec / kSwitches);
+  }
+  state.SetLabel(state.range(0) == 0 ? "asm" : "ucontext");
+}
+BENCHMARK(BM_ContextSwitch)->Arg(0)->Arg(1)->UseManualTime()->Iterations(5);
+
+/// Suspend/awaken through the scheduler: the ready-thread-as-message path.
+static void BM_YieldThroughScheduler(benchmark::State& state) {
+  if (SkipUnlessAvailable(state)) return;
+  constexpr int kYields = 20000;
+  for (auto _ : state) {
+    double sec = 0;
+    RunConverse(1, [&](int, int) {
+      CthInit(BackendArg(state));
+      CthThread* t = CthCreate([&] {
+        for (int i = 0; i < kYields; ++i) CthYield();
+      });
+      CthAwaken(t);
+      const auto t0 = util::NowNs();
+      CsdScheduleUntilIdle();
+      const auto t1 = util::NowNs();
+      sec = static_cast<double>(t1 - t0) * 1e-9;
+    });
+    state.SetIterationTime(sec / kYields);
+  }
+  state.SetLabel(state.range(0) == 0 ? "asm" : "ucontext");
+}
+BENCHMARK(BM_YieldThroughScheduler)->Arg(0)->Arg(1)->UseManualTime()->Iterations(5);
+
+/// Thread creation + first run + exit (stack mmap included).
+static void BM_CreateRunExit(benchmark::State& state) {
+  if (SkipUnlessAvailable(state)) return;
+  constexpr int kThreads = 2000;
+  for (auto _ : state) {
+    double sec = 0;
+    RunConverse(1, [&](int, int) {
+      CthInit(BackendArg(state));
+      const auto t0 = util::NowNs();
+      for (int i = 0; i < kThreads; ++i) {
+        CthResume(CthCreate([] {}));
+      }
+      const auto t1 = util::NowNs();
+      sec = static_cast<double>(t1 - t0) * 1e-9;
+    });
+    state.SetIterationTime(sec / kThreads);
+  }
+  state.SetLabel(state.range(0) == 0 ? "asm" : "ucontext");
+}
+BENCHMARK(BM_CreateRunExit)->Arg(0)->Arg(1)->UseManualTime()->Iterations(5);
+
+BENCHMARK_MAIN();

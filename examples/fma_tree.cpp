@@ -1,0 +1,210 @@
+// The paper's §4 motivating example, in miniature: a Fast-Multipole-style
+// tree code in which each phase uses the paradigm that fits it —
+//
+//   phase 1  tree construction         SPM module (loosely synchronous,
+//                                      collectives for the bounding box)
+//   phase 2  all-to-all particle       message-driven handlers: "we would
+//            exchange                  like to continue execution of each
+//                                      cell as soon as all of its
+//                                      particles have arrived"
+//   phase 3  per-cell logic            threads communicating along the
+//                                      edges of the tree (tSM messages)
+//
+// The physics is reduced to center-of-mass aggregation up a two-level
+// quadtree; the interoperability structure is the point.
+//
+// Run: ./examples/fma_tree [npes] [particles-per-pe]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "converse/converse.h"
+#include "converse/langs/tsm.h"
+#include "converse/util/rng.h"
+
+using namespace converse;
+
+namespace {
+
+struct Particle {
+  double x, y, mass;
+};
+
+struct Com {  // a (possibly partial) center of mass
+  double mass = 0, mx = 0, my = 0;
+  void Absorb(const Com& o) {
+    mass += o.mass;
+    mx += o.mx;
+    my += o.my;
+  }
+  void Absorb(const Particle& p) {
+    mass += p.mass;
+    mx += p.x * p.mass;
+    my += p.y * p.mass;
+  }
+};
+
+constexpr int kGrid = 4;                    // 4x4 leaf cells
+constexpr int kLeaves = kGrid * kGrid;      // 16 leaves
+constexpr int kParents = 4;                 // 2x2 interior cells
+constexpr int kTagLeafCom = 2000;           // leaf -> parent (+ parent id)
+constexpr int kTagParentCom = 3000;         // parent -> root
+constexpr int kTagResult = 4000;            // root -> everyone
+
+int LeafOwner(int leaf, int npes) { return leaf % npes; }
+int ParentOwner(int parent, int npes) { return parent % npes; }
+int ParentOf(int leaf) {
+  const int cx = leaf % kGrid, cy = leaf / kGrid;
+  return (cy / 2) * 2 + (cx / 2);
+}
+
+struct ExchangeWire {
+  std::int32_t cell;
+  std::int32_t count;
+  // `count` Particles follow
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int npes = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int per_pe = argc > 2 ? std::atoi(argv[2]) : 2000;
+
+  RunConverse(npes, [per_pe](int pe, int np) {
+    // ---- Per-cell state on this PE (owner side of phase 2) ----
+    struct CellState {
+      std::vector<Particle> particles;
+      int reports = 0;  // PEs that have sent their share
+    };
+    std::vector<CellState> cells(kLeaves);
+
+    // Phase-3 thread bodies, defined up front so the phase-2 handler can
+    // start a cell's thread the moment its data is complete.
+    auto leaf_thread = [np](int leaf, std::vector<Particle> ps) {
+      Com com;
+      for (const Particle& p : ps) com.Absorb(p);
+      // Send my center of mass along the tree edge to my parent's thread.
+      tsm::tSMSend(ParentOwner(ParentOf(leaf), np),
+                   kTagLeafCom + ParentOf(leaf), &com, sizeof(com));
+    };
+
+    // ---- Phase 2 handler: particles arriving for cells I own ----
+    int exchange = CmiRegisterHandler([&cells, leaf_thread, np](void* msg) {
+      const auto* wire = static_cast<const ExchangeWire*>(CmiMsgPayload(msg));
+      CellState& cs = cells[static_cast<std::size_t>(wire->cell)];
+      const auto* ps = reinterpret_cast<const Particle*>(wire + 1);
+      cs.particles.insert(cs.particles.end(), ps, ps + wire->count);
+      if (++cs.reports == np) {
+        // All PEs have reported for this cell: its logic can start NOW,
+        // overlapped with other cells' still-incomplete exchanges.
+        const int leaf = wire->cell;
+        auto particles = std::move(cs.particles);
+        tsm::tSMCreate([leaf_thread, leaf,
+                        particles = std::move(particles)]() mutable {
+          leaf_thread(leaf, std::move(particles));
+        });
+      }
+    });
+
+    // ================= Phase 1: SPM tree construction =================
+    // Generate particles and agree on the global bounding box with
+    // blocking collectives — classic loosely synchronous SPMD.
+    util::Xoshiro256 rng(42 + static_cast<unsigned>(pe));
+    std::vector<Particle> mine(static_cast<std::size_t>(per_pe));
+    for (auto& p : mine) {
+      p.x = rng.NextDouble() * 100.0;
+      p.y = rng.NextDouble() * 100.0;
+      p.mass = 1.0 + rng.NextDouble();
+    }
+    double lo[2] = {1e30, 1e30}, hi[2] = {-1e30, -1e30};
+    for (const auto& p : mine) {
+      lo[0] = std::min(lo[0], p.x);
+      lo[1] = std::min(lo[1], p.y);
+      hi[0] = std::max(hi[0], p.x);
+      hi[1] = std::max(hi[1], p.y);
+    }
+    CmiAllReduceBlocking(lo, sizeof(lo), CmiReducerMinF64());
+    CmiAllReduceBlocking(hi, sizeof(hi), CmiReducerMaxF64());
+    const double w = (hi[0] - lo[0]) / kGrid, h = (hi[1] - lo[1]) / kGrid;
+    if (pe == 0) {
+      CmiPrintf("fma: bbox [%.1f,%.1f]x[%.1f,%.1f], %d leaves on %d PEs\n",
+                lo[0], hi[0], lo[1], hi[1], kLeaves, np);
+    }
+
+    // ================= Phase 2: message-driven exchange ================
+    // Partition my particles by destination cell and ship each bucket to
+    // the cell's owner (empty buckets too: they carry the "I'm done with
+    // this cell" information).
+    std::vector<std::vector<Particle>> buckets(kLeaves);
+    for (const auto& p : mine) {
+      int cx = static_cast<int>((p.x - lo[0]) / w);
+      int cy = static_cast<int>((p.y - lo[1]) / h);
+      cx = std::min(cx, kGrid - 1);
+      cy = std::min(cy, kGrid - 1);
+      buckets[static_cast<std::size_t>(cy * kGrid + cx)].push_back(p);
+    }
+    for (int c = 0; c < kLeaves; ++c) {
+      const auto& b = buckets[static_cast<std::size_t>(c)];
+      const std::size_t bytes = sizeof(ExchangeWire) + b.size() * sizeof(Particle);
+      void* msg = CmiAlloc(CmiMsgHeaderSizeBytes() + bytes);
+      CmiSetHandler(msg, exchange);
+      auto* wire = static_cast<ExchangeWire*>(CmiMsgPayload(msg));
+      wire->cell = c;
+      wire->count = static_cast<std::int32_t>(b.size());
+      if (!b.empty()) {
+        std::memcpy(wire + 1, b.data(), b.size() * sizeof(Particle));
+      }
+      CmiSyncSendAndFree(LeafOwner(c, np), CmiMsgTotalSize(msg), msg);
+    }
+
+    // ============== Phase 3: threads along the tree edges ==============
+    // Parent-cell threads (one per interior cell) aggregate their four
+    // leaves; the root thread aggregates the parents and broadcasts.
+    for (int par = 0; par < kParents; ++par) {
+      if (ParentOwner(par, np) != pe) continue;
+      tsm::tSMCreate([par, np] {
+        Com acc;
+        for (int k = 0; k < 4; ++k) {  // four children per parent
+          Com child;
+          tsm::tSMReceive(kTagLeafCom + par, &child, sizeof(child));
+          acc.Absorb(child);
+        }
+        tsm::tSMSend(0, kTagParentCom, &acc, sizeof(acc));
+      });
+    }
+    if (pe == 0) {
+      tsm::tSMCreate([np] {
+        Com total;
+        for (int k = 0; k < kParents; ++k) {
+          Com part;
+          tsm::tSMReceive(kTagParentCom, &part, sizeof(part));
+          total.Absorb(part);
+        }
+        const double gx = total.mx / total.mass;
+        const double gy = total.my / total.mass;
+        CmiPrintf("fma: total mass %.1f, center of mass (%.2f, %.2f)\n",
+                  total.mass, gx, gy);
+        const double result[2] = {gx, gy};
+        for (int p = 0; p < np; ++p) {
+          tsm::tSMSend(p, kTagResult, result, sizeof(result));
+        }
+      });
+    }
+
+    // Every PE (SPM control again) waits for the broadcast result, letting
+    // the scheduler run handlers and threads in the meantime: the explicit
+    // and implicit regimes interleaving exactly as §3.1.2 describes.
+    tsm::tSMCreate([pe] {
+      double result[2];
+      tsm::tSMReceive(kTagResult, result, sizeof(result));
+      CmiPrintf("pe %d: received global center of mass (%.2f, %.2f)\n", pe,
+                result[0], result[1]);
+      ConverseBroadcastExit();
+    });
+    CsdScheduler(-1);
+  });
+  std::printf("fma_tree: done\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// A 1-D heat equation written in the message-driven object style: a chare
+// array of cells exchanging ghost values by entry-method messages, with an
+// array reduction deciding convergence each sweep.  Compare examples/
+// jacobi_dp.cpp — the same physics in the SPMD regime; this version is
+// what the paradigm the paper calls "concurrent objects" (§2.1) looks
+// like, and the two could share one machine.
+//
+// Run: ./examples/heat_charm [npes] [cells] [max-sweeps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "converse/converse.h"
+#include "converse/langs/charm.h"
+
+using namespace converse;
+using namespace converse::charm;
+
+namespace {
+
+struct GhostMsg {
+  std::int32_t from;  // -1 = left neighbor, +1 = right neighbor
+  double value;
+};
+
+int g_ncells = 64;
+int g_entry_exchange = -1;
+int g_entry_ghost = -1;
+int g_client_handler = -1;
+
+struct CellElem : ArrayElement {
+  double value = 0;
+  double left = 0, right = 0;
+  int ghosts_needed = 2;
+  int ghosts_have = 0;
+
+  CellElem(int idx, const void*, std::size_t) {
+    value = idx == 0 ? 100.0 : 0.0;  // hot left boundary
+    ghosts_needed = 2 - (idx == 0 ? 1 : 0) - (idx == g_ncells - 1 ? 1 : 0);
+  }
+
+  /// One sweep: publish my value to my neighbors.
+  void Exchange(const void*, std::size_t) {
+    const GhostMsg to_left{+1, value};   // I am their right neighbor
+    const GhostMsg to_right{-1, value};  // I am their left neighbor
+    if (Index() > 0) {
+      SendToElement(ArrayId(), Index() - 1, g_entry_ghost, &to_left,
+                    sizeof(to_left));
+    }
+    if (Index() < g_ncells - 1) {
+      SendToElement(ArrayId(), Index() + 1, g_entry_ghost, &to_right,
+                    sizeof(to_right));
+    }
+    MaybeRelax();  // boundary cells with zero ghosts relax immediately
+  }
+
+  /// A neighbor's value arrived; relax once all expected ghosts are in.
+  void Ghost(const void* data, std::size_t) {
+    GhostMsg g;
+    std::memcpy(&g, data, sizeof(g));
+    (g.from < 0 ? left : right) = g.value;
+    ++ghosts_have;
+    MaybeRelax();
+  }
+
+  void MaybeRelax() {
+    if (ghosts_have < ghosts_needed) return;
+    ghosts_have = 0;
+    double next = value;
+    if (Index() == 0 || Index() == g_ncells - 1) {
+      // Dirichlet boundaries hold their value.
+    } else {
+      next = 0.5 * (left + right);
+    }
+    const double delta = std::fabs(next - value);
+    value = next;
+    // Contribute this sweep's residual; the client drives the next sweep.
+    ArrayContribute(this, &delta, sizeof(delta), CmiReducerSumF64(),
+                    g_client_handler);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int npes = argc > 1 ? std::atoi(argv[1]) : 3;
+  g_ncells = argc > 2 ? std::atoi(argv[2]) : 64;
+  const int max_sweeps = argc > 3 ? std::atoi(argv[3]) : 3000;
+
+  RunConverse(npes, [max_sweeps](int pe, int) {
+    const int type = RegisterArrayElementType<CellElem>("cell");
+    g_entry_exchange = RegisterEntryMethod<CellElem>(&CellElem::Exchange);
+    g_entry_ghost = RegisterEntryMethod<CellElem>(&CellElem::Ghost);
+
+    static int aid;
+    static int sweep;
+    sweep = 0;
+    g_client_handler = CmiRegisterHandler([max_sweeps](void* msg) {
+      double residual;
+      std::memcpy(&residual, CmiMsgPayload(msg), sizeof(residual));
+      CmiFree(msg);
+      ++sweep;
+      if (residual > 1e-6 && sweep < max_sweeps) {
+        BroadcastToArray(aid, g_entry_exchange, nullptr, 0);
+        return;
+      }
+      CmiPrintf("heat_charm: %s after %d sweeps, residual %.2e\n",
+                residual <= 1e-6 ? "converged" : "stopped", sweep,
+                residual);
+      ConverseBroadcastExit();
+    });
+
+    if (pe == 0) {
+      aid = CreateArray(type, g_ncells, nullptr, 0);
+      CsdScheduler(1);  // construct the local descriptor
+      BroadcastToArray(aid, g_entry_exchange, nullptr, 0);
+    }
+    CsdScheduler(-1);
+  });
+  std::printf("heat_charm: done\n");
+  return 0;
+}

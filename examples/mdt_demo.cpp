@@ -1,0 +1,99 @@
+// The §4 coordination language, used as a user would: a fan-out of
+// message-driven threads computing a streaming histogram.  Threads are
+// created dynamically (placement left to the seed load balancer), send
+// single-tag messages, and block for specific tags — the complete surface
+// of the little language the paper says took a day to build on Converse.
+//
+// Run: ./examples/mdt_demo [npes] [values]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "converse/converse.h"
+#include "converse/langs/mdt.h"
+#include "converse/util/rng.h"
+
+using namespace converse;
+using namespace converse::mdt;
+
+namespace {
+
+constexpr int kTagIntro = 0;  // bucket -> sink: here is my id
+constexpr int kTagBatch = 1;  // sink -> bucket: batch of samples (0 = end)
+constexpr int kTagCount = 2;  // bucket -> sink: final count
+constexpr int kBuckets = 8;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int npes = argc > 1 ? std::atoi(argv[1]) : 3;
+  const long nvalues = argc > 2 ? std::atol(argv[2]) : 20000;
+
+  RunConverse(npes, [nvalues](int pe, int) {
+    CldSetStrategy(CldStrategy::kRandom);
+
+    // A bucket thread: introduces itself to the sink, accumulates batch
+    // counts until the zero end-marker, reports its total.
+    const int bucket_fn = MdtRegister([](const void* arg, std::size_t) {
+      MdtThreadId sink;
+      std::memcpy(&sink, arg, sizeof(sink));
+      const MdtThreadId me = MdtSelf();
+      MdtSend(sink, kTagIntro, &me, sizeof(me));
+      long count = 0;
+      for (;;) {
+        long batch = 0;
+        MdtRecv(kTagBatch, &batch, sizeof(batch));
+        if (batch == 0) break;
+        count += batch;
+      }
+      CmiPrintf("mdt: bucket %u on pe %d counted %ld samples\n",
+                static_cast<unsigned>(me & 0xffffffffu), CmiMyPe(), count);
+      MdtSend(sink, kTagCount, &count, sizeof(count));
+    });
+
+    // The sink: spawns the buckets anywhere (the seed balancer places
+    // them), learns their ids from intro messages, streams batched
+    // samples, and totals the replies.
+    const int sink_fn = MdtRegister([nvalues, bucket_fn](const void*,
+                                                         std::size_t) {
+      const MdtThreadId me = MdtSelf();
+      for (int b = 0; b < kBuckets; ++b) {
+        MdtSpawn(bucket_fn, &me, sizeof(me));  // kAnyPe: balancer decides
+      }
+      MdtThreadId buckets[kBuckets];
+      for (int b = 0; b < kBuckets; ++b) {
+        MdtRecv(kTagIntro, &buckets[b], sizeof(buckets[b]));
+      }
+      util::Xoshiro256 rng(99);
+      long batched[kBuckets] = {};
+      for (long i = 0; i < nvalues; ++i) {
+        const auto b = static_cast<int>(rng.Below(kBuckets));
+        if (++batched[b] == 16) {
+          MdtSend(buckets[b], kTagBatch, &batched[b], sizeof(long));
+          batched[b] = 0;
+        }
+      }
+      for (int b = 0; b < kBuckets; ++b) {
+        if (batched[b] > 0) {
+          MdtSend(buckets[b], kTagBatch, &batched[b], sizeof(long));
+        }
+        const long end_marker = 0;
+        MdtSend(buckets[b], kTagBatch, &end_marker, sizeof(end_marker));
+      }
+      long total = 0;
+      for (int b = 0; b < kBuckets; ++b) {
+        long c = 0;
+        MdtRecv(kTagCount, &c, sizeof(c));
+        total += c;
+      }
+      CmiPrintf("mdt: total %ld (expected %ld) across %d buckets on %d "
+                "PEs\n", total, nvalues, kBuckets, CmiNumPes());
+      ConverseBroadcastExit();
+    });
+
+    if (pe == 0) MdtSpawnLocal(sink_fn, nullptr, 0);
+    CsdScheduler(-1);
+  });
+  std::printf("mdt_demo: done\n");
+  return 0;
+}

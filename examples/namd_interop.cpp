@@ -1,0 +1,174 @@
+// The paper's §4 NAMD scenario: "With Converse it will be possible to use
+// the Charm++ version of NAMD with the PVM-based FMA module."
+//
+// A miniature molecular-dynamics driver written as a Charm-style
+// message-driven object (integrator chare per PE region) calls into a
+// PVM-style far-field module (SPMD workers) every step, while short-range
+// forces are computed locally.  Two pre-existing "libraries" in different
+// paradigms, one application — no rewrite of either.
+//
+// Run: ./examples/namd_interop [npes] [atoms] [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "converse/converse.h"
+#include "converse/langs/charm.h"
+#include "converse/langs/cpvm.h"
+#include "converse/util/rng.h"
+
+using namespace converse;
+
+namespace {
+
+constexpr int kTagWork = 1;
+constexpr int kTagForce = 2;
+constexpr int kTagShutdown = 3;
+
+struct Atom {
+  double x, v;
+};
+
+/// ---------------- The "PVM FMA library" (far-field forces) --------------
+/// A classic SPMD worker: waits for positions, computes its share of a
+/// long-range force approximation (here: attraction to the global mean),
+/// replies, repeats until shutdown.  This code knows nothing of Charm.
+void FmaWorkerModule() {
+  using namespace converse::pvm;
+  for (;;) {
+    pvm_recv(0, PvmAnyTag);
+    int bytes = 0, tag = 0, tid = 0;
+    pvm_bufinfo(1, &bytes, &tag, &tid);
+    if (tag == kTagShutdown) return;
+    auto n = 0;
+    pvm_upkint(&n, 1);
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    pvm_upkdouble(xs.data(), n);
+    // Far field ~ force toward the center of "charge".
+    double mean = 0;
+    for (double x : xs) mean += x;
+    mean /= n;
+    const int me = pvm_mytid();
+    const int workers = pvm_ntasks() - 1;
+    std::vector<double> f(static_cast<std::size_t>(n), 0.0);
+    for (int i = me - 1; i < n; i += workers) {
+      f[static_cast<std::size_t>(i)] =
+          0.05 * (mean - xs[static_cast<std::size_t>(i)]);
+    }
+    pvm_initsend();
+    pvm_pkdouble(f.data(), n);
+    pvm_send(0, kTagForce);
+  }
+}
+
+/// --------------- The "Charm NAMD driver" (integrator chare) --------------
+struct Integrator : charm::Chare {
+  std::vector<Atom> atoms;
+  int steps = 0;
+
+  Integrator(const void* arg, std::size_t) {
+    int params[2];
+    std::memcpy(params, arg, sizeof(params));
+    const int n = params[0];
+    steps = params[1];
+    util::Xoshiro256 rng(7);
+    atoms.resize(static_cast<std::size_t>(n));
+    for (auto& a : atoms) {
+      a.x = rng.NextDouble() * 10.0 - 5.0;
+      a.v = 0.0;
+    }
+  }
+
+  void Step(const void*, std::size_t) {
+    using namespace converse::pvm;
+    const int n = static_cast<int>(atoms.size());
+    // 1. short-range forces: cheap local pairwise springs to neighbors.
+    std::vector<double> force(static_cast<std::size_t>(n), 0.0);
+    for (int i = 1; i < n; ++i) {
+      const double d = atoms[static_cast<std::size_t>(i)].x -
+                       atoms[static_cast<std::size_t>(i - 1)].x;
+      const double f = -0.1 * (d - 1.0);
+      force[static_cast<std::size_t>(i)] += f;
+      force[static_cast<std::size_t>(i - 1)] -= f;
+    }
+    // 2. long-range forces: call the PVM library (its calling convention,
+    //    its pack buffers) from inside an entry method.
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) xs[static_cast<std::size_t>(i)] =
+        atoms[static_cast<std::size_t>(i)].x;
+    for (int w = 1; w < CmiNumPes(); ++w) {
+      pvm_initsend();
+      pvm_pkint(&n, 1);
+      pvm_pkdouble(xs.data(), n);
+      pvm_send(w, kTagWork);
+    }
+    for (int w = 1; w < CmiNumPes(); ++w) {
+      pvm_recv(PvmAnyTid, kTagForce);
+      std::vector<double> f(static_cast<std::size_t>(n));
+      pvm_upkdouble(f.data(), n);
+      for (int i = 0; i < n; ++i) {
+        force[static_cast<std::size_t>(i)] += f[static_cast<std::size_t>(i)];
+      }
+    }
+    // 3. integrate.
+    double energy = 0;
+    for (int i = 0; i < n; ++i) {
+      auto& a = atoms[static_cast<std::size_t>(i)];
+      a.v += force[static_cast<std::size_t>(i)];
+      a.x += a.v;
+      energy += 0.5 * a.v * a.v;
+    }
+    if (--steps > 0) {
+      // Message-driven self-invocation: the next step is just a message,
+      // so other work (tracing, balancing, other modules) can interleave.
+      charm::SendToChare(thisChare(), entry_step, nullptr, 0);
+      return;
+    }
+    CmiPrintf("namd: final kinetic energy %.4f\n", energy);
+    using namespace converse::pvm;
+    for (int w = 1; w < CmiNumPes(); ++w) {
+      pvm_initsend();
+      pvm_send(w, kTagShutdown);
+    }
+    ConverseBroadcastExit();
+  }
+
+  static int entry_step;  // registered entry index (same on all PEs)
+};
+
+int Integrator::entry_step = -1;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int npes = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int atoms = argc > 2 ? std::atoi(argv[2]) : 256;
+  const int steps = argc > 3 ? std::atoi(argv[3]) : 20;
+  if (npes < 2) {
+    std::fprintf(stderr, "namd_interop needs at least 2 PEs\n");
+    return 1;
+  }
+
+  RunConverse(npes, [atoms, steps](int pe, int) {
+    const int type = charm::RegisterChareType<Integrator>("integrator");
+    Integrator::entry_step =
+        charm::RegisterEntryMethod<Integrator>(&Integrator::Step);
+
+    if (pe == 0) {
+      const int params[2] = {atoms, steps};
+      charm::CreateChare(type, params, sizeof(params), /*on_pe=*/0);
+      CsdScheduler(1);  // construct; first chare on PE0 has idx 1
+      charm::SendToChare(charm::ChareId{0, 1}, Integrator::entry_step,
+                         nullptr, 0);
+      CsdScheduler(-1);
+    } else {
+      // This PE hosts a worker of the PVM library, full stop.
+      FmaWorkerModule();
+      CsdScheduler(-1);  // wait for the exit broadcast
+    }
+  });
+  std::printf("namd_interop: done\n");
+  return 0;
+}

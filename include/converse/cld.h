@@ -1,0 +1,59 @@
+// Dynamic (seed) load balancing (paper §3.3.1).
+//
+// A language runtime hands over a "seed" — a generalized message for a
+// piece of work that can execute on any PE.  The load balancing module
+// moves seeds from processor to processor until it hands the seed to its
+// handler on some destination PE ("the seeds ... can float around the
+// system until they take root").  The interface to the strategy is fixed;
+// multiple strategies are provided and the application links/selects the
+// one it wants — the paper's need-based-cost rule applied to balancing.
+//
+// All strategies deliver a placed seed by enqueueing it into the scheduler
+// queue with the strategy recorded in its header (so prioritized seeds stay
+// prioritized).  The seed's handler therefore owns its message.
+#pragma once
+
+#include <cstdint>
+
+namespace converse {
+
+enum class CldStrategy : std::int32_t {
+  kLocal = 0,     // never move seeds (baseline)
+  kRandom = 1,    // spray each seed to a uniformly random PE
+  kNeighbor = 2,  // diffuse along a ring using exchanged load estimates
+  kCentral = 3,   // PE 0 dispatches to the least-loaded PE
+};
+
+/// Select the strategy.  Must be called identically on every PE before any
+/// seed is created (typically at the top of the entry function).
+void CldSetStrategy(CldStrategy strategy);
+CldStrategy CldGetStrategy();
+
+/// Hand a seed to the balancer.  Takes ownership of `msg` (a complete
+/// message whose handler is the seed's "take root" handler).  The seed will
+/// eventually be enqueued into some PE's scheduler queue.
+void CldEnqueue(void* msg);
+
+/// Prioritized seed (integer priority, smaller first).
+void CldEnqueuePrio(void* msg, std::int32_t prio);
+
+/// This PE's load estimate used by the strategies (scheduler queue length).
+int CldLoad();
+
+/// Diagnostics: seeds that took root on this PE / hops observed here.
+std::uint64_t CldSeedsPlaced();
+std::uint64_t CldSeedHops();
+
+}  // namespace converse
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int CldModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int cld_module_anchor = converse::detail::CldModuleRegister();
+}  // namespace

@@ -1,0 +1,169 @@
+// The Converse Machine Interface — MMI calls (paper §3.1.3 and appendix §3).
+//
+// These functions may only be called from inside a PE thread of a running
+// machine (i.e. from the entry function, handlers, or thread objects).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "converse/handlers.h"
+#include "converse/msg.h"
+
+namespace converse {
+
+// ---------------------------------------------------------------------------
+// Processor identity (appendix §3.6)
+// ---------------------------------------------------------------------------
+
+/// Logical PE number of the caller, in [0, CmiNumPes()).
+int CmiMyPe();
+
+/// Total number of PEs in the running machine.
+int CmiNumPes();
+
+/// Paper's spelling (appendix uses CmiNumPe()).
+inline int CmiNumPe() { return CmiNumPes(); }
+
+// ---------------------------------------------------------------------------
+// Timers (appendix §3.2)
+// ---------------------------------------------------------------------------
+
+/// Seconds since machine start (microsecond accuracy or better).
+double CmiTimer();
+
+/// Alias kept for fidelity with later Converse versions.
+inline double CmiWallTimer() { return CmiTimer(); }
+
+/// Per-thread CPU time in seconds.
+double CmiCpuTimer();
+
+// ---------------------------------------------------------------------------
+// Point-to-point communication (appendix §3.3)
+// ---------------------------------------------------------------------------
+
+/// Opaque handle for an asynchronous communication operation.
+struct CommHandle {
+  void* rec = nullptr;
+};
+
+/// Send `msg` (a complete message: header + payload, `size` bytes total) to
+/// `dest_pe`.  The buffer may be reused as soon as the call returns.
+void CmiSyncSend(unsigned int dest_pe, unsigned int size, void* msg);
+
+/// Like CmiSyncSend but transfers ownership of `msg` to the machine layer
+/// (no copy on the in-process machine).  `msg` must come from CmiAlloc.
+/// Extension over the paper's MMI, present in later Converse versions.
+void CmiSyncSendAndFree(unsigned int dest_pe, unsigned int size, void* msg);
+
+/// Initiate an asynchronous send; the buffer must stay valid until
+/// CmiAsyncMsgSent(handle) returns nonzero.
+CommHandle CmiAsyncSend(unsigned int dest_pe, unsigned int size, void* msg);
+
+/// Status of an asynchronous operation: nonzero once complete.
+int CmiAsyncMsgSent(CommHandle handle);
+
+/// Release the handle and associated resources (not the message buffer).
+void CmiReleaseCommHandle(CommHandle handle);
+
+/// Gather-style send (appendix §3.3 CmiVectorSend): concatenates `len`
+/// pieces (DataArray[i], sizes[i] bytes) into one message with handler
+/// `handler_id` and sends it to `dest_pe`.
+CommHandle CmiVectorSend(int dest_pe, int handler_id, int len,
+                         const int sizes[], const void* const data_array[]);
+
+// ---------------------------------------------------------------------------
+// Immediate (out-of-band) messages — the paper's §6 "preemptive messages
+// (interrupt messages)" future work, realized cooperatively: an immediate
+// message is always delivered before any regular traffic at the next
+// delivery point, is never delayed by a network latency model, and can be
+// polled explicitly from long-running handlers via CmiProbeImmediates().
+// ---------------------------------------------------------------------------
+
+/// Send a message into the destination's immediate lane (copies `msg`).
+void CmiSyncSendImmediate(unsigned int dest_pe, unsigned int size,
+                          void* msg);
+/// Ownership-transferring variant.
+void CmiSyncSendImmediateAndFree(unsigned int dest_pe, unsigned int size,
+                                 void* msg);
+/// Deliver all pending immediate messages right now (callable from inside
+/// a long-running handler or SPM compute loop).  Returns the number
+/// delivered.
+int CmiProbeImmediates();
+
+// ---------------------------------------------------------------------------
+// Receiving (paper §3.1.3)
+// ---------------------------------------------------------------------------
+
+/// Non-blockingly retrieve the next message delivered to this PE, or
+/// nullptr.  The returned buffer is owned by the MMI: it is freed when the
+/// caller-side dispatch completes unless CmiGrabBuffer is called.  Most
+/// programs never call this directly — the scheduler does.
+void* CmiGetMsg();
+
+/// Deliver (invoke handlers for) up to `max_msgs` pending network messages
+/// (-1 = all currently available).  Returns the number delivered.
+int CmiDeliverMsgs(int max_msgs = -1);
+
+/// Block until a message whose handler field equals `handler_id` arrives,
+/// buffering any other messages for later delivery (paper: for SPM modules
+/// that must not run other code while waiting).  The returned buffer is
+/// MMI-owned until the next CmiGetMsg/CmiGetSpecificMsg call; call
+/// CmiGrabBuffer to keep it.
+void* CmiGetSpecificMsg(int handler_id);
+
+/// Transfer ownership of the buffer `*pbuf` (the message currently being
+/// delivered, or the last CmiGetSpecificMsg result) to the caller.  On this
+/// machine no copy is needed; on machines with system buffers the MMI would
+/// copy, so portable code must not assume pointer identity is preserved —
+/// always use the possibly-updated `*pbuf`.
+void CmiGrabBuffer(void** pbuf);
+
+// ---------------------------------------------------------------------------
+// Broadcasts (appendix §3.5)
+// ---------------------------------------------------------------------------
+
+void CmiSyncBroadcast(unsigned int size, void* msg);             // all but me
+void CmiSyncBroadcastAll(unsigned int size, void* msg);          // everyone
+void CmiSyncBroadcastAllAndFree(unsigned int size, void* msg);   // frees msg
+CommHandle CmiAsyncBroadcast(unsigned int size, void* msg);
+CommHandle CmiAsyncBroadcastAll(unsigned int size, void* msg);
+
+// ---------------------------------------------------------------------------
+// Console I/O (appendix §3.7) — atomic with respect to other PEs.
+// ---------------------------------------------------------------------------
+
+void CmiPrintf(const char* format, ...) __attribute__((format(printf, 1, 2)));
+void CmiError(const char* format, ...) __attribute__((format(printf, 1, 2)));
+int CmiScanf(const char* format, ...) __attribute__((format(scanf, 1, 2)));
+
+/// Non-blocking scanf variant (paper §3.1.3): reads one input line and
+/// sends it, as a NUL-terminated string payload, to `handler_id` on the
+/// calling PE; the recipient re-parses with sscanf.
+void CmiScanfAsync(int handler_id);
+
+// ---------------------------------------------------------------------------
+// Machine-internal statistics (extension; used by tests and benches)
+// ---------------------------------------------------------------------------
+
+struct CmiStats {
+  std::uint64_t msgs_sent = 0;       // messages this PE pushed to the network
+  std::uint64_t msgs_delivered = 0;  // network messages dispatched here
+  std::uint64_t msgs_enqueued = 0;   // CsdEnqueue* calls on this PE
+  std::uint64_t msgs_scheduled = 0;  // scheduler-queue dispatches here
+  std::uint64_t idle_blocks = 0;     // times the scheduler blocked idle
+};
+
+/// Snapshot of the current PE's counters.
+CmiStats CmiGetStats();
+
+// ---------------------------------------------------------------------------
+// Exit helpers
+// ---------------------------------------------------------------------------
+
+/// Broadcast a system message that calls CsdExitScheduler() on every PE
+/// (including the caller).  The standard way to end a run in which every PE
+/// sits in CsdScheduler(-1).
+void ConverseBroadcastExit();
+
+}  // namespace converse

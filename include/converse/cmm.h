@@ -1,0 +1,81 @@
+// Message managers (paper §3.2.1, appendix §4).
+//
+// A message manager is an indexed mailbox: a container for messages that
+// are yet to be processed, retrievable by one or two integer tags with
+// wildcarding.  Threaded languages (tSM, the PVM layer in threaded mode)
+// and SPM languages both build their receive-by-tag semantics on it.
+// Retrieval among equally-matching messages is FIFO.
+//
+// A message manager is PE-local and not thread-safe across PEs (like every
+// Converse structure, it is manipulated only by code running on its PE).
+#pragma once
+
+#include <cstddef>
+
+namespace converse {
+
+struct MSG_MNGR;  // opaque
+
+/// Wildcard value for tag parameters of probe/get calls.
+inline constexpr int CmmWildCard = -1;
+
+/// Create a new, empty message manager.
+MSG_MNGR* CmmNew();
+
+/// Destroy a message manager and free all messages still stored in it.
+void CmmFree(MSG_MNGR* mm);
+
+/// Store `msg` (a copy of `size` bytes is taken) under one or two tags.
+void CmmPut(MSG_MNGR* mm, const void* msg, int tag, int size);
+void CmmPut2(MSG_MNGR* mm, const void* msg, int tag1, int tag2, int size);
+
+/// Size of the first message matching the tag(s), or -1 if none.  The
+/// actual tag values of the matched message are returned through the
+/// non-null rettag pointers.
+int CmmProbe(MSG_MNGR* mm, int tag, int* rettag);
+int CmmProbe2(MSG_MNGR* mm, int tag1, int tag2, int* rettag1, int* rettag2);
+
+/// Copy at most `size` bytes of the first matching message into `addr`,
+/// remove it from the manager, and return its full length (-1 if none).
+int CmmGet(MSG_MNGR* mm, void* addr, int tag, int size, int* rettag);
+int CmmGet2(MSG_MNGR* mm, void* addr, int tag1, int tag2, int size,
+            int* rettag1, int* rettag2);
+
+/// Remove the first matching message, returning a freshly allocated buffer
+/// holding it through `*addr` (caller frees with `delete[]
+/// static_cast<char*>(*addr)`).  Returns the length, or -1 if none (in
+/// which case *addr is untouched).
+int CmmGetPtr(MSG_MNGR* mm, void** addr, int tag, int* rettag);
+int CmmGetPtr2(MSG_MNGR* mm, void** addr, int tag1, int tag2, int* rettag1,
+               int* rettag2);
+
+/// Number of messages currently stored.
+std::size_t CmmLength(const MSG_MNGR* mm);
+
+/// RAII convenience wrapper.
+class MessageManager {
+ public:
+  MessageManager() : mm_(CmmNew()) {}
+  ~MessageManager() { CmmFree(mm_); }
+  MessageManager(const MessageManager&) = delete;
+  MessageManager& operator=(const MessageManager&) = delete;
+
+  MSG_MNGR* get() const { return mm_; }
+
+  void Put(const void* msg, int tag, int size) { CmmPut(mm_, msg, tag, size); }
+  void Put2(const void* msg, int tag1, int tag2, int size) {
+    CmmPut2(mm_, msg, tag1, tag2, size);
+  }
+  int Probe(int tag, int* rettag = nullptr) {
+    return CmmProbe(mm_, tag, rettag);
+  }
+  int Get(void* addr, int tag, int size, int* rettag = nullptr) {
+    return CmmGet(mm_, addr, tag, size, rettag);
+  }
+  std::size_t Length() const { return CmmLength(mm_); }
+
+ private:
+  MSG_MNGR* mm_;
+};
+
+}  // namespace converse

@@ -1,0 +1,95 @@
+// Machine-wide collective operations over the spanning tree (paper §3.1.3,
+// EMI: "reductions and other global operations, as well as spanning-tree
+// based operations").
+//
+// Collectives are split-phase, like everything message-driven in Converse:
+// a PE contributes and continues; completion is announced by delivering a
+// message to a user handler.  Blocking convenience wrappers are provided
+// for SPM modules — they explicitly pump the scheduler while waiting, which
+// is precisely the paper's sanctioned way for the explicit control regime
+// to interleave with the implicit one (§3.1.2 footnote).
+//
+// Ordering contract (as in every SPMD collective system): all PEs issue the
+// same sequence of machine-wide collective calls.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace converse {
+
+// ---- Spanning tree queries --------------------------------------------------
+
+int CmiSpanTreeRoot();
+int CmiSpanTreeParent(int pe);
+std::vector<int> CmiSpanTreeChildren(int pe);
+
+// ---- Reducers ----------------------------------------------------------------
+
+/// Combines a contribution into the accumulator (both `size` bytes).
+using CmiReducerFn =
+    std::function<void(void* acc, const void* contrib, std::size_t size)>;
+
+/// Register a reducer; same cross-PE ordering contract as handlers.
+int CmiRegisterReducer(CmiReducerFn fn);
+
+/// Apply a registered reducer: merge `contrib` into `acc` (`size` bytes).
+/// Used by components that run their own reduction trees (chare arrays).
+void CmiApplyReducer(int reducer, void* acc, const void* contrib,
+                     std::size_t size);
+
+/// Built-in reducers (registered by the collectives module itself).
+int CmiReducerSumI64();
+int CmiReducerMaxI64();
+int CmiReducerMinI64();
+int CmiReducerSumF64();
+int CmiReducerMaxF64();
+int CmiReducerMinF64();
+int CmiReducerBitOr64();
+int CmiReducerBitAnd64();
+
+// ---- Reductions --------------------------------------------------------------
+
+/// Contribute `size` bytes to the current reduction; when all PEs have
+/// contributed, the combined result is delivered as a message payload to
+/// `root_handler` on the spanning-tree root PE only.
+void CmiReduce(const void* data, std::size_t size, int reducer,
+               int root_handler);
+
+/// Like CmiReduce, but the result is broadcast and delivered to `handler`
+/// on every PE.
+void CmiAllReduce(const void* data, std::size_t size, int reducer,
+                  int handler);
+
+/// Blocking all-reduce for SPM modules: combines in place and returns when
+/// the result is available.  Pumps the scheduler while waiting.
+void CmiAllReduceBlocking(void* data_inout, std::size_t size, int reducer);
+
+/// Typed convenience (blocking all-reduce).
+std::int64_t CmiAllReduceI64(std::int64_t value, int reducer);
+double CmiAllReduceF64(double value, int reducer);
+
+// ---- Barrier -----------------------------------------------------------------
+
+/// Split-phase barrier: when every PE has called it, an empty message is
+/// delivered to `handler` on every PE.
+void CmiBarrier(int handler);
+
+/// Blocking barrier for SPM modules (pumps the scheduler).
+void CmiBarrierBlocking();
+
+}  // namespace converse
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int CollectivesModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int collectives_module_anchor = converse::detail::CollectivesModuleRegister();
+}  // namespace

@@ -1,0 +1,29 @@
+// Umbrella header for the Converse framework.
+//
+// Converse (Kale, Bhandarkar, Jagathesan, Krishnan — IPPS 1996) is an
+// interoperable runtime framework on which modules written in different
+// parallel paradigms — single-process (SPMD) modules, message-driven
+// objects, and threads — coexist in one program under a unified scheduler,
+// paying only for the features they use.
+//
+// Language runtimes built on this core live under converse/langs/ and are
+// included separately by the programs that use them (pay-for-what-you-use
+// extends to link time: an unreferenced runtime costs nothing).
+#pragma once
+
+#include "converse/cld.h"
+#include "converse/cmi.h"
+#include "converse/cmm.h"
+#include "converse/collectives.h"
+#include "converse/csd.h"
+#include "converse/cth.h"
+#include "converse/cts.h"
+#include "converse/emi.h"
+#include "converse/gptr.h"
+#include "converse/handlers.h"
+#include "converse/machine.h"
+#include "converse/msg.h"
+#include "converse/netmodel.h"
+#include "converse/pgrp.h"
+#include "converse/queueing.h"
+#include "converse/trace.h"

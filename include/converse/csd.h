@@ -1,0 +1,59 @@
+// The unified scheduler (paper §3.1.2, appendix §2).
+//
+// One loop serves every concurrent entity on a PE: it first delivers all
+// messages available from the machine layer, then dequeues one generalized
+// message from the prioritized scheduler queue and delivers it to its
+// handler.  The scheduler is deliberately *exposed* to user code so that
+// explicit-control (SPM) modules can interleave with implicit-control
+// modules: an SPM module calls CsdScheduler(n) to donate cycles while it
+// waits for data.
+#pragma once
+
+#include <cstdint>
+
+#include "converse/msg.h"
+#include "converse/queueing.h"
+
+namespace converse {
+
+/// Run the scheduler loop.
+///  * n == -1: loop until CsdExitScheduler() is called from a handler.
+///  * n >= 0: return after delivering n messages (network or queue), or
+///    earlier if CsdExitScheduler() is called.
+/// Blocks (condvar, no spinning) when there is nothing to do.
+void CsdScheduler(int number_of_messages);
+
+/// Run the scheduler until both the network and the scheduler queue are
+/// empty, without blocking for future arrivals.  Returns the number of
+/// messages delivered (paper's ScheduleUntilIdle).
+int CsdScheduleUntilIdle();
+
+/// Deliver at most `n` immediately-available messages without ever
+/// blocking; returns the number delivered.  (Poll variant, an extension.)
+int CsdSchedulePoll(int n = -1);
+
+/// Make the innermost running CsdScheduler(-1)/CsdScheduler(n) loop on this
+/// PE return once control is back in the loop.
+void CsdExitScheduler();
+
+/// Enqueue a generalized message into this PE's scheduler queue (FIFO).
+/// The queue takes ownership; when the message is later delivered, its
+/// handler owns it and must CmiFree (or re-enqueue) it.
+void CsdEnqueue(void* msg);
+
+/// Strategy/priority variants (paper §2.3's prioritized queueing).
+void CsdEnqueueLifo(void* msg);
+void CsdEnqueueIntPrio(void* msg, std::int32_t prio, bool lifo = false);
+void CsdEnqueueBitvecPrio(void* msg, const std::uint32_t* prio_words,
+                          int nbits, bool lifo = false);
+/// General form mirroring CqsEnqueueGeneral.
+void CsdEnqueueGeneral(void* msg, Queueing strategy, const CqsPrio& prio);
+
+/// Number of messages currently in this PE's scheduler queue.
+std::size_t CsdLength();
+
+/// True when both the scheduler queue and the deliverable part of the
+/// network queue are empty on this PE.
+bool CsdIsIdle();
+
+}  // namespace converse

@@ -1,0 +1,113 @@
+// Thread objects (paper §3.2.2, appendix §5).
+//
+// The thread object encapsulates exactly one capability — suspending and
+// resuming a thread of control (stack + program counter) — and deliberately
+// nothing else: scheduling is pluggable per thread via CthSetStrategy, so
+// each language runtime can control the order in which *its* threads run
+// without a monolithic thread package getting in the way.
+//
+// Default strategy: CthAwaken enqueues a generalized "resume this thread"
+// message into the Converse scheduler queue (a ready thread *is* a message,
+// §3.1.1), and CthSuspend transfers control back to the PE's scheduler
+// context, which will deliver that message in due course.  This is what
+// unifies threads and message-driven objects under one scheduler.
+//
+// All Cth objects are PE-local: a thread is created, runs, and dies on one
+// PE, and may only be named by code on that PE.  (Cross-PE interactions go
+// through messages, as everywhere in Converse.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace converse {
+
+struct CthThread;  // opaque
+
+/// Which context-switch implementation a PE uses.
+enum class CthBackend {
+  kAsm,       // hand-written x86-64 switch (no sigprocmask syscall)
+  kUcontext,  // portable swapcontext
+};
+
+/// Default backend for the build (kAsm where available, else kUcontext).
+CthBackend CthDefaultBackend();
+bool CthBackendAvailable(CthBackend backend);
+
+/// Select the backend for threads subsequently created on this PE.  Must be
+/// called before any thread is created on the PE (asserts otherwise).
+/// Optional — the paper's CthInit(); the module self-initializes.
+void CthInit(CthBackend backend);
+
+/// Create a suspended thread that will run `fn` when first resumed or
+/// awakened.  The default stack size comes from MachineConfig.
+CthThread* CthCreate(std::function<void()> fn);
+CthThread* CthCreateOfSize(std::function<void()> fn, std::size_t stack_bytes);
+/// Paper-style signature.
+CthThread* CthCreate(void (*fn)(void*), void* arg);
+
+/// Immediate context switch to `thr`; the caller continues only when some
+/// other thread (or the scheduler) resumes it.
+void CthResume(CthThread* thr);
+
+/// Suspend the current thread, transferring control according to the
+/// current thread's suspend strategy (default: back to the scheduler).
+/// Must not be called from the scheduler context itself.
+void CthSuspend();
+
+/// Add `thr` to the ready pool according to its awaken strategy (default:
+/// enqueue a resume message in the scheduler queue, FIFO).
+void CthAwaken(CthThread* thr);
+
+/// Awaken with a scheduler priority (extension: prioritized thread
+/// scheduling, paper §2.3).
+void CthAwakenPrio(CthThread* thr, std::int32_t prio);
+
+/// CthAwaken(self) then CthSuspend().
+void CthYield();
+
+/// Terminate the current thread; control transfers per its suspend
+/// strategy.  Never returns.  A thread whose entry function returns exits
+/// implicitly.
+[[noreturn]] void CthExit();
+
+/// The currently executing thread, or the PE's main (scheduler) thread
+/// object when no user thread is running.
+CthThread* CthSelf();
+
+/// True if `thr` is the PE's main/scheduler context.
+bool CthIsMain(CthThread* thr);
+
+/// Override how `thr` is awakened and how it chooses a successor when it
+/// suspends (paper's CthSetStrategy).  `awaken_fn(thr)` must store the
+/// thread where the suspend side can find it; `suspend_fn()` must transfer
+/// control to some ready thread via CthResume.  Pass nullptr to restore the
+/// default for either.
+void CthSetStrategy(CthThread* thr, std::function<void()> suspend_fn,
+                    std::function<void(CthThread*)> awaken_fn);
+
+/// Destroy a suspended, never-to-run-again thread that is not the caller.
+void CthFree(CthThread* thr);
+
+/// Per-thread user data slot (language runtimes hang their state here).
+void CthSetData(CthThread* thr, void* data);
+void* CthGetData(CthThread* thr);
+
+/// Diagnostics.
+int CthLiveThreads();             // user threads alive on this PE
+std::uint64_t CthSwitchCount();   // context switches performed on this PE
+
+}  // namespace converse
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int CthModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int cth_module_anchor = converse::detail::CthModuleRegister();
+}  // namespace

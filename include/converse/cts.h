@@ -1,0 +1,68 @@
+// Synchronization mechanisms for thread objects (paper §3.2.3, appendix §6).
+//
+// Locks, condition variables and barriers over Cth threads.  All objects
+// are PE-local and cooperative: threads of one PE interleave under the
+// scheduler, so no atomic operations are needed — blocking means "suspend
+// this thread and record it in the object's wait queue"; releasing means
+// "CthAwaken the next waiter".
+//
+// Return conventions follow the appendix: 0 on success, -1 on misuse
+// (e.g. unlocking a lock one does not own).
+#pragma once
+
+#include <cstddef>
+
+namespace converse {
+
+struct CthThread;
+
+struct LOCK;
+struct CONDN;
+struct BARRIER;
+
+// ---- Locks (appendix §6.1) -------------------------------------------------
+
+/// Allocate and initialize a new lock.
+LOCK* CtsNewLock();
+/// (Re)initialize a lock allocated elsewhere. Must not have waiters.
+void CtsLockInit(LOCK* lock);
+/// Nonblocking attempt: returns 1 and takes ownership if free, else 0.
+int CtsTryLock(LOCK* lock);
+/// Block (suspend) until the lock is owned by the calling thread.
+int CtsLock(LOCK* lock);
+/// Release; ownership passes to the first queued waiter, which is awakened.
+/// Returns -1 if the caller is not the owner.
+int CtsUnLock(LOCK* lock);
+/// Destroy a lock (must be unowned with no waiters).
+void CtsFreeLock(LOCK* lock);
+
+/// Diagnostics: current owner (nullptr if free) and queue length.
+CthThread* CtsLockOwner(const LOCK* lock);
+std::size_t CtsLockWaiters(const LOCK* lock);
+
+// ---- Condition variables (appendix §6.2) -----------------------------------
+
+CONDN* CtsNewCondn();
+/// (Re)initialize; awakens all threads currently waiting (per appendix).
+int CtsCondnInit(CONDN* condn);
+/// Suspend the calling thread until signalled/broadcast.
+int CtsCondnWait(CONDN* condn);
+/// Release one waiting thread (FIFO). Returns number released (0 or 1).
+int CtsCondnSignal(CONDN* condn);
+/// Release all waiting threads. Returns the number released.
+int CtsCondnBroadcast(CONDN* condn);
+void CtsFreeCondn(CONDN* condn);
+std::size_t CtsCondnWaiters(const CONDN* condn);
+
+// ---- Barriers (appendix §6.3) ----------------------------------------------
+
+/// "A barrier is a condition variable whose kth wait is a broadcast."
+BARRIER* CtsNewBarrier();
+/// Free any threads waiting, then await the arrival of `num` threads.
+int CtsBarrierReinit(BARRIER* bar, int num);
+/// Block until `num` threads (set by Reinit) have arrived; the last
+/// arrival releases everyone and resets the barrier for reuse.
+int CtsAtBarrier(BARRIER* bar);
+void CtsFreeBarrier(BARRIER* bar);
+
+}  // namespace converse

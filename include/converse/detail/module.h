@@ -1,0 +1,52 @@
+// Per-PE module registry — the mechanism behind Converse's component-based,
+// pay-for-what-you-use architecture (paper §3: "each language or paradigm
+// should incur only the cost for the features it uses").
+//
+// A runtime component (threads, collectives, a language runtime, ...)
+// registers itself once per process via RegisterModule(); the machine layer
+// then runs the component's init hook on every PE *before* user code starts,
+// in a fixed process-wide order, so any handler indices the component
+// registers agree across PEs.  Components that are never linked in (static
+// archive member never referenced) are never registered and cost nothing.
+//
+// Typical usage inside a component's .cpp:
+//
+//   namespace {
+//   struct FooState { int handler; ... };
+//   int ModuleId() {
+//     static const int id = converse::detail::RegisterModule(
+//         "foo", [] { converse::detail::SetModuleState(IdRef(), new ...); },
+//         [](void* s) { delete static_cast<FooState*>(s); });
+//     return id;
+//   }
+//   FooState& State() { return *static_cast<FooState*>(
+//       converse::detail::ModuleState(ModuleId())); }
+//   }
+#pragma once
+
+#include <functional>
+
+namespace converse::detail {
+
+/// Registers a component. `pe_init` runs on each PE thread during machine
+/// start (current PE valid, handlers registrable); it must store the
+/// component's per-PE state via SetModuleState(id, ptr). `pe_fini` runs at
+/// machine teardown with that pointer.  Returns the module id.
+///
+/// Thread-compatible: must be called before any machine is running (static
+/// initialization or first-use from a single thread).
+int RegisterModule(const char* name, std::function<void(int module_id)> pe_init,
+                   std::function<void(void* state)> pe_fini);
+
+/// Per-current-PE state slot for the module.
+void* ModuleState(int module_id);
+void SetModuleState(int module_id, void* state);
+
+/// Number of registered modules (diagnostics).
+int NumModules();
+
+/// Called by the machine layer on each PE thread during init/teardown.
+void RunPeInitHooks();
+void RunPeFiniHooks();
+
+}  // namespace converse::detail

@@ -1,0 +1,45 @@
+// EMI scatter support — "advance receive" calls (paper §3.1.3, EMI).
+//
+// A scatter registration describes how to recognize an incoming message (an
+// offset/value pair tested against the payload) and where to deposit parts
+// of its payload.  Registrations are expected (but not required) to be made
+// before the message arrives; if a matching message is already queued it is
+// scattered immediately.  Two variants exist, selected by `notify_handler`:
+// with a handler, a short empty notification message is enqueued after the
+// scatter so the recipient learns the data has arrived.
+//
+// (The gather side of the EMI is CmiVectorSend, declared in cmi.h.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace converse {
+
+struct ScatterPart {
+  std::size_t payload_offset;  // where in the incoming payload to read
+  std::size_t length;          // bytes to copy
+  void* destination;           // user memory to copy into
+};
+
+/// Register an advance receive on the current PE.  An incoming message
+/// matches when the 32-bit word at `match_offset` bytes into its *payload*
+/// equals `match_value`.  On match the listed parts are copied out, the
+/// message is consumed (its normal handler is NOT invoked), and, if
+/// `notify_handler >= 0`, a notification message whose payload is the
+/// matched value is enqueued for that handler.
+///
+/// Returns a registration id.  One-shot by default; a persistent
+/// registration keeps matching until cancelled.
+int CmiScatterRegister(std::size_t match_offset, std::uint32_t match_value,
+                       std::vector<ScatterPart> parts, int notify_handler = -1,
+                       bool persistent = false);
+
+/// Cancel a registration (no-op if it already fired as a one-shot).
+void CmiScatterCancel(int registration_id);
+
+/// Number of live scatter registrations on this PE (diagnostics).
+int CmiScatterCount();
+
+}  // namespace converse

@@ -1,0 +1,70 @@
+// Futures — single-assignment remote values (the Cfuture facility of the
+// Converse lineage; the paper's §6 roadmap of richer coordination
+// primitives built from the same components).
+//
+// A future is created on one PE; any PE that learns its handle may set it
+// exactly once; the owner waits for the value.  Waiting follows the dual
+// control regime: a Cth thread suspends (the scheduler keeps the PE
+// busy), the main context receives only future traffic (SPM purity).
+//
+// Built entirely on public Converse facilities: one handler, the thread
+// object, CmiGetSpecificMsg.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace converse {
+
+struct Cfuture {
+  std::int32_t pe = -1;
+  std::uint32_t idx = 0;
+  bool IsValid() const { return pe >= 0; }
+};
+
+/// Create an empty future owned by the calling PE.
+Cfuture CfutureCreate();
+
+/// Fulfill `f` with `len` bytes (callable from any PE, exactly once).
+void CfutureSet(Cfuture f, const void* data, std::size_t len);
+
+/// True once the value has arrived (owner only).
+bool CfutureReady(Cfuture f);
+
+/// Wait for and return the value (owner only).  Destroys nothing: the
+/// value stays readable until CfutureDestroy.
+const std::vector<char>& CfutureWait(Cfuture f);
+
+/// Release the future's storage (owner only).
+void CfutureDestroy(Cfuture f);
+
+/// Typed convenience.
+template <typename T>
+void CfutureSetValue(Cfuture f, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CfutureSet(f, &value, sizeof(T));
+}
+template <typename T>
+T CfutureWaitValue(Cfuture f) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto& bytes = CfutureWait(f);
+  T out;
+  std::memcpy(&out, bytes.data(), sizeof(T));
+  return out;
+}
+
+/// Number of live futures on this PE (diagnostics).
+int CfutureLiveCount();
+
+}  // namespace converse
+
+// -- module registration anchor ------------------------------------------------
+namespace converse::detail {
+int FuturesModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int futures_module_anchor =
+    converse::detail::FuturesModuleRegister();
+}  // namespace

@@ -1,0 +1,64 @@
+// Global pointers and one-sided get/put (paper EMI, appendix §3.4).
+//
+// A global pointer is an opaque handle naming a region of memory on a
+// particular PE.  Get/put operations are implemented with request/reply
+// messages through the machine layer (as they are on machines without
+// remote DMA), so they exercise the same code paths a distributed machine
+// would.  Synchronous variants wait by receiving only gptr traffic
+// (CmiGetSpecificMsg), preserving SPM "no side effects while blocked"
+// semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "converse/cmi.h"
+
+namespace converse {
+
+struct GlobalPtr {
+  std::int32_t pe = -1;
+  std::uint32_t size = 0;    // size of the registered region
+  std::uint64_t addr = 0;    // address on the owning PE
+};
+
+/// Initialize *gptr to describe `size` bytes at `lptr` on the calling PE.
+/// Returns a positive value on success.
+int CmiGptrCreate(GlobalPtr* gptr, void* lptr, unsigned int size);
+
+/// Local address behind a global pointer; only valid on the owning PE.
+void* CmiGptrDref(GlobalPtr* gptr);
+
+/// Blocking remote read: copy `size` bytes from *gptr into local `lptr`.
+/// Returns a positive value on success.
+int CmiSyncGet(const GlobalPtr* gptr, void* lptr, unsigned int size);
+
+/// Blocking remote write: copy `size` bytes from local `lptr` to *gptr.
+int CmiSyncPut(const GlobalPtr* gptr, const void* lptr, unsigned int size);
+
+/// Asynchronous remote read; completion via CmiAsyncMsgSent(handle).
+/// `lptr` must stay valid until completion.
+CommHandle CmiGet(const GlobalPtr* gptr, void* lptr, unsigned int size);
+
+/// Asynchronous remote write; `lptr` may be reused immediately (the data
+/// is copied into the request message).
+CommHandle CmiPut(const GlobalPtr* gptr, const void* lptr,
+                  unsigned int size);
+
+/// Wait (receiving only gptr traffic) until `handle` completes, then
+/// release it.
+void CmiWaitHandle(CommHandle handle);
+
+}  // namespace converse
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int GptrModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int gptr_module_anchor = converse::detail::GptrModuleRegister();
+}  // namespace

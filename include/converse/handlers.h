@@ -1,0 +1,49 @@
+// Handler registration (paper §3.1.1, appendix §3.1).
+//
+// Any function used to handle messages must first be registered with the
+// scheduler; registration returns a small integer index stored in the
+// message header.  Indices must agree across PEs, which Converse guarantees
+// by contract: user code registers handlers in the same order on every PE
+// (the entry function runs identically on all PEs), and runtime modules
+// register theirs through the per-PE init-hook mechanism which runs in a
+// fixed process-wide order.
+#pragma once
+
+#include <functional>
+
+namespace converse {
+
+/// A message handler.  The original C API uses `void (*)(void*)`; we accept
+/// any callable so tests and language runtimes can register capturing
+/// lambdas.  Handlers run on the PE that owns the message.
+using Handler = std::function<void(void* msg)>;
+
+/// Raw function-pointer form, kept for API fidelity with the paper.
+using HANDLER = void (*)(void* msg);
+
+/// Register `fn` with the current PE's handler table; returns the handler
+/// index to be stored into messages via CmiSetHandler.
+int CmiRegisterHandler(Handler fn);
+
+/// Set the handler field of a message.
+void CmiSetHandler(void* msg, int handler_id);
+
+/// Handler index currently stored in the message.
+int CmiGetHandler(const void* msg);
+
+/// Look up the handler function for a message on the current PE (paper's
+/// CmiGetHandlerFunction).  The reference remains valid until machine exit.
+const Handler& CmiGetHandlerFunction(const void* msg);
+
+/// Number of handlers registered on the current PE.
+int CmiNumHandlers();
+
+namespace detail {
+/// Invoke the handler of `msg` under the machine-owned buffer protocol:
+/// if `system_owned` is true and the handler does not CmiGrabBuffer, the
+/// buffer is freed when the handler returns.  If false, the handler owns
+/// the message (scheduler-queue deliveries) and must free it.
+void DispatchMessage(void* msg, bool system_owned);
+}  // namespace detail
+
+}  // namespace converse

@@ -1,0 +1,224 @@
+// charm — a Charm-style message-driven concurrent object runtime on
+// Converse (paper §1: "The Charm runtime system itself has been retargeted
+// for Converse"; §2.1 "message-driven objects"; §3.3 language runtimes).
+//
+// Chares are objects created dynamically anywhere in the machine (seed
+// load balancing decides placement for anonymous creations, §3.3.1);
+// methods are invoked asynchronously by messages.  Every chare message
+// goes through the scheduler queue — this is the per-message scheduling
+// cost that the paper's Figure 6 isolates and that only queue-using
+// languages pay — using exactly the "second handler" idiom of §3.3: the
+// network handler grabs the buffer, retargets it to a queued handler, and
+// enqueues (optionally with a priority).
+//
+// Also provided, because Charm programs need them: branch-office (group)
+// chares with one branch per PE, broadcast to groups, read-only data, and
+// quiescence detection over the machine spanning tree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace converse::charm {
+
+struct ChareId {
+  std::int32_t pe = -1;
+  std::uint32_t idx = 0;
+  bool IsValid() const { return pe >= 0; }
+  friend bool operator==(const ChareId&, const ChareId&) = default;
+};
+
+/// Base class for all chares.
+class Chare {
+ public:
+  virtual ~Chare() = default;
+  /// This chare's global id (valid from construction onward).
+  ChareId thisChare() const { return id_; }
+
+ private:
+  friend struct ChareRuntimeAccess;
+  ChareId id_;
+};
+
+/// Constructs a chare from its creation argument bytes.
+using ChareFactory = std::function<Chare*(const void* arg, std::size_t len)>;
+/// An entry method: invoked with the message payload.
+using EntryFn = std::function<void(Chare*, const void* data, std::size_t len)>;
+
+/// Register a chare type / an entry method.  Same cross-PE ordering
+/// contract as handlers (register in the entry function on every PE).
+int RegisterChare(const char* name, ChareFactory factory);
+int RegisterEntry(EntryFn fn);
+
+/// Typed helpers: T must be constructible from (const void*, std::size_t).
+template <typename T>
+int RegisterChareType(const char* name) {
+  return RegisterChare(name, [](const void* a, std::size_t l) -> Chare* {
+    return new T(a, l);
+  });
+}
+template <typename T>
+int RegisterEntryMethod(void (T::*mf)(const void*, std::size_t)) {
+  return RegisterEntry([mf](Chare* c, const void* d, std::size_t l) {
+    (static_cast<T*>(c)->*mf)(d, l);
+  });
+}
+
+/// Create a chare of `chare_type` with argument bytes.  kAnyPe lets the
+/// seed load balancer place it ("the seeds ... float around the system
+/// until they take root", §3.3.1); otherwise it is created on `on_pe`.
+/// Fire-and-forget: the new chare learns its creator from the argument.
+inline constexpr int kAnyPe = -1;
+void CreateChare(int chare_type, const void* arg, std::size_t len,
+                 int on_pe = kAnyPe);
+
+/// Asynchronously invoke entry `entry` on `target` with the given payload.
+void SendToChare(ChareId target, int entry, const void* data,
+                 std::size_t len);
+
+/// Prioritized invocation (integer priority, smaller first — §2.3).
+void SendToCharePrio(ChareId target, int entry, const void* data,
+                     std::size_t len, std::int32_t prio);
+
+/// Bit-vector-prioritized invocation (for search codes, §2.3).
+void SendToChareBitvecPrio(ChareId target, int entry, const void* data,
+                           std::size_t len, const std::uint32_t* prio_words,
+                           int nbits);
+
+/// Destroy a chare (asynchronously; subsequent sends to it are an error).
+void DestroyChare(ChareId target);
+
+/// Id of the chare whose entry method is currently running (invalid id if
+/// none).
+ChareId CkMyChareId();
+
+// ---- Branch-office (group) chares -------------------------------------------
+
+/// Create a group: one branch of `chare_type` per PE.  Returns the group
+/// id immediately; construction is asynchronous, and messages to
+/// not-yet-constructed branches are buffered.
+int CreateGroup(int chare_type, const void* arg, std::size_t len);
+
+/// Invoke `entry` on the branch of `gid` on `pe`.
+void SendToBranch(int gid, int pe, int entry, const void* data,
+                  std::size_t len);
+
+/// Invoke `entry` on every branch of `gid` (including the local one).
+void BroadcastToGroup(int gid, int entry, const void* data, std::size_t len);
+
+/// The local branch, or nullptr if not yet constructed.
+Chare* LocalBranch(int gid);
+
+// ---- Read-only data -----------------------------------------------------------
+
+/// Broadcast a read-only blob under `key` to all PEs (call once, from one
+/// PE, before dependents run — typically from PE 0 at startup).
+void ReadonlySet(int key, const void* data, std::size_t len);
+
+/// Local copy of the blob (empty if not yet arrived).
+const std::vector<char>& ReadonlyGet(int key);
+
+// ---- Quiescence detection ------------------------------------------------------
+
+/// Invoke `cb` on the calling PE once no charm messages are in flight or
+/// being created anywhere (two-wave stable-count detection over the
+/// machine spanning tree).
+void StartQuiescence(std::function<void()> cb);
+
+// ---- Diagnostics ---------------------------------------------------------------
+
+std::uint64_t CharmMsgsCreated();    // this PE
+std::uint64_t CharmMsgsProcessed();  // this PE
+int CharmLocalChares();              // live chares on this PE
+
+}  // namespace converse::charm
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int CharmModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int charm_module_anchor = converse::detail::CharmModuleRegister();
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Chare arrays — the collection abstraction of the Charm lineage: N
+// elements indexed 0..n-1, placed round-robin across PEs, each an object
+// with entry methods, plus array-wide broadcast and reduction.  Built on
+// the same machinery as chares and groups (and counted by quiescence
+// detection).  Element factories receive (index, arg, len).
+// ---------------------------------------------------------------------------
+
+namespace converse::charm {
+
+/// Base class for array elements.
+class ArrayElement : public Chare {
+ public:
+  int ArrayId() const { return array_id_; }
+  int Index() const { return index_; }
+
+ private:
+  friend struct ArrayRuntimeAccess;
+  int array_id_ = -1;
+  int index_ = -1;
+  std::uint64_t reduction_round_ = 0;  // rounds this element contributed to
+};
+
+/// Constructs one element: (element index, creation arg bytes).
+using ArrayFactory =
+    std::function<ArrayElement*(int index, const void* arg, std::size_t len)>;
+
+/// Register an array element type (same cross-PE ordering contract).
+int RegisterArrayType(const char* name, ArrayFactory factory);
+
+/// Typed helper: T must be constructible from (int, const void*, size_t).
+template <typename T>
+int RegisterArrayElementType(const char* name) {
+  return RegisterArrayType(
+      name, [](int idx, const void* a, std::size_t l) -> ArrayElement* {
+        return new T(idx, a, l);
+      });
+}
+
+/// Collectively create an array of `nelems` elements of `array_type`
+/// (placed index % npes).  Callable from one PE; returns the array id
+/// immediately, construction is asynchronous (messages are buffered).
+int CreateArray(int array_type, int nelems, const void* arg,
+                std::size_t len);
+
+/// Invoke `entry` (a RegisterEntry id) on element `idx` of array `aid`.
+void SendToElement(int aid, int idx, int entry, const void* data,
+                   std::size_t len);
+
+/// Invoke `entry` on every element of the array.
+void BroadcastToArray(int aid, int entry, const void* data, std::size_t len);
+
+/// Contribute `size` bytes on behalf of `elem` to its array's reduction
+/// (each element exactly once per round; rounds are tracked per element,
+/// so an element may contribute to round k+1 before its siblings finish
+/// round k).  When every element has contributed to a round, the combined
+/// result is delivered as a message payload to `client_handler` (a
+/// CmiRegisterHandler id) on PE 0.  `reducer` is a CmiRegisterReducer /
+/// built-in reducer id.
+void ArrayContribute(ArrayElement* elem, const void* data, std::size_t size,
+                     int reducer, int client_handler);
+
+/// Local elements of `aid` on this PE (diagnostics).
+int ArrayLocalElements(int aid);
+
+}  // namespace converse::charm
+
+// -- chare-array module registration anchor -------------------------------------
+namespace converse::detail {
+int CharmArrayModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int charm_array_module_anchor =
+    converse::detail::CharmArrayModuleRegister();
+}  // namespace

@@ -1,0 +1,58 @@
+// cnx — an NX-style (Intel iPSC/Paragon "NXLib") messaging runtime on
+// Converse (paper §1: "Our initial implementation includes ... NXLib";
+// supported in SPMD and multithreaded modes).
+//
+// The NX flavor differs from PVM's: typed untagged-buffer sends
+// (csend/crecv with a message "type" selector), posted asynchronous
+// receives (irecv + msgwait/msgdone), and info*() accessors describing the
+// last completed receive.
+#pragma once
+
+#include <cstddef>
+
+namespace converse::nx {
+
+/// Matches any message type in crecv/irecv/iprobe.
+inline constexpr long kAnyType = -1;
+
+int mynode();
+int numnodes();
+
+/// Synchronous typed send of `len` bytes to `node`.
+void csend(long type, const void* buf, std::size_t len, int node);
+
+/// Blocking typed receive into buf (at most `len` bytes).  SPM semantics
+/// from the main context, thread-blocking from a Cth thread.  Updates the
+/// info*() values.
+void crecv(long typesel, void* buf, std::size_t len);
+
+/// Post an asynchronous receive; returns a message id.
+long irecv(long typesel, void* buf, std::size_t len);
+
+/// Nonblocking completion test for a posted receive.
+int msgdone(long mid);
+
+/// Block until the posted receive completes (SPM-style wait).
+void msgwait(long mid);
+
+/// Nonblocking probe: 1 if a message matching typesel is buffered.
+int iprobe(long typesel);
+
+/// Properties of the last completed (crecv/msgwait-ed) receive.
+long infocount();  // bytes
+long infotype();
+long infonode();
+
+}  // namespace converse::nx
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int NxModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int nx_module_anchor = converse::detail::NxModuleRegister();
+}  // namespace

@@ -1,0 +1,87 @@
+// cpvm — a PVM-style message-passing runtime on Converse (paper §1: "Our
+// initial implementation includes ... PVM", §5: "Prototype implementations
+// of PVM, NXLib, and SM ... are complete"; supported "both in SPMD as well
+// as multithreaded mode").
+//
+// One task per PE: tids are PE numbers.  The classic PVM 3 calling
+// sequence is preserved — pvm_initsend / pvm_pk* / pvm_send on the sender,
+// pvm_recv / pvm_upk* on the receiver — including typed pack buffers that
+// detect unpack-type mismatches (reported by throwing PvmError rather than
+// PVM's errno scheme).
+//
+// Control regime is chosen per call site exactly as in the SM layer:
+// pvm_recv called from the PE main context blocks SPM-style (only cpvm
+// traffic is received); called from a Cth thread it suspends just that
+// thread, giving the multithreaded mode.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace converse::pvm {
+
+inline constexpr int PvmAnyTid = -1;
+inline constexpr int PvmAnyTag = -1;
+
+class PvmError : public std::runtime_error {
+ public:
+  explicit PvmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Task id of the caller (== PE number).
+int pvm_mytid();
+/// Number of tasks (== number of PEs).
+int pvm_ntasks();
+
+// ---- Send side ----------------------------------------------------------------
+
+/// Clear the send buffer; returns its buffer id (always 1 here).
+int pvm_initsend();
+
+int pvm_pkint(const int* data, int n, int stride = 1);
+int pvm_pklong(const long* data, int n, int stride = 1);
+int pvm_pkfloat(const float* data, int n, int stride = 1);
+int pvm_pkdouble(const double* data, int n, int stride = 1);
+int pvm_pkbyte(const char* data, int n, int stride = 1);
+int pvm_pkstr(const char* s);
+
+/// Send the current send buffer to task `tid` with `tag`.
+int pvm_send(int tid, int tag);
+/// Send to a list of tasks.
+int pvm_mcast(const int* tids, int n, int tag);
+/// Send to every task including the caller (extension).
+int pvm_bcast_all(int tag);
+
+// ---- Receive side ---------------------------------------------------------------
+
+/// Blocking receive matching (tid, tag); wildcards PvmAnyTid / PvmAnyTag.
+/// Makes the matched message the active receive buffer; returns its id.
+int pvm_recv(int tid, int tag);
+/// Nonblocking: like pvm_recv but returns 0 when no match is buffered.
+int pvm_nrecv(int tid, int tag);
+/// Nonblocking probe: positive if a match is buffered, else 0.
+int pvm_probe(int tid, int tag);
+/// Length/tag/source of the active receive buffer.
+int pvm_bufinfo(int bufid, int* bytes, int* tag, int* tid);
+
+int pvm_upkint(int* data, int n, int stride = 1);
+int pvm_upklong(long* data, int n, int stride = 1);
+int pvm_upkfloat(float* data, int n, int stride = 1);
+int pvm_upkdouble(double* data, int n, int stride = 1);
+int pvm_upkbyte(char* data, int n, int stride = 1);
+int pvm_upkstr(char* s);  // buffer must be large enough (PVM semantics)
+
+}  // namespace converse::pvm
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int PvmModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int pvm_module_anchor = converse::detail::PvmModuleRegister();
+}  // namespace

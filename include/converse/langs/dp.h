@@ -1,0 +1,282 @@
+// dp — a small data-parallel language runtime on Converse (paper §1 lists
+// "DP-Charm (a data parallel language)" among the initial clients).
+//
+// Provides block-distributed 1-D arrays with elementwise operations, halo
+// (shift) exchange, global reductions, and gather-to-root — the substrate
+// a data-parallel notation compiles to.  The communication is loosely
+// synchronous SPMD (explicit control regime, §2.2): every PE calls each
+// collective array operation in the same order.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "converse/collectives.h"
+
+namespace converse::dp {
+
+/// Block distribution of n elements over npes PEs: the first `n % npes`
+/// PEs get one extra element.
+class Distribution1D {
+ public:
+  Distribution1D(std::size_t n, int npes, int pe);
+
+  std::size_t global_size() const { return n_; }
+  std::size_t local_size() const { return end_ - begin_; }
+  std::size_t begin() const { return begin_; }  // first global index here
+  std::size_t end() const { return end_; }      // one past last
+
+  /// PE owning global index i.
+  int Owner(std::size_t i) const;
+
+ private:
+  std::size_t n_;
+  int npes_;
+  std::size_t begin_;
+  std::size_t end_;
+};
+
+namespace detail {
+/// Blocking halo exchange along the PE line: sends this PE's first/last
+/// element to its left/right neighbor and receives the neighbors' boundary
+/// elements.  Non-periodic: ghosts at the ends are left untouched.
+/// All PEs with a nonempty block must call this collectively.
+void HaloExchange(const void* first_elem, const void* last_elem,
+                  void* left_ghost, void* right_ghost, std::size_t elem_size,
+                  bool has_left, bool has_right);
+
+/// Gather variable-size blocks to PE 0 (others pass their block; PE 0
+/// receives all blocks in PE order into `out`).  Returns true on PE 0.
+bool GatherToRoot(const void* local, std::size_t local_bytes,
+                  std::vector<char>* out);
+}  // namespace detail
+
+/// A block-distributed array of trivially copyable T.  Construction and
+/// every method marked [collective] must be executed on all PEs.
+template <typename T>
+class Array1D {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// [collective] Create with `n` global elements, value-initialized.
+  Array1D(std::size_t n, int npes, int pe)
+      : dist_(n, npes, pe), data_(dist_.local_size()) {}
+
+  const Distribution1D& dist() const { return dist_; }
+  std::size_t global_size() const { return dist_.global_size(); }
+  std::size_t local_size() const { return dist_.local_size(); }
+
+  /// Local element by *global* index (must be owned here).
+  T& operator[](std::size_t global_i) {
+    assert(global_i >= dist_.begin() && global_i < dist_.end());
+    return data_[global_i - dist_.begin()];
+  }
+  const T& operator[](std::size_t global_i) const {
+    assert(global_i >= dist_.begin() && global_i < dist_.end());
+    return data_[global_i - dist_.begin()];
+  }
+
+  T* local_data() { return data_.data(); }
+  const T* local_data() const { return data_.data(); }
+
+  /// Apply fn(global_index, element) to every local element.
+  void ForEach(const std::function<void(std::size_t, T&)>& fn) {
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      fn(dist_.begin() + i, data_[i]);
+    }
+  }
+
+  /// [collective] Global reduction of fn(global_i, element) contributions,
+  /// summed with the given built-in reducer over doubles.
+  double ReduceSum(const std::function<double(std::size_t, const T&)>& fn) {
+    double acc = 0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      acc += fn(dist_.begin() + i, data_[i]);
+    }
+    return CmiAllReduceF64(acc, CmiReducerSumF64());
+  }
+
+  /// [collective] Exchange boundary elements with PE-line neighbors.
+  /// After the call, left_ghost()/right_ghost() hold the neighboring
+  /// elements (unchanged at the array ends).
+  void ExchangeHalo() {
+    if (global_size() == 0) return;
+    // The neighbor protocol requires every PE to hold at least one
+    // element (n >= npes); an empty block would break its neighbors'
+    // receives.
+    assert(!data_.empty() && "ExchangeHalo requires n >= npes");
+    const bool has_left = dist_.begin() > 0;
+    const bool has_right = dist_.end() < dist_.global_size();
+    const T* first = data_.empty() ? nullptr : &data_.front();
+    const T* last = data_.empty() ? nullptr : &data_.back();
+    detail::HaloExchange(first, last, &left_ghost_, &right_ghost_,
+                         sizeof(T), has_left, has_right);
+  }
+
+  const T& left_ghost() const { return left_ghost_; }
+  const T& right_ghost() const { return right_ghost_; }
+
+  /// [collective] Gather the whole array on PE 0; returns the full array
+  /// there (empty elsewhere).
+  std::vector<T> Gather() {
+    std::vector<char> bytes;
+    const bool root = detail::GatherToRoot(
+        data_.data(), data_.size() * sizeof(T), &bytes);
+    std::vector<T> out;
+    if (root) {
+      out.resize(bytes.size() / sizeof(T));
+      std::memcpy(out.data(), bytes.data(), bytes.size());
+    }
+    return out;
+  }
+
+ private:
+  Distribution1D dist_;
+  std::vector<T> data_;
+  T left_ghost_{};
+  T right_ghost_{};
+};
+
+}  // namespace converse::dp
+
+// ---------------------------------------------------------------------------
+// 2-D block-distributed arrays: the grid decomposition real data-parallel
+// stencil codes use.  PEs form a Px × Py process grid (chosen as close to
+// square as the PE count allows); each owns a contiguous tile.  Halo
+// exchange fills one-deep ghost rows/columns from the four neighbors.
+// ---------------------------------------------------------------------------
+
+namespace converse::dp {
+
+/// Near-square factorization of npes into Px*Py (Px >= Py).
+struct ProcessGrid {
+  int px = 1;
+  int py = 1;
+  static ProcessGrid For(int npes);
+};
+
+class Distribution2D {
+ public:
+  /// nx × ny global cells over a npes-PE grid; `pe` is this PE.
+  Distribution2D(std::size_t nx, std::size_t ny, int npes, int pe);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  const ProcessGrid& grid() const { return grid_; }
+  int pe_x() const { return pe_x_; }  // my coordinates in the process grid
+  int pe_y() const { return pe_y_; }
+  std::size_t x_begin() const { return x_begin_; }
+  std::size_t x_end() const { return x_end_; }
+  std::size_t y_begin() const { return y_begin_; }
+  std::size_t y_end() const { return y_end_; }
+  std::size_t local_nx() const { return x_end_ - x_begin_; }
+  std::size_t local_ny() const { return y_end_ - y_begin_; }
+
+  /// PE owning global cell (x, y).
+  int Owner(std::size_t x, std::size_t y) const;
+  /// Neighbor PE in the process grid (-1 at the boundary).
+  int NeighborPe(int dx, int dy) const;
+
+ private:
+  std::size_t nx_, ny_;
+  ProcessGrid grid_;
+  int pe_x_, pe_y_;
+  std::size_t x_begin_, x_end_, y_begin_, y_end_;
+};
+
+namespace detail {
+/// Blocking 4-neighbor halo exchange of one-deep ghost rows/columns.
+/// Buffers are elem_size * count bytes; null neighbor => skipped.
+void HaloExchange2D(const Distribution2D& dist, std::size_t elem_size,
+                    const void* send_left, const void* send_right,
+                    const void* send_down, const void* send_up,
+                    void* recv_left, void* recv_right, void* recv_down,
+                    void* recv_up);
+}  // namespace detail
+
+/// A 2-D block-distributed array of trivially copyable T with one-deep
+/// ghost borders.  All [collective] methods must run on every PE.
+template <typename T>
+class Array2D {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// [collective]
+  Array2D(std::size_t nx, std::size_t ny, int npes, int pe)
+      : dist_(nx, ny, npes, pe),
+        data_(dist_.local_nx() * dist_.local_ny()),
+        ghost_left_(dist_.local_ny()),
+        ghost_right_(dist_.local_ny()),
+        ghost_down_(dist_.local_nx()),
+        ghost_up_(dist_.local_nx()) {}
+
+  const Distribution2D& dist() const { return dist_; }
+
+  /// Local element by *global* coordinates (must be owned here).
+  T& At(std::size_t x, std::size_t y) {
+    assert(x >= dist_.x_begin() && x < dist_.x_end());
+    assert(y >= dist_.y_begin() && y < dist_.y_end());
+    return data_[(y - dist_.y_begin()) * dist_.local_nx() +
+                 (x - dist_.x_begin())];
+  }
+
+  /// Apply fn(x, y, element) to every local element.
+  void ForEach(const std::function<void(std::size_t, std::size_t, T&)>& fn) {
+    for (std::size_t y = dist_.y_begin(); y < dist_.y_end(); ++y) {
+      for (std::size_t x = dist_.x_begin(); x < dist_.x_end(); ++x) {
+        fn(x, y, At(x, y));
+      }
+    }
+  }
+
+  /// Neighbor value of (x, y) in direction (dx, dy) with |dx|+|dy| == 1;
+  /// reads ghosts across tile borders.  Caller guarantees the neighbor
+  /// exists globally.
+  const T& Neighbor(std::size_t x, std::size_t y, int dx, int dy) {
+    const std::size_t nx = x + static_cast<std::size_t>(dx);
+    const std::size_t ny2 = y + static_cast<std::size_t>(dy);
+    if (nx < dist_.x_begin()) return ghost_left_[ny2 - dist_.y_begin()];
+    if (nx >= dist_.x_end()) return ghost_right_[ny2 - dist_.y_begin()];
+    if (ny2 < dist_.y_begin()) return ghost_down_[nx - dist_.x_begin()];
+    if (ny2 >= dist_.y_end()) return ghost_up_[nx - dist_.x_begin()];
+    return At(nx, ny2);
+  }
+
+  /// [collective] Fill the four ghost borders from the neighbors.
+  void ExchangeHalo() {
+    const std::size_t lx = dist_.local_nx();
+    const std::size_t ly = dist_.local_ny();
+    assert(lx > 0 && ly > 0 && "ExchangeHalo requires a nonempty tile");
+    // Column copies (left/right borders are strided).
+    std::vector<T> left_col(ly), right_col(ly);
+    for (std::size_t j = 0; j < ly; ++j) {
+      left_col[j] = data_[j * lx];
+      right_col[j] = data_[j * lx + lx - 1];
+    }
+    detail::HaloExchange2D(
+        dist_, sizeof(T), left_col.data(), right_col.data(),
+        data_.data(),                       // bottom row
+        data_.data() + (ly - 1) * lx,       // top row
+        ghost_left_.data(), ghost_right_.data(), ghost_down_.data(),
+        ghost_up_.data());
+  }
+
+  /// [collective] Global sum of fn(x, y, element).
+  double ReduceSum(
+      const std::function<double(std::size_t, std::size_t, const T&)>& fn) {
+    double acc = 0;
+    ForEach([&](std::size_t x, std::size_t y, T& v) { acc += fn(x, y, v); });
+    return CmiAllReduceF64(acc, CmiReducerSumF64());
+  }
+
+ private:
+  Distribution2D dist_;
+  std::vector<T> data_;
+  std::vector<T> ghost_left_, ghost_right_, ghost_down_, ghost_up_;
+};
+
+}  // namespace converse::dp

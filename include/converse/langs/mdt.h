@@ -1,0 +1,77 @@
+// mdt — the small "coordination language" of paper §4: message-driven
+// threads.
+//
+// "Threads can be dynamically created and can send messages with a single
+// tag to other threads. Individual threads can block for a specific
+// message (with a particular tag) and must be continued when the message
+// is received.  By using the facilities [of] the message manager and
+// thread object, as well as the Converse scheduler, one of us was able to
+// implement this language in about a day's time.  The entire runtime ...
+// consists of about 100 lines of C code."
+//
+// This implementation composes exactly those three components (Cmm, Cth,
+// Csd) — plus the seed balancer for placement of anonymous spawns — and is
+// itself only a couple hundred lines; counting it is one of the paper's
+// qualitative claims (see bench/mdt_language).
+//
+// Thread ids: (pe << 32) | local index, assigned on the PE where the
+// thread takes root.  A spawned thread learns who created it from its
+// argument, so handles flow through messages in the usual message-driven
+// style; MdtSpawnLocal returns the id synchronously for local threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace converse::mdt {
+
+using MdtThreadId = std::uint64_t;
+
+inline constexpr MdtThreadId kNoThread = 0;
+inline int MdtPeOf(MdtThreadId tid) { return static_cast<int>(tid >> 32); }
+
+/// Thread body: receives the spawn argument bytes.
+using MdtFn = std::function<void(const void* arg, std::size_t len)>;
+
+/// Register a thread body; must be registered in the same order on every
+/// PE (same contract as handlers).  Returns the function index used by
+/// MdtSpawn.
+int MdtRegister(MdtFn fn);
+
+/// Spawn a thread running registered function `fn_idx` on `on_pe`
+/// (kAnyPe = let the seed load balancer place it).  Fire-and-forget; the
+/// child can report its MdtSelf() id back via the argument protocol.
+inline constexpr int kAnyPe = -1;
+void MdtSpawn(int fn_idx, const void* arg, std::size_t len,
+              int on_pe = kAnyPe);
+
+/// Spawn locally and return the new thread's id immediately.
+MdtThreadId MdtSpawnLocal(int fn_idx, const void* arg, std::size_t len);
+
+/// Send `len` bytes with `tag` to thread `to`.
+void MdtSend(MdtThreadId to, int tag, const void* data, std::size_t len);
+
+/// Block the calling mdt thread until a message with `tag` arrives for it;
+/// copies at most `maxlen` bytes, returns the full length.
+int MdtRecv(int tag, void* buf, std::size_t maxlen);
+
+/// Id of the calling mdt thread.
+MdtThreadId MdtSelf();
+
+/// Number of live mdt threads on this PE.
+int MdtLiveThreads();
+
+}  // namespace converse::mdt
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int MdtModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int mdt_module_anchor = converse::detail::MdtModuleRegister();
+}  // namespace

@@ -1,0 +1,54 @@
+// SM — the "simple messaging layer" of the paper's initial implementation
+// (§1, §5): tagged sends and receives for SPMD modules.
+//
+// Dual control regime (paper §2):
+//  * Called from the PE's main context, SmRecv blocks SPM-style — it
+//    receives only SM traffic through CmiGetSpecificMsg, buffering nothing
+//    but SM messages, so no other user code runs while it waits.
+//  * Called from a Cth thread, SmRecv suspends the thread and lets the
+//    scheduler run other work — the implicit control regime.  This is the
+//    same source-compatible promotion the paper describes for PVM/NXLib
+//    ("supported both in SPMD as well as multithreaded mode").
+#pragma once
+
+#include <cstddef>
+
+namespace converse::sm {
+
+inline constexpr int kAnyTag = -1;
+inline constexpr int kAnySource = -1;
+
+/// Send `len` bytes to `dest_pe` with `tag`.
+void SmSend(int dest_pe, int tag, const void* data, std::size_t len);
+
+/// Send to every PE (including the caller) with `tag`.
+void SmBroadcastAll(int tag, const void* data, std::size_t len);
+
+/// Blocking receive: waits for a message matching (tag, source), copies at
+/// most `maxlen` bytes into `buf`, and returns the full message length.
+/// Wildcards: kAnyTag / kAnySource.  Actual tag/source are returned via
+/// the optional out-parameters.
+int SmRecv(void* buf, std::size_t maxlen, int tag = kAnyTag,
+           int source = kAnySource, int* rettag = nullptr,
+           int* retsource = nullptr);
+
+/// Nonblocking probe: length of the first matching buffered message, or -1.
+/// (Does not poke the network; pair with CsdSchedulePoll or SmRecv.)
+int SmProbe(int tag = kAnyTag, int source = kAnySource);
+
+/// Number of SM messages buffered and not yet received on this PE.
+std::size_t SmPending();
+
+}  // namespace converse::sm
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int SmModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int sm_module_anchor = converse::detail::SmModuleRegister();
+}  // namespace

@@ -1,0 +1,41 @@
+// tSM — the threaded simple-messaging package (paper §3.2.2): the
+// two-call interface the paper uses to illustrate how a language runtime
+// composes the thread object, the message manager, and the Converse
+// scheduler without exposing any of them to its users.
+//
+//   tSMCreate():  create a new thread and schedule it for execution via
+//                 the Converse scheduler.
+//   tSMReceive(): block the calling thread waiting for a particular
+//                 (tagged) message.
+//
+// Messages are addressed to (PE, tag); any tSM thread on that PE waiting
+// for the tag receives it.  Built entirely on the SM layer's thread-aware
+// receive path — the low-level thread-object calls are not exposed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace converse::tsm {
+
+struct CthThreadHandle;  // intentionally opaque: tSM users never touch Cth
+
+/// Create a thread running `fn` and schedule it (paper's tSMCreate).
+void tSMCreate(std::function<void()> fn);
+
+/// Send `len` bytes to PE `dest_pe` under `tag`.
+void tSMSend(int dest_pe, int tag, const void* data, std::size_t len);
+
+/// Block the calling tSM thread until a message with `tag` arrives; copies
+/// at most `maxlen` bytes and returns the full length (paper's
+/// tSMReceive).  Must be called from a tSM thread.
+int tSMReceive(int tag, void* buf, std::size_t maxlen,
+               int* retsource = nullptr);
+
+/// Nonblocking probe for a buffered message with `tag` (-1 if none).
+int tSMProbe(int tag);
+
+/// Number of tSM threads alive on this PE.
+int tSMLiveThreads();
+
+}  // namespace converse::tsm

@@ -1,0 +1,61 @@
+// The in-process Converse machine (paper §3.1.3 MMI, substituted per
+// DESIGN.md §2): each PE is an OS thread with a private in-queue; the only
+// communication between PEs is through messages.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+
+#include "converse/netmodel.h"
+
+namespace converse {
+
+struct MachineConfig {
+  /// Number of processing elements (threads). May exceed hardware cores;
+  /// all blocking in the runtime is condvar-based, so oversubscription is
+  /// safe (if slow).
+  int npes = 2;
+
+  /// Seed for the per-PE deterministic RNG streams (load balancer, tests).
+  unsigned long long seed = 0x5eedULL;
+
+  /// Optional network latency model; nullptr = zero-latency shared memory.
+  /// When set, a message becomes visible to its receiver only after
+  /// model.OnewayUs(payload) microseconds of wall time.
+  const NetModel* model = nullptr;
+
+  /// Default stack size for thread objects created on this machine.
+  std::size_t default_stack_bytes = 256 * 1024;
+
+  /// Branching factor of the machine spanning tree (broadcast/reduce).
+  int spantree_branching = 4;
+
+  /// Microseconds an idle scheduler busy-polls the network before blocking
+  /// on the condvar.  0 (default) blocks immediately — right for
+  /// oversubscribed hosts; a few µs mimics the spin-waiting of dedicated
+  /// 1990s nodes and shaves wakeup latency when each PE owns a core.
+  double idle_spin_us = 0.0;
+
+  /// Streams used by CmiPrintf / CmiError / CmiScanf. Tests may redirect.
+  std::FILE* out = nullptr;  // nullptr -> stdout
+  std::FILE* err = nullptr;  // nullptr -> stderr
+  std::FILE* in = nullptr;   // nullptr -> stdin
+};
+
+/// Runs a complete Converse machine: spawns `config.npes` PE threads, runs
+/// module init hooks on each (fixed order, so handler indices agree), then
+/// runs `entry(pe, npes)` on every PE.  Returns when every PE's entry has
+/// returned and the machine has been torn down.  This is the in-process
+/// equivalent of `ConverseInit ... ConverseExit`.
+///
+/// Machines are sequential within a process: at most one may run at a time.
+void RunConverse(const MachineConfig& config,
+                 const std::function<void(int pe, int npes)>& entry);
+
+/// Convenience overload with default configuration.
+void RunConverse(int npes, const std::function<void(int pe, int npes)>& entry);
+
+/// True while called from inside a PE thread of a running machine.
+bool CmiInsideMachine();
+
+}  // namespace converse

@@ -1,0 +1,105 @@
+// Generalized messages (paper §3.1.1).
+//
+// A Converse message is an arbitrary block of memory whose first words form
+// a fixed header naming the handler that will consume it (by index into a
+// per-PE handler table, the portable choice the paper recommends over raw
+// function pointers).  A message can represent a network message, a
+// scheduler entry for a ready thread, or a delayed function call — the
+// scheduler treats them all identically.
+//
+// Layout:   [ MsgHeader | payload bytes ... ]
+// The public API addresses a message by the pointer to its header, exactly
+// like the original C API: user code allocates
+// `CmiAlloc(CmiMsgHeaderSizeBytes() + payload_len)` and writes payload bytes
+// after the header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace converse {
+
+/// Queueing strategy tag carried by a message (hint for handlers that
+/// enqueue the message into the scheduler queue). Mirrors CQS_QUEUEING_*.
+enum class Queueing : std::uint8_t {
+  kFifo = 0,
+  kLifo = 1,
+  kIntFifo = 2,   // integer priority, FIFO among equals
+  kIntLifo = 3,   // integer priority, LIFO among equals
+  kBitvecFifo = 4,
+  kBitvecLifo = 5,
+};
+
+namespace detail {
+
+inline constexpr std::uint32_t kMsgMagicAlive = 0xC04E5E11u;
+inline constexpr std::uint32_t kMsgMagicFreed = 0xDEADBEEFu;
+
+struct alignas(16) MsgHeader {
+  std::uint32_t handler;     // index into the PE handler table
+  std::uint32_t total_size;  // header + payload, in bytes
+  std::int32_t int_prio;     // convenience integer priority (0 = default)
+  std::uint16_t source_pe;   // filled in by the machine layer on send
+  std::uint8_t queueing;     // Queueing strategy tag
+  std::uint8_t flags;        // detail::MsgFlags
+  std::uint32_t magic;       // liveness canary (debug double-free detection)
+  std::uint32_t seq;         // per-sender sequence number (trace/debug)
+  std::uint64_t reserved;    // keeps header at 32 bytes / 16-byte alignment
+};
+static_assert(sizeof(MsgHeader) == 32);
+
+enum MsgFlags : std::uint8_t {
+  kMsgFlagNone = 0,
+};
+
+inline MsgHeader* Header(void* msg) { return static_cast<MsgHeader*>(msg); }
+inline const MsgHeader* Header(const void* msg) {
+  return static_cast<const MsgHeader*>(msg);
+}
+
+}  // namespace detail
+
+/// Size of the message header in bytes (paper appendix §3.1).
+constexpr int CmiMsgHeaderSizeBytes() {
+  return static_cast<int>(sizeof(detail::MsgHeader));
+}
+
+/// Allocate a message of `nbytes` total (header included; nbytes must be at
+/// least CmiMsgHeaderSizeBytes()).  The header is initialized with an
+/// invalid handler; the caller must CmiSetHandler before sending.
+void* CmiAlloc(std::size_t nbytes);
+
+/// Free a message previously obtained from CmiAlloc / CmiGrabBuffer.
+void CmiFree(void* msg);
+
+/// Pointer to the payload area (first byte after the header).
+inline void* CmiMsgPayload(void* msg) {
+  return static_cast<char*>(msg) + sizeof(detail::MsgHeader);
+}
+inline const void* CmiMsgPayload(const void* msg) {
+  return static_cast<const char*>(msg) + sizeof(detail::MsgHeader);
+}
+
+/// Total size (header + payload) recorded in the message header.
+inline std::size_t CmiMsgTotalSize(const void* msg) {
+  return detail::Header(msg)->total_size;
+}
+
+/// Payload size in bytes.
+inline std::size_t CmiMsgPayloadSize(const void* msg) {
+  return detail::Header(msg)->total_size - sizeof(detail::MsgHeader);
+}
+
+/// PE that sent this message (valid once delivered by the machine layer).
+inline int CmiMsgSourcePe(const void* msg) {
+  return detail::Header(msg)->source_pe;
+}
+
+/// Convenience: allocate a message with `payload_len` payload bytes, set its
+/// handler, and copy `payload` (may be nullptr for uninitialized payload).
+void* CmiMakeMessage(int handler, const void* payload, std::size_t payload_len);
+
+/// True if `msg` looks like a live Converse message (canary check).
+bool CmiMsgIsValid(const void* msg);
+
+}  // namespace converse

@@ -1,0 +1,77 @@
+// Processor groups (paper EMI, appendix §3.8).
+//
+// "Often entities in a subgroup of processors need to engage in group
+// communication. The machine layer ... is best able to optimize such group
+// operations."  A group is a tree of PEs built explicitly by its root
+// (CmiPgrpCreate + CmiAddChildren) and then distributed to the members so
+// that multicasts can forward along the tree.
+//
+// Divergence from the appendix (documented): the original machine layers
+// distributed group descriptors implicitly; here the root must call
+// CmiPgrpDistribute(group) once the tree is built, and members learn the
+// descriptor asynchronously.  CmiPgrpReady(group) reports arrival.
+#pragma once
+
+#include <vector>
+
+namespace converse {
+
+/// Group handle; value-copyable.  `id` is machine-unique.
+struct Pgrp {
+  int id = -1;
+  int root = -1;
+};
+
+/// Create a group rooted at the calling PE (the root is a member).
+void CmiPgrpCreate(Pgrp* group);
+
+/// Free local resources associated with the group (call on each member).
+void CmiPgrpDestroy(Pgrp* group);
+
+/// Add `size` PEs from `procs` as children of `penum`.  Root-only, before
+/// distribution.  `penum` must already be in the group.
+void CmiAddChildren(Pgrp* group, int penum, int size, const int procs[]);
+
+/// Ship the finished descriptor to all members (root-only).
+void CmiPgrpDistribute(const Pgrp* group);
+
+/// True once this PE has the descriptor (always true on the root).
+bool CmiPgrpReady(const Pgrp* group);
+
+/// Tree queries; require the descriptor locally.
+int CmiPgrpRoot(const Pgrp* group);
+int CmiNumChildren(const Pgrp* group, int penum);
+int CmiParent(const Pgrp* group, int penum);
+void CmiChildren(const Pgrp* group, int node, int* children);
+std::vector<int> CmiPgrpMembers(const Pgrp* group);
+
+/// Asynchronous multicast of a complete message (header + payload) to all
+/// members of `group` except the caller (the caller need not belong to the
+/// group).  Forwards along the group tree; each member delivers the message
+/// to its original handler.
+struct CommHandle;  // from cmi.h
+void CmiAsyncMulticastImpl(const Pgrp* group, unsigned int size, void* msg);
+
+}  // namespace converse
+
+#include "converse/cmi.h"
+
+namespace converse {
+inline CommHandle CmiAsyncMulticast(const Pgrp* group, unsigned int size,
+                                    void* msg) {
+  CmiAsyncMulticastImpl(group, size, msg);
+  return CommHandle{nullptr};
+}
+}  // namespace converse
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int PgrpModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int pgrp_module_anchor = converse::detail::PgrpModuleRegister();
+}  // namespace

@@ -1,0 +1,125 @@
+// The scheduler's pluggable queueing module (paper §2.3, §3.1.2).
+//
+// "Such prioritization mechanisms can be provided only by allowing the
+// application to select the type of queueing strategy it wants to use" —
+// CqsQueue supports FIFO, LIFO, signed integer priorities and lexicographic
+// bit-vector priorities, with FIFO or LIFO ordering among equal priorities,
+// all in one queue (a message's strategy is chosen per enqueue, mirroring
+// CqsEnqueueGeneral in the original system).
+//
+// Cost model ("need based cost", §3): unprioritized FIFO/LIFO entries live
+// in a deque and never touch the heap; only prioritized entries pay the
+// O(log n) heap cost.
+//
+// Ordering rules:
+//  * Integer priorities: smaller value dequeues first; 0 is the priority of
+//    unprioritized entries.
+//  * Bit-vector priorities: compared lexicographically as an unsigned bit
+//    string, smaller first; a bit-vector that is a strict prefix of another
+//    compares smaller.  The empty bit-vector equals integer priority 0.
+//  * Entries with priority exactly equal to the default (int 0) that were
+//    enqueued *with* an explicit priority rank after unprioritized entries
+//    of the same age class only via sequence order within their structure;
+//    ties between the deque and the heap at the default priority favor the
+//    deque (matching the zeroq of the original CqsQueue).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "converse/msg.h"
+
+namespace converse {
+
+/// A priority value: sign-biased 32-bit words compared lexicographically.
+/// Integer priority p maps to the single word (p XOR 0x80000000), which
+/// preserves signed order under unsigned comparison.
+class CqsPrio {
+ public:
+  CqsPrio() = default;  // default priority (== int 0)
+
+  static CqsPrio FromInt(std::int32_t p) {
+    CqsPrio out;
+    out.words_.push_back(static_cast<std::uint32_t>(p) ^ 0x80000000u);
+    return out;
+  }
+
+  /// Bit-vector priority: `nbits` bits stored MSB-first in `words`
+  /// (words[0] bit 31 is the first bit), as in the original API.
+  static CqsPrio FromBitvec(const std::uint32_t* words, int nbits);
+
+  /// Three-way comparison: negative if *this dequeues before `o`.
+  int Compare(const CqsPrio& o) const;
+
+  bool IsDefault() const;
+  const std::vector<std::uint32_t>& words() const { return words_; }
+  int nbits() const { return nbits_; }
+
+ private:
+  std::vector<std::uint32_t> words_;  // empty == default
+  int nbits_ = 0;                     // 0 for int/default priorities
+};
+
+/// The scheduler queue.  Not thread-safe: each PE owns exactly one.
+class CqsQueue {
+ public:
+  CqsQueue() = default;
+  ~CqsQueue();
+
+  CqsQueue(const CqsQueue&) = delete;
+  CqsQueue& operator=(const CqsQueue&) = delete;
+
+  /// Unprioritized FIFO enqueue (the common, cheap path).
+  void Enqueue(void* msg) { EnqueueGeneral(msg, Queueing::kFifo, CqsPrio{}); }
+
+  /// Unprioritized LIFO enqueue.
+  void EnqueueLifo(void* msg) {
+    EnqueueGeneral(msg, Queueing::kLifo, CqsPrio{});
+  }
+
+  /// General enqueue with an explicit strategy and priority.
+  void EnqueueGeneral(void* msg, Queueing strategy, CqsPrio prio);
+
+  /// Convenience wrappers.
+  void EnqueueIntPrio(void* msg, std::int32_t prio, bool lifo = false) {
+    EnqueueGeneral(msg, lifo ? Queueing::kIntLifo : Queueing::kIntFifo,
+                   CqsPrio::FromInt(prio));
+  }
+  void EnqueueBitvecPrio(void* msg, const std::uint32_t* words, int nbits,
+                         bool lifo = false) {
+    EnqueueGeneral(msg, lifo ? Queueing::kBitvecLifo : Queueing::kBitvecFifo,
+                   CqsPrio::FromBitvec(words, nbits));
+  }
+
+  /// Remove and return the highest-priority message; nullptr if empty.
+  void* Dequeue();
+
+  bool Empty() const { return Length() == 0; }
+  std::size_t Length() const { return zeroq_.size() + heap_.size(); }
+
+  /// Number of entries that have ever been enqueued (diagnostics).
+  std::uint64_t TotalEnqueued() const { return seq_; }
+
+ private:
+  struct Entry {
+    CqsPrio prio;
+    std::uint64_t order;  // FIFO: ascending seq; LIFO: descending
+    void* msg;
+  };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      const int c = a.prio.Compare(b.prio);
+      if (c != 0) return c > 0;
+      return a.order > b.order;
+    }
+  };
+
+  std::deque<void*> zeroq_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace converse

@@ -1,0 +1,107 @@
+// Event tracing (paper §3.3.2).
+//
+// Converse defines a standard trace format all language implementations
+// share — message send, delivery (handler begin/end), scheduler enqueue,
+// idle periods, thread/object creation — plus an extensible self-describing
+// part: user event types registered by name at runtime, emitted with the
+// standard records and described in the dump header.  Several variants of
+// the module exist per the paper ("depending on the sophistication of the
+// tracing desired"): kNone (hooks disconnected, one dead branch per event),
+// kSummary (O(#handlers) counters), kLog (full in-memory event log).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace converse {
+
+enum class TraceMode { kNone, kSummary, kLog };
+
+/// Start tracing on the calling PE in the given mode.  Typically called on
+/// every PE at the top of the entry function.
+void TraceBegin(TraceMode mode);
+
+/// Stop tracing on the calling PE (hooks disconnect; data is retained).
+void TraceEnd();
+
+TraceMode TraceCurrentMode();
+
+// ---- Standard record kinds ---------------------------------------------------
+
+enum class TraceEventKind : std::uint8_t {
+  kSend = 0,
+  kDeliverBegin = 1,   // handler invocation from the network
+  kDeliverEnd = 2,
+  kScheduleBegin = 3,  // handler invocation from the scheduler queue
+  kScheduleEnd = 4,
+  kEnqueue = 5,
+  kIdleBegin = 6,
+  kIdleEnd = 7,
+  kThreadCreate = 8,
+  kObjectCreate = 9,
+  kUserEvent = 10,
+};
+
+struct TraceRecord {
+  double time_us;
+  TraceEventKind kind;
+  std::uint8_t pad = 0;
+  std::uint16_t aux16 = 0;     // e.g. destination/source PE
+  std::uint32_t handler = 0;   // handler id or user event id
+  std::uint32_t size = 0;      // message size where applicable
+};
+
+// ---- Summary -------------------------------------------------------------------
+
+struct TraceHandlerSummary {
+  std::uint64_t invocations = 0;
+  double total_us = 0.0;
+};
+
+struct TraceSummary {
+  std::uint64_t sends = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t enqueues = 0;
+  std::uint64_t idle_periods = 0;
+  double idle_us = 0.0;
+  std::vector<TraceHandlerSummary> per_handler;  // indexed by handler id
+};
+
+/// Snapshot of the calling PE's summary (valid in kSummary and kLog modes).
+TraceSummary TraceGetSummary();
+
+// ---- Full log (kLog) -------------------------------------------------------------
+
+const std::vector<TraceRecord>& TraceGetLog();
+void TraceClear();
+
+/// Write this PE's log as the standard text format: a self-describing
+/// header (format version, user event dictionary) followed by one record
+/// per line.
+void TraceDump(std::FILE* out);
+
+// ---- Self-describing user events (the extensible part) ----------------------------
+
+/// Register a user event type by name; returns its id (PE-local).
+int TraceRegisterUserEvent(const std::string& name);
+void TraceUserEvent(int event_id);
+
+/// Language runtimes record creation events through these.
+void TraceNoteThreadCreate();
+void TraceNoteObjectCreate();
+
+}  // namespace converse
+
+// -- module registration anchor ------------------------------------------------
+// Including this header registers the module's per-PE init hook during
+// static initialization, so handler indices are identical on every PE of
+// any machine started afterwards (see converse/detail/module.h).  The
+// anonymous-namespace anchor is deliberate: one idempotent call per TU.
+namespace converse::detail {
+int TraceModuleRegister();
+}  // namespace converse::detail
+namespace {
+[[maybe_unused]] const int trace_module_anchor = converse::detail::TraceModuleRegister();
+}  // namespace

@@ -1,0 +1,49 @@
+// Trace-report analysis (paper §3.3.2, "Support for Tools").
+//
+// The trace module emits the standard self-describing text format
+// (TraceDump); this component parses it back and computes the profile a
+// performance tool would show: per-handler invocation counts and time,
+// busy/idle breakdown, send/delivery volumes, and a coarse utilization
+// timeline.  `tools/trace_report` is the command-line front end.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace converse::tracetool {
+
+struct HandlerProfile {
+  std::uint64_t begins = 0;
+  std::uint64_t ends = 0;
+  double busy_us = 0.0;  // sum of matched begin..end spans
+};
+
+struct Report {
+  int pe = -1;
+  std::size_t records = 0;
+  std::map<std::string, int> user_events;  // name -> id
+  std::map<std::uint32_t, HandlerProfile> handlers;
+  std::uint64_t sends = 0;
+  std::uint64_t send_bytes = 0;
+  std::uint64_t enqueues = 0;
+  std::uint64_t user_event_hits = 0;
+  std::uint64_t thread_creates = 0;
+  std::uint64_t object_creates = 0;
+  double idle_us = 0.0;
+  double span_us = 0.0;  // last timestamp - first timestamp
+  /// Busy fraction per timeline bucket (kTimelineBuckets buckets).
+  std::vector<double> timeline_busy_fraction;
+};
+
+inline constexpr int kTimelineBuckets = 20;
+
+/// Parse one PE's dump (the format TraceDump writes).  Throws
+/// std::runtime_error on malformed input.
+Report ParseTrace(std::FILE* in);
+
+/// Render the report as human-readable text.
+void PrintReport(const Report& report, std::FILE* out);
+
+}  // namespace converse::tracetool

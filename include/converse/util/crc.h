@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli) — software table implementation.
+//
+// Used by tests and the trace module to fingerprint message payloads so
+// corruption across the machine layer is detectable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace converse::util {
+
+/// CRC-32C of `n` bytes starting at `data`, continuing from `seed`
+/// (pass 0 for a fresh checksum).
+std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace converse::util

@@ -1,0 +1,108 @@
+// Byte-oriented pack/unpack buffers.
+//
+// Converse messages are raw byte blocks; client runtimes (notably the
+// PVM-style layer's pvm_pk*/pvm_upk* and the Charm-style parameter
+// marshalling) need a safe way to serialize typed data into them.  The
+// Packer grows a byte vector; the Unpacker bounds-checks every read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace converse::util {
+
+/// Thrown by Unpacker on out-of-bounds or type-tag mismatch.
+class PackError : public std::runtime_error {
+ public:
+  explicit PackError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Packer {
+ public:
+  Packer() = default;
+  explicit Packer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  template <typename T>
+  void Put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Packer::Put requires a trivially copyable type");
+    PutBytes(&v, sizeof(T));
+  }
+
+  template <typename T>
+  void PutArray(const T* data, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Put(static_cast<std::uint64_t>(n));
+    PutBytes(data, n * sizeof(T));
+  }
+
+  void PutString(const std::string& s) {
+    PutArray(s.data(), s.size());
+  }
+
+  void PutBytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::byte* data() const { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+  std::vector<std::byte> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class Unpacker {
+ public:
+  Unpacker(const void* data, std::size_t size)
+      : base_(static_cast<const std::byte*>(data)), size_(size) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    GetBytes(&out, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  std::vector<T> GetArray() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = Get<std::uint64_t>();
+    if (n > (size_ - pos_) / sizeof(T)) {
+      throw PackError("Unpacker: array length exceeds remaining bytes");
+    }
+    std::vector<T> out(static_cast<std::size_t>(n));
+    GetBytes(out.data(), out.size() * sizeof(T));
+    return out;
+  }
+
+  std::string GetString() {
+    auto chars = GetArray<char>();
+    return std::string(chars.begin(), chars.end());
+  }
+
+  void GetBytes(void* out, std::size_t n) {
+    if (n > size_ - pos_) {
+      throw PackError("Unpacker: read past end of buffer");
+    }
+    std::memcpy(out, base_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::size_t Remaining() const { return size_ - pos_; }
+  std::size_t Position() const { return pos_; }
+
+ private:
+  const std::byte* base_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace converse::util

@@ -1,0 +1,45 @@
+// K-ary spanning tree over a contiguous PE range, rooted anywhere.
+//
+// The machine layer "is knowledgeable about topology ... best able to
+// optimize group operations" (paper §3.1.3/EMI); on the in-process machine a
+// k-ary tree over PE numbers is the canonical shape.  These helpers are pure
+// arithmetic, shared by broadcasts, reductions, processor groups, and
+// quiescence detection.
+#pragma once
+
+#include <vector>
+
+namespace converse::util {
+
+/// A k-ary spanning tree over PEs {0..npes-1} rooted at `root`.
+/// The tree is defined on "virtual ranks" r = (pe - root + npes) % npes so
+/// that any root yields the same shape.
+class SpanningTree {
+ public:
+  SpanningTree(int npes, int root = 0, int branching = 4);
+
+  int npes() const { return npes_; }
+  int root() const { return root_; }
+  int branching() const { return branching_; }
+
+  /// Parent of `pe` in the tree; -1 for the root.
+  int Parent(int pe) const;
+
+  /// Children of `pe`, in increasing virtual-rank order.
+  std::vector<int> Children(int pe) const;
+
+  int NumChildren(int pe) const;
+
+  /// Depth of `pe` (root has depth 0).
+  int Depth(int pe) const;
+
+ private:
+  int ToRank(int pe) const { return (pe - root_ + npes_) % npes_; }
+  int ToPe(int rank) const { return (rank + root_) % npes_; }
+
+  int npes_;
+  int root_;
+  int branching_;
+};
+
+}  // namespace converse::util

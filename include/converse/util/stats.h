@@ -1,0 +1,62 @@
+// Lightweight accumulators used by the trace module and by the benchmark
+// harness (min/mean/max/stddev + percentiles over retained samples).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace converse::util {
+
+/// Streaming moments (Welford). O(1) memory; no percentiles.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::size_t Count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Min() const;
+  double Max() const;
+  double Variance() const;
+  double Stddev() const;
+  double Sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample-retaining accumulator for percentile reporting in benches.
+class SampleStats {
+ public:
+  explicit SampleStats(std::size_t reserve = 0) { samples_.reserve(reserve); }
+
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+    moments_.Add(x);
+  }
+  const RunningStats& Moments() const { return moments_; }
+
+  /// Percentile in [0,100]; interpolates between order statistics.
+  /// Returns 0 for an empty sample set.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  std::size_t Count() const { return samples_.size(); }
+  void Clear() {
+    samples_.clear();
+    moments_ = RunningStats{};
+  }
+
+ private:
+  mutable std::vector<double> samples_;  // sorted lazily by Percentile()
+  mutable bool sorted_ = false;
+  RunningStats moments_;
+};
+
+}  // namespace converse::util

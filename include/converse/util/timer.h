@@ -1,0 +1,28 @@
+// Monotonic wall-clock helpers. CmiTimer() in the public API is defined as
+// seconds since machine start with at least microsecond accuracy (paper,
+// appendix 3.2); these are the primitives behind it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace converse::util {
+
+using Clock = std::chrono::steady_clock;
+
+/// Nanoseconds since an arbitrary (but fixed) epoch.
+inline std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Microseconds since an arbitrary epoch, as a double (fractional µs kept).
+inline double NowUs() { return static_cast<double>(NowNs()) * 1e-3; }
+
+/// Seconds elapsed since `start_ns` (a value previously returned by NowNs).
+inline double SecondsSince(std::int64_t start_ns) {
+  return static_cast<double>(NowNs() - start_ns) * 1e-9;
+}
+
+}  // namespace converse::util

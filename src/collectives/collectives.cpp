@@ -1,0 +1,295 @@
+// Spanning-tree reductions, all-reduce, and barriers.
+//
+// Split-phase protocol: every PE's k-th machine-wide collective call
+// belongs to operation number k (SPMD ordering contract).  Contributions
+// flow up the machine spanning tree, merged at each node; the root either
+// delivers the result locally (CmiReduce) or broadcasts it (all-reduce /
+// barrier).  Completion on each PE goes to that PE's locally recorded
+// continuation, so user handler indices never cross PEs.
+#include "converse/collectives.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+
+#include "converse/csd.h"
+#include "converse/detail/module.h"
+#include "core/pe_state.h"
+
+namespace converse {
+namespace {
+
+enum class OpKind : std::int32_t { kReduce = 0, kAllReduce = 1, kBarrier = 2 };
+
+struct ContribWire {
+  std::uint64_t seq;
+  std::int32_t reducer;
+  std::uint32_t size;
+  // followed by `size` bytes of partially reduced data
+};
+
+struct ResultWire {
+  std::uint64_t seq;
+  std::uint32_t size;
+  // followed by `size` bytes of result
+};
+
+struct RedOp {
+  std::vector<char> acc;
+  bool have_local = false;
+  int child_contribs = 0;
+  // Local continuation (valid once have_local):
+  OpKind kind = OpKind::kReduce;
+  int reducer = -1;
+  int user_handler = -1;
+  std::function<void(const void*, std::size_t)> callback;  // blocking path
+};
+
+struct CollState {
+  int contrib_handler = -1;
+  int result_handler = -1;
+  std::vector<CmiReducerFn> reducers;
+  std::map<std::uint64_t, RedOp> ops;
+  std::uint64_t next_seq = 0;
+  // Built-in reducer indices.
+  int sum_i64, max_i64, min_i64, sum_f64, max_f64, min_f64, or64, and64;
+};
+
+int ModuleId();
+
+CollState& St() {
+  return *static_cast<CollState*>(detail::ModuleState(ModuleId()));
+}
+
+template <typename T, typename F>
+CmiReducerFn MakeTypedReducer(F combine) {
+  return [combine](void* acc, const void* contrib, std::size_t size) {
+    assert(size % sizeof(T) == 0);
+    auto* a = static_cast<T*>(acc);
+    const auto* c = static_cast<const T*>(contrib);
+    for (std::size_t i = 0; i < size / sizeof(T); ++i) {
+      a[i] = combine(a[i], c[i]);
+    }
+  };
+}
+
+void MergeContribution(CollState& st, RedOp& op, int reducer,
+                       const void* data, std::size_t size) {
+  if (op.acc.empty() && size > 0) {
+    op.acc.assign(static_cast<const char*>(data),
+                  static_cast<const char*>(data) + size);
+    return;
+  }
+  if (size == 0) return;  // barrier: nothing to merge
+  assert(op.acc.size() == size && "mismatched collective sizes across PEs");
+  assert(reducer >= 0 && reducer < static_cast<int>(st.reducers.size()));
+  st.reducers[static_cast<std::size_t>(reducer)](op.acc.data(), data, size);
+}
+
+void DeliverLocal(RedOp& op, const void* data, std::size_t size) {
+  if (op.callback) {
+    op.callback(data, size);
+    return;
+  }
+  assert(op.user_handler >= 0);
+  void* msg = CmiMakeMessage(op.user_handler, data, size);
+  CsdEnqueue(msg);
+}
+
+/// Called whenever an op may have become complete on this PE.
+void MaybeComplete(CollState& st, std::uint64_t seq) {
+  auto it = st.ops.find(seq);
+  if (it == st.ops.end()) return;
+  RedOp& op = it->second;
+  detail::PeState& pe = detail::CpvChecked();
+  const auto& tree = pe.machine->tree();
+  if (!op.have_local || op.child_contribs != tree.NumChildren(pe.mype)) {
+    return;
+  }
+  const int parent = tree.Parent(pe.mype);
+  if (parent >= 0) {
+    // Interior/leaf node: pass the merged subtree contribution up.
+    const std::size_t size = op.acc.size();
+    void* msg =
+        CmiAlloc(sizeof(detail::MsgHeader) + sizeof(ContribWire) + size);
+    CmiSetHandler(msg, st.contrib_handler);
+    auto* wire = static_cast<ContribWire*>(CmiMsgPayload(msg));
+    wire->seq = seq;
+    wire->reducer = op.reducer;
+    wire->size = static_cast<std::uint32_t>(size);
+    if (size > 0) std::memcpy(wire + 1, op.acc.data(), size);
+    detail::SendOwned(parent, msg);
+    // Reduce-to-root ops are finished on non-root PEs.
+    if (op.kind == OpKind::kReduce) {
+      st.ops.erase(it);
+    } else {
+      // Keep a stub so the result broadcast can find the continuation.
+      op.acc.clear();
+      op.child_contribs = -1;  // mark "sent up, awaiting result"
+    }
+    if (op.kind == OpKind::kReduce) return;
+    return;
+  }
+  // Root: deliver or broadcast.
+  if (op.kind == OpKind::kReduce) {
+    DeliverLocal(op, op.acc.data(), op.acc.size());
+    st.ops.erase(it);
+    return;
+  }
+  const std::size_t size = op.acc.size();
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(ResultWire) + size);
+  CmiSetHandler(msg, st.result_handler);
+  auto* wire = static_cast<ResultWire*>(CmiMsgPayload(msg));
+  wire->seq = seq;
+  wire->size = static_cast<std::uint32_t>(size);
+  if (size > 0) std::memcpy(wire + 1, op.acc.data(), size);
+  CmiSyncBroadcastAllAndFree(
+      static_cast<unsigned int>(CmiMsgTotalSize(msg)), msg);
+  // Root's own completion arrives via the broadcast like everyone else's.
+}
+
+void ContribHandler(void* msg) {
+  CollState& st = St();
+  const auto* wire = static_cast<const ContribWire*>(CmiMsgPayload(msg));
+  RedOp& op = st.ops[wire->seq];
+  MergeContribution(st, op, wire->reducer, wire + 1, wire->size);
+  ++op.child_contribs;
+  MaybeComplete(st, wire->seq);
+}
+
+void ResultHandler(void* msg) {
+  CollState& st = St();
+  const auto* wire = static_cast<const ResultWire*>(CmiMsgPayload(msg));
+  auto it = st.ops.find(wire->seq);
+  assert(it != st.ops.end() &&
+         "collective result for an operation this PE never issued");
+  RedOp op = std::move(it->second);
+  st.ops.erase(it);
+  DeliverLocal(op, wire + 1, wire->size);
+}
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "collectives",
+      [](int module_id) {
+        auto* st = new CollState;
+        st->contrib_handler = CmiRegisterHandler(&ContribHandler);
+        st->result_handler = CmiRegisterHandler(&ResultHandler);
+        auto reg = [&st](CmiReducerFn fn) {
+          st->reducers.push_back(std::move(fn));
+          return static_cast<int>(st->reducers.size()) - 1;
+        };
+        using i64 = std::int64_t;
+        using u64 = std::uint64_t;
+        st->sum_i64 = reg(MakeTypedReducer<i64>([](i64 a, i64 b) { return a + b; }));
+        st->max_i64 = reg(MakeTypedReducer<i64>([](i64 a, i64 b) { return a > b ? a : b; }));
+        st->min_i64 = reg(MakeTypedReducer<i64>([](i64 a, i64 b) { return a < b ? a : b; }));
+        st->sum_f64 = reg(MakeTypedReducer<double>([](double a, double b) { return a + b; }));
+        st->max_f64 = reg(MakeTypedReducer<double>([](double a, double b) { return a > b ? a : b; }));
+        st->min_f64 = reg(MakeTypedReducer<double>([](double a, double b) { return a < b ? a : b; }));
+        st->or64 = reg(MakeTypedReducer<u64>([](u64 a, u64 b) { return a | b; }));
+        st->and64 = reg(MakeTypedReducer<u64>([](u64 a, u64 b) { return a & b; }));
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) { delete static_cast<CollState*>(state); });
+  return id;
+}
+
+/// Common entry for all collective calls.
+void Contribute(const void* data, std::size_t size, int reducer, OpKind kind,
+                int user_handler,
+                std::function<void(const void*, std::size_t)> callback) {
+  CollState& st = St();
+  const std::uint64_t seq = st.next_seq++;
+  RedOp& op = st.ops[seq];
+  assert(!op.have_local && "collective sequence mismatch");
+  op.have_local = true;
+  op.kind = kind;
+  op.reducer = reducer;
+  op.user_handler = user_handler;
+  op.callback = std::move(callback);
+  MergeContribution(st, op, reducer, data, size);
+  MaybeComplete(st, seq);
+}
+
+}  // namespace
+
+int CmiSpanTreeRoot() {
+  return detail::CpvChecked().machine->tree().root();
+}
+int CmiSpanTreeParent(int pe) {
+  return detail::CpvChecked().machine->tree().Parent(pe);
+}
+std::vector<int> CmiSpanTreeChildren(int pe) {
+  return detail::CpvChecked().machine->tree().Children(pe);
+}
+
+void CmiApplyReducer(int reducer, void* acc, const void* contrib,
+                     std::size_t size) {
+  CollState& st = St();
+  assert(reducer >= 0 && reducer < static_cast<int>(st.reducers.size()));
+  st.reducers[static_cast<std::size_t>(reducer)](acc, contrib, size);
+}
+
+int CmiRegisterReducer(CmiReducerFn fn) {
+  CollState& st = St();
+  st.reducers.push_back(std::move(fn));
+  return static_cast<int>(st.reducers.size()) - 1;
+}
+
+int CmiReducerSumI64() { return St().sum_i64; }
+int CmiReducerMaxI64() { return St().max_i64; }
+int CmiReducerMinI64() { return St().min_i64; }
+int CmiReducerSumF64() { return St().sum_f64; }
+int CmiReducerMaxF64() { return St().max_f64; }
+int CmiReducerMinF64() { return St().min_f64; }
+int CmiReducerBitOr64() { return St().or64; }
+int CmiReducerBitAnd64() { return St().and64; }
+
+void CmiReduce(const void* data, std::size_t size, int reducer,
+               int root_handler) {
+  Contribute(data, size, reducer, OpKind::kReduce, root_handler, nullptr);
+}
+
+void CmiAllReduce(const void* data, std::size_t size, int reducer,
+                  int handler) {
+  Contribute(data, size, reducer, OpKind::kAllReduce, handler, nullptr);
+}
+
+void CmiAllReduceBlocking(void* data_inout, std::size_t size, int reducer) {
+  bool done = false;
+  Contribute(data_inout, size, reducer, OpKind::kAllReduce, -1,
+             [&done, data_inout, size](const void* result, std::size_t n) {
+               assert(n == size);
+               std::memcpy(data_inout, result, n);
+               done = true;
+             });
+  while (!done) CsdScheduler(1);
+}
+
+std::int64_t CmiAllReduceI64(std::int64_t value, int reducer) {
+  CmiAllReduceBlocking(&value, sizeof(value), reducer);
+  return value;
+}
+
+double CmiAllReduceF64(double value, int reducer) {
+  CmiAllReduceBlocking(&value, sizeof(value), reducer);
+  return value;
+}
+
+void CmiBarrier(int handler) {
+  Contribute(nullptr, 0, -1, OpKind::kBarrier, handler, nullptr);
+}
+
+void CmiBarrierBlocking() {
+  bool done = false;
+  Contribute(nullptr, 0, -1, OpKind::kBarrier, -1,
+             [&done](const void*, std::size_t) { done = true; });
+  while (!done) CsdScheduler(1);
+}
+
+}  // namespace converse
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::CollectivesModuleRegister() { return converse::ModuleId(); }

@@ -1,0 +1,240 @@
+// Processor groups and tree multicast (paper EMI, appendix §3.8).
+#include "converse/pgrp.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+
+#include "converse/detail/module.h"
+#include "converse/util/pack.h"
+#include "core/pe_state.h"
+
+namespace converse {
+namespace {
+
+struct PgrpDesc {
+  int root = -1;
+  std::vector<int> members;                // root first, then added order
+  std::map<int, int> parent;               // pe -> parent pe (root -> -1)
+  std::map<int, std::vector<int>> children;  // pe -> children
+
+  bool IsMember(int pe) const { return parent.contains(pe); }
+};
+
+struct McastWire {
+  std::int32_t gid;
+  std::int32_t orig_sender;
+  std::uint32_t inner_size;  // total size of the wrapped message
+  std::uint32_t pad;
+  // followed by the complete inner message (header + payload)
+};
+
+struct PgrpState {
+  int desc_handler = -1;
+  int mcast_handler = -1;
+  std::map<int, PgrpDesc> groups;
+  int next_local_id = 0;
+};
+
+int ModuleId();
+
+PgrpState& St() {
+  return *static_cast<PgrpState*>(detail::ModuleState(ModuleId()));
+}
+
+std::vector<char> SerializeDesc(int gid, const PgrpDesc& d) {
+  util::Packer p;
+  p.Put<std::int32_t>(gid);
+  p.Put<std::int32_t>(d.root);
+  p.PutArray(d.members.data(), d.members.size());
+  p.Put<std::uint64_t>(d.parent.size());
+  for (const auto& [pe, par] : d.parent) {
+    p.Put<std::int32_t>(pe);
+    p.Put<std::int32_t>(par);
+  }
+  auto bytes = p.Take();
+  return {reinterpret_cast<char*>(bytes.data()),
+          reinterpret_cast<char*>(bytes.data()) + bytes.size()};
+}
+
+void DeserializeDesc(const void* data, std::size_t size) {
+  util::Unpacker u(data, size);
+  const int gid = u.Get<std::int32_t>();
+  PgrpDesc d;
+  d.root = u.Get<std::int32_t>();
+  d.members = u.GetArray<int>();
+  const auto nparents = u.Get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < nparents; ++i) {
+    const int pe = u.Get<std::int32_t>();
+    const int par = u.Get<std::int32_t>();
+    d.parent[pe] = par;
+    if (par >= 0) d.children[par].push_back(pe);
+  }
+  St().groups[gid] = std::move(d);
+}
+
+void DescHandler(void* msg) {
+  DeserializeDesc(CmiMsgPayload(msg), CmiMsgPayloadSize(msg));
+}
+
+/// Forward a multicast wrapper down this PE's subtree and deliver the inner
+/// message locally (unless this PE is the original sender).
+void ForwardMcast(void* wrapper) {
+  PgrpState& st = St();
+  const auto* wire = static_cast<const McastWire*>(CmiMsgPayload(wrapper));
+  auto it = st.groups.find(wire->gid);
+  assert(it != st.groups.end() &&
+         "multicast reached a PE without the group descriptor; did the "
+         "root call CmiPgrpDistribute?");
+  const PgrpDesc& desc = it->second;
+  const int me = CmiMyPe();
+  const auto kids = desc.children.find(me);
+  if (kids != desc.children.end()) {
+    for (int child : kids->second) {
+      CmiSyncSend(static_cast<unsigned>(child),
+                  static_cast<unsigned>(CmiMsgTotalSize(wrapper)), wrapper);
+    }
+  }
+  if (me != wire->orig_sender) {
+    // Deliver a private copy of the inner message with network-delivery
+    // (system-owned) semantics, so handlers behave identically for direct
+    // sends and multicasts.
+    void* inner = CmiAlloc(wire->inner_size);
+    std::memcpy(inner, wire + 1, wire->inner_size);
+    detail::Header(inner)->magic = detail::kMsgMagicAlive;
+    ++detail::CpvChecked().stats.msgs_delivered;
+    detail::DispatchMessage(inner, /*system_owned=*/true);
+  }
+}
+
+void McastHandler(void* wrapper) { ForwardMcast(wrapper); }
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "pgrp",
+      [](int module_id) {
+        auto* st = new PgrpState;
+        st->desc_handler = CmiRegisterHandler(&DescHandler);
+        st->mcast_handler = CmiRegisterHandler(&McastHandler);
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) { delete static_cast<PgrpState*>(state); });
+  return id;
+}
+
+const PgrpDesc& Desc(const Pgrp* group) {
+  PgrpState& st = St();
+  auto it = st.groups.find(group->id);
+  assert(it != st.groups.end() &&
+         "group descriptor not present on this PE");
+  return it->second;
+}
+
+}  // namespace
+
+void CmiPgrpCreate(Pgrp* group) {
+  PgrpState& st = St();
+  detail::PeState& pe = detail::CpvChecked();
+  group->root = pe.mype;
+  group->id = pe.mype + pe.npes * st.next_local_id++;
+  PgrpDesc d;
+  d.root = pe.mype;
+  d.members.push_back(pe.mype);
+  d.parent[pe.mype] = -1;
+  st.groups[group->id] = std::move(d);
+}
+
+void CmiPgrpDestroy(Pgrp* group) {
+  St().groups.erase(group->id);
+  group->id = -1;
+  group->root = -1;
+}
+
+void CmiAddChildren(Pgrp* group, int penum, int size, const int procs[]) {
+  PgrpState& st = St();
+  auto it = st.groups.find(group->id);
+  assert(it != st.groups.end() && CmiMyPe() == it->second.root &&
+         "CmiAddChildren may only be called by the group root");
+  PgrpDesc& d = it->second;
+  assert(d.IsMember(penum) && "parent PE is not in the group");
+  for (int i = 0; i < size; ++i) {
+    const int p = procs[i];
+    assert(!d.IsMember(p) && "PE added to a group twice");
+    d.parent[p] = penum;
+    d.children[penum].push_back(p);
+    d.members.push_back(p);
+  }
+}
+
+void CmiPgrpDistribute(const Pgrp* group) {
+  const PgrpDesc& d = Desc(group);
+  assert(CmiMyPe() == d.root);
+  const auto bytes = SerializeDesc(group->id, d);
+  for (int member : d.members) {
+    if (member == d.root) continue;
+    void* msg = CmiMakeMessage(St().desc_handler, bytes.data(), bytes.size());
+    detail::SendOwned(member, msg);
+  }
+}
+
+bool CmiPgrpReady(const Pgrp* group) {
+  return St().groups.contains(group->id);
+}
+
+int CmiPgrpRoot(const Pgrp* group) { return Desc(group).root; }
+
+int CmiNumChildren(const Pgrp* group, int penum) {
+  const PgrpDesc& d = Desc(group);
+  auto it = d.children.find(penum);
+  return it == d.children.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+int CmiParent(const Pgrp* group, int penum) {
+  const PgrpDesc& d = Desc(group);
+  auto it = d.parent.find(penum);
+  assert(it != d.parent.end() && "PE is not a member of the group");
+  return it->second;
+}
+
+void CmiChildren(const Pgrp* group, int node, int* children) {
+  const PgrpDesc& d = Desc(group);
+  auto it = d.children.find(node);
+  if (it == d.children.end()) return;
+  for (std::size_t i = 0; i < it->second.size(); ++i) {
+    children[i] = it->second[i];
+  }
+}
+
+std::vector<int> CmiPgrpMembers(const Pgrp* group) {
+  return Desc(group).members;
+}
+
+void CmiAsyncMulticastImpl(const Pgrp* group, unsigned int size, void* msg) {
+  PgrpState& st = St();
+  const int me = CmiMyPe();
+  void* wrapper =
+      CmiAlloc(sizeof(detail::MsgHeader) + sizeof(McastWire) + size);
+  CmiSetHandler(wrapper, st.mcast_handler);
+  auto* wire = static_cast<McastWire*>(CmiMsgPayload(wrapper));
+  wire->gid = group->id;
+  wire->orig_sender = me;
+  wire->inner_size = size;
+  wire->pad = 0;
+  std::memcpy(wire + 1, msg, size);
+
+  // Enter the tree at the root; if the caller *is* the root, forward
+  // directly without a network hop.
+  const int root = group->root;
+  if (me == root) {
+    ForwardMcast(wrapper);
+    CmiFree(wrapper);
+  } else {
+    detail::SendOwned(root, wrapper);
+  }
+}
+
+}  // namespace converse
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::PgrpModuleRegister() { return converse::ModuleId(); }

@@ -1,0 +1,39 @@
+// EMI scatter ("advance receive") registration — see include/converse/emi.h.
+#include "converse/emi.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/pe_state.h"
+
+namespace converse {
+
+int CmiScatterRegister(std::size_t match_offset, std::uint32_t match_value,
+                       std::vector<ScatterPart> parts, int notify_handler,
+                       bool persistent) {
+  detail::PeState& pe = detail::CpvChecked();
+  detail::ScatterReg reg;
+  reg.id = pe.next_scatter_id++;
+  reg.match_offset = match_offset;
+  reg.match_value = match_value;
+  reg.parts = std::move(parts);
+  reg.notify_handler = notify_handler;
+  reg.persistent = persistent;
+  pe.scatters.push_back(std::move(reg));
+  return pe.scatters.back().id;
+}
+
+void CmiScatterCancel(int registration_id) {
+  detail::PeState& pe = detail::CpvChecked();
+  auto it = std::find_if(pe.scatters.begin(), pe.scatters.end(),
+                         [registration_id](const detail::ScatterReg& r) {
+                           return r.id == registration_id;
+                         });
+  if (it != pe.scatters.end()) pe.scatters.erase(it);
+}
+
+int CmiScatterCount() {
+  return static_cast<int>(detail::CpvChecked().scatters.size());
+}
+
+}  // namespace converse

@@ -1,0 +1,78 @@
+#include "converse/handlers.h"
+
+#include <cassert>
+
+#include "converse/util/timer.h"
+#include "core/pe_state.h"
+
+namespace converse {
+
+int CmiRegisterHandler(Handler fn) {
+  detail::PeState& pe = detail::CpvChecked();
+  assert(fn && "CmiRegisterHandler: empty handler");
+  pe.handlers.push_back(std::move(fn));
+  return static_cast<int>(pe.handlers.size()) - 1;
+}
+
+void CmiSetHandler(void* msg, int handler_id) {
+  assert(handler_id >= 0);
+  detail::Header(msg)->handler = static_cast<std::uint32_t>(handler_id);
+}
+
+int CmiGetHandler(const void* msg) {
+  return static_cast<int>(detail::Header(msg)->handler);
+}
+
+const Handler& CmiGetHandlerFunction(const void* msg) {
+  detail::PeState& pe = detail::CpvChecked();
+  const auto idx = detail::Header(msg)->handler;
+  assert(idx < pe.handlers.size() && "message has unregistered handler");
+  return pe.handlers[idx];
+}
+
+int CmiNumHandlers() {
+  return static_cast<int>(detail::CpvChecked().handlers.size());
+}
+
+namespace detail {
+
+void DispatchMessage(void* msg, bool system_owned) {
+  PeState& pe = CpvChecked();
+  const MsgHeader* h = Header(msg);
+  assert(h->magic == kMsgMagicAlive && "dispatching a freed message");
+  assert(h->handler < pe.handlers.size() &&
+         "message handler not registered on this PE");
+  const Handler& fn = pe.handlers[h->handler];
+
+  const std::uint32_t handler_id = h->handler;
+  double begin_us = 0;
+  const CoreHooks* hooks = pe.hooks;
+  if (hooks != nullptr && hooks->on_dispatch_begin != nullptr) {
+    hooks->on_dispatch_begin(hooks->ud, h, !system_owned);
+  }
+  if (hooks != nullptr && hooks->on_dispatch_end != nullptr) {
+    begin_us = util::NowUs();
+  }
+  ++pe.qd_processed;
+
+  if (system_owned) {
+    pe.sysbuf_stack.push_back(SysBuf{msg, false});
+    const std::size_t depth = pe.sysbuf_stack.size();
+    fn(msg);
+    assert(pe.sysbuf_stack.size() == depth &&
+           "handler unbalanced the system buffer stack");
+    const SysBuf sb = pe.sysbuf_stack.back();
+    pe.sysbuf_stack.pop_back();
+    if (!sb.grabbed) CmiFree(sb.msg);
+  } else {
+    // Scheduler-queue delivery: the handler owns the message.
+    fn(msg);
+  }
+
+  if (hooks != nullptr && hooks->on_dispatch_end != nullptr) {
+    hooks->on_dispatch_end(hooks->ud, handler_id, begin_us);
+  }
+}
+
+}  // namespace detail
+}  // namespace converse

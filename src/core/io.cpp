@@ -1,0 +1,73 @@
+// Atomic console I/O (paper §3.1.3, appendix §3.7).
+//
+// On the in-process machine "sending output to the host" degenerates to a
+// process-wide mutex around stdio, which provides exactly the guarantee the
+// paper specifies: data from two separate CmiPrintfs is never interleaved,
+// and CmiScanfs from different PEs are serialized.
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "converse/cmi.h"
+#include "core/pe_state.h"
+
+namespace converse {
+namespace {
+
+std::mutex& IoMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+void VPrintTo(std::FILE* f, const char* format, va_list args) {
+  std::scoped_lock lk(IoMu());
+  std::vfprintf(f, format, args);
+  std::fflush(f);
+}
+
+}  // namespace
+
+void CmiPrintf(const char* format, ...) {
+  detail::PeState& pe = detail::CpvChecked();
+  va_list args;
+  va_start(args, format);
+  VPrintTo(pe.machine->out(), format, args);
+  va_end(args);
+}
+
+void CmiError(const char* format, ...) {
+  detail::PeState& pe = detail::CpvChecked();
+  va_list args;
+  va_start(args, format);
+  VPrintTo(pe.machine->err(), format, args);
+  va_end(args);
+}
+
+int CmiScanf(const char* format, ...) {
+  detail::PeState& pe = detail::CpvChecked();
+  std::scoped_lock lk(IoMu());
+  va_list args;
+  va_start(args, format);
+  const int rc = std::vfscanf(pe.machine->in(), format, args);
+  va_end(args);
+  return rc;
+}
+
+void CmiScanfAsync(int handler_id) {
+  detail::PeState& pe = detail::CpvChecked();
+  std::string line;
+  {
+    std::scoped_lock lk(IoMu());
+    int c;
+    while ((c = std::fgetc(pe.machine->in())) != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  // Deliver the raw line (NUL-terminated) to the handler; the recipient
+  // re-parses with sscanf, per the paper's non-blocking scanf protocol.
+  void* msg = CmiMakeMessage(handler_id, line.c_str(), line.size() + 1);
+  detail::SendOwned(pe.mype, msg);
+}
+
+}  // namespace converse

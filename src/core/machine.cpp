@@ -1,0 +1,593 @@
+#include "converse/machine.h"
+
+#include <barrier>
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+#include "converse/csd.h"
+#include "converse/detail/module.h"
+#include "converse/util/timer.h"
+#include "core/pe_state.h"
+
+namespace converse {
+namespace detail {
+namespace {
+
+thread_local PeState* tls_pe = nullptr;
+Machine* g_current_machine = nullptr;
+
+/// Per-PE state of the core module itself: the exit-broadcast handler.
+struct CoreModuleState {
+  int exit_handler = -1;
+};
+
+CoreModuleState& CoreState() {
+  return *static_cast<CoreModuleState*>(ModuleState(CoreModuleId()));
+}
+
+/// Copy `size` bytes of `msg` into a fresh machine-owned buffer.
+void* CopyMessage(const void* msg, std::size_t size) {
+  assert(size >= sizeof(MsgHeader));
+  void* copy = CmiAlloc(size);
+  std::memcpy(copy, msg, size);
+  Header(copy)->total_size = static_cast<std::uint32_t>(size);
+  Header(copy)->magic = kMsgMagicAlive;
+  return copy;
+}
+
+/// Test one scatter registration against a delivered message; returns true
+/// if the message was consumed.
+bool TryScatter(PeState& pe, void* msg) {
+  if (pe.scatters.empty()) return false;
+  const std::size_t payload_size = CmiMsgPayloadSize(msg);
+  const char* payload = static_cast<const char*>(CmiMsgPayload(msg));
+  for (std::size_t i = 0; i < pe.scatters.size(); ++i) {
+    ScatterReg& reg = pe.scatters[i];
+    if (reg.match_offset + sizeof(std::uint32_t) > payload_size) continue;
+    std::uint32_t word;
+    std::memcpy(&word, payload + reg.match_offset, sizeof(word));
+    if (word != reg.match_value) continue;
+    for (const ScatterPart& part : reg.parts) {
+      assert(part.payload_offset + part.length <= payload_size &&
+             "scatter part exceeds message payload");
+      std::memcpy(part.destination, payload + part.payload_offset,
+                  part.length);
+    }
+    const int notify = reg.notify_handler;
+    const std::uint32_t value = reg.match_value;
+    if (!reg.persistent) {
+      pe.scatters.erase(pe.scatters.begin() + static_cast<long>(i));
+    }
+    CmiFree(msg);
+    if (notify >= 0) {
+      // "queues a short empty message in addition ... to notify the
+      // recipient that the data has arrived" (paper, EMI).
+      void* note = CmiMakeMessage(notify, &value, sizeof(value));
+      pe.schedq.Enqueue(note);
+      ++pe.stats.msgs_enqueued;
+    }
+    return true;
+  }
+  return false;
+}
+
+void FlushPendingMmi(PeState& pe) {
+  if (pe.pending_mmi != nullptr && !pe.pending_mmi_grabbed) {
+    CmiFree(pe.pending_mmi);
+  }
+  pe.pending_mmi = nullptr;
+  pe.pending_mmi_grabbed = false;
+}
+
+}  // namespace
+
+PeState* Cpv() { return tls_pe; }
+
+PeState& CpvChecked() {
+  assert(tls_pe != nullptr &&
+         "Converse call made outside a PE thread of a running machine");
+  return *tls_pe;
+}
+
+int CoreModuleId() {
+  static const int id = RegisterModule(
+      "core",
+      [](int module_id) {
+        auto* st = new CoreModuleState;
+        st->exit_handler = CmiRegisterHandler([](void*) {
+          CsdExitScheduler();
+        });
+        SetModuleState(module_id, st);
+      },
+      [](void* state) { delete static_cast<CoreModuleState*>(state); });
+  return id;
+}
+
+void SendOwned(int dest_pe, void* msg) {
+  PeState& pe = CpvChecked();
+  Machine& m = *pe.machine;
+  assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
+  MsgHeader* h = Header(msg);
+  assert(h->magic == kMsgMagicAlive && "sending a freed message");
+  assert(h->handler != 0xffffffffu && "sending a message with no handler");
+  h->source_pe = static_cast<std::uint16_t>(pe.mype);
+  h->seq = static_cast<std::uint32_t>(pe.send_seq++);
+  if (pe.hooks != nullptr && pe.hooks->on_send != nullptr) {
+    pe.hooks->on_send(pe.hooks->ud, h, dest_pe);
+  }
+  ++pe.stats.msgs_sent;
+  ++pe.qd_created;
+
+  PeState& dst = m.Pe(dest_pe);
+  double arrive_us = 0.0;
+  if (m.has_model()) {
+    arrive_us = m.ElapsedUs() + m.model().OnewayUs(CmiMsgPayloadSize(msg));
+  }
+  {
+    std::scoped_lock lk(dst.mu);
+    const NetEntry e{msg, arrive_us, dst.net_seq++};
+    if (m.has_model()) {
+      dst.timedq.push(e);
+    } else {
+      dst.netq.push_back(e);
+    }
+  }
+  dst.cv.notify_one();
+}
+
+void SendOwnedImmediate(int dest_pe, void* msg) {
+  PeState& pe = CpvChecked();
+  Machine& m = *pe.machine;
+  assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
+  MsgHeader* h = Header(msg);
+  assert(h->magic == kMsgMagicAlive);
+  assert(h->handler != 0xffffffffu);
+  h->source_pe = static_cast<std::uint16_t>(pe.mype);
+  h->seq = static_cast<std::uint32_t>(pe.send_seq++);
+  if (pe.hooks != nullptr && pe.hooks->on_send != nullptr) {
+    pe.hooks->on_send(pe.hooks->ud, h, dest_pe);
+  }
+  ++pe.stats.msgs_sent;
+  ++pe.qd_created;
+  PeState& dst = m.Pe(dest_pe);
+  {
+    std::scoped_lock lk(dst.mu);
+    dst.immq.push_back(msg);
+  }
+  dst.cv.notify_one();
+}
+
+void* PopNet(PeState& pe) {
+  Machine& m = *pe.machine;
+  for (;;) {
+    void* msg = nullptr;
+    {
+      std::scoped_lock lk(pe.mu);
+      if (!pe.immq.empty()) {
+        // Out-of-band lane: always ahead of regular traffic, never
+        // delayed by the latency model.
+        msg = pe.immq.front();
+        pe.immq.pop_front();
+      } else if (m.has_model()) {
+        if (pe.timedq.empty()) return nullptr;
+        if (pe.timedq.top().arrive_us > m.ElapsedUs()) return nullptr;
+        msg = pe.timedq.top().msg;
+        pe.timedq.pop();
+      } else {
+        if (pe.netq.empty()) return nullptr;
+        msg = pe.netq.front().msg;
+        pe.netq.pop_front();
+      }
+    }
+    if (!TryScatter(pe, msg)) return msg;
+    // Scatter consumed the message; look for the next one.
+  }
+}
+
+int DeliverAvailable(PeState& pe, int budget) {
+  int delivered = 0;
+  while (budget < 0 || delivered < budget) {
+    if (pe.exit_requested) break;
+    void* msg = nullptr;
+    if (!pe.heldq.empty()) {
+      msg = pe.heldq.front();
+      pe.heldq.pop_front();
+    } else {
+      msg = PopNet(pe);
+      if (msg == nullptr) break;
+    }
+    ++pe.stats.msgs_delivered;
+    DispatchMessage(msg, /*system_owned=*/true);
+    ++delivered;
+  }
+  return delivered;
+}
+
+void WaitForNet(PeState& pe) {
+  Machine& m = *pe.machine;
+  // Optional spin phase: poll without sleeping for a configured window
+  // (dedicated-node behavior); fall through to the blocking wait after.
+  const double spin_us = m.config().idle_spin_us;
+  if (spin_us > 0) {
+    const double deadline = m.ElapsedUs() + spin_us;
+    while (m.ElapsedUs() < deadline) {
+      if (m.aborted()) throw MachineAborted{};
+      std::scoped_lock lk(pe.mu);
+      if (!pe.immq.empty()) return;
+      if (m.has_model()) {
+        if (!pe.timedq.empty() &&
+            pe.timedq.top().arrive_us <= m.ElapsedUs()) {
+          return;
+        }
+      } else if (!pe.netq.empty()) {
+        return;
+      }
+    }
+  }
+  std::unique_lock lk(pe.mu);
+  ++pe.stats.idle_blocks;
+  if (pe.hooks != nullptr && pe.hooks->on_idle_begin != nullptr) {
+    pe.hooks->on_idle_begin(pe.hooks->ud);
+  }
+  for (;;) {
+    if (m.aborted()) throw MachineAborted{};
+    if (!pe.immq.empty()) break;
+    if (m.has_model()) {
+      if (!pe.timedq.empty()) {
+        const double arrive = pe.timedq.top().arrive_us;
+        const double now = m.ElapsedUs();
+        if (arrive <= now) break;
+        pe.cv.wait_for(lk, std::chrono::duration<double, std::micro>(
+                               arrive - now));
+        continue;
+      }
+      pe.cv.wait(lk);
+    } else {
+      if (!pe.netq.empty()) break;
+      pe.cv.wait(lk);
+    }
+  }
+  if (pe.hooks != nullptr && pe.hooks->on_idle_end != nullptr) {
+    pe.hooks->on_idle_end(pe.hooks->ud);
+  }
+}
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      model_(config.model != nullptr ? *config.model : NetModel{}),
+      tree_(config.npes, 0, config.spantree_branching),
+      out_(config.out != nullptr ? config.out : stdout),
+      err_(config.err != nullptr ? config.err : stderr),
+      in_(config.in != nullptr ? config.in : stdin) {
+  assert(config.npes >= 1);
+  pes_.reserve(static_cast<std::size_t>(config.npes));
+  util::SplitMix64 seeder(config.seed);
+  for (int i = 0; i < config.npes; ++i) {
+    auto pe = std::make_unique<PeState>();
+    pe->machine = this;
+    pe->mype = i;
+    pe->npes = config.npes;
+    pe->rng = util::Xoshiro256(seeder.Next());
+    pes_.push_back(std::move(pe));
+  }
+}
+
+Machine::~Machine() {
+  for (auto& pe : pes_) DrainQueues(*pe);
+}
+
+void Machine::DrainQueues(PeState& pe) {
+  while (!pe.netq.empty()) {
+    CmiFree(pe.netq.front().msg);
+    pe.netq.pop_front();
+  }
+  while (!pe.immq.empty()) {
+    CmiFree(pe.immq.front());
+    pe.immq.pop_front();
+  }
+  while (!pe.timedq.empty()) {
+    CmiFree(pe.timedq.top().msg);
+    pe.timedq.pop();
+  }
+  while (!pe.heldq.empty()) {
+    CmiFree(pe.heldq.front());
+    pe.heldq.pop_front();
+  }
+  for (void* msg = pe.schedq.Dequeue(); msg != nullptr;
+       msg = pe.schedq.Dequeue()) {
+    CmiFree(msg);
+  }
+  if (pe.pending_mmi != nullptr && !pe.pending_mmi_grabbed) {
+    CmiFree(pe.pending_mmi);
+    pe.pending_mmi = nullptr;
+  }
+}
+
+double Machine::ElapsedUs() const {
+  return static_cast<double>(util::NowNs() - start_ns_) * 1e-3;
+}
+
+void Machine::Abort(std::exception_ptr e) {
+  {
+    std::scoped_lock lk(abort_mu_);
+    if (!first_error_ && e) first_error_ = e;
+  }
+  aborted_.store(true, std::memory_order_relaxed);
+  for (auto& pe : pes_) {
+    std::scoped_lock lk(pe->mu);
+    pe->cv.notify_all();
+  }
+}
+
+Machine* Machine::Current() { return g_current_machine; }
+
+void Machine::Run(const std::function<void(int pe, int npes)>& entry) {
+  assert(g_current_machine == nullptr &&
+         "machines must run sequentially within a process");
+  g_current_machine = this;
+  start_ns_ = util::NowNs();
+  CoreModuleId();  // make sure the core module is registered
+
+  std::barrier start_barrier(config_.npes);
+  std::barrier finish_barrier(config_.npes);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config_.npes));
+
+  for (int i = 0; i < config_.npes; ++i) {
+    threads.emplace_back([this, i, &entry, &start_barrier, &finish_barrier] {
+      PeState& pe = *pes_[static_cast<std::size_t>(i)];
+      tls_pe = &pe;
+      try {
+        RunPeInitHooks();
+      } catch (...) {
+        Abort(std::current_exception());
+      }
+      start_barrier.arrive_and_wait();
+      if (!aborted()) {
+        try {
+          entry(pe.mype, pe.npes);
+        } catch (MachineAborted&) {
+          // Another PE failed; unwind quietly.
+        } catch (...) {
+          Abort(std::current_exception());
+        }
+      }
+      finish_barrier.arrive_and_wait();
+      try {
+        RunPeFiniHooks();
+      } catch (...) {
+        Abort(std::current_exception());
+      }
+      tls_pe = nullptr;
+    });
+  }
+  for (auto& t : threads) t.join();
+  g_current_machine = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+void RunConverse(const MachineConfig& config,
+                 const std::function<void(int pe, int npes)>& entry) {
+  detail::Machine machine(config);
+  machine.Run(entry);
+}
+
+void RunConverse(int npes,
+                 const std::function<void(int pe, int npes)>& entry) {
+  MachineConfig config;
+  config.npes = npes;
+  RunConverse(config, entry);
+}
+
+bool CmiInsideMachine() { return detail::Cpv() != nullptr; }
+
+int CmiMyPe() { return detail::CpvChecked().mype; }
+int CmiNumPes() { return detail::CpvChecked().npes; }
+
+double CmiTimer() {
+  return detail::CpvChecked().machine->ElapsedUs() * 1e-6;
+}
+
+double CmiCpuTimer() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void CmiSyncSend(unsigned int dest_pe, unsigned int size, void* msg) {
+  detail::SendOwned(static_cast<int>(dest_pe),
+                    detail::CopyMessage(msg, size));
+}
+
+void CmiSyncSendAndFree(unsigned int dest_pe, unsigned int size, void* msg) {
+  auto* h = detail::Header(msg);
+  assert(h->magic == detail::kMsgMagicAlive);
+  h->total_size = size;
+  detail::PeState& pe = detail::CpvChecked();
+  // Guard against handing the machine a buffer the dispatcher still owns.
+  assert((pe.sysbuf_stack.empty() || pe.sysbuf_stack.back().msg != msg ||
+          pe.sysbuf_stack.back().grabbed) &&
+         "CmiSyncSendAndFree on an ungrabbed system buffer; call "
+         "CmiGrabBuffer first");
+  (void)pe;
+  detail::SendOwned(static_cast<int>(dest_pe), msg);
+}
+
+CommHandle CmiAsyncSend(unsigned int dest_pe, unsigned int size, void* msg) {
+  // The in-process machine copies eagerly, so the operation completes
+  // before the call returns; the handle is born "done".
+  CmiSyncSend(dest_pe, size, msg);
+  return CommHandle{nullptr};
+}
+
+int CmiAsyncMsgSent(CommHandle handle) {
+  if (handle.rec == nullptr) return 1;
+  return *static_cast<bool*>(handle.rec) ? 1 : 0;
+}
+
+void CmiReleaseCommHandle(CommHandle handle) {
+  delete static_cast<bool*>(handle.rec);
+}
+
+CommHandle CmiVectorSend(int dest_pe, int handler_id, int len,
+                         const int sizes[], const void* const data_array[]) {
+  std::size_t payload = 0;
+  for (int i = 0; i < len; ++i) payload += static_cast<std::size_t>(sizes[i]);
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + payload);
+  CmiSetHandler(msg, handler_id);
+  char* out = static_cast<char*>(CmiMsgPayload(msg));
+  for (int i = 0; i < len; ++i) {
+    std::memcpy(out, data_array[i], static_cast<std::size_t>(sizes[i]));
+    out += sizes[i];
+  }
+  detail::SendOwned(dest_pe, msg);
+  return CommHandle{nullptr};
+}
+
+void* CmiGetMsg() {
+  detail::PeState& pe = detail::CpvChecked();
+  detail::FlushPendingMmi(pe);
+  void* msg = nullptr;
+  if (!pe.heldq.empty()) {
+    msg = pe.heldq.front();
+    pe.heldq.pop_front();
+  } else {
+    msg = detail::PopNet(pe);
+  }
+  if (msg != nullptr) {
+    pe.pending_mmi = msg;
+    pe.pending_mmi_grabbed = false;
+  }
+  return msg;
+}
+
+int CmiDeliverMsgs(int max_msgs) {
+  detail::PeState& pe = detail::CpvChecked();
+  return detail::DeliverAvailable(pe, max_msgs);
+}
+
+void* CmiGetSpecificMsg(int handler_id) {
+  detail::PeState& pe = detail::CpvChecked();
+  detail::FlushPendingMmi(pe);
+  // First look through messages buffered by earlier calls.
+  for (auto it = pe.heldq.begin(); it != pe.heldq.end(); ++it) {
+    if (CmiGetHandler(*it) == handler_id) {
+      void* msg = *it;
+      pe.heldq.erase(it);
+      pe.pending_mmi = msg;
+      pe.pending_mmi_grabbed = false;
+      return msg;
+    }
+  }
+  for (;;) {
+    void* msg = detail::PopNet(pe);
+    if (msg == nullptr) {
+      detail::WaitForNet(pe);
+      continue;
+    }
+    if (CmiGetHandler(msg) == handler_id) {
+      pe.pending_mmi = msg;
+      pe.pending_mmi_grabbed = false;
+      return msg;
+    }
+    pe.heldq.push_back(msg);  // buffer messages meant for other handlers
+  }
+}
+
+void CmiGrabBuffer(void** pbuf) {
+  detail::PeState& pe = detail::CpvChecked();
+  void* buf = *pbuf;
+  if (pe.pending_mmi == buf) {
+    pe.pending_mmi_grabbed = true;
+    return;
+  }
+  for (auto it = pe.sysbuf_stack.rbegin(); it != pe.sysbuf_stack.rend();
+       ++it) {
+    if (it->msg == buf) {
+      it->grabbed = true;
+      return;
+    }
+  }
+  assert(false &&
+         "CmiGrabBuffer: buffer is not a system-owned message being "
+         "delivered on this PE");
+}
+
+void CmiSyncBroadcast(unsigned int size, void* msg) {
+  detail::PeState& pe = detail::CpvChecked();
+  for (int i = 0; i < pe.npes; ++i) {
+    if (i == pe.mype) continue;
+    detail::SendOwned(i, detail::CopyMessage(msg, size));
+  }
+}
+
+void CmiSyncBroadcastAll(unsigned int size, void* msg) {
+  detail::PeState& pe = detail::CpvChecked();
+  for (int i = 0; i < pe.npes; ++i) {
+    detail::SendOwned(i, detail::CopyMessage(msg, size));
+  }
+}
+
+void CmiSyncBroadcastAllAndFree(unsigned int size, void* msg) {
+  CmiSyncBroadcastAll(size, msg);
+  CmiFree(msg);
+}
+
+CommHandle CmiAsyncBroadcast(unsigned int size, void* msg) {
+  CmiSyncBroadcast(size, msg);
+  return CommHandle{nullptr};
+}
+
+CommHandle CmiAsyncBroadcastAll(unsigned int size, void* msg) {
+  CmiSyncBroadcastAll(size, msg);
+  return CommHandle{nullptr};
+}
+
+void CmiSyncSendImmediate(unsigned int dest_pe, unsigned int size,
+                          void* msg) {
+  detail::SendOwnedImmediate(static_cast<int>(dest_pe),
+                             detail::CopyMessage(msg, size));
+}
+
+void CmiSyncSendImmediateAndFree(unsigned int dest_pe, unsigned int size,
+                                 void* msg) {
+  detail::Header(msg)->total_size = size;
+  detail::SendOwnedImmediate(static_cast<int>(dest_pe), msg);
+}
+
+int CmiProbeImmediates() {
+  detail::PeState& pe = detail::CpvChecked();
+  int delivered = 0;
+  for (;;) {
+    void* msg = nullptr;
+    {
+      std::scoped_lock lk(pe.mu);
+      if (pe.immq.empty()) break;
+      msg = pe.immq.front();
+      pe.immq.pop_front();
+    }
+    ++pe.stats.msgs_delivered;
+    detail::DispatchMessage(msg, /*system_owned=*/true);
+    ++delivered;
+  }
+  return delivered;
+}
+
+CmiStats CmiGetStats() { return detail::CpvChecked().stats; }
+
+void ConverseBroadcastExit() {
+  const int handler = detail::CoreState().exit_handler;
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader));
+  CmiSetHandler(msg, handler);
+  CmiSyncBroadcastAllAndFree(sizeof(detail::MsgHeader), msg);
+}
+
+}  // namespace converse

@@ -1,0 +1,88 @@
+#include "converse/detail/module.h"
+
+#include <cassert>
+#include <mutex>
+#include <vector>
+
+#include "core/pe_state.h"
+
+namespace converse::detail {
+namespace {
+
+struct ModuleInfo {
+  const char* name;
+  std::function<void(int)> pe_init;
+  std::function<void(void*)> pe_fini;
+};
+
+// Append-only registry.  Registration happens during static initialization
+// or from a single thread before any machine runs; the mutex guards against
+// a module being first-referenced between two machine runs while tools
+// threads exist.
+std::mutex& RegistryMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<ModuleInfo>& Registry() {
+  static std::vector<ModuleInfo> v;
+  return v;
+}
+
+}  // namespace
+
+int RegisterModule(const char* name, std::function<void(int)> pe_init,
+                   std::function<void(void*)> pe_fini) {
+  std::scoped_lock lk(RegistryMu());
+  auto& reg = Registry();
+  reg.push_back(ModuleInfo{name, std::move(pe_init), std::move(pe_fini)});
+  return static_cast<int>(reg.size()) - 1;
+}
+
+int NumModules() {
+  std::scoped_lock lk(RegistryMu());
+  return static_cast<int>(Registry().size());
+}
+
+void* ModuleState(int module_id) {
+  PeState& pe = CpvChecked();
+  assert(module_id >= 0 &&
+         module_id < static_cast<int>(pe.module_state.size()) &&
+         "module used before machine start registered it");
+  return pe.module_state[static_cast<std::size_t>(module_id)];
+}
+
+void SetModuleState(int module_id, void* state) {
+  PeState& pe = CpvChecked();
+  assert(module_id >= 0 &&
+         module_id < static_cast<int>(pe.module_state.size()));
+  pe.module_state[static_cast<std::size_t>(module_id)] = state;
+}
+
+void RunPeInitHooks() {
+  PeState& pe = CpvChecked();
+  // Snapshot the count once: modules registered after machine start would
+  // have inconsistent handler indices across PEs, so they are deliberately
+  // not initialized for this machine.
+  std::size_t n;
+  {
+    std::scoped_lock lk(RegistryMu());
+    n = Registry().size();
+  }
+  pe.module_state.assign(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    Registry()[i].pe_init(static_cast<int>(i));
+  }
+}
+
+void RunPeFiniHooks() {
+  PeState& pe = CpvChecked();
+  for (std::size_t i = pe.module_state.size(); i-- > 0;) {
+    if (pe.module_state[i] != nullptr) {
+      Registry()[i].pe_fini(pe.module_state[i]);
+      pe.module_state[i] = nullptr;
+    }
+  }
+}
+
+}  // namespace converse::detail

@@ -1,0 +1,52 @@
+#include "converse/msg.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "converse/handlers.h"
+
+namespace converse {
+
+void* CmiAlloc(std::size_t nbytes) {
+  assert(nbytes >= sizeof(detail::MsgHeader) &&
+         "CmiAlloc size must include CmiMsgHeaderSizeBytes()");
+  void* msg = ::operator new(nbytes, std::align_val_t{16});
+  auto* h = detail::Header(msg);
+  h->handler = 0xffffffffu;  // invalid until CmiSetHandler
+  h->total_size = static_cast<std::uint32_t>(nbytes);
+  h->int_prio = 0;
+  h->source_pe = 0;
+  h->queueing = static_cast<std::uint8_t>(Queueing::kFifo);
+  h->flags = detail::kMsgFlagNone;
+  h->magic = detail::kMsgMagicAlive;
+  h->seq = 0;
+  h->reserved = 0;
+  return msg;
+}
+
+void CmiFree(void* msg) {
+  if (msg == nullptr) return;
+  auto* h = detail::Header(msg);
+  assert(h->magic == detail::kMsgMagicAlive && "CmiFree: not a live message");
+  h->magic = detail::kMsgMagicFreed;
+  ::operator delete(msg, std::align_val_t{16});
+}
+
+void* CmiMakeMessage(int handler, const void* payload,
+                     std::size_t payload_len) {
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + payload_len);
+  CmiSetHandler(msg, handler);
+  if (payload != nullptr && payload_len > 0) {
+    std::memcpy(CmiMsgPayload(msg), payload, payload_len);
+  }
+  return msg;
+}
+
+bool CmiMsgIsValid(const void* msg) {
+  return msg != nullptr &&
+         detail::Header(msg)->magic == detail::kMsgMagicAlive;
+}
+
+}  // namespace converse

@@ -1,0 +1,195 @@
+// Internal per-PE and per-machine state of the in-process Converse machine.
+// Not installed; runtime modules inside libconverse include it relative to
+// the src/ root.  Everything in here is owned either by exactly one PE
+// thread (consumer-side fields) or guarded by PeState::mu (the network
+// in-queue, the only cross-thread channel).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "converse/cmi.h"
+#include "converse/emi.h"
+#include "converse/handlers.h"
+#include "converse/machine.h"
+#include "converse/queueing.h"
+#include "converse/util/rng.h"
+#include "converse/util/spantree.h"
+
+namespace converse::detail {
+
+class Machine;
+
+/// A message sitting in a PE's network in-queue.
+struct NetEntry {
+  void* msg;
+  double arrive_us;   // visibility time (0 when no net model)
+  std::uint64_t seq;  // tie-break so equal arrival times stay FIFO
+};
+
+struct NetEntryLater {
+  bool operator()(const NetEntry& a, const NetEntry& b) const {
+    if (a.arrive_us != b.arrive_us) return a.arrive_us > b.arrive_us;
+    return a.seq > b.seq;
+  }
+};
+
+/// Dispatch-time bookkeeping for the buffer ownership protocol: the message
+/// currently being delivered and whether its handler grabbed it.
+struct SysBuf {
+  void* msg;
+  bool grabbed;
+};
+
+/// Trace/instrumentation hooks.  All optional; the core tests `hooks` once
+/// per event, so a machine without tracing pays one predictable branch.
+struct CoreHooks {
+  void* ud = nullptr;
+  void (*on_send)(void* ud, const MsgHeader* h, int dest_pe) = nullptr;
+  void (*on_dispatch_begin)(void* ud, const MsgHeader* h,
+                            bool from_queue) = nullptr;
+  void (*on_dispatch_end)(void* ud, std::uint32_t handler,
+                          double begin_us) = nullptr;
+  void (*on_enqueue)(void* ud, const MsgHeader* h) = nullptr;
+  void (*on_idle_begin)(void* ud) = nullptr;
+  void (*on_idle_end)(void* ud) = nullptr;
+};
+
+/// One-shot/persistent scatter registration (EMI advance receive).
+struct ScatterReg {
+  int id;
+  std::size_t match_offset;
+  std::uint32_t match_value;
+  std::vector<ScatterPart> parts;
+  int notify_handler;
+  bool persistent;
+};
+
+/// Thrown inside blocked runtime calls when another PE aborted the machine
+/// (entry function threw); swallowed by the PE thread wrapper.
+struct MachineAborted {};
+
+struct PeState {
+  Machine* machine = nullptr;
+  int mype = 0;
+  int npes = 1;
+
+  // ---- network in-queue: producers are other PE threads ----
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<NetEntry> netq;  // used when there is no net model (FIFO)
+  std::deque<void*> immq;     // immediate (out-of-band) messages: always
+                              // delivered before regular traffic and never
+                              // delayed by a net model
+  std::priority_queue<NetEntry, std::vector<NetEntry>, NetEntryLater>
+      timedq;  // used with a net model (ordered by arrival time)
+  std::uint64_t net_seq = 0;
+
+  // ---- consumer-only state (touched only by this PE's thread) ----
+  std::deque<void*> heldq;  // buffered by CmiGetSpecificMsg
+  CqsQueue schedq;
+  std::vector<Handler> handlers;
+  std::vector<SysBuf> sysbuf_stack;
+  void* pending_mmi = nullptr;  // last buffer returned by CmiGetMsg/Specific
+  bool pending_mmi_grabbed = false;
+  bool exit_requested = false;
+  int sched_depth = 0;  // nesting level of running scheduler loops
+  std::vector<void*> module_state;
+  std::vector<ScatterReg> scatters;
+  int next_scatter_id = 0;
+  util::Xoshiro256 rng{0};
+  CmiStats stats;
+  std::uint64_t send_seq = 0;
+  const CoreHooks* hooks = nullptr;
+
+  // Quiescence-relevant counters (read by the charm runtime).
+  std::uint64_t qd_created = 0;    // messages sent or enqueued
+  std::uint64_t qd_processed = 0;  // messages dispatched
+
+  PeState() = default;
+  PeState(const PeState&) = delete;
+  PeState& operator=(const PeState&) = delete;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Spawn PE threads, run `entry` everywhere, join, tear down.
+  void Run(const std::function<void(int pe, int npes)>& entry);
+
+  PeState& Pe(int i) { return *pes_[i]; }
+  int npes() const { return config_.npes; }
+  const MachineConfig& config() const { return config_; }
+  bool has_model() const { return config_.model != nullptr; }
+  const NetModel& model() const { return model_; }
+  const util::SpanningTree& tree() const { return tree_; }
+  std::FILE* out() const { return out_; }
+  std::FILE* err() const { return err_; }
+  std::FILE* in() const { return in_; }
+
+  /// Microseconds since machine start.
+  double ElapsedUs() const;
+
+  void Abort(std::exception_ptr e);
+  bool aborted() const { return aborted_.load(std::memory_order_relaxed); }
+
+  /// The currently running machine (nullptr outside Run).
+  static Machine* Current();
+
+ private:
+  void DrainQueues(PeState& pe);
+
+  MachineConfig config_;
+  NetModel model_;  // copy of *config.model (valid even if caller's dies)
+  util::SpanningTree tree_;
+  std::vector<std::unique_ptr<PeState>> pes_;
+  std::int64_t start_ns_ = 0;
+  std::FILE* out_;
+  std::FILE* err_;
+  std::FILE* in_;
+  std::atomic<bool> aborted_{false};
+  std::mutex abort_mu_;
+  std::exception_ptr first_error_;
+};
+
+/// Current PE (thread-local); nullptr outside a PE thread.
+PeState* Cpv();
+/// Current PE, asserting we are inside a machine.
+PeState& CpvChecked();
+
+/// Internal send: takes ownership of `msg` (header fields completed here).
+void SendOwned(int dest_pe, void* msg);
+
+/// Internal immediate send: like SendOwned but into the receiver's
+/// out-of-band lane (paper §6 "preemptive messages" future work).
+void SendOwnedImmediate(int dest_pe, void* msg);
+
+/// Pop the next deliverable network message, applying scatter
+/// registrations; nullptr if none available right now.
+void* PopNet(PeState& pe);
+
+/// Deliver buffered-held + available network messages, up to `budget`
+/// (-1 = unlimited); stops early if the PE's exit flag is raised.
+int DeliverAvailable(PeState& pe, int budget);
+
+/// Block until a network message is (or becomes) deliverable.  Throws
+/// MachineAborted if the machine is aborting.
+void WaitForNet(PeState& pe);
+
+/// Core module id (registers the exit-broadcast handler); calling it
+/// ensures the core module is registered.
+int CoreModuleId();
+
+}  // namespace converse::detail

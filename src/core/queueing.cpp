@@ -1,0 +1,123 @@
+#include "converse/queueing.h"
+
+#include <cassert>
+
+namespace converse {
+namespace {
+
+// Normalized view of a priority as a bit string: `words` MSB-first and the
+// total number of significant bits.  The default priority is integer 0.
+struct PrioView {
+  const std::uint32_t* words;
+  std::size_t nwords;
+  int nbits;
+};
+
+constexpr std::uint32_t kDefaultWord = 0x80000000u;  // int 0, sign-biased
+
+PrioView View(const CqsPrio& p) {
+  static constexpr std::uint32_t kDefaultWords[1] = {kDefaultWord};
+  if (p.words().empty()) return {kDefaultWords, 1, 32};
+  const int nbits =
+      p.nbits() > 0 ? p.nbits() : static_cast<int>(p.words().size()) * 32;
+  return {p.words().data(), p.words().size(), nbits};
+}
+
+}  // namespace
+
+CqsPrio CqsPrio::FromBitvec(const std::uint32_t* words, int nbits) {
+  assert(nbits >= 0);
+  CqsPrio out;
+  out.nbits_ = nbits;
+  const int nwords = (nbits + 31) / 32;
+  out.words_.assign(words, words + nwords);
+  // Mask the unused low bits of the final partial word so that comparisons
+  // are well defined regardless of caller garbage.
+  if (nbits % 32 != 0 && nwords > 0) {
+    const std::uint32_t mask = ~((1u << (32 - nbits % 32)) - 1);
+    out.words_.back() &= mask;
+  }
+  if (nwords == 0) {
+    // Zero-length bit-vector: equivalent to the default priority but keep a
+    // distinct representation rule: treat it as default.
+    out.nbits_ = 0;
+  }
+  return out;
+}
+
+int CqsPrio::Compare(const CqsPrio& o) const {
+  const PrioView a = View(*this);
+  const PrioView b = View(o);
+  // Compare the common prefix, bit-string-wise (words are MSB-first).
+  const int common_bits = a.nbits < b.nbits ? a.nbits : b.nbits;
+  const int common_full_words = common_bits / 32;
+  for (int i = 0; i < common_full_words; ++i) {
+    if (a.words[i] != b.words[i]) return a.words[i] < b.words[i] ? -1 : 1;
+  }
+  const int rem = common_bits % 32;
+  if (rem != 0) {
+    const std::uint32_t mask = ~((1u << (32 - rem)) - 1);
+    const std::uint32_t aw = a.words[common_full_words] & mask;
+    const std::uint32_t bw = b.words[common_full_words] & mask;
+    if (aw != bw) return aw < bw ? -1 : 1;
+  }
+  // Equal on the common prefix: the shorter bit string compares smaller
+  // (dequeues first); equal lengths are equal priorities.
+  if (a.nbits != b.nbits) return a.nbits < b.nbits ? -1 : 1;
+  return 0;
+}
+
+bool CqsPrio::IsDefault() const {
+  if (words_.empty()) return true;
+  return Compare(CqsPrio{}) == 0;
+}
+
+CqsQueue::~CqsQueue() {
+  // The queue does not own message payloads in general, but at machine
+  // teardown leftover messages would leak; the machine layer drains the
+  // queue itself. Nothing to do here.
+}
+
+void CqsQueue::EnqueueGeneral(void* msg, Queueing strategy, CqsPrio prio) {
+  assert(msg != nullptr);
+  const std::uint64_t s = seq_++;
+  const bool lifo = strategy == Queueing::kLifo ||
+                    strategy == Queueing::kIntLifo ||
+                    strategy == Queueing::kBitvecLifo;
+  const bool unprioritized =
+      strategy == Queueing::kFifo || strategy == Queueing::kLifo;
+  detail::Header(msg)->queueing = static_cast<std::uint8_t>(strategy);
+  if (unprioritized) {
+    if (lifo) {
+      zeroq_.push_front(msg);
+    } else {
+      zeroq_.push_back(msg);
+    }
+    return;
+  }
+  // LIFO among equal priorities: invert the sequence order.  ~s preserves
+  // uniqueness and reverses comparison direction.
+  heap_.push(Entry{std::move(prio), lifo ? ~s : s, msg});
+}
+
+void* CqsQueue::Dequeue() {
+  static const CqsPrio kDefault{};
+  if (!heap_.empty() && heap_.top().prio.Compare(kDefault) < 0) {
+    void* msg = heap_.top().msg;
+    heap_.pop();
+    return msg;
+  }
+  if (!zeroq_.empty()) {
+    void* msg = zeroq_.front();
+    zeroq_.pop_front();
+    return msg;
+  }
+  if (!heap_.empty()) {
+    void* msg = heap_.top().msg;
+    heap_.pop();
+    return msg;
+  }
+  return nullptr;
+}
+
+}  // namespace converse

@@ -1,0 +1,142 @@
+#include "converse/futures.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+
+#include "converse/cth.h"
+#include "converse/detail/module.h"
+#include "core/pe_state.h"
+
+namespace converse {
+namespace {
+
+struct FutureWire {
+  std::uint32_t idx;
+  std::uint32_t len;
+  // `len` value bytes follow
+};
+
+struct FutureSlot {
+  bool ready = false;
+  std::vector<char> value;
+  CthThread* waiter = nullptr;
+};
+
+struct FuturesState {
+  int handler = -1;
+  std::uint32_t next_idx = 1;
+  std::map<std::uint32_t, FutureSlot> slots;
+};
+
+int ModuleId();
+
+FuturesState& St() {
+  return *static_cast<FuturesState*>(detail::ModuleState(ModuleId()));
+}
+
+void FillLocal(FuturesState& st, std::uint32_t idx, const void* data,
+               std::size_t len) {
+  auto it = st.slots.find(idx);
+  assert(it != st.slots.end() && "CfutureSet on unknown/destroyed future");
+  FutureSlot& slot = it->second;
+  assert(!slot.ready && "future set twice (single-assignment violated)");
+  slot.value.assign(static_cast<const char*>(data),
+                    static_cast<const char*>(data) + len);
+  slot.ready = true;
+  if (slot.waiter != nullptr) {
+    CthThread* t = slot.waiter;
+    slot.waiter = nullptr;
+    CthAwaken(t);
+  }
+}
+
+void FutureHandler(void* msg) {
+  const auto* wire = static_cast<const FutureWire*>(CmiMsgPayload(msg));
+  FillLocal(St(), wire->idx, wire + 1, wire->len);
+}
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "futures",
+      [](int module_id) {
+        auto* st = new FuturesState;
+        st->handler = CmiRegisterHandler(&FutureHandler);
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) { delete static_cast<FuturesState*>(state); });
+  return id;
+}
+
+}  // namespace
+
+Cfuture CfutureCreate() {
+  FuturesState& st = St();
+  const std::uint32_t idx = st.next_idx++;
+  st.slots.emplace(idx, FutureSlot{});
+  return Cfuture{CmiMyPe(), idx};
+}
+
+void CfutureSet(Cfuture f, const void* data, std::size_t len) {
+  assert(f.IsValid());
+  FuturesState& st = St();
+  if (f.pe == CmiMyPe()) {
+    FillLocal(st, f.idx, data, len);
+    return;
+  }
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(FutureWire) + len);
+  CmiSetHandler(msg, st.handler);
+  auto* wire = static_cast<FutureWire*>(CmiMsgPayload(msg));
+  wire->idx = f.idx;
+  wire->len = static_cast<std::uint32_t>(len);
+  if (len > 0) std::memcpy(wire + 1, data, len);
+  detail::SendOwned(f.pe, msg);
+}
+
+bool CfutureReady(Cfuture f) {
+  assert(f.pe == CmiMyPe() && "only the owner PE may query a future");
+  const FuturesState& st = St();
+  auto it = st.slots.find(f.idx);
+  return it != st.slots.end() && it->second.ready;
+}
+
+const std::vector<char>& CfutureWait(Cfuture f) {
+  assert(f.pe == CmiMyPe() && "only the owner PE may wait on a future");
+  FuturesState& st = St();
+  auto it = st.slots.find(f.idx);
+  assert(it != st.slots.end() && "CfutureWait on a destroyed future");
+  FutureSlot& slot = it->second;
+  if (!slot.ready) {
+    if (!CthIsMain(CthSelf())) {
+      assert(slot.waiter == nullptr &&
+             "two threads waiting on one future");
+      slot.waiter = CthSelf();
+      CthSuspend();
+      assert(slot.ready);
+    } else {
+      // SPM regime: receive only future traffic.  Any future fill may be
+      // ours; re-check after each.
+      while (!slot.ready) {
+        void* msg = CmiGetSpecificMsg(st.handler);
+        FutureHandler(msg);
+      }
+    }
+  }
+  return slot.value;
+}
+
+void CfutureDestroy(Cfuture f) {
+  assert(f.pe == CmiMyPe());
+  FuturesState& st = St();
+  auto it = st.slots.find(f.idx);
+  assert(it != st.slots.end());
+  assert(it->second.waiter == nullptr && "destroying an awaited future");
+  st.slots.erase(it);
+}
+
+int CfutureLiveCount() { return static_cast<int>(St().slots.size()); }
+
+// Registration entry point used by the header anchor.
+int detail::FuturesModuleRegister() { return ModuleId(); }
+
+}  // namespace converse

@@ -1,0 +1,202 @@
+#include "converse/gptr.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+
+#include "converse/detail/module.h"
+#include "core/pe_state.h"
+
+namespace converse {
+namespace {
+
+// All gptr traffic — get requests, put requests, and replies — shares ONE
+// handler.  This matters for the synchronous calls: while a PE blocks in
+// CmiSyncGet/CmiSyncPut it receives only gptr traffic (SPM purity), but it
+// must still *serve* requests from other PEs or a cycle of blocked getters
+// would deadlock.  One handler makes CmiGetSpecificMsg cover both.
+enum class WireKind : std::int32_t { kGet = 0, kPut = 1, kReply = 2 };
+
+struct GptrWire {
+  std::int32_t kind;      // WireKind
+  std::int32_t peer;      // requests: reply PE; replies: unused
+  std::uint64_t req_id;
+  std::uint64_t addr;     // requests only
+  std::uint32_t size;     // payload bytes that follow (put data/get reply)
+  std::uint32_t pad;
+};
+
+struct Outstanding {
+  void* lptr = nullptr;  // destination for get replies
+  bool* done = nullptr;  // completion flag owned by the CommHandle
+};
+
+struct GptrState {
+  int handler = -1;
+  std::uint64_t next_req = 0;
+  std::map<std::uint64_t, Outstanding> outstanding;
+};
+
+int ModuleId();
+
+GptrState& St() {
+  return *static_cast<GptrState*>(detail::ModuleState(ModuleId()));
+}
+
+void* MakeWireMsg(int handler, WireKind kind, std::uint64_t req_id,
+                  std::uint64_t addr, const void* data, std::uint32_t size) {
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(GptrWire) + size);
+  CmiSetHandler(msg, handler);
+  auto* wire = static_cast<GptrWire*>(CmiMsgPayload(msg));
+  wire->kind = static_cast<std::int32_t>(kind);
+  wire->peer = CmiMyPe();
+  wire->req_id = req_id;
+  wire->addr = addr;
+  wire->size = size;
+  wire->pad = 0;
+  if (size > 0) std::memcpy(wire + 1, data, size);
+  return msg;
+}
+
+/// Process one gptr message (from the scheduler or from a blocked wait).
+void Process(const void* msg) {
+  GptrState& st = St();
+  const auto* wire = static_cast<const GptrWire*>(CmiMsgPayload(msg));
+  switch (static_cast<WireKind>(wire->kind)) {
+    case WireKind::kGet: {
+      void* local = reinterpret_cast<void*>(wire->addr);
+      void* reply = MakeWireMsg(st.handler, WireKind::kReply, wire->req_id,
+                                0, local, wire->size);
+      detail::SendOwned(wire->peer, reply);
+      return;
+    }
+    case WireKind::kPut: {
+      void* local = reinterpret_cast<void*>(wire->addr);
+      std::memcpy(local, wire + 1, wire->size);
+      void* ack = MakeWireMsg(st.handler, WireKind::kReply, wire->req_id,
+                              0, nullptr, 0);
+      detail::SendOwned(wire->peer, ack);
+      return;
+    }
+    case WireKind::kReply: {
+      auto it = st.outstanding.find(wire->req_id);
+      assert(it != st.outstanding.end() && "gptr reply for unknown request");
+      if (wire->size > 0) {
+        std::memcpy(it->second.lptr, wire + 1, wire->size);
+      }
+      *it->second.done = true;
+      st.outstanding.erase(it);
+      return;
+    }
+  }
+  assert(false && "corrupt gptr wire kind");
+}
+
+void GptrHandler(void* msg) { Process(msg); }
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "gptr",
+      [](int module_id) {
+        auto* st = new GptrState;
+        st->handler = CmiRegisterHandler(&GptrHandler);
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) { delete static_cast<GptrState*>(state); });
+  return id;
+}
+
+/// Issue a request; returns a handle whose completion flag the reply sets.
+CommHandle Issue(WireKind kind, const GlobalPtr* gptr, void* lptr,
+                 const void* src, unsigned int size) {
+  assert(kind == WireKind::kGet || kind == WireKind::kPut);
+  assert(size <= gptr->size && "get/put exceeds registered region size");
+  GptrState& st = St();
+  detail::PeState& pe = detail::CpvChecked();
+
+  bool* done = new bool(false);
+
+  // Local fast path: service the request without a network round trip, as
+  // a real machine layer would for self-references.
+  if (gptr->pe == pe.mype) {
+    void* local = reinterpret_cast<void*>(gptr->addr);
+    if (kind == WireKind::kGet) {
+      std::memcpy(lptr, local, size);
+    } else {
+      std::memcpy(local, src, size);
+    }
+    *done = true;
+    return CommHandle{done};
+  }
+
+  const std::uint64_t req_id = st.next_req++;
+  st.outstanding[req_id] = Outstanding{lptr, done};
+  void* msg = MakeWireMsg(st.handler, kind, req_id, gptr->addr,
+                          kind == WireKind::kPut ? src : nullptr,
+                          kind == WireKind::kPut ? size : 0);
+  if (kind == WireKind::kGet) {
+    static_cast<GptrWire*>(CmiMsgPayload(msg))->size = size;
+  }
+  detail::SendOwned(gptr->pe, msg);
+  return CommHandle{done};
+}
+
+/// Wait for `done`, receiving only gptr traffic — serving remote requests
+/// and consuming replies, nothing else (SPM-safe).
+void WaitDone(const bool* done) {
+  GptrState& st = St();
+  while (!*done) {
+    void* msg = CmiGetSpecificMsg(st.handler);
+    Process(msg);
+    // The buffer is MMI-owned; the next MMI receive reclaims it.
+  }
+}
+
+}  // namespace
+
+int CmiGptrCreate(GlobalPtr* gptr, void* lptr, unsigned int size) {
+  gptr->pe = CmiMyPe();
+  gptr->size = size;
+  gptr->addr = reinterpret_cast<std::uint64_t>(lptr);
+  return 1;
+}
+
+void* CmiGptrDref(GlobalPtr* gptr) {
+  assert(gptr->pe == CmiMyPe() &&
+         "CmiGptrDref on a pointer owned by another PE");
+  return reinterpret_cast<void*>(gptr->addr);
+}
+
+int CmiSyncGet(const GlobalPtr* gptr, void* lptr, unsigned int size) {
+  CommHandle h = Issue(WireKind::kGet, gptr, lptr, nullptr, size);
+  CmiWaitHandle(h);
+  return 1;
+}
+
+int CmiSyncPut(const GlobalPtr* gptr, const void* lptr, unsigned int size) {
+  CommHandle h = Issue(WireKind::kPut, gptr, nullptr, lptr, size);
+  CmiWaitHandle(h);
+  return 1;
+}
+
+CommHandle CmiGet(const GlobalPtr* gptr, void* lptr, unsigned int size) {
+  return Issue(WireKind::kGet, gptr, lptr, nullptr, size);
+}
+
+CommHandle CmiPut(const GlobalPtr* gptr, const void* lptr,
+                  unsigned int size) {
+  return Issue(WireKind::kPut, gptr, nullptr, lptr, size);
+}
+
+void CmiWaitHandle(CommHandle handle) {
+  if (handle.rec != nullptr) {
+    WaitDone(static_cast<const bool*>(handle.rec));
+  }
+  CmiReleaseCommHandle(handle);
+}
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::GptrModuleRegister() { return converse::ModuleId(); }
+
+}  // namespace converse

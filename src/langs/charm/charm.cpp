@@ -1,0 +1,651 @@
+#include "converse/langs/charm.h"
+
+#include "langs/charm/charm_internal.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "converse/cld.h"
+#include "converse/csd.h"
+#include "converse/detail/module.h"
+#include "converse/trace.h"
+#include "core/pe_state.h"
+
+namespace converse::charm {
+
+/// Grants the runtime access to Chare::id_.
+struct ChareRuntimeAccess {
+  static void SetId(Chare* c, ChareId id) { c->id_ = id; }
+};
+
+namespace {
+
+// ---- Wire formats ------------------------------------------------------------
+
+struct CreateWire {
+  std::int32_t type;
+  std::uint32_t arg_len;
+  // arg bytes follow
+};
+
+struct InvokeWire {
+  ChareId target;
+  std::int32_t entry;
+  std::uint32_t len;
+  // payload bytes follow
+};
+
+struct GroupCreateWire {
+  std::int32_t gid;
+  std::int32_t type;
+  std::uint32_t arg_len;
+  std::uint32_t pad;
+};
+
+struct GroupInvokeWire {
+  std::int32_t gid;
+  std::int32_t entry;
+  std::uint32_t len;
+  std::uint32_t pad;
+};
+
+struct ReadonlyWire {
+  std::int32_t key;
+  std::uint32_t len;
+};
+
+struct QdRequestWire {
+  std::int32_t initiator;
+  std::int32_t cb_id;
+};
+
+struct QdWaveWire {
+  std::uint64_t wave;
+};
+
+struct QdContribWire {
+  std::uint64_t wave;
+  std::int64_t created;
+  std::int64_t processed;
+};
+
+struct QdDoneWire {
+  std::int32_t cb_id;
+};
+
+// ---- Per-PE state -------------------------------------------------------------
+
+struct ChareTypeInfo {
+  const char* name;
+  ChareFactory factory;
+};
+
+struct QdWaveState {
+  int child_contribs = 0;
+  bool have_local = false;
+  std::int64_t created = 0;
+  std::int64_t processed = 0;
+};
+
+struct CharmState {
+  // Handlers (network-side and queued-side per the §3.3 idiom).
+  int h_create_q = -1, h_create_net = -1;
+  int h_invoke_q = -1, h_invoke_net = -1;
+  int h_group_create = -1;
+  int h_group_invoke_q = -1, h_group_invoke_net = -1;
+  int h_destroy = -1;
+  int h_readonly = -1;
+  int h_qd_request = -1, h_qd_wave = -1, h_qd_contrib = -1, h_qd_done = -1;
+
+  std::vector<ChareTypeInfo> types;
+  std::vector<EntryFn> entries;
+  std::map<std::uint32_t, std::unique_ptr<Chare>> chares;
+  std::uint32_t next_chare_idx = 1;
+
+  std::map<int, std::unique_ptr<Chare>> groups;
+  std::map<int, std::vector<std::vector<char>>> pending_group_msgs;
+  int next_group_seq = 0;
+
+  std::map<int, std::vector<char>> readonly;
+
+  ChareId current_chare;  // chare whose entry is running
+
+  // Charm-level message accounting for quiescence detection.
+  std::uint64_t qd_created = 0;
+  std::uint64_t qd_processed = 0;
+
+  // Quiescence driver (meaningful on PE 0) + per-PE wave state.
+  std::vector<QdRequestWire> qd_requests;   // PE 0: outstanding requests
+  bool qd_wave_active = false;              // PE 0
+  std::uint64_t qd_wave_no = 0;             // PE 0
+  std::int64_t qd_prev_created = -1;        // PE 0
+  std::int64_t qd_prev_processed = -2;      // PE 0
+  std::map<std::uint64_t, QdWaveState> qd_waves;  // all PEs
+  std::vector<std::function<void()>> qd_callbacks;  // initiator-local
+};
+
+int ModuleId();
+
+CharmState& St() {
+  return *static_cast<CharmState*>(detail::ModuleState(ModuleId()));
+}
+
+// ---- Chare creation / invocation ----------------------------------------------
+
+void ConstructChare(CharmState& st, const CreateWire* wire) {
+  assert(wire->type >= 0 &&
+         wire->type < static_cast<int>(st.types.size()) &&
+         "CreateChare with unregistered type");
+  const std::uint32_t idx = st.next_chare_idx++;
+  const ChareId id{CmiMyPe(), idx};
+  const ChareId prev = st.current_chare;
+  st.current_chare = id;  // visible to the constructor via CkMyChareId
+  Chare* obj =
+      st.types[static_cast<std::size_t>(wire->type)].factory(wire + 1,
+                                                             wire->arg_len);
+  ChareRuntimeAccess::SetId(obj, id);
+  st.chares[idx] = std::unique_ptr<Chare>(obj);
+  st.current_chare = prev;
+  TraceNoteObjectCreate();
+  ++st.qd_processed;
+}
+
+/// Queued-side creation handler: owns the message.
+void CreateQHandler(void* msg) {
+  ConstructChare(St(), static_cast<const CreateWire*>(CmiMsgPayload(msg)));
+  CmiFree(msg);
+}
+
+/// Network-side creation handler: grab, retarget, enqueue (§3.3 idiom).
+void CreateNetHandler(void* msg) {
+  CmiGrabBuffer(&msg);
+  CmiSetHandler(msg, St().h_create_q);
+  CsdEnqueue(msg);
+}
+
+void InvokeEntry(CharmState& st, const InvokeWire* wire) {
+  auto it = st.chares.find(wire->target.idx);
+  assert(it != st.chares.end() && "message for a dead or unknown chare");
+  assert(wire->entry >= 0 &&
+         wire->entry < static_cast<int>(st.entries.size()));
+  const ChareId prev = st.current_chare;
+  st.current_chare = wire->target;
+  st.entries[static_cast<std::size_t>(wire->entry)](it->second.get(),
+                                                    wire + 1, wire->len);
+  st.current_chare = prev;
+  ++st.qd_processed;
+}
+
+void InvokeQHandler(void* msg) {
+  InvokeEntry(St(), static_cast<const InvokeWire*>(CmiMsgPayload(msg)));
+  CmiFree(msg);
+}
+
+void InvokeNetHandler(void* msg) {
+  CharmState& st = St();
+  CmiGrabBuffer(&msg);
+  CmiSetHandler(msg, st.h_invoke_q);
+  // Priority (if any) rides in the standard header fields.
+  const auto* h = detail::Header(msg);
+  switch (static_cast<Queueing>(h->queueing)) {
+    case Queueing::kIntFifo:
+    case Queueing::kIntLifo:
+      CsdEnqueueIntPrio(msg, h->int_prio);
+      break;
+    case Queueing::kBitvecFifo:
+    case Queueing::kBitvecLifo: {
+      // Bit-vector priorities travel after the payload (see the sender).
+      const auto* wire = static_cast<const InvokeWire*>(CmiMsgPayload(msg));
+      const char* after = reinterpret_cast<const char*>(wire + 1) + wire->len;
+      std::int32_t nbits = 0;
+      std::memcpy(&nbits, after, sizeof(nbits));
+      std::vector<std::uint32_t> words(
+          static_cast<std::size_t>((nbits + 31) / 32));
+      std::memcpy(words.data(), after + sizeof(nbits),
+                  words.size() * sizeof(std::uint32_t));
+      CsdEnqueueBitvecPrio(msg, words.data(), nbits);
+      break;
+    }
+    default:
+      CsdEnqueue(msg);
+  }
+}
+
+void DestroyHandler(void* msg) {
+  CharmState& st = St();
+  const auto* wire = static_cast<const InvokeWire*>(CmiMsgPayload(msg));
+  st.chares.erase(wire->target.idx);
+  ++st.qd_processed;
+}
+
+// ---- Groups --------------------------------------------------------------------
+
+void GroupCreateHandler(void* msg) {
+  CharmState& st = St();
+  const auto* wire =
+      static_cast<const GroupCreateWire*>(CmiMsgPayload(msg));
+  assert(!st.groups.contains(wire->gid));
+  const ChareId id{CmiMyPe(), 0};
+  const ChareId prev = st.current_chare;
+  st.current_chare = id;
+  Chare* obj = st.types[static_cast<std::size_t>(wire->type)].factory(
+      wire + 1, wire->arg_len);
+  ChareRuntimeAccess::SetId(obj, id);
+  st.current_chare = prev;
+  st.groups[wire->gid] = std::unique_ptr<Chare>(obj);
+  TraceNoteObjectCreate();
+  ++st.qd_processed;
+  // Flush branch messages that raced ahead of construction.
+  auto pend = st.pending_group_msgs.find(wire->gid);
+  if (pend != st.pending_group_msgs.end()) {
+    for (const auto& bytes : pend->second) {
+      const auto* gw =
+          reinterpret_cast<const GroupInvokeWire*>(bytes.data());
+      Chare* branch = st.groups[gw->gid].get();
+      st.entries[static_cast<std::size_t>(gw->entry)](branch, gw + 1,
+                                                      gw->len);
+      ++st.qd_processed;
+    }
+    st.pending_group_msgs.erase(pend);
+  }
+}
+
+void GroupInvokeQHandler(void* msg) {
+  CharmState& st = St();
+  const auto* wire =
+      static_cast<const GroupInvokeWire*>(CmiMsgPayload(msg));
+  auto it = st.groups.find(wire->gid);
+  if (it == st.groups.end()) {
+    // Branch not constructed yet: buffer the whole wire record.
+    const char* raw = static_cast<const char*>(CmiMsgPayload(msg));
+    st.pending_group_msgs[wire->gid].emplace_back(
+        raw, raw + CmiMsgPayloadSize(msg));
+    CmiFree(msg);
+    return;
+  }
+  const ChareId prev = st.current_chare;
+  st.current_chare = ChareId{CmiMyPe(), 0};
+  st.entries[static_cast<std::size_t>(wire->entry)](it->second.get(),
+                                                    wire + 1, wire->len);
+  st.current_chare = prev;
+  ++st.qd_processed;
+  CmiFree(msg);
+}
+
+void GroupInvokeNetHandler(void* msg) {
+  CmiGrabBuffer(&msg);
+  CmiSetHandler(msg, St().h_group_invoke_q);
+  CsdEnqueue(msg);
+}
+
+// ---- Read-only data --------------------------------------------------------------
+
+void ReadonlyHandler(void* msg) {
+  CharmState& st = St();
+  const auto* wire = static_cast<const ReadonlyWire*>(CmiMsgPayload(msg));
+  const char* data = reinterpret_cast<const char*>(wire + 1);
+  st.readonly[wire->key].assign(data, data + wire->len);
+}
+
+// ---- Quiescence detection ----------------------------------------------------------
+
+void QdStartWave(CharmState& st);
+
+void QdCheckWaveComplete(CharmState& st, std::uint64_t wave) {
+  detail::PeState& pe = detail::CpvChecked();
+  const auto& tree = pe.machine->tree();
+  auto it = st.qd_waves.find(wave);
+  if (it == st.qd_waves.end()) return;
+  QdWaveState& ws = it->second;
+  if (!ws.have_local || ws.child_contribs != tree.NumChildren(pe.mype)) {
+    return;
+  }
+  const int parent = tree.Parent(pe.mype);
+  if (parent >= 0) {
+    void* up = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(QdContribWire));
+    CmiSetHandler(up, st.h_qd_contrib);
+    auto* wire = static_cast<QdContribWire*>(CmiMsgPayload(up));
+    wire->wave = wave;
+    wire->created = ws.created;
+    wire->processed = ws.processed;
+    detail::SendOwned(parent, up);
+    st.qd_waves.erase(it);
+    return;
+  }
+  // Root (PE 0): evaluate stability.
+  const std::int64_t created = ws.created;
+  const std::int64_t processed = ws.processed;
+  st.qd_waves.erase(it);
+  st.qd_wave_active = false;
+  if (created == processed && created == st.qd_prev_created &&
+      processed == st.qd_prev_processed) {
+    // Quiescent: answer every outstanding request.
+    for (const QdRequestWire& req : st.qd_requests) {
+      void* done = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(QdDoneWire));
+      CmiSetHandler(done, st.h_qd_done);
+      static_cast<QdDoneWire*>(CmiMsgPayload(done))->cb_id = req.cb_id;
+      detail::SendOwned(req.initiator, done);
+    }
+    st.qd_requests.clear();
+    st.qd_prev_created = -1;
+    st.qd_prev_processed = -2;
+    return;
+  }
+  st.qd_prev_created = created;
+  st.qd_prev_processed = processed;
+  QdStartWave(st);
+}
+
+void QdStartWave(CharmState& st) {
+  assert(CmiMyPe() == 0);
+  if (st.qd_wave_active || st.qd_requests.empty()) return;
+  st.qd_wave_active = true;
+  const std::uint64_t wave = ++st.qd_wave_no;
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(QdWaveWire));
+  CmiSetHandler(msg, st.h_qd_wave);
+  static_cast<QdWaveWire*>(CmiMsgPayload(msg))->wave = wave;
+  CmiSyncBroadcastAllAndFree(
+      static_cast<unsigned int>(CmiMsgTotalSize(msg)), msg);
+}
+
+void QdRequestHandler(void* msg) {
+  CharmState& st = St();
+  const auto* wire = static_cast<const QdRequestWire*>(CmiMsgPayload(msg));
+  st.qd_requests.push_back(*wire);
+  QdStartWave(st);
+}
+
+void QdWaveHandler(void* msg) {
+  CharmState& st = St();
+  const auto* wire = static_cast<const QdWaveWire*>(CmiMsgPayload(msg));
+  QdWaveState& ws = st.qd_waves[wire->wave];
+  ws.have_local = true;
+  ws.created += static_cast<std::int64_t>(st.qd_created);
+  ws.processed += static_cast<std::int64_t>(st.qd_processed);
+  QdCheckWaveComplete(st, wire->wave);
+}
+
+void QdContribHandler(void* msg) {
+  CharmState& st = St();
+  const auto* wire = static_cast<const QdContribWire*>(CmiMsgPayload(msg));
+  QdWaveState& ws = st.qd_waves[wire->wave];
+  ws.created += wire->created;
+  ws.processed += wire->processed;
+  ++ws.child_contribs;
+  QdCheckWaveComplete(st, wire->wave);
+}
+
+void QdDoneHandler(void* msg) {
+  CharmState& st = St();
+  const auto* wire = static_cast<const QdDoneWire*>(CmiMsgPayload(msg));
+  assert(wire->cb_id >= 0 &&
+         wire->cb_id < static_cast<int>(st.qd_callbacks.size()));
+  auto cb = std::move(st.qd_callbacks[static_cast<std::size_t>(wire->cb_id)]);
+  cb();
+}
+
+// ---- Module wiring ----------------------------------------------------------------
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "charm",
+      [](int module_id) {
+        auto* st = new CharmState;
+        st->h_create_q = CmiRegisterHandler(&CreateQHandler);
+        st->h_create_net = CmiRegisterHandler(&CreateNetHandler);
+        st->h_invoke_q = CmiRegisterHandler(&InvokeQHandler);
+        st->h_invoke_net = CmiRegisterHandler(&InvokeNetHandler);
+        st->h_group_create = CmiRegisterHandler(&GroupCreateHandler);
+        st->h_group_invoke_q = CmiRegisterHandler(&GroupInvokeQHandler);
+        st->h_group_invoke_net = CmiRegisterHandler(&GroupInvokeNetHandler);
+        st->h_destroy = CmiRegisterHandler(&DestroyHandler);
+        st->h_readonly = CmiRegisterHandler(&ReadonlyHandler);
+        st->h_qd_request = CmiRegisterHandler(&QdRequestHandler);
+        st->h_qd_wave = CmiRegisterHandler(&QdWaveHandler);
+        st->h_qd_contrib = CmiRegisterHandler(&QdContribHandler);
+        st->h_qd_done = CmiRegisterHandler(&QdDoneHandler);
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) { delete static_cast<CharmState*>(state); });
+  return id;
+}
+
+void* MakeInvokeMsg(CharmState& st, ChareId target, int entry,
+                    const void* data, std::size_t len, std::size_t extra) {
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(InvokeWire) + len +
+                       extra);
+  CmiSetHandler(msg, st.h_invoke_net);
+  auto* wire = static_cast<InvokeWire*>(CmiMsgPayload(msg));
+  wire->target = target;
+  wire->entry = entry;
+  wire->len = static_cast<std::uint32_t>(len);
+  if (len > 0) std::memcpy(wire + 1, data, len);
+  return msg;
+}
+
+void DispatchInvoke(CharmState& st, void* msg, ChareId target) {
+  ++st.qd_created;
+  if (target.pe == CmiMyPe()) {
+    // Local: skip the network, go straight to the queued side.
+    CmiSetHandler(msg, st.h_invoke_q);
+    const auto* h = detail::Header(msg);
+    switch (static_cast<Queueing>(h->queueing)) {
+      case Queueing::kIntFifo:
+      case Queueing::kIntLifo:
+        CsdEnqueueIntPrio(msg, h->int_prio);
+        return;
+      default:
+        CsdEnqueue(msg);
+        return;
+    }
+  }
+  detail::SendOwned(target.pe, msg);
+}
+
+}  // namespace
+
+int RegisterChare(const char* name, ChareFactory factory) {
+  CharmState& st = St();
+  st.types.push_back(ChareTypeInfo{name, std::move(factory)});
+  return static_cast<int>(st.types.size()) - 1;
+}
+
+int RegisterEntry(EntryFn fn) {
+  CharmState& st = St();
+  st.entries.push_back(std::move(fn));
+  return static_cast<int>(st.entries.size()) - 1;
+}
+
+void CreateChare(int chare_type, const void* arg, std::size_t len,
+                 int on_pe) {
+  CharmState& st = St();
+  void* msg =
+      CmiAlloc(sizeof(detail::MsgHeader) + sizeof(CreateWire) + len);
+  auto* wire = static_cast<CreateWire*>(CmiMsgPayload(msg));
+  wire->type = chare_type;
+  wire->arg_len = static_cast<std::uint32_t>(len);
+  if (len > 0) std::memcpy(wire + 1, arg, len);
+  ++st.qd_created;
+  if (on_pe == kAnyPe) {
+    // Seed: the balancer will CsdEnqueue it somewhere; handler owns it.
+    CmiSetHandler(msg, st.h_create_q);
+    CldEnqueue(msg);
+  } else if (on_pe == CmiMyPe()) {
+    CmiSetHandler(msg, st.h_create_q);
+    CsdEnqueue(msg);
+  } else {
+    CmiSetHandler(msg, st.h_create_net);
+    detail::SendOwned(on_pe, msg);
+  }
+}
+
+void SendToChare(ChareId target, int entry, const void* data,
+                 std::size_t len) {
+  CharmState& st = St();
+  void* msg = MakeInvokeMsg(st, target, entry, data, len, 0);
+  DispatchInvoke(st, msg, target);
+}
+
+void SendToCharePrio(ChareId target, int entry, const void* data,
+                     std::size_t len, std::int32_t prio) {
+  CharmState& st = St();
+  void* msg = MakeInvokeMsg(st, target, entry, data, len, 0);
+  auto* h = detail::Header(msg);
+  h->int_prio = prio;
+  h->queueing = static_cast<std::uint8_t>(Queueing::kIntFifo);
+  DispatchInvoke(st, msg, target);
+}
+
+void SendToChareBitvecPrio(ChareId target, int entry, const void* data,
+                           std::size_t len, const std::uint32_t* prio_words,
+                           int nbits) {
+  CharmState& st = St();
+  const std::size_t nwords = static_cast<std::size_t>((nbits + 31) / 32);
+  const std::size_t extra = sizeof(std::int32_t) + nwords * sizeof(std::uint32_t);
+  void* msg = MakeInvokeMsg(st, target, entry, data, len, extra);
+  auto* wire = static_cast<InvokeWire*>(CmiMsgPayload(msg));
+  char* after = reinterpret_cast<char*>(wire + 1) + len;
+  const std::int32_t nb = nbits;
+  std::memcpy(after, &nb, sizeof(nb));
+  std::memcpy(after + sizeof(nb), prio_words, nwords * sizeof(std::uint32_t));
+  auto* h = detail::Header(msg);
+  h->queueing = static_cast<std::uint8_t>(Queueing::kBitvecFifo);
+  ++st.qd_created;
+  if (target.pe == CmiMyPe()) {
+    CmiSetHandler(msg, st.h_invoke_q);
+    CsdEnqueueBitvecPrio(msg, prio_words, nbits);
+  } else {
+    detail::SendOwned(target.pe, msg);
+  }
+}
+
+void DestroyChare(ChareId target) {
+  CharmState& st = St();
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(InvokeWire));
+  CmiSetHandler(msg, st.h_destroy);
+  auto* wire = static_cast<InvokeWire*>(CmiMsgPayload(msg));
+  wire->target = target;
+  wire->entry = -1;
+  wire->len = 0;
+  ++st.qd_created;
+  detail::SendOwned(target.pe, msg);
+}
+
+ChareId CkMyChareId() { return St().current_chare; }
+
+int CreateGroup(int chare_type, const void* arg, std::size_t len) {
+  CharmState& st = St();
+  detail::PeState& pe = detail::CpvChecked();
+  const int gid = pe.mype + pe.npes * st.next_group_seq++;
+  void* msg =
+      CmiAlloc(sizeof(detail::MsgHeader) + sizeof(GroupCreateWire) + len);
+  CmiSetHandler(msg, st.h_group_create);
+  auto* wire = static_cast<GroupCreateWire*>(CmiMsgPayload(msg));
+  wire->gid = gid;
+  wire->type = chare_type;
+  wire->arg_len = static_cast<std::uint32_t>(len);
+  wire->pad = 0;
+  if (len > 0) std::memcpy(wire + 1, arg, len);
+  st.qd_created += static_cast<std::uint64_t>(pe.npes);
+  CmiSyncBroadcastAllAndFree(
+      static_cast<unsigned int>(CmiMsgTotalSize(msg)), msg);
+  return gid;
+}
+
+void SendToBranch(int gid, int pe, int entry, const void* data,
+                  std::size_t len) {
+  CharmState& st = St();
+  void* msg =
+      CmiAlloc(sizeof(detail::MsgHeader) + sizeof(GroupInvokeWire) + len);
+  CmiSetHandler(msg, st.h_group_invoke_net);
+  auto* wire = static_cast<GroupInvokeWire*>(CmiMsgPayload(msg));
+  wire->gid = gid;
+  wire->entry = entry;
+  wire->len = static_cast<std::uint32_t>(len);
+  wire->pad = 0;
+  if (len > 0) std::memcpy(wire + 1, data, len);
+  ++st.qd_created;
+  if (pe == CmiMyPe()) {
+    CmiSetHandler(msg, st.h_group_invoke_q);
+    CsdEnqueue(msg);
+  } else {
+    detail::SendOwned(pe, msg);
+  }
+}
+
+void BroadcastToGroup(int gid, int entry, const void* data,
+                      std::size_t len) {
+  const int npes = CmiNumPes();
+  for (int pe = 0; pe < npes; ++pe) {
+    SendToBranch(gid, pe, entry, data, len);
+  }
+}
+
+Chare* LocalBranch(int gid) {
+  CharmState& st = St();
+  auto it = st.groups.find(gid);
+  return it == st.groups.end() ? nullptr : it->second.get();
+}
+
+void ReadonlySet(int key, const void* data, std::size_t len) {
+  CharmState& st = St();
+  void* msg =
+      CmiAlloc(sizeof(detail::MsgHeader) + sizeof(ReadonlyWire) + len);
+  CmiSetHandler(msg, st.h_readonly);
+  auto* wire = static_cast<ReadonlyWire*>(CmiMsgPayload(msg));
+  wire->key = key;
+  wire->len = static_cast<std::uint32_t>(len);
+  if (len > 0) std::memcpy(wire + 1, data, len);
+  CmiSyncBroadcastAllAndFree(
+      static_cast<unsigned int>(CmiMsgTotalSize(msg)), msg);
+}
+
+const std::vector<char>& ReadonlyGet(int key) {
+  static const std::vector<char> kEmpty;
+  CharmState& st = St();
+  auto it = st.readonly.find(key);
+  return it == st.readonly.end() ? kEmpty : it->second;
+}
+
+void StartQuiescence(std::function<void()> cb) {
+  CharmState& st = St();
+  st.qd_callbacks.push_back(std::move(cb));
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(QdRequestWire));
+  CmiSetHandler(msg, st.h_qd_request);
+  auto* wire = static_cast<QdRequestWire*>(CmiMsgPayload(msg));
+  wire->initiator = CmiMyPe();
+  wire->cb_id = static_cast<int>(st.qd_callbacks.size()) - 1;
+  detail::SendOwned(0, msg);
+}
+
+namespace internal {
+
+const EntryFn& EntryAt(int idx) {
+  CharmState& st = St();
+  assert(idx >= 0 && idx < static_cast<int>(st.entries.size()));
+  return st.entries[static_cast<std::size_t>(idx)];
+}
+
+void NoteCreated(std::uint64_t n) { St().qd_created += n; }
+void NoteProcessed(std::uint64_t n) { St().qd_processed += n; }
+
+ChareId SwapCurrentChare(ChareId id) {
+  CharmState& st = St();
+  const ChareId prev = st.current_chare;
+  st.current_chare = id;
+  return prev;
+}
+
+}  // namespace internal
+
+std::uint64_t CharmMsgsCreated() { return St().qd_created; }
+std::uint64_t CharmMsgsProcessed() { return St().qd_processed; }
+int CharmLocalChares() { return static_cast<int>(St().chares.size()); }
+
+}  // namespace converse::charm
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::CharmModuleRegister() { return converse::charm::ModuleId(); }

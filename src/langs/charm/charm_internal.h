@@ -1,0 +1,20 @@
+// Internal seams between the charm core (chares, groups, QD) and the
+// chare-array extension.  Not installed.
+#pragma once
+
+#include "converse/langs/charm.h"
+
+namespace converse::charm::internal {
+
+/// Entry-table access (indices are the public RegisterEntry ids).
+const EntryFn& EntryAt(int idx);
+
+/// Charm-level message accounting: array traffic must participate in
+/// quiescence detection exactly like chare traffic.
+void NoteCreated(std::uint64_t n = 1);
+void NoteProcessed(std::uint64_t n = 1);
+
+/// Current-chare context (so CkMyChareId works inside array entries).
+ChareId SwapCurrentChare(ChareId id);
+
+}  // namespace converse::charm::internal

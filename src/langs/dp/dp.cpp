@@ -1,0 +1,182 @@
+#include "converse/langs/dp.h"
+
+#include "converse/cmi.h"
+#include "converse/langs/sm.h"
+
+namespace converse::dp {
+
+Distribution1D::Distribution1D(std::size_t n, int npes, int pe)
+    : n_(n), npes_(npes) {
+  assert(npes >= 1 && pe >= 0 && pe < npes);
+  const std::size_t base = n / static_cast<std::size_t>(npes);
+  const std::size_t extra = n % static_cast<std::size_t>(npes);
+  const auto p = static_cast<std::size_t>(pe);
+  begin_ = p * base + (p < extra ? p : extra);
+  end_ = begin_ + base + (p < extra ? 1 : 0);
+}
+
+int Distribution1D::Owner(std::size_t i) const {
+  assert(i < n_);
+  const std::size_t base = n_ / static_cast<std::size_t>(npes_);
+  const std::size_t extra = n_ % static_cast<std::size_t>(npes_);
+  const std::size_t cutoff = extra * (base + 1);
+  if (i < cutoff) return static_cast<int>(i / (base + 1));
+  if (base == 0) return npes_ - 1;  // all remaining elements are in `extra`
+  return static_cast<int>(extra + (i - cutoff) / base);
+}
+
+namespace detail {
+
+// dp reserves a private SM tag range so halo traffic cannot collide with
+// application SM tags.
+constexpr int kTagToRight = 0x44500001;  // carries my *last* element
+constexpr int kTagToLeft = 0x44500002;   // carries my *first* element
+constexpr int kTagGather = 0x44500003;
+constexpr int kTagGatherLen = 0x44500004;
+
+void HaloExchange(const void* first_elem, const void* last_elem,
+                  void* left_ghost, void* right_ghost, std::size_t elem_size,
+                  bool has_left, bool has_right) {
+  const int me = CmiMyPe();
+  // Send before receive: sends are asynchronous buffered, so this cannot
+  // deadlock regardless of PE ordering.
+  if (has_right) sm::SmSend(me + 1, kTagToRight, last_elem, elem_size);
+  if (has_left) sm::SmSend(me - 1, kTagToLeft, first_elem, elem_size);
+  if (has_left) {
+    sm::SmRecv(left_ghost, elem_size, kTagToRight, me - 1);
+  }
+  if (has_right) {
+    sm::SmRecv(right_ghost, elem_size, kTagToLeft, me + 1);
+  }
+}
+
+bool GatherToRoot(const void* local, std::size_t local_bytes,
+                  std::vector<char>* out) {
+  const int me = CmiMyPe();
+  const int npes = CmiNumPes();
+  if (me != 0) {
+    // Length first so the root can size its receive exactly.
+    const std::uint64_t len = local_bytes;
+    sm::SmSend(0, kTagGatherLen, &len, sizeof(len));
+    sm::SmSend(0, kTagGather, local, local_bytes);
+    return false;
+  }
+  out->clear();
+  out->insert(out->end(), static_cast<const char*>(local),
+              static_cast<const char*>(local) + local_bytes);
+  for (int pe = 1; pe < npes; ++pe) {
+    // Receive strictly in PE order so blocks concatenate correctly.
+    std::uint64_t len = 0;
+    sm::SmRecv(&len, sizeof(len), kTagGatherLen, pe);
+    const std::size_t off = out->size();
+    out->resize(off + len);
+    if (len > 0) {
+      sm::SmRecv(out->data() + off, len, kTagGather, pe);
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
+}  // namespace converse::dp
+
+// --------------------------- 2-D distribution -----------------------------------
+
+namespace converse::dp {
+
+ProcessGrid ProcessGrid::For(int npes) {
+  ProcessGrid g;
+  // Largest factor <= sqrt(npes) gives the most-square grid.
+  int best = 1;
+  for (int f = 1; f * f <= npes; ++f) {
+    if (npes % f == 0) best = f;
+  }
+  g.py = best;
+  g.px = npes / best;
+  return g;
+}
+
+namespace {
+
+/// 1-D block split helper: [begin, end) of `pe` among `parts`.
+std::pair<std::size_t, std::size_t> Block(std::size_t n, int parts, int pe) {
+  const std::size_t base = n / static_cast<std::size_t>(parts);
+  const std::size_t extra = n % static_cast<std::size_t>(parts);
+  const auto p = static_cast<std::size_t>(pe);
+  const std::size_t begin = p * base + (p < extra ? p : extra);
+  return {begin, begin + base + (p < extra ? 1 : 0)};
+}
+
+int BlockOwner(std::size_t n, int parts, std::size_t i) {
+  const std::size_t base = n / static_cast<std::size_t>(parts);
+  const std::size_t extra = n % static_cast<std::size_t>(parts);
+  const std::size_t cutoff = extra * (base + 1);
+  if (i < cutoff) return static_cast<int>(i / (base + 1));
+  if (base == 0) return parts - 1;
+  return static_cast<int>(extra + (i - cutoff) / base);
+}
+
+}  // namespace
+
+Distribution2D::Distribution2D(std::size_t nx, std::size_t ny, int npes,
+                               int pe)
+    : nx_(nx), ny_(ny), grid_(ProcessGrid::For(npes)) {
+  assert(pe >= 0 && pe < npes);
+  pe_x_ = pe % grid_.px;
+  pe_y_ = pe / grid_.px;
+  std::tie(x_begin_, x_end_) = Block(nx, grid_.px, pe_x_);
+  std::tie(y_begin_, y_end_) = Block(ny, grid_.py, pe_y_);
+}
+
+int Distribution2D::Owner(std::size_t x, std::size_t y) const {
+  assert(x < nx_ && y < ny_);
+  const int ox = BlockOwner(nx_, grid_.px, x);
+  const int oy = BlockOwner(ny_, grid_.py, y);
+  return oy * grid_.px + ox;
+}
+
+int Distribution2D::NeighborPe(int dx, int dy) const {
+  const int nx2 = pe_x_ + dx;
+  const int ny2 = pe_y_ + dy;
+  if (nx2 < 0 || nx2 >= grid_.px || ny2 < 0 || ny2 >= grid_.py) return -1;
+  return ny2 * grid_.px + nx2;
+}
+
+namespace detail {
+
+namespace {
+// Private SM tag range for 2-D halos; direction is encoded in the tag and
+// the sender is matched explicitly, so concurrent exchanges on the four
+// sides cannot cross.
+constexpr int kTag2DToRight = 0x44500011;  // payload: my right column
+constexpr int kTag2DToLeft = 0x44500012;   // payload: my left column
+constexpr int kTag2DToUp = 0x44500013;     // payload: my top row
+constexpr int kTag2DToDown = 0x44500014;   // payload: my bottom row
+}  // namespace
+
+void HaloExchange2D(const Distribution2D& dist, std::size_t elem_size,
+                    const void* send_left, const void* send_right,
+                    const void* send_down, const void* send_up,
+                    void* recv_left, void* recv_right, void* recv_down,
+                    void* recv_up) {
+  const int left = dist.NeighborPe(-1, 0);
+  const int right = dist.NeighborPe(+1, 0);
+  const int down = dist.NeighborPe(0, -1);
+  const int up = dist.NeighborPe(0, +1);
+  const std::size_t col_bytes = elem_size * dist.local_ny();
+  const std::size_t row_bytes = elem_size * dist.local_nx();
+
+  // Send all four sides first (sends are buffered), then receive.
+  if (left >= 0) sm::SmSend(left, kTag2DToLeft, send_left, col_bytes);
+  if (right >= 0) sm::SmSend(right, kTag2DToRight, send_right, col_bytes);
+  if (down >= 0) sm::SmSend(down, kTag2DToDown, send_down, row_bytes);
+  if (up >= 0) sm::SmSend(up, kTag2DToUp, send_up, row_bytes);
+
+  if (left >= 0) sm::SmRecv(recv_left, col_bytes, kTag2DToRight, left);
+  if (right >= 0) sm::SmRecv(recv_right, col_bytes, kTag2DToLeft, right);
+  if (down >= 0) sm::SmRecv(recv_down, row_bytes, kTag2DToUp, down);
+  if (up >= 0) sm::SmRecv(recv_up, row_bytes, kTag2DToDown, up);
+}
+
+}  // namespace detail
+}  // namespace converse::dp

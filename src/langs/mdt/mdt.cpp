@@ -1,0 +1,219 @@
+#include "converse/langs/mdt.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "converse/cld.h"
+#include "converse/cmm.h"
+#include "converse/cth.h"
+#include "converse/detail/module.h"
+#include "converse/trace.h"
+#include "core/pe_state.h"
+
+namespace converse::mdt {
+namespace {
+
+struct SpawnWire {
+  std::int32_t fn_idx;
+  std::uint32_t len;
+  // `len` argument bytes follow
+};
+
+struct MsgWire {
+  std::uint64_t to;
+  std::int32_t tag;
+  std::uint32_t len;
+  // `len` data bytes follow
+};
+
+struct MdtThreadState {
+  MdtThreadId tid = kNoThread;
+  CthThread* thread = nullptr;
+  // Set while blocked in MdtRecv:
+  int waiting_tag = 0;
+  bool waiting = false;
+  std::vector<char> incoming;
+  bool incoming_valid = false;
+};
+
+struct MdtState {
+  int spawn_handler = -1;
+  int msg_handler = -1;
+  std::vector<MdtFn> fns;
+  std::map<std::uint32_t, MdtThreadState*> threads;  // local idx -> state
+  std::uint32_t next_idx = 1;
+  MSG_MNGR* mailbox = nullptr;  // tag1 = local idx, tag2 = message tag
+};
+
+int ModuleId();
+
+MdtState& St() {
+  return *static_cast<MdtState*>(detail::ModuleState(ModuleId()));
+}
+
+/// The mdt state of the running Cth thread (hangs off the thread's user
+/// data slot so it follows suspends and resumes correctly).
+MdtThreadState* CurrentMdt() {
+  return static_cast<MdtThreadState*>(CthGetData(CthSelf()));
+}
+
+/// Take root: create the Cth thread here and schedule it.
+void SpawnHere(const SpawnWire* wire) {
+  MdtState& st = St();
+  detail::PeState& pe = detail::CpvChecked();
+  assert(wire->fn_idx >= 0 &&
+         wire->fn_idx < static_cast<int>(st.fns.size()) &&
+         "MdtSpawn of an unregistered function");
+  auto* ts = new MdtThreadState;
+  const std::uint32_t idx = st.next_idx++;
+  ts->tid = (static_cast<std::uint64_t>(pe.mype) << 32) | idx;
+  std::vector<char> arg(reinterpret_cast<const char*>(wire + 1),
+                        reinterpret_cast<const char*>(wire + 1) + wire->len);
+  const int fn_idx = wire->fn_idx;
+  ts->thread = CthCreate([ts, fn_idx, arg = std::move(arg), idx] {
+    MdtState& s = St();
+    s.fns[static_cast<std::size_t>(fn_idx)](arg.data(), arg.size());
+    s.threads.erase(idx);
+    delete ts;
+  });
+  CthSetData(ts->thread, ts);
+  st.threads[idx] = ts;
+  TraceNoteThreadCreate();
+  CthAwaken(ts->thread);
+}
+
+void SpawnHandler(void* msg) {
+  SpawnHere(static_cast<const SpawnWire*>(CmiMsgPayload(msg)));
+}
+
+void MsgHandler(void* msg) {
+  MdtState& st = St();
+  const auto* wire = static_cast<const MsgWire*>(CmiMsgPayload(msg));
+  const auto idx = static_cast<std::uint32_t>(wire->to & 0xffffffffu);
+  const char* data = reinterpret_cast<const char*>(wire + 1);
+  auto it = st.threads.find(idx);
+  if (it != st.threads.end() && it->second->waiting &&
+      it->second->waiting_tag == wire->tag) {
+    MdtThreadState* ts = it->second;
+    ts->incoming.assign(data, data + wire->len);
+    ts->incoming_valid = true;
+    ts->waiting = false;
+    CthAwaken(ts->thread);
+    return;
+  }
+  // Not waiting (or thread gone): buffer by (idx, tag).
+  CmmPut2(st.mailbox, data, static_cast<int>(idx), wire->tag,
+          static_cast<int>(wire->len));
+}
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "mdt",
+      [](int module_id) {
+        auto* st = new MdtState;
+        st->spawn_handler = CmiRegisterHandler(&SpawnHandler);
+        st->msg_handler = CmiRegisterHandler(&MsgHandler);
+        st->mailbox = CmmNew();
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) {
+        auto* st = static_cast<MdtState*>(state);
+        CmmFree(st->mailbox);
+        for (auto& [idx, ts] : st->threads) delete ts;
+        delete st;
+      });
+  return id;
+}
+
+void* MakeSpawnMsg(MdtState& st, int fn_idx, const void* arg,
+                   std::size_t len) {
+  void* msg =
+      CmiAlloc(sizeof(detail::MsgHeader) + sizeof(SpawnWire) + len);
+  CmiSetHandler(msg, st.spawn_handler);
+  auto* wire = static_cast<SpawnWire*>(CmiMsgPayload(msg));
+  wire->fn_idx = fn_idx;
+  wire->len = static_cast<std::uint32_t>(len);
+  if (len > 0) std::memcpy(wire + 1, arg, len);
+  return msg;
+}
+
+}  // namespace
+
+int MdtRegister(MdtFn fn) {
+  MdtState& st = St();
+  st.fns.push_back(std::move(fn));
+  return static_cast<int>(st.fns.size()) - 1;
+}
+
+void MdtSpawn(int fn_idx, const void* arg, std::size_t len, int on_pe) {
+  MdtState& st = St();
+  void* msg = MakeSpawnMsg(st, fn_idx, arg, len);
+  if (on_pe == kAnyPe) {
+    // Anonymous spawn: a seed for the load balancer (paper §3.3.1).
+    CldEnqueue(msg);
+  } else if (on_pe == CmiMyPe()) {
+    detail::Header(msg)->source_pe =
+        static_cast<std::uint16_t>(CmiMyPe());
+    SpawnHere(static_cast<const SpawnWire*>(CmiMsgPayload(msg)));
+    CmiFree(msg);
+  } else {
+    detail::SendOwned(on_pe, msg);
+  }
+}
+
+MdtThreadId MdtSpawnLocal(int fn_idx, const void* arg, std::size_t len) {
+  MdtState& st = St();
+  const std::uint32_t idx_before = st.next_idx;
+  void* msg = MakeSpawnMsg(st, fn_idx, arg, len);
+  SpawnHere(static_cast<const SpawnWire*>(CmiMsgPayload(msg)));
+  CmiFree(msg);
+  return (static_cast<std::uint64_t>(CmiMyPe()) << 32) | idx_before;
+}
+
+void MdtSend(MdtThreadId to, int tag, const void* data, std::size_t len) {
+  assert(to != kNoThread);
+  MdtState& st = St();
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(MsgWire) + len);
+  CmiSetHandler(msg, st.msg_handler);
+  auto* wire = static_cast<MsgWire*>(CmiMsgPayload(msg));
+  wire->to = to;
+  wire->tag = tag;
+  wire->len = static_cast<std::uint32_t>(len);
+  if (len > 0) std::memcpy(wire + 1, data, len);
+  detail::SendOwned(MdtPeOf(to), msg);
+}
+
+int MdtRecv(int tag, void* buf, std::size_t maxlen) {
+  MdtThreadState* ts = CurrentMdt();
+  assert(ts != nullptr && "MdtRecv outside an mdt thread");
+  MdtState& st = St();
+  const auto idx = static_cast<std::uint32_t>(ts->tid & 0xffffffffu);
+  // Buffered first.
+  const int len = CmmGet2(st.mailbox, buf, static_cast<int>(idx), tag,
+                          static_cast<int>(maxlen), nullptr, nullptr);
+  if (len >= 0) return len;
+  ts->waiting = true;
+  ts->waiting_tag = tag;
+  ts->incoming_valid = false;
+  CthSuspend();
+  assert(ts->incoming_valid && "mdt thread resumed without its message");
+  const std::size_t n =
+      ts->incoming.size() < maxlen ? ts->incoming.size() : maxlen;
+  if (n > 0) std::memcpy(buf, ts->incoming.data(), n);
+  return static_cast<int>(ts->incoming.size());
+}
+
+MdtThreadId MdtSelf() {
+  MdtThreadState* ts = CurrentMdt();
+  return ts == nullptr ? kNoThread : ts->tid;
+}
+
+int MdtLiveThreads() { return static_cast<int>(St().threads.size()); }
+
+}  // namespace converse::mdt
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::MdtModuleRegister() { return converse::mdt::ModuleId(); }

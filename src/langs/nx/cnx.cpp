@@ -1,0 +1,203 @@
+#include "converse/langs/cnx.h"
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "converse/cmm.h"
+#include "converse/cth.h"
+#include "converse/detail/module.h"
+#include "core/pe_state.h"
+
+namespace converse::nx {
+namespace {
+
+struct NxWire {
+  std::int64_t type;
+  std::int32_t source;
+  std::uint32_t len;
+};
+
+struct PostedRecv {
+  long typesel;
+  void* buf;
+  std::size_t maxlen;
+  bool done = false;
+  long count = 0;
+  long type = 0;
+  long node = 0;
+  CthThread* waiting_thread = nullptr;  // thread blocked in msgwait
+};
+
+struct NxState {
+  int handler = -1;
+  MSG_MNGR* mailbox = nullptr;  // tag1 = low 31 bits of type, tag2 = source
+  std::map<long, PostedRecv> posted;
+  long next_mid = 1;
+  long info_count = 0;
+  long info_type = 0;
+  long info_node = 0;
+};
+
+int ModuleId();
+
+NxState& St() {
+  return *static_cast<NxState*>(detail::ModuleState(ModuleId()));
+}
+
+bool TypeMatches(long sel, long have) { return sel == kAnyType || sel == have; }
+
+int TypeTag(long type) {
+  // Cmm tags are ints; NX types in this implementation must fit.
+  assert(type >= 0 && type <= 0x7fffffff && "NX message type out of range");
+  return static_cast<int>(type);
+}
+
+/// Deliver wire data into a posted receive.
+void CompletePosted(PostedRecv& p, const void* data, std::size_t len,
+                    long type, long node) {
+  const std::size_t ncopy = len < p.maxlen ? len : p.maxlen;
+  if (ncopy > 0) std::memcpy(p.buf, data, ncopy);
+  p.count = static_cast<long>(len);
+  p.type = type;
+  p.node = node;
+  p.done = true;
+  if (p.waiting_thread != nullptr) {
+    CthThread* t = p.waiting_thread;
+    p.waiting_thread = nullptr;
+    CthAwaken(t);
+  }
+}
+
+void NxHandler(void* msg) {
+  NxState& st = St();
+  const auto* wire = static_cast<const NxWire*>(CmiMsgPayload(msg));
+  const char* data = reinterpret_cast<const char*>(wire + 1);
+  for (auto& [mid, p] : st.posted) {
+    if (!p.done && TypeMatches(p.typesel, wire->type)) {
+      CompletePosted(p, data, wire->len, wire->type, wire->source);
+      return;
+    }
+  }
+  CmmPut2(st.mailbox, data, TypeTag(wire->type), wire->source,
+          static_cast<int>(wire->len));
+}
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "cnx",
+      [](int module_id) {
+        auto* st = new NxState;
+        st->handler = CmiRegisterHandler(&NxHandler);
+        st->mailbox = CmmNew();
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) {
+        auto* st = static_cast<NxState*>(state);
+        CmmFree(st->mailbox);
+        delete st;
+      });
+  return id;
+}
+
+int SelTag(long typesel) {
+  return typesel == kAnyType ? CmmWildCard : TypeTag(typesel);
+}
+
+}  // namespace
+
+int mynode() { return CmiMyPe(); }
+int numnodes() { return CmiNumPes(); }
+
+void csend(long type, const void* buf, std::size_t len, int node) {
+  NxState& st = St();
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(NxWire) + len);
+  CmiSetHandler(msg, st.handler);
+  auto* wire = static_cast<NxWire*>(CmiMsgPayload(msg));
+  wire->type = type;
+  wire->source = CmiMyPe();
+  wire->len = static_cast<std::uint32_t>(len);
+  if (len > 0) std::memcpy(wire + 1, buf, len);
+  detail::SendOwned(node, msg);
+}
+
+void crecv(long typesel, void* buf, std::size_t len) {
+  const long mid = irecv(typesel, buf, len);
+  msgwait(mid);
+}
+
+long irecv(long typesel, void* buf, std::size_t len) {
+  NxState& st = St();
+  const long mid = st.next_mid++;
+  PostedRecv& p = st.posted[mid];
+  p.typesel = typesel;
+  p.buf = buf;
+  p.maxlen = len;
+  // A matching message may already be buffered.
+  int rtag = 0, rsrc = 0;
+  const int have =
+      CmmProbe2(st.mailbox, SelTag(typesel), CmmWildCard, &rtag, &rsrc);
+  if (have >= 0) {
+    std::vector<char> data(static_cast<std::size_t>(have));
+    CmmGet2(st.mailbox, data.data(), SelTag(typesel), CmmWildCard, have,
+            &rtag, &rsrc);
+    CompletePosted(p, data.data(), data.size(), rtag, rsrc);
+  }
+  return mid;
+}
+
+int msgdone(long mid) {
+  NxState& st = St();
+  auto it = st.posted.find(mid);
+  if (it == st.posted.end()) return 1;  // already waited and reclaimed
+  if (!it->second.done) return 0;
+  st.info_count = it->second.count;
+  st.info_type = it->second.type;
+  st.info_node = it->second.node;
+  st.posted.erase(it);
+  return 1;
+}
+
+void msgwait(long mid) {
+  NxState& st = St();
+  auto it = st.posted.find(mid);
+  if (it == st.posted.end()) return;
+  if (!it->second.done && !CthIsMain(CthSelf())) {
+    it->second.waiting_thread = CthSelf();
+    CthSuspend();
+    it = st.posted.find(mid);
+    assert(it != st.posted.end() && it->second.done);
+  }
+  while (!it->second.done) {
+    // SPM wait: receive only NX traffic; the handler may complete any
+    // posted receive, including this one.
+    void* msg = CmiGetSpecificMsg(st.handler);
+    NxHandler(msg);
+    it = st.posted.find(mid);
+    assert(it != st.posted.end());
+  }
+  st.info_count = it->second.count;
+  st.info_type = it->second.type;
+  st.info_node = it->second.node;
+  st.posted.erase(it);
+}
+
+int iprobe(long typesel) {
+  int rtag = 0;
+  return CmmProbe2(St().mailbox, SelTag(typesel), CmmWildCard, &rtag,
+                   nullptr) >= 0
+             ? 1
+             : 0;
+}
+
+long infocount() { return St().info_count; }
+long infotype() { return St().info_type; }
+long infonode() { return St().info_node; }
+
+}  // namespace converse::nx
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::NxModuleRegister() { return converse::nx::ModuleId(); }

@@ -1,0 +1,332 @@
+#include "converse/langs/cpvm.h"
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "converse/cmm.h"
+#include "converse/cth.h"
+#include "converse/detail/module.h"
+#include "core/pe_state.h"
+
+namespace converse::pvm {
+namespace {
+
+enum class PkType : std::uint8_t {
+  kInt = 1,
+  kLong = 2,
+  kFloat = 3,
+  kDouble = 4,
+  kByte = 5,
+  kStr = 6,
+};
+
+const char* PkTypeName(PkType t) {
+  switch (t) {
+    case PkType::kInt: return "int";
+    case PkType::kLong: return "long";
+    case PkType::kFloat: return "float";
+    case PkType::kDouble: return "double";
+    case PkType::kByte: return "byte";
+    case PkType::kStr: return "str";
+  }
+  return "?";
+}
+
+struct PvmWire {
+  std::int32_t tag;
+  std::int32_t source;
+  std::uint32_t len;
+  std::uint32_t pad;
+};
+
+struct Waiter {
+  int tid;
+  int tag;
+  CthThread* thread;
+  bool satisfied = false;
+  std::vector<char> data;
+  int rtag = 0;
+  int rsrc = 0;
+};
+
+struct PvmState {
+  int handler = -1;
+  MSG_MNGR* mailbox = nullptr;
+  std::deque<Waiter*> waiters;
+  std::vector<char> sendbuf;
+  // Active receive buffer.
+  std::vector<char> recvbuf;
+  std::size_t recvpos = 0;
+  int recv_tag = 0;
+  int recv_src = 0;
+  bool have_recv = false;
+};
+
+int ModuleId();
+
+PvmState& St() {
+  return *static_cast<PvmState*>(detail::ModuleState(ModuleId()));
+}
+
+bool Matches(int want_tid, int want_tag, int have_src, int have_tag) {
+  return (want_tid == PvmAnyTid || want_tid == have_src) &&
+         (want_tag == PvmAnyTag || want_tag == have_tag);
+}
+
+void PvmHandler(void* msg) {
+  PvmState& st = St();
+  const auto* wire = static_cast<const PvmWire*>(CmiMsgPayload(msg));
+  const char* data = reinterpret_cast<const char*>(wire + 1);
+  for (auto it = st.waiters.begin(); it != st.waiters.end(); ++it) {
+    if (Matches((*it)->tid, (*it)->tag, wire->source, wire->tag)) {
+      Waiter* w = *it;
+      st.waiters.erase(it);
+      w->data.assign(data, data + wire->len);
+      w->rtag = wire->tag;
+      w->rsrc = wire->source;
+      w->satisfied = true;
+      CthAwaken(w->thread);
+      return;
+    }
+  }
+  CmmPut2(st.mailbox, data, wire->tag, wire->source,
+          static_cast<int>(wire->len));
+}
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "cpvm",
+      [](int module_id) {
+        auto* st = new PvmState;
+        st->handler = CmiRegisterHandler(&PvmHandler);
+        st->mailbox = CmmNew();
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) {
+        auto* st = static_cast<PvmState*>(state);
+        CmmFree(st->mailbox);
+        delete st;
+      });
+  return id;
+}
+
+void PackSegment(PvmState& st, PkType type, const void* data,
+                 std::size_t elem, int n, int stride) {
+  if (n < 0) throw PvmError("pvm_pk*: negative count");
+  const std::uint8_t t = static_cast<std::uint8_t>(type);
+  const std::uint32_t count = static_cast<std::uint32_t>(n);
+  st.sendbuf.push_back(static_cast<char>(t));
+  st.sendbuf.insert(st.sendbuf.end(),
+                    reinterpret_cast<const char*>(&count),
+                    reinterpret_cast<const char*>(&count) + sizeof(count));
+  const char* src = static_cast<const char*>(data);
+  for (int i = 0; i < n; ++i) {
+    const char* p = src + static_cast<std::size_t>(i) *
+                              static_cast<std::size_t>(stride) * elem;
+    st.sendbuf.insert(st.sendbuf.end(), p, p + elem);
+  }
+}
+
+void UnpackSegment(PvmState& st, PkType type, void* data, std::size_t elem,
+                   int n, int stride) {
+  if (!st.have_recv) {
+    throw PvmError("pvm_upk*: no active receive buffer (call pvm_recv)");
+  }
+  if (st.recvpos + 1 + sizeof(std::uint32_t) > st.recvbuf.size()) {
+    throw PvmError("pvm_upk*: read past end of message");
+  }
+  const PkType have = static_cast<PkType>(st.recvbuf[st.recvpos]);
+  if (have != type) {
+    throw PvmError(std::string("pvm_upk*: type mismatch, packed ") +
+                   PkTypeName(have) + " unpacked " + PkTypeName(type));
+  }
+  st.recvpos += 1;
+  std::uint32_t count = 0;
+  std::memcpy(&count, st.recvbuf.data() + st.recvpos, sizeof(count));
+  st.recvpos += sizeof(count);
+  if (count != static_cast<std::uint32_t>(n)) {
+    throw PvmError("pvm_upk*: element count mismatch");
+  }
+  if (st.recvpos + count * elem > st.recvbuf.size()) {
+    throw PvmError("pvm_upk*: truncated message");
+  }
+  char* dst = static_cast<char*>(data);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::memcpy(dst + static_cast<std::size_t>(i) *
+                          static_cast<std::size_t>(stride) * elem,
+                st.recvbuf.data() + st.recvpos, elem);
+    st.recvpos += elem;
+  }
+}
+
+/// Make (data,len,tag,src) the active receive buffer.
+void Activate(PvmState& st, std::vector<char> data, int tag, int src) {
+  st.recvbuf = std::move(data);
+  st.recvpos = 0;
+  st.recv_tag = tag;
+  st.recv_src = src;
+  st.have_recv = true;
+}
+
+/// Try the mailbox; returns true if a match became active.
+bool TryMailbox(PvmState& st, int tid, int tag) {
+  int rtag = 0, rsrc = 0;
+  const int len = CmmProbe2(st.mailbox, tag, tid, &rtag, &rsrc);
+  if (len < 0) return false;
+  std::vector<char> data(static_cast<std::size_t>(len));
+  CmmGet2(st.mailbox, data.data(), tag, tid, len, &rtag, &rsrc);
+  Activate(st, std::move(data), rtag, rsrc);
+  return true;
+}
+
+}  // namespace
+
+int pvm_mytid() { return CmiMyPe(); }
+int pvm_ntasks() { return CmiNumPes(); }
+
+int pvm_initsend() {
+  St().sendbuf.clear();
+  return 1;
+}
+
+int pvm_pkint(const int* d, int n, int s) {
+  PackSegment(St(), PkType::kInt, d, sizeof(int), n, s);
+  return 0;
+}
+int pvm_pklong(const long* d, int n, int s) {
+  PackSegment(St(), PkType::kLong, d, sizeof(long), n, s);
+  return 0;
+}
+int pvm_pkfloat(const float* d, int n, int s) {
+  PackSegment(St(), PkType::kFloat, d, sizeof(float), n, s);
+  return 0;
+}
+int pvm_pkdouble(const double* d, int n, int s) {
+  PackSegment(St(), PkType::kDouble, d, sizeof(double), n, s);
+  return 0;
+}
+int pvm_pkbyte(const char* d, int n, int s) {
+  PackSegment(St(), PkType::kByte, d, 1, n, s);
+  return 0;
+}
+int pvm_pkstr(const char* s) {
+  PackSegment(St(), PkType::kStr, s, 1,
+              static_cast<int>(std::strlen(s)) + 1, 1);
+  return 0;
+}
+
+int pvm_send(int tid, int tag) {
+  PvmState& st = St();
+  const std::size_t len = st.sendbuf.size();
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(PvmWire) + len);
+  CmiSetHandler(msg, st.handler);
+  auto* wire = static_cast<PvmWire*>(CmiMsgPayload(msg));
+  wire->tag = tag;
+  wire->source = CmiMyPe();
+  wire->len = static_cast<std::uint32_t>(len);
+  wire->pad = 0;
+  if (len > 0) std::memcpy(wire + 1, st.sendbuf.data(), len);
+  detail::SendOwned(tid, msg);
+  return 0;
+}
+
+int pvm_mcast(const int* tids, int n, int tag) {
+  for (int i = 0; i < n; ++i) pvm_send(tids[i], tag);
+  return 0;
+}
+
+int pvm_bcast_all(int tag) {
+  const int npes = CmiNumPes();
+  for (int i = 0; i < npes; ++i) pvm_send(i, tag);
+  return 0;
+}
+
+int pvm_recv(int tid, int tag) {
+  PvmState& st = St();
+  if (TryMailbox(st, tid, tag)) return 1;
+
+  if (!CthIsMain(CthSelf())) {
+    // Multithreaded mode: suspend just this thread.
+    Waiter w{tid, tag, CthSelf()};
+    st.waiters.push_back(&w);
+    CthSuspend();
+    assert(w.satisfied);
+    Activate(st, std::move(w.data), w.rtag, w.rsrc);
+    return 1;
+  }
+
+  // SPM mode: the paper's blocking semantics — receive only cpvm traffic.
+  for (;;) {
+    void* msg = CmiGetSpecificMsg(st.handler);
+    const auto* wire = static_cast<const PvmWire*>(CmiMsgPayload(msg));
+    const char* data = reinterpret_cast<const char*>(wire + 1);
+    if (Matches(tid, tag, wire->source, wire->tag)) {
+      Activate(st, std::vector<char>(data, data + wire->len), wire->tag,
+               wire->source);
+      return 1;
+    }
+    CmmPut2(st.mailbox, data, wire->tag, wire->source,
+            static_cast<int>(wire->len));
+  }
+}
+
+int pvm_nrecv(int tid, int tag) {
+  return TryMailbox(St(), tid, tag) ? 1 : 0;
+}
+
+int pvm_probe(int tid, int tag) {
+  int rtag = 0;
+  return CmmProbe2(St().mailbox, tag, tid, &rtag, nullptr) >= 0 ? 1 : 0;
+}
+
+int pvm_bufinfo(int bufid, int* bytes, int* tag, int* tid) {
+  PvmState& st = St();
+  if (bufid != 1 || !st.have_recv) return -1;
+  if (bytes != nullptr) *bytes = static_cast<int>(st.recvbuf.size());
+  if (tag != nullptr) *tag = st.recv_tag;
+  if (tid != nullptr) *tid = st.recv_src;
+  return 0;
+}
+
+int pvm_upkint(int* d, int n, int s) {
+  UnpackSegment(St(), PkType::kInt, d, sizeof(int), n, s);
+  return 0;
+}
+int pvm_upklong(long* d, int n, int s) {
+  UnpackSegment(St(), PkType::kLong, d, sizeof(long), n, s);
+  return 0;
+}
+int pvm_upkfloat(float* d, int n, int s) {
+  UnpackSegment(St(), PkType::kFloat, d, sizeof(float), n, s);
+  return 0;
+}
+int pvm_upkdouble(double* d, int n, int s) {
+  UnpackSegment(St(), PkType::kDouble, d, sizeof(double), n, s);
+  return 0;
+}
+int pvm_upkbyte(char* d, int n, int s) {
+  UnpackSegment(St(), PkType::kByte, d, 1, n, s);
+  return 0;
+}
+int pvm_upkstr(char* s) {
+  PvmState& st = St();
+  if (!st.have_recv) throw PvmError("pvm_upkstr: no active receive buffer");
+  if (st.recvpos + 1 + sizeof(std::uint32_t) > st.recvbuf.size()) {
+    throw PvmError("pvm_upkstr: read past end of message");
+  }
+  if (static_cast<PkType>(st.recvbuf[st.recvpos]) != PkType::kStr) {
+    throw PvmError("pvm_upkstr: type mismatch");
+  }
+  std::uint32_t count = 0;
+  std::memcpy(&count, st.recvbuf.data() + st.recvpos + 1, sizeof(count));
+  UnpackSegment(st, PkType::kStr, s, 1, static_cast<int>(count), 1);
+  return 0;
+}
+
+}  // namespace converse::pvm
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::PvmModuleRegister() { return converse::pvm::ModuleId(); }

@@ -1,0 +1,174 @@
+#include "converse/langs/sm.h"
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+
+#include "converse/cmm.h"
+#include "converse/cth.h"
+#include "converse/detail/module.h"
+#include "core/pe_state.h"
+
+namespace converse::sm {
+namespace {
+
+struct SmWire {
+  std::int32_t tag;
+  std::int32_t source;
+  std::uint32_t len;
+  std::uint32_t pad;
+  // `len` payload bytes follow
+};
+
+/// A thread blocked in SmRecv.
+struct Waiter {
+  int tag;
+  int source;
+  CthThread* thread;
+  void* buf;
+  std::size_t maxlen;
+  int* rettag;
+  int* retsource;
+  int result_len = -1;
+  bool satisfied = false;
+};
+
+struct SmState {
+  int handler = -1;
+  MSG_MNGR* mailbox = nullptr;
+  std::deque<Waiter*> waiters;
+};
+
+int ModuleId();
+
+SmState& St() {
+  return *static_cast<SmState*>(detail::ModuleState(ModuleId()));
+}
+
+bool Matches(int want_tag, int want_src, int have_tag, int have_src) {
+  return (want_tag == kAnyTag || want_tag == have_tag) &&
+         (want_src == kAnySource || want_src == have_src);
+}
+
+/// Copy a delivered message into a waiter and wake it.
+void Satisfy(Waiter& w, const SmWire* wire) {
+  const std::size_t ncopy =
+      wire->len < w.maxlen ? wire->len : w.maxlen;
+  if (ncopy > 0) std::memcpy(w.buf, wire + 1, ncopy);
+  if (w.rettag != nullptr) *w.rettag = wire->tag;
+  if (w.retsource != nullptr) *w.retsource = wire->source;
+  w.result_len = static_cast<int>(wire->len);
+  w.satisfied = true;
+  CthAwaken(w.thread);
+}
+
+/// Scheduler-delivered SM message: satisfy a blocked thread or buffer it.
+void SmHandler(void* msg) {
+  SmState& st = St();
+  const auto* wire = static_cast<const SmWire*>(CmiMsgPayload(msg));
+  for (auto it = st.waiters.begin(); it != st.waiters.end(); ++it) {
+    if (Matches((*it)->tag, (*it)->source, wire->tag, wire->source)) {
+      Waiter* w = *it;
+      st.waiters.erase(it);
+      Satisfy(*w, wire);
+      return;
+    }
+  }
+  CmmPut2(st.mailbox, wire + 1, wire->tag, wire->source,
+          static_cast<int>(wire->len));
+}
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "sm",
+      [](int module_id) {
+        auto* st = new SmState;
+        st->handler = CmiRegisterHandler(&SmHandler);
+        st->mailbox = CmmNew();
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) {
+        auto* st = static_cast<SmState*>(state);
+        CmmFree(st->mailbox);
+        delete st;
+      });
+  return id;
+}
+
+/// Try the local mailbox; returns full length or -1.
+int TryMailbox(SmState& st, void* buf, std::size_t maxlen, int tag,
+               int source, int* rettag, int* retsource) {
+  const int len = CmmGet2(st.mailbox, buf, tag, source,
+                          static_cast<int>(maxlen), rettag, retsource);
+  return len;
+}
+
+}  // namespace
+
+void SmSend(int dest_pe, int tag, const void* data, std::size_t len) {
+  SmState& st = St();
+  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + sizeof(SmWire) + len);
+  CmiSetHandler(msg, st.handler);
+  auto* wire = static_cast<SmWire*>(CmiMsgPayload(msg));
+  wire->tag = tag;
+  wire->source = CmiMyPe();
+  wire->len = static_cast<std::uint32_t>(len);
+  wire->pad = 0;
+  if (len > 0) std::memcpy(wire + 1, data, len);
+  detail::SendOwned(dest_pe, msg);
+}
+
+void SmBroadcastAll(int tag, const void* data, std::size_t len) {
+  const int npes = CmiNumPes();
+  for (int i = 0; i < npes; ++i) SmSend(i, tag, data, len);
+}
+
+int SmRecv(void* buf, std::size_t maxlen, int tag, int source, int* rettag,
+           int* retsource) {
+  SmState& st = St();
+  {
+    const int len = TryMailbox(st, buf, maxlen, tag, source, rettag,
+                               retsource);
+    if (len >= 0) return len;
+  }
+
+  if (!CthIsMain(CthSelf())) {
+    // Implicit control regime: block this thread only; the scheduler keeps
+    // the PE busy with other work.
+    Waiter w{tag, source, CthSelf(), buf, maxlen, rettag, retsource};
+    st.waiters.push_back(&w);
+    CthSuspend();
+    assert(w.satisfied && "SM waiter resumed without a message");
+    return w.result_len;
+  }
+
+  // Explicit (SPM) control regime: receive only SM traffic; anything else
+  // is buffered by the machine layer until we return to the scheduler.
+  for (;;) {
+    void* msg = CmiGetSpecificMsg(st.handler);
+    const auto* wire = static_cast<const SmWire*>(CmiMsgPayload(msg));
+    if (Matches(tag, source, wire->tag, wire->source)) {
+      const std::size_t ncopy = wire->len < maxlen ? wire->len : maxlen;
+      if (ncopy > 0) std::memcpy(buf, wire + 1, ncopy);
+      if (rettag != nullptr) *rettag = wire->tag;
+      if (retsource != nullptr) *retsource = wire->source;
+      return static_cast<int>(wire->len);
+    }
+    // An SM message for a different tag/source: keep it for later.
+    CmmPut2(st.mailbox, wire + 1, wire->tag, wire->source,
+            static_cast<int>(wire->len));
+  }
+}
+
+int SmProbe(int tag, int source) {
+  int rettag = 0;
+  return CmmProbe2(St().mailbox, tag, source, &rettag, nullptr);
+}
+
+std::size_t SmPending() { return CmmLength(St().mailbox); }
+
+}  // namespace converse::sm
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::SmModuleRegister() { return converse::sm::ModuleId(); }

@@ -1,0 +1,47 @@
+#include "converse/langs/tsm.h"
+
+#include <cassert>
+
+#include "converse/cth.h"
+#include "converse/langs/sm.h"
+#include "converse/trace.h"
+#include "core/pe_state.h"
+
+namespace converse::tsm {
+namespace {
+
+// tSM keeps almost no state of its own — exactly the point the paper makes
+// about how little a new language runtime needs when the thread object,
+// message manager, and scheduler are reusable components.
+int& LiveCount() {
+  thread_local int live = 0;  // PE == OS thread on the in-process machine
+  return live;
+}
+
+}  // namespace
+
+void tSMCreate(std::function<void()> fn) {
+  TraceNoteThreadCreate();
+  ++LiveCount();
+  CthThread* t = CthCreate([fn = std::move(fn)] {
+    fn();
+    --LiveCount();
+  });
+  CthAwaken(t);  // schedule for execution via the Converse scheduler
+}
+
+void tSMSend(int dest_pe, int tag, const void* data, std::size_t len) {
+  sm::SmSend(dest_pe, tag, data, len);
+}
+
+int tSMReceive(int tag, void* buf, std::size_t maxlen, int* retsource) {
+  assert(!CthIsMain(CthSelf()) &&
+         "tSMReceive must be called from a tSM thread");
+  return sm::SmRecv(buf, maxlen, tag, sm::kAnySource, nullptr, retsource);
+}
+
+int tSMProbe(int tag) { return sm::SmProbe(tag, sm::kAnySource); }
+
+int tSMLiveThreads() { return LiveCount(); }
+
+}  // namespace converse::tsm

@@ -1,0 +1,302 @@
+// Seed load balancers (paper §3.3.1).
+//
+// A seed travels as a generalized message whose handler field is
+// temporarily replaced by the balancer's own handler; the original handler
+// rides in the header's reserved word together with a hop count, so no
+// payload copy is ever made while a seed floats.  When a seed takes root,
+// the original handler is restored and the message enters the scheduler
+// queue (with its priority, if it had one).
+#include "converse/cld.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "converse/csd.h"
+#include "converse/detail/module.h"
+#include "core/pe_state.h"
+
+namespace converse {
+namespace {
+
+constexpr std::uint8_t kMaxNeighborHops = 3;
+constexpr int kStatusPeriod = 8;  // decisions between neighbor status sends
+constexpr int kDrainPeriod = 8;   // placements between central drain reports
+
+// Header `reserved` word layout for floating seeds.
+struct SeedTag {
+  std::uint32_t orig_handler;
+  std::uint8_t hops;
+  std::uint8_t prioritized;
+  std::uint16_t pad;
+};
+static_assert(sizeof(SeedTag) == 8);
+
+SeedTag LoadTag(const void* msg) {
+  SeedTag t;
+  std::memcpy(&t, &detail::Header(msg)->reserved, sizeof(t));
+  return t;
+}
+
+void StoreTag(void* msg, const SeedTag& t) {
+  std::memcpy(&detail::Header(msg)->reserved, &t, sizeof(t));
+}
+
+struct CldState {
+  CldStrategy strat = CldStrategy::kLocal;
+  int seed_handler = -1;
+  int status_handler = -1;
+  int drain_handler = -1;
+  int done_handler = -1;
+  // kNeighbor: load estimates for ring neighbors [prev, next].
+  std::int64_t neighbor_load[2] = {0, 0};
+  // kCentral (meaningful on PE 0): per-PE outstanding assigned seeds.
+  std::vector<std::int64_t> outstanding;
+  std::uint64_t placed = 0;
+  std::uint64_t hops_seen = 0;
+  std::uint64_t decisions = 0;
+  int placed_since_report = 0;
+};
+
+int ModuleId();
+
+CldState& St() {
+  return *static_cast<CldState*>(detail::ModuleState(ModuleId()));
+}
+
+int RingPrev() {
+  detail::PeState& pe = detail::CpvChecked();
+  return (pe.mype + pe.npes - 1) % pe.npes;
+}
+int RingNext() {
+  detail::PeState& pe = detail::CpvChecked();
+  return (pe.mype + 1) % pe.npes;
+}
+
+/// Restore the seed's own handler and enqueue it locally: the seed has
+/// taken root.  Under the central strategy the seed is routed through a
+/// completion handler so the dispatcher learns when work *executes*, not
+/// merely when it is queued (a queue-time report would make an idle
+/// dispatcher PE look permanently unloaded to itself).
+void PlaceSeed(void* msg) {
+  CldState& st = St();
+  const SeedTag tag = LoadTag(msg);
+  st.hops_seen += tag.hops;
+  ++st.placed;
+  if (st.strat == CldStrategy::kCentral) {
+    CmiSetHandler(msg, st.done_handler);  // keep the SeedTag for later
+  } else {
+    CmiSetHandler(msg, static_cast<int>(tag.orig_handler));
+    StoreTag(msg, SeedTag{});
+  }
+  if (tag.prioritized != 0) {
+    CsdEnqueueIntPrio(msg, detail::Header(msg)->int_prio);
+  } else {
+    CsdEnqueue(msg);
+  }
+}
+
+/// Central-strategy completion: runs when the seed is dequeued for
+/// execution.  Reports drained work to the dispatcher, then delegates to
+/// the seed's own handler (which owns and frees the message).
+void DoneHandler(void* msg) {
+  CldState& st = St();
+  const SeedTag tag = LoadTag(msg);
+  StoreTag(msg, SeedTag{});
+  CmiSetHandler(msg, static_cast<int>(tag.orig_handler));
+  detail::PeState& pe = detail::CpvChecked();
+  if (++st.placed_since_report >= kDrainPeriod) {
+    if (pe.mype == 0) {
+      st.outstanding[0] -= st.placed_since_report;
+    } else {
+      const std::int32_t n = st.placed_since_report;
+      void* report = CmiMakeMessage(st.drain_handler, &n, sizeof(n));
+      detail::SendOwned(0, report);
+    }
+    st.placed_since_report = 0;
+  }
+  CmiGetHandlerFunction(msg)(msg);
+}
+
+void ForwardSeed(void* msg, int dest) {
+  detail::SendOwned(dest, msg);
+}
+
+void MaybeSendNeighborStatus(CldState& st) {
+  if (++st.decisions % kStatusPeriod != 0) return;
+  const std::int64_t load = CldLoad();
+  for (int n : {RingPrev(), RingNext()}) {
+    if (n == CmiMyPe()) continue;  // npes <= 2 degenerate ring
+    void* msg = CmiMakeMessage(st.status_handler, &load, sizeof(load));
+    detail::SendOwned(n, msg);
+  }
+}
+
+/// The strategy decision: place the seed here or forward it (taking
+/// ownership either way).  `msg` already carries a SeedTag and the cld seed
+/// handler.
+void Decide(void* msg) {
+  CldState& st = St();
+  detail::PeState& pe = detail::CpvChecked();
+  SeedTag tag = LoadTag(msg);
+
+  switch (st.strat) {
+    case CldStrategy::kLocal:
+      PlaceSeed(msg);
+      return;
+
+    case CldStrategy::kRandom: {
+      if (tag.hops > 0) {  // already sprayed once
+        PlaceSeed(msg);
+        return;
+      }
+      const int dest =
+          static_cast<int>(pe.rng.Below(static_cast<std::uint64_t>(pe.npes)));
+      if (dest == pe.mype) {
+        PlaceSeed(msg);
+        return;
+      }
+      tag.hops = 1;
+      StoreTag(msg, tag);
+      ForwardSeed(msg, dest);
+      return;
+    }
+
+    case CldStrategy::kNeighbor: {
+      MaybeSendNeighborStatus(st);
+      const std::int64_t my_load = CldLoad();
+      const std::int64_t best =
+          st.neighbor_load[0] < st.neighbor_load[1] ? st.neighbor_load[0]
+                                                    : st.neighbor_load[1];
+      if (pe.npes == 1 || tag.hops >= kMaxNeighborHops ||
+          my_load <= best + 2) {
+        PlaceSeed(msg);
+        return;
+      }
+      const int dest =
+          st.neighbor_load[0] <= st.neighbor_load[1] ? RingPrev() : RingNext();
+      // Assume the seed lands there; keeps a burst from all going one way.
+      ++st.neighbor_load[st.neighbor_load[0] <= st.neighbor_load[1] ? 0 : 1];
+      ++tag.hops;
+      StoreTag(msg, tag);
+      ForwardSeed(msg, dest);
+      return;
+    }
+
+    case CldStrategy::kCentral: {
+      if (pe.mype == 0) {
+        if (tag.hops >= 2) {  // assigned to us by ourselves earlier
+          PlaceSeed(msg);
+          return;
+        }
+        // Dispatch to the least-outstanding PE.
+        int best_pe = 0;
+        for (int i = 1; i < pe.npes; ++i) {
+          if (st.outstanding[static_cast<std::size_t>(i)] <
+              st.outstanding[static_cast<std::size_t>(best_pe)]) {
+            best_pe = i;
+          }
+        }
+        ++st.outstanding[static_cast<std::size_t>(best_pe)];
+        tag.hops = 2;
+        StoreTag(msg, tag);
+        if (best_pe == 0) {
+          PlaceSeed(msg);
+        } else {
+          ForwardSeed(msg, best_pe);
+        }
+        return;
+      }
+      if (tag.hops >= 2) {  // assigned by the dispatcher: take root
+        PlaceSeed(msg);
+        return;
+      }
+      tag.hops = 1;  // en route to the dispatcher
+      StoreTag(msg, tag);
+      ForwardSeed(msg, 0);
+      return;
+    }
+  }
+  assert(false && "unknown load balancing strategy");
+}
+
+/// Network arrival of a floating seed.
+void SeedHandler(void* msg) {
+  // Seeds arrive system-owned; we keep them (to enqueue or forward).
+  CmiGrabBuffer(&msg);
+  Decide(msg);
+}
+
+void StatusHandler(void* msg) {
+  CldState& st = St();
+  std::int64_t load = 0;
+  std::memcpy(&load, CmiMsgPayload(msg), sizeof(load));
+  const int src = CmiMsgSourcePe(msg);
+  if (src == RingPrev()) st.neighbor_load[0] = load;
+  if (src == RingNext()) st.neighbor_load[1] = load;
+}
+
+void DrainHandler(void* msg) {
+  CldState& st = St();
+  std::int32_t n = 0;
+  std::memcpy(&n, CmiMsgPayload(msg), sizeof(n));
+  const int src = CmiMsgSourcePe(msg);
+  st.outstanding[static_cast<std::size_t>(src)] -= n;
+}
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "cld",
+      [](int module_id) {
+        auto* st = new CldState;
+        st->seed_handler = CmiRegisterHandler(&SeedHandler);
+        st->status_handler = CmiRegisterHandler(&StatusHandler);
+        st->drain_handler = CmiRegisterHandler(&DrainHandler);
+        st->done_handler = CmiRegisterHandler(&DoneHandler);
+        st->outstanding.assign(
+            static_cast<std::size_t>(detail::CpvChecked().npes), 0);
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) { delete static_cast<CldState*>(state); });
+  return id;
+}
+
+void Wrap(void* msg, bool prioritized) {
+  CldState& st = St();
+  SeedTag tag;
+  tag.orig_handler = detail::Header(msg)->handler;
+  tag.hops = 0;
+  tag.prioritized = prioritized ? 1 : 0;
+  tag.pad = 0;
+  StoreTag(msg, tag);
+  CmiSetHandler(msg, st.seed_handler);
+}
+
+}  // namespace
+
+void CldSetStrategy(CldStrategy strategy) { St().strat = strategy; }
+CldStrategy CldGetStrategy() { return St().strat; }
+
+void CldEnqueue(void* msg) {
+  assert(CmiMsgIsValid(msg));
+  Wrap(msg, /*prioritized=*/false);
+  Decide(msg);
+}
+
+void CldEnqueuePrio(void* msg, std::int32_t prio) {
+  assert(CmiMsgIsValid(msg));
+  detail::Header(msg)->int_prio = prio;
+  Wrap(msg, /*prioritized=*/true);
+  Decide(msg);
+}
+
+int CldLoad() { return static_cast<int>(CsdLength()); }
+
+std::uint64_t CldSeedsPlaced() { return St().placed; }
+std::uint64_t CldSeedHops() { return St().hops_seen; }
+
+}  // namespace converse
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::CldModuleRegister() { return converse::ModuleId(); }

@@ -1,0 +1,112 @@
+#include "converse/cmm.h"
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+namespace converse {
+
+namespace {
+
+struct StoredMsg {
+  int tag1;
+  int tag2;
+  std::vector<char> data;
+};
+
+bool TagMatches(int want, int have) {
+  return want == CmmWildCard || want == have;
+}
+
+}  // namespace
+
+struct MSG_MNGR {
+  // FIFO among matches requires ordered scan; the original implementation
+  // is also a linear list.  For the tag cardinalities these mailboxes see
+  // (a handful of outstanding messages per entity) a deque scan wins over
+  // any index structure.
+  std::deque<StoredMsg> msgs;
+
+  std::deque<StoredMsg>::iterator Find(int tag1, int tag2) {
+    for (auto it = msgs.begin(); it != msgs.end(); ++it) {
+      if (TagMatches(tag1, it->tag1) && TagMatches(tag2, it->tag2)) return it;
+    }
+    return msgs.end();
+  }
+};
+
+MSG_MNGR* CmmNew() { return new MSG_MNGR; }
+
+void CmmFree(MSG_MNGR* mm) { delete mm; }
+
+void CmmPut2(MSG_MNGR* mm, const void* msg, int tag1, int tag2, int size) {
+  assert(size >= 0);
+  assert(tag1 != CmmWildCard && tag2 != CmmWildCard &&
+         "stored messages must carry concrete tags");
+  StoredMsg s;
+  s.tag1 = tag1;
+  s.tag2 = tag2;
+  s.data.assign(static_cast<const char*>(msg),
+                static_cast<const char*>(msg) + size);
+  mm->msgs.push_back(std::move(s));
+}
+
+void CmmPut(MSG_MNGR* mm, const void* msg, int tag, int size) {
+  CmmPut2(mm, msg, tag, /*tag2=*/0, size);
+}
+
+int CmmProbe2(MSG_MNGR* mm, int tag1, int tag2, int* rettag1, int* rettag2) {
+  auto it = mm->Find(tag1, tag2);
+  if (it == mm->msgs.end()) return -1;
+  if (rettag1 != nullptr) *rettag1 = it->tag1;
+  if (rettag2 != nullptr) *rettag2 = it->tag2;
+  return static_cast<int>(it->data.size());
+}
+
+int CmmProbe(MSG_MNGR* mm, int tag, int* rettag) {
+  return CmmProbe2(mm, tag, CmmWildCard, rettag, nullptr);
+}
+
+int CmmGet2(MSG_MNGR* mm, void* addr, int tag1, int tag2, int size,
+            int* rettag1, int* rettag2) {
+  auto it = mm->Find(tag1, tag2);
+  if (it == mm->msgs.end()) return -1;
+  if (rettag1 != nullptr) *rettag1 = it->tag1;
+  if (rettag2 != nullptr) *rettag2 = it->tag2;
+  const int len = static_cast<int>(it->data.size());
+  const int ncopy = len < size ? len : size;
+  if (ncopy > 0) {
+    std::memcpy(addr, it->data.data(), static_cast<std::size_t>(ncopy));
+  }
+  mm->msgs.erase(it);
+  return len;
+}
+
+int CmmGet(MSG_MNGR* mm, void* addr, int tag, int size, int* rettag) {
+  return CmmGet2(mm, addr, tag, CmmWildCard, size, rettag, nullptr);
+}
+
+int CmmGetPtr2(MSG_MNGR* mm, void** addr, int tag1, int tag2, int* rettag1,
+               int* rettag2) {
+  auto it = mm->Find(tag1, tag2);
+  if (it == mm->msgs.end()) return -1;
+  if (rettag1 != nullptr) *rettag1 = it->tag1;
+  if (rettag2 != nullptr) *rettag2 = it->tag2;
+  const int len = static_cast<int>(it->data.size());
+  char* out = new char[it->data.empty() ? 1 : it->data.size()];
+  if (!it->data.empty()) {
+    std::memcpy(out, it->data.data(), it->data.size());
+  }
+  *addr = out;
+  mm->msgs.erase(it);
+  return len;
+}
+
+int CmmGetPtr(MSG_MNGR* mm, void** addr, int tag, int* rettag) {
+  return CmmGetPtr2(mm, addr, tag, CmmWildCard, rettag, nullptr);
+}
+
+std::size_t CmmLength(const MSG_MNGR* mm) { return mm->msgs.size(); }
+
+}  // namespace converse

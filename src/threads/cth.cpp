@@ -1,0 +1,278 @@
+// Thread objects — implementation (paper §3.2.2).
+#include "converse/cth.h"
+
+#include <cassert>
+#include <cstring>
+#include <unordered_set>
+
+#include "converse/cmi.h"
+#include "converse/csd.h"
+#include "converse/detail/module.h"
+#include "core/pe_state.h"
+#include "threads/fiber.h"
+
+namespace converse {
+
+struct CthThread {
+  detail::Fiber fiber;
+  std::function<void()> fn;  // user entry (empty for the main thread)
+  bool exiting = false;
+  void* user_data = nullptr;
+  // Per-thread scheduling strategy (paper's CthSetStrategy); empty = default.
+  std::function<void()> suspend_fn;
+  std::function<void(CthThread*)> awaken_fn;
+
+  // Main-thread constructor.
+  explicit CthThread(detail::Fiber::Backend backend) : fiber(backend) {}
+  CthThread(detail::Fiber::Backend backend, std::size_t stack_bytes,
+            std::function<void()> entry)
+      : fiber(backend, stack_bytes, std::move(entry)) {}
+};
+
+namespace {
+
+detail::Fiber::Backend ToFiber(CthBackend b) {
+  return b == CthBackend::kAsm ? detail::Fiber::Backend::kAsm
+                               : detail::Fiber::Backend::kUcontext;
+}
+
+struct CthPeState {
+  CthBackend backend = CthDefaultBackend();
+  CthThread* main = nullptr;     // the PE's scheduler context
+  CthThread* current = nullptr;  // currently running thread
+  CthThread* zombie = nullptr;   // exited thread awaiting stack reclaim
+  int resume_handler = -1;       // handler of "resume thread" messages
+  std::unordered_set<CthThread*> live;  // user threads (for teardown)
+  std::uint64_t switches = 0;
+};
+
+int ModuleId();
+
+CthPeState& St() {
+  return *static_cast<CthPeState*>(converse::detail::ModuleState(ModuleId()));
+}
+
+void ReapZombie(CthPeState& st) {
+  if (st.zombie != nullptr && st.zombie != st.current) {
+    st.live.erase(st.zombie);
+    delete st.zombie;
+    st.zombie = nullptr;
+  }
+}
+
+/// The generalized message that makes a ready thread schedulable: payload
+/// is the CthThread pointer; the handler resumes it (paper §3.1.1 item 2).
+void ResumeHandler(void* msg) {
+  CthThread* thr = nullptr;
+  std::memcpy(&thr, CmiMsgPayload(msg), sizeof(thr));
+  // CthAwaken enqueues, so normally we own the message; if it somehow
+  // arrived system-owned (direct send), take ownership so the dispatcher
+  // does not free it behind our back.
+  converse::detail::PeState& pe = converse::detail::CpvChecked();
+  if (!pe.sysbuf_stack.empty() && pe.sysbuf_stack.back().msg == msg) {
+    pe.sysbuf_stack.back().grabbed = true;
+  }
+  // Free *before* resuming: the thread may not return control here soon.
+  CmiFree(msg);
+  CthResume(thr);
+}
+
+int ModuleId() {
+  static const int id = converse::detail::RegisterModule(
+      "cth",
+      [](int module_id) {
+        auto* st = new CthPeState;
+        st->resume_handler = CmiRegisterHandler(&ResumeHandler);
+        converse::detail::SetModuleState(module_id, st);
+        // The main thread object is created lazily on first Cth use so the
+        // backend can still be chosen by CthInit.
+      },
+      [](void* state) {
+        auto* st = static_cast<CthPeState*>(state);
+        st->zombie = nullptr;
+        for (CthThread* t : st->live) delete t;  // reclaim leaked stacks
+        delete st->main;
+        delete st;
+      });
+  return id;
+}
+
+/// Ensure the PE has its main thread object (the scheduler context).
+CthPeState& StReady() {
+  CthPeState& st = St();
+  if (st.main == nullptr) {
+    st.main = new CthThread(ToFiber(st.backend));
+    st.current = st.main;
+  }
+  return st;
+}
+
+void DefaultSuspend(CthPeState& st) {
+  assert(st.current != st.main &&
+         "CthSuspend called from the scheduler context");
+  CthResume(st.main);
+}
+
+void DefaultAwaken(CthPeState& st, CthThread* thr, bool has_prio,
+                   std::int32_t prio) {
+  void* msg = CmiAlloc(CmiMsgHeaderSizeBytes() + sizeof(CthThread*));
+  CmiSetHandler(msg, st.resume_handler);
+  std::memcpy(CmiMsgPayload(msg), &thr, sizeof(thr));
+  if (has_prio) {
+    CsdEnqueueIntPrio(msg, prio);
+  } else {
+    CsdEnqueue(msg);
+  }
+}
+
+}  // namespace
+
+CthBackend CthDefaultBackend() {
+#if CONVERSE_HAVE_ASM_FIBERS
+  return CthBackend::kAsm;
+#else
+  return CthBackend::kUcontext;
+#endif
+}
+
+bool CthBackendAvailable(CthBackend backend) {
+  return detail::Fiber::BackendAvailable(ToFiber(backend));
+}
+
+void CthInit(CthBackend backend) {
+  CthPeState& st = St();
+  assert(st.main == nullptr &&
+         "CthInit must run before any thread activity on this PE");
+  assert(CthBackendAvailable(backend));
+  st.backend = backend;
+}
+
+CthThread* CthCreate(std::function<void()> fn) {
+  return CthCreateOfSize(std::move(fn),
+                         detail::CpvChecked().machine->config()
+                             .default_stack_bytes);
+}
+
+CthThread* CthCreateOfSize(std::function<void()> fn,
+                           std::size_t stack_bytes) {
+  CthPeState& st = StReady();
+  ReapZombie(st);  // recycle an exited predecessor's stack right away
+  // The fiber entry finds its own CthThread through the current-thread
+  // pointer (set by CthResume before the first switch-in), runs the user
+  // function, and exits the thread cleanly if that function returns.
+  auto* thr = new CthThread(ToFiber(st.backend), stack_bytes, [] {
+    CthPeState& s = St();
+    ReapZombie(s);  // a predecessor may have exited straight into us
+    CthThread* self = s.current;
+    self->fn();
+    CthExit();
+  });
+  thr->fn = std::move(fn);
+  st.live.insert(thr);
+  return thr;
+}
+
+CthThread* CthCreate(void (*fn)(void*), void* arg) {
+  return CthCreate([fn, arg] { fn(arg); });
+}
+
+void CthResume(CthThread* thr) {
+  CthPeState& st = StReady();
+  assert(thr != nullptr);
+  assert(!thr->exiting && "resuming an exited thread");
+  CthThread* cur = st.current;
+  if (thr == cur) return;
+  st.current = thr;
+  ++st.switches;
+  cur->fiber.SwitchTo(thr->fiber);
+  // Control is back in `cur` (someone resumed it); reclaim any thread that
+  // exited in the meantime.
+  ReapZombie(St());
+}
+
+void CthSuspend() {
+  CthPeState& st = StReady();
+  CthThread* cur = st.current;
+  if (cur->suspend_fn) {
+    cur->suspend_fn();
+  } else {
+    DefaultSuspend(st);
+  }
+}
+
+void CthAwaken(CthThread* thr) {
+  CthPeState& st = StReady();
+  assert(thr != st.main && "cannot awaken the scheduler context");
+  if (thr->awaken_fn) {
+    thr->awaken_fn(thr);
+  } else {
+    DefaultAwaken(st, thr, false, 0);
+  }
+}
+
+void CthAwakenPrio(CthThread* thr, std::int32_t prio) {
+  CthPeState& st = StReady();
+  assert(thr != st.main);
+  if (thr->awaken_fn) {
+    thr->awaken_fn(thr);
+  } else {
+    DefaultAwaken(st, thr, true, prio);
+  }
+}
+
+void CthYield() {
+  CthAwaken(CthSelf());
+  CthSuspend();
+}
+
+void CthExit() {
+  CthPeState& st = StReady();
+  CthThread* cur = st.current;
+  assert(cur != st.main && "CthExit from the scheduler context");
+  ReapZombie(st);  // make room in the single zombie slot
+  cur->exiting = true;
+  assert(st.zombie == nullptr);
+  st.zombie = cur;
+  // Leave per the thread's suspend strategy; nobody will awaken us again.
+  if (cur->suspend_fn) {
+    cur->suspend_fn();
+  } else {
+    // Bypass CthResume's exiting assertion by switching directly.
+    CthThread* main = st.main;
+    st.current = main;
+    ++st.switches;
+    cur->fiber.SwitchTo(main->fiber);
+  }
+  assert(false && "resumed an exited thread");
+  __builtin_trap();
+}
+
+CthThread* CthSelf() { return StReady().current; }
+
+bool CthIsMain(CthThread* thr) { return thr == StReady().main; }
+
+void CthSetStrategy(CthThread* thr, std::function<void()> suspend_fn,
+                    std::function<void(CthThread*)> awaken_fn) {
+  thr->suspend_fn = std::move(suspend_fn);
+  thr->awaken_fn = std::move(awaken_fn);
+}
+
+void CthFree(CthThread* thr) {
+  CthPeState& st = StReady();
+  assert(thr != st.current && "CthFree of the running thread; use CthExit");
+  assert(thr != st.main);
+  st.live.erase(thr);
+  delete thr;
+}
+
+void CthSetData(CthThread* thr, void* data) { thr->user_data = data; }
+void* CthGetData(CthThread* thr) { return thr->user_data; }
+
+int CthLiveThreads() { return static_cast<int>(StReady().live.size()); }
+std::uint64_t CthSwitchCount() { return StReady().switches; }
+
+}  // namespace converse
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::CthModuleRegister() { return converse::ModuleId(); }

@@ -1,0 +1,187 @@
+#include "converse/cts.h"
+
+#include <cassert>
+#include <deque>
+
+#include "converse/cth.h"
+#include "core/pe_state.h"
+
+namespace converse {
+
+// All three objects remember their owning PE so misuse across PEs is caught
+// in debug builds; they contain no atomics because they are cooperative.
+
+struct LOCK {
+  int pe;
+  CthThread* owner = nullptr;
+  std::deque<CthThread*> waiters;
+};
+
+struct CONDN {
+  int pe;
+  std::deque<CthThread*> waiters;
+};
+
+struct BARRIER {
+  int pe;
+  int target = 0;
+  int arrived = 0;
+  std::deque<CthThread*> waiters;
+};
+
+namespace {
+int MyPe() { return detail::CpvChecked().mype; }
+}  // namespace
+
+// ---- Locks -----------------------------------------------------------------
+
+LOCK* CtsNewLock() { return new LOCK{MyPe()}; }
+
+void CtsLockInit(LOCK* lock) {
+  assert(lock->waiters.empty() && "CtsLockInit with queued waiters");
+  lock->pe = MyPe();
+  lock->owner = nullptr;
+}
+
+int CtsTryLock(LOCK* lock) {
+  assert(lock->pe == MyPe() && "Cts objects are PE-local");
+  if (lock->owner == nullptr) {
+    lock->owner = CthSelf();
+    return 1;
+  }
+  return 0;
+}
+
+int CtsLock(LOCK* lock) {
+  assert(lock->pe == MyPe() && "Cts objects are PE-local");
+  CthThread* self = CthSelf();
+  if (lock->owner == nullptr) {
+    lock->owner = self;
+    return 0;
+  }
+  if (lock->owner == self) {
+    // Non-recursive lock: self-deadlock would be silent, so fail loudly.
+    assert(false && "CtsLock: relocking a lock the thread already owns");
+    return -1;
+  }
+  lock->waiters.push_back(self);
+  CthSuspend();
+  // Ownership was transferred to us by the releasing thread (paper §3.2.3:
+  // "releases the lock causes the shifting of ownership ... and awakens").
+  assert(lock->owner == self);
+  return 0;
+}
+
+int CtsUnLock(LOCK* lock) {
+  assert(lock->pe == MyPe() && "Cts objects are PE-local");
+  if (lock->owner != CthSelf()) return -1;
+  if (lock->waiters.empty()) {
+    lock->owner = nullptr;
+    return 0;
+  }
+  CthThread* next = lock->waiters.front();
+  lock->waiters.pop_front();
+  lock->owner = next;
+  CthAwaken(next);
+  return 0;
+}
+
+void CtsFreeLock(LOCK* lock) {
+  assert(lock == nullptr ||
+         (lock->owner == nullptr && lock->waiters.empty()));
+  delete lock;
+}
+
+CthThread* CtsLockOwner(const LOCK* lock) { return lock->owner; }
+std::size_t CtsLockWaiters(const LOCK* lock) { return lock->waiters.size(); }
+
+// ---- Condition variables ----------------------------------------------------
+
+CONDN* CtsNewCondn() { return new CONDN{MyPe()}; }
+
+int CtsCondnBroadcast(CONDN* condn) {
+  assert(condn->pe == MyPe() && "Cts objects are PE-local");
+  int released = 0;
+  while (!condn->waiters.empty()) {
+    CthThread* t = condn->waiters.front();
+    condn->waiters.pop_front();
+    CthAwaken(t);
+    ++released;
+  }
+  return released;
+}
+
+int CtsCondnInit(CONDN* condn) {
+  // Per the appendix, (re)initialization awakens all current waiters.
+  const int released = condn->waiters.empty() ? 0 : CtsCondnBroadcast(condn);
+  condn->pe = MyPe();
+  return released;
+}
+
+int CtsCondnWait(CONDN* condn) {
+  assert(condn->pe == MyPe() && "Cts objects are PE-local");
+  condn->waiters.push_back(CthSelf());
+  CthSuspend();
+  return 0;
+}
+
+int CtsCondnSignal(CONDN* condn) {
+  assert(condn->pe == MyPe() && "Cts objects are PE-local");
+  if (condn->waiters.empty()) return 0;
+  CthThread* t = condn->waiters.front();
+  condn->waiters.pop_front();
+  CthAwaken(t);
+  return 1;
+}
+
+void CtsFreeCondn(CONDN* condn) {
+  assert(condn == nullptr || condn->waiters.empty());
+  delete condn;
+}
+
+std::size_t CtsCondnWaiters(const CONDN* condn) {
+  return condn->waiters.size();
+}
+
+// ---- Barriers ----------------------------------------------------------------
+
+BARRIER* CtsNewBarrier() { return new BARRIER{MyPe()}; }
+
+int CtsBarrierReinit(BARRIER* bar, int num) {
+  assert(num >= 1);
+  bar->pe = MyPe();
+  while (!bar->waiters.empty()) {
+    CthThread* t = bar->waiters.front();
+    bar->waiters.pop_front();
+    CthAwaken(t);
+  }
+  bar->target = num;
+  bar->arrived = 0;
+  return 0;
+}
+
+int CtsAtBarrier(BARRIER* bar) {
+  assert(bar->pe == MyPe() && "Cts objects are PE-local");
+  assert(bar->target >= 1 && "barrier used before CtsBarrierReinit");
+  ++bar->arrived;
+  if (bar->arrived < bar->target) {
+    bar->waiters.push_back(CthSelf());
+    CthSuspend();
+    return 0;
+  }
+  // kth arrival: broadcast and reset for reuse.
+  while (!bar->waiters.empty()) {
+    CthThread* t = bar->waiters.front();
+    bar->waiters.pop_front();
+    CthAwaken(t);
+  }
+  bar->arrived = 0;
+  return 0;
+}
+
+void CtsFreeBarrier(BARRIER* bar) {
+  assert(bar == nullptr || bar->waiters.empty());
+  delete bar;
+}
+
+}  // namespace converse

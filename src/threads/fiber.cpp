@@ -1,0 +1,251 @@
+#include "threads/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+namespace converse::detail {
+namespace {
+
+// The fiber that the in-flight SwitchTo is starting for the first time.
+// Set immediately before the switch, consumed by the trampoline on the new
+// stack; no other switch can interleave on the same OS thread.
+thread_local Fiber* g_starting = nullptr;
+
+std::size_t PageSize() {
+  static const std::size_t ps =
+      static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t RoundUpToPage(std::size_t n) {
+  const std::size_t ps = PageSize();
+  return (n + ps - 1) / ps * ps;
+}
+
+/// Per-OS-thread (== per PE) cache of guarded stack mappings.  Thread
+/// creation cost is dominated by mmap+mprotect+munmap; language runtimes
+/// like tSM and mdt create threads per message, so recycling mappings of
+/// the common (default) size is a large win — see bench/thread_switch's
+/// create/run/exit series.  Bounded; surplus mappings are unmapped.
+class StackPool {
+ public:
+  ~StackPool() {
+    for (const Entry& e : free_) ::munmap(e.map_base, e.map_bytes);
+  }
+
+  /// A cached mapping of exactly `map_bytes` (guard page included and
+  /// already PROT_NONE), or nullptr.
+  void* Acquire(std::size_t map_bytes) {
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].map_bytes == map_bytes) {
+        void* base = free_[i].map_base;
+        free_[i] = free_.back();
+        free_.pop_back();
+        ++hits_;
+        return base;
+      }
+    }
+    return nullptr;
+  }
+
+  void Release(void* map_base, std::size_t map_bytes) {
+    if (free_.size() >= kMaxCached) {
+      ::munmap(map_base, map_bytes);
+      return;
+    }
+    free_.push_back(Entry{map_base, map_bytes});
+  }
+
+  std::uint64_t hits() const { return hits_; }
+
+ private:
+  struct Entry {
+    void* map_base;
+    std::size_t map_bytes;
+  };
+  static constexpr std::size_t kMaxCached = 16;
+  std::vector<Entry> free_;
+  std::uint64_t hits_ = 0;
+};
+
+thread_local StackPool g_stack_pool;
+
+}  // namespace
+
+std::uint64_t FiberStackPoolHits() { return g_stack_pool.hits(); }
+
+#if CONVERSE_HAVE_ASM_FIBERS
+
+// void conv_fiber_swap(void** save_sp, void* restore_sp)
+//
+// Saves the System V x86-64 callee-saved state (rbp, rbx, r12-r15, plus the
+// x87 control word and mxcsr, which the ABI requires callees to preserve)
+// on the current stack, publishes the resulting stack pointer through
+// *save_sp, switches to restore_sp and restores symmetrically.  rdi/rsi are
+// caller-saved so they need no preservation.
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl conv_fiber_swap\n"
+    ".type conv_fiber_swap, @function\n"
+    "conv_fiber_swap:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  subq  $8, %rsp\n"
+    "  stmxcsr 4(%rsp)\n"
+    "  fnstcw  (%rsp)\n"
+    "  movq  %rsp, (%rdi)\n"
+    "  movq  %rsi, %rsp\n"
+    "  fldcw   (%rsp)\n"
+    "  ldmxcsr 4(%rsp)\n"
+    "  addq  $8, %rsp\n"
+    "  popq  %r15\n"
+    "  popq  %r14\n"
+    "  popq  %r13\n"
+    "  popq  %r12\n"
+    "  popq  %rbx\n"
+    "  popq  %rbp\n"
+    "  retq\n"
+    ".size conv_fiber_swap, .-conv_fiber_swap\n");
+
+extern "C" void conv_fiber_swap(void** save_sp, void* restore_sp);
+
+namespace {
+
+/// Capture the current x87 control word and mxcsr so a fresh fiber starts
+/// with the thread's prevailing FP environment.
+void CaptureFpState(std::uint16_t* fcw, std::uint32_t* mxcsr) {
+  __asm__ __volatile__("fnstcw %0" : "=m"(*fcw));
+  __asm__ __volatile__("stmxcsr %0" : "=m"(*mxcsr));
+}
+
+}  // namespace
+
+#endif  // CONVERSE_HAVE_ASM_FIBERS
+
+bool Fiber::BackendAvailable(Backend b) {
+  switch (b) {
+    case Backend::kUcontext:
+      return true;
+    case Backend::kAsm:
+      return CONVERSE_HAVE_ASM_FIBERS != 0;
+  }
+  return false;
+}
+
+Fiber::Fiber(Backend backend) : backend_(backend), started_(true) {
+  assert(BackendAvailable(backend));
+}
+
+Fiber::Fiber(Backend backend, std::size_t stack_bytes,
+             std::function<void()> entry)
+    : backend_(backend), entry_(std::move(entry)) {
+  assert(BackendAvailable(backend));
+  assert(stack_bytes >= 4096 && "fiber stack unreasonably small");
+
+  stack_bytes_ = RoundUpToPage(stack_bytes);
+  map_bytes_ = stack_bytes_ + PageSize();  // + guard page below the stack
+  void* map = g_stack_pool.Acquire(map_bytes_);
+  if (map == nullptr) {
+    map = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (map == MAP_FAILED) {
+      throw std::runtime_error("Fiber: mmap of stack failed");
+    }
+    if (::mprotect(map, PageSize(), PROT_NONE) != 0) {
+      ::munmap(map, map_bytes_);
+      throw std::runtime_error("Fiber: mprotect of guard page failed");
+    }
+  }
+  map_base_ = map;
+  stack_base_ = static_cast<char*>(map) + PageSize();
+
+  if (backend_ == Backend::kUcontext) {
+    if (getcontext(&ctx_) != 0) {
+      throw std::runtime_error("Fiber: getcontext failed");
+    }
+    ctx_.uc_stack.ss_sp = stack_base_;
+    ctx_.uc_stack.ss_size = stack_bytes_;
+    ctx_.uc_link = nullptr;
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 0);
+    return;
+  }
+
+#if CONVERSE_HAVE_ASM_FIBERS
+  // Prime the stack so the restore path of conv_fiber_swap lands in
+  // Trampoline.  Layout (downward from the 16-byte-aligned top):
+  //   [top- 8]  0                  backtrace terminator / fake return addr
+  //   [top-16]  &Trampoline        the address `retq` will pop
+  //   [top-64]  6 callee-saved qwords (zero)
+  //   [top-72]  fcw (2 bytes) + pad + mxcsr (4 bytes at +4)
+  // After the restore sequence pops everything and `retq` fires, rsp ==
+  // top-8, i.e. rsp % 16 == 8, exactly the ABI state at a function entry.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base_) + stack_bytes_;
+  top &= ~static_cast<std::uintptr_t>(15);
+  auto* sp = reinterpret_cast<std::uint64_t*>(top);
+  *--sp = 0;  // fake return address above Trampoline
+  *--sp = reinterpret_cast<std::uint64_t>(&Fiber::Trampoline);
+  for (int i = 0; i < 6; ++i) *--sp = 0;  // r15, r14, r13, r12, rbx, rbp
+  sp = reinterpret_cast<std::uint64_t*>(reinterpret_cast<char*>(sp) - 8);
+  std::uint16_t fcw = 0;
+  std::uint32_t mxcsr = 0;
+  CaptureFpState(&fcw, &mxcsr);
+  std::memset(sp, 0, 8);
+  std::memcpy(reinterpret_cast<char*>(sp), &fcw, sizeof(fcw));
+  std::memcpy(reinterpret_cast<char*>(sp) + 4, &mxcsr, sizeof(mxcsr));
+  sp_ = sp;
+#else
+  assert(false && "asm fiber backend not available in this build");
+#endif
+}
+
+Fiber::~Fiber() {
+  if (map_base_ != nullptr) {
+    g_stack_pool.Release(map_base_, map_bytes_);
+  }
+}
+
+void Fiber::SwitchTo(Fiber& target) {
+  assert(backend_ == target.backend_ &&
+         "cannot switch between fibers of different backends");
+  assert(this != &target);
+  if (!target.started_) {
+    g_starting = &target;
+  }
+  if (backend_ == Backend::kUcontext) {
+    [[maybe_unused]] const int rc = swapcontext(&ctx_, &target.ctx_);
+    assert(rc == 0);
+  } else {
+#if CONVERSE_HAVE_ASM_FIBERS
+    conv_fiber_swap(&sp_, target.sp_);
+#else
+    assert(false);
+#endif
+  }
+}
+
+void Fiber::Trampoline() {
+  Fiber* self = g_starting;
+  g_starting = nullptr;
+  self->RunEntry();
+}
+
+void Fiber::RunEntry() {
+  started_ = true;
+  entry_();
+  // A fiber entry must end in CthExit (the Cth layer arranges this even
+  // when the user function returns). Reaching here is a runtime bug.
+  assert(false && "fiber entry returned without switching away");
+  __builtin_trap();
+}
+
+}  // namespace converse::detail

@@ -1,0 +1,69 @@
+// Internal fiber (stack + saved context) used by the Cth thread object.
+// Two backends: a hand-written x86-64 switch that saves only callee-saved
+// state (no sigprocmask syscall, ~an order of magnitude faster than
+// swapcontext) and portable ucontext.  Stacks are mmap'd with a PROT_NONE
+// guard page below them so overflow faults instead of corrupting the heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#if !defined(CONVERSE_HAVE_ASM_FIBERS)
+#define CONVERSE_HAVE_ASM_FIBERS 0
+#endif
+
+#include <ucontext.h>
+
+namespace converse::detail {
+
+/// Stack-pool reuse count on the calling OS thread (diagnostics/tests).
+std::uint64_t FiberStackPoolHits();
+
+class Fiber {
+ public:
+  enum class Backend { kAsm, kUcontext };
+
+  static bool BackendAvailable(Backend b);
+
+  /// Main-fiber constructor: represents the OS thread's native context;
+  /// its state is captured the first time control switches away from it.
+  explicit Fiber(Backend backend);
+
+  /// New fiber with its own guarded stack; `entry` runs on first switch-in
+  /// and must never return (the Cth layer guarantees CthExit).
+  Fiber(Backend backend, std::size_t stack_bytes, std::function<void()> entry);
+
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Save the current context into *this and resume `target`.  Both fibers
+  /// must use the same backend and belong to the calling OS thread.
+  void SwitchTo(Fiber& target);
+
+  bool is_main() const { return stack_base_ == nullptr; }
+  std::size_t stack_bytes() const { return stack_bytes_; }
+
+ private:
+  static void Trampoline();
+  void RunEntry();
+
+  Backend backend_;
+  std::function<void()> entry_;
+  bool started_ = false;
+
+  // Stack (nullptr for the main fiber). `map_base_` includes the guard page.
+  void* map_base_ = nullptr;
+  void* stack_base_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::size_t stack_bytes_ = 0;
+
+  // asm backend: saved stack pointer.
+  void* sp_ = nullptr;
+  // ucontext backend.
+  ucontext_t ctx_{};
+};
+
+}  // namespace converse::detail

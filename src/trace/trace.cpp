@@ -1,0 +1,203 @@
+#include "converse/trace.h"
+
+#include <cassert>
+
+#include "converse/detail/module.h"
+#include "converse/util/timer.h"
+#include "core/pe_state.h"
+
+namespace converse {
+namespace {
+
+struct TraceState {
+  TraceMode mode = TraceMode::kNone;
+  detail::CoreHooks hooks;
+  TraceSummary summary;
+  std::vector<TraceRecord> log;
+  std::vector<std::string> user_events;
+  std::vector<bool> dispatch_from_queue;  // nesting stack for begin/end
+  double idle_begin_us = 0.0;
+};
+
+int ModuleId();
+
+TraceState& St() {
+  return *static_cast<TraceState*>(detail::ModuleState(ModuleId()));
+}
+
+double Now() { return detail::CpvChecked().machine->ElapsedUs(); }
+
+void Record(TraceState& st, TraceEventKind kind, std::uint32_t handler,
+            std::uint32_t size, std::uint16_t aux) {
+  if (st.mode != TraceMode::kLog) return;
+  st.log.push_back(TraceRecord{Now(), kind, 0, aux, handler, size});
+}
+
+void EnsureHandlerSlot(TraceState& st, std::uint32_t handler) {
+  if (st.summary.per_handler.size() <= handler) {
+    st.summary.per_handler.resize(handler + 1);
+  }
+}
+
+// ---- CoreHooks callbacks (ud is the TraceState) ----
+
+void OnSend(void* ud, const detail::MsgHeader* h, int dest_pe) {
+  auto& st = *static_cast<TraceState*>(ud);
+  ++st.summary.sends;
+  Record(st, TraceEventKind::kSend, h->handler, h->total_size,
+         static_cast<std::uint16_t>(dest_pe));
+}
+
+void OnDispatchBegin(void* ud, const detail::MsgHeader* h, bool from_queue) {
+  auto& st = *static_cast<TraceState*>(ud);
+  ++st.summary.deliveries;
+  EnsureHandlerSlot(st, h->handler);
+  ++st.summary.per_handler[h->handler].invocations;
+  st.dispatch_from_queue.push_back(from_queue);
+  Record(st,
+         from_queue ? TraceEventKind::kScheduleBegin
+                    : TraceEventKind::kDeliverBegin,
+         h->handler, h->total_size, h->source_pe);
+}
+
+void OnDispatchEnd(void* ud, std::uint32_t handler, double begin_us) {
+  auto& st = *static_cast<TraceState*>(ud);
+  EnsureHandlerSlot(st, handler);
+  st.summary.per_handler[handler].total_us += util::NowUs() - begin_us;
+  bool from_queue = false;
+  if (!st.dispatch_from_queue.empty()) {
+    from_queue = st.dispatch_from_queue.back();
+    st.dispatch_from_queue.pop_back();
+  }
+  Record(st,
+         from_queue ? TraceEventKind::kScheduleEnd
+                    : TraceEventKind::kDeliverEnd,
+         handler, 0, 0);
+}
+
+void OnEnqueue(void* ud, const detail::MsgHeader* h) {
+  auto& st = *static_cast<TraceState*>(ud);
+  ++st.summary.enqueues;
+  Record(st, TraceEventKind::kEnqueue, h->handler, h->total_size, 0);
+}
+
+void OnIdleBegin(void* ud) {
+  auto& st = *static_cast<TraceState*>(ud);
+  ++st.summary.idle_periods;
+  st.idle_begin_us = util::NowUs();
+  Record(st, TraceEventKind::kIdleBegin, 0, 0, 0);
+}
+
+void OnIdleEnd(void* ud) {
+  auto& st = *static_cast<TraceState*>(ud);
+  st.summary.idle_us += util::NowUs() - st.idle_begin_us;
+  Record(st, TraceEventKind::kIdleEnd, 0, 0, 0);
+}
+
+int ModuleId() {
+  static const int id = detail::RegisterModule(
+      "trace",
+      [](int module_id) {
+        auto* st = new TraceState;
+        st->hooks.ud = st;
+        st->hooks.on_send = &OnSend;
+        st->hooks.on_dispatch_begin = &OnDispatchBegin;
+        st->hooks.on_dispatch_end = &OnDispatchEnd;
+        st->hooks.on_enqueue = &OnEnqueue;
+        st->hooks.on_idle_begin = &OnIdleBegin;
+        st->hooks.on_idle_end = &OnIdleEnd;
+        detail::SetModuleState(module_id, st);
+      },
+      [](void* state) { delete static_cast<TraceState*>(state); });
+  return id;
+}
+
+const char* KindName(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kSend: return "SEND";
+    case TraceEventKind::kDeliverBegin: return "DELIVER_BEGIN";
+    case TraceEventKind::kDeliverEnd: return "DELIVER_END";
+    case TraceEventKind::kScheduleBegin: return "SCHEDULE_BEGIN";
+    case TraceEventKind::kScheduleEnd: return "SCHEDULE_END";
+    case TraceEventKind::kEnqueue: return "ENQUEUE";
+    case TraceEventKind::kIdleBegin: return "IDLE_BEGIN";
+    case TraceEventKind::kIdleEnd: return "IDLE_END";
+    case TraceEventKind::kThreadCreate: return "THREAD_CREATE";
+    case TraceEventKind::kObjectCreate: return "OBJECT_CREATE";
+    case TraceEventKind::kUserEvent: return "USER_EVENT";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void TraceBegin(TraceMode mode) {
+  TraceState& st = St();
+  st.mode = mode;
+  detail::PeState& pe = detail::CpvChecked();
+  pe.hooks = mode == TraceMode::kNone ? nullptr : &st.hooks;
+}
+
+void TraceEnd() {
+  TraceState& st = St();
+  st.mode = TraceMode::kNone;
+  detail::CpvChecked().hooks = nullptr;
+}
+
+TraceMode TraceCurrentMode() { return St().mode; }
+
+TraceSummary TraceGetSummary() { return St().summary; }
+
+const std::vector<TraceRecord>& TraceGetLog() { return St().log; }
+
+void TraceClear() {
+  TraceState& st = St();
+  st.log.clear();
+  st.summary = TraceSummary{};
+}
+
+void TraceDump(std::FILE* out) {
+  TraceState& st = St();
+  const int pe = CmiMyPe();
+  // Self-describing header: format version, PE, the user event dictionary.
+  std::fprintf(out, "CONVERSE-TRACE v1 pe=%d records=%zu\n", pe,
+               st.log.size());
+  for (std::size_t i = 0; i < st.user_events.size(); ++i) {
+    std::fprintf(out, "USER-EVENT %zu %s\n", i, st.user_events[i].c_str());
+  }
+  for (const TraceRecord& r : st.log) {
+    std::fprintf(out, "%.3f %s handler=%u size=%u aux=%u\n", r.time_us,
+                 KindName(r.kind), r.handler, r.size, r.aux16);
+  }
+}
+
+int TraceRegisterUserEvent(const std::string& name) {
+  TraceState& st = St();
+  st.user_events.push_back(name);
+  return static_cast<int>(st.user_events.size()) - 1;
+}
+
+void TraceUserEvent(int event_id) {
+  TraceState& st = St();
+  if (st.mode == TraceMode::kNone) return;
+  Record(st, TraceEventKind::kUserEvent,
+         static_cast<std::uint32_t>(event_id), 0, 0);
+}
+
+void TraceNoteThreadCreate() {
+  TraceState& st = St();
+  if (st.mode == TraceMode::kNone) return;
+  Record(st, TraceEventKind::kThreadCreate, 0, 0, 0);
+}
+
+void TraceNoteObjectCreate() {
+  TraceState& st = St();
+  if (st.mode == TraceMode::kNone) return;
+  Record(st, TraceEventKind::kObjectCreate, 0, 0, 0);
+}
+
+}  // namespace converse
+
+// Registration entry point used by the header anchor (see the module
+// registration note in the public header).
+int converse::detail::TraceModuleRegister() { return converse::ModuleId(); }

@@ -1,0 +1,174 @@
+#include "converse/trace_report.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace converse::tracetool {
+namespace {
+
+struct Event {
+  double time_us;
+  std::string kind;
+  std::uint32_t handler;
+  std::uint32_t size;
+};
+
+std::vector<std::string> ReadLines(std::FILE* in) {
+  std::vector<std::string> lines;
+  std::string cur;
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(static_cast<char>(c));
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+}  // namespace
+
+Report ParseTrace(std::FILE* in) {
+  Report rep;
+  const auto lines = ReadLines(in);
+  if (lines.empty() ||
+      lines.front().rfind("CONVERSE-TRACE v1", 0) != 0) {
+    throw std::runtime_error("trace_report: not a CONVERSE-TRACE v1 dump");
+  }
+  std::size_t declared_records = 0;
+  if (std::sscanf(lines.front().c_str(), "CONVERSE-TRACE v1 pe=%d records=%zu",
+                  &rep.pe, &declared_records) != 2) {
+    throw std::runtime_error("trace_report: malformed header");
+  }
+
+  std::vector<Event> events;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& ln = lines[i];
+    if (ln.rfind("USER-EVENT ", 0) == 0) {
+      int id = 0;
+      char name[256] = {};
+      if (std::sscanf(ln.c_str(), "USER-EVENT %d %255s", &id, name) == 2) {
+        rep.user_events[name] = id;
+      }
+      continue;
+    }
+    Event e{};
+    char kind[32] = {};
+    if (std::sscanf(ln.c_str(), "%lf %31s handler=%u size=%u", &e.time_us,
+                    kind, &e.handler, &e.size) != 4) {
+      throw std::runtime_error("trace_report: malformed record: " + ln);
+    }
+    e.kind = kind;
+    events.push_back(std::move(e));
+  }
+  rep.records = events.size();
+  if (rep.records != declared_records) {
+    throw std::runtime_error("trace_report: record count mismatch");
+  }
+  if (events.empty()) return rep;
+
+  const double t0 = events.front().time_us;
+  const double t1 = events.back().time_us;
+  rep.span_us = t1 - t0;
+  rep.timeline_busy_fraction.assign(kTimelineBuckets, 0.0);
+  const double bucket_us =
+      rep.span_us > 0 ? rep.span_us / kTimelineBuckets : 1.0;
+
+  // Matched begin/end bookkeeping (handler dispatches nest).
+  struct Open {
+    double begin_us;
+    std::uint32_t handler;
+  };
+  std::vector<Open> open_dispatch;
+  double idle_begin = -1.0;
+
+  auto add_busy_span = [&](double b, double e) {
+    // Attribute the span to timeline buckets it overlaps.
+    if (rep.span_us <= 0) return;
+    for (int k = 0; k < kTimelineBuckets; ++k) {
+      const double lo = t0 + k * bucket_us;
+      const double hi = lo + bucket_us;
+      const double ov = std::min(e, hi) - std::max(b, lo);
+      if (ov > 0) rep.timeline_busy_fraction[static_cast<std::size_t>(k)] += ov;
+    }
+  };
+
+  for (const Event& e : events) {
+    if (e.kind == "SEND") {
+      ++rep.sends;
+      rep.send_bytes += e.size;
+    } else if (e.kind == "ENQUEUE") {
+      ++rep.enqueues;
+    } else if (e.kind == "DELIVER_BEGIN" || e.kind == "SCHEDULE_BEGIN") {
+      ++rep.handlers[e.handler].begins;
+      open_dispatch.push_back(Open{e.time_us, e.handler});
+    } else if (e.kind == "DELIVER_END" || e.kind == "SCHEDULE_END") {
+      HandlerProfile& hp = rep.handlers[e.handler];
+      ++hp.ends;
+      if (!open_dispatch.empty()) {
+        const Open o = open_dispatch.back();
+        open_dispatch.pop_back();
+        hp.busy_us += e.time_us - o.begin_us;
+        if (open_dispatch.empty()) {
+          add_busy_span(o.begin_us, e.time_us);
+        }
+      }
+    } else if (e.kind == "IDLE_BEGIN") {
+      idle_begin = e.time_us;
+    } else if (e.kind == "IDLE_END") {
+      if (idle_begin >= 0) {
+        rep.idle_us += e.time_us - idle_begin;
+        idle_begin = -1.0;
+      }
+    } else if (e.kind == "USER_EVENT") {
+      ++rep.user_event_hits;
+    } else if (e.kind == "THREAD_CREATE") {
+      ++rep.thread_creates;
+    } else if (e.kind == "OBJECT_CREATE") {
+      ++rep.object_creates;
+    }
+  }
+  // Normalize timeline buckets to fractions.
+  for (double& f : rep.timeline_busy_fraction) f /= bucket_us;
+  return rep;
+}
+
+void PrintReport(const Report& rep, std::FILE* out) {
+  std::fprintf(out, "=== Converse trace report: pe %d ===\n", rep.pe);
+  std::fprintf(out, "records:        %zu over %.1f us\n", rep.records,
+               rep.span_us);
+  std::fprintf(out, "sends:          %llu (%llu bytes)\n",
+               static_cast<unsigned long long>(rep.sends),
+               static_cast<unsigned long long>(rep.send_bytes));
+  std::fprintf(out, "enqueues:       %llu\n",
+               static_cast<unsigned long long>(rep.enqueues));
+  std::fprintf(out, "idle:           %.1f us\n", rep.idle_us);
+  std::fprintf(out, "threads made:   %llu   objects made: %llu\n",
+               static_cast<unsigned long long>(rep.thread_creates),
+               static_cast<unsigned long long>(rep.object_creates));
+  std::fprintf(out, "-- per handler --\n");
+  for (const auto& [id, hp] : rep.handlers) {
+    std::fprintf(out, "  handler %3u: %6llu calls, %10.1f us busy\n", id,
+                 static_cast<unsigned long long>(hp.begins), hp.busy_us);
+  }
+  if (!rep.user_events.empty()) {
+    std::fprintf(out, "-- user events (%llu hits) --\n",
+                 static_cast<unsigned long long>(rep.user_event_hits));
+    for (const auto& [name, id] : rep.user_events) {
+      std::fprintf(out, "  [%d] %s\n", id, name.c_str());
+    }
+  }
+  std::fprintf(out, "-- utilization timeline (%d buckets) --\n  |",
+               kTimelineBuckets);
+  for (double f : rep.timeline_busy_fraction) {
+    const char* glyph = f > 0.75 ? "#" : f > 0.5 ? "+" : f > 0.25 ? "-"
+                        : f > 0.01 ? "." : " ";
+    std::fprintf(out, "%s", glyph);
+  }
+  std::fprintf(out, "|\n");
+}
+
+}  // namespace converse::tracetool

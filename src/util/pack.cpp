@@ -1,0 +1,9 @@
+// Packer/Unpacker are header-only; this TU exists so the module has a home
+// in the archive and to hold the PackError vtable anchor.
+#include "converse/util/pack.h"
+
+namespace converse::util {
+// Anchor: keep one out-of-line symbol so the exception type has a single
+// strong RTTI definition across shared-library boundaries.
+static_assert(sizeof(PackError) > 0);
+}  // namespace converse::util

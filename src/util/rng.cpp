@@ -1,0 +1,6 @@
+// RNGs are header-only; anchor TU.
+#include "converse/util/rng.h"
+
+namespace converse::util {
+static_assert(sizeof(Xoshiro256) == 32, "xoshiro256 state must be 4 words");
+}  // namespace converse::util

@@ -1,0 +1,49 @@
+#include "converse/util/spantree.h"
+
+#include <cassert>
+
+namespace converse::util {
+
+SpanningTree::SpanningTree(int npes, int root, int branching)
+    : npes_(npes), root_(root), branching_(branching) {
+  assert(npes >= 1);
+  assert(root >= 0 && root < npes);
+  assert(branching >= 1);
+}
+
+int SpanningTree::Parent(int pe) const {
+  const int r = ToRank(pe);
+  if (r == 0) return -1;
+  return ToPe((r - 1) / branching_);
+}
+
+std::vector<int> SpanningTree::Children(int pe) const {
+  std::vector<int> kids;
+  const int r = ToRank(pe);
+  for (int i = 1; i <= branching_; ++i) {
+    const int c = r * branching_ + i;
+    if (c >= npes_) break;
+    kids.push_back(ToPe(c));
+  }
+  return kids;
+}
+
+int SpanningTree::NumChildren(int pe) const {
+  const int r = ToRank(pe);
+  const int first = r * branching_ + 1;
+  if (first >= npes_) return 0;
+  const int last = r * branching_ + branching_;
+  return (last < npes_ ? last : npes_ - 1) - first + 1;
+}
+
+int SpanningTree::Depth(int pe) const {
+  int d = 0;
+  int r = ToRank(pe);
+  while (r != 0) {
+    r = (r - 1) / branching_;
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace converse::util

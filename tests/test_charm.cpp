@@ -1,0 +1,347 @@
+// Charm-style message-driven object tests: chare creation (direct and via
+// seeds), entry invocation, priorities, groups, read-only data, quiescence
+// detection (paper §2.1, §3.3).
+#include "test_helpers.h"
+
+#include <cstring>
+
+#include "converse/langs/charm.h"
+
+using namespace converse;
+using namespace converse::charm;
+
+namespace {
+
+/// A chare that accumulates integers and can report to its creator.
+struct Accumulator : Chare {
+  long sum = 0;
+  Accumulator(const void* arg, std::size_t len) {
+    if (len == sizeof(long)) std::memcpy(&sum, arg, sizeof(long));
+  }
+  void Add(const void* data, std::size_t len) {
+    ASSERT_EQ(len, sizeof(long));
+    long v;
+    std::memcpy(&v, data, sizeof(v));
+    sum += v;
+  }
+};
+
+}  // namespace
+
+TEST(Charm, CreateOnSpecificPeAndInvoke) {
+  std::atomic<long> observed{0};
+  RunConverse(2, [&](int pe, int) {
+    const int type = RegisterChareType<Accumulator>("acc");
+    const int add = RegisterEntryMethod<Accumulator>(&Accumulator::Add);
+    const int report = RegisterEntry([&](Chare* c, const void*, std::size_t) {
+      observed = static_cast<Accumulator*>(c)->sum;
+      ConverseBroadcastExit();
+    });
+    struct Echo : Chare {  // chare that tells its creator its id
+      Echo(const void*, std::size_t) {}
+    };
+    (void)pe;
+    if (pe == 0) {
+      const long init = 100;
+      CreateChare(type, &init, sizeof(init), /*on_pe=*/1);
+      // We do not know the chare id synchronously; instead have the chare
+      // itself report after processing: send through a known route — the
+      // chare was created on PE1 as the first local chare there.  Use a
+      // second pattern instead: create, then quiesce, then probe via a
+      // broadcast entry.  Simpler: the chare reports in its constructor.
+      // For this test, use quiescence to know creation+adds are done.
+      StartQuiescence([&, add, report] {
+        // All messages drained: the chare exists; look it up indirectly by
+        // sending via its deterministic id {pe=1, idx=1}.
+        const ChareId id{1, 1};
+        const long v = 11;
+        SendToChare(id, add, &v, sizeof(v));
+        SendToChare(id, report, nullptr, 0);
+      });
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(observed.load(), 111);
+}
+
+TEST(Charm, ConstructorSeesCkMyChareId) {
+  std::atomic<int> ctor_pe{-1};
+  std::atomic<unsigned> ctor_idx{0};
+  RunConverse(2, [&](int pe, int) {
+    struct SelfAware : Chare {
+      SelfAware(const void*, std::size_t) {}
+    };
+    static std::atomic<int>* pe_out;
+    static std::atomic<unsigned>* idx_out;
+    pe_out = &ctor_pe;
+    idx_out = &ctor_idx;
+    const int type = RegisterChare("selfaware", [](const void*, std::size_t) -> Chare* {
+      *pe_out = CkMyChareId().pe;
+      *idx_out = CkMyChareId().idx;
+      return new SelfAware(nullptr, 0);
+    });
+    if (pe == 0) {
+      CreateChare(type, nullptr, 0, /*on_pe=*/1);
+      StartQuiescence([] { ConverseBroadcastExit(); });
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(ctor_pe.load(), 1);
+  EXPECT_GE(ctor_idx.load(), 1u);
+}
+
+TEST(Charm, SeedCreationPlacesEverywhereEventually) {
+  constexpr int kNpes = 4;
+  constexpr int kChares = 120;
+  ctu::PerPeCounters where(kNpes);
+  RunConverse(kNpes, [&](int pe, int) {
+    CldSetStrategy(CldStrategy::kRandom);
+    struct Worker : Chare {
+      Worker(const void*, std::size_t) {}
+    };
+    static ctu::PerPeCounters* wp;
+    wp = &where;
+    const int type = RegisterChare("worker", [](const void*, std::size_t) -> Chare* {
+      wp->Add(CmiMyPe());
+      return new Worker(nullptr, 0);
+    });
+    if (pe == 0) {
+      for (int i = 0; i < kChares; ++i) CreateChare(type, nullptr, 0);
+      StartQuiescence([] { ConverseBroadcastExit(); });
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(where.Total(), kChares);
+}
+
+TEST(Charm, PrioritizedEntriesRunInPriorityOrder) {
+  // All invocations are queued (Figure 6's scheduling cost); priorities
+  // reorder them.
+  std::vector<int> order;
+  RunConverse(1, [&](int, int) {
+    struct Recorder : Chare {
+      std::vector<int>* out;
+      Recorder(const void* arg, std::size_t) {
+        std::memcpy(&out, arg, sizeof(out));
+      }
+      void Rec(const void* data, std::size_t) {
+        int v;
+        std::memcpy(&v, data, sizeof(v));
+        out->push_back(v);
+      }
+    };
+    const int type = RegisterChareType<Recorder>("rec");
+    const int rec = RegisterEntryMethod<Recorder>(&Recorder::Rec);
+    auto* optr = &order;
+    CreateChare(type, &optr, sizeof(optr), /*on_pe=*/0);
+    CsdScheduler(1);  // construct it; id is {0, 1}
+    const ChareId id{0, 1};
+    for (int v : {5, 1, 9, 3}) {
+      SendToCharePrio(id, rec, &v, sizeof(v), v);
+    }
+    CsdScheduler(4);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 9}));
+}
+
+TEST(Charm, BitvecPrioritizedEntries) {
+  std::vector<int> order;
+  RunConverse(1, [&](int, int) {
+    struct Recorder : Chare {
+      std::vector<int>* out;
+      Recorder(const void* arg, std::size_t) {
+        std::memcpy(&out, arg, sizeof(out));
+      }
+      void Rec(const void* data, std::size_t) {
+        int v;
+        std::memcpy(&v, data, sizeof(v));
+        out->push_back(v);
+      }
+    };
+    const int type = RegisterChareType<Recorder>("rec");
+    const int rec = RegisterEntryMethod<Recorder>(&Recorder::Rec);
+    auto* optr = &order;
+    CreateChare(type, &optr, sizeof(optr), /*on_pe=*/0);
+    CsdScheduler(1);
+    const ChareId id{0, 1};
+    const std::uint32_t deep[] = {0x00000000u, 0x80000000u};  // "0...01"
+    const std::uint32_t shallow[] = {0x80000000u};            // "1"
+    int v = 2;
+    SendToChareBitvecPrio(id, rec, &v, sizeof(v), shallow, 1);
+    v = 1;
+    SendToChareBitvecPrio(id, rec, &v, sizeof(v), deep, 33);
+    CsdScheduler(2);
+  });
+  // "0...01" (33 bits starting with 0) lexicographically precedes "1".
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Charm, GroupsHaveBranchOnEveryPe) {
+  constexpr int kNpes = 3;
+  ctu::PerPeCounters hits(kNpes);
+  RunConverse(kNpes, [&](int pe, int) {
+    struct Branch : Chare {
+      Branch(const void*, std::size_t) {}
+      void Poke(const void*, std::size_t) {}
+    };
+    static ctu::PerPeCounters* hp;
+    hp = &hits;
+    const int type = RegisterChareType<Branch>("branch");
+    const int poke = RegisterEntry([](Chare*, const void*, std::size_t) {
+      hp->Add(CmiMyPe());
+    });
+    if (pe == 0) {
+      const int gid = CreateGroup(type, nullptr, 0);
+      BroadcastToGroup(gid, poke, nullptr, 0);
+      StartQuiescence([] { ConverseBroadcastExit(); });
+    }
+    CsdScheduler(-1);
+    EXPECT_NE(LocalBranch(0), nullptr);  // gid of the first group is 0
+  });
+  for (int i = 0; i < kNpes; ++i) EXPECT_EQ(hits.Get(i), 1);
+}
+
+TEST(Charm, SendToBranchTargetsOnePe) {
+  constexpr int kNpes = 3;
+  ctu::PerPeCounters hits(kNpes);
+  RunConverse(kNpes, [&](int pe, int) {
+    struct Branch : Chare {
+      Branch(const void*, std::size_t) {}
+    };
+    static ctu::PerPeCounters* hp;
+    hp = &hits;
+    const int type = RegisterChareType<Branch>("branch");
+    const int poke = RegisterEntry([](Chare*, const void*, std::size_t) {
+      hp->Add(CmiMyPe());
+    });
+    if (pe == 0) {
+      const int gid = CreateGroup(type, nullptr, 0);
+      SendToBranch(gid, 2, poke, nullptr, 0);
+      StartQuiescence([] { ConverseBroadcastExit(); });
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(hits.Get(0), 0);
+  EXPECT_EQ(hits.Get(1), 0);
+  EXPECT_EQ(hits.Get(2), 1);
+}
+
+TEST(Charm, GroupStatePersistsAcrossInvocations) {
+  std::atomic<long> final{0};
+  RunConverse(2, [&](int pe, int) {
+    struct Counter : Chare {
+      long n = 0;
+      Counter(const void*, std::size_t) {}
+      void Bump(const void*, std::size_t) { ++n; }
+    };
+    const int type = RegisterChareType<Counter>("counter");
+    const int bump = RegisterEntryMethod<Counter>(&Counter::Bump);
+    const int read = RegisterEntry([&](Chare* c, const void*, std::size_t) {
+      final = static_cast<Counter*>(c)->n;
+      ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      const int gid = CreateGroup(type, nullptr, 0);
+      for (int i = 0; i < 7; ++i) SendToBranch(gid, 1, bump, nullptr, 0);
+      SendToBranch(gid, 1, read, nullptr, 0);
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(final.load(), 7);
+}
+
+TEST(Charm, ReadonlyDataVisibleEverywhere) {
+  constexpr int kNpes = 3;
+  ctu::PerPeCounters ok(kNpes);
+  RunConverse(kNpes, [&](int pe, int) {
+    if (pe == 0) {
+      const double params[2] = {1.5, 2.5};
+      ReadonlySet(7, params, sizeof(params));
+      StartQuiescence([] { ConverseBroadcastExit(); });
+    }
+    CsdScheduler(-1);
+    const auto& blob = ReadonlyGet(7);
+    if (blob.size() == 2 * sizeof(double)) {
+      double params[2];
+      std::memcpy(params, blob.data(), sizeof(params));
+      if (params[0] == 1.5 && params[1] == 2.5) ok.Add(pe);
+    }
+  });
+  for (int i = 0; i < kNpes; ++i) EXPECT_EQ(ok.Get(i), 1);
+}
+
+TEST(Charm, QuiescenceWaitsForCascades) {
+  // A chare that spawns more chares on arrival: QD must not fire until
+  // the whole cascade has drained.
+  std::atomic<int> constructed{0};
+  std::atomic<int> at_qd{0};
+  RunConverse(3, [&](int pe, int) {
+    CldSetStrategy(CldStrategy::kRandom);
+    struct Fanout : Chare {
+      Fanout(const void*, std::size_t) {}
+    };
+    static std::atomic<int>* cp;
+    static int type_idx;
+    cp = &constructed;
+    const int type = RegisterChare("fanout", [](const void* arg, std::size_t len) -> Chare* {
+      int depth = 0;
+      if (len == sizeof(int)) std::memcpy(&depth, arg, sizeof(depth));
+      cp->fetch_add(1);
+      if (depth > 0) {
+        const int next = depth - 1;
+        CreateChare(type_idx, &next, sizeof(next));
+        CreateChare(type_idx, &next, sizeof(next));
+      }
+      return new Fanout(nullptr, 0);
+    });
+    type_idx = type;
+    if (pe == 0) {
+      const int depth = 5;  // 2^6 - 1 = 63 chares
+      CreateChare(type, &depth, sizeof(depth));
+      StartQuiescence([&] {
+        at_qd = constructed.load();
+        ConverseBroadcastExit();
+      });
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(constructed.load(), 63);
+  EXPECT_EQ(at_qd.load(), 63);
+}
+
+TEST(Charm, DestroyChareRemovesIt) {
+  std::atomic<int> live{-1};
+  RunConverse(1, [&](int, int) {
+    struct Tmp : Chare {
+      Tmp(const void*, std::size_t) {}
+    };
+    const int type = RegisterChareType<Tmp>("tmp");
+    CreateChare(type, nullptr, 0, 0);
+    CreateChare(type, nullptr, 0, 0);
+    CsdScheduler(2);
+    EXPECT_EQ(CharmLocalChares(), 2);
+    DestroyChare(ChareId{0, 1});
+    CsdScheduler(1);
+    live = CharmLocalChares();
+  });
+  EXPECT_EQ(live.load(), 1);
+}
+
+TEST(Charm, MessageCountersBalanceAtQuiescence) {
+  std::atomic<long> created{0}, processed{0};
+  RunConverse(2, [&](int pe, int) {
+    struct W : Chare {
+      W(const void*, std::size_t) {}
+    };
+    const int type = RegisterChareType<W>("w");
+    if (pe == 0) {
+      for (int i = 0; i < 10; ++i) CreateChare(type, nullptr, 0, 1);
+      StartQuiescence([&] { ConverseBroadcastExit(); });
+    }
+    CsdScheduler(-1);
+    created += static_cast<long>(CharmMsgsCreated());
+    processed += static_cast<long>(CharmMsgsProcessed());
+  });
+  EXPECT_EQ(created.load(), processed.load());
+  EXPECT_EQ(created.load(), 10);
+}

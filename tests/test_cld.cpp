@@ -1,0 +1,189 @@
+// Seed load balancer tests (paper §3.3.1): every strategy must deliver
+// every seed exactly once; distribution properties vary by strategy.
+#include "test_helpers.h"
+
+#include <cstring>
+
+using namespace converse;
+
+namespace {
+
+/// PE0 creates `nseeds` seeds; each seed records the PE it took root on.
+/// Returns per-PE placement counts.
+void RunSeedSpray(CldStrategy strat, int npes, int nseeds,
+                  ctu::PerPeCounters* placed) {
+  std::atomic<int> done{0};
+  RunConverse(npes, [&](int pe, int n) {
+    (void)n;
+    CldSetStrategy(strat);
+    int work = CmiRegisterHandler([&, pe](void* msg) {
+      placed->Add(pe);
+      CmiFree(msg);  // placed seeds arrive via the scheduler queue
+      if (done.fetch_add(1) + 1 == nseeds) ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      for (int i = 0; i < nseeds; ++i) {
+        void* m = CmiMakeMessage(work, &i, sizeof(i));
+        CldEnqueue(m);
+      }
+    }
+    CsdScheduler(-1);
+  });
+}
+
+}  // namespace
+
+class CldStrategies : public ::testing::TestWithParam<CldStrategy> {};
+
+TEST_P(CldStrategies, EverySeedPlacedExactlyOnce) {
+  constexpr int kNpes = 4;
+  constexpr int kSeeds = 200;
+  ctu::PerPeCounters placed(kNpes);
+  RunSeedSpray(GetParam(), kNpes, kSeeds, &placed);
+  EXPECT_EQ(placed.Total(), kSeeds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, CldStrategies,
+                         ::testing::Values(CldStrategy::kLocal,
+                                           CldStrategy::kRandom,
+                                           CldStrategy::kNeighbor,
+                                           CldStrategy::kCentral),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CldStrategy::kLocal: return "Local";
+                             case CldStrategy::kRandom: return "Random";
+                             case CldStrategy::kNeighbor: return "Neighbor";
+                             case CldStrategy::kCentral: return "Central";
+                           }
+                           return "?";
+                         });
+
+TEST(Cld, LocalStrategyKeepsEverythingHome) {
+  constexpr int kNpes = 3;
+  ctu::PerPeCounters placed(kNpes);
+  RunSeedSpray(CldStrategy::kLocal, kNpes, 90, &placed);
+  EXPECT_EQ(placed.Get(0), 90);
+  EXPECT_EQ(placed.Get(1), 0);
+  EXPECT_EQ(placed.Get(2), 0);
+}
+
+TEST(Cld, RandomStrategySpreadsWork) {
+  constexpr int kNpes = 4;
+  constexpr int kSeeds = 400;
+  ctu::PerPeCounters placed(kNpes);
+  RunSeedSpray(CldStrategy::kRandom, kNpes, kSeeds, &placed);
+  EXPECT_EQ(placed.Total(), kSeeds);
+  for (int i = 0; i < kNpes; ++i) {
+    // Uniform spray: each PE gets ~100; allow wide slack (binomial tail).
+    EXPECT_GT(placed.Get(i), 50) << "pe " << i;
+    EXPECT_LT(placed.Get(i), 170) << "pe " << i;
+  }
+}
+
+TEST(Cld, CentralStrategyBalancesOutstandingWork) {
+  constexpr int kNpes = 4;
+  constexpr int kSeeds = 400;
+  ctu::PerPeCounters placed(kNpes);
+  RunSeedSpray(CldStrategy::kCentral, kNpes, kSeeds, &placed);
+  EXPECT_EQ(placed.Total(), kSeeds);
+  for (int i = 0; i < kNpes; ++i) {
+    // The dispatcher balances outstanding counts: every PE gets a share.
+    EXPECT_GT(placed.Get(i), kSeeds / kNpes / 4) << "pe " << i;
+  }
+}
+
+TEST(Cld, NeighborStrategyRelievesHotSpot) {
+  // All seeds originate on PE0 which is kept artificially busy; with load
+  // diffusion a nontrivial share must migrate to the ring neighbors.
+  constexpr int kNpes = 4;
+  constexpr int kSeeds = 256;
+  ctu::PerPeCounters placed(kNpes);
+  RunSeedSpray(CldStrategy::kNeighbor, kNpes, kSeeds, &placed);
+  EXPECT_EQ(placed.Total(), kSeeds);
+  EXPECT_LT(placed.Get(0), kSeeds)
+      << "diffusion moved nothing off the hot PE";
+}
+
+TEST(Cld, PrioritizedSeedsKeepPriorityAtPlacement) {
+  // Two seeds placed locally with priorities: the higher-priority (more
+  // negative) one must run first even though enqueued second.
+  std::vector<int> order;
+  RunConverse(1, [&](int, int) {
+    CldSetStrategy(CldStrategy::kLocal);
+    int work = CmiRegisterHandler([&](void* msg) {
+      int v;
+      std::memcpy(&v, CmiMsgPayload(msg), sizeof(v));
+      order.push_back(v);
+      CmiFree(msg);
+    });
+    int a = 1, b = 2;
+    void* ma = CmiMakeMessage(work, &a, sizeof(a));
+    CldEnqueuePrio(ma, 10);
+    void* mb = CmiMakeMessage(work, &b, sizeof(b));
+    CldEnqueuePrio(mb, -10);
+    CsdScheduler(2);
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Cld, SeedsFromMultipleOriginsAllPlaced) {
+  constexpr int kNpes = 3;
+  constexpr int kSeedsPerPe = 50;
+  ctu::PerPeCounters placed(kNpes);
+  std::atomic<int> done{0};
+  RunConverse(kNpes, [&](int pe, int n) {
+    CldSetStrategy(CldStrategy::kRandom);
+    int work = CmiRegisterHandler([&, pe, n](void* msg) {
+      placed.Add(pe);
+      CmiFree(msg);
+      if (done.fetch_add(1) + 1 == kSeedsPerPe * n) {
+        ConverseBroadcastExit();
+      }
+    });
+    for (int i = 0; i < kSeedsPerPe; ++i) {
+      void* m = CmiMakeMessage(work, &i, sizeof(i));
+      CldEnqueue(m);
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(placed.Total(), kNpes * kSeedsPerPe);
+}
+
+TEST(Cld, PayloadSurvivesFloating) {
+  // Seed payloads must arrive intact after forwarding hops.
+  constexpr int kNpes = 4;
+  constexpr int kSeeds = 64;
+  std::atomic<int> correct{0};
+  RunConverse(kNpes, [&](int pe, int) {
+    (void)pe;
+    CldSetStrategy(CldStrategy::kCentral);  // guarantees >= 1 hop usually
+    int work = CmiRegisterHandler([&](void* msg) {
+      int v;
+      std::memcpy(&v, CmiMsgPayload(msg), sizeof(v));
+      if (v >= 1000 && v < 1000 + kSeeds) ++correct;
+      CmiFree(msg);
+      if (correct.load() == kSeeds) ConverseBroadcastExit();
+    });
+    if (CmiMyPe() == 1) {  // not the dispatcher: forces a hop to PE0
+      for (int i = 0; i < kSeeds; ++i) {
+        int payload = 1000 + i;
+        void* m = CmiMakeMessage(work, &payload, sizeof(payload));
+        CldEnqueue(m);
+      }
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(correct.load(), kSeeds);
+}
+
+TEST(Cld, DiagnosticsCount) {
+  RunConverse(1, [&](int, int) {
+    CldSetStrategy(CldStrategy::kLocal);
+    int work = CmiRegisterHandler([](void* msg) { CmiFree(msg); });
+    for (int i = 0; i < 5; ++i) {
+      CldEnqueue(CmiMakeMessage(work, nullptr, 0));
+    }
+    EXPECT_EQ(CldSeedsPlaced(), 5u);
+    CsdScheduler(5);
+  });
+}

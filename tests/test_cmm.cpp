@@ -1,0 +1,167 @@
+// Unit tests for the message manager (paper §3.2.1, appendix §4): tagged
+// storage, one- and two-tag retrieval, wildcards, FIFO among matches.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "converse/cmm.h"
+
+using namespace converse;
+
+namespace {
+
+void PutStr(MSG_MNGR* mm, const std::string& s, int tag) {
+  CmmPut(mm, s.data(), tag, static_cast<int>(s.size()));
+}
+
+std::string GetStr(MSG_MNGR* mm, int tag, int* rettag = nullptr) {
+  char buf[256] = {};
+  const int len = CmmGet(mm, buf, tag, sizeof(buf), rettag);
+  if (len < 0) return "<none>";
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
+}  // namespace
+
+class CmmTest : public ::testing::Test {
+ protected:
+  void SetUp() override { mm_ = CmmNew(); }
+  void TearDown() override { CmmFree(mm_); }
+  MSG_MNGR* mm_ = nullptr;
+};
+
+TEST_F(CmmTest, EmptyProbeAndGetReturnMinusOne) {
+  int rettag = -99;
+  EXPECT_EQ(CmmProbe(mm_, 5, &rettag), -1);
+  char buf[8];
+  EXPECT_EQ(CmmGet(mm_, buf, 5, sizeof(buf), &rettag), -1);
+  EXPECT_EQ(CmmLength(mm_), 0u);
+}
+
+TEST_F(CmmTest, PutProbeGetExactTag) {
+  PutStr(mm_, "alpha", 7);
+  EXPECT_EQ(CmmLength(mm_), 1u);
+  int rettag = 0;
+  EXPECT_EQ(CmmProbe(mm_, 7, &rettag), 5);
+  EXPECT_EQ(rettag, 7);
+  EXPECT_EQ(CmmLength(mm_), 1u);  // probe does not remove
+  EXPECT_EQ(GetStr(mm_, 7), "alpha");
+  EXPECT_EQ(CmmLength(mm_), 0u);
+}
+
+TEST_F(CmmTest, WildcardMatchesAnyTagFifo) {
+  PutStr(mm_, "first", 1);
+  PutStr(mm_, "second", 2);
+  int rettag = 0;
+  EXPECT_EQ(GetStr(mm_, CmmWildCard, &rettag), "first");
+  EXPECT_EQ(rettag, 1);
+  EXPECT_EQ(GetStr(mm_, CmmWildCard, &rettag), "second");
+  EXPECT_EQ(rettag, 2);
+}
+
+TEST_F(CmmTest, FifoAmongEqualTags) {
+  PutStr(mm_, "a", 3);
+  PutStr(mm_, "b", 3);
+  PutStr(mm_, "c", 3);
+  EXPECT_EQ(GetStr(mm_, 3), "a");
+  EXPECT_EQ(GetStr(mm_, 3), "b");
+  EXPECT_EQ(GetStr(mm_, 3), "c");
+}
+
+TEST_F(CmmTest, NonMatchingTagLeavesMessage) {
+  PutStr(mm_, "keep", 9);
+  EXPECT_EQ(GetStr(mm_, 8), "<none>");
+  EXPECT_EQ(CmmLength(mm_), 1u);
+}
+
+TEST_F(CmmTest, TwoTagMatching) {
+  const char d1[] = {1};
+  const char d2[] = {2};
+  CmmPut2(mm_, d1, /*tag1=*/10, /*tag2=*/100, 1);
+  CmmPut2(mm_, d2, /*tag1=*/10, /*tag2=*/200, 1);
+  char buf[4];
+  int t1 = 0, t2 = 0;
+  // Wildcard tag1, exact tag2=200 picks the second message.
+  EXPECT_EQ(CmmGet2(mm_, buf, CmmWildCard, 200, sizeof(buf), &t1, &t2), 1);
+  EXPECT_EQ(buf[0], 2);
+  EXPECT_EQ(t1, 10);
+  EXPECT_EQ(t2, 200);
+  EXPECT_EQ(CmmLength(mm_), 1u);
+}
+
+TEST_F(CmmTest, Probe2DoubleWildcard) {
+  const char d[] = {42};
+  CmmPut2(mm_, d, 5, 6, 1);
+  int t1 = 0, t2 = 0;
+  EXPECT_EQ(CmmProbe2(mm_, CmmWildCard, CmmWildCard, &t1, &t2), 1);
+  EXPECT_EQ(t1, 5);
+  EXPECT_EQ(t2, 6);
+}
+
+TEST_F(CmmTest, GetTruncatesToSizeButReturnsFullLength) {
+  PutStr(mm_, "0123456789", 1);
+  char buf[4] = {};
+  int rettag = 0;
+  EXPECT_EQ(CmmGet(mm_, buf, 1, 4, &rettag), 10);
+  EXPECT_EQ(std::memcmp(buf, "0123", 4), 0);
+}
+
+TEST_F(CmmTest, GetPtrAllocates) {
+  PutStr(mm_, "pointer-path", 2);
+  void* p = nullptr;
+  int rettag = 0;
+  const int len = CmmGetPtr(mm_, &p, 2, &rettag);
+  ASSERT_EQ(len, 12);
+  EXPECT_EQ(std::memcmp(p, "pointer-path", 12), 0);
+  delete[] static_cast<char*>(p);
+  EXPECT_EQ(CmmLength(mm_), 0u);
+}
+
+TEST_F(CmmTest, GetPtrMissLeavesAddrUntouched) {
+  void* p = reinterpret_cast<void*>(0x1234);
+  EXPECT_EQ(CmmGetPtr(mm_, &p, 2, nullptr), -1);
+  EXPECT_EQ(p, reinterpret_cast<void*>(0x1234));
+}
+
+TEST_F(CmmTest, ZeroLengthMessage) {
+  CmmPut(mm_, "", 4, 0);
+  int rettag = 0;
+  EXPECT_EQ(CmmProbe(mm_, 4, &rettag), 0);
+  char buf[1];
+  EXPECT_EQ(CmmGet(mm_, buf, 4, sizeof(buf), &rettag), 0);
+}
+
+TEST_F(CmmTest, NullRettagAllowed) {
+  PutStr(mm_, "x", 1);
+  char buf[2];
+  EXPECT_EQ(CmmGet(mm_, buf, CmmWildCard, sizeof(buf), nullptr), 1);
+}
+
+TEST_F(CmmTest, ManyMessagesStressOrdering) {
+  for (int i = 0; i < 200; ++i) {
+    const int tag = i % 5;
+    CmmPut(mm_, &i, tag, sizeof(i));
+  }
+  // All messages of tag 3 come out in insertion order.
+  int prev = -1;
+  char buf[8];
+  int got;
+  while ((got = CmmGet(mm_, buf, 3, sizeof(buf), nullptr)) >= 0) {
+    int v;
+    std::memcpy(&v, buf, sizeof(v));
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  EXPECT_EQ(CmmLength(mm_), 160u);
+}
+
+TEST(CmmWrapper, RaiiLifecycle) {
+  MessageManager mm;
+  const int v = 11;
+  mm.Put(&v, 1, sizeof(v));
+  EXPECT_EQ(mm.Length(), 1u);
+  int out = 0;
+  EXPECT_EQ(mm.Get(&out, 1, sizeof(out)), static_cast<int>(sizeof(v)));
+  EXPECT_EQ(out, 11);
+}

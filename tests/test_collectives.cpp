@@ -1,0 +1,177 @@
+// Collectives tests: spanning-tree reductions, all-reduce, barriers
+// (paper EMI: "carrying out reductions and other global operations").
+#include "test_helpers.h"
+
+#include <cstring>
+
+using namespace converse;
+
+class CollectivesNpes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesNpes, AllReduceSumI64) {
+  const int npes = GetParam();
+  ctu::PerPeCounters results(npes);
+  RunConverse(npes, [&](int pe, int n) {
+    const std::int64_t got = CmiAllReduceI64(pe + 1, CmiReducerSumI64());
+    results.Add(pe, got);
+    (void)n;
+  });
+  const long want = static_cast<long>(npes) * (npes + 1) / 2;
+  for (int i = 0; i < npes; ++i) EXPECT_EQ(results.Get(i), want);
+}
+
+TEST_P(CollectivesNpes, AllReduceMinMax) {
+  const int npes = GetParam();
+  std::atomic<bool> all_ok{true};
+  RunConverse(npes, [&](int pe, int n) {
+    const std::int64_t mx = CmiAllReduceI64(pe * 3, CmiReducerMaxI64());
+    const std::int64_t mn = CmiAllReduceI64(pe * 3, CmiReducerMinI64());
+    if (mx != (n - 1) * 3 || mn != 0) all_ok = false;
+  });
+  EXPECT_TRUE(all_ok.load());
+}
+
+TEST_P(CollectivesNpes, AllReduceF64Sum) {
+  const int npes = GetParam();
+  std::atomic<bool> all_ok{true};
+  RunConverse(npes, [&](int pe, int n) {
+    const double got = CmiAllReduceF64(0.5 * (pe + 1), CmiReducerSumF64());
+    const double want = 0.5 * n * (n + 1) / 2;
+    if (got != want) all_ok = false;
+  });
+  EXPECT_TRUE(all_ok.load());
+}
+
+TEST_P(CollectivesNpes, BitOpsReduce) {
+  const int npes = GetParam();
+  std::atomic<bool> all_ok{true};
+  RunConverse(npes, [&](int pe, int n) {
+    const std::uint64_t my_bit = 1ull << pe;
+    std::uint64_t v = my_bit;
+    CmiAllReduceBlocking(&v, sizeof(v), CmiReducerBitOr64());
+    if (v != (n >= 64 ? ~0ull : (1ull << n) - 1)) all_ok = false;
+  });
+  EXPECT_TRUE(all_ok.load());
+}
+
+TEST_P(CollectivesNpes, BlockingBarrierCompletes) {
+  const int npes = GetParam();
+  std::atomic<int> passed{0};
+  RunConverse(npes, [&](int, int) {
+    CmiBarrierBlocking();
+    ++passed;
+    CmiBarrierBlocking();  // reusable
+  });
+  EXPECT_EQ(passed.load(), npes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Npes, CollectivesNpes, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Collectives, ReduceDeliversToRootOnly) {
+  constexpr int kNpes = 4;
+  ctu::PerPeCounters got(kNpes);
+  RunConverse(kNpes, [&](int pe, int) {
+    int h = CmiRegisterHandler([&, pe](void* msg) {
+      std::int64_t v = 0;
+      std::memcpy(&v, CmiMsgPayload(msg), sizeof(v));
+      got.Add(pe, v);
+      ConverseBroadcastExit();
+    });
+    std::int64_t mine = 10 + pe;
+    CmiReduce(&mine, sizeof(mine), CmiReducerSumI64(), h);
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(got.Get(0), 10 + 11 + 12 + 13);
+  for (int i = 1; i < kNpes; ++i) EXPECT_EQ(got.Get(i), 0);
+}
+
+TEST(Collectives, AsyncAllReduceDeliversEverywhere) {
+  constexpr int kNpes = 3;
+  ctu::PerPeCounters got(kNpes);
+  std::atomic<int> done{0};
+  RunConverse(kNpes, [&](int pe, int npes) {
+    int h = CmiRegisterHandler([&, pe, npes](void* msg) {
+      std::int64_t v = 0;
+      std::memcpy(&v, CmiMsgPayload(msg), sizeof(v));
+      got.Add(pe, v);
+      if (++done == npes) ConverseBroadcastExit();
+      CsdExitScheduler();
+    });
+    std::int64_t mine = pe;
+    CmiAllReduce(&mine, sizeof(mine), CmiReducerSumI64(), h);
+    CsdScheduler(-1);
+  });
+  for (int i = 0; i < kNpes; ++i) EXPECT_EQ(got.Get(i), 0 + 1 + 2);
+}
+
+TEST(Collectives, CustomReducer) {
+  std::atomic<bool> ok{true};
+  RunConverse(4, [&](int pe, int) {
+    // A product reducer — not one of the built-ins.
+    const int prod = CmiRegisterReducer(
+        [](void* acc, const void* contrib, std::size_t size) {
+          ASSERT_EQ(size, sizeof(std::int64_t));
+          auto* a = static_cast<std::int64_t*>(acc);
+          const auto* c = static_cast<const std::int64_t*>(contrib);
+          *a *= *c;
+        });
+    std::int64_t v = pe + 2;  // 2*3*4*5 = 120
+    CmiAllReduceBlocking(&v, sizeof(v), prod);
+    if (v != 120) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Collectives, ManySequentialCollectives) {
+  std::atomic<bool> ok{true};
+  RunConverse(3, [&](int pe, int n) {
+    for (int round = 0; round < 20; ++round) {
+      const std::int64_t got =
+          CmiAllReduceI64(pe + round, CmiReducerSumI64());
+      const std::int64_t want =
+          static_cast<std::int64_t>(n) * round + n * (n - 1) / 2;
+      if (got != want) ok = false;
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Collectives, VectorReduceElementwise) {
+  std::atomic<bool> ok{true};
+  RunConverse(4, [&](int pe, int n) {
+    double v[3] = {1.0 * pe, 2.0 * pe, 3.0 * pe};
+    CmiAllReduceBlocking(v, sizeof(v), CmiReducerSumF64());
+    const double s = n * (n - 1) / 2.0;  // sum of pe
+    if (v[0] != s || v[1] != 2 * s || v[2] != 3 * s) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Collectives, SpanTreeQueriesAreConsistent) {
+  RunConverse(7, [&](int pe, int npes) {
+    EXPECT_EQ(CmiSpanTreeRoot(), 0);
+    if (pe != 0) {
+      const int parent = CmiSpanTreeParent(pe);
+      ASSERT_GE(parent, 0);
+      ASSERT_LT(parent, npes);
+      auto kids = CmiSpanTreeChildren(parent);
+      EXPECT_NE(std::find(kids.begin(), kids.end(), pe), kids.end());
+    } else {
+      EXPECT_EQ(CmiSpanTreeParent(0), -1);
+    }
+  });
+}
+
+TEST(Collectives, SplitPhaseBarrierNotifiesEveryPe) {
+  constexpr int kNpes = 4;
+  ctu::PerPeCounters notified(kNpes);
+  RunConverse(kNpes, [&](int pe, int) {
+    int h = CmiRegisterHandler([&, pe](void*) {
+      notified.Add(pe);
+      CsdExitScheduler();
+    });
+    CmiBarrier(h);
+    CsdScheduler(-1);
+  });
+  for (int i = 0; i < kNpes; ++i) EXPECT_EQ(notified.Get(i), 1);
+}

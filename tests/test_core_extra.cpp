@@ -1,0 +1,214 @@
+// Additional core coverage: the public CmiGetMsg/CmiDeliverMsgs paths and
+// their buffer protocol, the per-PE module registry, fiber stack pooling,
+// handler-table growth, and CqsPrio ordering laws.
+#include "test_helpers.h"
+
+#include <cstring>
+
+#include "converse/detail/module.h"
+#include "converse/util/rng.h"
+#include "threads/fiber.h"
+
+using namespace converse;
+
+// ---- Public CmiGetMsg path -----------------------------------------------------
+
+TEST(CmiGetMsgPath, ReturnsNullWhenNothingPending) {
+  RunConverse(1, [&](int, int) {
+    EXPECT_EQ(CmiGetMsg(), nullptr);
+  });
+}
+
+TEST(CmiGetMsgPath, ReturnsMessagesInArrivalOrder) {
+  RunConverse(2, [&](int pe, int) {
+    int h = CmiRegisterHandler([](void*) {});
+    if (pe == 0) {
+      for (int i = 0; i < 3; ++i) {
+        void* m = CmiMakeMessage(h, &i, sizeof(i));
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      }
+      return;
+    }
+    for (int want = 0; want < 3; ++want) {
+      void* m;
+      while ((m = CmiGetMsg()) == nullptr) {
+      }
+      EXPECT_EQ(*static_cast<int*>(CmiMsgPayload(m)), want);
+      // MMI-owned: do not free; the next CmiGetMsg reclaims it.
+    }
+  });
+}
+
+TEST(CmiGetMsgPath, GrabbedBufferSurvivesNextReceive) {
+  RunConverse(2, [&](int pe, int) {
+    int h = CmiRegisterHandler([](void*) {});
+    if (pe == 0) {
+      void* a = CmiMakeMessage(h, "AA", 2);
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(a), a);
+      void* b = CmiMakeMessage(h, "BB", 2);
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(b), b);
+      return;
+    }
+    void* first;
+    while ((first = CmiGetMsg()) == nullptr) {
+    }
+    CmiGrabBuffer(&first);  // keep it across the next receive
+    void* second;
+    while ((second = CmiGetMsg()) == nullptr) {
+    }
+    EXPECT_TRUE(CmiMsgIsValid(first));
+    EXPECT_EQ(std::memcmp(CmiMsgPayload(first), "AA", 2), 0);
+    EXPECT_EQ(std::memcmp(CmiMsgPayload(second), "BB", 2), 0);
+    CmiFree(first);
+  });
+}
+
+TEST(CmiGetMsgPath, DeliverMsgsRespectsBudget) {
+  std::atomic<int> handled{0};
+  RunConverse(2, [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void*) { ++handled; });
+    if (pe == 0) {
+      for (int i = 0; i < 6; ++i) {
+        void* m = CmiMakeMessage(h, nullptr, 0);
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      }
+      return;
+    }
+    // Wait for all six to be queued, then deliver in two budgeted calls.
+    while (CsdIsIdle()) {
+    }
+    int got = 0;
+    while (got < 2) got += CmiDeliverMsgs(2 - got);
+    EXPECT_EQ(handled.load(), 2);
+    while (got < 6) got += CmiDeliverMsgs(-1);
+    EXPECT_EQ(handled.load(), 6);
+  });
+}
+
+// ---- Module registry ------------------------------------------------------------
+
+TEST(ModuleRegistry, StatePersistsAcrossHandlersWithinMachine) {
+  // A test-local module: registered once process-wide, fresh state per
+  // machine, visible from handlers.
+  struct LocalState {
+    int counter = 0;
+  };
+  static int module_id;
+  static const int registered = detail::RegisterModule(
+      "test-local",
+      [](int id) { detail::SetModuleState(id, new LocalState); },
+      [](void* s) { delete static_cast<LocalState*>(s); });
+  module_id = registered;
+
+  for (int round = 0; round < 2; ++round) {
+    std::atomic<int> observed{-1};
+    RunConverse(2, [&](int pe, int) {
+      auto* st =
+          static_cast<LocalState*>(detail::ModuleState(module_id));
+      ASSERT_NE(st, nullptr);
+      EXPECT_EQ(st->counter, 0) << "state must be fresh per machine";
+      int h = CmiRegisterHandler([&](void*) {
+        auto* s =
+            static_cast<LocalState*>(detail::ModuleState(module_id));
+        observed = ++s->counter;
+        CsdExitScheduler();
+      });
+      if (pe == 0) {
+        void* m = CmiMakeMessage(h, nullptr, 0);
+        CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+        CsdScheduler(-1);
+      }
+    });
+    EXPECT_EQ(observed.load(), 1);
+  }
+}
+
+TEST(ModuleRegistry, ModuleCountIsStableAndPositive) {
+  RunConverse(1, [&](int, int) {});  // first run registers the core module
+  const int n1 = detail::NumModules();
+  EXPECT_GT(n1, 5);  // core + the runtime components linked in
+  RunConverse(1, [&](int, int) {});
+  EXPECT_EQ(detail::NumModules(), n1);
+}
+
+// ---- Fiber stack pool -------------------------------------------------------------
+
+TEST(StackPool, ReusesMappingsAcrossThreadLifetimes) {
+  RunConverse(1, [&](int, int) {
+    const auto before = detail::FiberStackPoolHits();
+    for (int i = 0; i < 10; ++i) {
+      CthResume(CthCreate([] {}));  // create, run, exit, reclaim
+    }
+    // After the first thread dies its mapping is reusable: at least 8 of
+    // the next 9 creations must hit the pool.
+    EXPECT_GE(detail::FiberStackPoolHits() - before, 8u);
+  });
+}
+
+TEST(StackPool, DistinctSizesDoNotFalselyMatch) {
+  RunConverse(1, [&](int, int) {
+    CthResume(CthCreateOfSize([] {}, 128 * 1024));
+    const auto before = detail::FiberStackPoolHits();
+    // A different size must not reuse the 128 KB mapping.
+    CthResume(CthCreateOfSize([] {}, 512 * 1024));
+    EXPECT_EQ(detail::FiberStackPoolHits(), before);
+    // Same size again: now it may hit.
+    CthResume(CthCreateOfSize([] {}, 512 * 1024));
+    EXPECT_EQ(detail::FiberStackPoolHits(), before + 1);
+  });
+}
+
+// ---- Handler table ---------------------------------------------------------------
+
+TEST(HandlerTable, GrowsAndDispatchesHundreds) {
+  RunConverse(1, [&](int, int) {
+    std::vector<int> ids;
+    std::vector<int> hits(300, 0);
+    for (int i = 0; i < 300; ++i) {
+      ids.push_back(CmiRegisterHandler([&hits, i](void* msg) {
+        ++hits[static_cast<std::size_t>(i)];
+        CmiFree(msg);
+      }));
+    }
+    EXPECT_GE(CmiNumHandlers(), 300);
+    for (int i = 0; i < 300; ++i) {
+      CsdEnqueue(CmiMakeMessage(ids[static_cast<std::size_t>(i)], nullptr, 0));
+    }
+    CsdScheduler(300);
+    for (int i = 0; i < 300; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1);
+  });
+}
+
+// ---- CqsPrio ordering laws ----------------------------------------------------------
+
+TEST(CqsPrioLaws, CompareIsAntisymmetricAndTransitive) {
+  util::Xoshiro256 rng(7);
+  std::vector<CqsPrio> prios;
+  prios.push_back(CqsPrio{});
+  for (int i = 0; i < 40; ++i) {
+    if (i % 2 == 0) {
+      prios.push_back(CqsPrio::FromInt(
+          static_cast<std::int32_t>(rng.Below(2001)) - 1000));
+    } else {
+      std::uint32_t words[3];
+      for (auto& w : words) w = static_cast<std::uint32_t>(rng.Next());
+      const int nbits = 1 + static_cast<int>(rng.Below(96));
+      prios.push_back(CqsPrio::FromBitvec(words, nbits));
+    }
+  }
+  for (const auto& a : prios) {
+    EXPECT_EQ(a.Compare(a), 0);
+    for (const auto& b : prios) {
+      const int ab = a.Compare(b);
+      const int ba = b.Compare(a);
+      EXPECT_EQ(ab > 0, ba < 0);
+      EXPECT_EQ(ab == 0, ba == 0);
+      for (const auto& c : prios) {
+        if (ab <= 0 && b.Compare(c) <= 0) {
+          EXPECT_LE(a.Compare(c), 0)
+              << "transitivity violated";
+        }
+      }
+    }
+  }
+}

@@ -1,0 +1,256 @@
+// Data-parallel layer tests: block distribution, elementwise operations,
+// halo exchange, reductions, gather (paper §1: DP-Charm among the clients).
+#include "test_helpers.h"
+
+#include <cmath>
+
+#include "converse/langs/dp.h"
+
+using namespace converse;
+using namespace converse::dp;
+
+TEST(DpDist, BlocksPartitionTheIndexSpace) {
+  for (int npes : {1, 2, 3, 4, 7}) {
+    for (std::size_t n : {0ul, 1ul, 5ul, 16ul, 100ul}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (int pe = 0; pe < npes; ++pe) {
+        Distribution1D d(n, npes, pe);
+        EXPECT_EQ(d.begin(), prev_end);
+        prev_end = d.end();
+        covered += d.local_size();
+      }
+      EXPECT_EQ(prev_end, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(DpDist, OwnerMatchesBlocks) {
+  for (int npes : {1, 2, 3, 5}) {
+    const std::size_t n = 23;
+    for (int pe = 0; pe < npes; ++pe) {
+      Distribution1D d(n, npes, pe);
+      for (std::size_t i = d.begin(); i < d.end(); ++i) {
+        EXPECT_EQ(d.Owner(i), pe) << "i=" << i << " npes=" << npes;
+      }
+    }
+  }
+}
+
+TEST(DpDist, BalancedWithinOne) {
+  Distribution1D a(10, 3, 0), b(10, 3, 1), c(10, 3, 2);
+  EXPECT_EQ(a.local_size(), 4u);
+  EXPECT_EQ(b.local_size(), 3u);
+  EXPECT_EQ(c.local_size(), 3u);
+}
+
+TEST(Dp, ForEachTouchesExactlyLocalElements) {
+  std::atomic<long> touched{0};
+  RunConverse(3, [&](int pe, int npes) {
+    Array1D<double> x(20, npes, pe);
+    x.ForEach([&](std::size_t i, double& v) {
+      v = static_cast<double>(i);
+      ++touched;
+    });
+    EXPECT_EQ(x[x.dist().begin()], static_cast<double>(x.dist().begin()));
+  });
+  EXPECT_EQ(touched.load(), 20);
+}
+
+TEST(Dp, ReduceSumIsGlobal) {
+  std::atomic<bool> ok{true};
+  RunConverse(4, [&](int pe, int npes) {
+    Array1D<double> x(100, npes, pe);
+    x.ForEach([](std::size_t i, double& v) { v = static_cast<double>(i); });
+    const double s = x.ReduceSum([](std::size_t, const double& v) { return v; });
+    if (s != 99.0 * 100.0 / 2.0) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Dp, HaloExchangeBringsNeighborValues) {
+  std::atomic<bool> ok{true};
+  RunConverse(4, [&](int pe, int npes) {
+    Array1D<long> x(16, npes, pe);
+    x.ForEach([](std::size_t i, long& v) { v = static_cast<long>(i * 10); });
+    x.ExchangeHalo();
+    const auto& d = x.dist();
+    if (d.begin() > 0) {
+      if (x.left_ghost() != static_cast<long>((d.begin() - 1) * 10)) {
+        ok = false;
+      }
+    }
+    if (d.end() < d.global_size()) {
+      if (x.right_ghost() != static_cast<long>(d.end() * 10)) ok = false;
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Dp, GatherAssemblesFullArrayOnRoot) {
+  std::atomic<bool> ok{false};
+  RunConverse(3, [&](int pe, int npes) {
+    Array1D<int> x(11, npes, pe);
+    x.ForEach([](std::size_t i, int& v) { v = static_cast<int>(i * i); });
+    auto full = x.Gather();
+    if (pe == 0) {
+      bool good = full.size() == 11;
+      for (std::size_t i = 0; good && i < full.size(); ++i) {
+        good = full[i] == static_cast<int>(i * i);
+      }
+      ok = good;
+    } else {
+      EXPECT_TRUE(full.empty());
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Dp, JacobiIterationConverges) {
+  // 1-D Laplace with Dirichlet boundaries via dp: the canonical DP kernel.
+  std::atomic<double> residual{1e9};
+  RunConverse(3, [&](int pe, int npes) {
+    constexpr std::size_t kN = 32;
+    Array1D<double> u(kN, npes, pe), next(kN, npes, pe);
+    u.ForEach([](std::size_t i, double& v) {
+      v = (i == 0) ? 0.0 : (i == kN - 1 ? 1.0 : 0.5);
+    });
+    for (int iter = 0; iter < 2000; ++iter) {
+      u.ExchangeHalo();
+      const auto& d = u.dist();
+      next.ForEach([&](std::size_t i, double& v) {
+        if (i == 0 || i == kN - 1) {
+          v = u[i];
+          return;
+        }
+        const double left = i - 1 < d.begin() ? u.left_ghost() : u[i - 1];
+        const double right = i + 1 >= d.end() ? u.right_ghost() : u[i + 1];
+        v = 0.5 * (left + right);
+      });
+      std::swap(u, next);
+    }
+    // Solution tends to the linear ramp i/(N-1).
+    const double err = u.ReduceSum([&](std::size_t i, const double& v) {
+      const double exact = static_cast<double>(i) / (kN - 1);
+      return (v - exact) * (v - exact);
+    });
+    residual = err;
+  });
+  EXPECT_LT(residual.load(), 1e-2);
+}
+
+// ------------------------------ 2-D arrays --------------------------------------
+
+TEST(Dp2dDist, GridIsNearSquareAndCoversPes) {
+  for (int npes : {1, 2, 3, 4, 6, 8, 12}) {
+    const auto g = ProcessGrid::For(npes);
+    EXPECT_EQ(g.px * g.py, npes);
+    EXPECT_GE(g.px, g.py);
+  }
+  EXPECT_EQ(ProcessGrid::For(4).px, 2);
+  EXPECT_EQ(ProcessGrid::For(4).py, 2);
+}
+
+TEST(Dp2dDist, TilesPartitionTheDomain) {
+  for (int npes : {1, 2, 4, 6}) {
+    const std::size_t nx = 17, ny = 11;
+    std::vector<int> owner_count(nx * ny, 0);
+    for (int pe = 0; pe < npes; ++pe) {
+      Distribution2D d(nx, ny, npes, pe);
+      for (std::size_t y = d.y_begin(); y < d.y_end(); ++y) {
+        for (std::size_t x = d.x_begin(); x < d.x_end(); ++x) {
+          ++owner_count[y * nx + x];
+          EXPECT_EQ(d.Owner(x, y), pe);
+        }
+      }
+    }
+    for (int c : owner_count) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Dp2dDist, NeighborsAreMutual) {
+  const int npes = 4;
+  for (int pe = 0; pe < npes; ++pe) {
+    Distribution2D d(8, 8, npes, pe);
+    for (auto [dx, dy] : {std::pair{-1, 0}, {1, 0}, {0, -1}, {0, 1}}) {
+      const int n = d.NeighborPe(dx, dy);
+      if (n < 0) continue;
+      Distribution2D dn(8, 8, npes, n);
+      EXPECT_EQ(dn.NeighborPe(-dx, -dy), pe);
+    }
+  }
+}
+
+TEST(Dp2d, HaloExchangeFillsAllFourSides) {
+  std::atomic<bool> ok{true};
+  RunConverse(4, [&](int pe, int np) {
+    Array2D<long> a(8, 8, np, pe);
+    a.ForEach([](std::size_t x, std::size_t y, long& v) {
+      v = static_cast<long>(y * 100 + x);
+    });
+    a.ExchangeHalo();
+    const auto& d = a.dist();
+    // Every interior-global neighbor read must return y*100+x.
+    for (std::size_t y = d.y_begin(); y < d.y_end(); ++y) {
+      for (std::size_t x = d.x_begin(); x < d.x_end(); ++x) {
+        for (auto [dx, dy] : {std::pair{-1, 0}, {1, 0}, {0, -1}, {0, 1}}) {
+          const long want_x = static_cast<long>(x) + dx;
+          const long want_y = static_cast<long>(y) + dy;
+          if (want_x < 0 || want_x >= 8 || want_y < 0 || want_y >= 8) {
+            continue;
+          }
+          if (a.Neighbor(x, y, dx, dy) != want_y * 100 + want_x) {
+            ok = false;
+          }
+        }
+      }
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Dp2d, JacobiHeat2DConverges) {
+  std::atomic<double> err{1e9};
+  RunConverse(4, [&](int pe, int np) {
+    constexpr std::size_t kN = 12;
+    Array2D<double> u(kN, kN, np, pe), next(kN, kN, np, pe);
+    auto boundary = [](std::size_t x, std::size_t y) {
+      return x == 0 || y == 0 || x == kN - 1 || y == kN - 1;
+    };
+    u.ForEach([&](std::size_t x, std::size_t y, double& v) {
+      v = boundary(x, y) ? 1.0 : 0.0;  // hot walls, cold interior
+    });
+    for (int iter = 0; iter < 800; ++iter) {
+      u.ExchangeHalo();
+      next.ForEach([&](std::size_t x, std::size_t y, double& v) {
+        if (boundary(x, y)) {
+          v = u.At(x, y);
+          return;
+        }
+        v = 0.25 * (u.Neighbor(x, y, -1, 0) + u.Neighbor(x, y, 1, 0) +
+                    u.Neighbor(x, y, 0, -1) + u.Neighbor(x, y, 0, 1));
+      });
+      std::swap(u, next);
+    }
+    // Steady state with uniformly hot walls is uniformly 1.0 everywhere.
+    const double e = u.ReduceSum([](std::size_t, std::size_t,
+                                    const double& v) {
+      return (v - 1.0) * (v - 1.0);
+    });
+    err = e;
+  });
+  EXPECT_LT(err.load(), 1e-3);
+}
+
+TEST(Dp2d, ReduceSumCountsEveryCellOnce) {
+  std::atomic<bool> ok{true};
+  RunConverse(3, [&](int pe, int np) {
+    Array2D<int> a(9, 5, np, pe);
+    a.ForEach([](std::size_t, std::size_t, int& v) { v = 1; });
+    const double total =
+        a.ReduceSum([](std::size_t, std::size_t, const int& v) { return v; });
+    if (total != 45.0) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}

@@ -1,0 +1,126 @@
+// Futures tests: single-assignment remote values in both control regimes.
+#include "test_helpers.h"
+
+#include <cstring>
+
+#include "converse/futures.h"
+
+using namespace converse;
+
+TEST(Futures, LocalSetThenWait) {
+  RunConverse(1, [&](int, int) {
+    Cfuture f = CfutureCreate();
+    EXPECT_FALSE(CfutureReady(f));
+    CfutureSetValue<long>(f, 99);
+    EXPECT_TRUE(CfutureReady(f));
+    EXPECT_EQ(CfutureWaitValue<long>(f), 99);
+    // Value stays readable until destroyed.
+    EXPECT_EQ(CfutureWaitValue<long>(f), 99);
+    CfutureDestroy(f);
+    EXPECT_EQ(CfutureLiveCount(), 0);
+  });
+}
+
+TEST(Futures, RemoteSetWakesSpmWaiter) {
+  std::atomic<double> got{0};
+  RunConverse(2, [&](int pe, int) {
+    // Distribute the future handle via a plain message.
+    static Cfuture shared;
+    int carry = CmiRegisterHandler([](void* msg) {
+      std::memcpy(&shared, CmiMsgPayload(msg), sizeof(shared));
+      CfutureSetValue<double>(shared, 2.25);  // fulfilled remotely
+    });
+    if (pe == 0) {
+      Cfuture f = CfutureCreate();
+      void* m = CmiMakeMessage(carry, &f, sizeof(f));
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      got = CfutureWaitValue<double>(f);  // SPM wait on the main context
+      CfutureDestroy(f);
+      ConverseBroadcastExit();
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(got.load(), 2.25);
+}
+
+TEST(Futures, ThreadWaiterSuspendsNotThePe) {
+  std::atomic<int> other_work{0};
+  std::atomic<long> got{0};
+  RunConverse(2, [&](int pe, int) {
+    static Cfuture shared;
+    int carry = CmiRegisterHandler([](void* msg) {
+      std::memcpy(&shared, CmiMsgPayload(msg), sizeof(shared));
+      CfutureSetValue<long>(shared, 31);
+    });
+    int bg = CmiRegisterHandler([&](void* msg) {
+      ++other_work;
+      CmiFree(msg);
+    });
+    if (pe == 0) {
+      Cfuture f = CfutureCreate();
+      CthAwaken(CthCreate([&, f] {
+        got = CfutureWaitValue<long>(f);  // thread suspends here
+        ConverseBroadcastExit();
+      }));
+      for (int i = 0; i < 3; ++i) CsdEnqueue(CmiMakeMessage(bg, nullptr, 0));
+      void* m = CmiMakeMessage(carry, &f, sizeof(f));
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      CsdScheduler(-1);
+      CsdScheduleUntilIdle();  // drain bg work if the exit came early
+    } else {
+      CsdScheduler(-1);
+    }
+  });
+  EXPECT_EQ(got.load(), 31);
+  EXPECT_EQ(other_work.load(), 3);  // the PE kept working while it waited
+}
+
+TEST(Futures, ManyFuturesFanIn) {
+  // The classic pattern: fire N remote computations, wait on N futures.
+  constexpr int kN = 20;
+  std::atomic<long> total{0};
+  RunConverse(3, [&](int pe, int np) {
+    struct WorkWire {
+      Cfuture reply_to;
+      long value;
+    };
+    int worker = CmiRegisterHandler([](void* msg) {
+      WorkWire w;
+      std::memcpy(&w, CmiMsgPayload(msg), sizeof(w));
+      CfutureSetValue<long>(w.reply_to, w.value * w.value);
+    });
+    if (pe == 0) {
+      std::vector<Cfuture> futs;
+      for (int i = 1; i <= kN; ++i) {
+        Cfuture f = CfutureCreate();
+        futs.push_back(f);
+        WorkWire w{f, i};
+        void* m = CmiMakeMessage(worker, &w, sizeof(w));
+        CmiSyncSendAndFree(static_cast<unsigned>(1 + (i % (np - 1))),
+                           CmiMsgTotalSize(m), m);
+      }
+      long acc = 0;
+      for (Cfuture f : futs) {
+        acc += CfutureWaitValue<long>(f);
+        CfutureDestroy(f);
+      }
+      total = acc;
+      ConverseBroadcastExit();
+    }
+    CsdScheduler(-1);
+  });
+  // sum of squares 1..20 = 2870
+  EXPECT_EQ(total.load(), 2870);
+}
+
+TEST(Futures, BytesPayloadRoundTrip) {
+  RunConverse(1, [&](int, int) {
+    Cfuture f = CfutureCreate();
+    const char data[] = "future-bytes";
+    CfutureSet(f, data, sizeof(data));
+    const auto& v = CfutureWait(f);
+    EXPECT_EQ(v.size(), sizeof(data));
+    EXPECT_EQ(std::memcmp(v.data(), data, sizeof(data)), 0);
+    CfutureDestroy(f);
+  });
+}

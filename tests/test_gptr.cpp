@@ -1,0 +1,169 @@
+// Global pointer tests (paper EMI, appendix §3.4): create/dereference,
+// synchronous and asynchronous get/put, SPM-purity of the blocking wait.
+#include "test_helpers.h"
+
+#include <cstring>
+#include <numeric>
+
+using namespace converse;
+
+namespace {
+
+/// Each PE publishes a region and broadcasts its GlobalPtr under a
+/// handler; returns the table of all PEs' pointers after a barrier.
+std::vector<GlobalPtr> PublishRegions(void* region, unsigned size) {
+  static thread_local std::vector<GlobalPtr> table;
+  table.assign(static_cast<std::size_t>(CmiNumPes()), GlobalPtr{});
+  int h = CmiRegisterHandler([](void* msg) {
+    // payload: GlobalPtr
+    GlobalPtr g;
+    std::memcpy(&g, CmiMsgPayload(msg), sizeof(g));
+    table[static_cast<std::size_t>(g.pe)] = g;
+  });
+  GlobalPtr mine;
+  CmiGptrCreate(&mine, region, size);
+  void* m = CmiMakeMessage(h, &mine, sizeof(mine));
+  CmiSyncBroadcastAllAndFree(CmiMsgTotalSize(m), m);
+  // Drain until every pointer arrived, then sync.
+  while (std::any_of(table.begin(), table.end(),
+                     [](const GlobalPtr& g) { return g.pe < 0; })) {
+    CsdScheduler(1);
+  }
+  CmiBarrierBlocking();
+  return table;
+}
+
+}  // namespace
+
+TEST(Gptr, CreateAndDrefLocal) {
+  RunConverse(1, [&](int, int) {
+    int data[4] = {1, 2, 3, 4};
+    GlobalPtr g;
+    EXPECT_GT(CmiGptrCreate(&g, data, sizeof(data)), 0);
+    EXPECT_EQ(g.pe, 0);
+    EXPECT_EQ(g.size, sizeof(data));
+    EXPECT_EQ(CmiGptrDref(&g), data);
+  });
+}
+
+TEST(Gptr, LocalGetPutFastPath) {
+  RunConverse(1, [&](int, int) {
+    double region[8] = {};
+    GlobalPtr g;
+    CmiGptrCreate(&g, region, sizeof(region));
+    const double vals[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_GT(CmiSyncPut(&g, vals, sizeof(vals)), 0);
+    double back[8] = {};
+    EXPECT_GT(CmiSyncGet(&g, back, sizeof(back)), 0);
+    EXPECT_EQ(std::memcmp(back, vals, sizeof(vals)), 0);
+  });
+}
+
+TEST(Gptr, RemoteSyncGetReadsOtherPeMemory) {
+  constexpr int kNpes = 3;
+  std::atomic<int> ok{0};
+  RunConverse(kNpes, [&](int pe, int npes) {
+    std::vector<int> region(16);
+    std::iota(region.begin(), region.end(), pe * 100);
+    auto table = PublishRegions(region.data(),
+                                static_cast<unsigned>(region.size() * 4));
+    const int right = (pe + 1) % npes;
+    std::vector<int> got(16);
+    CmiSyncGet(&table[static_cast<std::size_t>(right)], got.data(),
+               static_cast<unsigned>(got.size() * 4));
+    if (got[0] == right * 100 && got[15] == right * 100 + 15) ++ok;
+    CmiBarrierBlocking();  // nobody frees regions while gets may be pending
+  });
+  EXPECT_EQ(ok.load(), kNpes);
+}
+
+TEST(Gptr, RemoteSyncPutWritesOtherPeMemory) {
+  constexpr int kNpes = 2;
+  std::atomic<bool> ok{false};
+  RunConverse(kNpes, [&](int pe, int) {
+    std::vector<long> region(4, 0);
+    auto table = PublishRegions(region.data(),
+                                static_cast<unsigned>(region.size() * 8));
+    if (pe == 0) {
+      const long vals[4] = {10, 20, 30, 40};
+      CmiSyncPut(&table[1], vals, sizeof(vals));
+    }
+    CmiBarrierBlocking();  // put complete (acked) before the check
+    if (pe == 1) {
+      ok = region[0] == 10 && region[3] == 40;
+    }
+    CmiBarrierBlocking();
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Gptr, AsyncGetCompletesViaHandle) {
+  constexpr int kNpes = 2;
+  std::atomic<bool> ok{false};
+  RunConverse(kNpes, [&](int pe, int) {
+    int region[2] = {pe * 7, pe * 7 + 1};
+    auto table = PublishRegions(region, sizeof(region));
+    if (pe == 0) {
+      int got[2] = {};
+      CommHandle h = CmiGet(&table[1], got, sizeof(got));
+      CmiWaitHandle(h);
+      ok = got[0] == 7 && got[1] == 8;
+    }
+    CmiBarrierBlocking();
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Gptr, AsyncPutThenGetRoundTrip) {
+  constexpr int kNpes = 2;
+  std::atomic<bool> ok{false};
+  RunConverse(kNpes, [&](int pe, int) {
+    char region[8] = {};
+    auto table = PublishRegions(region, sizeof(region));
+    if (pe == 0) {
+      CommHandle hp = CmiPut(&table[1], "ABCDEFG", 8);
+      CmiWaitHandle(hp);
+      char back[8] = {};
+      CmiSyncGet(&table[1], back, 8);
+      ok = std::memcmp(back, "ABCDEFG", 8) == 0;
+    }
+    CmiBarrierBlocking();
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Gptr, SyncGetDoesNotRunUnrelatedHandlers) {
+  // SPM purity: while PE0 blocks in CmiSyncGet, an unrelated message must
+  // be buffered, not delivered (paper: "no side effects while blocked").
+  constexpr int kNpes = 2;
+  std::atomic<bool> side_effect_during_get{false};
+  std::atomic<bool> in_sync_get{false};
+  std::atomic<int> unrelated_runs{0};
+  RunConverse(kNpes, [&](int pe, int) {
+    int region[1] = {pe};
+    int unrelated = CmiRegisterHandler([&](void*) {
+      ++unrelated_runs;
+      if (in_sync_get.load()) side_effect_during_get = true;
+    });
+    auto table = PublishRegions(region, sizeof(region));
+    if (pe == 1) {
+      // Send the unrelated message *before* serving PE0's get request:
+      // FIFO delivery guarantees it sits in front of the reply in PE0's
+      // queue, so SyncGet must skip over it.
+      void* m = CmiMakeMessage(unrelated, nullptr, 0);
+      CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+      CsdScheduler(1);  // serve the gptr request
+    }
+    if (pe == 0) {
+      int got = -1;
+      in_sync_get = true;
+      CmiSyncGet(&table[1], &got, sizeof(got));
+      in_sync_get = false;
+      EXPECT_EQ(got, 1);
+      CsdScheduleUntilIdle();  // now the unrelated handler runs
+    }
+    CmiBarrierBlocking();
+  });
+  EXPECT_FALSE(side_effect_during_get.load());
+  EXPECT_EQ(unrelated_runs.load(), 1);
+}

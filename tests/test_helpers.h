@@ -1,0 +1,56 @@
+// Shared helpers for Converse tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "converse/converse.h"
+
+namespace converse::ctu {
+
+/// Run a machine with `npes` PEs and default config.
+inline void Run(int npes, const std::function<void(int, int)>& entry) {
+  RunConverse(npes, entry);
+}
+
+/// Run a machine where only PE 0 executes `pe0`, all others just schedule
+/// until a broadcast exit (pe0 must end with ConverseBroadcastExit()).
+inline void RunPe0(int npes, const std::function<void()>& pe0) {
+  RunConverse(npes, [&](int pe, int) {
+    if (pe == 0) pe0();
+    CsdScheduler(-1);
+  });
+}
+
+/// The usual SPMD pattern: every PE runs `before`, then sits in
+/// CsdScheduler(-1) until some handler broadcasts exit.
+inline void RunAll(int npes, const std::function<void(int, int)>& before) {
+  RunConverse(npes, [&](int pe, int n) {
+    before(pe, n);
+    CsdScheduler(-1);
+  });
+}
+
+/// A per-test atomic counter array indexed by PE.
+class PerPeCounters {
+ public:
+  explicit PerPeCounters(int npes) : counts_(npes) {
+    for (auto& c : counts_) c.store(0);
+  }
+  void Add(int pe, long v = 1) { counts_[static_cast<size_t>(pe)] += v; }
+  long Get(int pe) const { return counts_[static_cast<size_t>(pe)].load(); }
+  long Total() const {
+    long t = 0;
+    for (const auto& c : counts_) t += c.load();
+    return t;
+  }
+
+ private:
+  std::vector<std::atomic<long>> counts_;
+};
+
+}  // namespace converse::ctu

@@ -1,0 +1,233 @@
+// Interoperability tests — the point of the whole framework (paper §4):
+// modules written in different paradigms coexisting in one program under
+// the unified scheduler.
+#include "test_helpers.h"
+
+#include <cstring>
+
+#include "converse/langs/charm.h"
+#include "converse/langs/cnx.h"
+#include "converse/langs/cpvm.h"
+#include "converse/langs/mdt.h"
+#include "converse/langs/sm.h"
+#include "converse/langs/tsm.h"
+
+using namespace converse;
+
+TEST(Interop, SmAndNxTagSpacesAreIndependent) {
+  // Two "libraries" use the same tag number in different languages; the
+  // messages must not cross because each runtime has its own handler.
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      const int a = 1;
+      sm::SmSend(1, 7, &a, sizeof(a));
+      const int b = 2;
+      nx::csend(7, &b, sizeof(b), 1);
+      return;
+    }
+    int v = 0;
+    nx::crecv(7, &v, sizeof(v));
+    const bool nx_got_nx = v == 2;
+    sm::SmRecv(&v, sizeof(v), 7);
+    ok = nx_got_nx && v == 1;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Interop, SpmModuleInvokesMessageDrivenModule) {
+  // The paper's §3.1.2 footnote scenario: an SPM module deposits messages
+  // for a concurrent (charm) module, then explicitly invokes the scheduler
+  // to let the concurrent computation run, and picks up the result by
+  // function call afterwards.
+  std::atomic<long> result{0};
+  RunConverse(2, [&](int pe, int) {
+    struct Summer : charm::Chare {
+      long total = 0;
+      Summer(const void*, std::size_t) {}
+      void Add(const void* d, std::size_t) {
+        long v;
+        std::memcpy(&v, d, sizeof(v));
+        total += v;
+      }
+    };
+    const int type = charm::RegisterChareType<Summer>("summer");
+    const int add = charm::RegisterEntryMethod<Summer>(&Summer::Add);
+    if (pe == 0) {
+      // --- SPM phase: local chare gets work deposited ---
+      charm::CreateChare(type, nullptr, 0, /*on_pe=*/0);
+      CsdScheduler(1);  // construct
+      const charm::ChareId id{0, 1};
+      for (long v = 1; v <= 4; ++v) {
+        charm::SendToChare(id, add, &v, sizeof(v));
+      }
+      // --- explicitly relinquish control to the scheduler (paper!) ---
+      CsdScheduler(4);
+      // --- back in the SPM module: read the result synchronously ---
+      // The chare lives on this PE; in Converse terms the SPM module gets
+      // the result "passed by function calls" — we model that by reading
+      // through the runtime's local table via an entry invocation that
+      // writes into SPM-owned memory.
+      const int read = charm::RegisterEntry(
+          [&result](charm::Chare* c, const void*, std::size_t) {
+            result = static_cast<Summer*>(c)->total;
+          });
+      charm::SendToChare(id, read, nullptr, 0);
+      CsdScheduler(1);
+      ConverseBroadcastExit();
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(result.load(), 10);
+}
+
+TEST(Interop, CharmModuleUsesPvmModule) {
+  // The NAMD scenario in miniature (paper §4): a Charm-style driver on PE0
+  // invokes a PVM-style far-field module that runs SPMD across all PEs,
+  // then consumes its result.
+  std::atomic<double> energy{0};
+  RunConverse(3, [&](int pe, int npes) {
+    // --- The "PVM FMA module": an SPMD worker on every PE != 0 ---
+    // Workers wait for a request (tag 1: n doubles), compute a partial
+    // "far-field" sum, and reply (tag 2).
+    if (pe != 0) {
+      using namespace converse::pvm;
+      pvm_recv(0, 1);
+      double xs[8];
+      pvm_upkdouble(xs, 8);
+      double partial = 0;
+      for (int i = pe - 1; i < 8; i += npes - 1) partial += xs[i] * xs[i];
+      pvm_initsend();
+      pvm_pkdouble(&partial, 1);
+      pvm_send(0, 2);
+      CsdScheduler(-1);  // stay alive for the exit broadcast
+      return;
+    }
+    // --- The "Charm NAMD driver" on PE0 ---
+    struct Driver : charm::Chare {
+      Driver(const void*, std::size_t) {}
+      void Run(const void* d, std::size_t) {
+        std::atomic<double>* out;
+        std::memcpy(&out, d, sizeof(out));
+        using namespace converse::pvm;
+        double xs[8];
+        for (int i = 0; i < 8; ++i) xs[i] = i + 1;
+        // Call into the PVM module: broadcast work...
+        for (int w = 1; w < CmiNumPes(); ++w) {
+          pvm_initsend();
+          pvm_pkdouble(xs, 8);
+          pvm_send(w, 1);
+        }
+        // ...and collect replies SPM-style from inside the entry method.
+        double total = 0;
+        for (int w = 1; w < CmiNumPes(); ++w) {
+          pvm_recv(PvmAnyTid, 2);
+          double partial = 0;
+          pvm_upkdouble(&partial, 1);
+          total += partial;
+        }
+        *out = total;
+        ConverseBroadcastExit();
+      }
+    };
+    const int type = charm::RegisterChareType<Driver>("driver");
+    const int run = charm::RegisterEntryMethod<Driver>(&Driver::Run);
+    charm::CreateChare(type, nullptr, 0, /*on_pe=*/0);
+    auto* eptr = &energy;
+    charm::SendToChare(charm::ChareId{0, 1}, run, &eptr, sizeof(eptr));
+    CsdScheduler(-1);
+  });
+  // sum of squares 1..8 = 204
+  EXPECT_DOUBLE_EQ(energy.load(), 204.0);
+}
+
+TEST(Interop, ThreadsAndHandlersShareTheScheduler) {
+  // tSM threads, raw handlers, and charm entries all make progress under
+  // one CsdScheduler loop on the same PE.
+  std::atomic<int> pieces{0};
+  RunConverse(2, [&](int pe, int) {
+    struct Obj : charm::Chare {
+      Obj(const void*, std::size_t) {}
+    };
+    const int type = charm::RegisterChareType<Obj>("obj");
+    static std::atomic<int>* pp;
+    pp = &pieces;
+    const int poke = charm::RegisterEntry(
+        [](charm::Chare*, const void*, std::size_t) {
+          if (pp->fetch_add(1) + 1 == 3) ConverseBroadcastExit();
+        });
+    int raw = CmiRegisterHandler([&](void*) {
+      if (pieces.fetch_add(1) + 1 == 3) ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      // Piece 1: a tSM thread that waits for a tagged message.
+      tsm::tSMCreate([&] {
+        char c;
+        tsm::tSMReceive(5, &c, 1);
+        if (pieces.fetch_add(1) + 1 == 3) ConverseBroadcastExit();
+      });
+      // Piece 2: a charm chare.
+      charm::CreateChare(type, nullptr, 0, 0);
+      charm::SendToChare(charm::ChareId{0, 1}, poke, nullptr, 0);
+    } else {
+      const char c = 'x';
+      tsm::tSMSend(0, 5, &c, 1);
+      // Piece 3: a raw generalized message.
+      void* m = CmiMakeMessage(raw, nullptr, 0);
+      CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(pieces.load(), 3);
+}
+
+TEST(Interop, MdtThreadDrivesSmModule) {
+  // A coordination-language thread sends SM messages to a classic SPMD
+  // worker and gets an answer back into the thread world.
+  std::atomic<long> got{0};
+  RunConverse(2, [&](int pe, int) {
+    using namespace converse::mdt;
+    const int fn = MdtRegister([&](const void*, std::size_t) {
+      const long q = 10;
+      sm::SmSend(1, 1, &q, sizeof(q));
+      long a = 0;
+      sm::SmRecv(&a, sizeof(a), 2);  // thread-mode receive
+      got = a;
+      ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      MdtSpawnLocal(fn, nullptr, 0);
+      CsdScheduler(-1);
+    } else {
+      long q = 0;
+      sm::SmRecv(&q, sizeof(q), 1);  // SPM-mode receive
+      q *= 7;
+      sm::SmSend(0, 2, &q, sizeof(q));
+      CsdScheduler(-1);
+    }
+  });
+  EXPECT_EQ(got.load(), 70);
+}
+
+TEST(Interop, PrioritizedWorkOvertakesBulkWork) {
+  // §2.3 motivation: a latency-critical message jumps a deep queue of
+  // bulk-work messages.
+  std::vector<int> completion_order;
+  RunConverse(1, [&](int, int) {
+    int bulk = CmiRegisterHandler([&](void* msg) {
+      completion_order.push_back(0);
+      CmiFree(msg);
+    });
+    int critical = CmiRegisterHandler([&](void* msg) {
+      completion_order.push_back(1);
+      CmiFree(msg);
+    });
+    for (int i = 0; i < 10; ++i) {
+      CsdEnqueue(CmiMakeMessage(bulk, nullptr, 0));
+    }
+    CsdEnqueueIntPrio(CmiMakeMessage(critical, nullptr, 0), -100);
+    CsdScheduler(11);
+  });
+  ASSERT_EQ(completion_order.size(), 11u);
+  EXPECT_EQ(completion_order.front(), 1);  // critical ran first
+}

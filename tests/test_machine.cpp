@@ -1,0 +1,370 @@
+// Integration tests for the machine layer (MMI): sends, broadcasts,
+// specific receive with buffering, buffer ownership protocol, vector send,
+// timers, stats, console I/O, abort propagation.
+#include "test_helpers.h"
+
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "converse/util/crc.h"
+#include "converse/util/rng.h"
+
+using namespace converse;
+using converse::ctu::PerPeCounters;
+
+TEST(Machine, SinglePeRuns) {
+  std::atomic<int> ran{0};
+  RunConverse(1, [&](int pe, int npes) {
+    EXPECT_EQ(pe, 0);
+    EXPECT_EQ(npes, 1);
+    EXPECT_EQ(CmiMyPe(), 0);
+    EXPECT_EQ(CmiNumPes(), 1);
+    EXPECT_EQ(CmiNumPe(), 1);
+    ++ran;
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Machine, EntryRunsOnEveryPe) {
+  constexpr int kNpes = 6;
+  PerPeCounters ran(kNpes);
+  RunConverse(kNpes, [&](int pe, int npes) {
+    EXPECT_EQ(npes, kNpes);
+    ran.Add(pe);
+  });
+  for (int i = 0; i < kNpes; ++i) EXPECT_EQ(ran.Get(i), 1);
+}
+
+TEST(Machine, SequentialMachinesAreIndependent) {
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> got{0};
+    RunConverse(2, [&](int pe, int) {
+      int h = CmiRegisterHandler([&](void*) {
+        ++got;
+        CsdExitScheduler();
+      });
+      if (pe == 0) {
+        void* m = CmiMakeMessage(h, nullptr, 0);
+        CmiSyncBroadcastAllAndFree(CmiMsgTotalSize(m), m);
+      }
+      CsdScheduler(-1);
+    });
+    EXPECT_EQ(got.load(), 2);
+  }
+}
+
+TEST(Machine, SyncSendDeliversPayloadIntact) {
+  const std::string payload = "hello from pe0";
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      ok = CmiMsgPayloadSize(msg) == payload.size() &&
+           std::memcmp(CmiMsgPayload(msg), payload.data(), payload.size()) ==
+               0 &&
+           CmiMsgSourcePe(msg) == 0;
+      ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, payload.data(), payload.size());
+      CmiSyncSend(1, CmiMsgTotalSize(m), m);
+      CmiFree(m);  // CmiSyncSend copies: buffer reusable immediately
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Machine, SendToSelfWorks) {
+  std::atomic<int> v{0};
+  RunConverse(1, [&](int, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      v = *static_cast<int*>(CmiMsgPayload(msg));
+      CsdExitScheduler();
+    });
+    int payload = 77;
+    void* m = CmiMakeMessage(h, &payload, sizeof(payload));
+    CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(v.load(), 77);
+}
+
+TEST(Machine, AsyncSendHandleIsCompleteAndReleasable) {
+  RunConverse(2, [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void*) { CsdExitScheduler(); });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CommHandle ch = CmiAsyncSend(1, CmiMsgTotalSize(m), m);
+      EXPECT_EQ(CmiAsyncMsgSent(ch), 1);
+      CmiReleaseCommHandle(ch);
+      CmiFree(m);
+      CsdExitScheduler();
+    }
+    CsdScheduler(-1);
+  });
+}
+
+class MachineBroadcast : public ::testing::TestWithParam<int> {};
+
+TEST_P(MachineBroadcast, BroadcastExcludesCaller) {
+  const int npes = GetParam();
+  PerPeCounters hits(npes);
+  ctu::RunAll(npes, [&](int pe, int) {
+    int h = CmiRegisterHandler([&, pe](void*) {
+      hits.Add(pe);
+      CsdExitScheduler();
+    });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiSyncBroadcast(CmiMsgTotalSize(m), m);
+      CmiFree(m);
+      CsdExitScheduler();
+    }
+  });
+  EXPECT_EQ(hits.Get(0), 0);
+  for (int i = 1; i < npes; ++i) EXPECT_EQ(hits.Get(i), 1);
+}
+
+TEST_P(MachineBroadcast, BroadcastAllIncludesCaller) {
+  const int npes = GetParam();
+  PerPeCounters hits(npes);
+  ctu::RunAll(npes, [&](int pe, int) {
+    int h = CmiRegisterHandler([&, pe](void*) {
+      hits.Add(pe);
+      CsdExitScheduler();
+    });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiSyncBroadcastAllAndFree(CmiMsgTotalSize(m), m);
+    }
+  });
+  for (int i = 0; i < npes; ++i) EXPECT_EQ(hits.Get(i), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Npes, MachineBroadcast, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Machine, GetSpecificMsgBuffersOthers) {
+  // PE1 sends A-tagged then B-tagged; PE0 waits for B first, then must
+  // still see A afterwards (buffered by the machine layer).
+  std::atomic<bool> order_ok{false};
+  RunConverse(2, [&](int pe, int) {
+    int ha = CmiRegisterHandler([](void*) {});
+    int hb = CmiRegisterHandler([](void*) {});
+    if (pe == 1) {
+      void* a = CmiMakeMessage(ha, "A", 1);
+      CmiSyncSendAndFree(0, CmiMsgTotalSize(a), a);
+      void* b = CmiMakeMessage(hb, "B", 1);
+      CmiSyncSendAndFree(0, CmiMsgTotalSize(b), b);
+      return;
+    }
+    void* mb = CmiGetSpecificMsg(hb);
+    const bool b_first = *static_cast<char*>(CmiMsgPayload(mb)) == 'B';
+    void* ma = CmiGetSpecificMsg(ha);
+    order_ok = b_first && *static_cast<char*>(CmiMsgPayload(ma)) == 'A';
+  });
+  EXPECT_TRUE(order_ok.load());
+}
+
+TEST(Machine, GrabBufferKeepsMessageAlive) {
+  // A handler grabs its buffer and stores it; the payload must stay valid
+  // after the handler returns, and the grabber must free it.
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    void* saved = nullptr;
+    int h = CmiRegisterHandler([&saved](void* msg) {
+      CmiGrabBuffer(&msg);
+      saved = msg;
+      CsdExitScheduler();
+    });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, "keepme", 6);
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      CsdExitScheduler();
+    }
+    CsdScheduler(-1);
+    if (pe == 1) {
+      ok = saved != nullptr && CmiMsgIsValid(saved) &&
+           std::memcmp(CmiMsgPayload(saved), "keepme", 6) == 0;
+      CmiFree(saved);
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Machine, VectorSendConcatenatesPieces) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      ok = CmiMsgPayloadSize(msg) == 10 &&
+           std::memcmp(CmiMsgPayload(msg), "abcdefghij", 10) == 0;
+      ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      const char* p1 = "abc";
+      const char* p2 = "defg";
+      const char* p3 = "hij";
+      const int sizes[] = {3, 4, 3};
+      const void* arrays[] = {p1, p2, p3};
+      CmiVectorSend(1, h, 3, sizes, arrays);
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Machine, TimerAdvancesAndHasResolution) {
+  RunConverse(1, [&](int, int) {
+    const double t0 = CmiTimer();
+    EXPECT_GE(t0, 0.0);
+    // Busy work; steady_clock has ns resolution so this must register.
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + 1.0;
+    const double t1 = CmiTimer();
+    EXPECT_GT(t1, t0);
+    EXPECT_LT(t1, 60.0);  // seconds since machine start, sane bound
+    EXPECT_GE(CmiCpuTimer(), 0.0);
+  });
+}
+
+TEST(Machine, StatsCountSendsAndDeliveries) {
+  std::atomic<long> sent{0}, delivered{0};
+  RunConverse(2, [&](int pe, int) {
+    int noop = CmiRegisterHandler([](void*) {});
+    int exit_h = CmiRegisterHandler([](void*) { CsdExitScheduler(); });
+    if (pe == 0) {
+      for (int i = 0; i < 5; ++i) {
+        void* m = CmiMakeMessage(noop, nullptr, 0);
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      }
+      void* last = CmiMakeMessage(exit_h, nullptr, 0);
+      CmiSyncSendAndFree(0, CmiMsgTotalSize(last), last);
+      CsdScheduler(-1);
+      sent += static_cast<long>(CmiGetStats().msgs_sent);
+    } else {
+      CsdScheduler(5);
+      delivered += static_cast<long>(CmiGetStats().msgs_delivered);
+    }
+  });
+  EXPECT_EQ(sent.load(), 6);
+  EXPECT_EQ(delivered.load(), 5);
+}
+
+TEST(Machine, PrintfIsAtomicAndRedirectable) {
+  char* buf = nullptr;
+  std::size_t buflen = 0;
+  std::FILE* mem = open_memstream(&buf, &buflen);
+  MachineConfig cfg;
+  cfg.npes = 4;
+  cfg.out = mem;
+  RunConverse(cfg, [&](int pe, int) {
+    for (int i = 0; i < 10; ++i) {
+      CmiPrintf("[pe%d line%d]\n", pe, i);
+    }
+  });
+  std::fclose(mem);
+  std::string s(buf, buflen);
+  free(buf);
+  // 40 complete lines, none interleaved.
+  int lines = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 40);
+  for (int pe = 0; pe < 4; ++pe) {
+    for (int i = 0; i < 10; ++i) {
+      char expect[32];
+      std::snprintf(expect, sizeof(expect), "[pe%d line%d]\n", pe, i);
+      EXPECT_NE(s.find(expect), std::string::npos) << expect;
+    }
+  }
+}
+
+TEST(Machine, ScanfReadsRedirectedInput) {
+  std::FILE* in = tmpfile();
+  std::fputs("321 hello\n", in);
+  std::rewind(in);
+  MachineConfig cfg;
+  cfg.npes = 1;
+  cfg.in = in;
+  std::atomic<int> v{0};
+  RunConverse(cfg, [&](int, int) {
+    int x = 0;
+    char w[16] = {};
+    EXPECT_EQ(CmiScanf("%d %15s", &x, w), 2);
+    v = x;
+    EXPECT_STREQ(w, "hello");
+  });
+  std::fclose(in);
+  EXPECT_EQ(v.load(), 321);
+}
+
+TEST(Machine, ScanfAsyncDeliversLineToHandler) {
+  std::FILE* in = tmpfile();
+  std::fputs("42 async-line\n", in);
+  std::rewind(in);
+  MachineConfig cfg;
+  cfg.npes = 1;
+  cfg.in = in;
+  std::atomic<int> v{0};
+  RunConverse(cfg, [&](int, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      int x = 0;
+      char w[32] = {};
+      sscanf(static_cast<const char*>(CmiMsgPayload(msg)), "%d %31s", &x, w);
+      v = x;
+      EXPECT_STREQ(w, "async-line");
+      CsdExitScheduler();
+    });
+    CmiScanfAsync(h);
+    CsdScheduler(-1);
+  });
+  std::fclose(in);
+  EXPECT_EQ(v.load(), 42);
+}
+
+TEST(Machine, EntryExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      RunConverse(3,
+                  [&](int pe, int) {
+                    if (pe == 1) throw std::runtime_error("pe1 exploded");
+                    CsdScheduler(-1);  // blocked PEs must be unwound
+                  }),
+      std::runtime_error);
+}
+
+TEST(Machine, MessageIntegrityRandomSizes) {
+  // Property test: payloads of many sizes arrive with matching CRC.
+  constexpr int kMsgs = 60;
+  std::atomic<int> ok{0};
+  RunConverse(3, [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      const auto n = CmiMsgPayloadSize(msg) - sizeof(std::uint32_t);
+      const char* data = static_cast<const char*>(CmiMsgPayload(msg));
+      std::uint32_t want;
+      std::memcpy(&want, data + n, sizeof(want));
+      if (util::Crc32c(data, n) == want) ++ok;
+      if (ok.load() == 2 * kMsgs) CsdExitScheduler();
+    });
+    if (pe != 0) {
+      util::Xoshiro256 rng(1000u + static_cast<unsigned>(pe));
+      for (int i = 0; i < kMsgs; ++i) {
+        const std::size_t n = rng.Below(8192) + 1;
+        void* m = CmiAlloc(CmiMsgHeaderSizeBytes() + n + sizeof(std::uint32_t));
+        CmiSetHandler(m, h);
+        auto* data = static_cast<char*>(CmiMsgPayload(m));
+        for (std::size_t j = 0; j < n; ++j) {
+          data[j] = static_cast<char>(rng.Next());
+        }
+        const std::uint32_t crc = util::Crc32c(data, n);
+        std::memcpy(data + n, &crc, sizeof(crc));
+        CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+      }
+      return;  // senders exit; receiver schedules
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(ok.load(), 2 * kMsgs);
+}

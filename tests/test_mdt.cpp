@@ -1,0 +1,172 @@
+// mdt tests — the §4 coordination language: message-driven threads with
+// single-tag sends, blocking receives, dynamic creation (optionally placed
+// by the seed load balancer).
+#include "test_helpers.h"
+
+#include <cstring>
+
+#include "converse/langs/mdt.h"
+
+using namespace converse;
+using namespace converse::mdt;
+
+TEST(Mdt, SpawnLocalRunsAndSelfIdMatches) {
+  std::atomic<std::uint64_t> seen{0};
+  RunConverse(1, [&](int, int) {
+    const int fn = MdtRegister([&](const void*, std::size_t) {
+      seen = MdtSelf();
+    });
+    const MdtThreadId tid = MdtSpawnLocal(fn, nullptr, 0);
+    EXPECT_NE(tid, kNoThread);
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(seen.load(), tid);
+    EXPECT_EQ(MdtLiveThreads(), 0);
+  });
+}
+
+TEST(Mdt, ArgumentBytesArriveIntact) {
+  std::atomic<int> got{0};
+  RunConverse(1, [&](int, int) {
+    const int fn = MdtRegister([&](const void* arg, std::size_t len) {
+      EXPECT_EQ(len, sizeof(int));
+      int v;
+      std::memcpy(&v, arg, sizeof(v));
+      got = v;
+    });
+    const int v = 4321;
+    MdtSpawnLocal(fn, &v, sizeof(v));
+    CsdScheduleUntilIdle();
+  });
+  EXPECT_EQ(got.load(), 4321);
+}
+
+TEST(Mdt, SendRecvBetweenLocalThreads) {
+  std::atomic<long> got{0};
+  RunConverse(1, [&](int, int) {
+    const int receiver = MdtRegister([&](const void*, std::size_t) {
+      long v = 0;
+      MdtRecv(1, &v, sizeof(v));
+      got = v;
+    });
+    const int sender = MdtRegister([&](const void* arg, std::size_t) {
+      MdtThreadId to;
+      std::memcpy(&to, arg, sizeof(to));
+      const long v = 66;
+      MdtSend(to, 1, &v, sizeof(v));
+    });
+    const MdtThreadId r = MdtSpawnLocal(receiver, nullptr, 0);
+    MdtSpawnLocal(sender, &r, sizeof(r));
+    CsdScheduleUntilIdle();
+  });
+  EXPECT_EQ(got.load(), 66);
+}
+
+TEST(Mdt, RecvByTagIgnoresOtherTags) {
+  std::atomic<bool> ok{false};
+  RunConverse(1, [&](int, int) {
+    const int receiver = MdtRegister([&](const void*, std::size_t) {
+      long v = 0;
+      MdtRecv(2, &v, sizeof(v));  // tag-1 message must stay buffered
+      const bool first = v == 222;
+      MdtRecv(1, &v, sizeof(v));
+      ok = first && v == 111;
+    });
+    const int sender = MdtRegister([&](const void* arg, std::size_t) {
+      MdtThreadId to;
+      std::memcpy(&to, arg, sizeof(to));
+      long v = 111;
+      MdtSend(to, 1, &v, sizeof(v));
+      v = 222;
+      MdtSend(to, 2, &v, sizeof(v));
+    });
+    const MdtThreadId r = MdtSpawnLocal(receiver, nullptr, 0);
+    MdtSpawnLocal(sender, &r, sizeof(r));
+    CsdScheduleUntilIdle();
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Mdt, CrossPeParentChildProtocol) {
+  // Parent spawns a child on another PE, child reports its id back, then
+  // they exchange a message — the handle-flow idiom of the language.
+  std::atomic<long> answer{0};
+  RunConverse(2, [&](int pe, int) {
+    const int child_fn = MdtRegister([](const void* arg, std::size_t) {
+      MdtThreadId parent;
+      std::memcpy(&parent, arg, sizeof(parent));
+      const MdtThreadId me = MdtSelf();
+      MdtSend(parent, 1, &me, sizeof(me));  // report my id
+      long q = 0;
+      MdtRecv(2, &q, sizeof(q));            // get a question
+      q *= 2;
+      MdtSend(parent, 3, &q, sizeof(q));    // answer
+    });
+    const int parent_fn = MdtRegister([&](const void*, std::size_t) {
+      const MdtThreadId me = MdtSelf();
+      MdtSpawn(child_fn, &me, sizeof(me), /*on_pe=*/1);
+      MdtThreadId child = 0;
+      MdtRecv(1, &child, sizeof(child));
+      EXPECT_EQ(MdtPeOf(child), 1);
+      const long q = 21;
+      MdtSend(child, 2, &q, sizeof(q));
+      long a = 0;
+      MdtRecv(3, &a, sizeof(a));
+      answer = a;
+      ConverseBroadcastExit();
+    });
+    if (pe == 0) MdtSpawnLocal(parent_fn, nullptr, 0);
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(answer.load(), 42);
+}
+
+TEST(Mdt, AnonymousSpawnGoesThroughLoadBalancer) {
+  constexpr int kNpes = 3;
+  constexpr int kThreads = 60;
+  ctu::PerPeCounters where(kNpes);
+  std::atomic<int> done{0};
+  RunConverse(kNpes, [&](int pe, int) {
+    CldSetStrategy(CldStrategy::kRandom);
+    const int fn = MdtRegister([&](const void*, std::size_t) {
+      where.Add(CmiMyPe());
+      if (done.fetch_add(1) + 1 == kThreads) ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      for (int i = 0; i < kThreads; ++i) {
+        MdtSpawn(fn, nullptr, 0);  // kAnyPe -> seed balancer
+      }
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(where.Total(), kThreads);
+  // Random spray: with 60 seeds over 3 PEs it is overwhelmingly likely at
+  // least two PEs got work (probability of all-on-one ~ 3^-59).
+  int nonzero = 0;
+  for (int i = 0; i < kNpes; ++i) nonzero += where.Get(i) > 0;
+  EXPECT_GE(nonzero, 2);
+}
+
+TEST(Mdt, ManyMessagesFifoPerTag) {
+  std::atomic<bool> ok{true};
+  RunConverse(1, [&](int, int) {
+    const int receiver = MdtRegister([&](const void*, std::size_t) {
+      for (int i = 0; i < 50; ++i) {
+        int v = -1;
+        MdtRecv(4, &v, sizeof(v));
+        if (v != i) ok = false;
+      }
+    });
+    const int sender = MdtRegister([&](const void* arg, std::size_t) {
+      MdtThreadId to;
+      std::memcpy(&to, arg, sizeof(to));
+      for (int i = 0; i < 50; ++i) {
+        MdtSend(to, 4, &i, sizeof(i));
+        if (i % 7 == 0) CthYield();  // interleave with the receiver
+      }
+    });
+    const MdtThreadId r = MdtSpawnLocal(receiver, nullptr, 0);
+    MdtSpawnLocal(sender, &r, sizeof(r));
+    CsdScheduleUntilIdle();
+  });
+  EXPECT_TRUE(ok.load());
+}

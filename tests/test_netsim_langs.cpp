@@ -1,0 +1,158 @@
+// Language runtimes under the timed-delivery machine: the latency model
+// must be transparent to every layer built on the MMI.
+#include "test_helpers.h"
+
+#include <cstring>
+
+#include "converse/langs/charm.h"
+#include "converse/langs/cpvm.h"
+#include "converse/langs/sm.h"
+#include "converse/langs/tsm.h"
+
+using namespace converse;
+
+namespace {
+
+MachineConfig LaggyConfig(int npes, NetModel* model) {
+  model->name = "laggy";
+  model->alpha_us = 1500;
+  model->per_byte_us = 0.02;
+  MachineConfig cfg;
+  cfg.npes = npes;
+  cfg.model = model;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(NetSimLangs, SmPingPongUnderLatency) {
+  NetModel model;
+  const auto cfg = LaggyConfig(2, &model);
+  std::atomic<long> final{0};
+  RunConverse(cfg, [&](int pe, int) {
+    long v = 0;
+    if (pe == 0) {
+      v = 5;
+      sm::SmSend(1, 1, &v, sizeof(v));
+      sm::SmRecv(&v, sizeof(v), 2);
+      final = v;
+    } else {
+      sm::SmRecv(&v, sizeof(v), 1);
+      v *= 3;
+      sm::SmSend(0, 2, &v, sizeof(v));
+    }
+  });
+  EXPECT_EQ(final.load(), 15);
+}
+
+TEST(NetSimLangs, PvmSpmWorkflowUnderLatency) {
+  NetModel model;
+  const auto cfg = LaggyConfig(3, &model);
+  std::atomic<long> total{0};
+  RunConverse(cfg, [&](int pe, int np) {
+    using namespace converse::pvm;
+    if (pe == 0) {
+      long acc = 0;
+      for (int w = 1; w < np; ++w) {
+        pvm_recv(PvmAnyTid, 4);
+        long v = 0;
+        pvm_upklong(&v, 1);
+        acc += v;
+      }
+      total = acc;
+      return;
+    }
+    pvm_initsend();
+    const long v = pe * 11;
+    pvm_pklong(&v, 1);
+    pvm_send(0, 4);
+  });
+  EXPECT_EQ(total.load(), 11 + 22);
+}
+
+TEST(NetSimLangs, CharmQuiescenceUnderLatency) {
+  NetModel model;
+  const auto cfg = LaggyConfig(2, &model);
+  std::atomic<int> constructed{0};
+  RunConverse(cfg, [&](int pe, int) {
+    struct W : charm::Chare {
+      W(const void*, std::size_t) {}
+    };
+    static std::atomic<int>* cp;
+    cp = &constructed;
+    const int type =
+        charm::RegisterChare("w", [](const void*, std::size_t) -> charm::Chare* {
+          cp->fetch_add(1);
+          return new W(nullptr, 0);
+        });
+    if (pe == 0) {
+      for (int i = 0; i < 8; ++i) charm::CreateChare(type, nullptr, 0, 1);
+      charm::StartQuiescence([&] {
+        EXPECT_EQ(constructed.load(), 8);
+        ConverseBroadcastExit();
+      });
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(constructed.load(), 8);
+}
+
+TEST(NetSimLangs, ThreadedTsmRingUnderLatency) {
+  NetModel model;
+  const auto cfg = LaggyConfig(3, &model);
+  std::atomic<long> final{0};
+  RunConverse(cfg, [&](int pe, int np) {
+    tsm::tSMCreate([&, pe, np] {
+      if (pe == 0) {
+        long token = 1;
+        tsm::tSMSend(1, 9, &token, sizeof(token));
+        tsm::tSMReceive(9, &token, sizeof(token));
+        final = token;
+        ConverseBroadcastExit();
+      } else {
+        long token = 0;
+        tsm::tSMReceive(9, &token, sizeof(token));
+        token += 10;
+        tsm::tSMSend((pe + 1) % np, 9, &token, sizeof(token));
+      }
+    });
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(final.load(), 21);
+}
+
+TEST(NetSimLangs, ScatterAdvanceReceiveUnderLatency) {
+  NetModel model;
+  const auto cfg = LaggyConfig(2, &model);
+  std::atomic<bool> ok{false};
+  RunConverse(cfg, [&](int pe, int) {
+    int never = CmiRegisterHandler([](void*) { FAIL(); });
+    int notify = CmiRegisterHandler([&](void* msg) {
+      CmiFree(msg);
+      ConverseBroadcastExit();
+    });
+    std::uint32_t sink = 0;
+    double payload_sink[2] = {};
+    if (pe == 0) {
+      CmiScatterRegister(
+          0, 0x5150,
+          {{0, sizeof(sink), &sink},
+           {sizeof(std::uint32_t) + 4, sizeof(payload_sink), payload_sink}},
+          notify);
+    } else {
+      struct {
+        std::uint32_t key;
+        std::uint32_t pad;
+        double vals[2];
+      } wire{0x5150, 0, {1.5, -2.5}};
+      void* m = CmiMakeMessage(never, &wire, sizeof(wire));
+      CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+    }
+    CsdScheduler(-1);
+    if (pe == 0) {
+      ok = sink == 0x5150 && payload_sink[0] == 1.5 &&
+           payload_sink[1] == -2.5;
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}

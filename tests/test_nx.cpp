@@ -1,0 +1,154 @@
+// cnx tests: NX-style typed sends, blocking and posted receives
+// (paper §1, §5: NXLib among the initial Converse clients).
+#include "test_helpers.h"
+
+#include <cstring>
+
+#include "converse/langs/cnx.h"
+
+using namespace converse;
+using namespace converse::nx;
+
+TEST(Nx, NodeIdentity) {
+  RunConverse(3, [&](int pe, int) {
+    EXPECT_EQ(mynode(), pe);
+    EXPECT_EQ(numnodes(), 3);
+  });
+}
+
+TEST(Nx, CsendCrecvRoundTrip) {
+  std::atomic<long> got{0};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      const long v = 505;
+      csend(17, &v, sizeof(v), 1);
+      return;
+    }
+    long v = 0;
+    crecv(17, &v, sizeof(v));
+    got = v;
+    EXPECT_EQ(infocount(), static_cast<long>(sizeof(v)));
+    EXPECT_EQ(infotype(), 17);
+    EXPECT_EQ(infonode(), 0);
+  });
+  EXPECT_EQ(got.load(), 505);
+}
+
+TEST(Nx, CrecvByTypeSkipsOthers) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      const int a = 1;
+      csend(100, &a, sizeof(a), 1);
+      const int b = 2;
+      csend(200, &b, sizeof(b), 1);
+      return;
+    }
+    int v = 0;
+    crecv(200, &v, sizeof(v));
+    const bool first = v == 2;
+    crecv(100, &v, sizeof(v));
+    ok = first && v == 1;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Nx, IrecvMsgdoneNonBlockingCompletion) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 1) {
+      // Wait for the go signal before sending the data message.
+      char go = 0;
+      crecv(1, &go, 1);
+      const double d = 2.5;
+      csend(2, &d, sizeof(d), 0);
+      return;
+    }
+    double d = 0;
+    const long mid = irecv(2, &d, sizeof(d));
+    EXPECT_EQ(msgdone(mid), 0);  // posted but nothing sent yet
+    const char go = 1;
+    csend(1, &go, 1, 1);
+    msgwait(mid);
+    ok = d == 2.5 && infotype() == 2 && infonode() == 1;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Nx, IrecvMatchesAlreadyBufferedMessage) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      const int v = 7;
+      csend(5, &v, sizeof(v), 1);
+      const int w = 8;
+      csend(6, &w, sizeof(w), 1);
+      return;
+    }
+    int w = 0;
+    crecv(6, &w, sizeof(w));  // buffers the type-5 message
+    EXPECT_EQ(iprobe(5), 1);
+    int v = 0;
+    const long mid = irecv(5, &v, sizeof(v));
+    EXPECT_EQ(msgdone(mid), 1);  // completed immediately from the buffer
+    ok = v == 7 && w == 8;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Nx, WildcardTypeReceive) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      const int v = 3;
+      csend(77, &v, sizeof(v), 1);
+      return;
+    }
+    int v = 0;
+    crecv(kAnyType, &v, sizeof(v));
+    ok = v == 3 && infotype() == 77;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Nx, ThreadedMsgwaitSuspendsThread) {
+  std::atomic<int> got{0};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      CthAwaken(CthCreate([&] {
+        int v = 0;
+        const long mid = irecv(3, &v, sizeof(v));
+        msgwait(mid);  // suspends the thread, not the PE
+        got = v;
+        ConverseBroadcastExit();
+      }));
+      CsdScheduler(-1);
+    } else {
+      volatile double x = 1;
+      for (int i = 0; i < 1000000; ++i) x = x * 1.0000001;
+      const int v = 33;
+      csend(3, &v, sizeof(v), 0);
+      CsdScheduler(-1);
+    }
+  });
+  EXPECT_EQ(got.load(), 33);
+}
+
+TEST(Nx, TwoPostedReceivesFillInOrder) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      const int a = 1, b = 2;
+      csend(9, &a, sizeof(a), 1);
+      csend(9, &b, sizeof(b), 1);
+      return;
+    }
+    int x = 0, y = 0;
+    const long m1 = irecv(9, &x, sizeof(x));
+    const long m2 = irecv(9, &y, sizeof(y));
+    msgwait(m1);
+    msgwait(m2);
+    ok = x == 1 && y == 2;  // posted order matches arrival order
+  });
+  EXPECT_TRUE(ok.load());
+}

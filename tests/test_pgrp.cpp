@@ -1,0 +1,198 @@
+// Processor group tests (paper EMI, appendix §3.8): explicit tree
+// construction by the root, descriptor distribution, queries, and tree
+// multicast semantics.
+#include "test_helpers.h"
+
+#include <algorithm>
+
+using namespace converse;
+
+TEST(Pgrp, CreateAndQueryOnRoot) {
+  RunConverse(6, [&](int pe, int) {
+    if (pe != 2) {
+      CsdScheduler(-1);
+      return;
+    }
+    Pgrp g;
+    CmiPgrpCreate(&g);
+    EXPECT_EQ(g.root, 2);
+    EXPECT_TRUE(CmiPgrpReady(&g));
+    const int kids_of_root[] = {0, 4};
+    CmiAddChildren(&g, 2, 2, kids_of_root);
+    const int kids_of_0[] = {5};
+    CmiAddChildren(&g, 0, 1, kids_of_0);
+
+    EXPECT_EQ(CmiPgrpRoot(&g), 2);
+    EXPECT_EQ(CmiNumChildren(&g, 2), 2);
+    EXPECT_EQ(CmiNumChildren(&g, 0), 1);
+    EXPECT_EQ(CmiNumChildren(&g, 4), 0);
+    EXPECT_EQ(CmiParent(&g, 0), 2);
+    EXPECT_EQ(CmiParent(&g, 5), 0);
+    EXPECT_EQ(CmiParent(&g, 2), -1);
+    int kids[2] = {-1, -1};
+    CmiChildren(&g, 2, kids);
+    EXPECT_EQ(kids[0], 0);
+    EXPECT_EQ(kids[1], 4);
+    auto members = CmiPgrpMembers(&g);
+    std::sort(members.begin(), members.end());
+    EXPECT_EQ(members, (std::vector<int>{0, 2, 4, 5}));
+    CmiPgrpDestroy(&g);
+    EXPECT_EQ(g.id, -1);
+    ConverseBroadcastExit();
+  });
+}
+
+namespace {
+
+/// Build a group rooted at 0 with members {0..nmembers-1} as a root+chain
+/// of children under the root, distribute it, and barrier.
+Pgrp BuildFlatGroup(int nmembers) {
+  Pgrp g;
+  CmiPgrpCreate(&g);
+  std::vector<int> rest;
+  for (int i = 1; i < nmembers; ++i) rest.push_back(i);
+  if (!rest.empty()) {
+    CmiAddChildren(&g, 0, static_cast<int>(rest.size()), rest.data());
+  }
+  CmiPgrpDistribute(&g);
+  return g;
+}
+
+}  // namespace
+
+TEST(Pgrp, DistributeMakesDescriptorAvailable) {
+  constexpr int kNpes = 4;
+  std::atomic<int> ready{0};
+  RunConverse(kNpes, [&](int pe, int) {
+    static Pgrp shared_group;  // written by root before others read: the
+                               // barrier below orders accesses
+    if (pe == 0) {
+      shared_group = BuildFlatGroup(3);  // members 0,1,2 (not 3)
+    }
+    CmiBarrierBlocking();  // descriptor + gid visible everywhere after this
+    if (pe == 1 || pe == 2) {
+      // Descriptor may still be in flight; pump until it lands.
+      while (!CmiPgrpReady(&shared_group)) CsdScheduler(1);
+      EXPECT_EQ(CmiPgrpRoot(&shared_group), 0);
+      EXPECT_EQ(CmiParent(&shared_group, pe), 0);
+      ++ready;
+    }
+    CmiBarrierBlocking();
+  });
+  EXPECT_EQ(ready.load(), 2);
+}
+
+TEST(Pgrp, MulticastReachesMembersExcludingCaller) {
+  constexpr int kNpes = 5;
+  ctu::PerPeCounters hits(kNpes);
+  std::atomic<int> total{0};
+  RunConverse(kNpes, [&](int pe, int) {
+    int h = CmiRegisterHandler([&, pe](void*) {
+      hits.Add(pe);
+      ++total;
+    });
+    static Pgrp g;
+    if (pe == 0) {
+      g = BuildFlatGroup(4);  // members 0,1,2,3; PE4 outside
+    }
+    CmiBarrierBlocking();
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiAsyncMulticast(&g, CmiMsgTotalSize(m), m);
+      CmiFree(m);
+    }
+    // Members other than the caller wait for their own copy; everyone else
+    // proceeds (the closing barrier pumps the scheduler, so stragglers
+    // still drain any in-flight forwards).
+    if (pe == 1 || pe == 2 || pe == 3) {
+      while (hits.Get(pe) < 1) CsdScheduler(1);
+    }
+    CmiBarrierBlocking();
+  });
+  EXPECT_EQ(hits.Get(0), 0);  // caller excluded
+  EXPECT_EQ(hits.Get(1), 1);
+  EXPECT_EQ(hits.Get(2), 1);
+  EXPECT_EQ(hits.Get(3), 1);
+  EXPECT_EQ(hits.Get(4), 0);  // not a member
+}
+
+TEST(Pgrp, NonMemberCanMulticast) {
+  constexpr int kNpes = 4;
+  ctu::PerPeCounters hits(kNpes);
+  std::atomic<int> total{0};
+  RunConverse(kNpes, [&](int pe, int) {
+    int h = CmiRegisterHandler([&, pe](void*) {
+      hits.Add(pe);
+      ++total;
+    });
+    static Pgrp g;
+    if (pe == 0) {
+      g = BuildFlatGroup(3);  // members 0,1,2
+    }
+    CmiBarrierBlocking();
+    if (pe == 3) {  // PE3 is not in the group but may multicast to it
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiAsyncMulticast(&g, CmiMsgTotalSize(m), m);
+      CmiFree(m);
+    }
+    if (pe <= 2) {
+      while (hits.Get(pe) < 1) CsdScheduler(1);
+    }
+    CmiBarrierBlocking();
+  });
+  EXPECT_EQ(hits.Get(0), 1);
+  EXPECT_EQ(hits.Get(1), 1);
+  EXPECT_EQ(hits.Get(2), 1);
+  EXPECT_EQ(hits.Get(3), 0);
+}
+
+TEST(Pgrp, DeepTreeMulticastForwardsAlongTree) {
+  // Root 0 -> child 1 -> child 2 -> child 3 (a chain): the multicast must
+  // traverse interior nodes.
+  constexpr int kNpes = 4;
+  ctu::PerPeCounters hits(kNpes);
+  std::atomic<int> total{0};
+  RunConverse(kNpes, [&](int pe, int) {
+    int h = CmiRegisterHandler([&, pe](void*) {
+      hits.Add(pe);
+      ++total;
+    });
+    static Pgrp g;
+    if (pe == 0) {
+      CmiPgrpCreate(&g);
+      const int c1[] = {1};
+      const int c2[] = {2};
+      const int c3[] = {3};
+      CmiAddChildren(&g, 0, 1, c1);
+      CmiAddChildren(&g, 1, 1, c2);
+      CmiAddChildren(&g, 2, 1, c3);
+      CmiPgrpDistribute(&g);
+    }
+    CmiBarrierBlocking();
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiAsyncMulticast(&g, CmiMsgTotalSize(m), m);
+      CmiFree(m);
+    }
+    if (pe != 0) {
+      while (hits.Get(pe) < 1) CsdScheduler(1);
+    }
+    CmiBarrierBlocking();
+  });
+  for (int i = 1; i < kNpes; ++i) EXPECT_EQ(hits.Get(i), 1);
+}
+
+TEST(Pgrp, TwoGroupsHaveDistinctIds) {
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      Pgrp a, b;
+      CmiPgrpCreate(&a);
+      CmiPgrpCreate(&b);
+      EXPECT_NE(a.id, b.id);
+      CmiPgrpDestroy(&a);
+      CmiPgrpDestroy(&b);
+      ConverseBroadcastExit();
+    }
+    CsdScheduler(-1);
+  });
+}

@@ -1,0 +1,158 @@
+// Randomized property tests against reference models: the scheduler queue
+// under mixed bit-vector priorities, and the message manager against a
+// naive mailbox.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "converse/cmm.h"
+#include "converse/msg.h"
+#include "converse/queueing.h"
+#include "converse/util/rng.h"
+
+using namespace converse;
+
+namespace {
+
+void* Msg(int id) {
+  void* m = CmiAlloc(CmiMsgHeaderSizeBytes() + sizeof(int));
+  *static_cast<int*>(CmiMsgPayload(m)) = id;
+  return m;
+}
+
+int IdOf(void* m) { return *static_cast<int*>(CmiMsgPayload(m)); }
+
+}  // namespace
+
+class BitvecQueueProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitvecQueueProperty, MatchesReferenceLexicographicOrder) {
+  util::Xoshiro256 rng(GetParam());
+  CqsQueue q;
+  struct Ref {
+    std::vector<bool> bits;  // the priority as a bit string
+    int seq;
+    int id;
+  };
+  std::vector<Ref> ref;
+  for (int i = 0; i < 300; ++i) {
+    const int nbits = static_cast<int>(rng.Below(70));  // 0..69 bits
+    std::vector<bool> bits(static_cast<std::size_t>(nbits));
+    std::vector<std::uint32_t> words(
+        static_cast<std::size_t>((nbits + 31) / 32), 0);
+    for (int b = 0; b < nbits; ++b) {
+      const bool bit = rng.Below(2) == 1;
+      bits[static_cast<std::size_t>(b)] = bit;
+      if (bit) {
+        words[static_cast<std::size_t>(b / 32)] |=
+            0x80000000u >> (b % 32);
+      }
+    }
+    if (nbits == 0) {
+      // Zero-length bit-vector == default priority (int 0): enqueue as a
+      // plain FIFO entry so the reference ranks it as "int 0" too.
+      q.Enqueue(Msg(i));
+      ref.push_back(Ref{{false, false, false, false, false, false, false,
+                         false, false, false, false, false, false, false,
+                         false, false, false, false, false, false, false,
+                         false, false, false, false, false, false, false,
+                         false, false, true},  // placeholder, fixed below
+                        i, i});
+      // int 0 == bit string "1000...0" (sign-biased word 0x80000000).
+      auto& b = ref.back().bits;
+      b.assign(32, false);
+      b[0] = true;
+      continue;
+    }
+    q.EnqueueBitvecPrio(Msg(i), words.data(), nbits);
+    ref.push_back(Ref{std::move(bits), i, i});
+  }
+  // Reference order: lexicographic bit-string compare (prefix smaller),
+  // FIFO among equals.
+  std::stable_sort(ref.begin(), ref.end(), [](const Ref& a, const Ref& b) {
+    return std::lexicographical_compare(a.bits.begin(), a.bits.end(),
+                                        b.bits.begin(), b.bits.end());
+  });
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    void* m = q.Dequeue();
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(IdOf(m), ref[i].id) << "position " << i;
+    CmiFree(m);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitvecQueueProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+class CmmProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CmmProperty, MatchesNaiveMailbox) {
+  util::Xoshiro256 rng(GetParam());
+  MSG_MNGR* mm = CmmNew();
+  struct RefMsg {
+    int tag1, tag2;
+    std::vector<char> data;
+  };
+  std::deque<RefMsg> ref;
+
+  auto ref_find = [&](int t1, int t2) {
+    for (auto it = ref.begin(); it != ref.end(); ++it) {
+      if ((t1 == CmmWildCard || t1 == it->tag1) &&
+          (t2 == CmmWildCard || t2 == it->tag2)) {
+        return it;
+      }
+    }
+    return ref.end();
+  };
+
+  for (int op = 0; op < 2000; ++op) {
+    const auto kind = rng.Below(3);
+    const int t1 = static_cast<int>(rng.Below(6));
+    const int t2 = static_cast<int>(rng.Below(4));
+    if (kind == 0) {  // put
+      const std::size_t n = rng.Below(32);
+      std::vector<char> data(n);
+      for (auto& c : data) c = static_cast<char>(rng.Next());
+      CmmPut2(mm, data.data(), t1, t2, static_cast<int>(n));
+      ref.push_back(RefMsg{t1, t2, std::move(data)});
+    } else if (kind == 1) {  // probe with random wildcards
+      const int w1 = rng.Below(2) ? t1 : CmmWildCard;
+      const int w2 = rng.Below(2) ? t2 : CmmWildCard;
+      int r1 = -7, r2 = -7;
+      const int got = CmmProbe2(mm, w1, w2, &r1, &r2);
+      const auto it = ref_find(w1, w2);
+      if (it == ref.end()) {
+        EXPECT_EQ(got, -1);
+      } else {
+        EXPECT_EQ(got, static_cast<int>(it->data.size()));
+        EXPECT_EQ(r1, it->tag1);
+        EXPECT_EQ(r2, it->tag2);
+      }
+    } else {  // get with random wildcards
+      const int w1 = rng.Below(2) ? t1 : CmmWildCard;
+      const int w2 = rng.Below(2) ? t2 : CmmWildCard;
+      char buf[64];
+      int r1 = -7, r2 = -7;
+      const int got = CmmGet2(mm, buf, w1, w2, sizeof(buf), &r1, &r2);
+      const auto it = ref_find(w1, w2);
+      if (it == ref.end()) {
+        EXPECT_EQ(got, -1);
+      } else {
+        ASSERT_EQ(got, static_cast<int>(it->data.size()));
+        EXPECT_EQ(std::memcmp(buf, it->data.data(), it->data.size()), 0);
+        EXPECT_EQ(r1, it->tag1);
+        EXPECT_EQ(r2, it->tag2);
+        ref.erase(it);
+      }
+    }
+    ASSERT_EQ(CmmLength(mm), ref.size());
+  }
+  CmmFree(mm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CmmProperty,
+                         ::testing::Values(5u, 6u, 7u, 8u));

@@ -1,0 +1,224 @@
+// cpvm tests: PVM-style pack/send/recv/unpack in SPM and threaded modes
+// (paper §1, §5: PVM among the initial Converse clients).
+#include "test_helpers.h"
+
+#include <cstring>
+
+#include "converse/langs/cpvm.h"
+
+using namespace converse;
+using namespace converse::pvm;
+
+TEST(Pvm, TidsAndTaskCount) {
+  RunConverse(3, [&](int pe, int) {
+    EXPECT_EQ(pvm_mytid(), pe);
+    EXPECT_EQ(pvm_ntasks(), 3);
+  });
+}
+
+TEST(Pvm, PackSendRecvUnpackAllTypes) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      pvm_initsend();
+      const int ints[3] = {1, 2, 3};
+      pvm_pkint(ints, 3);
+      const double d = 6.5;
+      pvm_pkdouble(&d, 1);
+      const float f = 0.25f;
+      pvm_pkfloat(&f, 1);
+      const long l = 123456789L;
+      pvm_pklong(&l, 1);
+      pvm_pkstr("converse");
+      pvm_pkbyte("\x01\x02", 2);
+      pvm_send(1, 7);
+      return;
+    }
+    pvm_recv(0, 7);
+    int ints[3] = {};
+    pvm_upkint(ints, 3);
+    double d = 0;
+    pvm_upkdouble(&d, 1);
+    float f = 0;
+    pvm_upkfloat(&f, 1);
+    long l = 0;
+    pvm_upklong(&l, 1);
+    char s[16] = {};
+    pvm_upkstr(s);
+    char bytes[2] = {};
+    pvm_upkbyte(bytes, 2);
+    ok = ints[0] == 1 && ints[2] == 3 && d == 6.5 && f == 0.25f &&
+         l == 123456789L && std::strcmp(s, "converse") == 0 &&
+         bytes[1] == 2;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Pvm, StridedPackUnpack) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      int data[10];
+      for (int i = 0; i < 10; ++i) data[i] = i;
+      pvm_initsend();
+      pvm_pkint(data, 5, /*stride=*/2);  // 0 2 4 6 8
+      pvm_send(1, 1);
+      return;
+    }
+    pvm_recv(0, 1);
+    int out[9] = {};
+    pvm_upkint(out, 5, /*stride=*/2);  // lands at 0 2 4 6 8
+    ok = out[0] == 0 && out[2] == 2 && out[8] == 8 && out[1] == 0;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Pvm, TypeMismatchThrows) {
+  std::atomic<bool> threw{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      pvm_initsend();
+      const double d = 1.0;
+      pvm_pkdouble(&d, 1);
+      pvm_send(1, 2);
+      return;
+    }
+    pvm_recv(0, 2);
+    int wrong = 0;
+    try {
+      pvm_upkint(&wrong, 1);
+    } catch (const PvmError&) {
+      threw = true;
+    }
+  });
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(Pvm, CountMismatchThrows) {
+  std::atomic<bool> threw{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 0) {
+      pvm_initsend();
+      const int v[2] = {1, 2};
+      pvm_pkint(v, 2);
+      pvm_send(1, 2);
+      return;
+    }
+    pvm_recv(0, 2);
+    int out[3];
+    try {
+      pvm_upkint(out, 3);
+    } catch (const PvmError&) {
+      threw = true;
+    }
+  });
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(Pvm, RecvWildcardsAndBufinfo) {
+  std::atomic<bool> ok{false};
+  RunConverse(3, [&](int pe, int) {
+    if (pe == 2) {
+      pvm_initsend();
+      const int v = 5;
+      pvm_pkint(&v, 1);
+      pvm_send(0, 44);
+      return;
+    }
+    if (pe == 0) {
+      pvm_recv(PvmAnyTid, PvmAnyTag);
+      int bytes = 0, tag = 0, tid = 0;
+      pvm_bufinfo(1, &bytes, &tag, &tid);
+      int v = 0;
+      pvm_upkint(&v, 1);
+      ok = tag == 44 && tid == 2 && v == 5 && bytes > 0;
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Pvm, NrecvAndProbeNonBlocking) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 1) {
+      // Nothing buffered yet.
+      EXPECT_EQ(pvm_nrecv(0, 9), 0);
+      EXPECT_EQ(pvm_probe(0, 9), 0);
+      // Blocking recv of a later message buffers the tag-9 one.
+      pvm_recv(0, 10);
+      EXPECT_EQ(pvm_probe(0, 9), 1);
+      EXPECT_EQ(pvm_nrecv(0, 9), 1);
+      int v = 0;
+      pvm_upkint(&v, 1);
+      ok = v == 99;
+      return;
+    }
+    pvm_initsend();
+    const int v = 99;
+    pvm_pkint(&v, 1);
+    pvm_send(1, 9);
+    pvm_initsend();
+    pvm_send(1, 10);  // empty message
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Pvm, McastAndBcast) {
+  constexpr int kNpes = 4;
+  ctu::PerPeCounters got(kNpes);
+  RunConverse(kNpes, [&](int pe, int) {
+    if (pe == 0) {
+      pvm_initsend();
+      const int v = 3;
+      pvm_pkint(&v, 1);
+      pvm_bcast_all(6);
+    }
+    pvm_recv(0, 6);
+    int v = 0;
+    pvm_upkint(&v, 1);
+    got.Add(pe, v);
+  });
+  for (int i = 0; i < kNpes; ++i) EXPECT_EQ(got.Get(i), 3);
+}
+
+TEST(Pvm, ThreadedModeRecvSuspendsThread) {
+  // pvm_recv from inside a Cth thread must suspend only that thread —
+  // the multithreaded PVM mode the paper promises.
+  std::atomic<int> background{0};
+  std::atomic<int> thread_val{0};
+  RunConverse(2, [&](int pe, int) {
+    int bg = CmiRegisterHandler([&](void* msg) {
+      ++background;
+      CmiFree(msg);
+    });
+    if (pe == 0) {
+      CthAwaken(CthCreate([&] {
+        pvm_recv(1, 12);
+        int v = 0;
+        pvm_upkint(&v, 1);
+        thread_val = v;
+        ConverseBroadcastExit();
+      }));
+      for (int i = 0; i < 2; ++i) CsdEnqueue(CmiMakeMessage(bg, nullptr, 0));
+      CsdScheduler(-1);
+      CsdScheduleUntilIdle();  // drain bg work if the exit came early
+    } else {
+      volatile double x = 1;
+      for (int i = 0; i < 1000000; ++i) x = x * 1.0000001;
+      pvm_initsend();
+      const int v = 1212;
+      pvm_pkint(&v, 1);
+      pvm_send(0, 12);
+      CsdScheduler(-1);
+    }
+  });
+  EXPECT_EQ(thread_val.load(), 1212);
+  EXPECT_EQ(background.load(), 2);
+}
+
+TEST(Pvm, UnpackWithoutRecvThrows) {
+  RunConverse(1, [&](int, int) {
+    int v;
+    EXPECT_THROW(pvm_upkint(&v, 1), PvmError);
+  });
+}

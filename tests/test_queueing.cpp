@@ -1,0 +1,210 @@
+// Unit tests for the scheduler's pluggable queueing module (CqsQueue):
+// FIFO/LIFO, signed integer priorities, lexicographic bit-vector
+// priorities, and the interaction rules between the unprioritized deque
+// and the priority heap (paper §2.3, §3.1.2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "converse/msg.h"
+#include "converse/queueing.h"
+#include "converse/util/rng.h"
+
+using converse::CmiAlloc;
+using converse::CmiFree;
+using converse::CqsPrio;
+using converse::CqsQueue;
+using converse::Queueing;
+
+namespace {
+
+/// Make a minimal message whose payload records `id`.
+void* Msg(int id) {
+  void* m = CmiAlloc(converse::CmiMsgHeaderSizeBytes() + sizeof(int));
+  *static_cast<int*>(converse::CmiMsgPayload(m)) = id;
+  return m;
+}
+
+int IdOf(void* m) { return *static_cast<int*>(converse::CmiMsgPayload(m)); }
+
+/// Drain the queue into a vector of ids, freeing messages.
+std::vector<int> Drain(CqsQueue& q) {
+  std::vector<int> out;
+  for (void* m = q.Dequeue(); m != nullptr; m = q.Dequeue()) {
+    out.push_back(IdOf(m));
+    CmiFree(m);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Cqs, EmptyDequeueReturnsNull) {
+  CqsQueue q;
+  EXPECT_EQ(q.Dequeue(), nullptr);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Length(), 0u);
+}
+
+TEST(Cqs, FifoOrder) {
+  CqsQueue q;
+  for (int i = 0; i < 10; ++i) q.Enqueue(Msg(i));
+  EXPECT_EQ(q.Length(), 10u);
+  EXPECT_EQ(Drain(q), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Cqs, LifoOrder) {
+  CqsQueue q;
+  for (int i = 0; i < 5; ++i) q.EnqueueLifo(Msg(i));
+  EXPECT_EQ(Drain(q), (std::vector<int>{4, 3, 2, 1, 0}));
+}
+
+TEST(Cqs, IntPrioSmallerDequeuesFirst) {
+  CqsQueue q;
+  q.EnqueueIntPrio(Msg(1), 10);
+  q.EnqueueIntPrio(Msg(2), -5);
+  q.EnqueueIntPrio(Msg(3), 3);
+  q.EnqueueIntPrio(Msg(4), -100);
+  EXPECT_EQ(Drain(q), (std::vector<int>{4, 2, 3, 1}));
+}
+
+TEST(Cqs, IntPrioFifoAmongEqual) {
+  CqsQueue q;
+  for (int i = 0; i < 5; ++i) q.EnqueueIntPrio(Msg(i), 7);
+  EXPECT_EQ(Drain(q), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Cqs, IntPrioLifoAmongEqual) {
+  CqsQueue q;
+  for (int i = 0; i < 5; ++i) q.EnqueueIntPrio(Msg(i), 7, /*lifo=*/true);
+  EXPECT_EQ(Drain(q), (std::vector<int>{4, 3, 2, 1, 0}));
+}
+
+TEST(Cqs, NegativePrioBeatsUnprioritizedBeatsPositive) {
+  CqsQueue q;
+  q.Enqueue(Msg(0));              // default (int 0) class, deque
+  q.EnqueueIntPrio(Msg(1), 5);    // positive: after deque
+  q.EnqueueIntPrio(Msg(2), -1);   // negative: before deque
+  q.Enqueue(Msg(3));
+  EXPECT_EQ(Drain(q), (std::vector<int>{2, 0, 3, 1}));
+}
+
+TEST(Cqs, ExplicitZeroPrioRanksWithDequeButAfterIt) {
+  CqsQueue q;
+  q.EnqueueIntPrio(Msg(0), 0);  // heap entry at the default priority
+  q.Enqueue(Msg(1));            // deque entry
+  // Ties at the default priority favor the deque (the zeroq of the
+  // original CqsQueue).
+  EXPECT_EQ(Drain(q), (std::vector<int>{1, 0}));
+}
+
+TEST(Cqs, BitvecLexicographicOrder) {
+  CqsQueue q;
+  // Bit strings (MSB first): 0b00..., 0b01..., 0b10...
+  const std::uint32_t a[] = {0x00000000u};
+  const std::uint32_t b[] = {0x40000000u};
+  const std::uint32_t c[] = {0x80000000u};
+  q.EnqueueBitvecPrio(Msg(2), c, 2);
+  q.EnqueueBitvecPrio(Msg(0), a, 2);
+  q.EnqueueBitvecPrio(Msg(1), b, 2);
+  EXPECT_EQ(Drain(q), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Cqs, BitvecPrefixComparesSmaller) {
+  CqsQueue q;
+  // "10" is a strict prefix of "100..0": prefix dequeues first.
+  const std::uint32_t p2[] = {0x80000000u};
+  const std::uint32_t p34[] = {0x80000000u, 0x00000000u};
+  q.EnqueueBitvecPrio(Msg(1), p34, 34);
+  q.EnqueueBitvecPrio(Msg(0), p2, 2);
+  EXPECT_EQ(Drain(q), (std::vector<int>{0, 1}));
+}
+
+TEST(Cqs, BitvecUnusedLowBitsIgnored) {
+  // Garbage in the unused bits of the last word must not affect order.
+  const std::uint32_t noisy[] = {0x8000ffffu};
+  const std::uint32_t clean[] = {0x80000000u};
+  const CqsPrio a = CqsPrio::FromBitvec(noisy, 16);
+  const CqsPrio b = CqsPrio::FromBitvec(clean, 16);
+  EXPECT_EQ(a.Compare(b), 0);
+}
+
+TEST(Cqs, MultiWordBitvecCompare) {
+  const std::uint32_t lo[] = {0x12345678u, 0x00000001u};
+  const std::uint32_t hi[] = {0x12345678u, 0x00000002u};
+  const CqsPrio a = CqsPrio::FromBitvec(lo, 64);
+  const CqsPrio b = CqsPrio::FromBitvec(hi, 64);
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_GT(b.Compare(a), 0);
+}
+
+TEST(Cqs, IntPrioMapsOntoBitvecOrdering) {
+  // Int priorities and single-word bitvecs live in one ordered domain.
+  const CqsPrio neg = CqsPrio::FromInt(-1);
+  const CqsPrio zero = CqsPrio::FromInt(0);
+  const CqsPrio pos = CqsPrio::FromInt(1);
+  EXPECT_LT(neg.Compare(zero), 0);
+  EXPECT_LT(zero.Compare(pos), 0);
+  EXPECT_EQ(zero.Compare(CqsPrio{}), 0);  // default == int 0
+}
+
+TEST(Cqs, MixedStrategiesTotalOrder) {
+  CqsQueue q;
+  q.EnqueueIntPrio(Msg(10), 1);
+  q.Enqueue(Msg(20));
+  q.EnqueueIntPrio(Msg(30), -1);
+  q.EnqueueLifo(Msg(40));
+  q.EnqueueIntPrio(Msg(50), -1);
+  // Order: -1 entries FIFO (30, 50); deque: lifo-front 40 then 20; then +1.
+  EXPECT_EQ(Drain(q), (std::vector<int>{30, 50, 40, 20, 10}));
+}
+
+TEST(Cqs, LengthTracksBothStructures) {
+  CqsQueue q;
+  q.Enqueue(Msg(1));
+  q.EnqueueIntPrio(Msg(2), 3);
+  EXPECT_EQ(q.Length(), 2u);
+  CmiFree(q.Dequeue());
+  EXPECT_EQ(q.Length(), 1u);
+  CmiFree(q.Dequeue());
+  EXPECT_TRUE(q.Empty());
+}
+
+// Property test: the queue's output order must match a reference sort by
+// (priority, sequence) for randomized int-priority workloads.
+class CqsRandomized : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CqsRandomized, MatchesReferenceOrder) {
+  converse::util::Xoshiro256 rng(GetParam());
+  CqsQueue q;
+  struct Ref {
+    int prio;
+    int seq;
+    int id;
+  };
+  std::vector<Ref> ref;
+  for (int i = 0; i < 500; ++i) {
+    const int prio = static_cast<int>(rng.Below(21)) - 10;
+    q.EnqueueIntPrio(Msg(i), prio);
+    ref.push_back(Ref{prio, i, i});
+  }
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const Ref& a, const Ref& b) { return a.prio < b.prio; });
+  const auto got = Drain(q);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(got[i], ref[i].id) << "position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqsRandomized,
+                         ::testing::Values(1u, 2u, 3u, 17u, 1234u));
+
+TEST(Cqs, TotalEnqueuedCounts) {
+  CqsQueue q;
+  for (int i = 0; i < 7; ++i) q.Enqueue(Msg(i));
+  EXPECT_EQ(q.TotalEnqueued(), 7u);
+  Drain(q);
+  EXPECT_EQ(q.TotalEnqueued(), 7u);  // monotone, not decremented
+}

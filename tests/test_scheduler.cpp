@@ -1,0 +1,277 @@
+// Integration tests for the unified scheduler (paper §3.1.2): loop
+// variants, exit, enqueue strategies, the second-handler idiom, and
+// SPM/implicit-regime interleaving.
+#include "test_helpers.h"
+
+#include <cstring>
+#include <vector>
+
+using namespace converse;
+
+namespace {
+
+/// Enqueue a locally-owned message that appends `id` to `order` when run.
+int MakeRecorder(std::vector<int>* order) {
+  return CmiRegisterHandler([order](void* msg) {
+    order->push_back(*static_cast<int*>(CmiMsgPayload(msg)));
+    CmiFree(msg);  // scheduler-queue deliveries are handler-owned
+  });
+}
+
+void* IdMsg(int handler, int id) {
+  return CmiMakeMessage(handler, &id, sizeof(id));
+}
+
+}  // namespace
+
+TEST(Scheduler, EnqueueFifoRunsInOrder) {
+  std::vector<int> order;
+  RunConverse(1, [&](int, int) {
+    int h = MakeRecorder(&order);
+    for (int i = 0; i < 5; ++i) CsdEnqueue(IdMsg(h, i));
+    EXPECT_EQ(CsdLength(), 5u);
+    CsdScheduler(5);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, EnqueueLifoRunsInReverse) {
+  std::vector<int> order;
+  RunConverse(1, [&](int, int) {
+    int h = MakeRecorder(&order);
+    for (int i = 0; i < 4; ++i) CsdEnqueueLifo(IdMsg(h, i));
+    CsdScheduler(4);
+  });
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Scheduler, IntPriorityOrdering) {
+  std::vector<int> order;
+  RunConverse(1, [&](int, int) {
+    int h = MakeRecorder(&order);
+    CsdEnqueueIntPrio(IdMsg(h, 30), 30);
+    CsdEnqueueIntPrio(IdMsg(h, 10), 10);
+    CsdEnqueue(IdMsg(h, 0));  // unprioritized == priority 0
+    CsdEnqueueIntPrio(IdMsg(h, -5), -5);
+    CsdScheduler(4);
+  });
+  EXPECT_EQ(order, (std::vector<int>{-5, 0, 10, 30}));
+}
+
+TEST(Scheduler, BitvecPriorityOrdering) {
+  std::vector<int> order;
+  RunConverse(1, [&](int, int) {
+    int h = MakeRecorder(&order);
+    const std::uint32_t hi[] = {0x00000000u};  // highest (lexicographically least)
+    const std::uint32_t lo[] = {0x40000000u};
+    CsdEnqueueBitvecPrio(IdMsg(h, 2), lo, 4);
+    CsdEnqueueBitvecPrio(IdMsg(h, 1), hi, 4);
+    CsdScheduler(2);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, SchedulerCountsBothNetworkAndQueueMessages) {
+  std::atomic<int> handled{0};
+  RunConverse(2, [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      ++handled;
+      // Network deliveries are system-owned: no free here.
+      (void)msg;
+    });
+    int hq = CmiRegisterHandler([&](void* msg) {
+      ++handled;
+      CmiFree(msg);
+    });
+    if (pe == 0) {
+      // 2 network messages to PE1 + PE1 enqueues 2 local ones.
+      for (int i = 0; i < 2; ++i) {
+        void* m = CmiMakeMessage(h, nullptr, 0);
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      }
+    } else {
+      for (int i = 0; i < 2; ++i) CsdEnqueue(CmiMakeMessage(hq, nullptr, 0));
+      CsdScheduler(4);  // exactly four deliveries
+      EXPECT_TRUE(CsdLength() == 0u);
+    }
+  });
+  EXPECT_EQ(handled.load(), 4);
+}
+
+TEST(Scheduler, ExitSchedulerStopsMinusOneLoop) {
+  std::atomic<int> ran{0};
+  RunConverse(1, [&](int, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      if (++ran == 3) CsdExitScheduler();
+      CmiFree(msg);
+    });
+    for (int i = 0; i < 3; ++i) CsdEnqueue(CmiMakeMessage(h, nullptr, 0));
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(Scheduler, ExitLeavesRemainingMessagesQueued) {
+  std::atomic<int> ran{0};
+  RunConverse(1, [&](int, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      ++ran;
+      CsdExitScheduler();
+      CmiFree(msg);
+    });
+    for (int i = 0; i < 5; ++i) CsdEnqueue(CmiMakeMessage(h, nullptr, 0));
+    CsdScheduler(-1);
+    EXPECT_EQ(CsdLength(), 4u);  // one consumed, four remain
+    CsdScheduler(-1);
+    EXPECT_EQ(CsdLength(), 3u);  // exit flag was consumed, not sticky
+  });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(Scheduler, ScheduleUntilIdleDrainsEverything) {
+  std::atomic<int> ran{0};
+  RunConverse(1, [&](int, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      // Cascade: first three messages enqueue a follow-up each.
+      if (ran.fetch_add(1) < 3) {
+        CsdEnqueue(CmiMakeMessage(CmiGetHandler(msg), nullptr, 0));
+      }
+      CmiFree(msg);
+    });
+    CsdEnqueue(CmiMakeMessage(h, nullptr, 0));
+    const int n = CsdScheduleUntilIdle();
+    EXPECT_EQ(n, 4);
+    EXPECT_TRUE(CsdIsIdle());
+  });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(Scheduler, PollDoesNotBlockOnEmpty) {
+  RunConverse(1, [&](int, int) {
+    EXPECT_EQ(CsdSchedulePoll(), 0);  // must return immediately
+  });
+}
+
+TEST(Scheduler, SchedulerNDeliversExactlyN) {
+  std::atomic<int> ran{0};
+  RunConverse(1, [&](int, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      ++ran;
+      CmiFree(msg);
+    });
+    for (int i = 0; i < 10; ++i) CsdEnqueue(CmiMakeMessage(h, nullptr, 0));
+    CsdScheduler(3);
+    EXPECT_EQ(ran.load(), 3);
+    CsdScheduler(2);
+    EXPECT_EQ(ran.load(), 5);
+    EXPECT_EQ(CsdLength(), 5u);
+  });
+}
+
+TEST(Scheduler, SecondHandlerIdiomRequeuesWithPriority) {
+  // The paper §3.3: a network handler enqueues the message for later,
+  // switching its handler to a "second handler" that knows the message
+  // came from the queue.  Verify both handlers run and ownership is clean.
+  std::vector<int> order;
+  RunConverse(2, [&](int pe, int) {
+    int second = CmiRegisterHandler([&](void* msg) {
+      order.push_back(2);
+      CmiFree(msg);  // queue delivery: we own it
+      ConverseBroadcastExit();
+    });
+    int first = CmiRegisterHandler([&, second](void* msg) {
+      order.push_back(1);
+      CmiGrabBuffer(&msg);  // keep the system buffer
+      CmiSetHandler(msg, second);
+      CsdEnqueueIntPrio(msg, -1);
+    });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(first, nullptr, 0);
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+    }
+    CsdScheduler(-1);
+    if (pe == 1) {
+      EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    }
+  });
+}
+
+TEST(Scheduler, SpmModuleCanDonateCyclesWithScheduleN) {
+  // Explicit-regime module on PE0 interleaves: it waits for data while
+  // donating cycles to message-driven work (paper §3.1.2 "useful for SPM
+  // modules to allow a certain amount of concurrent execution").
+  std::atomic<int> background{0};
+  std::atomic<bool> got_data{false};
+  RunConverse(2, [&](int pe, int) {
+    int bg = CmiRegisterHandler([&](void* msg) {
+      ++background;
+      CmiFree(msg);
+    });
+    int data = CmiRegisterHandler([&](void*) { got_data = true; });
+    if (pe == 1) {
+      void* m = CmiMakeMessage(data, nullptr, 0);
+      CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+      return;
+    }
+    // SPM phase: local background work queued.
+    for (int i = 0; i < 4; ++i) CsdEnqueue(CmiMakeMessage(bg, nullptr, 0));
+    while (!got_data.load()) {
+      CsdScheduler(1);  // donate one delivery at a time while waiting
+    }
+    EXPECT_GE(background.load(), 0);
+    CsdScheduleUntilIdle();
+  });
+  EXPECT_TRUE(got_data.load());
+  EXPECT_EQ(background.load(), 4);
+}
+
+TEST(Scheduler, NestedSchedulerFromHandler) {
+  // A handler may run the scheduler reentrantly (the SPM-in-handler
+  // pattern).  Inner exit must not kill the outer loop.
+  std::vector<int> order;
+  RunConverse(1, [&](int, int) {
+    int inner = CmiRegisterHandler([&](void* msg) {
+      order.push_back(2);
+      CmiFree(msg);
+      CsdExitScheduler();  // stops the *inner* loop
+    });
+    int outer = CmiRegisterHandler([&, inner](void* msg) {
+      order.push_back(1);
+      CsdEnqueue(CmiMakeMessage(inner, nullptr, 0));
+      CsdScheduler(-1);  // run inner message now
+      order.push_back(3);
+      CmiFree(msg);
+    });
+    int fin = CmiRegisterHandler([&](void* msg) {
+      order.push_back(4);
+      CmiFree(msg);
+    });
+    CsdEnqueue(CmiMakeMessage(outer, nullptr, 0));
+    CsdScheduler(1);  // runs `outer`, which nests a full inner loop
+    CsdEnqueue(CmiMakeMessage(fin, nullptr, 0));
+    CsdScheduler(1);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Scheduler, IdleBlockWakesOnMessage) {
+  // PE0 blocks idle in CsdScheduler(-1); PE1 sends after doing some work.
+  // The condvar wake must deliver it (no spinning, no deadlock).
+  std::atomic<bool> woke{false};
+  RunConverse(2, [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void*) {
+      woke = true;
+      CsdExitScheduler();
+    });
+    if (pe == 1) {
+      volatile double x = 1;  // ensure PE0 reaches the idle block first
+      for (int i = 0; i < 2000000; ++i) x = x * 1.0000001;
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+      return;
+    }
+    CsdScheduler(-1);
+    EXPECT_GE(CmiGetStats().idle_blocks, 1u);
+  });
+  EXPECT_TRUE(woke.load());
+}

@@ -1,0 +1,205 @@
+// SM language tests: tagged SPMD messaging in both control regimes
+// (paper §2.2, §5: the "SM (a simple messaging layer)" client).
+#include "test_helpers.h"
+
+#include <cstring>
+
+#include "converse/langs/sm.h"
+#include <numeric>
+
+using namespace converse;
+using namespace converse::sm;
+
+TEST(Sm, PingPongSpm) {
+  std::atomic<long> final{0};
+  RunConverse(2, [&](int pe, int) {
+    long v = 0;
+    if (pe == 0) {
+      v = 1;
+      SmSend(1, 1, &v, sizeof(v));
+      SmRecv(&v, sizeof(v), 2);
+      final = v;
+    } else {
+      SmRecv(&v, sizeof(v), 1);
+      v *= 10;
+      SmSend(0, 2, &v, sizeof(v));
+    }
+  });
+  EXPECT_EQ(final.load(), 10);
+}
+
+TEST(Sm, RecvByTagOutOfOrder) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 1) {
+      int a = 1, b = 2, c = 3;
+      SmSend(0, 10, &a, sizeof(a));
+      SmSend(0, 20, &b, sizeof(b));
+      SmSend(0, 30, &c, sizeof(c));
+      return;
+    }
+    int v = 0;
+    SmRecv(&v, sizeof(v), 30);
+    const bool got30 = v == 3;
+    SmRecv(&v, sizeof(v), 10);
+    const bool got10 = v == 1;
+    SmRecv(&v, sizeof(v), 20);
+    ok = got30 && got10 && v == 2;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Sm, WildcardRecvReportsTagAndSource) {
+  std::atomic<bool> ok{false};
+  RunConverse(3, [&](int pe, int) {
+    if (pe == 2) {
+      const double x = 2.75;
+      SmSend(0, 42, &x, sizeof(x));
+      return;
+    }
+    if (pe == 0) {
+      double x = 0;
+      int tag = 0, src = 0;
+      SmRecv(&x, sizeof(x), kAnyTag, kAnySource, &tag, &src);
+      ok = x == 2.75 && tag == 42 && src == 2;
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Sm, RecvBySourceFiltersSenders) {
+  std::atomic<bool> ok{false};
+  RunConverse(3, [&](int pe, int) {
+    if (pe != 0) {
+      const int v = pe * 100;
+      SmSend(0, 5, &v, sizeof(v));
+      return;
+    }
+    int v = 0;
+    SmRecv(&v, sizeof(v), 5, /*source=*/2);
+    const bool first = v == 200;
+    SmRecv(&v, sizeof(v), 5, /*source=*/1);
+    ok = first && v == 100;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Sm, TruncatedRecvReturnsFullLength) {
+  std::atomic<int> fulllen{0};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 1) {
+      char big[100];
+      std::memset(big, 'x', sizeof(big));
+      SmSend(0, 1, big, sizeof(big));
+      return;
+    }
+    char small[10];
+    fulllen = SmRecv(small, sizeof(small), 1);
+    EXPECT_EQ(small[9], 'x');
+  });
+  EXPECT_EQ(fulllen.load(), 100);
+}
+
+TEST(Sm, ProbeSeesBufferedOnly) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 1) {
+      const int v = 5;
+      SmSend(0, 9, &v, sizeof(v));
+      const int w = 6;
+      SmSend(0, 8, &w, sizeof(w));
+      return;
+    }
+    // Nothing buffered until a receive pulls from the machine layer.
+    EXPECT_EQ(SmProbe(9), -1);
+    int v = 0;
+    SmRecv(&v, sizeof(v), 8);  // buffers the tag-9 message on the way
+    EXPECT_EQ(SmProbe(9), static_cast<int>(sizeof(int)));
+    EXPECT_EQ(SmPending(), 1u);
+    SmRecv(&v, sizeof(v), 9);
+    ok = v == 5 && SmPending() == 0;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Sm, BroadcastAllReachesEveryPe) {
+  constexpr int kNpes = 4;
+  ctu::PerPeCounters got(kNpes);
+  RunConverse(kNpes, [&](int pe, int) {
+    if (pe == 0) {
+      const int v = 31;
+      SmBroadcastAll(3, &v, sizeof(v));
+    }
+    int v = 0;
+    SmRecv(&v, sizeof(v), 3);
+    got.Add(pe, v);
+  });
+  for (int i = 0; i < kNpes; ++i) EXPECT_EQ(got.Get(i), 31);
+}
+
+TEST(Sm, ThreadedRecvSuspendsOnlyTheThread) {
+  // A thread blocks in SmRecv; the PE keeps serving other handlers
+  // (implicit control regime) until the message arrives.
+  std::atomic<int> other_work{0};
+  std::atomic<long> thread_got{0};
+  RunConverse(2, [&](int pe, int) {
+    int bg = CmiRegisterHandler([&](void* msg) {
+      ++other_work;
+      CmiFree(msg);
+    });
+    if (pe == 0) {
+      CthAwaken(CthCreate([&] {
+        long v = 0;
+        SmRecv(&v, sizeof(v), 77);  // suspends this thread
+        thread_got = v;
+        ConverseBroadcastExit();
+      }));
+      // Local background work that must run while the thread waits.
+      for (int i = 0; i < 3; ++i) CsdEnqueue(CmiMakeMessage(bg, nullptr, 0));
+      CsdScheduler(-1);
+      CsdScheduleUntilIdle();  // drain bg work if the exit came early
+      EXPECT_EQ(other_work.load(), 3);
+    } else {
+      // Give PE0 time to run its background work first.
+      volatile double x = 1;
+      for (int i = 0; i < 2000000; ++i) x = x * 1.0000001;
+      long v = 4242;
+      SmSend(0, 77, &v, sizeof(v));
+      CsdScheduler(-1);
+    }
+  });
+  EXPECT_EQ(thread_got.load(), 4242);
+  EXPECT_EQ(other_work.load(), 3);
+}
+
+TEST(Sm, ManyToOneGather) {
+  constexpr int kNpes = 5;
+  std::atomic<long> total{0};
+  RunConverse(kNpes, [&](int pe, int npes) {
+    if (pe != 0) {
+      const long v = pe;
+      SmSend(0, 1, &v, sizeof(v));
+      return;
+    }
+    long acc = 0;
+    for (int i = 1; i < npes; ++i) {
+      long v = 0;
+      SmRecv(&v, sizeof(v), 1);
+      acc += v;
+    }
+    total = acc;
+  });
+  EXPECT_EQ(total.load(), 1 + 2 + 3 + 4);
+}
+
+TEST(Sm, ZeroLengthMessages) {
+  std::atomic<bool> ok{false};
+  RunConverse(2, [&](int pe, int) {
+    if (pe == 1) {
+      SmSend(0, 1, nullptr, 0);
+      return;
+    }
+    ok = SmRecv(nullptr, 0, 1) == 0;
+  });
+  EXPECT_TRUE(ok.load());
+}

@@ -1,0 +1,240 @@
+// Synchronization tests (paper §3.2.3, appendix §6): cooperative locks,
+// condition variables, barriers over thread objects.
+#include "test_helpers.h"
+
+#include <vector>
+
+using namespace converse;
+
+namespace {
+
+/// Run body on a single-PE machine.
+void Run1(const std::function<void()>& body) {
+  RunConverse(1, [&](int, int) { body(); });
+}
+
+}  // namespace
+
+// ---- Locks ---------------------------------------------------------------------
+
+TEST(CtsLocks, TryLockAndOwnership) {
+  Run1([] {
+    LOCK* l = CtsNewLock();
+    EXPECT_EQ(CtsLockOwner(l), nullptr);
+    EXPECT_EQ(CtsTryLock(l), 1);
+    EXPECT_EQ(CtsLockOwner(l), CthSelf());
+    EXPECT_EQ(CtsTryLock(l), 0);  // already held
+    EXPECT_EQ(CtsUnLock(l), 0);
+    EXPECT_EQ(CtsLockOwner(l), nullptr);
+    CtsFreeLock(l);
+  });
+}
+
+TEST(CtsLocks, UnlockByNonOwnerFails) {
+  Run1([] {
+    LOCK* l = CtsNewLock();
+    CthThread* t = CthCreate([l] { EXPECT_EQ(CtsLock(l), 0); });
+    CthResume(t);  // t takes the lock, exits while holding it
+    EXPECT_EQ(CtsUnLock(l), -1);  // main does not own it
+  });
+}
+
+TEST(CtsLocks, MutualExclusionWithYields) {
+  // N threads increment a shared counter inside a critical section that
+  // yields mid-update; the lock must serialize them.
+  Run1([] {
+    LOCK* l = CtsNewLock();
+    int counter = 0;
+    bool interleaving_error = false;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 10;
+    for (int i = 0; i < kThreads; ++i) {
+      CthAwaken(CthCreate([&, l] {
+        for (int j = 0; j < kIters; ++j) {
+          CtsLock(l);
+          const int seen = counter;
+          CthYield();  // other threads run here; lock must hold them off
+          if (counter != seen) interleaving_error = true;
+          counter = seen + 1;
+          CtsUnLock(l);
+          CthYield();
+        }
+      }));
+    }
+    CsdScheduleUntilIdle();
+    EXPECT_FALSE(interleaving_error);
+    EXPECT_EQ(counter, kThreads * kIters);
+    CtsFreeLock(l);
+  });
+}
+
+TEST(CtsLocks, HandoffIsFifo) {
+  Run1([] {
+    LOCK* l = CtsNewLock();
+    std::vector<int> order;
+    CtsLock(l);  // main holds; threads queue
+    for (int i = 0; i < 3; ++i) {
+      CthAwaken(CthCreate([&, l, i] {
+        CtsLock(l);
+        order.push_back(i);
+        CtsUnLock(l);
+      }));
+    }
+    CsdScheduleUntilIdle();   // threads block on the lock
+    EXPECT_EQ(CtsLockWaiters(l), 3u);
+    CtsUnLock(l);             // ownership passes to the first waiter
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    CtsFreeLock(l);
+  });
+}
+
+// ---- Condition variables ----------------------------------------------------------
+
+TEST(CtsCondn, SignalWakesOneInFifoOrder) {
+  Run1([] {
+    CONDN* c = CtsNewCondn();
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i) {
+      CthAwaken(CthCreate([&, c, i] {
+        CtsCondnWait(c);
+        order.push_back(i);
+      }));
+    }
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(CtsCondnWaiters(c), 3u);
+    EXPECT_EQ(CtsCondnSignal(c), 1);
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(order, (std::vector<int>{0}));
+    EXPECT_EQ(CtsCondnBroadcast(c), 2);
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(CtsCondnSignal(c), 0);  // nobody left
+    CtsFreeCondn(c);
+  });
+}
+
+TEST(CtsCondn, InitAwakensCurrentWaiters) {
+  // Per the appendix: (re)initialization wakes everything waiting.
+  Run1([] {
+    CONDN* c = CtsNewCondn();
+    int woken = 0;
+    for (int i = 0; i < 2; ++i) {
+      CthAwaken(CthCreate([&, c] {
+        CtsCondnWait(c);
+        ++woken;
+      }));
+    }
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(CtsCondnInit(c), 2);
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(woken, 2);
+    CtsFreeCondn(c);
+  });
+}
+
+TEST(CtsCondn, ProducerConsumerPattern) {
+  Run1([] {
+    CONDN* c = CtsNewCondn();
+    std::vector<int> items;
+    std::vector<int> consumed;
+    CthAwaken(CthCreate([&, c] {  // consumer
+      for (int n = 0; n < 3; ++n) {
+        while (items.empty()) CtsCondnWait(c);
+        consumed.push_back(items.back());
+        items.pop_back();
+      }
+    }));
+    CthAwaken(CthCreate([&, c] {  // producer
+      for (int i = 1; i <= 3; ++i) {
+        items.push_back(i * 11);
+        CtsCondnSignal(c);
+        CthYield();
+      }
+    }));
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(consumed, (std::vector<int>{11, 22, 33}));
+    CtsFreeCondn(c);
+  });
+}
+
+// ---- Barriers ------------------------------------------------------------------------
+
+TEST(CtsBarrier, KthArrivalReleasesEveryone) {
+  Run1([] {
+    BARRIER* b = CtsNewBarrier();
+    CtsBarrierReinit(b, 4);
+    int before = 0, after = 0;
+    for (int i = 0; i < 4; ++i) {
+      CthAwaken(CthCreate([&, b] {
+        ++before;
+        CtsAtBarrier(b);
+        ++after;
+      }));
+    }
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(before, 4);
+    EXPECT_EQ(after, 4);
+    CtsFreeBarrier(b);
+  });
+}
+
+TEST(CtsBarrier, NoneProceedUntilLastArrives) {
+  Run1([] {
+    BARRIER* b = CtsNewBarrier();
+    CtsBarrierReinit(b, 3);
+    int past = 0;
+    for (int i = 0; i < 2; ++i) {
+      CthAwaken(CthCreate([&, b] {
+        CtsAtBarrier(b);
+        ++past;
+      }));
+    }
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(past, 0);  // 2 of 3 arrived: everyone still blocked
+    CthAwaken(CthCreate([&, b] {
+      CtsAtBarrier(b);
+      ++past;
+    }));
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(past, 3);
+    CtsFreeBarrier(b);
+  });
+}
+
+TEST(CtsBarrier, ReusableAfterRelease) {
+  Run1([] {
+    BARRIER* b = CtsNewBarrier();
+    CtsBarrierReinit(b, 2);
+    int rounds_done = 0;
+    for (int i = 0; i < 2; ++i) {
+      CthAwaken(CthCreate([&, b] {
+        for (int r = 0; r < 3; ++r) {
+          CtsAtBarrier(b);
+        }
+        ++rounds_done;
+      }));
+    }
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(rounds_done, 2);
+    CtsFreeBarrier(b);
+  });
+}
+
+TEST(CtsBarrier, ReinitReleasesWaiters) {
+  Run1([] {
+    BARRIER* b = CtsNewBarrier();
+    CtsBarrierReinit(b, 5);
+    int released = 0;
+    CthAwaken(CthCreate([&, b] {
+      CtsAtBarrier(b);  // will be freed by reinit
+      ++released;
+    }));
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(released, 0);
+    CtsBarrierReinit(b, 1);
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(released, 1);
+    CtsFreeBarrier(b);
+  });
+}

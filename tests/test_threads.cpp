@@ -1,0 +1,288 @@
+// Thread-object tests (paper §3.2.2, appendix §5), parameterized over both
+// fiber backends (hand-written x86-64 switch and ucontext).
+#include "test_helpers.h"
+
+#include <vector>
+
+using namespace converse;
+
+class CthTest : public ::testing::TestWithParam<CthBackend> {
+ protected:
+  void SetUp() override {
+    if (!CthBackendAvailable(GetParam())) {
+      GTEST_SKIP() << "backend unavailable in this build";
+    }
+  }
+
+  /// Run a single-PE machine with the parameterized backend selected.
+  void RunWithBackend(const std::function<void()>& body) {
+    RunConverse(1, [&](int, int) {
+      CthInit(GetParam());
+      body();
+    });
+  }
+};
+
+TEST_P(CthTest, CreateAwakenRunsThroughScheduler) {
+  bool ran = false;
+  RunWithBackend([&] {
+    CthThread* t = CthCreate([&] { ran = true; });
+    CthAwaken(t);
+    EXPECT_FALSE(ran);  // only scheduled, not run
+    CsdScheduler(1);
+    EXPECT_TRUE(ran);
+  });
+}
+
+TEST_P(CthTest, ResumeSwitchesImmediately) {
+  std::vector<int> order;
+  RunWithBackend([&] {
+    CthThread* t = CthCreate([&] { order.push_back(2); });
+    order.push_back(1);
+    CthResume(t);  // direct switch; returns when t exits
+    order.push_back(3);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_P(CthTest, SuspendAndReAwaken) {
+  std::vector<int> order;
+  RunWithBackend([&] {
+    CthThread* self_holder = nullptr;
+    CthThread* t = CthCreate([&] {
+      order.push_back(1);
+      self_holder = CthSelf();
+      CthSuspend();  // back to scheduler
+      order.push_back(3);
+    });
+    CthAwaken(t);
+    CsdScheduler(1);  // runs until suspend
+    order.push_back(2);
+    CthAwaken(self_holder);
+    CsdScheduler(1);  // resumes after suspend
+    order.push_back(4);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST_P(CthTest, YieldInterleavesTwoThreads) {
+  std::vector<int> order;
+  RunWithBackend([&] {
+    auto worker = [&](int id) {
+      for (int i = 0; i < 3; ++i) {
+        order.push_back(id);
+        CthYield();
+      }
+    };
+    CthAwaken(CthCreate([&] { worker(1); }));
+    CthAwaken(CthCreate([&] { worker(2); }));
+    CsdScheduleUntilIdle();
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST_P(CthTest, ExplicitExitStopsThread) {
+  std::vector<int> order;
+  RunWithBackend([&] {
+    CthThread* t = CthCreate([&] {
+      order.push_back(1);
+      CthExit();
+      // unreachable
+    });
+    CthResume(t);
+    order.push_back(2);
+    CsdScheduleUntilIdle();
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_P(CthTest, SelfAndIsMain) {
+  RunWithBackend([&] {
+    EXPECT_TRUE(CthIsMain(CthSelf()));
+    CthThread* t = CthCreate([&] {
+      EXPECT_FALSE(CthIsMain(CthSelf()));
+    });
+    CthResume(t);
+    EXPECT_TRUE(CthIsMain(CthSelf()));
+  });
+}
+
+TEST_P(CthTest, UserDataSlot) {
+  RunWithBackend([&] {
+    int value = 99;
+    CthThread* t = CthCreate([&] {
+      EXPECT_EQ(*static_cast<int*>(CthGetData(CthSelf())), 99);
+    });
+    CthSetData(t, &value);
+    EXPECT_EQ(CthGetData(t), &value);
+    CthResume(t);
+  });
+}
+
+TEST_P(CthTest, ManyThreadsAllComplete) {
+  constexpr int kThreads = 100;
+  int done = 0;
+  RunWithBackend([&] {
+    for (int i = 0; i < kThreads; ++i) {
+      CthAwaken(CthCreate([&done] {
+        for (int j = 0; j < 3; ++j) CthYield();
+        ++done;
+      }));
+    }
+    CsdScheduleUntilIdle();
+    EXPECT_EQ(CthLiveThreads(), 0);
+  });
+  EXPECT_EQ(done, kThreads);
+}
+
+TEST_P(CthTest, DeepStackUsageWithinDefault) {
+  // Recurse to ~64 KB of stack inside a thread (default stack is 256 KB).
+  bool ok = false;
+  RunWithBackend([&] {
+    std::function<long(int)> burn = [&](int depth) -> long {
+      volatile char pad[1024];
+      pad[0] = static_cast<char>(depth);
+      if (depth == 0) return pad[0];
+      return burn(depth - 1) + pad[0];
+    };
+    CthThread* t = CthCreate([&] {
+      ok = burn(64) >= 0;
+    });
+    CthResume(t);
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(CthTest, CustomStackSize) {
+  bool ok = false;
+  RunWithBackend([&] {
+    CthThread* t = CthCreateOfSize([&] { ok = true; }, 1 << 20);
+    CthResume(t);
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(CthTest, PaperStyleCreateWithArg) {
+  static int received;
+  received = 0;
+  RunWithBackend([&] {
+    int arg = 31337;
+    CthThread* t = CthCreate(
+        [](void* a) { received = *static_cast<int*>(a); }, &arg);
+    CthResume(t);
+  });
+  EXPECT_EQ(received, 31337);
+}
+
+TEST_P(CthTest, AwakenPrioOrdersThreadExecution) {
+  std::vector<int> order;
+  RunWithBackend([&] {
+    CthThread* lo = CthCreate([&] { order.push_back(10); });
+    CthThread* hi = CthCreate([&] { order.push_back(1); });
+    CthAwakenPrio(lo, 10);
+    CthAwakenPrio(hi, -10);
+    CsdScheduler(2);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 10}));
+}
+
+TEST_P(CthTest, SetStrategyControlsReadyPoolOrder) {
+  // A custom LIFO ready pool (paper's CthSetStrategy contract): awaken
+  // pushes, suspend resumes the most recently awakened thread.
+  std::vector<int> order;
+  RunWithBackend([&] {
+    std::vector<CthThread*> pool;  // our private ready pool
+    CthThread* main_thr = CthSelf();
+    auto suspend_fn = [&pool, main_thr] {
+      CthThread* next = nullptr;
+      if (!pool.empty()) {
+        next = pool.back();
+        pool.pop_back();
+      } else {
+        next = main_thr;
+      }
+      CthResume(next);
+    };
+    auto awaken_fn = [&pool](CthThread* t) { pool.push_back(t); };
+
+    std::vector<CthThread*> threads;
+    for (int i = 0; i < 3; ++i) {
+      CthThread* t = CthCreate([&order, i] { order.push_back(i); });
+      CthSetStrategy(t, suspend_fn, awaken_fn);
+      threads.push_back(t);
+    }
+    for (CthThread* t : threads) CthAwaken(t);  // pool = [0,1,2]
+    // Run them: resume the pool LIFO by hand (the suspend side of the
+    // strategy drives successor selection on exit).
+    while (!pool.empty()) {
+      CthThread* t = pool.back();
+      pool.pop_back();
+      CthResume(t);
+    }
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST_P(CthTest, SwitchCountAdvances) {
+  RunWithBackend([&] {
+    const auto before = CthSwitchCount();
+    CthThread* t = CthCreate([] {});
+    CthResume(t);
+    EXPECT_GT(CthSwitchCount(), before);
+  });
+}
+
+TEST_P(CthTest, UnrunThreadsAreReclaimedAtTeardown) {
+  // Threads created but never resumed must not leak (module fini frees).
+  RunWithBackend([&] {
+    for (int i = 0; i < 10; ++i) {
+      CthCreate([] { FAIL() << "never-awakened thread must not run"; });
+    }
+    EXPECT_EQ(CthLiveThreads(), 10);
+  });
+}
+
+TEST_P(CthTest, FloatingPointStatePreservedAcrossSwitches) {
+  double result = 0;
+  RunWithBackend([&] {
+    CthThread* t = CthCreate([&] {
+      double acc = 1.0;
+      for (int i = 1; i <= 20; ++i) {
+        acc = acc * 1.5 + static_cast<double>(i) / 3.0;
+        CthYield();
+      }
+      result = acc;
+    });
+    CthAwaken(t);
+    CsdScheduleUntilIdle();
+  });
+  // Reference computed without any switching.
+  double want = 1.0;
+  for (int i = 1; i <= 20; ++i) want = want * 1.5 + static_cast<double>(i) / 3.0;
+  EXPECT_DOUBLE_EQ(result, want);
+}
+
+TEST_P(CthTest, ThreadsAcrossMultiplePes) {
+  constexpr int kNpes = 4;
+  ctu::PerPeCounters done(kNpes);
+  RunConverse(kNpes, [&](int pe, int) {
+    CthInit(GetParam());
+    for (int i = 0; i < 5; ++i) {
+      CthAwaken(CthCreate([&done, pe] {
+        CthYield();
+        done.Add(pe);
+      }));
+    }
+    CsdScheduleUntilIdle();
+  });
+  for (int i = 0; i < kNpes; ++i) EXPECT_EQ(done.Get(i), 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CthTest,
+                         ::testing::Values(CthBackend::kAsm,
+                                           CthBackend::kUcontext),
+                         [](const auto& info) {
+                           return info.param == CthBackend::kAsm
+                                      ? "Asm"
+                                      : "Ucontext";
+                         });

@@ -1,0 +1,170 @@
+// Trace module tests (paper §3.3.2): summary counters, full event log in
+// the standard format, self-describing user events, creation events.
+#include "test_helpers.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+using namespace converse;
+
+namespace {
+
+int CountKind(const std::vector<TraceRecord>& log, TraceEventKind k) {
+  return static_cast<int>(
+      std::count_if(log.begin(), log.end(),
+                    [k](const TraceRecord& r) { return r.kind == k; }));
+}
+
+}  // namespace
+
+TEST(Trace, SummaryCountsSendsAndDeliveries) {
+  std::atomic<long> sends{0}, deliveries{0};
+  RunConverse(2, [&](int pe, int) {
+    TraceBegin(TraceMode::kSummary);
+    int noop = CmiRegisterHandler([](void*) {});
+    int ex = CmiRegisterHandler([](void*) { CsdExitScheduler(); });
+    if (pe == 0) {
+      for (int i = 0; i < 4; ++i) {
+        void* m = CmiMakeMessage(noop, nullptr, 0);
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      }
+      void* m = CmiMakeMessage(ex, nullptr, 0);
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      const auto s = TraceGetSummary();
+      sends += static_cast<long>(s.sends);
+      TraceEnd();
+      return;
+    }
+    CsdScheduler(-1);
+    const auto s = TraceGetSummary();
+    deliveries += static_cast<long>(s.deliveries);
+    // Per-handler attribution: exactly 4 noop invocations.
+    ASSERT_GT(s.per_handler.size(), static_cast<std::size_t>(noop));
+    EXPECT_EQ(s.per_handler[static_cast<std::size_t>(noop)].invocations, 4u);
+    TraceEnd();
+  });
+  EXPECT_EQ(sends.load(), 5);
+  EXPECT_EQ(deliveries.load(), 5);
+}
+
+TEST(Trace, LogRecordsMatchedBeginEndPairs) {
+  RunConverse(1, [&](int, int) {
+    TraceBegin(TraceMode::kLog);
+    int h = CmiRegisterHandler([](void* msg) { CmiFree(msg); });
+    for (int i = 0; i < 3; ++i) CsdEnqueue(CmiMakeMessage(h, nullptr, 0));
+    CsdScheduler(3);
+    const auto& log = TraceGetLog();
+    EXPECT_EQ(CountKind(log, TraceEventKind::kEnqueue), 3);
+    EXPECT_EQ(CountKind(log, TraceEventKind::kScheduleBegin), 3);
+    EXPECT_EQ(CountKind(log, TraceEventKind::kScheduleEnd), 3);
+    // Timestamps are nondecreasing.
+    for (std::size_t i = 1; i < log.size(); ++i) {
+      EXPECT_LE(log[i - 1].time_us, log[i].time_us);
+    }
+    TraceEnd();
+  });
+}
+
+TEST(Trace, NetworkDeliveryUsesDeliverKind) {
+  std::atomic<int> deliver_begins{0};
+  RunConverse(2, [&](int pe, int) {
+    TraceBegin(TraceMode::kLog);
+    int h = CmiRegisterHandler([](void*) { CsdExitScheduler(); });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      TraceEnd();
+      return;
+    }
+    CsdScheduler(-1);
+    deliver_begins +=
+        CountKind(TraceGetLog(), TraceEventKind::kDeliverBegin);
+    TraceEnd();
+  });
+  EXPECT_EQ(deliver_begins.load(), 1);
+}
+
+TEST(Trace, UserEventsAndDumpFormat) {
+  std::string dump;
+  RunConverse(1, [&](int, int) {
+    TraceBegin(TraceMode::kLog);
+    const int ev = TraceRegisterUserEvent("phase-boundary");
+    TraceUserEvent(ev);
+    TraceUserEvent(ev);
+    TraceNoteThreadCreate();
+    TraceNoteObjectCreate();
+    char* buf = nullptr;
+    std::size_t len = 0;
+    std::FILE* mem = open_memstream(&buf, &len);
+    TraceDump(mem);
+    std::fclose(mem);
+    dump.assign(buf, len);
+    free(buf);
+    TraceEnd();
+  });
+  EXPECT_NE(dump.find("CONVERSE-TRACE v1 pe=0"), std::string::npos);
+  EXPECT_NE(dump.find("USER-EVENT 0 phase-boundary"), std::string::npos);
+  EXPECT_NE(dump.find("USER_EVENT"), std::string::npos);
+  EXPECT_NE(dump.find("THREAD_CREATE"), std::string::npos);
+  EXPECT_NE(dump.find("OBJECT_CREATE"), std::string::npos);
+}
+
+TEST(Trace, DisabledModeRecordsNothing) {
+  RunConverse(1, [&](int, int) {
+    int h = CmiRegisterHandler([](void* msg) { CmiFree(msg); });
+    CsdEnqueue(CmiMakeMessage(h, nullptr, 0));
+    CsdScheduler(1);
+    EXPECT_TRUE(TraceGetLog().empty());
+    EXPECT_EQ(TraceGetSummary().deliveries, 0u);
+  });
+}
+
+TEST(Trace, TraceEndDisconnectsHooks) {
+  RunConverse(1, [&](int, int) {
+    TraceBegin(TraceMode::kSummary);
+    int h = CmiRegisterHandler([](void* msg) { CmiFree(msg); });
+    CsdEnqueue(CmiMakeMessage(h, nullptr, 0));
+    CsdScheduler(1);
+    const auto before = TraceGetSummary().deliveries;
+    TraceEnd();
+    CsdEnqueue(CmiMakeMessage(h, nullptr, 0));
+    CsdScheduler(1);
+    EXPECT_EQ(TraceGetSummary().deliveries, before);
+  });
+}
+
+TEST(Trace, IdlePeriodsAreRecorded) {
+  RunConverse(2, [&](int pe, int) {
+    TraceBegin(TraceMode::kSummary);
+    int h = CmiRegisterHandler([](void*) { CsdExitScheduler(); });
+    if (pe == 0) {
+      // Delay so PE1 blocks idle first.
+      volatile double x = 1;
+      for (int i = 0; i < 3000000; ++i) x = x * 1.0000001;
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      TraceEnd();
+      return;
+    }
+    CsdScheduler(-1);
+    const auto s = TraceGetSummary();
+    EXPECT_GE(s.idle_periods, 1u);
+    EXPECT_GT(s.idle_us, 0.0);
+    TraceEnd();
+  });
+}
+
+TEST(Trace, ClearResetsState) {
+  RunConverse(1, [&](int, int) {
+    TraceBegin(TraceMode::kLog);
+    int h = CmiRegisterHandler([](void* msg) { CmiFree(msg); });
+    CsdEnqueue(CmiMakeMessage(h, nullptr, 0));
+    CsdScheduler(1);
+    EXPECT_FALSE(TraceGetLog().empty());
+    TraceClear();
+    EXPECT_TRUE(TraceGetLog().empty());
+    EXPECT_EQ(TraceGetSummary().deliveries, 0u);
+    TraceEnd();
+  });
+}

@@ -1,0 +1,156 @@
+// Round-trip tests for the §3.3.2 tool chain: run a traced program, dump
+// the standard format, parse it back, and check the computed profile.
+#include "test_helpers.h"
+
+#include <cstring>
+
+#include "converse/trace_report.h"
+
+using namespace converse;
+
+namespace {
+
+/// Run a traced 1-PE program, returning the parsed report of its dump.
+tracetool::Report RunAndReport(const std::function<void()>& body) {
+  char* buf = nullptr;
+  std::size_t len = 0;
+  RunConverse(1, [&](int, int) {
+    TraceBegin(TraceMode::kLog);
+    body();
+    TraceEnd();
+    std::FILE* mem = open_memstream(&buf, &len);
+    TraceDump(mem);
+    std::fclose(mem);
+  });
+  std::FILE* in = fmemopen(buf, len, "r");
+  auto report = tracetool::ParseTrace(in);
+  std::fclose(in);
+  free(buf);
+  return report;
+}
+
+}  // namespace
+
+TEST(TraceReport, EmptyTraceParses) {
+  const auto rep = RunAndReport([] {});
+  EXPECT_EQ(rep.pe, 0);
+  EXPECT_EQ(rep.records, 0u);
+  EXPECT_EQ(rep.sends, 0u);
+}
+
+TEST(TraceReport, CountsMatchActivity) {
+  const auto rep = RunAndReport([] {
+    // Distinct handlers per delivery path: queued messages are owned (and
+    // freed) by their handler; network deliveries are system-owned.
+    int hq = CmiRegisterHandler([](void* msg) { CmiFree(msg); });
+    int hnet = CmiRegisterHandler([](void*) {});
+    for (int i = 0; i < 5; ++i) {
+      CsdEnqueue(CmiMakeMessage(hq, nullptr, 0));
+    }
+    CsdScheduler(5);
+    void* net = CmiMakeMessage(hnet, "xy", 2);
+    CmiSyncSendAndFree(0, CmiMsgTotalSize(net), net);
+    CmiDeliverMsgs(1);
+  });
+  EXPECT_EQ(rep.enqueues, 5u);
+  EXPECT_EQ(rep.sends, 1u);
+  // 6 dispatches of the same handler, all begin/end matched.
+  std::uint64_t begins = 0, ends = 0;
+  double busy = 0;
+  for (const auto& [id, hp] : rep.handlers) {
+    begins += hp.begins;
+    ends += hp.ends;
+    busy += hp.busy_us;
+  }
+  EXPECT_EQ(begins, 6u);
+  EXPECT_EQ(ends, 6u);
+  EXPECT_GE(busy, 0.0);
+}
+
+TEST(TraceReport, UserEventsAndCreationsSurvive) {
+  const auto rep = RunAndReport([] {
+    const int ev = TraceRegisterUserEvent("checkpoint");
+    TraceUserEvent(ev);
+    TraceUserEvent(ev);
+    TraceNoteThreadCreate();
+    TraceNoteObjectCreate();
+    TraceNoteObjectCreate();
+  });
+  ASSERT_TRUE(rep.user_events.contains("checkpoint"));
+  EXPECT_EQ(rep.user_event_hits, 2u);
+  EXPECT_EQ(rep.thread_creates, 1u);
+  EXPECT_EQ(rep.object_creates, 2u);
+}
+
+TEST(TraceReport, TimelineHasExpectedShape) {
+  const auto rep = RunAndReport([] {
+    int burn = CmiRegisterHandler([](void* msg) {
+      volatile double x = 1;
+      for (int i = 0; i < 400000; ++i) x = x * 1.0000001;
+      CmiFree(msg);
+    });
+    CsdEnqueue(CmiMakeMessage(burn, nullptr, 0));
+    CsdScheduler(1);
+  });
+  ASSERT_EQ(rep.timeline_busy_fraction.size(),
+            static_cast<std::size_t>(tracetool::kTimelineBuckets));
+  // One long busy span: the majority of buckets should be mostly busy.
+  int busy_buckets = 0;
+  for (double f : rep.timeline_busy_fraction) busy_buckets += f > 0.5;
+  EXPECT_GE(busy_buckets, tracetool::kTimelineBuckets / 2);
+}
+
+TEST(TraceReport, RejectsGarbageInput) {
+  const char* junk = "this is not a trace\n";
+  std::FILE* in = fmemopen(const_cast<char*>(junk), std::strlen(junk), "r");
+  EXPECT_THROW(tracetool::ParseTrace(in), std::runtime_error);
+  std::fclose(in);
+}
+
+TEST(TraceReport, RejectsTruncatedDump) {
+  const char* truncated = "CONVERSE-TRACE v1 pe=0 records=3\n";
+  std::FILE* in =
+      fmemopen(const_cast<char*>(truncated), std::strlen(truncated), "r");
+  EXPECT_THROW(tracetool::ParseTrace(in), std::runtime_error);
+  std::fclose(in);
+}
+
+TEST(TraceReport, PrintReportProducesText) {
+  const auto rep = RunAndReport([] {
+    int h = CmiRegisterHandler([](void* msg) { CmiFree(msg); });
+    CsdEnqueue(CmiMakeMessage(h, nullptr, 0));
+    CsdScheduler(1);
+  });
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* mem = open_memstream(&buf, &len);
+  tracetool::PrintReport(rep, mem);
+  std::fclose(mem);
+  std::string s(buf, len);
+  free(buf);
+  EXPECT_NE(s.find("Converse trace report"), std::string::npos);
+  EXPECT_NE(s.find("per handler"), std::string::npos);
+  EXPECT_NE(s.find("utilization timeline"), std::string::npos);
+}
+
+TEST(MachineConfig, IdleSpinStillDeliversMessages) {
+  MachineConfig cfg;
+  cfg.npes = 2;
+  cfg.idle_spin_us = 200.0;  // spin briefly before blocking
+  std::atomic<int> got{0};
+  RunConverse(cfg, [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void*) {
+      ++got;
+      CsdExitScheduler();
+    });
+    if (pe == 0) {
+      volatile double x = 1;
+      for (int i = 0; i < 1000000; ++i) x = x * 1.0000001;
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      return;
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(got.load(), 1);
+}

@@ -1,0 +1,273 @@
+// Unit tests for the utility layer: RNG, statistics, spanning trees,
+// pack/unpack, CRC-32C.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "converse/util/crc.h"
+#include "converse/util/pack.h"
+#include "converse/util/rng.h"
+#include "converse/util/spantree.h"
+#include "converse/util/stats.h"
+#include "converse/util/timer.h"
+
+namespace cu = converse::util;
+
+// ---- RNG ---------------------------------------------------------------------
+
+TEST(Rng, SplitMix64KnownSequenceIsDeterministic) {
+  cu::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, SplitMix64DifferentSeedsDiffer) {
+  cu::SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, XoshiroBelowRespectsBound) {
+  cu::Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, XoshiroBelowCoversAllResidues) {
+  cu::Xoshiro256 rng(12345);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, XoshiroBelowIsRoughlyUniform) {
+  cu::Xoshiro256 rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  cu::Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ---- Stats --------------------------------------------------------------------
+
+TEST(Stats, RunningMomentsMatchClosedForm) {
+  cu::RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_EQ(s.Count(), 100u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 5050.0);
+  // Sample variance of 1..100 is 841.666...
+  EXPECT_NEAR(s.Variance(), 841.6666666, 1e-6);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+  cu::RunningStats s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(Stats, MergeEqualsBulk) {
+  cu::RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.Add(i * 0.5);
+    all.Add(i * 0.5);
+  }
+  for (int i = 50; i < 120; ++i) {
+    b.Add(i * 0.5);
+    all.Add(i * 0.5);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), all.Max());
+}
+
+TEST(Stats, MergeWithEmptySides) {
+  cu::RunningStats a, empty;
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 1u);
+  cu::RunningStats c;
+  c.Merge(a);
+  EXPECT_EQ(c.Count(), 1u);
+  EXPECT_DOUBLE_EQ(c.Mean(), 3.0);
+}
+
+TEST(Stats, PercentilesInterpolate) {
+  cu::SampleStats s;
+  for (int i = 1; i <= 5; ++i) s.Add(i);  // 1 2 3 4 5
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(12.5), 1.5);
+}
+
+TEST(Stats, PercentileAfterLateAdd) {
+  cu::SampleStats s;
+  s.Add(10);
+  EXPECT_DOUBLE_EQ(s.Median(), 10.0);
+  s.Add(0);  // must invalidate the sorted cache
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.0);
+}
+
+// ---- Spanning tree -------------------------------------------------------------
+
+class SpanTreeParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SpanTreeParam, ParentChildConsistent) {
+  const auto [npes, root, branching] = GetParam();
+  cu::SpanningTree t(npes, root, branching);
+  int reachable = 0;
+  for (int pe = 0; pe < npes; ++pe) {
+    const int parent = t.Parent(pe);
+    if (pe == root) {
+      EXPECT_EQ(parent, -1);
+    } else {
+      ASSERT_GE(parent, 0);
+      auto kids = t.Children(parent);
+      EXPECT_NE(std::find(kids.begin(), kids.end(), pe), kids.end())
+          << "pe " << pe << " missing from its parent's child list";
+    }
+    const auto kids = t.Children(pe);
+    EXPECT_EQ(static_cast<int>(kids.size()), t.NumChildren(pe));
+    EXPECT_LE(static_cast<int>(kids.size()), branching);
+    for (int k : kids) {
+      EXPECT_EQ(t.Parent(k), pe);
+      EXPECT_EQ(t.Depth(k), t.Depth(pe) + 1);
+    }
+    reachable += 1;
+  }
+  EXPECT_EQ(reachable, npes);
+}
+
+TEST_P(SpanTreeParam, EveryPeReachesRoot) {
+  const auto [npes, root, branching] = GetParam();
+  cu::SpanningTree t(npes, root, branching);
+  for (int pe = 0; pe < npes; ++pe) {
+    int cur = pe;
+    int steps = 0;
+    while (cur != root) {
+      cur = t.Parent(cur);
+      ASSERT_GE(cur, 0);
+      ASSERT_LE(++steps, npes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpanTreeParam,
+    ::testing::Values(std::make_tuple(1, 0, 4), std::make_tuple(2, 0, 4),
+                      std::make_tuple(2, 1, 4), std::make_tuple(7, 3, 2),
+                      std::make_tuple(8, 0, 1), std::make_tuple(16, 5, 3),
+                      std::make_tuple(33, 32, 4), std::make_tuple(64, 0, 8)));
+
+TEST(SpanTree, DepthOfRootIsZero) {
+  cu::SpanningTree t(16, 3, 4);
+  EXPECT_EQ(t.Depth(3), 0);
+}
+
+// ---- Pack/Unpack ----------------------------------------------------------------
+
+TEST(Pack, RoundTripScalarsArraysStrings) {
+  cu::Packer p;
+  p.Put<int>(42);
+  p.Put<double>(3.25);
+  const int arr[] = {1, 2, 3, 4};
+  p.PutArray(arr, 4);
+  p.PutString("hello converse");
+
+  cu::Unpacker u(p.data(), p.size());
+  EXPECT_EQ(u.Get<int>(), 42);
+  EXPECT_EQ(u.Get<double>(), 3.25);
+  const auto back = u.GetArray<int>();
+  EXPECT_EQ(back, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(u.GetString(), "hello converse");
+  EXPECT_EQ(u.Remaining(), 0u);
+}
+
+TEST(Pack, UnpackerThrowsOnOverrun) {
+  cu::Packer p;
+  p.Put<int>(1);
+  cu::Unpacker u(p.data(), p.size());
+  (void)u.Get<int>();
+  EXPECT_THROW(u.Get<int>(), cu::PackError);
+}
+
+TEST(Pack, UnpackerThrowsOnBogusArrayLength) {
+  // A huge length prefix must not cause allocation before validation.
+  cu::Packer p;
+  p.Put<std::uint64_t>(1ull << 60);
+  cu::Unpacker u(p.data(), p.size());
+  EXPECT_THROW(u.GetArray<int>(), cu::PackError);
+}
+
+TEST(Pack, EmptyArrayAndString) {
+  cu::Packer p;
+  p.PutArray<int>(nullptr, 0);
+  p.PutString("");
+  cu::Unpacker u(p.data(), p.size());
+  EXPECT_TRUE(u.GetArray<int>().empty());
+  EXPECT_EQ(u.GetString(), "");
+}
+
+// ---- CRC -----------------------------------------------------------------------
+
+TEST(Crc, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283 (iSCSI test vector).
+  EXPECT_EQ(cu::Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc, EmptyIsZero) { EXPECT_EQ(cu::Crc32c("", 0), 0u); }
+
+TEST(Crc, IncrementalEqualsOneShot) {
+  const char* s = "the quick brown fox jumps over the lazy dog";
+  const std::size_t n = std::strlen(s);
+  const auto one = cu::Crc32c(s, n);
+  auto part = cu::Crc32c(s, 10);
+  part = cu::Crc32c(s + 10, n - 10, part);
+  EXPECT_EQ(part, one);
+}
+
+TEST(Crc, SensitiveToSingleBitFlip) {
+  char buf[64];
+  std::memset(buf, 0xab, sizeof(buf));
+  const auto base = cu::Crc32c(buf, sizeof(buf));
+  buf[17] ^= 1;
+  EXPECT_NE(cu::Crc32c(buf, sizeof(buf)), base);
+}
+
+// ---- Timer ---------------------------------------------------------------------
+
+TEST(Timer, Monotonic) {
+  const auto a = cu::NowNs();
+  const auto b = cu::NowNs();
+  EXPECT_LE(a, b);
+}

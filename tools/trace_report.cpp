@@ -1,0 +1,37 @@
+// trace_report — command-line front end for the §3.3.2 tool-support
+// format: parses a dump written by converse::TraceDump and prints the
+// per-handler profile and utilization timeline.
+//
+//   usage: trace_report <dump-file> [<dump-file> ...]
+//          trace_report -            (read one dump from stdin)
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "converse/trace_report.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace-dump> [...] | -\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* in =
+        std::strcmp(argv[i], "-") == 0 ? stdin : std::fopen(argv[i], "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "trace_report: cannot open %s\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    try {
+      const auto report = converse::tracetool::ParseTrace(in);
+      converse::tracetool::PrintReport(report, stdout);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace_report: %s: %s\n", argv[i], e.what());
+      ++failures;
+    }
+    if (in != stdin) std::fclose(in);
+  }
+  return failures == 0 ? 0 : 1;
+}
