@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/charm_runtime"
+  "../bench/charm_runtime.pdb"
+  "CMakeFiles/charm_runtime.dir/charm_runtime.cpp.o"
+  "CMakeFiles/charm_runtime.dir/charm_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cmm_ops"
+  "../bench/cmm_ops.pdb"
+  "CMakeFiles/cmm_ops.dir/cmm_ops.cpp.o"
+  "CMakeFiles/cmm_ops.dir/cmm_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmm_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cmpi_vs_raw"
+  "../bench/cmpi_vs_raw.pdb"
+  "CMakeFiles/cmpi_vs_raw.dir/cmpi_vs_raw.cpp.o"
+  "CMakeFiles/cmpi_vs_raw.dir/cmpi_vs_raw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_vs_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converse_benchfig.dir/figure_common.cpp.o"
+  "CMakeFiles/converse_benchfig.dir/figure_common.cpp.o.d"
+  "libconverse_benchfig.a"
+  "libconverse_benchfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converse_benchfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconverse_benchfig.a"
+)

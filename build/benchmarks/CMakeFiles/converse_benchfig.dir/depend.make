@@ -1,0 +1,2 @@
+# Empty dependencies file for converse_benchfig.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dispatch_ablation"
+  "../bench/dispatch_ablation.pdb"
+  "CMakeFiles/dispatch_ablation.dir/dispatch_ablation.cpp.o"
+  "CMakeFiles/dispatch_ablation.dir/dispatch_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_atm_hp"
+  "../bench/fig4_atm_hp.pdb"
+  "CMakeFiles/fig4_atm_hp.dir/fig4_atm_hp.cpp.o"
+  "CMakeFiles/fig4_atm_hp.dir/fig4_atm_hp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_atm_hp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

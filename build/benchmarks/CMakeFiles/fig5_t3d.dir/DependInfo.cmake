@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/benchmarks/fig5_t3d.cpp" "benchmarks/CMakeFiles/fig5_t3d.dir/fig5_t3d.cpp.o" "gcc" "benchmarks/CMakeFiles/fig5_t3d.dir/fig5_t3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/converse.dir/DependInfo.cmake"
+  "/root/repo/build/benchmarks/CMakeFiles/converse_benchfig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

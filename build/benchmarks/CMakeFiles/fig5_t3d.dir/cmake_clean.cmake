@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_t3d"
+  "../bench/fig5_t3d.pdb"
+  "CMakeFiles/fig5_t3d.dir/fig5_t3d.cpp.o"
+  "CMakeFiles/fig5_t3d.dir/fig5_t3d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_t3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_myrinet_fm"
+  "../bench/fig6_myrinet_fm.pdb"
+  "CMakeFiles/fig6_myrinet_fm.dir/fig6_myrinet_fm.cpp.o"
+  "CMakeFiles/fig6_myrinet_fm.dir/fig6_myrinet_fm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_myrinet_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_sp1"
+  "../bench/fig7_sp1.pdb"
+  "CMakeFiles/fig7_sp1.dir/fig7_sp1.cpp.o"
+  "CMakeFiles/fig7_sp1.dir/fig7_sp1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sp1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_paragon"
+  "../bench/fig8_paragon.pdb"
+  "CMakeFiles/fig8_paragon.dir/fig8_paragon.cpp.o"
+  "CMakeFiles/fig8_paragon.dir/fig8_paragon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_paragon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

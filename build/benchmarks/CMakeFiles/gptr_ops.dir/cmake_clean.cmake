@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gptr_ops"
+  "../bench/gptr_ops.pdb"
+  "CMakeFiles/gptr_ops.dir/gptr_ops.cpp.o"
+  "CMakeFiles/gptr_ops.dir/gptr_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptr_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ldb_strategies"
+  "../bench/ldb_strategies.pdb"
+  "CMakeFiles/ldb_strategies.dir/ldb_strategies.cpp.o"
+  "CMakeFiles/ldb_strategies.dir/ldb_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldb_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mdt_language"
+  "../bench/mdt_language.pdb"
+  "CMakeFiles/mdt_language.dir/mdt_language.cpp.o"
+  "CMakeFiles/mdt_language.dir/mdt_language.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdt_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overhead_breakdown"
+  "../bench/overhead_breakdown.pdb"
+  "CMakeFiles/overhead_breakdown.dir/overhead_breakdown.cpp.o"
+  "CMakeFiles/overhead_breakdown.dir/overhead_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

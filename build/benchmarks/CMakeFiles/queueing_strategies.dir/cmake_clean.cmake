@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/queueing_strategies"
+  "../bench/queueing_strategies.pdb"
+  "CMakeFiles/queueing_strategies.dir/queueing_strategies.cpp.o"
+  "CMakeFiles/queueing_strategies.dir/queueing_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/shmem_pingpong"
+  "../bench/shmem_pingpong.pdb"
+  "CMakeFiles/shmem_pingpong.dir/shmem_pingpong.cpp.o"
+  "CMakeFiles/shmem_pingpong.dir/shmem_pingpong.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

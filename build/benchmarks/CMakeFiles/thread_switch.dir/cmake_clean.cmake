@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thread_switch"
+  "../bench/thread_switch.pdb"
+  "CMakeFiles/thread_switch.dir/thread_switch.cpp.o"
+  "CMakeFiles/thread_switch.dir/thread_switch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fma_tree.dir/fma_tree.cpp.o"
+  "CMakeFiles/fma_tree.dir/fma_tree.cpp.o.d"
+  "fma_tree"
+  "fma_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fma_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

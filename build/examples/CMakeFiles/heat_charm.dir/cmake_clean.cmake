@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_charm.dir/heat_charm.cpp.o"
+  "CMakeFiles/heat_charm.dir/heat_charm.cpp.o.d"
+  "heat_charm"
+  "heat_charm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_charm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_dp.dir/jacobi_dp.cpp.o"
+  "CMakeFiles/jacobi_dp.dir/jacobi_dp.cpp.o.d"
+  "jacobi_dp"
+  "jacobi_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdt_demo.dir/mdt_demo.cpp.o"
+  "CMakeFiles/mdt_demo.dir/mdt_demo.cpp.o.d"
+  "mdt_demo"
+  "mdt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namd_interop.dir/namd_interop.cpp.o"
+  "CMakeFiles/namd_interop.dir/namd_interop.cpp.o.d"
+  "namd_interop"
+  "namd_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namd_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

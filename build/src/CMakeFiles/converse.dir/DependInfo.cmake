@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/collectives.cpp" "src/CMakeFiles/converse.dir/collectives/collectives.cpp.o" "gcc" "src/CMakeFiles/converse.dir/collectives/collectives.cpp.o.d"
+  "/root/repo/src/collectives/pgrp.cpp" "src/CMakeFiles/converse.dir/collectives/pgrp.cpp.o" "gcc" "src/CMakeFiles/converse.dir/collectives/pgrp.cpp.o.d"
+  "/root/repo/src/core/emi.cpp" "src/CMakeFiles/converse.dir/core/emi.cpp.o" "gcc" "src/CMakeFiles/converse.dir/core/emi.cpp.o.d"
+  "/root/repo/src/core/handlers.cpp" "src/CMakeFiles/converse.dir/core/handlers.cpp.o" "gcc" "src/CMakeFiles/converse.dir/core/handlers.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/CMakeFiles/converse.dir/core/io.cpp.o" "gcc" "src/CMakeFiles/converse.dir/core/io.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/CMakeFiles/converse.dir/core/machine.cpp.o" "gcc" "src/CMakeFiles/converse.dir/core/machine.cpp.o.d"
+  "/root/repo/src/core/module.cpp" "src/CMakeFiles/converse.dir/core/module.cpp.o" "gcc" "src/CMakeFiles/converse.dir/core/module.cpp.o.d"
+  "/root/repo/src/core/msg.cpp" "src/CMakeFiles/converse.dir/core/msg.cpp.o" "gcc" "src/CMakeFiles/converse.dir/core/msg.cpp.o.d"
+  "/root/repo/src/core/netmodel.cpp" "src/CMakeFiles/converse.dir/core/netmodel.cpp.o" "gcc" "src/CMakeFiles/converse.dir/core/netmodel.cpp.o.d"
+  "/root/repo/src/core/queueing.cpp" "src/CMakeFiles/converse.dir/core/queueing.cpp.o" "gcc" "src/CMakeFiles/converse.dir/core/queueing.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/converse.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/converse.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/futures/futures.cpp" "src/CMakeFiles/converse.dir/futures/futures.cpp.o" "gcc" "src/CMakeFiles/converse.dir/futures/futures.cpp.o.d"
+  "/root/repo/src/gptr/gptr.cpp" "src/CMakeFiles/converse.dir/gptr/gptr.cpp.o" "gcc" "src/CMakeFiles/converse.dir/gptr/gptr.cpp.o.d"
+  "/root/repo/src/langs/charm/charm.cpp" "src/CMakeFiles/converse.dir/langs/charm/charm.cpp.o" "gcc" "src/CMakeFiles/converse.dir/langs/charm/charm.cpp.o.d"
+  "/root/repo/src/langs/charm/charm_array.cpp" "src/CMakeFiles/converse.dir/langs/charm/charm_array.cpp.o" "gcc" "src/CMakeFiles/converse.dir/langs/charm/charm_array.cpp.o.d"
+  "/root/repo/src/langs/cmpi/cmpi.cpp" "src/CMakeFiles/converse.dir/langs/cmpi/cmpi.cpp.o" "gcc" "src/CMakeFiles/converse.dir/langs/cmpi/cmpi.cpp.o.d"
+  "/root/repo/src/langs/dp/dp.cpp" "src/CMakeFiles/converse.dir/langs/dp/dp.cpp.o" "gcc" "src/CMakeFiles/converse.dir/langs/dp/dp.cpp.o.d"
+  "/root/repo/src/langs/mdt/mdt.cpp" "src/CMakeFiles/converse.dir/langs/mdt/mdt.cpp.o" "gcc" "src/CMakeFiles/converse.dir/langs/mdt/mdt.cpp.o.d"
+  "/root/repo/src/langs/nx/cnx.cpp" "src/CMakeFiles/converse.dir/langs/nx/cnx.cpp.o" "gcc" "src/CMakeFiles/converse.dir/langs/nx/cnx.cpp.o.d"
+  "/root/repo/src/langs/pvm/cpvm.cpp" "src/CMakeFiles/converse.dir/langs/pvm/cpvm.cpp.o" "gcc" "src/CMakeFiles/converse.dir/langs/pvm/cpvm.cpp.o.d"
+  "/root/repo/src/langs/sm/sm.cpp" "src/CMakeFiles/converse.dir/langs/sm/sm.cpp.o" "gcc" "src/CMakeFiles/converse.dir/langs/sm/sm.cpp.o.d"
+  "/root/repo/src/langs/tsm/tsm.cpp" "src/CMakeFiles/converse.dir/langs/tsm/tsm.cpp.o" "gcc" "src/CMakeFiles/converse.dir/langs/tsm/tsm.cpp.o.d"
+  "/root/repo/src/ldb/cld.cpp" "src/CMakeFiles/converse.dir/ldb/cld.cpp.o" "gcc" "src/CMakeFiles/converse.dir/ldb/cld.cpp.o.d"
+  "/root/repo/src/msgmgr/cmm.cpp" "src/CMakeFiles/converse.dir/msgmgr/cmm.cpp.o" "gcc" "src/CMakeFiles/converse.dir/msgmgr/cmm.cpp.o.d"
+  "/root/repo/src/threads/cth.cpp" "src/CMakeFiles/converse.dir/threads/cth.cpp.o" "gcc" "src/CMakeFiles/converse.dir/threads/cth.cpp.o.d"
+  "/root/repo/src/threads/cts.cpp" "src/CMakeFiles/converse.dir/threads/cts.cpp.o" "gcc" "src/CMakeFiles/converse.dir/threads/cts.cpp.o.d"
+  "/root/repo/src/threads/fiber.cpp" "src/CMakeFiles/converse.dir/threads/fiber.cpp.o" "gcc" "src/CMakeFiles/converse.dir/threads/fiber.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/converse.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/converse.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_report.cpp" "src/CMakeFiles/converse.dir/trace/trace_report.cpp.o" "gcc" "src/CMakeFiles/converse.dir/trace/trace_report.cpp.o.d"
+  "/root/repo/src/util/crc.cpp" "src/CMakeFiles/converse.dir/util/crc.cpp.o" "gcc" "src/CMakeFiles/converse.dir/util/crc.cpp.o.d"
+  "/root/repo/src/util/pack.cpp" "src/CMakeFiles/converse.dir/util/pack.cpp.o" "gcc" "src/CMakeFiles/converse.dir/util/pack.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/converse.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/converse.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/spantree.cpp" "src/CMakeFiles/converse.dir/util/spantree.cpp.o" "gcc" "src/CMakeFiles/converse.dir/util/spantree.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/converse.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/converse.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

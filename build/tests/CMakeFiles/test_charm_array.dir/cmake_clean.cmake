@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charm_array.dir/test_charm_array.cpp.o"
+  "CMakeFiles/test_charm_array.dir/test_charm_array.cpp.o.d"
+  "test_charm_array"
+  "test_charm_array.pdb"
+  "test_charm_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charm_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cld.dir/test_cld.cpp.o"
+  "CMakeFiles/test_cld.dir/test_cld.cpp.o.d"
+  "test_cld"
+  "test_cld.pdb"
+  "test_cld[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmm.dir/test_cmm.cpp.o"
+  "CMakeFiles/test_cmm.dir/test_cmm.cpp.o.d"
+  "test_cmm"
+  "test_cmm.pdb"
+  "test_cmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmpi.dir/test_cmpi.cpp.o"
+  "CMakeFiles/test_cmpi.dir/test_cmpi.cpp.o.d"
+  "test_cmpi"
+  "test_cmpi.pdb"
+  "test_cmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

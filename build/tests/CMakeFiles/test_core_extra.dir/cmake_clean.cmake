@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_extra.dir/test_core_extra.cpp.o"
+  "CMakeFiles/test_core_extra.dir/test_core_extra.cpp.o.d"
+  "test_core_extra"
+  "test_core_extra.pdb"
+  "test_core_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emi.dir/test_emi.cpp.o"
+  "CMakeFiles/test_emi.dir/test_emi.cpp.o.d"
+  "test_emi"
+  "test_emi.pdb"
+  "test_emi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

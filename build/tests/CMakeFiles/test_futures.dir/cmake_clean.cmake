@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_futures.dir/test_futures.cpp.o"
+  "CMakeFiles/test_futures.dir/test_futures.cpp.o.d"
+  "test_futures"
+  "test_futures.pdb"
+  "test_futures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gptr.dir/test_gptr.cpp.o"
+  "CMakeFiles/test_gptr.dir/test_gptr.cpp.o.d"
+  "test_gptr"
+  "test_gptr.pdb"
+  "test_gptr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_immediate.dir/test_immediate.cpp.o"
+  "CMakeFiles/test_immediate.dir/test_immediate.cpp.o.d"
+  "test_immediate"
+  "test_immediate.pdb"
+  "test_immediate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_immediate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

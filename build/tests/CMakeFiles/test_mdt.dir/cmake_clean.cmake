@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdt.dir/test_mdt.cpp.o"
+  "CMakeFiles/test_mdt.dir/test_mdt.cpp.o.d"
+  "test_mdt"
+  "test_mdt.pdb"
+  "test_mdt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim_langs.dir/test_netsim_langs.cpp.o"
+  "CMakeFiles/test_netsim_langs.dir/test_netsim_langs.cpp.o.d"
+  "test_netsim_langs"
+  "test_netsim_langs.pdb"
+  "test_netsim_langs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim_langs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

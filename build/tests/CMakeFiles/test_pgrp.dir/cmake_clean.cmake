@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pgrp.dir/test_pgrp.cpp.o"
+  "CMakeFiles/test_pgrp.dir/test_pgrp.cpp.o.d"
+  "test_pgrp"
+  "test_pgrp.pdb"
+  "test_pgrp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pgrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

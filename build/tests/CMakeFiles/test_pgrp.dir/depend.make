@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pgrp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsm.dir/test_tsm.cpp.o"
+  "CMakeFiles/test_tsm.dir/test_tsm.cpp.o.d"
+  "test_tsm"
+  "test_tsm.pdb"
+  "test_tsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

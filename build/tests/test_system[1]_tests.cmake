@@ -1,0 +1,3 @@
+add_test([=[System.AllParadigmsOneTracedMachine]=]  /root/repo/build/tests/test_system [==[--gtest_filter=System.AllParadigmsOneTracedMachine]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[System.AllParadigmsOneTracedMachine]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 120)
+set(  test_system_TESTS System.AllParadigmsOneTracedMachine)
