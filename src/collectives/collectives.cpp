@@ -93,7 +93,7 @@ void DeliverLocal(RedOp& op, const void* data, std::size_t size) {
   }
   assert(op.user_handler >= 0);
   void* msg = CmiMakeMessage(op.user_handler, data, size);
-  CsdEnqueue(msg);
+  CsdEnqueue(msg);  // converse-lint: allow(enqueue-delivered-buffer) msg built above
 }
 
 /// Called whenever an op may have become complete on this PE.

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "converse/check.h"
 #include "converse/util/timer.h"
 #include "core/pe_state.h"
 
@@ -11,6 +12,7 @@ int CmiRegisterHandler(Handler fn) {
   detail::PeState& pe = detail::CpvChecked();
   assert(fn && "CmiRegisterHandler: empty handler");
   pe.handlers.push_back(std::move(fn));
+  detail::check::OnHandlerRegister();
   return static_cast<int>(pe.handlers.size()) - 1;
 }
 
@@ -39,6 +41,8 @@ namespace detail {
 void DispatchMessage(void* msg, bool system_owned) {
   PeState& pe = CpvChecked();
   const MsgHeader* h = Header(msg);
+  check::OnDeliverBegin(msg, system_owned);
+  check::OnDispatchHandler(msg, pe.handlers.size());
   assert(h->magic == kMsgMagicAlive && "dispatching a freed message");
   assert(h->handler < pe.handlers.size() &&
          "message handler not registered on this PE");
@@ -57,13 +61,16 @@ void DispatchMessage(void* msg, bool system_owned) {
 
   if (system_owned) {
     pe.sysbuf_stack.push_back(SysBuf{msg, false});
-    const std::size_t depth = pe.sysbuf_stack.size();
+    [[maybe_unused]] const std::size_t depth = pe.sysbuf_stack.size();
     fn(msg);
     assert(pe.sysbuf_stack.size() == depth &&
            "handler unbalanced the system buffer stack");
     const SysBuf sb = pe.sysbuf_stack.back();
     pe.sysbuf_stack.pop_back();
-    if (!sb.grabbed) CmiFree(sb.msg);
+    if (!sb.grabbed) {
+      check::OnDeliverEnd(sb.msg);  // dispatcher reclaims the buffer
+      CmiFree(sb.msg);
+    }
   } else {
     // Scheduler-queue delivery: the handler owns the message.
     fn(msg);

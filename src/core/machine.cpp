@@ -5,6 +5,7 @@
 #include <cstring>
 #include <thread>
 
+#include "converse/check.h"
 #include "converse/csd.h"
 #include "converse/detail/module.h"
 #include "converse/util/timer.h"
@@ -33,6 +34,7 @@ void* CopyMessage(const void* msg, std::size_t size) {
   std::memcpy(copy, msg, size);
   Header(copy)->total_size = static_cast<std::uint32_t>(size);
   Header(copy)->magic = kMsgMagicAlive;
+  check::OnCopyReset(copy);
   return copy;
 }
 
@@ -59,6 +61,7 @@ bool TryScatter(PeState& pe, void* msg) {
     if (!reg.persistent) {
       pe.scatters.erase(pe.scatters.begin() + static_cast<long>(i));
     }
+    check::OnReclaim(msg);  // machine layer consumes the in-flight buffer
     CmiFree(msg);
     if (notify >= 0) {
       // "queues a short empty message in addition ... to notify the
@@ -73,11 +76,14 @@ bool TryScatter(PeState& pe, void* msg) {
 }
 
 void FlushPendingMmi(PeState& pe) {
-  if (pe.pending_mmi != nullptr && !pe.pending_mmi_grabbed) {
-    CmiFree(pe.pending_mmi);
-  }
+  void* stale = pe.pending_mmi;
+  const bool grabbed = pe.pending_mmi_grabbed;
   pe.pending_mmi = nullptr;
   pe.pending_mmi_grabbed = false;
+  if (stale != nullptr && !grabbed) {
+    check::OnReclaim(stale);  // MMI reclaims its ungrabbed buffer
+    CmiFree(stale);
+  }
 }
 
 }  // namespace
@@ -85,6 +91,7 @@ void FlushPendingMmi(PeState& pe) {
 PeState* Cpv() { return tls_pe; }
 
 PeState& CpvChecked() {
+  if (CciCheckEnabled()) check::CheckInsidePe("a Converse runtime function");
   assert(tls_pe != nullptr &&
          "Converse call made outside a PE thread of a running machine");
   return *tls_pe;
@@ -109,8 +116,12 @@ void SendOwned(int dest_pe, void* msg) {
   Machine& m = *pe.machine;
   assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
   MsgHeader* h = Header(msg);
+  check::OnSend(msg);
   assert(h->magic == kMsgMagicAlive && "sending a freed message");
-  assert(h->handler != 0xffffffffu && "sending a message with no handler");
+  // With CciCheck on, a never-set handler is reported at dispatch time
+  // (rule no-handler) with the sender PE named in the diagnostic.
+  assert((CciCheckEnabled() || h->handler != 0xffffffffu) &&
+         "sending a message with no handler");
   h->source_pe = static_cast<std::uint16_t>(pe.mype);
   h->seq = static_cast<std::uint32_t>(pe.send_seq++);
   if (pe.hooks != nullptr && pe.hooks->on_send != nullptr) {
@@ -141,8 +152,10 @@ void SendOwnedImmediate(int dest_pe, void* msg) {
   Machine& m = *pe.machine;
   assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
   MsgHeader* h = Header(msg);
+  check::OnSend(msg);
   assert(h->magic == kMsgMagicAlive);
-  assert(h->handler != 0xffffffffu);
+  assert((CciCheckEnabled() || h->handler != 0xffffffffu) &&
+         "sending a message with no handler");
   h->source_pe = static_cast<std::uint16_t>(pe.mype);
   h->seq = static_cast<std::uint32_t>(pe.send_seq++);
   if (pe.hooks != nullptr && pe.hooks->on_send != nullptr) {
@@ -278,19 +291,25 @@ Machine::~Machine() {
 }
 
 void Machine::DrainQueues(PeState& pe) {
+  // Teardown: the machine reclaims every buffer it still owns; OnReclaim
+  // tells the checker these frees are the machine layer's prerogative.
   while (!pe.netq.empty()) {
+    detail::check::OnReclaim(pe.netq.front().msg);
     CmiFree(pe.netq.front().msg);
     pe.netq.pop_front();
   }
   while (!pe.immq.empty()) {
+    detail::check::OnReclaim(pe.immq.front());
     CmiFree(pe.immq.front());
     pe.immq.pop_front();
   }
   while (!pe.timedq.empty()) {
+    detail::check::OnReclaim(pe.timedq.top().msg);
     CmiFree(pe.timedq.top().msg);
     pe.timedq.pop();
   }
   while (!pe.heldq.empty()) {
+    detail::check::OnReclaim(pe.heldq.front());
     CmiFree(pe.heldq.front());
     pe.heldq.pop_front();
   }
@@ -299,6 +318,7 @@ void Machine::DrainQueues(PeState& pe) {
     CmiFree(msg);
   }
   if (pe.pending_mmi != nullptr && !pe.pending_mmi_grabbed) {
+    detail::check::OnReclaim(pe.pending_mmi);
     CmiFree(pe.pending_mmi);
     pe.pending_mmi = nullptr;
   }
@@ -353,6 +373,7 @@ void Machine::Run(const std::function<void(int pe, int npes)>& entry) {
           Abort(std::current_exception());
         }
       }
+      if (!aborted()) check::OnPeFinish();
       finish_barrier.arrive_and_wait();
       try {
         RunPeFiniHooks();
@@ -409,11 +430,18 @@ void CmiSyncSend(unsigned int dest_pe, unsigned int size, void* msg) {
 
 void CmiSyncSendAndFree(unsigned int dest_pe, unsigned int size, void* msg) {
   auto* h = detail::Header(msg);
+  if (CciCheckEnabled() && h->magic != detail::kMsgMagicAlive) {
+    detail::check::Violate(CciRule::kUseAfterFree, msg,
+                           "CmiSyncSendAndFree of a freed message (header "
+                           "magic 0x%08x)", h->magic);
+  }
   assert(h->magic == detail::kMsgMagicAlive);
   h->total_size = size;
   detail::PeState& pe = detail::CpvChecked();
   // Guard against handing the machine a buffer the dispatcher still owns.
-  assert((pe.sysbuf_stack.empty() || pe.sysbuf_stack.back().msg != msg ||
+  // With CciCheck on, SendOwned's OnSend hook reports the precise rule.
+  assert((CciCheckEnabled() || pe.sysbuf_stack.empty() ||
+          pe.sysbuf_stack.back().msg != msg ||
           pe.sysbuf_stack.back().grabbed) &&
          "CmiSyncSendAndFree on an ungrabbed system buffer; call "
          "CmiGrabBuffer first");
@@ -463,6 +491,7 @@ void* CmiGetMsg() {
     msg = detail::PopNet(pe);
   }
   if (msg != nullptr) {
+    detail::check::OnMmiReturn(msg);
     pe.pending_mmi = msg;
     pe.pending_mmi_grabbed = false;
   }
@@ -482,6 +511,7 @@ void* CmiGetSpecificMsg(int handler_id) {
     if (CmiGetHandler(*it) == handler_id) {
       void* msg = *it;
       pe.heldq.erase(it);
+      detail::check::OnMmiReturn(msg);
       pe.pending_mmi = msg;
       pe.pending_mmi_grabbed = false;
       return msg;
@@ -494,6 +524,7 @@ void* CmiGetSpecificMsg(int handler_id) {
       continue;
     }
     if (CmiGetHandler(msg) == handler_id) {
+      detail::check::OnMmiReturn(msg);
       pe.pending_mmi = msg;
       pe.pending_mmi_grabbed = false;
       return msg;
@@ -506,16 +537,19 @@ void CmiGrabBuffer(void** pbuf) {
   detail::PeState& pe = detail::CpvChecked();
   void* buf = *pbuf;
   if (pe.pending_mmi == buf) {
+    detail::check::OnGrab(buf, pe.pending_mmi_grabbed);
     pe.pending_mmi_grabbed = true;
     return;
   }
   for (auto it = pe.sysbuf_stack.rbegin(); it != pe.sysbuf_stack.rend();
        ++it) {
     if (it->msg == buf) {
+      detail::check::OnGrab(buf, it->grabbed);
       it->grabbed = true;
       return;
     }
   }
+  if (CciCheckEnabled()) detail::check::OnGrabMiss(buf);
   assert(false &&
          "CmiGrabBuffer: buffer is not a system-owned message being "
          "delivered on this PE");

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <new>
 
+#include "converse/check.h"
 #include "converse/handlers.h"
 
 namespace converse {
@@ -23,11 +24,13 @@ void* CmiAlloc(std::size_t nbytes) {
   h->magic = detail::kMsgMagicAlive;
   h->seq = 0;
   h->reserved = 0;
+  detail::check::OnAlloc(msg, nbytes);
   return msg;
 }
 
 void CmiFree(void* msg) {
   if (msg == nullptr) return;
+  detail::check::OnFree(msg);
   auto* h = detail::Header(msg);
   assert(h->magic == detail::kMsgMagicAlive && "CmiFree: not a live message");
   h->magic = detail::kMsgMagicFreed;

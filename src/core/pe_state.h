@@ -96,6 +96,11 @@ struct PeState {
   std::deque<void*> heldq;  // buffered by CmiGetSpecificMsg
   CqsQueue schedq;
   std::vector<Handler> handlers;
+  // Handler count published for CciCheck's cross-PE divergence diagnosis:
+  // written (release) by the owning PE on registration, read (acquire) by
+  // other PEs only inside a checker violation path.  Stays 0 when the
+  // checker is disabled.
+  std::atomic<std::uint32_t> published_handlers{0};
   std::vector<SysBuf> sysbuf_stack;
   void* pending_mmi = nullptr;  // last buffer returned by CmiGetMsg/Specific
   bool pending_mmi_grabbed = false;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "converse/check.h"
+
 namespace converse {
 namespace {
 
@@ -80,6 +82,7 @@ CqsQueue::~CqsQueue() {
 
 void CqsQueue::EnqueueGeneral(void* msg, Queueing strategy, CqsPrio prio) {
   assert(msg != nullptr);
+  detail::check::OnEnqueue(msg);
   const std::uint64_t s = seq_++;
   const bool lifo = strategy == Queueing::kLifo ||
                     strategy == Queueing::kIntLifo ||
@@ -102,22 +105,19 @@ void CqsQueue::EnqueueGeneral(void* msg, Queueing strategy, CqsPrio prio) {
 
 void* CqsQueue::Dequeue() {
   static const CqsPrio kDefault{};
+  void* msg = nullptr;
   if (!heap_.empty() && heap_.top().prio.Compare(kDefault) < 0) {
-    void* msg = heap_.top().msg;
+    msg = heap_.top().msg;
     heap_.pop();
-    return msg;
-  }
-  if (!zeroq_.empty()) {
-    void* msg = zeroq_.front();
+  } else if (!zeroq_.empty()) {
+    msg = zeroq_.front();
     zeroq_.pop_front();
-    return msg;
-  }
-  if (!heap_.empty()) {
-    void* msg = heap_.top().msg;
+  } else if (!heap_.empty()) {
+    msg = heap_.top().msg;
     heap_.pop();
-    return msg;
   }
-  return nullptr;
+  if (msg != nullptr) detail::check::OnDequeue(msg);
+  return msg;
 }
 
 }  // namespace converse

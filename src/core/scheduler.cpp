@@ -9,6 +9,7 @@
 
 #include <cassert>
 
+#include "converse/check.h"
 #include "core/pe_state.h"
 
 namespace converse {
@@ -23,7 +24,10 @@ void NoteEnqueue(PeState& pe, void* msg) {
   if (pe.hooks != nullptr && pe.hooks->on_enqueue != nullptr) {
     pe.hooks->on_enqueue(pe.hooks->ud, detail::Header(msg));
   }
-  assert((pe.sysbuf_stack.empty() || pe.sysbuf_stack.back().msg != msg ||
+  // When CciCheck is on, the queue's OnEnqueue hook diagnoses this with a
+  // proper rule name; the assert only backs up checker-less debug builds.
+  assert((CciCheckEnabled() || pe.sysbuf_stack.empty() ||
+          pe.sysbuf_stack.back().msg != msg ||
           pe.sysbuf_stack.back().grabbed) &&
          "CsdEnqueue on an ungrabbed system buffer; call CmiGrabBuffer "
          "first (paper buffer-ownership protocol)");

@@ -474,7 +474,7 @@ void CreateChare(int chare_type, const void* arg, std::size_t len,
     CldEnqueue(msg);
   } else if (on_pe == CmiMyPe()) {
     CmiSetHandler(msg, st.h_create_q);
-    CsdEnqueue(msg);
+    CsdEnqueue(msg);  // converse-lint: allow(enqueue-delivered-buffer)
   } else {
     CmiSetHandler(msg, st.h_create_net);
     detail::SendOwned(on_pe, msg);
@@ -515,6 +515,7 @@ void SendToChareBitvecPrio(ChareId target, int entry, const void* data,
   ++st.qd_created;
   if (target.pe == CmiMyPe()) {
     CmiSetHandler(msg, st.h_invoke_q);
+    // converse-lint: allow(enqueue-delivered-buffer) msg built by caller
     CsdEnqueueBitvecPrio(msg, prio_words, nbits);
   } else {
     detail::SendOwned(target.pe, msg);
@@ -569,7 +570,7 @@ void SendToBranch(int gid, int pe, int entry, const void* data,
   ++st.qd_created;
   if (pe == CmiMyPe()) {
     CmiSetHandler(msg, st.h_group_invoke_q);
-    CsdEnqueue(msg);
+    CsdEnqueue(msg);  // converse-lint: allow(enqueue-delivered-buffer)
   } else {
     detail::SendOwned(pe, msg);
   }

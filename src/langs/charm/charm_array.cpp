@@ -319,7 +319,7 @@ void SendToElement(int aid, int idx, int entry, const void* data,
   const int owner = OwnerOf(idx);
   if (owner == CmiMyPe()) {
     CmiSetHandler(msg, st.h_invoke_q);
-    CsdEnqueue(msg);
+    CsdEnqueue(msg);  // converse-lint: allow(enqueue-delivered-buffer)
   } else {
     CmiSetHandler(msg, st.h_invoke_net);
     detail::SendOwned(owner, msg);

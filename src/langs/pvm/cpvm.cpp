@@ -249,7 +249,7 @@ int pvm_recv(int tid, int tag) {
 
   if (!CthIsMain(CthSelf())) {
     // Multithreaded mode: suspend just this thread.
-    Waiter w{tid, tag, CthSelf()};
+    Waiter w{tid, tag, CthSelf(), false, {}, 0, 0};
     st.waiters.push_back(&w);
     CthSuspend();
     assert(w.satisfied);

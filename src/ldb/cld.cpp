@@ -90,9 +90,10 @@ void PlaceSeed(void* msg) {
     StoreTag(msg, SeedTag{});
   }
   if (tag.prioritized != 0) {
+    // converse-lint: allow(enqueue-delivered-buffer) seed is handler-owned
     CsdEnqueueIntPrio(msg, detail::Header(msg)->int_prio);
   } else {
-    CsdEnqueue(msg);
+    CsdEnqueue(msg);  // converse-lint: allow(enqueue-delivered-buffer)
   }
 }
 

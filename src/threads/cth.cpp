@@ -3,8 +3,10 @@
 
 #include <cassert>
 #include <cstring>
+#include <deque>
 #include <unordered_set>
 
+#include "converse/check.h"
 #include "converse/cmi.h"
 #include "converse/csd.h"
 #include "converse/detail/module.h"
@@ -17,6 +19,7 @@ struct CthThread {
   detail::Fiber fiber;
   std::function<void()> fn;  // user entry (empty for the main thread)
   bool exiting = false;
+  int owner_pe = -1;  // PE whose scheduler owns this thread (CciCheck)
   void* user_data = nullptr;
   // Per-thread scheduling strategy (paper's CthSetStrategy); empty = default.
   std::function<void()> suspend_fn;
@@ -43,6 +46,11 @@ struct CthPeState {
   CthThread* zombie = nullptr;   // exited thread awaiting stack reclaim
   int resume_handler = -1;       // handler of "resume thread" messages
   std::unordered_set<CthThread*> live;  // user threads (for teardown)
+  // CciCheck quarantine: recently retired (exited/freed) thread objects are
+  // kept here instead of being deleted, so a stale CthThread* can be
+  // diagnosed by rule (resumed-twice vs use-after-free) without the checker
+  // itself reading freed memory.  Bounded; empty when the checker is off.
+  std::deque<CthThread*> graveyard;
   std::uint64_t switches = 0;
 };
 
@@ -52,11 +60,66 @@ CthPeState& St() {
   return *static_cast<CthPeState*>(converse::detail::ModuleState(ModuleId()));
 }
 
+/// CciCheck: validate a thread-object operation against the owning PE's
+/// live set.  Catches cross-PE thread access (a PE awakening/resuming a
+/// thread whose stack and ready-message belong to another PE's scheduler)
+/// and operations on freed/exited thread objects.
+void CheckThreadOp(const CthPeState& st, CthThread* thr, const char* op,
+                   bool is_resume = false) {
+  if (!CciCheckEnabled() || thr == nullptr || thr == st.main) return;
+  if (st.live.count(thr) != 0) return;
+  using converse::detail::check::Violate;
+  const int mype = CmiMyPe();
+  // Retired on this PE: the quarantine still holds the object, so its
+  // fields are safe to read for a precise diagnosis.
+  for (const CthThread* g : st.graveyard) {
+    if (g != thr) continue;
+    if (is_resume && thr->exiting) {
+      Violate(CciRule::kThreadResumedTwice, thr,
+              "%s of a thread that already exited; it was awakened twice or "
+              "resumed after CthExit", op);
+    }
+    Violate(CciRule::kThreadUseAfterFree, thr,
+            "%s of a thread object already retired on this PE (it exited or "
+            "was CthFree'd)", op);
+  }
+  // Unknown here: either owned by another PE (its owner_pe still reads as
+  // that PE) or freed on this one (owner_pe reads as this PE or garbage).
+  if (thr->owner_pe >= 0 && thr->owner_pe != mype) {
+    Violate(CciRule::kCrossPeAccess, thr,
+            "%s of a thread object owned by PE %d from PE %d; thread "
+            "objects are private to the PE that created them", op,
+            thr->owner_pe, mype);
+  }
+  Violate(CciRule::kThreadUseAfterFree, thr,
+          "%s of a thread object not live on this PE (already freed or "
+          "exited)", op);
+}
+
+/// Retire a thread object.  With the checker on it goes to the bounded
+/// graveyard (see CthPeState) instead of straight to the heap.
+void RetireThread(CthPeState& st, CthThread* thr) {
+  st.live.erase(thr);
+  if (!CciCheckEnabled()) {
+    delete thr;
+    return;
+  }
+  // The stack goes back to the pool immediately; only the small CthThread
+  // node is quarantined for stale-handle diagnosis.
+  thr->fiber.ReleaseStack();
+  st.graveyard.push_back(thr);
+  constexpr std::size_t kGraveyardCap = 1024;  // bounds quarantined nodes
+  if (st.graveyard.size() > kGraveyardCap) {
+    delete st.graveyard.front();
+    st.graveyard.pop_front();
+  }
+}
+
 void ReapZombie(CthPeState& st) {
   if (st.zombie != nullptr && st.zombie != st.current) {
-    st.live.erase(st.zombie);
-    delete st.zombie;
+    CthThread* z = st.zombie;
     st.zombie = nullptr;
+    RetireThread(st, z);
   }
 }
 
@@ -70,7 +133,7 @@ void ResumeHandler(void* msg) {
   // does not free it behind our back.
   converse::detail::PeState& pe = converse::detail::CpvChecked();
   if (!pe.sysbuf_stack.empty() && pe.sysbuf_stack.back().msg == msg) {
-    pe.sysbuf_stack.back().grabbed = true;
+    CmiGrabBuffer(&msg);
   }
   // Free *before* resuming: the thread may not return control here soon.
   CmiFree(msg);
@@ -90,7 +153,15 @@ int ModuleId() {
       [](void* state) {
         auto* st = static_cast<CthPeState*>(state);
         st->zombie = nullptr;
+        if (CciCheckEnabled() && !st->live.empty()) {
+          converse::detail::check::Warn(
+              CciRule::kThreadLeak,
+              "PE %d tears down with %d live thread objects (created or "
+              "suspended but never resumed, exited, or freed)", CmiMyPe(),
+              static_cast<int>(st->live.size()));
+        }
         for (CthThread* t : st->live) delete t;  // reclaim leaked stacks
+        for (CthThread* t : st->graveyard) delete t;
         delete st->main;
         delete st;
       });
@@ -102,6 +173,7 @@ CthPeState& StReady() {
   CthPeState& st = St();
   if (st.main == nullptr) {
     st.main = new CthThread(ToFiber(st.backend));
+    st.main->owner_pe = CmiMyPe();
     st.current = st.main;
   }
   return st;
@@ -168,6 +240,7 @@ CthThread* CthCreateOfSize(std::function<void()> fn,
     CthExit();
   });
   thr->fn = std::move(fn);
+  thr->owner_pe = CmiMyPe();
   st.live.insert(thr);
   return thr;
 }
@@ -179,6 +252,13 @@ CthThread* CthCreate(void (*fn)(void*), void* arg) {
 void CthResume(CthThread* thr) {
   CthPeState& st = StReady();
   assert(thr != nullptr);
+  CheckThreadOp(st, thr, "CthResume", /*is_resume=*/true);
+  if (CciCheckEnabled() && thr->exiting) {
+    detail::check::Violate(
+        CciRule::kThreadResumedTwice, thr,
+        "CthResume of a thread that already exited; it was awakened twice "
+        "or resumed after CthExit");
+  }
   assert(!thr->exiting && "resuming an exited thread");
   CthThread* cur = st.current;
   if (thr == cur) return;
@@ -202,6 +282,7 @@ void CthSuspend() {
 
 void CthAwaken(CthThread* thr) {
   CthPeState& st = StReady();
+  CheckThreadOp(st, thr, "CthAwaken");
   assert(thr != st.main && "cannot awaken the scheduler context");
   if (thr->awaken_fn) {
     thr->awaken_fn(thr);
@@ -212,6 +293,7 @@ void CthAwaken(CthThread* thr) {
 
 void CthAwakenPrio(CthThread* thr, std::int32_t prio) {
   CthPeState& st = StReady();
+  CheckThreadOp(st, thr, "CthAwakenPrio");
   assert(thr != st.main);
   if (thr->awaken_fn) {
     thr->awaken_fn(thr);
@@ -259,10 +341,10 @@ void CthSetStrategy(CthThread* thr, std::function<void()> suspend_fn,
 
 void CthFree(CthThread* thr) {
   CthPeState& st = StReady();
+  CheckThreadOp(st, thr, "CthFree");
   assert(thr != st.current && "CthFree of the running thread; use CthExit");
   assert(thr != st.main);
-  st.live.erase(thr);
-  delete thr;
+  RetireThread(st, thr);
 }
 
 void CthSetData(CthThread* thr, void* data) { thr->user_data = data; }

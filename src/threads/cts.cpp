@@ -35,7 +35,7 @@ int MyPe() { return detail::CpvChecked().mype; }
 
 // ---- Locks -----------------------------------------------------------------
 
-LOCK* CtsNewLock() { return new LOCK{MyPe()}; }
+LOCK* CtsNewLock() { return new LOCK{MyPe(), nullptr, {}}; }
 
 void CtsLockInit(LOCK* lock) {
   assert(lock->waiters.empty() && "CtsLockInit with queued waiters");
@@ -97,7 +97,7 @@ std::size_t CtsLockWaiters(const LOCK* lock) { return lock->waiters.size(); }
 
 // ---- Condition variables ----------------------------------------------------
 
-CONDN* CtsNewCondn() { return new CONDN{MyPe()}; }
+CONDN* CtsNewCondn() { return new CONDN{MyPe(), {}}; }
 
 int CtsCondnBroadcast(CONDN* condn) {
   assert(condn->pe == MyPe() && "Cts objects are PE-local");
@@ -145,7 +145,7 @@ std::size_t CtsCondnWaiters(const CONDN* condn) {
 
 // ---- Barriers ----------------------------------------------------------------
 
-BARRIER* CtsNewBarrier() { return new BARRIER{MyPe()}; }
+BARRIER* CtsNewBarrier() { return new BARRIER{MyPe(), 0, 0, {}}; }
 
 int CtsBarrierReinit(BARRIER* bar, int num) {
   assert(num >= 1);

@@ -214,6 +214,15 @@ Fiber::~Fiber() {
   }
 }
 
+void Fiber::ReleaseStack() {
+  if (map_base_ != nullptr) {
+    g_stack_pool.Release(map_base_, map_bytes_);
+    map_base_ = nullptr;
+    stack_base_ = nullptr;
+    map_bytes_ = 0;
+  }
+}
+
 void Fiber::SwitchTo(Fiber& target) {
   assert(backend_ == target.backend_ &&
          "cannot switch between fibers of different backends");

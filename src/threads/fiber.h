@@ -36,6 +36,12 @@ class Fiber {
 
   ~Fiber();
 
+  /// Return the stack mapping to the calling thread's pool now, ahead of
+  /// destruction.  The fiber must never be switched to afterwards.  Used by
+  /// the CciCheck thread graveyard, which keeps retired CthThread nodes
+  /// around for diagnosis but must not hold their stacks hostage.
+  void ReleaseStack();
+
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 

@@ -71,13 +71,14 @@ TEST(Charm, ConstructorSeesCkMyChareId) {
     struct SelfAware : Chare {
       SelfAware(const void*, std::size_t) {}
     };
-    static std::atomic<int>* pe_out;
-    static std::atomic<unsigned>* idx_out;
-    pe_out = &ctor_pe;
-    idx_out = &ctor_idx;
+    // Atomic: every PE thread stores the (identical) pointer concurrently.
+    static std::atomic<std::atomic<int>*> pe_out;
+    static std::atomic<std::atomic<unsigned>*> idx_out;
+    pe_out.store(&ctor_pe);
+    idx_out.store(&ctor_idx);
     const int type = RegisterChare("selfaware", [](const void*, std::size_t) -> Chare* {
-      *pe_out = CkMyChareId().pe;
-      *idx_out = CkMyChareId().idx;
+      *pe_out.load() = CkMyChareId().pe;
+      *idx_out.load() = CkMyChareId().idx;
       return new SelfAware(nullptr, 0);
     });
     if (pe == 0) {
@@ -99,10 +100,10 @@ TEST(Charm, SeedCreationPlacesEverywhereEventually) {
     struct Worker : Chare {
       Worker(const void*, std::size_t) {}
     };
-    static ctu::PerPeCounters* wp;
-    wp = &where;
+    static std::atomic<ctu::PerPeCounters*> wp;
+    wp.store(&where);
     const int type = RegisterChare("worker", [](const void*, std::size_t) -> Chare* {
-      wp->Add(CmiMyPe());
+      wp.load()->Add(CmiMyPe());
       return new Worker(nullptr, 0);
     });
     if (pe == 0) {
@@ -184,11 +185,11 @@ TEST(Charm, GroupsHaveBranchOnEveryPe) {
       Branch(const void*, std::size_t) {}
       void Poke(const void*, std::size_t) {}
     };
-    static ctu::PerPeCounters* hp;
-    hp = &hits;
+    static std::atomic<ctu::PerPeCounters*> hp;
+    hp.store(&hits);
     const int type = RegisterChareType<Branch>("branch");
     const int poke = RegisterEntry([](Chare*, const void*, std::size_t) {
-      hp->Add(CmiMyPe());
+      hp.load()->Add(CmiMyPe());
     });
     if (pe == 0) {
       const int gid = CreateGroup(type, nullptr, 0);
@@ -208,11 +209,11 @@ TEST(Charm, SendToBranchTargetsOnePe) {
     struct Branch : Chare {
       Branch(const void*, std::size_t) {}
     };
-    static ctu::PerPeCounters* hp;
-    hp = &hits;
+    static std::atomic<ctu::PerPeCounters*> hp;
+    hp.store(&hits);
     const int type = RegisterChareType<Branch>("branch");
     const int poke = RegisterEntry([](Chare*, const void*, std::size_t) {
-      hp->Add(CmiMyPe());
+      hp.load()->Add(CmiMyPe());
     });
     if (pe == 0) {
       const int gid = CreateGroup(type, nullptr, 0);
@@ -280,21 +281,21 @@ TEST(Charm, QuiescenceWaitsForCascades) {
     struct Fanout : Chare {
       Fanout(const void*, std::size_t) {}
     };
-    static std::atomic<int>* cp;
-    static int type_idx;
-    cp = &constructed;
+    static std::atomic<std::atomic<int>*> cp;
+    static std::atomic<int> type_idx;
+    cp.store(&constructed);
     const int type = RegisterChare("fanout", [](const void* arg, std::size_t len) -> Chare* {
       int depth = 0;
       if (len == sizeof(int)) std::memcpy(&depth, arg, sizeof(depth));
-      cp->fetch_add(1);
+      cp.load()->fetch_add(1);
       if (depth > 0) {
         const int next = depth - 1;
-        CreateChare(type_idx, &next, sizeof(next));
-        CreateChare(type_idx, &next, sizeof(next));
+        CreateChare(type_idx.load(), &next, sizeof(next));
+        CreateChare(type_idx.load(), &next, sizeof(next));
       }
       return new Fanout(nullptr, 0);
     });
-    type_idx = type;
+    type_idx.store(type);
     if (pe == 0) {
       const int depth = 5;  // 2^6 - 1 = 63 chares
       CreateChare(type, &depth, sizeof(depth));

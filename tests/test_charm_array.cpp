@@ -101,24 +101,25 @@ TEST(CharmArray, ReductionSumsAllElements) {
   std::atomic<long> sum{0};
   RunConverse(3, [&](int pe, int) {
     const int type = RegisterArrayElementType<Cell>("cell");
-    static int client;
-    client = CmiRegisterHandler([&](void* msg) {
+    // Atomic: every PE thread stores the (identical) index concurrently.
+    static std::atomic<int> client;
+    client.store(CmiRegisterHandler([&](void* msg) {
       long v;
       std::memcpy(&v, CmiMsgPayload(msg), sizeof(v));
       sum = v;
       CmiFree(msg);  // scheduler-queue delivery
       ConverseBroadcastExit();
-    });
-    static int contrib_entry;
-    contrib_entry = RegisterEntry([](Chare* c, const void*, std::size_t) {
+    }));
+    static std::atomic<int> contrib_entry;
+    contrib_entry.store(RegisterEntry([](Chare* c, const void*, std::size_t) {
       auto* cell = static_cast<Cell*>(c);
       const std::int64_t v = cell->value;
-      ArrayContribute(cell, &v, sizeof(v), CmiReducerSumI64(), client);
-    });
+      ArrayContribute(cell, &v, sizeof(v), CmiReducerSumI64(), client.load());
+    }));
     if (pe == 0) {
       const int aid = CreateArray(type, kElems, nullptr, 0);
       CsdScheduler(1);
-      BroadcastToArray(aid, contrib_entry, nullptr, 0);
+      BroadcastToArray(aid, contrib_entry.load(), nullptr, 0);
     }
     CsdScheduler(-1);
   });
@@ -130,27 +131,28 @@ TEST(CharmArray, TwoReductionRoundsKeepSeparate) {
   std::vector<long> results;
   RunConverse(2, [&](int pe, int) {
     const int type = RegisterArrayElementType<Cell>("cell");
-    static int client;
-    client = CmiRegisterHandler([&](void* msg) {
+    // Atomic: every PE thread stores the (identical) index concurrently.
+    static std::atomic<int> client;
+    client.store(CmiRegisterHandler([&](void* msg) {
       long v;
       std::memcpy(&v, CmiMsgPayload(msg), sizeof(v));
       results.push_back(v);
       CmiFree(msg);
       if (results.size() == 2) ConverseBroadcastExit();
-    });
-    static int contrib2;
-    contrib2 = RegisterEntry([](Chare* c, const void*, std::size_t) {
+    }));
+    static std::atomic<int> contrib2;
+    contrib2.store(RegisterEntry([](Chare* c, const void*, std::size_t) {
       auto* cell = static_cast<Cell*>(c);
       // Round 1: value; round 2: value*10 — results must stay distinct.
       std::int64_t v = cell->value;
-      ArrayContribute(cell, &v, sizeof(v), CmiReducerSumI64(), client);
+      ArrayContribute(cell, &v, sizeof(v), CmiReducerSumI64(), client.load());
       v = cell->value * 10;
-      ArrayContribute(cell, &v, sizeof(v), CmiReducerSumI64(), client);
-    });
+      ArrayContribute(cell, &v, sizeof(v), CmiReducerSumI64(), client.load());
+    }));
     if (pe == 0) {
       const int aid = CreateArray(type, kElems, nullptr, 0);
       CsdScheduler(1);
-      BroadcastToArray(aid, contrib2, nullptr, 0);
+      BroadcastToArray(aid, contrib2.load(), nullptr, 0);
     }
     CsdScheduler(-1);
   });

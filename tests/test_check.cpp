@@ -1,0 +1,364 @@
+// CciCheck tests (include/converse/check.h).
+//
+// Two families:
+//  * death tests — buggy programs must abort with a one-line diagnostic
+//    naming the violated rule (run only when the library was configured
+//    with -DCONVERSE_CHECK=ON);
+//  * disabled-mode tests — the same buggy programs must run to (silently
+//    incorrect) completion when the checker is off, and the counters API
+//    must be inert.
+//
+// Death tests use the "threadsafe" style: the machine spawns one OS thread
+// per PE, so gtest must re-execute the binary instead of forking mid-run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+
+#include "converse/check.h"
+#include "converse/converse.h"
+#include "test_helpers.h"
+
+namespace converse {
+namespace {
+
+constexpr unsigned int kMsgBytes =
+    static_cast<unsigned int>(CmiMsgHeaderSizeBytes()) + 8;
+
+void* AllocMsg(int handler) {
+  void* m = CmiAlloc(kMsgBytes);
+  if (handler >= 0) CmiSetHandler(m, handler);
+  return m;
+}
+
+class CciCheckDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CciCheckEnabled()) {
+      GTEST_SKIP() << "library built without -DCONVERSE_CHECK=ON";
+    }
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Buffer ownership state machine
+// ---------------------------------------------------------------------------
+
+TEST_F(CciCheckDeathTest, DoubleFreeAborts) {
+  EXPECT_DEATH(ctu::Run(1,
+                        [](int, int) {
+                          void* m = AllocMsg(-1);
+                          CmiFree(m);
+                          // converse-lint: allow(double-free) under test
+                          CmiFree(m);
+                        }),
+               "\\[CciCheck\\] fatal: rule=double-free");
+}
+
+TEST_F(CciCheckDeathTest, ForeignFreeAborts) {
+  EXPECT_DEATH(ctu::Run(1,
+                        [](int, int) {
+                          alignas(16) static char not_a_msg[64] = {};
+                          CmiFree(not_a_msg);  // bug: never CmiAlloc'd
+                        }),
+               "\\[CciCheck\\] fatal: rule=foreign-free");
+}
+
+TEST_F(CciCheckDeathTest, FreeAfterSendAndFreeAborts) {
+  EXPECT_DEATH(ctu::Run(1,
+                        [](int, int) {
+                          const int h = CmiRegisterHandler([](void*) {});
+                          void* m = AllocMsg(h);
+                          CmiSyncSendAndFree(0, kMsgBytes, m);
+                          // converse-lint: allow(free-after-send-and-free)
+                          CmiFree(m);  // bug under test: ownership moved
+                        }),
+               "\\[CciCheck\\] fatal: rule=use-after-send");
+}
+
+TEST_F(CciCheckDeathTest, SendOfFreedMessageAborts) {
+#if defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "ASan reports the underlying use-after-free first";
+#endif
+  EXPECT_DEATH(ctu::Run(1,
+                        [](int, int) {
+                          const int h = CmiRegisterHandler([](void*) {});
+                          void* m = AllocMsg(h);
+                          CmiFree(m);
+                          CmiSyncSendAndFree(0, kMsgBytes, m);  // bug
+                        }),
+               "\\[CciCheck\\] fatal: rule=use-after-free");
+}
+
+TEST_F(CciCheckDeathTest, UngrabbedFreeInsideHandlerAborts) {
+  EXPECT_DEATH(
+      ctu::Run(1,
+               [](int, int) {
+                 const int h = CmiRegisterHandler([](void* msg) {
+                   CmiFree(msg);  // bug: system buffer, never grabbed
+                 });
+                 void* m = AllocMsg(h);
+                 CmiSyncSendAndFree(0, kMsgBytes, m);
+                 CmiDeliverMsgs(1);
+               }),
+      "\\[CciCheck\\] fatal: rule=ungrabbed-free");
+}
+
+TEST_F(CciCheckDeathTest, UngrabbedSendAndFreeInsideHandlerAborts) {
+  EXPECT_DEATH(
+      ctu::Run(1,
+               [](int, int) {
+                 const int h = CmiRegisterHandler([](void* msg) {
+                   // bug: forwarding a system buffer without grabbing it.
+                   CmiSyncSendAndFree(0, kMsgBytes, msg);
+                 });
+                 void* m = AllocMsg(h);
+                 CmiSyncSendAndFree(0, kMsgBytes, m);
+                 CmiDeliverMsgs(1);
+               }),
+      "\\[CciCheck\\] fatal: rule=ungrabbed-send");
+}
+
+TEST_F(CciCheckDeathTest, DoubleGrabAborts) {
+  EXPECT_DEATH(
+      ctu::Run(1,
+               [](int, int) {
+                 const int h = CmiRegisterHandler([](void* msg) {
+                   void* p = msg;
+                   CmiGrabBuffer(&p);
+                   void* q = msg;
+                   CmiGrabBuffer(&q);  // bug
+                   CmiFree(p);
+                 });
+                 void* m = AllocMsg(h);
+                 CmiSyncSendAndFree(0, kMsgBytes, m);
+                 CmiDeliverMsgs(1);
+               }),
+      "\\[CciCheck\\] fatal: rule=double-grab");
+}
+
+TEST_F(CciCheckDeathTest, GrabOutsideDeliveryAborts) {
+  EXPECT_DEATH(ctu::Run(1,
+                        [](int, int) {
+                          void* m = AllocMsg(-1);
+                          CmiGrabBuffer(&m);  // bug: nothing being delivered
+                        }),
+               "\\[CciCheck\\] fatal: rule=grab-outside-delivery");
+}
+
+TEST_F(CciCheckDeathTest, DoubleEnqueueAborts) {
+  EXPECT_DEATH(ctu::Run(1,
+                        [](int, int) {
+                          const int h = CmiRegisterHandler([](void*) {});
+                          void* m = AllocMsg(h);
+                          CsdEnqueue(m);
+                          CsdEnqueue(m);  // bug
+                        }),
+               "\\[CciCheck\\] fatal: rule=double-enqueue");
+}
+
+TEST_F(CciCheckDeathTest, EnqueueOfUngrabbedSystemBufferAborts) {
+  EXPECT_DEATH(
+      ctu::Run(1,
+               [](int, int) {
+                 const int h = CmiRegisterHandler([](void* msg) {
+                   CsdEnqueue(msg);  // bug: dispatcher still owns msg
+                 });
+                 void* m = AllocMsg(h);
+                 CmiSyncSendAndFree(0, kMsgBytes, m);
+                 CmiDeliverMsgs(1);
+               }),
+      "\\[CciCheck\\] fatal: rule=enqueue-not-owned");
+}
+
+// ---------------------------------------------------------------------------
+// Handler table
+// ---------------------------------------------------------------------------
+
+TEST_F(CciCheckDeathTest, NeverSetHandlerAborts) {
+  EXPECT_DEATH(ctu::Run(1,
+                        [](int, int) {
+                          void* m = AllocMsg(-1);  // bug: no CmiSetHandler
+                          CmiSyncSendAndFree(0, kMsgBytes, m);
+                          CmiDeliverMsgs(1);
+                        }),
+               "\\[CciCheck\\] fatal: rule=no-handler");
+}
+
+TEST_F(CciCheckDeathTest, OutOfRangeHandlerAborts) {
+  EXPECT_DEATH(ctu::Run(1,
+                        [](int, int) {
+                          void* m = AllocMsg(123456);  // bug: bogus index
+                          CmiSyncSendAndFree(0, kMsgBytes, m);
+                          CmiDeliverMsgs(1);
+                        }),
+               "\\[CciCheck\\] fatal: rule=bad-handler");
+}
+
+TEST_F(CciCheckDeathTest, DivergentHandlerTablesAbort) {
+  EXPECT_DEATH(ctu::Run(2,
+                        [](int pe, int) {
+                          if (pe == 0) {
+                            // bug: handler registered on PE 0 only.
+                            const int h = CmiRegisterHandler([](void*) {});
+                            void* m = AllocMsg(h);
+                            CmiSyncSendAndFree(1, kMsgBytes, m);
+                          }
+                          CsdScheduler(-1);  // abort on PE 1 kills the run
+                        }),
+               "\\[CciCheck\\] fatal: rule=handler-divergence");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-PE / threading
+// ---------------------------------------------------------------------------
+
+std::atomic<CthThread*> g_shared_thread{nullptr};
+
+TEST_F(CciCheckDeathTest, CrossPeThreadAccessAborts) {
+  EXPECT_DEATH(ctu::Run(2,
+                        [](int pe, int) {
+                          if (pe == 0) {
+                            g_shared_thread.store(CthCreate([] {}));
+                            CsdScheduler(-1);  // park; PE 1 aborts the run
+                          } else {
+                            CthThread* t = nullptr;
+                            while ((t = g_shared_thread.load()) == nullptr) {
+                            }
+                            CthAwaken(t);  // bug: PE 0 owns this thread
+                          }
+                        }),
+               "\\[CciCheck\\] fatal: rule=cross-pe-access");
+}
+
+TEST_F(CciCheckDeathTest, ResumingExitedThreadAborts) {
+  EXPECT_DEATH(ctu::Run(1,
+                        [](int, int) {
+                          CthThread* t = CthCreate([] {});
+                          CthResume(t);  // runs to completion and exits
+                          CthResume(t);  // bug: stale handle
+                        }),
+               "\\[CciCheck\\] fatal: rule=thread-resumed-twice");
+}
+
+TEST_F(CciCheckDeathTest, AwakeningFreedThreadAborts) {
+  EXPECT_DEATH(ctu::Run(1,
+                        [](int, int) {
+                          CthThread* t = CthCreate([] {});
+                          CthFree(t);
+                          CthAwaken(t);  // bug: freed handle
+                        }),
+               "\\[CciCheck\\] fatal: rule=thread-use-after-free");
+}
+
+TEST_F(CciCheckDeathTest, ConverseCallFromNonPeThreadAborts) {
+  EXPECT_DEATH(CmiMyPe(),  // bug: no machine is running on this thread
+               "\\[CciCheck\\] fatal: rule=non-pe-thread");
+}
+
+// ---------------------------------------------------------------------------
+// Warnings and counters (checker on)
+// ---------------------------------------------------------------------------
+
+TEST(CciCheck, ExitImbalanceWarnsAtTeardown) {
+  if (!CciCheckEnabled()) GTEST_SKIP();
+  const std::uint64_t before = CciCheckCounters().warnings;
+  // CsdExitScheduler with no scheduler loop left to consume it.
+  ctu::Run(1, [](int, int) { CsdExitScheduler(); });
+  EXPECT_GT(CciCheckCounters().warnings, before);
+}
+
+TEST(CciCheck, LeakedThreadWarnsAtTeardown) {
+  if (!CciCheckEnabled()) GTEST_SKIP();
+  const std::uint64_t before = CciCheckCounters().warnings;
+  ctu::Run(1, [](int, int) {
+    CthCreate([] {});  // never resumed, exited, or freed
+  });
+  EXPECT_GT(CciCheckCounters().warnings, before);
+}
+
+TEST(CciCheck, CountersBalanceAcrossACleanRun) {
+  if (!CciCheckEnabled()) GTEST_SKIP();
+  const CciCounters before = CciCheckCounters();
+  ctu::RunPe0(2, [] { ConverseBroadcastExit(); });
+  const CciCounters after = CciCheckCounters();
+  EXPECT_GT(after.allocs, before.allocs);
+  EXPECT_EQ(after.allocs - before.allocs, after.frees - before.frees);
+  EXPECT_EQ(after.live_buffers, before.live_buffers);
+}
+
+TEST(CciCheck, GrabIsCounted) {
+  if (!CciCheckEnabled()) GTEST_SKIP();
+  const std::uint64_t before = CciCheckCounters().grabs;
+  ctu::Run(1, [](int, int) {
+    const int h = CmiRegisterHandler([](void* msg) {
+      CmiGrabBuffer(&msg);
+      CmiFree(msg);
+    });
+    void* m = AllocMsg(h);
+    CmiSyncSendAndFree(0, kMsgBytes, m);
+    CmiDeliverMsgs(1);
+  });
+  EXPECT_GT(CciCheckCounters().grabs, before);
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode: buggy programs complete, counters are inert
+// ---------------------------------------------------------------------------
+
+TEST(CciCheckDisabled, CountersAreInert) {
+  if (CciCheckEnabled()) GTEST_SKIP() << "checker is enabled in this build";
+  ctu::Run(1, [](int, int) {
+    void* m = AllocMsg(-1);
+    CmiFree(m);
+  });
+  const CciCounters c = CciCheckCounters();
+  EXPECT_EQ(c.live_buffers, -1);  // sentinel: no tracking compiled in
+  EXPECT_EQ(c.allocs, 0u);
+  EXPECT_EQ(c.frees, 0u);
+  EXPECT_EQ(c.grabs, 0u);
+}
+
+std::atomic<bool> g_buggy_handler_ran{false};
+
+TEST(CciCheckDisabled, DoubleGrabRunsToCompletion) {
+  if (CciCheckEnabled()) GTEST_SKIP() << "checker is enabled in this build";
+  g_buggy_handler_ran.store(false);
+  ctu::Run(1, [](int, int) {
+    const int h = CmiRegisterHandler([](void* msg) {
+      void* p = msg;
+      CmiGrabBuffer(&p);
+      void* q = msg;
+      CmiGrabBuffer(&q);  // bug: silently tolerated without the checker
+      CmiFree(p);
+      g_buggy_handler_ran.store(true);
+    });
+    void* m = AllocMsg(h);
+    CmiSyncSendAndFree(0, kMsgBytes, m);
+    CmiDeliverMsgs(1);
+  });
+  EXPECT_TRUE(g_buggy_handler_ran.load());
+}
+
+// ---------------------------------------------------------------------------
+// Rule names (both modes)
+// ---------------------------------------------------------------------------
+
+TEST(CciCheck, RuleNamesAreStableAndDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i <= static_cast<int>(CciRule::kBufferLeak); ++i) {
+    const char* name = CciRuleName(static_cast<CciRule>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(std::string(name), "unknown");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate rule name " << name;
+  }
+  EXPECT_STREQ(CciRuleName(CciRule::kDoubleFree), "double-free");
+  EXPECT_STREQ(CciRuleName(CciRule::kHandlerDivergence),
+               "handler-divergence");
+  EXPECT_STREQ(CciRuleName(CciRule::kCrossPeAccess), "cross-pe-access");
+}
+
+}  // namespace
+}  // namespace converse

@@ -150,11 +150,12 @@ TEST(Interop, ThreadsAndHandlersShareTheScheduler) {
       Obj(const void*, std::size_t) {}
     };
     const int type = charm::RegisterChareType<Obj>("obj");
-    static std::atomic<int>* pp;
-    pp = &pieces;
+    // Atomic: every PE thread stores the (identical) pointer concurrently.
+    static std::atomic<std::atomic<int>*> pp;
+    pp.store(&pieces);
     const int poke = charm::RegisterEntry(
         [](charm::Chare*, const void*, std::size_t) {
-          if (pp->fetch_add(1) + 1 == 3) ConverseBroadcastExit();
+          if (pp.load()->fetch_add(1) + 1 == 3) ConverseBroadcastExit();
         });
     int raw = CmiRegisterHandler([&](void*) {
       if (pieces.fetch_add(1) + 1 == 3) ConverseBroadcastExit();

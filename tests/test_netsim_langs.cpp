@@ -78,11 +78,12 @@ TEST(NetSimLangs, CharmQuiescenceUnderLatency) {
     struct W : charm::Chare {
       W(const void*, std::size_t) {}
     };
-    static std::atomic<int>* cp;
-    cp = &constructed;
+    // Atomic: every PE thread stores the (identical) pointer concurrently.
+    static std::atomic<std::atomic<int>*> cp;
+    cp.store(&constructed);
     const int type =
         charm::RegisterChare("w", [](const void*, std::size_t) -> charm::Chare* {
-          cp->fetch_add(1);
+          cp.load()->fetch_add(1);
           return new W(nullptr, 0);
         });
     if (pe == 0) {

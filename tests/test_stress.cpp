@@ -44,11 +44,12 @@ TEST_P(StressSeed, MixedParadigmTrafficAllAccounted) {
     struct Sink : charm::Chare {
       Sink(const void*, std::size_t) {}
     };
-    static std::atomic<long>* chare_counter;
-    chare_counter = &chare_invoked;
+    // Atomic: every PE thread stores the (identical) pointer concurrently.
+    static std::atomic<std::atomic<long>*> chare_counter;
+    chare_counter.store(&chare_invoked);
     const int sink_type =
         charm::RegisterChare("sink", [](const void*, std::size_t) -> charm::Chare* {
-          chare_counter->fetch_add(1);
+          chare_counter.load()->fetch_add(1);
           return new Sink(nullptr, 0);
         });
 

@@ -33,9 +33,16 @@ TEST(CtsLocks, TryLockAndOwnership) {
 TEST(CtsLocks, UnlockByNonOwnerFails) {
   Run1([] {
     LOCK* l = CtsNewLock();
-    CthThread* t = CthCreate([l] { EXPECT_EQ(CtsLock(l), 0); });
-    CthResume(t);  // t takes the lock, exits while holding it
+    CthThread* t = CthCreate([l] {
+      EXPECT_EQ(CtsLock(l), 0);
+      CthSuspend();  // hold the lock while main tries to unlock it
+      EXPECT_EQ(CtsUnLock(l), 0);
+    });
+    CthResume(t);                 // t takes the lock and suspends
     EXPECT_EQ(CtsUnLock(l), -1);  // main does not own it
+    CthAwaken(t);
+    CsdScheduleUntilIdle();  // t resumes, releases the lock, exits
+    CtsFreeLock(l);
   });
 }
 

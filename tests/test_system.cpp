@@ -35,11 +35,12 @@ TEST(System, AllParadigmsOneTracedMachine) {
     struct Worker : charm::Chare {
       Worker(const void*, std::size_t) {}
     };
-    static std::atomic<long>* cw;
-    cw = &chare_work;
+    // Atomic: every PE thread stores the (identical) pointer concurrently.
+    static std::atomic<std::atomic<long>*> cw;
+    cw.store(&chare_work);
     const int type = charm::RegisterChare(
         "worker", [](const void*, std::size_t) -> charm::Chare* {
-          cw->fetch_add(1);
+          cw.load()->fetch_add(1);
           return new Worker(nullptr, 0);
         });
 

@@ -1,0 +1,302 @@
+// converse_lint — a static API-misuse scanner for Converse programs.
+//
+// CciCheck (include/converse/check.h) catches ownership bugs at run time;
+// this tool catches the textual shapes of the same bugs before the program
+// ever runs.  It is a line-oriented heuristic scanner (regex, not a
+// compiler), so it favours precision over recall: every rule targets a
+// pattern that is almost always wrong, and any finding can be silenced by
+// appending the comment `// converse-lint: allow(<rule>)` (or a bare
+// `// converse-lint: allow`) to the offending line, or by placing the same
+// comment alone on the line directly above it.
+//
+// Rules:
+//   free-after-send-and-free   CmiFree(p) after CmiSyncSendAndFree(..., p)
+//                              in the same scope: ownership already moved.
+//   double-free                two CmiFree(p) of the same variable in the
+//                              same scope with no intervening reassignment.
+//   alloc-without-header       CmiAlloc(<expr>) where <expr> mentions
+//                              neither CmiMsgHeaderSizeBytes nor sizeof —
+//                              almost always forgets header space.
+//   enqueue-delivered-buffer   CsdEnqueue of a handler's message argument
+//                              without a CmiGrabBuffer above it.
+//   grab-without-deref         CmiGrabBuffer(msg) instead of
+//                              CmiGrabBuffer(&msg) (takes void**).
+//
+// Usage: converse_lint <file.cpp> [more files...]
+//        converse_lint --list-rules
+// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* what;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"free-after-send-and-free",
+     "CmiFree of a pointer already passed to CmiSyncSendAndFree"},
+    {"double-free", "two CmiFree calls on the same variable in one scope"},
+    {"alloc-without-header",
+     "CmiAlloc size expression without CmiMsgHeaderSizeBytes()/sizeof"},
+    {"enqueue-delivered-buffer",
+     "CsdEnqueue of a delivered message with no CmiGrabBuffer in scope"},
+    {"grab-without-deref", "CmiGrabBuffer(p) where p is not &lvalue"},
+};
+
+/// Strip // and /* */ comments and string literals so identifiers inside
+/// them never match, but KEEP a trailing `converse-lint:` comment visible
+/// to the suppression check (the caller inspects the raw line for that).
+std::string StripCommentsAndStrings(const std::string& line,
+                                    bool* in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (*in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        *in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      *in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < line.size() && line[i] != quote) {
+        if (line[i] == '\\') ++i;
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool Suppressed(const std::string& raw_line, const std::string& rule) {
+  const auto pos = raw_line.find("converse-lint:");
+  if (pos == std::string::npos) return false;
+  const std::string tail = raw_line.substr(pos);
+  if (tail.find("allow(" + rule + ")") != std::string::npos) return true;
+  // A bare "allow" (no rule list) silences every rule on the line.
+  const auto allow = tail.find("allow");
+  return allow != std::string::npos &&
+         tail.find('(', allow) == std::string::npos;
+}
+
+/// Track brace depth so "same scope" resets are cheap and approximate.
+int BraceDelta(const std::string& code) {
+  int d = 0;
+  for (const char c : code) {
+    if (c == '{') ++d;
+    if (c == '}') --d;
+  }
+  return d;
+}
+
+class FileScanner {
+ public:
+  explicit FileScanner(std::string path) : path_(std::move(path)) {}
+
+  bool Scan(std::vector<Finding>* out) {
+    std::ifstream in(path_);
+    if (!in) {
+      std::fprintf(stderr, "converse_lint: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    static const std::regex send_and_free_re(
+        R"(CmiSyncSendAndFree\s*\([^;]*?,\s*([A-Za-z_]\w*)\s*\))");
+    static const std::regex free_re(R"(CmiFree\s*\(\s*([A-Za-z_]\w*)\s*\))");
+    static const std::regex assign_re(R"(([A-Za-z_]\w*)\s*=[^=])");
+    static const std::regex alloc_re(R"(CmiAlloc\s*\(([^;]*)\))");
+    static const std::regex enqueue_re(
+        R"(Csd(Enqueue\w*|EnqueueGeneral)\s*\(\s*([A-Za-z_]\w*)\s*[,)])");
+    static const std::regex grab_bad_re(
+        R"(CmiGrabBuffer\s*\(\s*[A-Za-z_]\w*\s*\))");
+
+    std::string raw;
+    int lineno = 0;
+    bool in_block = false;
+    std::string pending_allow_;  // comment-only allow line covers the next
+    // var -> line of the event, reset when the scope closes or the var is
+    // reassigned.  Approximate by design; see the file comment.
+    std::vector<std::pair<std::string, int>> sent;   // send-and-free'd vars
+    std::vector<std::pair<std::string, int>> freed;  // CmiFree'd vars
+    int depth = 0;
+    bool saw_grab_in_fn = false;
+
+    while (std::getline(in, raw)) {
+      ++lineno;
+      const std::string code = StripCommentsAndStrings(raw, &in_block);
+      const int delta = BraceDelta(code);
+      allow_context_ = pending_allow_;
+      const bool comment_only =
+          code.find_first_not_of(" \t") == std::string::npos;
+      pending_allow_ = (comment_only &&
+                        raw.find("converse-lint:") != std::string::npos)
+                           ? raw
+                           : std::string();
+
+      for (std::sregex_iterator it(code.begin(), code.end(), assign_re), end;
+           it != end; ++it) {
+        Forget(&sent, (*it)[1]);
+        Forget(&freed, (*it)[1]);
+      }
+
+      std::smatch m;
+      if (std::regex_search(code, m, alloc_re)) {
+        const std::string arg = m[1];
+        std::string lower = arg;
+        for (char& c : lower) c = static_cast<char>(std::tolower(c));
+        if (lower.find("cmimsgheadersizebytes") == std::string::npos &&
+            lower.find("sizeof") == std::string::npos &&
+            lower.find("size") == std::string::npos &&
+            lower.find("bytes") == std::string::npos &&
+            lower.find("len") == std::string::npos) {
+          Report(out, raw, lineno, "alloc-without-header",
+                 "CmiAlloc(" + arg +
+                     ") does not reserve CmiMsgHeaderSizeBytes(); messages "
+                     "start with a 32-byte header");
+        }
+      }
+
+      if (code.find("CmiGrabBuffer") != std::string::npos) {
+        saw_grab_in_fn = true;
+        if (std::regex_search(code, m, grab_bad_re)) {
+          Report(out, raw, lineno, "grab-without-deref",
+                 "CmiGrabBuffer takes void** — pass &msg, not msg");
+        }
+      }
+
+      if (std::regex_search(code, m, enqueue_re)) {
+        const std::string var = m[2];
+        if ((var == "msg" || var == "buf" || var == "buffer") &&
+            !saw_grab_in_fn && InHandlerContext(code)) {
+          Report(out, raw, lineno, "enqueue-delivered-buffer",
+                 "CsdEnqueue of delivered buffer '" + var +
+                     "' without CmiGrabBuffer: the dispatcher will free it "
+                     "when the handler returns");
+        }
+      }
+
+      for (std::sregex_iterator it(code.begin(), code.end(),
+                                   send_and_free_re),
+           end;
+           it != end; ++it) {
+        sent.emplace_back((*it)[1], lineno);
+      }
+
+      for (std::sregex_iterator it(code.begin(), code.end(), free_re), end;
+           it != end; ++it) {
+        const std::string var = (*it)[1];
+        if (Find(sent, var) != -1) {
+          Report(out, raw, lineno, "free-after-send-and-free",
+                 "CmiFree(" + var + ") after CmiSyncSendAndFree(..., " +
+                     var + ") on line " +
+                     std::to_string(Find(sent, var)) +
+                     ": ownership already moved to the machine layer");
+        } else if (Find(freed, var) != -1) {
+          Report(out, raw, lineno, "double-free",
+                 "second CmiFree(" + var + "); first free on line " +
+                     std::to_string(Find(freed, var)));
+        } else {
+          freed.emplace_back(var, lineno);
+        }
+      }
+
+      depth += delta;
+      if (delta < 0) {
+        // A scope closed: tracked lifetimes are no longer comparable.
+        sent.clear();
+        freed.clear();
+        if (depth <= 1) saw_grab_in_fn = false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  static int Find(const std::vector<std::pair<std::string, int>>& v,
+                  const std::string& name) {
+    for (const auto& [n, line] : v) {
+      if (n == name) return line;
+    }
+    return -1;
+  }
+
+  static void Forget(std::vector<std::pair<std::string, int>>* v,
+                     const std::string& name) {
+    for (auto it = v->begin(); it != v->end();) {
+      it = it->first == name ? v->erase(it) : it + 1;
+    }
+  }
+
+  static bool InHandlerContext(const std::string& code) {
+    // Heuristic: the enqueue names the conventional handler parameter; a
+    // top-level CsdEnqueue(msg) of a locally built message is matched by
+    // variable name only, so the rule keys on the common names above.
+    return code.find("void* msg") == std::string::npos;
+  }
+
+  void Report(std::vector<Finding>* out, const std::string& raw, int line,
+              const char* rule, const std::string& msg) {
+    if (Suppressed(raw, rule)) return;
+    if (!allow_context_.empty() && Suppressed(allow_context_, rule)) return;
+    out->push_back(Finding{path_, line, rule, msg});
+  }
+
+  std::string path_;
+  std::string allow_context_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: converse_lint <file.cpp> [more files...]\n"
+                 "       converse_lint --list-rules\n");
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--list-rules") == 0) {
+    for (const RuleInfo& r : kRules) {
+      std::printf("%-26s %s\n", r.name, r.what);
+    }
+    return 0;
+  }
+  std::vector<Finding> findings;
+  for (int i = 1; i < argc; ++i) {
+    FileScanner scanner(argv[i]);
+    if (!scanner.Scan(&findings)) return 2;
+  }
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("converse_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
