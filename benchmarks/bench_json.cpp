@@ -1,0 +1,83 @@
+#include "bench_json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace converse::bench {
+namespace {
+
+struct Metric {
+  std::string name;
+  double value;
+  std::string unit;
+};
+
+struct State {
+  std::string benchmark;
+  std::string path;  // empty = stdout
+  bool json = false;
+  bool quick = false;
+  std::vector<Metric> metrics;
+};
+
+State& S() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+void JsonInit(const char* benchmark_name, int argc, char** argv) {
+  State& s = S();
+  s.benchmark = benchmark_name;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--json") == 0) {
+      s.json = true;
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      s.json = true;
+      s.path = a + 7;
+    } else if (std::strcmp(a, "--quick") == 0) {
+      s.quick = true;
+    }
+  }
+}
+
+bool JsonEnabled() { return S().json; }
+
+bool QuickRun() { return S().quick; }
+
+void JsonAdd(const char* name, double value, const char* unit) {
+  State& s = S();
+  if (!s.json) return;
+  s.metrics.push_back(Metric{name, value, unit});
+}
+
+int JsonFlush() {
+  State& s = S();
+  if (!s.json) return 0;
+  std::FILE* out = stdout;
+  if (!s.path.empty()) {
+    out = std::fopen(s.path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                   s.path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(out, "{\"benchmark\": \"%s\", \"metrics\": [",
+               s.benchmark.c_str());
+  for (std::size_t i = 0; i < s.metrics.size(); ++i) {
+    const Metric& m = s.metrics[i];
+    std::fprintf(out, "%s\n  {\"name\": \"%s\", \"value\": %.6g, "
+                 "\"unit\": \"%s\"}",
+                 i == 0 ? "" : ",", m.name.c_str(), m.value, m.unit.c_str());
+  }
+  std::fprintf(out, "\n]}\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+}  // namespace converse::bench

@@ -1,0 +1,43 @@
+// Machine-readable benchmark results (BENCH_*.json trajectory tracking).
+//
+// Every benchmark that wants to publish numbers calls JsonInit() at the top
+// of main, JsonAdd() once per measured metric, and JsonFlush() before
+// returning.  Without `--json` on the command line the calls are no-ops and
+// the benchmark's human-readable output is unchanged; with `--json` (to
+// stdout) or `--json=path` (to a file) a single JSON object is emitted:
+//
+//   {"benchmark": "shmem_pingpong",
+//    "metrics": [{"name": "oneway_us/64", "value": 1.34, "unit": "us"}, ...]}
+//
+// The schema is deliberately flat so `tools/` scripts and the CI perf-smoke
+// job can validate and merge results without a JSON library: one object,
+// one metrics array, numeric values only.
+//
+// `--quick` is parsed here too (QuickRun()): benchmarks that honor it scale
+// their iteration counts down so CI smoke runs finish in seconds.
+#pragma once
+
+#include <cstddef>
+
+namespace converse::bench {
+
+/// Parse `--json[=path]` / `--quick` out of argv and remember the benchmark
+/// name.  Call once at the top of main.
+void JsonInit(const char* benchmark_name, int argc, char** argv);
+
+/// True when `--json` was passed to JsonInit.
+bool JsonEnabled();
+
+/// True when `--quick` was passed: the benchmark should cut iteration
+/// counts to smoke-test size.
+bool QuickRun();
+
+/// Record one metric (no-op unless JsonEnabled()).  `name` and `unit` must
+/// be plain ASCII without quotes or backslashes.
+void JsonAdd(const char* name, double value, const char* unit);
+
+/// Write the JSON object to the `--json` destination (no-op when disabled).
+/// Returns 0 on success, 1 if the output file could not be written.
+int JsonFlush();
+
+}  // namespace converse::bench

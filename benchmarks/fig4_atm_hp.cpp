@@ -1,12 +1,16 @@
 // Reproduces Figure 4: "Message Passing Performance on ATM-connected HPs".
 #include <cstdlib>
+#include "bench_json.h"
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace converse;
-  const auto costs = bench::MeasureSoftwareCosts();
+  bench::JsonInit("fig4_atm_hp", argc, argv);
+  const auto costs =
+      bench::MeasureSoftwareCosts(bench::QuickRun() ? 300 : 3000);
   const int failures = bench::EmitFigure(
       "Figure 4", "Message Passing Performance on ATM-connected HPs",
       netmodels::AtmHp(), costs, /*with_sched_series=*/false);
+  if (bench::JsonFlush() != 0) return EXIT_FAILURE;
   return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -2,11 +2,14 @@
 // packetization-copy jump at 16 KB the paper calls out.
 #include <cstdio>
 #include <cstdlib>
+#include "bench_json.h"
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace converse;
-  const auto costs = bench::MeasureSoftwareCosts();
+  bench::JsonInit("fig5_t3d", argc, argv);
+  const auto costs =
+      bench::MeasureSoftwareCosts(bench::QuickRun() ? 300 : 3000);
   int failures = bench::EmitFigure(
       "Figure 5", "Message Passing Performance on the Cray T3D",
       netmodels::CrayT3D(), costs, /*with_sched_series=*/false);
@@ -19,5 +22,6 @@ int main() {
               "discontinuity at 16 KB (packetization copy)",
               jump ? "PASS" : "FAIL");
   if (!jump) ++failures;
+  if (bench::JsonFlush() != 0) return EXIT_FAILURE;
   return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -4,11 +4,14 @@
 // queue-using languages such as Charm pay).
 #include <cstdio>
 #include <cstdlib>
+#include "bench_json.h"
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace converse;
-  const auto costs = bench::MeasureSoftwareCosts();
+  bench::JsonInit("fig6_myrinet_fm", argc, argv);
+  const auto costs =
+      bench::MeasureSoftwareCosts(bench::QuickRun() ? 300 : 3000);
   int failures = bench::EmitFigure(
       "Figure 6", "FM Message Passing Performance (Myrinet Suns)",
       netmodels::MyrinetFm(), costs, /*with_sched_series=*/true);
@@ -24,5 +27,6 @@ int main() {
               "native ~25us and Converse a few us above at 128 B",
               anchor ? "PASS" : "FAIL");
   if (!anchor) ++failures;
+  if (bench::JsonFlush() != 0) return EXIT_FAILURE;
   return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
 }

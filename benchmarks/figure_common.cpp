@@ -3,7 +3,9 @@
 #include <cassert>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench_json.h"
 #include "converse/converse.h"
 #include "converse/util/timer.h"
 
@@ -16,6 +18,20 @@ std::vector<std::size_t> FigureSizes() {
 }
 
 namespace {
+
+/// JSON metric key: "<figure id>/<series>/<bytes>" with spaces flattened.
+std::string MetricKey(const char* figure_id, const char* series,
+                      std::size_t size) {
+  std::string key(figure_id);
+  for (char& c : key) {
+    if (c == ' ') c = '_';
+  }
+  key += '/';
+  key += series;
+  key += '/';
+  key += std::to_string(size);
+  return key;
+}
 
 double Interp(const std::vector<std::size_t>& xs,
               const std::vector<double>& ys, std::size_t x) {
@@ -123,8 +139,15 @@ int EmitFigure(const char* figure_id, const char* title,
           conv_era + kEraCpuScale * costs.SchedExtraUs(s);
       std::printf("%7zu %12.2f %12.2f %12.2f %12.2f %12.2f\n", s, native,
                   conv, sched, conv_era, sched_era);
+      if (JsonEnabled()) {
+        JsonAdd(MetricKey(figure_id, "converse_sched_us", s).c_str(), sched,
+                "us");
+      }
     } else {
       std::printf("%7zu %12.2f %12.2f %12.2f\n", s, native, conv, conv_era);
+    }
+    if (JsonEnabled()) {
+      JsonAdd(MetricKey(figure_id, "converse_us", s).c_str(), conv, "us");
     }
     if (conv < native) converse_above_native = false;
     const double rel_gap = (conv - native) / native;
@@ -164,6 +187,10 @@ int EmitFigure(const char* figure_id, const char* title,
     const double era_small = kEraCpuScale * extra_small;
     check(era_small > 2.0 && era_small < 80.0,
           "era-scaled scheduling adder is in the paper's 9-15us regime");
+  }
+  if (JsonEnabled()) {
+    JsonAdd(MetricKey(figure_id, "shape_failures", 0).c_str(),
+            static_cast<double>(failures), "count");
   }
   std::printf("\n");
   return failures;

@@ -7,10 +7,13 @@
 // nanoseconds, so the need-based-cost claim is checkable operation by
 // operation: a language that skips the scheduler queue never pays the
 // queue rows.
+//
+// Flags: --json[=path] machine-readable results, --quick smoke-size reps.
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
+#include "bench_json.h"
 #include "converse/converse.h"
 #include "converse/util/timer.h"
 
@@ -18,7 +21,7 @@ using namespace converse;
 
 namespace {
 
-constexpr int kReps = 200000;
+int g_reps = 200000;
 
 double TimeNs(const char* label, const std::function<void()>& op) {
   // One warmup pass, then the measured pass.
@@ -26,16 +29,18 @@ double TimeNs(const char* label, const std::function<void()>& op) {
   const auto t0 = util::NowNs();
   op();
   const auto t1 = util::NowNs();
-  const double ns = static_cast<double>(t1 - t0) / kReps;
+  const double ns = static_cast<double>(t1 - t0) / g_reps;
   std::printf("%-44s %10.1f ns/msg\n", label, ns);
   return ns;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonInit("overhead_breakdown", argc, argv);
+  if (bench::QuickRun()) g_reps = 20000;
   std::printf("# Converse software overhead breakdown (per message, %d reps)\n",
-              kReps);
+              g_reps);
   std::printf("# host: in-process machine, 1 PE, payload 64 B\n");
   double alloc_ns = 0, dispatch_ns = 0, path_ns = 0, queue_ns = 0;
 
@@ -53,7 +58,7 @@ int main() {
     });
 
     alloc_ns = TimeNs("CmiAlloc + header fill + payload copy + free", [&] {
-      for (int i = 0; i < kReps; ++i) {
+      for (int i = 0; i < g_reps; ++i) {
         void* m = CmiMakeMessage(sink, payload, sizeof(payload));
         CmiFree(m);
       }
@@ -61,14 +66,14 @@ int main() {
 
     dispatch_ns = TimeNs("handler-table dispatch (index -> call)", [&] {
       void* m = CmiMakeMessage(sink, payload, sizeof(payload));
-      for (int i = 0; i < kReps; ++i) {
+      for (int i = 0; i < g_reps; ++i) {
         CmiGetHandlerFunction(m)(m);
       }
       CmiFree(m);
     });
 
     path_ns = TimeNs("full path: alloc+send(self)+deliver+free", [&] {
-      for (int i = 0; i < kReps; ++i) {
+      for (int i = 0; i < g_reps; ++i) {
         void* m = CmiMakeMessage(sink, payload, sizeof(payload));
         CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
         CmiDeliverMsgs(1);
@@ -76,7 +81,7 @@ int main() {
     });
 
     queue_ns = TimeNs("scheduler queue: grab+enqueue+dequeue+dispatch", [&] {
-      for (int i = 0; i < kReps; ++i) {
+      for (int i = 0; i < g_reps; ++i) {
         void* m = CmiMakeMessage(first, payload, sizeof(payload));
         CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
         CmiDeliverMsgs(1);
@@ -85,10 +90,49 @@ int main() {
     });
   });
 
+  // Broadcast case: send-side cost of a 4-way CmiSyncBroadcastAllAndFree
+  // (one serialized copy per remote destination, original delivered to
+  // self), normalized per destination PE.
+  constexpr int kBcastPes = 4;
+  const int bcast_reps = g_reps / 20;
+  double bcast_ns = 0;
+  RunConverse(kBcastPes, [&](int pe, int np) {
+    const long expected = bcast_reps + 64;  // +64 warmup broadcasts
+    long got = 0;
+    int sink = CmiRegisterHandler([&](void*) {
+      if (++got == expected) CsdExitScheduler();
+    });
+    if (pe == 0) {
+      char payload[64];
+      std::memset(payload, 'b', sizeof(payload));
+      // Warmup round so every PE's in-queue is hot.
+      for (int i = 0; i < 64; ++i) {
+        void* m = CmiMakeMessage(sink, payload, sizeof(payload));
+        CmiSyncBroadcastAllAndFree(CmiMsgTotalSize(m), m);
+      }
+      const auto t0 = util::NowNs();
+      for (int i = 0; i < bcast_reps; ++i) {
+        void* m = CmiMakeMessage(sink, payload, sizeof(payload));
+        CmiSyncBroadcastAllAndFree(CmiMsgTotalSize(m), m);
+      }
+      const auto t1 = util::NowNs();
+      bcast_ns = static_cast<double>(t1 - t0) / bcast_reps / np;
+      std::printf("%-44s %10.1f ns/msg\n",
+                  "broadcast-all send side (per destination)", bcast_ns);
+    }
+    CsdScheduler(-1);
+  });
+
   const double sched_extra = queue_ns - path_ns;
   std::printf("%-44s %10.1f ns/msg\n",
               "=> scheduling extra (only queue users pay)",
               sched_extra > 0 ? sched_extra : 0.0);
+
+  bench::JsonAdd("alloc_fill_copy_free_ns", alloc_ns, "ns");
+  bench::JsonAdd("dispatch_ns", dispatch_ns, "ns");
+  bench::JsonAdd("full_path_ns", path_ns, "ns");
+  bench::JsonAdd("sched_queue_path_ns", queue_ns, "ns");
+  bench::JsonAdd("broadcast_per_dest_ns", bcast_ns, "ns");
 
   // Sanity: on a ~1ns/instruction host, "a few tens of instructions" means
   // the non-copy overhead should be well under a microsecond.
@@ -100,5 +144,6 @@ int main() {
   check(dispatch_ns < 1000, "dispatch costs tens of ns (tens of instructions)");
   check(path_ns < 5000, "full software path under 5 us on modern hardware");
   check(sched_extra < 2000, "scheduling adder is sub-2us here (9-15us on 1996 hosts)");
+  failures += bench::JsonFlush();
   return failures == 0 ? 0 : 1;
 }

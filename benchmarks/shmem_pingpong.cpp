@@ -10,6 +10,7 @@
 #include <cstring>
 #include <vector>
 
+#include "bench_json.h"
 #include "converse/converse.h"
 
 using namespace converse;
@@ -74,14 +75,16 @@ double RunPingPong(std::size_t payload, int rounds, bool through_scheduler) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonInit("shmem_pingpong", argc, argv);
+  const int scale = bench::QuickRun() ? 10 : 1;
   std::printf(
       "# Round-trip message performance on this host's shared-memory "
       "machine\n# (2 PE threads; one-way time = round-trip / 2)\n");
   std::printf("# columns: bytes oneway_us oneway_sched_us sched_extra_us\n");
   std::vector<Result> results;
   for (std::size_t s = 16; s <= 64 * 1024; s *= 4) {
-    const int rounds = s >= 16384 ? 400 : 1500;
+    const int rounds = (s >= 16384 ? 400 : 1500) / scale;
     Result r;
     r.size = s < sizeof(long) ? sizeof(long) : s;
     // Cross-thread wakeup latency is noisy on a small host; the minimum of
@@ -96,6 +99,11 @@ int main() {
     results.push_back(r);
     std::printf("%7zu %10.2f %10.2f %10.2f\n", r.size, r.oneway_us,
                 r.oneway_sched_us, r.oneway_sched_us - r.oneway_us);
+    char key[64];
+    std::snprintf(key, sizeof(key), "oneway_us/%zu", r.size);
+    bench::JsonAdd(key, r.oneway_us, "us");
+    std::snprintf(key, sizeof(key), "oneway_sched_us/%zu", r.size);
+    bench::JsonAdd(key, r.oneway_sched_us, "us");
   }
   // Shape check mirroring Figure 6: the scheduling adder must be
   // negligible in relative terms for large messages.  One-way times on an
@@ -109,5 +117,6 @@ int main() {
   std::printf("# shape-check %-55s %s\n",
               "scheduling cost relatively negligible for large messages",
               relative_negligible ? "PASS" : "FAIL");
-  return relative_negligible ? 0 : 1;
+  const int json_rc = bench::JsonFlush();
+  return relative_negligible && json_rc == 0 ? 0 : 1;
 }

@@ -157,6 +157,22 @@ struct CmiStats {
 /// Snapshot of the current PE's counters.
 CmiStats CmiGetStats();
 
+/// Message-allocator counters, summed over every PE's size-class pool.
+/// All zero when pooling is disabled (sanitizer builds, CONVERSE_POOL=0).
+struct CmiMemoryStats {
+  bool pool_enabled = false;
+  std::uint64_t pool_hits = 0;    // allocations served from a freelist
+  std::uint64_t pool_misses = 0;  // freelist empty: fresh block carved
+  std::uint64_t direct_allocs = 0;   // oversize or outside a PE thread
+  std::uint64_t local_frees = 0;     // freed on the owning PE's thread
+  std::uint64_t remote_frees = 0;    // pushed to the owner's return stack
+  std::uint64_t remote_reclaimed = 0;  // pulled back from the return stack
+};
+
+/// Process-wide snapshot of the message-pool counters.  Unlike
+/// CmiGetStats this may be called outside a machine.
+CmiMemoryStats CmiGetMemoryStats();
+
 // ---------------------------------------------------------------------------
 // Exit helpers
 // ---------------------------------------------------------------------------

@@ -34,7 +34,16 @@ struct MachineConfig {
   /// on the condvar.  0 (default) blocks immediately — right for
   /// oversubscribed hosts; a few µs mimics the spin-waiting of dedicated
   /// 1990s nodes and shaves wakeup latency when each PE owns a core.
+  /// The poll itself is lock-free (atomic ring/overflow probes).
   double idle_spin_us = 0.0;
+
+  /// Capacity (slots) of each PE's lock-free delivery ring; rounded up to
+  /// a power of two, minimum 4.  Each PE has two rings (regular and
+  /// immediate lane), 16 bytes per slot.  When a ring fills, senders spill
+  /// into an unbounded mutex-guarded overflow list, so this is a
+  /// throughput knob, never a correctness limit.  Tiny values (e.g. 4)
+  /// are useful in tests to exercise the overflow path.
+  int ring_capacity = 1024;
 
   /// Streams used by CmiPrintf / CmiError / CmiScanf. Tests may redirect.
   std::FILE* out = nullptr;  // nullptr -> stdout

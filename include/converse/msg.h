@@ -50,6 +50,11 @@ static_assert(sizeof(MsgHeader) == 32);
 
 enum MsgFlags : std::uint8_t {
   kMsgFlagNone = 0,
+  // Bits 0-1 are reserved for CciCheck's ownership state machine
+  // (check.cpp kStateMask); keep flag bits above them.
+  /// Advisory: the buffer came from a per-PE message pool.  Re-stamped by
+  /// detail::MsgPoolRestampFlag wherever a whole header is memcpy'd.
+  kMsgFlagPooled = 0x4,
 };
 
 inline MsgHeader* Header(void* msg) { return static_cast<MsgHeader*>(msg); }

@@ -72,13 +72,12 @@ class CqsQueue {
   CqsQueue(const CqsQueue&) = delete;
   CqsQueue& operator=(const CqsQueue&) = delete;
 
-  /// Unprioritized FIFO enqueue (the common, cheap path).
-  void Enqueue(void* msg) { EnqueueGeneral(msg, Queueing::kFifo, CqsPrio{}); }
+  /// Unprioritized FIFO enqueue (the common, cheap path): straight into
+  /// the deque lane, no CqsPrio construction or comparison at all.
+  void Enqueue(void* msg) { EnqueueZero(msg, /*lifo=*/false); }
 
-  /// Unprioritized LIFO enqueue.
-  void EnqueueLifo(void* msg) {
-    EnqueueGeneral(msg, Queueing::kLifo, CqsPrio{});
-  }
+  /// Unprioritized LIFO enqueue (same dedicated deque lane).
+  void EnqueueLifo(void* msg) { EnqueueZero(msg, /*lifo=*/true); }
 
   /// General enqueue with an explicit strategy and priority.
   void EnqueueGeneral(void* msg, Queueing strategy, CqsPrio prio);
@@ -104,10 +103,15 @@ class CqsQueue {
   std::uint64_t TotalEnqueued() const { return seq_; }
 
  private:
+  void EnqueueZero(void* msg, bool lifo);
+
   struct Entry {
     CqsPrio prio;
     std::uint64_t order;  // FIFO: ascending seq; LIFO: descending
     void* msg;
+    // prio.Compare(default) < 0, cached at push time so Dequeue's
+    // heap-vs-deque decision costs one bool instead of a View+Compare.
+    bool before_default;
   };
   struct EntryGreater {
     bool operator()(const Entry& a, const Entry& b) const {

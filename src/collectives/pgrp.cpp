@@ -7,6 +7,7 @@
 
 #include "converse/detail/module.h"
 #include "converse/util/pack.h"
+#include "core/msg_pool.h"
 #include "core/pe_state.h"
 
 namespace converse {
@@ -102,6 +103,7 @@ void ForwardMcast(void* wrapper) {
     void* inner = CmiAlloc(wire->inner_size);
     std::memcpy(inner, wire + 1, wire->inner_size);
     detail::Header(inner)->magic = detail::kMsgMagicAlive;
+    detail::MsgPoolRestampFlag(inner);  // memcpy clobbered the pooled bit
     ++detail::CpvChecked().stats.msgs_delivered;
     detail::DispatchMessage(inner, /*system_owned=*/true);
   }

@@ -9,6 +9,7 @@
 #include "converse/csd.h"
 #include "converse/detail/module.h"
 #include "converse/util/timer.h"
+#include "core/msg_pool.h"
 #include "core/pe_state.h"
 
 namespace converse {
@@ -34,6 +35,7 @@ void* CopyMessage(const void* msg, std::size_t size) {
   std::memcpy(copy, msg, size);
   Header(copy)->total_size = static_cast<std::uint32_t>(size);
   Header(copy)->magic = kMsgMagicAlive;
+  MsgPoolRestampFlag(copy);  // memcpy brought the source's pooled bit along
   check::OnCopyReset(copy);
   return copy;
 }
@@ -86,6 +88,110 @@ void FlushPendingMmi(PeState& pe) {
   }
 }
 
+// ---- lock-free delivery lanes -------------------------------------------
+//
+// The common send path is LanePush's first branch: one ring-slot CAS plus a
+// release store, no mutex.  The overflow deque (and the sticky
+// overflow_count protocol documented in pe_state.h) exists so the bounded
+// ring is a throughput knob rather than a correctness limit.
+
+/// Producer side: deposit `msg` into `lane` of `dst`, preserving per-sender
+/// FIFO order across the ring/overflow boundary.
+void LanePush(PeState& dst, InLane& lane, void* msg) {
+  if (lane.overflow_count.load(std::memory_order_acquire) == 0 &&
+      lane.ring.TryPush(msg)) {
+    return;
+  }
+  std::scoped_lock lk(dst.mu);
+  // Re-check under the lock: the consumer zeroes overflow_count only while
+  // holding dst.mu, so a stale nonzero fast-path read is corrected here and
+  // the message rejoins the ring — none of our earlier messages can still
+  // be sitting in the (now empty) overflow deque.
+  if (lane.overflow_count.load(std::memory_order_relaxed) == 0 &&
+      lane.ring.TryPush(msg)) {
+    return;
+  }
+  lane.overflow.push_back(msg);
+  lane.overflow_count.fetch_add(1, std::memory_order_seq_cst);
+}
+
+/// Producer side: wake `dst` if its thread is parked in WaitForNet.  Must
+/// run after the message is published (ring tail CAS or overflow count
+/// bump — both seq_cst, pairing with the consumer's parked store).
+void NotifyIfParked(PeState& dst) {
+  if (dst.parked.load(std::memory_order_seq_cst)) {
+    std::scoped_lock lk(dst.mu);
+    dst.cv.notify_one();
+  }
+}
+
+/// Consumer side: next message from `lane`, draining `batchq` first, then
+/// the ring, then (in batch, one lock) the overflow deque.  nullptr when
+/// the lane is empty.
+void* LanePop(PeState& pe, InLane& lane, std::deque<void*>& batchq) {
+  if (!batchq.empty()) {
+    void* msg = batchq.front();
+    batchq.pop_front();
+    return msg;
+  }
+  if (void* msg = lane.ring.TryPop()) return msg;
+  if (lane.overflow_count.load(std::memory_order_seq_cst) == 0) {
+    return nullptr;
+  }
+  {
+    std::scoped_lock lk(pe.mu);
+    batchq.insert(batchq.end(), lane.overflow.begin(), lane.overflow.end());
+    lane.overflow.clear();
+    lane.overflow_count.store(0, std::memory_order_seq_cst);
+  }
+  if (batchq.empty()) return nullptr;
+  void* msg = batchq.front();
+  batchq.pop_front();
+  return msg;
+}
+
+/// Consumer side: lane has (or imminently has) a message.  The staged batch
+/// queues are consumer-private, so this is safe lock-free from the owning
+/// PE's thread.
+bool LaneHasItems(const PeState& pe, const InLane& lane,
+                  const std::deque<void*>& batchq) {
+  (void)pe;
+  return !batchq.empty() || lane.ring.HasItems() ||
+         lane.overflow_count.load(std::memory_order_seq_cst) != 0;
+}
+
+bool HasImmediate(const PeState& pe) {
+  return LaneHasItems(pe, pe.immlane, pe.imm_batchq);
+}
+
+bool HasRegular(const PeState& pe) {
+  return LaneHasItems(pe, pe.netlane, pe.batchq);
+}
+
+/// Consumer side, net-model mode: refill batchq with every already-arrived
+/// timed entry (one lock per batch) and return the first one.
+void* PopTimed(PeState& pe, Machine& m) {
+  if (!pe.batchq.empty()) {
+    void* msg = pe.batchq.front();
+    pe.batchq.pop_front();
+    return msg;
+  }
+  constexpr int kTimedBatch = 64;
+  std::scoped_lock lk(pe.mu);
+  const double now = m.ElapsedUs();
+  int n = 0;
+  while (!pe.timedq.empty() && pe.timedq.top().arrive_us <= now &&
+         n < kTimedBatch) {
+    pe.batchq.push_back(pe.timedq.top().msg);
+    pe.timedq.pop();
+    ++n;
+  }
+  if (pe.batchq.empty()) return nullptr;
+  void* msg = pe.batchq.front();
+  pe.batchq.pop_front();
+  return msg;
+}
+
 }  // namespace
 
 PeState* Cpv() { return tls_pe; }
@@ -111,8 +217,7 @@ int CoreModuleId() {
   return id;
 }
 
-void SendOwned(int dest_pe, void* msg) {
-  PeState& pe = CpvChecked();
+void SendOwnedFrom(PeState& pe, int dest_pe, void* msg) {
   Machine& m = *pe.machine;
   assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
   MsgHeader* h = Header(msg);
@@ -131,20 +236,24 @@ void SendOwned(int dest_pe, void* msg) {
   ++pe.qd_created;
 
   PeState& dst = m.Pe(dest_pe);
-  double arrive_us = 0.0;
   if (m.has_model()) {
-    arrive_us = m.ElapsedUs() + m.model().OnewayUs(CmiMsgPayloadSize(msg));
-  }
-  {
-    std::scoped_lock lk(dst.mu);
-    const NetEntry e{msg, arrive_us, dst.net_seq++};
-    if (m.has_model()) {
-      dst.timedq.push(e);
-    } else {
-      dst.netq.push_back(e);
+    // Timed queue keeps the original mutex semantics: arrival ordering
+    // needs the priority queue, and waiters sleep on arrival deadlines.
+    const double arrive_us =
+        m.ElapsedUs() + m.model().OnewayUs(CmiMsgPayloadSize(msg));
+    {
+      std::scoped_lock lk(dst.mu);
+      dst.timedq.push(NetEntry{msg, arrive_us, dst.net_seq++});
     }
+    dst.cv.notify_one();
+    return;
   }
-  dst.cv.notify_one();
+  LanePush(dst, dst.netlane, msg);
+  NotifyIfParked(dst);
+}
+
+void SendOwned(int dest_pe, void* msg) {
+  SendOwnedFrom(CpvChecked(), dest_pe, msg);
 }
 
 void SendOwnedImmediate(int dest_pe, void* msg) {
@@ -164,38 +273,34 @@ void SendOwnedImmediate(int dest_pe, void* msg) {
   ++pe.stats.msgs_sent;
   ++pe.qd_created;
   PeState& dst = m.Pe(dest_pe);
-  {
-    std::scoped_lock lk(dst.mu);
-    dst.immq.push_back(msg);
-  }
-  dst.cv.notify_one();
+  LanePush(dst, dst.immlane, msg);
+  NotifyIfParked(dst);
 }
 
 void* PopNet(PeState& pe) {
   Machine& m = *pe.machine;
   for (;;) {
-    void* msg = nullptr;
-    {
-      std::scoped_lock lk(pe.mu);
-      if (!pe.immq.empty()) {
-        // Out-of-band lane: always ahead of regular traffic, never
-        // delayed by the latency model.
-        msg = pe.immq.front();
-        pe.immq.pop_front();
-      } else if (m.has_model()) {
-        if (pe.timedq.empty()) return nullptr;
-        if (pe.timedq.top().arrive_us > m.ElapsedUs()) return nullptr;
-        msg = pe.timedq.top().msg;
-        pe.timedq.pop();
-      } else {
-        if (pe.netq.empty()) return nullptr;
-        msg = pe.netq.front().msg;
-        pe.netq.pop_front();
-      }
+    // Out-of-band lane first: always ahead of regular traffic, never
+    // delayed by the latency model.
+    void* msg = LanePop(pe, pe.immlane, pe.imm_batchq);
+    if (msg == nullptr) {
+      msg = m.has_model() ? PopTimed(pe, m)
+                          : LanePop(pe, pe.netlane, pe.batchq);
     }
+    if (msg == nullptr) return nullptr;
     if (!TryScatter(pe, msg)) return msg;
     // Scatter consumed the message; look for the next one.
   }
+}
+
+bool NetIsIdle(PeState& pe) {
+  Machine& m = *pe.machine;
+  if (HasImmediate(pe)) return false;
+  if (m.has_model()) {
+    std::scoped_lock lk(pe.mu);
+    return pe.timedq.empty() || pe.timedq.top().arrive_us > m.ElapsedUs();
+  }
+  return !HasRegular(pe);
 }
 
 int DeliverAvailable(PeState& pe, int budget) {
@@ -219,33 +324,73 @@ int DeliverAvailable(PeState& pe, int budget) {
 
 void WaitForNet(PeState& pe) {
   Machine& m = *pe.machine;
-  // Optional spin phase: poll without sleeping for a configured window
-  // (dedicated-node behavior); fall through to the blocking wait after.
+  // Optional spin phase: poll without sleeping (and, on the lane paths,
+  // without locking) for a configured window — dedicated-node behavior;
+  // fall through to the blocking wait after.
   const double spin_us = m.config().idle_spin_us;
   if (spin_us > 0) {
     const double deadline = m.ElapsedUs() + spin_us;
     while (m.ElapsedUs() < deadline) {
       if (m.aborted()) throw MachineAborted{};
-      std::scoped_lock lk(pe.mu);
-      if (!pe.immq.empty()) return;
+      if (HasImmediate(pe)) return;
       if (m.has_model()) {
+        std::scoped_lock lk(pe.mu);
         if (!pe.timedq.empty() &&
             pe.timedq.top().arrive_us <= m.ElapsedUs()) {
           return;
         }
-      } else if (!pe.netq.empty()) {
+      } else if (HasRegular(pe)) {
         return;
       }
     }
   }
-  std::unique_lock lk(pe.mu);
+  // From here on the PE is idle: the yield phase and the park below are
+  // one idle block as far as stats and trace hooks are concerned.
   ++pe.stats.idle_blocks;
   if (pe.hooks != nullptr && pe.hooks->on_idle_begin != nullptr) {
     pe.hooks->on_idle_begin(pe.hooks->ud);
   }
+  const auto idle_end = [&pe] {
+    if (pe.hooks != nullptr && pe.hooks->on_idle_end != nullptr) {
+      pe.hooks->on_idle_end(pe.hooks->ud);
+    }
+  };
+  // Yield phase (no-model only): before paying for a futex park, hand the
+  // core to whichever thread is runnable a few times.  On oversubscribed
+  // hosts the producer usually runs in that window and the park — plus the
+  // producer's matching lock+notify — never happens.  Bounded, so a PE
+  // with genuinely nothing to do still parks promptly.
+  if (!m.has_model()) {
+    constexpr int kYieldRounds = 32;
+    for (int i = 0; i < kYieldRounds; ++i) {
+      if (m.aborted()) throw MachineAborted{};
+      if (HasImmediate(pe) || HasRegular(pe)) {
+        idle_end();
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+  // Park.  The seq_cst parked store before the final deliverability probe
+  // pairs with the producers' seq_cst publish (ring tail CAS / overflow
+  // count bump) followed by their parked load: in every interleaving
+  // either we see the message and skip the sleep, or the producer sees
+  // parked==true and notifies under the mutex.
+  pe.parked.store(true, std::memory_order_seq_cst);
+  struct Unpark {
+    PeState& pe;
+    ~Unpark() { pe.parked.store(false, std::memory_order_seq_cst); }
+  } unpark{pe};
+  if (m.aborted()) throw MachineAborted{};
+  if (!m.has_model() && (HasImmediate(pe) || HasRegular(pe))) {
+    idle_end();
+    return;
+  }
+
+  std::unique_lock lk(pe.mu);
   for (;;) {
     if (m.aborted()) throw MachineAborted{};
-    if (!pe.immq.empty()) break;
+    if (HasImmediate(pe)) break;
     if (m.has_model()) {
       if (!pe.timedq.empty()) {
         const double arrive = pe.timedq.top().arrive_us;
@@ -257,13 +402,11 @@ void WaitForNet(PeState& pe) {
       }
       pe.cv.wait(lk);
     } else {
-      if (!pe.netq.empty()) break;
+      if (HasRegular(pe)) break;
       pe.cv.wait(lk);
     }
   }
-  if (pe.hooks != nullptr && pe.hooks->on_idle_end != nullptr) {
-    pe.hooks->on_idle_end(pe.hooks->ud);
-  }
+  idle_end();
 }
 
 Machine::Machine(const MachineConfig& config)
@@ -276,12 +419,18 @@ Machine::Machine(const MachineConfig& config)
   assert(config.npes >= 1);
   pes_.reserve(static_cast<std::size_t>(config.npes));
   util::SplitMix64 seeder(config.seed);
+  const std::size_t ring_cap =
+      static_cast<std::size_t>(config.ring_capacity < 1 ? 1
+                                                        : config.ring_capacity);
   for (int i = 0; i < config.npes; ++i) {
     auto pe = std::make_unique<PeState>();
     pe->machine = this;
     pe->mype = i;
     pe->npes = config.npes;
     pe->rng = util::Xoshiro256(seeder.Next());
+    pe->netlane.ring.Init(ring_cap);
+    pe->immlane.ring.Init(ring_cap);
+    pe->pool = MsgPoolEnabled() ? MsgPoolForSlot(i) : nullptr;
     pes_.push_back(std::move(pe));
   }
 }
@@ -293,15 +442,26 @@ Machine::~Machine() {
 void Machine::DrainQueues(PeState& pe) {
   // Teardown: the machine reclaims every buffer it still owns; OnReclaim
   // tells the checker these frees are the machine layer's prerogative.
-  while (!pe.netq.empty()) {
-    detail::check::OnReclaim(pe.netq.front().msg);
-    CmiFree(pe.netq.front().msg);
-    pe.netq.pop_front();
+  // PE threads have joined, so the destructor is the rings' consumer.
+  for (InLane* lane : {&pe.netlane, &pe.immlane}) {
+    for (void* msg = lane->ring.TryPop(); msg != nullptr;
+         msg = lane->ring.TryPop()) {
+      detail::check::OnReclaim(msg);
+      CmiFree(msg);
+    }
+    while (!lane->overflow.empty()) {
+      detail::check::OnReclaim(lane->overflow.front());
+      CmiFree(lane->overflow.front());
+      lane->overflow.pop_front();
+    }
+    lane->overflow_count.store(0, std::memory_order_relaxed);
   }
-  while (!pe.immq.empty()) {
-    detail::check::OnReclaim(pe.immq.front());
-    CmiFree(pe.immq.front());
-    pe.immq.pop_front();
+  for (std::deque<void*>* q : {&pe.batchq, &pe.imm_batchq}) {
+    while (!q->empty()) {
+      detail::check::OnReclaim(q->front());
+      CmiFree(q->front());
+      q->pop_front();
+    }
   }
   while (!pe.timedq.empty()) {
     detail::check::OnReclaim(pe.timedq.top().msg);
@@ -445,8 +605,7 @@ void CmiSyncSendAndFree(unsigned int dest_pe, unsigned int size, void* msg) {
           pe.sysbuf_stack.back().grabbed) &&
          "CmiSyncSendAndFree on an ungrabbed system buffer; call "
          "CmiGrabBuffer first");
-  (void)pe;
-  detail::SendOwned(static_cast<int>(dest_pe), msg);
+  detail::SendOwnedFrom(pe, static_cast<int>(dest_pe), msg);
 }
 
 CommHandle CmiAsyncSend(unsigned int dest_pe, unsigned int size, void* msg) {
@@ -555,24 +714,42 @@ void CmiGrabBuffer(void** pbuf) {
          "delivered on this PE");
 }
 
+// All broadcast variants make exactly one pooled allocation per remote
+// destination, outside any destination lock: CopyMessage walks the source
+// once per copy on the sender's thread, and the per-lane ring push that
+// follows never holds a lock on the fast path.
 void CmiSyncBroadcast(unsigned int size, void* msg) {
   detail::PeState& pe = detail::CpvChecked();
   for (int i = 0; i < pe.npes; ++i) {
     if (i == pe.mype) continue;
-    detail::SendOwned(i, detail::CopyMessage(msg, size));
+    detail::SendOwnedFrom(pe, i, detail::CopyMessage(msg, size));
   }
 }
 
 void CmiSyncBroadcastAll(unsigned int size, void* msg) {
   detail::PeState& pe = detail::CpvChecked();
   for (int i = 0; i < pe.npes; ++i) {
-    detail::SendOwned(i, detail::CopyMessage(msg, size));
+    detail::SendOwnedFrom(pe, i, detail::CopyMessage(msg, size));
   }
 }
 
 void CmiSyncBroadcastAllAndFree(unsigned int size, void* msg) {
-  CmiSyncBroadcastAll(size, msg);
-  CmiFree(msg);
+  detail::PeState& pe = detail::CpvChecked();
+  auto* h = detail::Header(msg);
+  if (CciCheckEnabled() && h->magic != detail::kMsgMagicAlive) {
+    detail::check::Violate(CciRule::kUseAfterFree, msg,
+                           "CmiSyncBroadcastAllAndFree of a freed message "
+                           "(header magic 0x%08x)", h->magic);
+  }
+  assert(h->magic == detail::kMsgMagicAlive);
+  // Copies go to the other PEs; the original is delivered to self instead
+  // of being copied once more and freed (npes allocations, not npes + 1).
+  for (int i = 0; i < pe.npes; ++i) {
+    if (i == pe.mype) continue;
+    detail::SendOwnedFrom(pe, i, detail::CopyMessage(msg, size));
+  }
+  h->total_size = size;
+  detail::SendOwnedFrom(pe, pe.mype, msg);
 }
 
 CommHandle CmiAsyncBroadcast(unsigned int size, void* msg) {
@@ -601,13 +778,8 @@ int CmiProbeImmediates() {
   detail::PeState& pe = detail::CpvChecked();
   int delivered = 0;
   for (;;) {
-    void* msg = nullptr;
-    {
-      std::scoped_lock lk(pe.mu);
-      if (pe.immq.empty()) break;
-      msg = pe.immq.front();
-      pe.immq.pop_front();
-    }
+    void* msg = detail::LanePop(pe, pe.immlane, pe.imm_batchq);
+    if (msg == nullptr) break;
     ++pe.stats.msgs_delivered;
     detail::DispatchMessage(msg, /*system_owned=*/true);
     ++delivered;

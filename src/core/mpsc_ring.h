@@ -1,0 +1,127 @@
+// Bounded lock-free multi-producer/single-consumer ring — the cross-PE
+// delivery fast path.  This is Vyukov's bounded queue specialised to one
+// consumer: every cell carries a sequence word that encodes whose turn the
+// cell is on, so a push is one tail CAS plus one release store and a pop is
+// one acquire load plus one release store, with no locks and no allocation.
+//
+// Concurrency contract:
+//  * TryPush may be called from any thread (the sending PEs).
+//  * TryPop / HasItems / Drain may be called only from the owning consumer
+//    (the receiving PE's thread, or the machine teardown path after all PE
+//    threads have joined).
+//
+// The tail CAS is seq_cst on purpose: it is one half of the Dekker pair
+// with the consumer's `parked` flag (see WaitForNet in machine.cpp) — the
+// producer's tail bump and the consumer's park announcement must be
+// globally ordered so that either the producer sees `parked` and notifies,
+// or the consumer sees the new tail and never sleeps.
+//
+// When a producer has claimed a cell but not yet published it (the two
+// instructions between the CAS and the release store), the consumer can
+// observe tail > head with an unpublished head cell.  TryPop distinguishes
+// this from "empty" via the tail and briefly yields until the publish
+// lands; the wait is bounded by the producer being between two adjacent
+// instructions (plus scheduling, on oversubscribed hosts).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace converse::detail {
+
+class MpscRing {
+ public:
+  MpscRing() = default;
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Allocate the cell array.  `capacity` is rounded up to a power of two
+  /// (minimum 4).  Must be called before any push/pop.
+  void Init(std::size_t capacity) {
+    std::size_t cap = 4;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+    head_ = 0;
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Producer side: false when the ring is full (caller takes the overflow
+  /// slow path).
+  bool TryPush(void* msg) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+          cell.msg = msg;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure refreshed `pos`; retry.
+      } else if (dif < 0) {
+        return false;  // a full lap behind: ring is full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer side: next message, or nullptr when the ring is empty.
+  void* TryPop() {
+    const std::uint64_t pos = head_;
+    Cell& cell = cells_[pos & mask_];
+    std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (seq != pos + 1) {
+      if (tail_.load(std::memory_order_seq_cst) <= pos) return nullptr;
+      // Claimed but not yet published: the producer is between its CAS and
+      // its release store.  Wait for the publish rather than skipping the
+      // cell, so ring order (and per-sender FIFO) is preserved.
+      do {
+        std::this_thread::yield();
+        seq = cell.seq.load(std::memory_order_acquire);
+      } while (seq != pos + 1);
+    }
+    void* msg = cell.msg;
+    cell.seq.store(pos + capacity_, std::memory_order_release);
+    head_ = pos + 1;
+    return msg;
+  }
+
+  /// Consumer side: true when at least one cell has been claimed (it may
+  /// still be a publish-in-progress cell; TryPop will wait it out).
+  bool HasItems() const {
+    return tail_.load(std::memory_order_seq_cst) > head_;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    void* msg = nullptr;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  // Producers contend on tail_; head_ is consumer-private.  Keep them on
+  // separate cache lines so pops never bounce the producers' line.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::uint64_t head_ = 0;
+};
+
+}  // namespace converse::detail

@@ -7,20 +7,23 @@
 
 #include "converse/check.h"
 #include "converse/handlers.h"
+#include "core/msg_pool.h"
 
 namespace converse {
 
 void* CmiAlloc(std::size_t nbytes) {
   assert(nbytes >= sizeof(detail::MsgHeader) &&
          "CmiAlloc size must include CmiMsgHeaderSizeBytes()");
-  void* msg = ::operator new(nbytes, std::align_val_t{16});
+  void* msg = detail::MsgPoolAlloc(nbytes);
   auto* h = detail::Header(msg);
   h->handler = 0xffffffffu;  // invalid until CmiSetHandler
   h->total_size = static_cast<std::uint32_t>(nbytes);
   h->int_prio = 0;
   h->source_pe = 0;
   h->queueing = static_cast<std::uint8_t>(Queueing::kFifo);
-  h->flags = detail::kMsgFlagNone;
+  h->flags = detail::MsgPoolIsPooled(msg)
+                 ? static_cast<std::uint8_t>(detail::kMsgFlagPooled)
+                 : static_cast<std::uint8_t>(detail::kMsgFlagNone);
   h->magic = detail::kMsgMagicAlive;
   h->seq = 0;
   h->reserved = 0;
@@ -34,7 +37,7 @@ void CmiFree(void* msg) {
   auto* h = detail::Header(msg);
   assert(h->magic == detail::kMsgMagicAlive && "CmiFree: not a live message");
   h->magic = detail::kMsgMagicFreed;
-  ::operator delete(msg, std::align_val_t{16});
+  detail::MsgPoolFree(msg);
 }
 
 void* CmiMakeMessage(int handler, const void* payload,

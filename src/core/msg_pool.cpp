@@ -1,0 +1,270 @@
+#include "core/msg_pool.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "converse/msg.h"
+#include "core/pe_state.h"
+
+namespace converse {
+namespace detail {
+namespace {
+
+// Size classes cover the message's own bytes (header + payload); the
+// PoolPrefix rides in front of every block on top of these.
+constexpr std::size_t kClassBytes[] = {64, 128, 256, 512, 1024, 2048, 4096};
+constexpr int kNumClasses =
+    static_cast<int>(sizeof(kClassBytes) / sizeof(kClassBytes[0]));
+
+constexpr std::uint32_t kPrefixPooled = 0x506F4F4Cu;  // "PoOL"
+constexpr std::uint32_t kPrefixDirect = 0x44495243u;  // "DIRC"
+
+struct PoolPrefix {
+  void* owner_or_next;  // live: owning MsgPool*; free: freelist/return link
+  std::uint32_t tag;    // kPrefixPooled / kPrefixDirect
+  std::uint16_t size_class;
+  std::uint16_t unused;
+};
+static_assert(sizeof(PoolPrefix) == 16,
+              "prefix must preserve the message's 16-byte alignment");
+
+PoolPrefix* PrefixOf(void* msg) {
+  return reinterpret_cast<PoolPrefix*>(static_cast<char*>(msg) -
+                                       sizeof(PoolPrefix));
+}
+const PoolPrefix* PrefixOf(const void* msg) {
+  return reinterpret_cast<const PoolPrefix*>(static_cast<const char*>(msg) -
+                                             sizeof(PoolPrefix));
+}
+
+int ClassFor(std::size_t nbytes) {
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (nbytes <= kClassBytes[c]) return c;
+  }
+  return -1;
+}
+
+/// Single-writer counter: relaxed load+store compiles to a plain
+/// increment (no lock prefix) yet keeps cross-thread snapshot reads clean.
+class OwnerCounter {
+ public:
+  void Inc() {
+    v_.store(v_.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  }
+  std::uint64_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+std::atomic<std::uint64_t> g_direct_allocs{0};
+
+void* DirectAlloc(std::size_t nbytes) {
+  g_direct_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* raw =
+      ::operator new(sizeof(PoolPrefix) + nbytes, std::align_val_t{16});
+  void* msg = static_cast<char*>(raw) + sizeof(PoolPrefix);
+  PoolPrefix* p = PrefixOf(msg);
+  p->owner_or_next = nullptr;
+  p->tag = kPrefixDirect;
+  p->size_class = 0;
+  p->unused = 0;
+  return msg;
+}
+
+bool ComputeEnabled() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  bool enabled_default = false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  bool enabled_default = false;
+#else
+  bool enabled_default = true;
+#endif
+#else
+  bool enabled_default = true;
+#endif
+  const char* env = std::getenv("CONVERSE_POOL");
+  if (env != nullptr && env[0] != '\0') return env[0] != '0';
+  return enabled_default;
+}
+
+}  // namespace
+
+class MsgPool {
+ public:
+  /// Owner thread only.
+  void* Alloc(std::size_t nbytes) {
+    const int cls = ClassFor(nbytes);
+    if (cls < 0) return DirectAlloc(nbytes);
+    void* blk = freelist_[cls];
+    if (blk == nullptr) {
+      ReclaimReturns();
+      blk = freelist_[cls];
+    }
+    if (blk != nullptr) {
+      freelist_[cls] = PrefixOf(blk)->owner_or_next;
+      hits_.Inc();
+    } else {
+      misses_.Inc();
+      void* raw = ::operator new(sizeof(PoolPrefix) + kClassBytes[cls],
+                                 std::align_val_t{16});
+      blk = static_cast<char*>(raw) + sizeof(PoolPrefix);
+    }
+    PoolPrefix* p = PrefixOf(blk);
+    p->owner_or_next = this;
+    p->tag = kPrefixPooled;
+    p->size_class = static_cast<std::uint16_t>(cls);
+    p->unused = 0;
+    return blk;
+  }
+
+  /// Owner thread only.
+  void LocalFree(void* msg, int cls) {
+    PoolPrefix* p = PrefixOf(msg);
+    p->owner_or_next = freelist_[cls];
+    freelist_[cls] = msg;
+    local_frees_.Inc();
+  }
+
+  /// Any thread: Treiber push onto the owner's return stack.
+  void RemoteFree(void* msg) {
+    PoolPrefix* p = PrefixOf(msg);
+    void* head = returns_.load(std::memory_order_relaxed);
+    do {
+      p->owner_or_next = head;
+    } while (!returns_.compare_exchange_weak(head, msg,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+    remote_frees_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void AccumInto(CmiMemoryStats& s) const {
+    s.pool_hits += hits_.Get();
+    s.pool_misses += misses_.Get();
+    s.local_frees += local_frees_.Get();
+    s.remote_frees += remote_frees_.load(std::memory_order_relaxed);
+    s.remote_reclaimed += remote_reclaimed_.Get();
+  }
+
+ private:
+  /// Owner thread only: swap the whole return stack out at once (no ABA)
+  /// and sort the blocks back into the freelists.
+  void ReclaimReturns() {
+    void* list = returns_.exchange(nullptr, std::memory_order_acquire);
+    while (list != nullptr) {
+      PoolPrefix* p = PrefixOf(list);
+      void* next = p->owner_or_next;
+      assert(p->tag == kPrefixPooled && p->size_class < kNumClasses);
+      p->owner_or_next = freelist_[p->size_class];
+      freelist_[p->size_class] = list;
+      remote_reclaimed_.Inc();
+      list = next;
+    }
+  }
+
+  void* freelist_[kNumClasses] = {};
+  OwnerCounter hits_, misses_, local_frees_, remote_reclaimed_;
+  alignas(64) std::atomic<void*> returns_{nullptr};
+  std::atomic<std::uint64_t> remote_frees_{0};
+};
+
+namespace {
+
+std::mutex g_registry_mu;
+std::vector<MsgPool*>& Registry() {
+  static std::vector<MsgPool*>* r = new std::vector<MsgPool*>;  // leaked
+  return *r;
+}
+
+/// The calling thread's pool, or nullptr outside a PE thread.
+MsgPool* MyPool() {
+  PeState* pe = Cpv();
+  return pe != nullptr ? pe->pool : nullptr;
+}
+
+}  // namespace
+
+bool MsgPoolEnabled() {
+  static const bool enabled = ComputeEnabled();
+  return enabled;
+}
+
+MsgPool* MsgPoolForSlot(int slot) {
+  assert(slot >= 0);
+  std::scoped_lock lk(g_registry_mu);
+  auto& pools = Registry();
+  if (pools.size() <= static_cast<std::size_t>(slot)) {
+    pools.resize(static_cast<std::size_t>(slot) + 1, nullptr);
+  }
+  if (pools[static_cast<std::size_t>(slot)] == nullptr) {
+    pools[static_cast<std::size_t>(slot)] = new MsgPool;  // leaked: pools
+    // outlive machines so post-teardown frees stay valid, and the next
+    // machine's same slot reuses them.
+  }
+  return pools[static_cast<std::size_t>(slot)];
+}
+
+void* MsgPoolAlloc(std::size_t nbytes) {
+  if (!MsgPoolEnabled()) {
+    return ::operator new(nbytes, std::align_val_t{16});
+  }
+  MsgPool* pool = MyPool();
+  if (pool != nullptr) return pool->Alloc(nbytes);
+  return DirectAlloc(nbytes);
+}
+
+void MsgPoolFree(void* msg) {
+  if (!MsgPoolEnabled()) {
+    ::operator delete(msg, std::align_val_t{16});
+    return;
+  }
+  PoolPrefix* p = PrefixOf(msg);
+  if (p->tag == kPrefixDirect) {
+    ::operator delete(static_cast<char*>(msg) - sizeof(PoolPrefix),
+                      std::align_val_t{16});
+    return;
+  }
+  assert(p->tag == kPrefixPooled && "CmiFree of a non-CmiAlloc buffer");
+  auto* owner = static_cast<MsgPool*>(p->owner_or_next);
+  if (owner == MyPool()) {
+    owner->LocalFree(msg, p->size_class);
+  } else {
+    owner->RemoteFree(msg);
+  }
+}
+
+bool MsgPoolIsPooled(const void* msg) {
+  return MsgPoolEnabled() && PrefixOf(msg)->tag == kPrefixPooled;
+}
+
+void MsgPoolRestampFlag(void* msg) {
+  MsgHeader* h = Header(msg);
+  if (MsgPoolIsPooled(msg)) {
+    h->flags = static_cast<std::uint8_t>(h->flags | kMsgFlagPooled);
+  } else {
+    h->flags = static_cast<std::uint8_t>(h->flags & ~kMsgFlagPooled);
+  }
+}
+
+CmiMemoryStats MsgPoolStats() {
+  CmiMemoryStats s;
+  s.pool_enabled = MsgPoolEnabled();
+  s.direct_allocs = g_direct_allocs.load(std::memory_order_relaxed);
+  std::scoped_lock lk(g_registry_mu);
+  for (MsgPool* pool : Registry()) {
+    if (pool != nullptr) pool->AccumInto(s);
+  }
+  return s;
+}
+
+}  // namespace detail
+
+CmiMemoryStats CmiGetMemoryStats() { return detail::MsgPoolStats(); }
+
+}  // namespace converse

@@ -1,0 +1,63 @@
+// Per-PE size-class message pools behind CmiAlloc/CmiFree.
+//
+// Layout: every allocation carries a 16-byte PoolPrefix *before* the
+// 16-byte-aligned message pointer.  The prefix — not the message header —
+// holds the pool identity, because the runtime copies whole headers around
+// (CopyMessage, the pgrp multicast unwrap): header-resident metadata would
+// be clobbered by those memcpys, the out-of-band prefix never is.  The
+// header's kMsgFlagPooled bit is advisory (re-stamped after full-header
+// copies via MsgPoolRestampFlag) so tools and tests can see poolability.
+//
+// Ownership: each PE slot has one MsgPool, created on demand and leaked —
+// machines run sequentially, so slot i of every machine reuses the same
+// pool, and frees that happen after a machine tears down (or from non-PE
+// threads) stay safe forever.  Allocation and local free touch only the
+// owning PE's freelists (no atomics beyond single-writer counters); a free
+// from any other thread pushes onto the owner's lock-free return stack
+// (Treiber push; the owner reclaims with a swap-all exchange, so there is
+// no ABA window).  Messages larger than the largest size class — and all
+// allocations made outside a PE thread — fall back to direct operator new,
+// tagged as such in the prefix.
+//
+// Sanitizers: pooling recycles memory, which would hide use-after-free
+// from ASan and shift diagnosis under TSan, so pools default off when
+// compiled with either sanitizer.  The CONVERSE_POOL environment variable
+// overrides the default in both directions ("0" disables, anything else
+// enables); with pools off CmiAlloc/CmiFree degrade to the original
+// prefix-less operator new/delete path.
+#pragma once
+
+#include <cstddef>
+
+#include "converse/cmi.h"
+
+namespace converse::detail {
+
+class MsgPool;
+
+/// True when the pool layer is active (decided once, at first use).
+bool MsgPoolEnabled();
+
+/// The (leaked, process-lifetime) pool serving PE slot `slot`.
+MsgPool* MsgPoolForSlot(int slot);
+
+/// Allocate an `nbytes` message buffer (16-byte aligned) from the calling
+/// PE's pool; direct allocation when outside a PE, oversize, or disabled.
+void* MsgPoolAlloc(std::size_t nbytes);
+
+/// Return a MsgPoolAlloc'ed buffer: owner's freelist when called on the
+/// owning PE's thread, the owner's return stack otherwise.
+void MsgPoolFree(void* msg);
+
+/// True when `msg` came from a pool freelist/size class (false for direct
+/// allocations and whenever pooling is disabled).
+bool MsgPoolIsPooled(const void* msg);
+
+/// Fix the advisory kMsgFlagPooled header bit after a full-header memcpy
+/// replaced it with the source message's bit.
+void MsgPoolRestampFlag(void* msg);
+
+/// Process-wide counter snapshot (sums every slot's pool).
+CmiMemoryStats MsgPoolStats();
+
+}  // namespace converse::detail

@@ -22,16 +22,38 @@
 #include "converse/queueing.h"
 #include "converse/util/rng.h"
 #include "converse/util/spantree.h"
+#include "core/mpsc_ring.h"
 
 namespace converse::detail {
 
 class Machine;
+class MsgPool;
 
-/// A message sitting in a PE's network in-queue.
+/// A message sitting in a PE's timed (net-model) in-queue.
 struct NetEntry {
   void* msg;
   double arrive_us;   // visibility time (0 when no net model)
   std::uint64_t seq;  // tie-break so equal arrival times stay FIFO
+};
+
+/// One inbound delivery lane: a bounded lock-free MPSC ring (the common
+/// path — no lock, no allocation) plus an unbounded overflow deque guarded
+/// by PeState::mu (taken only when the ring fills).
+///
+/// Ordering contract (per-sender FIFO):
+///  * While `overflow_count` is nonzero, producers divert to the overflow
+///    deque ("sticky" overflow) so a sender's later message can never pass
+///    its earlier overflowed one via the ring.  Producers re-check the
+///    count under the mutex before committing to the deque: the consumer
+///    only zeroes the count under that same mutex, so a stale nonzero read
+///    on the lock-free fast path is corrected before it can reorder.
+///  * The consumer drains the ring before splicing the overflow deque into
+///    its private batch queue, and drains the batch queue before returning
+///    to the ring.
+struct InLane {
+  MpscRing ring;
+  std::atomic<std::uint64_t> overflow_count{0};  // writes under PeState::mu
+  std::deque<void*> overflow;                    // guarded by PeState::mu
 };
 
 struct NetEntryLater {
@@ -80,20 +102,27 @@ struct PeState {
   Machine* machine = nullptr;
   int mype = 0;
   int npes = 1;
+  MsgPool* pool = nullptr;  // this slot's message pool (null when disabled)
 
   // ---- network in-queue: producers are other PE threads ----
-  std::mutex mu;
+  std::mutex mu;  // guards overflow deques, timedq, and the parked condvar
   std::condition_variable cv;
-  std::deque<NetEntry> netq;  // used when there is no net model (FIFO)
-  std::deque<void*> immq;     // immediate (out-of-band) messages: always
-                              // delivered before regular traffic and never
-                              // delayed by a net model
+  InLane netlane;  // regular traffic (used when there is no net model)
+  InLane immlane;  // immediate (out-of-band) messages: always delivered
+                   // before regular traffic and never delayed by a net model
   std::priority_queue<NetEntry, std::vector<NetEntry>, NetEntryLater>
       timedq;  // used with a net model (ordered by arrival time)
   std::uint64_t net_seq = 0;
+  // True while this PE's thread is (about to be) blocked in WaitForNet.
+  // Producers check it after publishing and only then pay for the
+  // lock+notify; the seq_cst Dekker pairing with the ring's tail CAS (see
+  // mpsc_ring.h) guarantees no lost wakeup.
+  std::atomic<bool> parked{false};
 
   // ---- consumer-only state (touched only by this PE's thread) ----
-  std::deque<void*> heldq;  // buffered by CmiGetSpecificMsg
+  std::deque<void*> batchq;      // regular messages staged in batch
+  std::deque<void*> imm_batchq;  // immediate messages staged in batch
+  std::deque<void*> heldq;       // buffered by CmiGetSpecificMsg
   CqsQueue schedq;
   std::vector<Handler> handlers;
   // Handler count published for CciCheck's cross-PE divergence diagnosis:
@@ -177,6 +206,10 @@ PeState& CpvChecked();
 /// Internal send: takes ownership of `msg` (header fields completed here).
 void SendOwned(int dest_pe, void* msg);
 
+/// SendOwned for callers that already resolved the sending PE (saves the
+/// thread-local lookup on hot paths).
+void SendOwnedFrom(PeState& pe, int dest_pe, void* msg);
+
 /// Internal immediate send: like SendOwned but into the receiver's
 /// out-of-band lane (paper §6 "preemptive messages" future work).
 void SendOwnedImmediate(int dest_pe, void* msg);
@@ -184,6 +217,10 @@ void SendOwnedImmediate(int dest_pe, void* msg);
 /// Pop the next deliverable network message, applying scatter
 /// registrations; nullptr if none available right now.
 void* PopNet(PeState& pe);
+
+/// True when no network message is deliverable right now (both lanes and,
+/// under a net model, the timed queue).  Must run on `pe`'s own thread.
+bool NetIsIdle(PeState& pe);
 
 /// Deliver buffered-held + available network messages, up to `budget`
 /// (-1 = unlimited); stops early if the PE's exit flag is raised.

@@ -80,33 +80,40 @@ CqsQueue::~CqsQueue() {
   // queue itself. Nothing to do here.
 }
 
-void CqsQueue::EnqueueGeneral(void* msg, Queueing strategy, CqsPrio prio) {
+void CqsQueue::EnqueueZero(void* msg, bool lifo) {
   assert(msg != nullptr);
   detail::check::OnEnqueue(msg);
-  const std::uint64_t s = seq_++;
+  ++seq_;  // keeps TotalEnqueued in step with the general path
+  detail::Header(msg)->queueing =
+      static_cast<std::uint8_t>(lifo ? Queueing::kLifo : Queueing::kFifo);
+  if (lifo) {
+    zeroq_.push_front(msg);
+  } else {
+    zeroq_.push_back(msg);
+  }
+}
+
+void CqsQueue::EnqueueGeneral(void* msg, Queueing strategy, CqsPrio prio) {
   const bool lifo = strategy == Queueing::kLifo ||
                     strategy == Queueing::kIntLifo ||
                     strategy == Queueing::kBitvecLifo;
-  const bool unprioritized =
-      strategy == Queueing::kFifo || strategy == Queueing::kLifo;
-  detail::Header(msg)->queueing = static_cast<std::uint8_t>(strategy);
-  if (unprioritized) {
-    if (lifo) {
-      zeroq_.push_front(msg);
-    } else {
-      zeroq_.push_back(msg);
-    }
+  if (strategy == Queueing::kFifo || strategy == Queueing::kLifo) {
+    EnqueueZero(msg, lifo);
     return;
   }
+  assert(msg != nullptr);
+  detail::check::OnEnqueue(msg);
+  const std::uint64_t s = seq_++;
+  detail::Header(msg)->queueing = static_cast<std::uint8_t>(strategy);
+  const bool before_default = prio.Compare(CqsPrio{}) < 0;
   // LIFO among equal priorities: invert the sequence order.  ~s preserves
   // uniqueness and reverses comparison direction.
-  heap_.push(Entry{std::move(prio), lifo ? ~s : s, msg});
+  heap_.push(Entry{std::move(prio), lifo ? ~s : s, msg, before_default});
 }
 
 void* CqsQueue::Dequeue() {
-  static const CqsPrio kDefault{};
   void* msg = nullptr;
-  if (!heap_.empty() && heap_.top().prio.Compare(kDefault) < 0) {
+  if (!heap_.empty() && heap_.top().before_default) {
     msg = heap_.top().msg;
     heap_.pop();
   } else if (!zeroq_.empty()) {

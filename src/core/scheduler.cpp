@@ -165,13 +165,7 @@ std::size_t CsdLength() { return CpvChecked().schedq.Length(); }
 bool CsdIsIdle() {
   PeState& pe = CpvChecked();
   if (!pe.schedq.Empty() || !pe.heldq.empty()) return false;
-  detail::Machine& m = *pe.machine;
-  std::scoped_lock lk(pe.mu);
-  if (!pe.immq.empty()) return false;
-  if (m.has_model()) {
-    return pe.timedq.empty() || pe.timedq.top().arrive_us > m.ElapsedUs();
-  }
-  return pe.netq.empty();
+  return detail::NetIsIdle(pe);
 }
 
 }  // namespace converse

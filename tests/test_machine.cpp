@@ -105,6 +105,52 @@ TEST(Machine, AsyncSendHandleIsCompleteAndReleasable) {
   });
 }
 
+TEST(Machine, AsyncBroadcastHandlesAreConsistent) {
+  // Every async variant must return a handle that CmiAsyncMsgSent reports
+  // complete and that CmiReleaseCommHandle accepts (repeatedly creating
+  // and releasing must not crash or leak); the messages must still land.
+  constexpr int kNpes = 4;
+  PerPeCounters hits(kNpes);
+  RunConverse(kNpes, [&](int pe, int) {
+    int seen = 0;
+    int h = CmiRegisterHandler([&hits, &seen](void*) {
+      hits.Add(CmiMyPe());
+      // PE0 gets 1 (broadcast-all only); others get 2 (broadcast + all).
+      const int want = CmiMyPe() == 0 ? 1 : 2;
+      if (++seen == want) CsdExitScheduler();
+    });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CommHandle cb = CmiAsyncBroadcast(CmiMsgTotalSize(m), m);
+      EXPECT_EQ(CmiAsyncMsgSent(cb), 1);
+      CmiReleaseCommHandle(cb);
+      CommHandle ca = CmiAsyncBroadcastAll(CmiMsgTotalSize(m), m);
+      EXPECT_EQ(CmiAsyncMsgSent(ca), 1);
+      CmiReleaseCommHandle(ca);
+      CmiFree(m);  // async variants copy eagerly: source reusable at once
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(hits.Get(0), 1);
+  for (int i = 1; i < kNpes; ++i) EXPECT_EQ(hits.Get(i), 2);
+}
+
+TEST(Machine, VectorSendHandleIsCompleteAndReleasable) {
+  RunConverse(2, [&](int pe, int) {
+    int h = CmiRegisterHandler([](void*) { CsdExitScheduler(); });
+    if (pe == 0) {
+      const char* piece = "x";
+      const int sizes[] = {1};
+      const void* arrays[] = {piece};
+      CommHandle ch = CmiVectorSend(1, h, 1, sizes, arrays);
+      EXPECT_EQ(CmiAsyncMsgSent(ch), 1);
+      CmiReleaseCommHandle(ch);
+      CsdExitScheduler();
+    }
+    CsdScheduler(-1);
+  });
+}
+
 class MachineBroadcast : public ::testing::TestWithParam<int> {};
 
 TEST_P(MachineBroadcast, BroadcastExcludesCaller) {

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "converse/msg.h"
@@ -200,6 +202,140 @@ TEST_P(CqsRandomized, MatchesReferenceOrder) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CqsRandomized,
                          ::testing::Values(1u, 2u, 3u, 17u, 1234u));
+
+// Oracle for the fast-path property test below: a direct, unoptimized
+// implementation of the header's ordering rules using only the public
+// CqsPrio::Compare.  The deque lane is a plain deque; the "heap" is a
+// linear scan for the minimum (priority, then order).  Any shortcut in
+// CqsQueue — the dedicated zero-priority deque lane, the cached
+// heap-vs-deque decision bit — that changed observable ordering would
+// diverge from this model.
+namespace {
+
+struct CqsOracle {
+  struct Entry {
+    CqsPrio prio;
+    std::uint64_t order;
+    int id;
+  };
+  std::deque<int> zero;
+  std::vector<Entry> heap;
+  std::uint64_t seq = 0;
+
+  void Fifo(int id) {
+    ++seq;
+    zero.push_back(id);
+  }
+  void Lifo(int id) {
+    ++seq;
+    zero.push_front(id);
+  }
+  void Prio(int id, CqsPrio p, bool lifo) {
+    const std::uint64_t s = seq++;
+    heap.push_back(Entry{std::move(p), lifo ? ~s : s, id});
+  }
+  int Dequeue() {  // -1 when empty
+    auto best = heap.end();
+    for (auto it = heap.begin(); it != heap.end(); ++it) {
+      if (best == heap.end()) {
+        best = it;
+        continue;
+      }
+      const int c = it->prio.Compare(best->prio);
+      if (c < 0 || (c == 0 && it->order < best->order)) best = it;
+    }
+    if (best != heap.end() && best->prio.Compare(CqsPrio{}) < 0) {
+      const int id = best->id;
+      heap.erase(best);
+      return id;
+    }
+    if (!zero.empty()) {
+      const int id = zero.front();
+      zero.pop_front();
+      return id;
+    }
+    if (best != heap.end()) {
+      const int id = best->id;
+      heap.erase(best);
+      return id;
+    }
+    return -1;
+  }
+};
+
+}  // namespace
+
+// Property test for the default-priority fast lane: randomized mixed
+// workloads (FIFO, LIFO, int priorities including an explicit default 0,
+// and bit-vector priorities), with dequeues interleaved so the
+// heap-vs-deque decision is exercised in many intermediate states.  The
+// dequeue order must match the oracle exactly, element for element.
+class CqsFastPathProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CqsFastPathProperty, MixedWorkloadMatchesOracleExactly) {
+  converse::util::Xoshiro256 rng(GetParam());
+  CqsQueue q;
+  CqsOracle oracle;
+  int next_id = 0;
+  auto enqueue_random = [&] {
+    const int id = next_id++;
+    switch (rng.Below(7)) {
+      case 0:
+        q.Enqueue(Msg(id));
+        oracle.Fifo(id);
+        break;
+      case 1:
+        q.EnqueueLifo(Msg(id));
+        oracle.Lifo(id);
+        break;
+      case 2:
+        // Explicit default priority: a heap entry that must rank behind
+        // every deque entry (the documented tie rule).
+        q.EnqueueIntPrio(Msg(id), 0);
+        oracle.Prio(id, CqsPrio::FromInt(0), /*lifo=*/false);
+        break;
+      case 3:
+      case 4: {
+        const int p = static_cast<int>(rng.Below(9)) - 4;
+        const bool lifo = rng.Below(2) != 0;
+        q.EnqueueIntPrio(Msg(id), p, lifo);
+        oracle.Prio(id, CqsPrio::FromInt(p), lifo);
+        break;
+      }
+      default: {
+        const std::uint32_t words[2] = {static_cast<std::uint32_t>(rng.Next()),
+                                        static_cast<std::uint32_t>(rng.Next())};
+        const int nbits = 1 + static_cast<int>(rng.Below(64));
+        const bool lifo = rng.Below(2) != 0;
+        q.EnqueueBitvecPrio(Msg(id), words, nbits, lifo);
+        oracle.Prio(id, CqsPrio::FromBitvec(words, nbits), lifo);
+        break;
+      }
+    }
+  };
+  for (int op = 0; op < 1200; ++op) {
+    if (rng.Below(3) != 0 || q.Empty()) {
+      enqueue_random();
+    } else {
+      void* m = q.Dequeue();
+      ASSERT_NE(m, nullptr);
+      const int want = oracle.Dequeue();
+      EXPECT_EQ(IdOf(m), want) << "op " << op;
+      CmiFree(m);
+    }
+  }
+  while (!q.Empty()) {
+    void* m = q.Dequeue();
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(IdOf(m), oracle.Dequeue());
+    CmiFree(m);
+  }
+  EXPECT_EQ(oracle.Dequeue(), -1);
+  EXPECT_EQ(q.TotalEnqueued(), static_cast<std::uint64_t>(next_id));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqsFastPathProperty,
+                         ::testing::Values(7u, 42u, 99u, 2026u));
 
 TEST(Cqs, TotalEnqueuedCounts) {
   CqsQueue q;

@@ -140,6 +140,98 @@ TEST_P(StressSeed, MixedParadigmTrafficAllAccounted) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StressSeed,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
 
+TEST(Stress, TinyRingWrapsAndSpillsKeepPerSenderFifo) {
+  // ring_capacity 4 forces constant wraparound and overflow spills on the
+  // lock-free delivery lanes; the per-sender FIFO contract must survive
+  // both paths (a message spilled to the overflow deque must never be
+  // passed by a later message from the same sender going via the ring).
+  constexpr int kNpes = 5;
+  constexpr int kPerSender = 400;
+  MachineConfig cfg;
+  cfg.npes = kNpes;
+  cfg.ring_capacity = 4;
+  std::atomic<long> received{0};
+  std::atomic<bool> fifo_ok{true};
+  RunConverse(cfg, [&](int pe, int np) {
+    struct Wire {
+      std::int32_t sender;
+      std::int32_t seq;
+    };
+    std::vector<int> last_seq(static_cast<std::size_t>(np), -1);
+    int h = CmiRegisterHandler([&](void* msg) {
+      Wire w;
+      std::memcpy(&w, CmiMsgPayload(msg), sizeof(w));
+      if (w.seq != last_seq[w.sender] + 1) fifo_ok = false;
+      last_seq[w.sender] = w.seq;
+      if (++received == static_cast<long>(np - 1) * kPerSender) {
+        ConverseBroadcastExit();
+      }
+    });
+    if (pe != 0) {
+      for (int i = 0; i < kPerSender; ++i) {
+        Wire w{pe, i};
+        void* m = CmiMakeMessage(h, &w, sizeof(w));
+        CmiSyncSendAndFree(0, CmiMsgTotalSize(m), m);
+      }
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_TRUE(fifo_ok.load());
+  EXPECT_EQ(received.load(), static_cast<long>(kNpes - 1) * kPerSender);
+}
+
+TEST(Stress, RemoteFreeReturnRingsUnderEightPeAllToAll) {
+  // All-to-all traffic on 8 PEs: every message is allocated from the
+  // sender's pool and freed on the receiver's thread, exercising the
+  // cross-thread return rings.  The memory-stats deltas must show the
+  // remote frees (when the pool is enabled) and the run must account for
+  // every message.
+  const CmiMemoryStats before = CmiGetMemoryStats();
+  constexpr int kNpes = 8;
+  constexpr int kPerDest = 120;
+  constexpr long kTotal =
+      static_cast<long>(kNpes) * (kNpes - 1) * kPerDest;
+  std::atomic<long> received{0};
+  RunConverse(kNpes, [&](int pe, int np) {
+    int h = CmiRegisterHandler([&](void*) {
+      if (++received == kTotal) ConverseBroadcastExit();
+    });
+    for (int dest = 0; dest < np; ++dest) {
+      if (dest == pe) continue;
+      for (int i = 0; i < kPerDest; ++i) {
+        void* m = CmiMakeMessage(h, &i, sizeof(i));
+        CmiSyncSendAndFree(static_cast<unsigned>(dest), CmiMsgTotalSize(m),
+                           m);
+      }
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(received.load(), kTotal);
+  const CmiMemoryStats after = CmiGetMemoryStats();
+  if (!after.pool_enabled) GTEST_SKIP() << "message pool disabled";
+  // Every cross-PE message was freed on a thread that does not own it.
+  EXPECT_GE(after.remote_frees - before.remote_frees,
+            static_cast<std::uint64_t>(kTotal));
+}
+
+TEST(Stress, PoolReusesFreedBlocks) {
+  // Local alloc/free cycles of one size class must hit the freelist on
+  // every iteration after the first (observable reuse, not just counters
+  // standing still).
+  const CmiMemoryStats before = CmiGetMemoryStats();
+  RunConverse(1, [&](int, int) {
+    const std::size_t bytes = CmiMsgHeaderSizeBytes() + 64;
+    for (int i = 0; i < 64; ++i) {
+      void* m = CmiAlloc(bytes);
+      CmiFree(m);
+    }
+  });
+  const CmiMemoryStats after = CmiGetMemoryStats();
+  if (!after.pool_enabled) GTEST_SKIP() << "message pool disabled";
+  EXPECT_GE(after.pool_hits - before.pool_hits, 63u);
+  EXPECT_GT(after.local_frees, before.local_frees);
+}
+
 TEST(Stress, ManySequentialMachines) {
   // Machine setup/teardown hygiene: leaks or stale state would accumulate.
   for (int round = 0; round < 20; ++round) {
