@@ -26,4 +26,5 @@
 #include "converse/netmodel.h"
 #include "converse/pgrp.h"
 #include "converse/queueing.h"
+#include "converse/sim.h"
 #include "converse/trace.h"

@@ -10,6 +10,8 @@
 
 namespace converse {
 
+struct SimConfig;  // converse/sim.h
+
 struct MachineConfig {
   /// Number of processing elements (threads). May exceed hardware cores;
   /// all blocking in the runtime is condvar-based, so oversubscription is
@@ -44,6 +46,12 @@ struct MachineConfig {
   /// throughput knob, never a correctness limit.  Tiny values (e.g. 4)
   /// are useful in tests to exercise the overflow path.
   int ring_capacity = 1024;
+
+  /// Optional deterministic-simulation backend (converse/sim.h): PEs are
+  /// serialized under a seeded scheduler and a virtual clock, with optional
+  /// message-fault injection.  nullptr = normal threaded execution.  The
+  /// machine copies the config; the pointee need not outlive this struct.
+  const SimConfig* sim = nullptr;
 
   /// Streams used by CmiPrintf / CmiError / CmiScanf. Tests may redirect.
   std::FILE* out = nullptr;  // nullptr -> stdout

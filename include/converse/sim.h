@@ -1,0 +1,128 @@
+// Deterministic simulation backend for the in-process machine.
+//
+// Almost every interesting bug in a message-driven runtime is an
+// interleaving or message-ordering bug, which wall-clock, really-threaded
+// tests can neither reproduce nor shrink.  Attaching a SimConfig to a
+// MachineConfig turns the machine into a deterministic simulator: the PE
+// threads still exist, but a coordinator serializes them so exactly one
+// runs at a time, every scheduling choice (who runs next, delivery order,
+// timed arrival) is drawn from a single seeded PRNG, and time is virtual —
+// it advances only when every PE is blocked, jumping straight to the next
+// modeled arrival.  The same seed therefore replays the same event order
+// bit-for-bit, captured in a trace hash.
+//
+// A fault injector on the inter-PE send path can drop, duplicate, delay,
+// or reorder regular messages with configured probabilities (immediate-lane
+// messages and local scheduler enqueues are never faulted: they are the
+// reliable control plane).  On top of the backend, converse::sim provides a
+// property-based fuzz workload with invariant oracles and a failing-seed
+// minimizer; see tools/simfuzz and docs/TESTING.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace converse {
+
+/// Fault-injection probabilities, each in [0, 1), applied independently to
+/// every regular inter-PE message at send time.
+struct SimFaults {
+  double drop = 0.0;     // message silently freed, never delivered
+  double dup = 0.0;      // an identical copy (same header seq) also arrives
+  double delay = 0.0;    // extra virtual latency, uniform in [0, delay_max_us]
+  double reorder = 0.0;  // message held back past the sender's next message
+                         // to the same destination (per-sender FIFO broken)
+  double delay_max_us = 500.0;
+  /// Stop injecting after this many faults (bounds lost messages so fuzz
+  /// workloads still make progress under high probabilities).
+  std::uint64_t max_faults = UINT64_MAX;
+
+  bool Any() const {
+    return drop > 0 || dup > 0 || delay > 0 || reorder > 0;
+  }
+};
+
+/// Counters filled into SimConfig::report when the machine tears down.
+struct SimReport {
+  std::uint64_t trace_hash = 0;   // FNV-1a over the ordered event stream
+  std::uint64_t events = 0;       // hashed events (send/deliver/switch/...)
+  std::uint64_t context_switches = 0;  // PE-to-PE baton handoffs
+  std::uint64_t msgs_dropped = 0;
+  std::uint64_t msgs_duplicated = 0;
+  std::uint64_t msgs_delayed = 0;
+  std::uint64_t msgs_reordered = 0;
+  double final_virtual_us = 0.0;  // virtual clock at teardown
+  bool quiesced = false;          // the quiescence exit fired at least once
+};
+
+/// Attach to MachineConfig::sim to run that machine deterministically.
+struct SimConfig {
+  /// Seed for every simulator choice (schedule, faults).  Replaying with
+  /// the same seed and the same workload reproduces the same event order.
+  std::uint64_t seed = 1;
+
+  SimFaults faults;
+
+  /// When every PE is blocked with no pending or future message (global
+  /// quiescence), raise the exit flag on all PEs so CsdScheduler(-1) loops
+  /// return — the simulated analogue of "the program went idle".  A PE that
+  /// blocks again without making progress afterwards is a genuine deadlock
+  /// and aborts the machine with a diagnostic.  When false, quiescence
+  /// itself is reported as a deadlock.
+  bool exit_on_quiescence = true;
+
+  /// Test-only toggle: deliberately violate per-sender FIFO (same hold-back
+  /// mechanism as the reorder fault but *not* recorded as a fault), so the
+  /// invariant oracles can demonstrate catching a planted ordering bug.
+  bool plant_reorder_bug = false;
+
+  /// Optional out-param, filled when the machine finishes.
+  SimReport* report = nullptr;
+};
+
+namespace sim {
+
+/// Parameters of one randomized fuzz workload run (see src/sim/fuzz.cpp):
+/// random handler graphs exercising sends, broadcasts, immediate messages,
+/// Cmm put/probe/get, thread suspend/resume, and priority enqueues, checked
+/// against invariant oracles.
+struct FuzzParams {
+  std::uint64_t seed = 1;
+  int npes = 4;
+  int actions = 48;  // root ops injected per PE (each fans out by TTL)
+  int threads = 2;   // Cth threads per PE doing suspend/resume traffic
+  SimFaults faults;
+  bool plant_reorder_bug = false;
+};
+
+struct FuzzResult {
+  bool ok = false;
+  std::string failure;  // first violated invariant (empty when ok)
+  SimReport report;
+};
+
+/// Run one deterministic fuzz case and check every invariant oracle:
+///  * immediate-lane and local-enqueue messages are never lost, duplicated,
+///    or reordered (they are never faulted);
+///  * regular-message conservation: delivered == sent - dropped + duplicated;
+///  * per-sender FIFO per destination whenever no configured fault can
+///    legally reorder (dup/delay/reorder all zero) — this is the oracle
+///    that catches plant_reorder_bug;
+///  * no duplicate delivery when dup == 0;
+///  * Cmm tag/wildcard retrievals match a naive reference mailbox;
+///  * the run ends by global quiescence (no stuck PE).
+FuzzResult RunFuzzCase(const FuzzParams& params);
+
+/// Shrink a failing case: greedily try fewer actions, fewer threads, fewer
+/// PEs, and disabled fault dimensions (at most `budget` deterministic
+/// re-runs), keeping every reduction that still fails.  Returns the
+/// smallest still-failing parameters (the input itself if nothing smaller
+/// fails).
+FuzzParams Minimize(const FuzzParams& failing, int budget = 64);
+
+/// One-line replay command for a parameter set, e.g.
+/// "CONVERSE_SIM_SEED=7 tools/simfuzz --pes 3 --actions 12 --plant-bug".
+std::string FormatReplay(const FuzzParams& params);
+
+}  // namespace sim
+}  // namespace converse

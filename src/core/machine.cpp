@@ -11,6 +11,7 @@
 #include "converse/util/timer.h"
 #include "core/msg_pool.h"
 #include "core/pe_state.h"
+#include "sim/sim_internal.h"
 
 namespace converse {
 namespace detail {
@@ -203,6 +204,10 @@ PeState& CpvChecked() {
   return *tls_pe;
 }
 
+void* CloneMessage(const void* msg) {
+  return CopyMessage(msg, Header(const_cast<void*>(msg))->total_size);
+}
+
 int CoreModuleId() {
   static const int id = RegisterModule(
       "core",
@@ -235,6 +240,12 @@ void SendOwnedFrom(PeState& pe, int dest_pe, void* msg) {
   ++pe.stats.msgs_sent;
   ++pe.qd_created;
 
+  if (SimCoordinator* sim = m.sim()) {
+    // The simulator owns the whole delivery decision: fault injection,
+    // virtual-time arrival stamping, trace hashing.  Takes ownership.
+    sim->Send(pe, dest_pe, msg);
+    return;
+  }
   PeState& dst = m.Pe(dest_pe);
   if (m.has_model()) {
     // Timed queue keeps the original mutex semantics: arrival ordering
@@ -272,6 +283,12 @@ void SendOwnedImmediate(int dest_pe, void* msg) {
   }
   ++pe.stats.msgs_sent;
   ++pe.qd_created;
+  // Immediate messages bypass the sim's fault injector and latency model by
+  // design — they are the reliable out-of-band control plane — but they are
+  // still part of the deterministic trace.
+  if (SimCoordinator* sim = m.sim()) {
+    sim->RecordImmediateSend(pe, dest_pe, msg);
+  }
   PeState& dst = m.Pe(dest_pe);
   LanePush(dst, dst.immlane, msg);
   NotifyIfParked(dst);
@@ -284,8 +301,8 @@ void* PopNet(PeState& pe) {
     // delayed by the latency model.
     void* msg = LanePop(pe, pe.immlane, pe.imm_batchq);
     if (msg == nullptr) {
-      msg = m.has_model() ? PopTimed(pe, m)
-                          : LanePop(pe, pe.netlane, pe.batchq);
+      msg = m.uses_timedq() ? PopTimed(pe, m)
+                            : LanePop(pe, pe.netlane, pe.batchq);
     }
     if (msg == nullptr) return nullptr;
     if (!TryScatter(pe, msg)) return msg;
@@ -296,7 +313,7 @@ void* PopNet(PeState& pe) {
 bool NetIsIdle(PeState& pe) {
   Machine& m = *pe.machine;
   if (HasImmediate(pe)) return false;
-  if (m.has_model()) {
+  if (m.uses_timedq()) {
     std::scoped_lock lk(pe.mu);
     return pe.timedq.empty() || pe.timedq.top().arrive_us > m.ElapsedUs();
   }
@@ -316,14 +333,31 @@ int DeliverAvailable(PeState& pe, int budget) {
       if (msg == nullptr) break;
     }
     ++pe.stats.msgs_delivered;
+    SimCoordinator* sim = pe.machine->sim();
+    if (sim != nullptr) sim->RecordDeliver(pe, msg);
     DispatchMessage(msg, /*system_owned=*/true);
     ++delivered;
+    // Dispatch boundaries are the sim's primary preemption points.
+    if (sim != nullptr) sim->YieldPoint(pe);
   }
   return delivered;
 }
 
 void WaitForNet(PeState& pe) {
   Machine& m = *pe.machine;
+  if (SimCoordinator* sim = m.sim()) {
+    // Under the simulator an idle PE releases the baton instead of parking
+    // on the condvar; it returns runnable (or unwinds on abort/deadlock).
+    ++pe.stats.idle_blocks;
+    if (pe.hooks != nullptr && pe.hooks->on_idle_begin != nullptr) {
+      pe.hooks->on_idle_begin(pe.hooks->ud);
+    }
+    sim->BlockForNet(pe);
+    if (pe.hooks != nullptr && pe.hooks->on_idle_end != nullptr) {
+      pe.hooks->on_idle_end(pe.hooks->ud);
+    }
+    return;
+  }
   // Optional spin phase: poll without sleeping (and, on the lane paths,
   // without locking) for a configured window — dedicated-node behavior;
   // fall through to the blocking wait after.
@@ -433,9 +467,23 @@ Machine::Machine(const MachineConfig& config)
     pe->pool = MsgPoolEnabled() ? MsgPoolForSlot(i) : nullptr;
     pes_.push_back(std::move(pe));
   }
+  if (config.sim != nullptr) {
+    sim_config_ = *config.sim;
+    config_.sim = &sim_config_;  // caller's SimConfig need not outlive us
+    sim_ = std::make_unique<SimCoordinator>(*this, sim_config_);
+  }
 }
 
 Machine::~Machine() {
+  if (sim_ != nullptr) {
+    // A message the fault injector still holds back (possible only after an
+    // abort) is machine-owned like everything else at teardown.
+    if (void* held = sim_->TakeHeldMessage()) {
+      detail::check::OnReclaim(held);
+      CmiFree(held);
+    }
+    sim_->FillReport();
+  }
   for (auto& pe : pes_) DrainQueues(*pe);
 }
 
@@ -485,6 +533,7 @@ void Machine::DrainQueues(PeState& pe) {
 }
 
 double Machine::ElapsedUs() const {
+  if (sim_ != nullptr) return sim_->NowUs();  // virtual time
   return static_cast<double>(util::NowNs() - start_ns_) * 1e-3;
 }
 
@@ -494,6 +543,7 @@ void Machine::Abort(std::exception_ptr e) {
     if (!first_error_ && e) first_error_ = e;
   }
   aborted_.store(true, std::memory_order_relaxed);
+  if (sim_ != nullptr) sim_->OnAbort();
   for (auto& pe : pes_) {
     std::scoped_lock lk(pe->mu);
     pe->cv.notify_all();
@@ -526,12 +576,16 @@ void Machine::Run(const std::function<void(int pe, int npes)>& entry) {
       start_barrier.arrive_and_wait();
       if (!aborted()) {
         try {
+          // Under the simulator, wait for the first baton grant here so OS
+          // thread startup order cannot leak into the schedule.
+          if (sim_ != nullptr) sim_->PeStart(pe);
           entry(pe.mype, pe.npes);
         } catch (MachineAborted&) {
           // Another PE failed; unwind quietly.
         } catch (...) {
           Abort(std::current_exception());
         }
+        if (sim_ != nullptr) sim_->PeFinish(pe);
       }
       if (!aborted()) check::OnPeFinish();
       finish_barrier.arrive_and_wait();
@@ -777,10 +831,12 @@ void CmiSyncSendImmediateAndFree(unsigned int dest_pe, unsigned int size,
 int CmiProbeImmediates() {
   detail::PeState& pe = detail::CpvChecked();
   int delivered = 0;
+  detail::SimCoordinator* sim = pe.machine->sim();
   for (;;) {
     void* msg = detail::LanePop(pe, pe.immlane, pe.imm_batchq);
     if (msg == nullptr) break;
     ++pe.stats.msgs_delivered;
+    if (sim != nullptr) sim->RecordDeliver(pe, msg);
     detail::DispatchMessage(msg, /*system_owned=*/true);
     ++delivered;
   }

@@ -20,6 +20,7 @@
 #include "converse/handlers.h"
 #include "converse/machine.h"
 #include "converse/queueing.h"
+#include "converse/sim.h"
 #include "converse/util/rng.h"
 #include "converse/util/spantree.h"
 #include "core/mpsc_ring.h"
@@ -28,6 +29,7 @@ namespace converse::detail {
 
 class Machine;
 class MsgPool;
+class SimCoordinator;
 
 /// A message sitting in a PE's timed (net-model) in-queue.
 struct NetEntry {
@@ -173,6 +175,12 @@ class Machine {
   std::FILE* err() const { return err_; }
   std::FILE* in() const { return in_; }
 
+  /// The deterministic-simulation coordinator (nullptr in normal mode).
+  SimCoordinator* sim() const { return sim_.get(); }
+  /// True when delivery goes through the timed priority queue (a net model
+  /// is set, or the sim backend routes everything through virtual time).
+  bool uses_timedq() const { return config_.model != nullptr || sim_ != nullptr; }
+
   /// Microseconds since machine start.
   double ElapsedUs() const;
 
@@ -187,6 +195,8 @@ class Machine {
 
   MachineConfig config_;
   NetModel model_;  // copy of *config.model (valid even if caller's dies)
+  SimConfig sim_config_;  // copy of *config.sim (same lifetime rule)
+  std::unique_ptr<SimCoordinator> sim_;
   util::SpanningTree tree_;
   std::vector<std::unique_ptr<PeState>> pes_;
   std::int64_t start_ns_ = 0;
@@ -233,5 +243,14 @@ void WaitForNet(PeState& pe);
 /// Core module id (registers the exit-broadcast handler); calling it
 /// ensures the core module is registered.
 int CoreModuleId();
+
+/// Copy a live message into a fresh machine-owned buffer of the same size
+/// (the sim fault injector's duplicate path).
+void* CloneMessage(const void* msg);
+
+/// Instrumented scheduling point: under the sim backend, offer the
+/// coordinator a chance to hand execution to another PE.  No-op (one
+/// thread-local load and a branch) in normal mode or outside a machine.
+void SimYieldHere();
 
 }  // namespace converse::detail

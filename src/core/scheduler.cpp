@@ -39,6 +39,9 @@ bool RunOneFromQueue(PeState& pe) {
   if (msg == nullptr) return false;
   ++pe.stats.msgs_scheduled;
   detail::DispatchMessage(msg, /*system_owned=*/false);
+  // Under the sim backend, every scheduler-queue dispatch is a potential
+  // preemption point, matching the network-delivery boundaries.
+  detail::SimYieldHere();
   return true;
 }
 

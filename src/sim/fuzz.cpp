@@ -1,0 +1,529 @@
+// Property-based fuzz workload for the deterministic simulator (the
+// converse::sim public API of converse/sim.h).
+//
+// One RunFuzzCase spins up a simulated machine and drives a randomized
+// handler graph on it: every PE injects root actions (unicasts with TTL
+// fan-out, broadcasts, immediate messages, priority-queue enqueues, Cmm
+// put/probe/get, Cth thread wakeups), handlers recursively generate more
+// traffic, and the run ends at the simulator's global-quiescence exit.  All
+// workload randomness comes from per-PE PRNG streams derived from the case
+// seed, and the simulator serializes PEs deterministically — so a case is a
+// pure function of its FuzzParams, which is what makes seed replay and
+// shrinking work.
+//
+// Oracles (checked during the run and after teardown):
+//  * conservation — every regular message sent is delivered exactly once,
+//    corrected by the injector's exact drop/duplicate counts;
+//  * per-sender FIFO per destination, whenever no enabled fault dimension
+//    (dup/delay/reorder) may legally break it — this is the oracle that
+//    catches SimConfig::plant_reorder_bug;
+//  * immediate-lane and local-enqueue conservation (never faulted);
+//  * Cmm retrievals match a naive reference mailbox;
+//  * the run ends by quiescence (no stuck PE — a deadlock aborts and is
+//    reported as the failure).
+#include "converse/sim.h"
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "converse/cmi.h"
+#include "converse/cmm.h"
+#include "converse/csd.h"
+#include "converse/cth.h"
+#include "converse/machine.h"
+#include "converse/msg.h"
+#include "converse/util/rng.h"
+#include "core/pe_state.h"
+
+namespace converse::sim {
+namespace {
+
+enum WireKind : std::uint32_t {
+  kData = 1,   // regular unicast (faultable)
+  kBcast = 2,  // regular broadcast copy (faultable)
+  kLocal = 3,  // scheduler-queue message, never touches the network
+};
+
+struct WireMsg {
+  std::uint32_t kind;
+  std::uint32_t src;     // sending PE
+  std::uint32_t stream;  // per-sender sequence in its kind's stream
+  std::uint32_t ttl;     // remaining fan-out depth
+};
+
+struct ThreadSlot {
+  CthThread* t = nullptr;
+  bool wake_pending = false;  // a resume message is in the scheduler queue
+  bool exited = false;
+};
+
+struct PerPe {
+  util::Xoshiro256 rng{0};
+  bool shutdown = false;
+
+  // Send-side accounting (every counter is owned by this PE's thread; the
+  // simulator serializes PEs, and RunFuzzCase aggregates after join).
+  std::vector<std::uint32_t> next_uni;  // per destination
+  std::uint32_t next_bcast = 0;
+  std::uint64_t sent_net = 0;  // expected deliveries from my regular sends
+  std::uint64_t sent_imm = 0;
+  std::uint64_t local_enq = 0;
+
+  // Receive-side accounting and FIFO oracles.
+  std::vector<std::uint32_t> expect_uni;    // per source
+  std::vector<std::uint32_t> expect_bcast;  // per source
+  std::uint64_t recv_net = 0;
+  std::uint64_t recv_imm = 0;
+  std::uint64_t local_run = 0;
+
+  std::vector<ThreadSlot> threads;
+
+  // Cmm against a naive reference mailbox.
+  MSG_MNGR* mm = nullptr;
+  struct RefMsg {
+    int tag1, tag2;
+    std::uint32_t value;
+  };
+  std::deque<RefMsg> cmm_ref;
+};
+
+struct Ctx {
+  FuzzParams p;
+  bool fifo_check = false;   // no enabled fault may reorder
+  bool exact_streams = false;  // additionally no drops: seqs contiguous
+  std::vector<std::unique_ptr<PerPe>> pes;
+
+  std::mutex fail_mu;
+  std::string failure;
+
+  void Fail(const std::string& what) {
+    std::scoped_lock lk(fail_mu);
+    if (failure.empty()) failure = what;
+  }
+};
+
+util::Xoshiro256 PeStream(std::uint64_t seed, int pe) {
+  util::SplitMix64 sm(seed);
+  std::uint64_t s = 0;
+  for (int i = 0; i <= pe + 1; ++i) s = sm.Next();
+  return util::Xoshiro256(s);
+}
+
+void* MakeWire(int handler, WireKind kind, int src, std::uint32_t stream,
+               std::uint32_t ttl, std::size_t extra_bytes) {
+  void* msg = CmiAlloc(static_cast<std::size_t>(CmiMsgHeaderSizeBytes()) +
+                       sizeof(WireMsg) + extra_bytes);
+  CmiSetHandler(msg, handler);
+  auto* w = static_cast<WireMsg*>(CmiMsgPayload(msg));
+  w->kind = kind;
+  w->src = static_cast<std::uint32_t>(src);
+  w->stream = stream;
+  w->ttl = ttl;
+  std::memset(w + 1, static_cast<int>(stream & 0xff), extra_bytes);
+  return msg;
+}
+
+/// Random extra payload size: mostly small, occasionally multi-KB so the
+/// size axis is exercised too.
+std::size_t DrawExtra(PerPe& me) {
+  if (me.rng.Below(32) == 0) return 1024 + me.rng.Below(4096);
+  return me.rng.Below(160);
+}
+
+void SendData(Ctx& ctx, PerPe& me, int mype, int h_data, std::uint32_t ttl) {
+  const int dest = static_cast<int>(me.rng.Below(
+      static_cast<std::uint64_t>(ctx.p.npes)));
+  void* msg = MakeWire(h_data, kData, mype,
+                       me.next_uni[static_cast<std::size_t>(dest)]++, ttl,
+                       DrawExtra(me));
+  ++me.sent_net;
+  CmiSyncSendAndFree(static_cast<unsigned>(dest),
+                     static_cast<unsigned>(CmiMsgTotalSize(msg)), msg);
+}
+
+void SendBroadcast(Ctx& ctx, PerPe& me, int mype, int h_data) {
+  void* msg = MakeWire(h_data, kBcast, mype, me.next_bcast++, 0, DrawExtra(me));
+  me.sent_net += static_cast<std::uint64_t>(ctx.p.npes);
+  CmiSyncBroadcastAllAndFree(static_cast<unsigned>(CmiMsgTotalSize(msg)),
+                             msg);
+}
+
+void SendImmediate(Ctx& ctx, PerPe& me, int mype, int h_imm) {
+  const int dest = static_cast<int>(me.rng.Below(
+      static_cast<std::uint64_t>(ctx.p.npes)));
+  void* msg = MakeWire(h_imm, kData, mype, 0, 0, me.rng.Below(32));
+  ++me.sent_imm;
+  CmiSyncSendImmediateAndFree(static_cast<unsigned>(dest),
+                              static_cast<unsigned>(CmiMsgTotalSize(msg)),
+                              msg);
+}
+
+void EnqueueLocal(PerPe& me, int mype, int h_local, std::uint32_t ttl) {
+  // A fresh allocation, not a delivered buffer: the receiving handler owns
+  // and frees it (queue-delivery ownership rule).
+  void* fresh = MakeWire(h_local, kLocal, mype, 0, ttl, me.rng.Below(48));
+  ++me.local_enq;
+  if (me.rng.Below(2) == 0) {
+    CsdEnqueue(fresh);
+  } else {
+    const auto prio = static_cast<std::int32_t>(me.rng.Below(17)) - 8;
+    CsdEnqueueIntPrio(fresh, prio, me.rng.Below(4) == 0);
+  }
+}
+
+void WakeSomeThread(PerPe& me) {
+  std::vector<std::size_t> cand;
+  for (std::size_t i = 0; i < me.threads.size(); ++i) {
+    ThreadSlot& th = me.threads[i];
+    if (!th.exited && !th.wake_pending) cand.push_back(i);
+  }
+  if (cand.empty()) return;
+  ThreadSlot& th = me.threads[cand[static_cast<std::size_t>(
+      me.rng.Below(cand.size()))]];
+  th.wake_pending = true;
+  CthAwaken(th.t);
+}
+
+void CmmOp(Ctx& ctx, PerPe& me) {
+  const int t1 = static_cast<int>(me.rng.Below(5));
+  const int t2 = static_cast<int>(me.rng.Below(3));
+  if (me.rng.Below(2) == 0 || me.cmm_ref.empty()) {  // put
+    const auto value = static_cast<std::uint32_t>(me.rng.Next());
+    CmmPut2(me.mm, &value, t1, t2, static_cast<int>(sizeof(value)));
+    me.cmm_ref.push_back(PerPe::RefMsg{t1, t2, value});
+    return;
+  }
+  // get with random wildcards, against the reference mailbox
+  const int w1 = me.rng.Below(2) != 0 ? t1 : CmmWildCard;
+  const int w2 = me.rng.Below(2) != 0 ? t2 : CmmWildCard;
+  std::uint32_t got_value = 0;
+  int r1 = -7, r2 = -7;
+  const int got = CmmGet2(me.mm, &got_value, w1, w2,
+                          static_cast<int>(sizeof(got_value)), &r1, &r2);
+  auto it = me.cmm_ref.begin();
+  for (; it != me.cmm_ref.end(); ++it) {
+    if ((w1 == CmmWildCard || w1 == it->tag1) &&
+        (w2 == CmmWildCard || w2 == it->tag2)) {
+      break;
+    }
+  }
+  if (it == me.cmm_ref.end()) {
+    if (got != -1) ctx.Fail("cmm: Get2 matched but reference mailbox has no match");
+    return;
+  }
+  if (got != static_cast<int>(sizeof(got_value)) || got_value != it->value ||
+      r1 != it->tag1 || r2 != it->tag2) {
+    ctx.Fail("cmm: Get2 returned a different message than the reference mailbox");
+  }
+  me.cmm_ref.erase(it);
+}
+
+/// One random action from handler/root/thread context.
+void RandomAction(Ctx& ctx, PerPe& me, int mype, int h_data, int h_imm,
+                  int h_local, std::uint32_t ttl_budget) {
+  switch (me.rng.Below(10)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+      SendData(ctx, me, mype, h_data,
+               static_cast<std::uint32_t>(me.rng.Below(ttl_budget + 1)));
+      break;
+    case 4:
+      SendBroadcast(ctx, me, mype, h_data);
+      break;
+    case 5:
+      SendImmediate(ctx, me, mype, h_imm);
+      break;
+    case 6:
+      EnqueueLocal(me, mype, h_local,
+                   static_cast<std::uint32_t>(me.rng.Below(2)));
+      break;
+    case 7:
+      WakeSomeThread(me);
+      break;
+    default:
+      CmmOp(ctx, me);
+      break;
+  }
+}
+
+/// Validate one received regular message against the per-sender stream
+/// oracles; returns false (and records the failure) on violation.
+void CheckStream(Ctx& ctx, PerPe& me, int mype, const WireMsg& w) {
+  std::vector<std::uint32_t>& expect =
+      w.kind == kBcast ? me.expect_bcast : me.expect_uni;
+  std::uint32_t& next = expect[w.src];
+  if (!ctx.fifo_check) {
+    // dup/delay/reorder faults make any order legal; conservation is
+    // checked globally after the run.
+    return;
+  }
+  char buf[160];
+  if (ctx.exact_streams) {
+    if (w.stream != next) {
+      std::snprintf(buf, sizeof(buf),
+                    "per-sender FIFO violated: PE %d got %s stream %u from "
+                    "PE %u, expected %u",
+                    mype, w.kind == kBcast ? "bcast" : "unicast", w.stream,
+                    w.src, next);
+      ctx.Fail(buf);
+      return;
+    }
+    next = w.stream + 1;
+    return;
+  }
+  // Drops enabled: gaps are fine, going backwards (or repeating) is not.
+  if (w.stream < next) {
+    std::snprintf(buf, sizeof(buf),
+                  "per-sender order violated: PE %d got %s stream %u from "
+                  "PE %u after already seeing %u",
+                  mype, w.kind == kBcast ? "bcast" : "unicast", w.stream,
+                  w.src, next);
+    ctx.Fail(buf);
+    return;
+  }
+  next = w.stream + 1;
+}
+
+void PeEntry(Ctx& ctx, int mype) {
+  PerPe& me = *ctx.pes[static_cast<std::size_t>(mype)];
+  me.rng = PeStream(ctx.p.seed, mype);
+  me.next_uni.assign(static_cast<std::size_t>(ctx.p.npes), 0);
+  me.expect_uni.assign(static_cast<std::size_t>(ctx.p.npes), 0);
+  me.expect_bcast.assign(static_cast<std::size_t>(ctx.p.npes), 0);
+  me.mm = CmmNew();
+
+  // Handler registration order is identical on every PE, so ids agree.
+  int h_data = -1, h_imm = -1, h_local = -1;
+  h_data = CmiRegisterHandler([&ctx, &me, mype, &h_data, &h_imm,
+                               &h_local](void* msg) {
+    WireMsg w;  // copy out: the buffer may be grabbed and freed below
+    std::memcpy(&w, CmiMsgPayload(msg), sizeof(w));
+    ++me.recv_net;
+    CheckStream(ctx, me, mype, w);
+    if (me.rng.Below(8) == 0) {
+      // Exercise the buffer-ownership protocol: take the system buffer and
+      // release it ourselves.
+      CmiGrabBuffer(&msg);
+      CmiFree(msg);
+    }
+    if (w.ttl > 0) {
+      const std::uint64_t fanout = 1 + me.rng.Below(2);
+      for (std::uint64_t i = 0; i < fanout; ++i) {
+        SendData(ctx, me, mype, h_data, w.ttl - 1);
+      }
+    }
+    if (me.rng.Below(8) == 0) WakeSomeThread(me);
+    if (me.rng.Below(6) == 0) CmmOp(ctx, me);
+    if (me.rng.Below(8) == 0) {
+      EnqueueLocal(me, mype, h_local, 0);
+    }
+  });
+  h_imm = CmiRegisterHandler([&me](void*) { ++me.recv_imm; });
+  h_local = CmiRegisterHandler([&ctx, &me, mype, &h_data](void* msg) {
+    // Scheduler-queue delivery: the handler owns the buffer.
+    WireMsg w;
+    std::memcpy(&w, CmiMsgPayload(msg), sizeof(w));
+    ++me.local_run;
+    if (w.ttl > 0) SendData(ctx, me, mype, h_data, 0);
+    CmiFree(msg);
+  });
+
+  // Worker threads: each does a little traffic, then suspends until a
+  // handler (or the drain loop) wakes it.
+  me.threads.resize(static_cast<std::size_t>(ctx.p.threads));
+  for (int t = 0; t < ctx.p.threads; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    me.threads[ti].t = CthCreate([&ctx, &me, mype, ti, &h_data, &h_imm,
+                                  &h_local] {
+      ThreadSlot& self = me.threads[ti];
+      self.wake_pending = false;
+      while (!me.shutdown) {
+        RandomAction(ctx, me, mype, h_data, h_imm, h_local, 1);
+        self.wake_pending = false;  // consume the wake that resumed us
+        CthSuspend();
+      }
+      self.exited = true;
+    });
+  }
+
+  // Root actions, then run to global quiescence.
+  for (int i = 0; i < ctx.p.actions; ++i) {
+    RandomAction(ctx, me, mype, h_data, h_imm, h_local, 2);
+    detail::SimYieldHere();  // let injections from different PEs interleave
+  }
+  CsdScheduler(-1);
+
+  // Drain: wake every remaining thread so it observes shutdown and exits
+  // (local resumes only — nothing here can disturb quiescence elsewhere).
+  me.shutdown = true;
+  for (;;) {
+    bool all_exited = true;
+    for (ThreadSlot& th : me.threads) {
+      if (th.exited) continue;
+      all_exited = false;
+      if (!th.wake_pending) {
+        th.wake_pending = true;
+        CthAwaken(th.t);
+      }
+    }
+    if (all_exited) break;
+    CsdScheduleUntilIdle();
+  }
+  if (CmmLength(me.mm) != me.cmm_ref.size()) {
+    ctx.Fail("cmm: mailbox length diverged from reference");
+  }
+  CmmFree(me.mm);
+  me.mm = nullptr;
+}
+
+}  // namespace
+
+FuzzResult RunFuzzCase(const FuzzParams& params) {
+  FuzzResult res;
+  Ctx ctx;
+  ctx.p = params;
+  ctx.fifo_check = params.faults.dup == 0 && params.faults.delay == 0 &&
+                   params.faults.reorder == 0;
+  ctx.exact_streams = ctx.fifo_check && params.faults.drop == 0;
+  for (int i = 0; i < params.npes; ++i) {
+    ctx.pes.push_back(std::make_unique<PerPe>());
+  }
+
+  SimConfig sim;
+  sim.seed = params.seed;
+  sim.faults = params.faults;
+  sim.plant_reorder_bug = params.plant_reorder_bug;
+  sim.report = &res.report;
+  MachineConfig cfg;
+  cfg.npes = params.npes;
+  cfg.seed = params.seed;
+  cfg.sim = &sim;
+  try {
+    RunConverse(cfg, [&ctx](int pe, int) { PeEntry(ctx, pe); });
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.failure = std::string("machine aborted: ") + e.what();
+    return res;
+  }
+
+  if (ctx.failure.empty() && !res.report.quiesced) {
+    ctx.Fail("run did not end by global quiescence");
+  }
+  std::uint64_t sent_net = 0, recv_net = 0, sent_imm = 0, recv_imm = 0;
+  std::uint64_t local_enq = 0, local_run = 0;
+  for (const auto& pe : ctx.pes) {
+    sent_net += pe->sent_net;
+    recv_net += pe->recv_net;
+    sent_imm += pe->sent_imm;
+    recv_imm += pe->recv_imm;
+    local_enq += pe->local_enq;
+    local_run += pe->local_run;
+  }
+  const std::uint64_t expected =
+      sent_net - res.report.msgs_dropped + res.report.msgs_duplicated;
+  if (ctx.failure.empty() && recv_net != expected) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "conservation violated: sent %llu regular messages, "
+                  "%llu dropped + %llu duplicated by injection, but %llu "
+                  "delivered (expected %llu)",
+                  static_cast<unsigned long long>(sent_net),
+                  static_cast<unsigned long long>(res.report.msgs_dropped),
+                  static_cast<unsigned long long>(res.report.msgs_duplicated),
+                  static_cast<unsigned long long>(recv_net),
+                  static_cast<unsigned long long>(expected));
+    ctx.Fail(buf);
+  }
+  if (ctx.failure.empty() && recv_imm != sent_imm) {
+    ctx.Fail("immediate-lane conservation violated (the injector must never "
+             "touch immediate messages)");
+  }
+  if (ctx.failure.empty() && local_run != local_enq) {
+    ctx.Fail("scheduler-queue conservation violated (local enqueues lost)");
+  }
+  res.failure = ctx.failure;
+  res.ok = res.failure.empty();
+  return res;
+}
+
+FuzzParams Minimize(const FuzzParams& failing, int budget) {
+  FuzzParams best = failing;
+  auto still_fails = [&budget](const FuzzParams& p) {
+    if (budget <= 0) return false;
+    --budget;
+    return !RunFuzzCase(p).ok;
+  };
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+    if (best.actions > 1) {
+      FuzzParams t = best;
+      t.actions = best.actions / 2;
+      if (still_fails(t)) {
+        best = t;
+        improved = true;
+        continue;
+      }
+    }
+    if (best.threads > 0) {
+      FuzzParams t = best;
+      t.threads = best.threads / 2;
+      if (still_fails(t)) {
+        best = t;
+        improved = true;
+        continue;
+      }
+    }
+    if (best.npes > 1) {
+      FuzzParams t = best;
+      t.npes = best.npes > 2 ? best.npes / 2 : 1;
+      if (still_fails(t)) {
+        best = t;
+        improved = true;
+        continue;
+      }
+    }
+    for (double SimFaults::*dim : {&SimFaults::drop, &SimFaults::dup,
+                                   &SimFaults::delay, &SimFaults::reorder}) {
+      if (best.faults.*dim == 0) continue;
+      FuzzParams t = best;
+      t.faults.*dim = 0;
+      if (still_fails(t)) {
+        best = t;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+std::string FormatReplay(const FuzzParams& params) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "CONVERSE_SIM_SEED=%llu tools/simfuzz --pes %d --actions %d "
+                "--threads %d",
+                static_cast<unsigned long long>(params.seed), params.npes,
+                params.actions, params.threads);
+  std::string out = buf;
+  const auto add_prob = [&out, &buf](const char* flag, double v) {
+    if (v <= 0) return;
+    std::snprintf(buf, sizeof(buf), " %s %g", flag, v);
+    out += buf;
+  };
+  add_prob("--drop", params.faults.drop);
+  add_prob("--dup", params.faults.dup);
+  add_prob("--delay", params.faults.delay);
+  add_prob("--reorder", params.faults.reorder);
+  if (params.plant_reorder_bug) out += " --plant-bug";
+  return out;
+}
+
+}  // namespace converse::sim

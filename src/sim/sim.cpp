@@ -1,0 +1,359 @@
+// Deterministic-simulation coordinator — implementation.  See
+// sim_internal.h for the execution model and locking rules.
+#include "sim/sim_internal.h"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "converse/check.h"
+#include "converse/cmi.h"
+#include "converse/msg.h"
+#include "core/pe_state.h"
+
+namespace converse::detail {
+
+SimCoordinator::SimCoordinator(Machine& m, const SimConfig& cfg)
+    : m_(m),
+      cfg_(cfg),
+      npes_(m.npes()),
+      slots_(static_cast<std::size_t>(m.npes())),
+      rng_(cfg.seed) {}
+
+void SimCoordinator::HashEvent(Event kind, std::uint64_t a, std::uint64_t b,
+                               std::uint64_t c) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (std::uint64_t w : {static_cast<std::uint64_t>(kind), a, b, c}) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ = (hash_ ^ (w & 0xffu)) * kPrime;
+      w >>= 8;
+    }
+  }
+  ++events_;
+}
+
+bool SimCoordinator::Deliverable(PeState& pe) {
+  // Reading another thread's consumer-private lane state is safe here: the
+  // owner is blocked (it parked through mu_, which we hold), so its last
+  // writes happen-before our reads via the mutex handoff.
+  for (const InLane* lane : {&pe.immlane, &pe.netlane}) {
+    if (lane->ring.HasItems() ||
+        lane->overflow_count.load(std::memory_order_seq_cst) != 0) {
+      return true;
+    }
+  }
+  if (!pe.imm_batchq.empty() || !pe.batchq.empty()) return true;
+  const double now = NowUs();
+  std::scoped_lock plk(pe.mu);
+  return !pe.timedq.empty() && pe.timedq.top().arrive_us <= now;
+}
+
+void SimCoordinator::PushTimed(int dest_pe, void* msg, double arrive_us) {
+  PeState& dst = m_.Pe(dest_pe);
+  std::scoped_lock plk(dst.mu);
+  dst.timedq.push(NetEntry{msg, arrive_us, dst.net_seq++});
+}
+
+void SimCoordinator::DeadlockAbortLocked(std::unique_lock<std::mutex>& lk,
+                                         const std::string& reason) {
+  abort_mode_ = true;
+  cv_.notify_all();
+  std::string what = "converse sim: deadlock detected — " + reason +
+                     " (replay with seed " + std::to_string(cfg_.seed) + ")";
+  // Machine::Abort re-enters OnAbort (which takes mu_) and notifies every
+  // PE condvar, so it must run unlocked.
+  lk.unlock();
+  m_.Abort(std::make_exception_ptr(std::runtime_error(what)));
+  lk.lock();
+}
+
+void SimCoordinator::ScheduleNextLocked(std::unique_lock<std::mutex>& lk) {
+  if (abort_mode_) {
+    cv_.notify_all();
+    return;
+  }
+  for (;;) {
+    cand_.clear();
+    int alive = 0;
+    for (int i = 0; i < npes_; ++i) {
+      Slot& s = slots_[static_cast<std::size_t>(i)];
+      if (s.state == PeRunState::kDone || s.state == PeRunState::kNew) {
+        continue;
+      }
+      ++alive;
+      if (s.state == PeRunState::kReady) {
+        cand_.push_back(i);
+      } else if (s.state == PeRunState::kBlocked &&
+                 (m_.Pe(i).exit_requested || Deliverable(m_.Pe(i)))) {
+        cand_.push_back(i);
+      }
+    }
+    if (!cand_.empty()) {
+      const int pick = cand_[static_cast<std::size_t>(
+          rng_.Below(static_cast<std::uint64_t>(cand_.size())))];
+      slots_[static_cast<std::size_t>(pick)].state = PeRunState::kRunning;
+      if (pick != last_running_) {
+        ++context_switches_;
+        HashEvent(Event::kSwitch, static_cast<std::uint64_t>(pick), 0, 0);
+        last_running_ = pick;
+      }
+      cv_.notify_all();
+      return;
+    }
+    if (alive == 0) return;  // last PE just finished; nothing left to grant
+
+    // Every live PE is blocked with nothing deliverable: advance the
+    // virtual clock straight to the earliest pending arrival.
+    double min_arrive = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < npes_; ++i) {
+      if (slots_[static_cast<std::size_t>(i)].state == PeRunState::kDone) {
+        continue;  // nobody will ever consume a finished PE's queue
+      }
+      PeState& pe = m_.Pe(i);
+      std::scoped_lock plk(pe.mu);
+      if (!pe.timedq.empty() && pe.timedq.top().arrive_us < min_arrive) {
+        min_arrive = pe.timedq.top().arrive_us;
+      }
+    }
+    if (min_arrive < std::numeric_limits<double>::infinity()) {
+      {
+        std::scoped_lock clk(clock_mu_);
+        if (min_arrive > now_us_) now_us_ = min_arrive;
+      }
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(min_arrive));
+      std::memcpy(&bits, &min_arrive, sizeof(bits));
+      HashEvent(Event::kAdvance, bits, 0, 0);
+      continue;  // re-scan: some blocked PE is deliverable now
+    }
+
+    // No future arrival either.  A held-back (reorder-fault) message would
+    // make this look quiescent when it is not: flush it first.
+    if (held_.msg != nullptr) {
+      void* msg = held_.msg;
+      const int dst = held_.dst;
+      held_ = Held{};
+      PushTimed(dst, msg, NowUs());
+      continue;
+    }
+
+    // Global quiescence: nothing can ever happen again on its own.
+    HashEvent(Event::kQuiesce, 0, 0, 0);
+    quiesced_ = true;
+    if (!cfg_.exit_on_quiescence) {
+      DeadlockAbortLocked(
+          lk, "global quiescence (all PEs blocked, nothing in flight)");
+      return;
+    }
+    for (int i = 0; i < npes_; ++i) {
+      Slot& s = slots_[static_cast<std::size_t>(i)];
+      if (s.state == PeRunState::kDone) continue;
+      m_.Pe(i).exit_requested = true;
+      if (s.state == PeRunState::kBlocked) s.state = PeRunState::kReady;
+    }
+    // Loop: the freshly readied PEs are candidates now.
+  }
+}
+
+void SimCoordinator::PeStart(PeState& pe) {
+  std::unique_lock lk(mu_);
+  Slot& sp = slots_[static_cast<std::size_t>(pe.mype)];
+  sp.state = PeRunState::kReady;
+  ++registered_;
+  if (registered_ == npes_) ScheduleNextLocked(lk);
+  while (sp.state != PeRunState::kRunning) {
+    if (abort_mode_) throw MachineAborted{};
+    cv_.wait(lk);
+  }
+}
+
+void SimCoordinator::PeFinish(PeState& pe) {
+  std::unique_lock lk(mu_);
+  Slot& sp = slots_[static_cast<std::size_t>(pe.mype)];
+  if (sp.state == PeRunState::kDone) return;
+  sp.state = PeRunState::kDone;
+  if (!abort_mode_) ScheduleNextLocked(lk);
+}
+
+void SimCoordinator::YieldPoint(PeState& pe) {
+  std::unique_lock lk(mu_);
+  Slot& sp = slots_[static_cast<std::size_t>(pe.mype)];
+  // Only the baton holder may yield; teardown paths (fini hooks) and abort
+  // unwinding reach scheduling points after the PE already released it.
+  if (abort_mode_ || sp.state != PeRunState::kRunning) return;
+  sp.state = PeRunState::kReady;
+  ScheduleNextLocked(lk);
+  while (sp.state != PeRunState::kRunning) {
+    if (abort_mode_) return;  // silent: may be inside a fiber
+    cv_.wait(lk);
+  }
+}
+
+void SimCoordinator::BlockForNet(PeState& pe) {
+  std::unique_lock lk(mu_);
+  Slot& sp = slots_[static_cast<std::size_t>(pe.mype)];
+  if (sp.state == PeRunState::kDone) return;  // defensive (teardown paths)
+  for (;;) {
+    if (abort_mode_) throw MachineAborted{};
+    if (Deliverable(pe)) {
+      sp.events_at_exit_return = kNeverReturned;
+      return;
+    }
+    if (pe.exit_requested) {
+      // Woken only by the quiescence exit.  If the PE blocks again without
+      // a single event in between, it is spinning on a receive that can
+      // never complete (e.g. CmiGetSpecificMsg with no possible sender).
+      if (sp.events_at_exit_return == events_) {
+        DeadlockAbortLocked(
+            lk, "PE " + std::to_string(pe.mype) +
+                    " still waits for a message after the quiescence exit "
+                    "with nothing in flight");
+        throw MachineAborted{};
+      }
+      sp.events_at_exit_return = events_;
+      return;
+    }
+    sp.state = PeRunState::kBlocked;
+    ScheduleNextLocked(lk);
+    while (sp.state != PeRunState::kRunning && !abort_mode_) cv_.wait(lk);
+  }
+}
+
+void SimCoordinator::Send(PeState& src, int dest_pe, void* msg) {
+  MsgHeader* h = Header(msg);
+  const std::size_t payload = CmiMsgPayloadSize(msg);
+  std::unique_lock lk(mu_);
+  HashEvent(Event::kSend,
+            (static_cast<std::uint64_t>(src.mype) << 32) |
+                static_cast<std::uint32_t>(dest_pe),
+            h->handler,
+            (static_cast<std::uint64_t>(h->seq) << 32) | payload);
+
+  // Fault draws.  Each dimension draws only when enabled, so the schedule
+  // stream is unperturbed by dimensions that are off.
+  const SimFaults& f = cfg_.faults;
+  bool drop = false, dup = false, hold = false;
+  double extra_us = 0.0;
+  if (f.Any() && faults_injected_ < f.max_faults) {
+    if (f.drop > 0 && rng_.NextDouble() < f.drop) drop = true;
+    if (!drop && f.dup > 0 && rng_.NextDouble() < f.dup) dup = true;
+    if (!drop && f.delay > 0 && rng_.NextDouble() < f.delay) {
+      extra_us = rng_.NextDouble() * f.delay_max_us;
+    }
+    if (!drop && held_.msg == nullptr && f.reorder > 0 &&
+        rng_.NextDouble() < f.reorder) {
+      hold = true;
+      ++reordered_;
+      ++faults_injected_;
+    }
+  }
+  bool planted_hold = false;
+  if (cfg_.plant_reorder_bug && !drop && !hold && held_.msg == nullptr) {
+    // The planted ordering bug: silently break per-sender FIFO with the
+    // same hold-back mechanism, but without accounting it as a fault.
+    hold = true;
+    planted_hold = true;
+  }
+
+  if (drop) {
+    ++dropped_;
+    ++faults_injected_;
+    HashEvent(Event::kDrop, static_cast<std::uint64_t>(dest_pe), h->handler,
+              h->seq);
+    lk.unlock();
+    check::OnReclaim(msg);  // the "network" eats the buffer
+    CmiFree(msg);
+    return;
+  }
+  if (hold) {
+    if (!planted_hold) {
+      HashEvent(Event::kHold, static_cast<std::uint64_t>(dest_pe),
+                h->handler, h->seq);
+    }
+    held_ = Held{msg, src.mype, dest_pe};
+    return;
+  }
+
+  if (extra_us > 0) {
+    ++delayed_;
+    ++faults_injected_;
+  }
+  const double latency =
+      m_.has_model() ? m_.model().OnewayUs(payload) : 0.0;
+  const double arrive = NowUs() + latency + extra_us;
+
+  void* clone = nullptr;
+  if (dup) {
+    clone = CloneMessage(msg);  // keeps handler/source/seq of the original
+    check::OnSend(clone);
+    ++duplicated_;
+    ++faults_injected_;
+    HashEvent(Event::kDup, static_cast<std::uint64_t>(dest_pe), h->handler,
+              h->seq);
+  }
+  PushTimed(dest_pe, msg, arrive);
+  if (clone != nullptr) PushTimed(dest_pe, clone, arrive);
+
+  // Release a held-back message from the same (src, dst) pair *after* this
+  // one: same arrival time, later tie-break seq — a guaranteed inversion.
+  if (held_.msg != nullptr && held_.src == src.mype &&
+      held_.dst == dest_pe) {
+    void* hm = held_.msg;
+    held_ = Held{};
+    PushTimed(dest_pe, hm, arrive);
+  }
+}
+
+void SimCoordinator::RecordImmediateSend(PeState& src, int dest_pe,
+                                         const void* msg) {
+  const MsgHeader* h = Header(const_cast<void*>(msg));
+  std::scoped_lock lk(mu_);
+  HashEvent(Event::kImmediateSend,
+            (static_cast<std::uint64_t>(src.mype) << 32) |
+                static_cast<std::uint32_t>(dest_pe),
+            h->handler, h->seq);
+}
+
+void SimCoordinator::RecordDeliver(PeState& pe, const void* msg) {
+  const MsgHeader* h = Header(const_cast<void*>(msg));
+  std::scoped_lock lk(mu_);
+  HashEvent(Event::kDeliver, static_cast<std::uint64_t>(pe.mype), h->handler,
+            (static_cast<std::uint64_t>(h->source_pe) << 32) | h->seq);
+}
+
+void SimCoordinator::OnAbort() {
+  std::scoped_lock lk(mu_);
+  abort_mode_ = true;
+  cv_.notify_all();
+}
+
+void SimCoordinator::FillReport() {
+  std::scoped_lock lk(mu_);
+  if (cfg_.report == nullptr) return;
+  SimReport& r = *cfg_.report;
+  r.trace_hash = hash_;
+  r.events = events_;
+  r.context_switches = context_switches_;
+  r.msgs_dropped = dropped_;
+  r.msgs_duplicated = duplicated_;
+  r.msgs_delayed = delayed_;
+  r.msgs_reordered = reordered_;
+  r.final_virtual_us = NowUs();
+  r.quiesced = quiesced_;
+}
+
+void* SimCoordinator::TakeHeldMessage() {
+  std::scoped_lock lk(mu_);
+  void* msg = held_.msg;
+  held_ = Held{};
+  return msg;
+}
+
+void SimYieldHere() {
+  PeState* pe = Cpv();
+  if (pe == nullptr) return;
+  if (SimCoordinator* sim = pe->machine->sim()) sim->YieldPoint(*pe);
+}
+
+}  // namespace converse::detail

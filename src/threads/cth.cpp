@@ -273,6 +273,9 @@ void CthResume(CthThread* thr) {
 void CthSuspend() {
   CthPeState& st = StReady();
   CthThread* cur = st.current;
+  // A thread about to give up the PE is a natural interleaving point for
+  // the deterministic simulator (no-op in normal mode).
+  detail::SimYieldHere();
   if (cur->suspend_fn) {
     cur->suspend_fn();
   } else {

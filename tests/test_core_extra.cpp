@@ -212,3 +212,117 @@ TEST(CqsPrioLaws, CompareIsAntisymmetricAndTransitive) {
     }
   }
 }
+
+// ---- Regressions: ownership, nested scheduling, ring overflow ------------------
+
+TEST(BufferOwnership, GrabbedBufferSurvivesRedeliveryThroughSchedulerQueue) {
+  // A handler may grab a system buffer and hand it to the scheduler queue
+  // for a second, handler-owned delivery.  The payload must survive the
+  // ownership transfer and the second handler must be able to free it.
+  constexpr int kCount = 16;
+  RunConverse(2, [&](int pe, int) {
+    int delivered = 0;
+    int next = 0;
+    int h2 = -1;
+    h2 = CmiRegisterHandler([&](void* m) {  // second pass: handler-owned
+      int v = -1;
+      std::memcpy(&v, CmiMsgPayload(m), sizeof(v));
+      EXPECT_EQ(v, next++);
+      CmiFree(m);
+      if (++delivered == kCount) CsdExitScheduler();
+    });
+    const int h1 = CmiRegisterHandler([&](void* m) {  // first pass: system-owned
+      CmiGrabBuffer(&m);
+      CmiSetHandler(m, h2);
+      CsdEnqueue(m);
+    });
+    if (pe == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        void* m = CmiMakeMessage(h1, &i, sizeof(i));
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      }
+      return;
+    }
+    CsdScheduler(-1);
+    EXPECT_EQ(delivered, kCount);
+  });
+}
+
+TEST(SchedulerNesting, ExitSchedulerInsideScheduleUntilIdleStaysLocal) {
+  // CsdExitScheduler raised inside a nested CsdScheduleUntilIdle must end
+  // only the nested loop: the outer CsdScheduler has to keep running (the
+  // exit flag is consumed, not leaked).
+  RunConverse(1, [&](int, int) {
+    std::vector<int> log;
+    int h_inner = CmiRegisterHandler([&](void* m) {
+      CmiFree(m);
+      log.push_back(1);
+      CsdExitScheduler();  // ends the *nested* loop below
+    });
+    int h_after = CmiRegisterHandler([&](void* m) {
+      CmiFree(m);
+      log.push_back(2);
+      CsdExitScheduler();  // ends the outer loop
+    });
+    int h_outer = CmiRegisterHandler([&](void* m) {
+      CmiFree(m);
+      CsdEnqueue(CmiMakeMessage(h_inner, nullptr, 0));
+      CsdEnqueue(CmiMakeMessage(h_after, nullptr, 0));
+      // The nested loop must stop at the inner exit with h_after pending.
+      EXPECT_EQ(CsdScheduleUntilIdle(), 1);
+      log.push_back(3);
+    });
+    CsdEnqueue(CmiMakeMessage(h_outer, nullptr, 0));
+    CsdScheduler(-1);
+    // If the nested exit leaked, the outer scheduler would have stopped
+    // before delivering h_after and the log would end at 3.
+    EXPECT_EQ(log, (std::vector<int>{1, 3, 2}));
+  });
+}
+
+TEST(RingOverflow, ZeroAndMaxSizeMessagesSurviveTinyRing) {
+  // A burst far larger than a 4-slot delivery ring forces the overflow
+  // path; zero-payload and quarter-megabyte messages must both come out
+  // intact and in order.
+  constexpr int kCount = 64;
+  constexpr std::size_t kBigPayload = 256 * 1024;
+  MachineConfig cfg;
+  cfg.npes = 2;
+  cfg.ring_capacity = 4;
+  RunConverse(cfg, [&](int pe, int) {
+    int zeros = 0, bigs = 0, expected_big = 1;
+    int h_zero = CmiRegisterHandler([&](void* m) {
+      EXPECT_EQ(CmiMsgPayloadSize(m), 0u);
+      if (++zeros + bigs == kCount) CsdExitScheduler();
+    });
+    int h_big = CmiRegisterHandler([&](void* m) {
+      ASSERT_EQ(CmiMsgPayloadSize(m), kBigPayload);
+      int seq = -1;
+      std::memcpy(&seq, CmiMsgPayload(m), sizeof(seq));
+      EXPECT_EQ(seq, expected_big);  // FIFO among the big ones
+      expected_big += 2;
+      const char* p = static_cast<const char*>(CmiMsgPayload(m));
+      EXPECT_EQ(p[kBigPayload - 1], static_cast<char>(seq & 0x7f));
+      if (zeros + ++bigs == kCount) CsdExitScheduler();
+    });
+    if (pe == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        if (i % 2 == 0) {
+          void* m = CmiMakeMessage(h_zero, nullptr, 0);
+          CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+        } else {
+          void* m = CmiAlloc(CmiMsgHeaderSizeBytes() + kBigPayload);
+          CmiSetHandler(m, h_big);
+          std::memcpy(CmiMsgPayload(m), &i, sizeof(i));
+          static_cast<char*>(CmiMsgPayload(m))[kBigPayload - 1] =
+              static_cast<char>(i & 0x7f);
+          CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+        }
+      }
+      return;
+    }
+    CsdScheduler(-1);
+    EXPECT_EQ(zeros, kCount / 2);
+    EXPECT_EQ(bigs, kCount / 2);
+  });
+}

@@ -1,5 +1,7 @@
 // Language runtimes under the timed-delivery machine: the latency model
-// must be transparent to every layer built on the MMI.
+// must be transparent to every layer built on the MMI.  All tests run on
+// the deterministic simulation backend, so the modeled latencies are
+// virtual time and nothing here waits on the wall clock.
 #include "test_helpers.h"
 
 #include <cstring>
@@ -13,13 +15,14 @@ using namespace converse;
 
 namespace {
 
-MachineConfig LaggyConfig(int npes, NetModel* model) {
+MachineConfig LaggyConfig(int npes, NetModel* model, SimConfig* sim) {
   model->name = "laggy";
   model->alpha_us = 1500;
   model->per_byte_us = 0.02;
   MachineConfig cfg;
   cfg.npes = npes;
   cfg.model = model;
+  cfg.sim = sim;
   return cfg;
 }
 
@@ -27,7 +30,8 @@ MachineConfig LaggyConfig(int npes, NetModel* model) {
 
 TEST(NetSimLangs, SmPingPongUnderLatency) {
   NetModel model;
-  const auto cfg = LaggyConfig(2, &model);
+  SimConfig sim;
+  const auto cfg = LaggyConfig(2, &model, &sim);
   std::atomic<long> final{0};
   RunConverse(cfg, [&](int pe, int) {
     long v = 0;
@@ -47,7 +51,8 @@ TEST(NetSimLangs, SmPingPongUnderLatency) {
 
 TEST(NetSimLangs, PvmSpmWorkflowUnderLatency) {
   NetModel model;
-  const auto cfg = LaggyConfig(3, &model);
+  SimConfig sim;
+  const auto cfg = LaggyConfig(3, &model, &sim);
   std::atomic<long> total{0};
   RunConverse(cfg, [&](int pe, int np) {
     using namespace converse::pvm;
@@ -72,7 +77,8 @@ TEST(NetSimLangs, PvmSpmWorkflowUnderLatency) {
 
 TEST(NetSimLangs, CharmQuiescenceUnderLatency) {
   NetModel model;
-  const auto cfg = LaggyConfig(2, &model);
+  SimConfig sim;
+  const auto cfg = LaggyConfig(2, &model, &sim);
   std::atomic<int> constructed{0};
   RunConverse(cfg, [&](int pe, int) {
     struct W : charm::Chare {
@@ -100,7 +106,8 @@ TEST(NetSimLangs, CharmQuiescenceUnderLatency) {
 
 TEST(NetSimLangs, ThreadedTsmRingUnderLatency) {
   NetModel model;
-  const auto cfg = LaggyConfig(3, &model);
+  SimConfig sim;
+  const auto cfg = LaggyConfig(3, &model, &sim);
   std::atomic<long> final{0};
   RunConverse(cfg, [&](int pe, int np) {
     tsm::tSMCreate([&, pe, np] {
@@ -124,7 +131,8 @@ TEST(NetSimLangs, ThreadedTsmRingUnderLatency) {
 
 TEST(NetSimLangs, ScatterAdvanceReceiveUnderLatency) {
   NetModel model;
-  const auto cfg = LaggyConfig(2, &model);
+  SimConfig sim;
+  const auto cfg = LaggyConfig(2, &model, &sim);
   std::atomic<bool> ok{false};
   RunConverse(cfg, [&](int pe, int) {
     int never = CmiRegisterHandler([](void*) { FAIL(); });

@@ -154,5 +154,81 @@ TEST_P(CmmProperty, MatchesNaiveMailbox) {
   CmmFree(mm);
 }
 
+TEST_P(CmmProperty, SingleTagApiMatchesNaiveMailbox) {
+  // Same oracle through the single-tag entry points, plus the two retrieval
+  // variants the two-tag test does not touch: CmmGetPtr (caller-owned
+  // buffer) and CmmGet with a too-small destination (truncating copy that
+  // still reports the full length).
+  util::Xoshiro256 rng(GetParam() * 7919 + 1);
+  MSG_MNGR* mm = CmmNew();
+  struct RefMsg {
+    int tag;
+    std::vector<char> data;
+  };
+  std::deque<RefMsg> ref;
+
+  auto ref_find = [&](int t) {
+    for (auto it = ref.begin(); it != ref.end(); ++it) {
+      if (t == CmmWildCard || t == it->tag) return it;
+    }
+    return ref.end();
+  };
+
+  for (int op = 0; op < 2000; ++op) {
+    const auto kind = rng.Below(4);
+    const int tag = static_cast<int>(rng.Below(5));
+    const int w = rng.Below(2) ? tag : CmmWildCard;
+    if (kind == 0) {  // put
+      const std::size_t n = rng.Below(48);
+      std::vector<char> data(n);
+      for (auto& c : data) c = static_cast<char>(rng.Next());
+      CmmPut(mm, data.data(), tag, static_cast<int>(n));
+      ref.push_back(RefMsg{tag, std::move(data)});
+    } else if (kind == 1) {  // probe
+      int r = -7;
+      const int got = CmmProbe(mm, w, &r);
+      const auto it = ref_find(w);
+      if (it == ref.end()) {
+        EXPECT_EQ(got, -1);
+      } else {
+        EXPECT_EQ(got, static_cast<int>(it->data.size()));
+        EXPECT_EQ(r, it->tag);
+      }
+    } else if (kind == 2) {  // get, sometimes into a truncating buffer
+      const std::size_t cap = rng.Below(2) ? 64 : rng.Below(16);
+      char buf[64];
+      int r = -7;
+      const int got = CmmGet(mm, buf, w, static_cast<int>(cap), &r);
+      const auto it = ref_find(w);
+      if (it == ref.end()) {
+        EXPECT_EQ(got, -1);
+      } else {
+        ASSERT_EQ(got, static_cast<int>(it->data.size()));
+        const std::size_t copied = std::min(cap, it->data.size());
+        EXPECT_EQ(std::memcmp(buf, it->data.data(), copied), 0);
+        EXPECT_EQ(r, it->tag);
+        ref.erase(it);
+      }
+    } else {  // getptr: exact-size buffer allocated by the manager
+      void* addr = nullptr;
+      int r = -7;
+      const int got = CmmGetPtr(mm, &addr, w, &r);
+      const auto it = ref_find(w);
+      if (it == ref.end()) {
+        EXPECT_EQ(got, -1);
+        EXPECT_EQ(addr, nullptr);
+      } else {
+        ASSERT_EQ(got, static_cast<int>(it->data.size()));
+        EXPECT_EQ(std::memcmp(addr, it->data.data(), it->data.size()), 0);
+        EXPECT_EQ(r, it->tag);
+        delete[] static_cast<char*>(addr);
+        ref.erase(it);
+      }
+    }
+    ASSERT_EQ(CmmLength(mm), ref.size());
+  }
+  CmmFree(mm);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CmmProperty,
                          ::testing::Values(5u, 6u, 7u, 8u));

@@ -1,0 +1,153 @@
+// simfuzz — seed-driven fuzzer for the Converse deterministic simulator.
+//
+// Runs randomized workloads (converse::sim::RunFuzzCase) under the sim
+// backend with optional fault injection, checks the built-in invariant
+// oracles, and on failure shrinks the case and prints a one-line replay
+// command.  The same seed always produces the same run, so that line is a
+// complete bug report.
+//
+// Usage:
+//   simfuzz [--seed N] [--seeds COUNT] [--start N]
+//           [--pes N] [--actions N] [--threads N]
+//           [--drop P] [--dup P] [--delay P] [--reorder P]
+//           [--plant-bug] [--trace-hash] [--quiet]
+//
+// With --seeds COUNT, seeds start..start+COUNT-1 are run and the first
+// failure stops the sweep.  Otherwise a single seed is run: --seed, else
+// the CONVERSE_SIM_SEED environment variable, else 1.  --trace-hash prints
+// the run's event-trace hash (for determinism checks).  Exit status is 0
+// iff every run passed its oracles.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "converse/sim.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--seeds COUNT] [--start N] [--pes N]\n"
+      "          [--actions N] [--threads N] [--drop P] [--dup P]\n"
+      "          [--delay P] [--reorder P] [--plant-bug] [--trace-hash]\n"
+      "          [--quiet]\n",
+      argv0);
+}
+
+bool RunOne(const converse::sim::FuzzParams& params, bool trace_hash,
+            bool quiet) {
+  converse::sim::FuzzResult res = converse::sim::RunFuzzCase(params);
+  if (trace_hash) {
+    std::printf("%016llx\n",
+                static_cast<unsigned long long>(res.report.trace_hash));
+  }
+  if (res.ok) {
+    if (!quiet) {
+      std::printf(
+          "seed %llu: ok (%llu events, %llu switches, virtual time %.0f us, "
+          "faults: %llu dropped, %llu duplicated, %llu delayed, "
+          "%llu reordered)\n",
+          static_cast<unsigned long long>(params.seed),
+          static_cast<unsigned long long>(res.report.events),
+          static_cast<unsigned long long>(res.report.context_switches),
+          res.report.final_virtual_us,
+          static_cast<unsigned long long>(res.report.msgs_dropped),
+          static_cast<unsigned long long>(res.report.msgs_duplicated),
+          static_cast<unsigned long long>(res.report.msgs_delayed),
+          static_cast<unsigned long long>(res.report.msgs_reordered));
+    }
+    return true;
+  }
+  std::fprintf(stderr, "seed %llu: FAILED: %s\n",
+               static_cast<unsigned long long>(params.seed),
+               res.failure.c_str());
+  std::fprintf(stderr, "minimizing...\n");
+  const converse::sim::FuzzParams small = converse::sim::Minimize(params);
+  converse::sim::FuzzResult small_res = converse::sim::RunFuzzCase(small);
+  std::fprintf(stderr, "minimized failure: %s\n",
+               small_res.ok ? res.failure.c_str() : small_res.failure.c_str());
+  std::fprintf(stderr, "replay with:\n  %s\n",
+               converse::sim::FormatReplay(small_res.ok ? params : small)
+                   .c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  converse::sim::FuzzParams params;
+  unsigned long long seeds = 1, start = 1;
+  bool explicit_seed = false, sweep = false;
+  bool trace_hash = false, quiet = false;
+
+  if (const char* env = std::getenv("CONVERSE_SIM_SEED")) {
+    params.seed = std::strtoull(env, nullptr, 10);
+    explicit_seed = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      params.seed = std::strtoull(next(), nullptr, 10);
+      explicit_seed = true;
+    } else if (arg == "--seeds") {
+      seeds = std::strtoull(next(), nullptr, 10);
+      sweep = true;
+    } else if (arg == "--start") {
+      start = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--pes") {
+      params.npes = std::atoi(next());
+    } else if (arg == "--actions") {
+      params.actions = std::atoi(next());
+    } else if (arg == "--threads") {
+      params.threads = std::atoi(next());
+    } else if (arg == "--drop") {
+      params.faults.drop = std::atof(next());
+    } else if (arg == "--dup") {
+      params.faults.dup = std::atof(next());
+    } else if (arg == "--delay") {
+      params.faults.delay = std::atof(next());
+    } else if (arg == "--reorder") {
+      params.faults.reorder = std::atof(next());
+    } else if (arg == "--plant-bug") {
+      params.plant_reorder_bug = true;
+    } else if (arg == "--trace-hash") {
+      trace_hash = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option %s\n", argv[0], arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (params.npes < 1 || params.actions < 0 || params.threads < 0) {
+    std::fprintf(stderr, "%s: invalid --pes/--actions/--threads\n", argv[0]);
+    return 2;
+  }
+
+  if (!sweep) {
+    return RunOne(params, trace_hash, quiet) ? 0 : 1;
+  }
+  if (explicit_seed) start = params.seed;
+  for (unsigned long long s = start; s < start + seeds; ++s) {
+    params.seed = s;
+    if (!RunOne(params, trace_hash, quiet)) return 1;
+  }
+  if (!quiet) {
+    std::printf("all %llu seeds passed\n", seeds);
+  }
+  return 0;
+}
