@@ -147,11 +147,18 @@ void CmiScanfAsync(int handler_id);
 // ---------------------------------------------------------------------------
 
 struct CmiStats {
-  std::uint64_t msgs_sent = 0;       // messages this PE pushed to the network
+  std::uint64_t msgs_sent = 0;       // logical messages this PE sent
   std::uint64_t msgs_delivered = 0;  // network messages dispatched here
   std::uint64_t msgs_enqueued = 0;   // CsdEnqueue* calls on this PE
   std::uint64_t msgs_scheduled = 0;  // scheduler-queue dispatches here
   std::uint64_t idle_blocks = 0;     // times the scheduler blocked idle
+  // Aggregation layer (converse/stream.h).  msgs_sent counts logical
+  // messages whether or not they traveled inside a frame; these two count
+  // the physical frames and the messages that rode in them.
+  std::uint64_t agg_frames_sent = 0;   // aggregate frames pushed to the wire
+  std::uint64_t agg_msgs_batched = 0;  // messages that traveled inside frames
+  std::uint64_t bcast_forwards = 0;    // spanning-tree wrapper sends (root
+                                       // children + interior re-forwards)
 };
 
 /// Snapshot of the current PE's counters.

@@ -27,4 +27,5 @@
 #include "converse/pgrp.h"
 #include "converse/queueing.h"
 #include "converse/sim.h"
+#include "converse/stream.h"
 #include "converse/trace.h"

@@ -3,6 +3,7 @@
 // communication between PEs is through messages.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 
@@ -46,6 +47,25 @@ struct MachineConfig {
   /// throughput knob, never a correctness limit.  Tiny values (e.g. 4)
   /// are useful in tests to exercise the overflow path.
   int ring_capacity = 1024;
+
+  /// Small-message aggregation (converse/stream.h): batch messages below
+  /// agg_max_msg bytes into per-destination frames so one ring slot, one
+  /// allocation and one consumer wakeup amortize over a whole burst.
+  /// -1 (default) defers to the CONVERSE_AGG environment variable ("0" or
+  /// unset = off, anything else = on); 0 forces off; 1 forces on.
+  /// Automatically off when a network latency model is attached (frames
+  /// would distort per-message latency semantics).
+  int aggregate_sends = -1;
+
+  /// Largest message (header + payload) eligible for aggregation.
+  std::uint32_t agg_max_msg = 512;
+
+  /// A frame flushes once its packed entries reach this many bytes...
+  std::uint32_t agg_frame_bytes = 3072;
+
+  /// ...or this many messages, whichever comes first (frames also flush
+  /// when the sender's scheduler goes idle and on explicit CmiFlush()).
+  std::uint32_t agg_frame_msgs = 32;
 
   /// Optional deterministic-simulation backend (converse/sim.h): PEs are
   /// serialized under a seeded scheduler and a virtual clock, with optional

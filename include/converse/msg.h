@@ -55,7 +55,24 @@ enum MsgFlags : std::uint8_t {
   /// Advisory: the buffer came from a per-PE message pool.  Re-stamped by
   /// detail::MsgPoolRestampFlag wherever a whole header is memcpy'd.
   kMsgFlagPooled = 0x4,
+  /// Machine-internal aggregation frame (src/core/stream.cpp): the payload
+  /// is a packed batch of small messages, unpacked at the receiver.  Never
+  /// dispatched through the handler table.
+  kMsgFlagFrame = 0x8,
+  /// Machine-internal spanning-tree broadcast wrapper: the payload is a
+  /// BcastWire descriptor plus one complete inner message; receivers
+  /// re-forward to their tree children before dispatching the inner.
+  kMsgFlagBcast = 0x10,
+  /// The buffer is a view into a received aggregation frame, not a
+  /// standalone allocation: CmiFree releases the frame's reference count
+  /// (freeing the frame with the last view) instead of touching the pool.
+  /// Cleared by MsgPoolRestampFlag wherever a whole header is memcpy'd.
+  kMsgFlagInFrame = 0x20,
 };
+
+/// Either machine-internal carrier bit (frame or broadcast wrapper).
+inline constexpr std::uint8_t kMsgFlagCarrierMask =
+    kMsgFlagFrame | kMsgFlagBcast;
 
 inline MsgHeader* Header(void* msg) { return static_cast<MsgHeader*>(msg); }
 inline const MsgHeader* Header(const void* msg) {

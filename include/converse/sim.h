@@ -43,6 +43,13 @@ struct SimFaults {
 };
 
 /// Counters filled into SimConfig::report when the machine tears down.
+/// msgs_dropped / msgs_duplicated count LOGICAL messages: a faulted wire
+/// message that is an aggregation frame or a spanning-tree broadcast
+/// carrier (converse/stream.h) is weighted by the logical messages it
+/// carries, so the conservation law delivered == sent - dropped +
+/// duplicated holds whether or not aggregation is on.  faults_injected
+/// counts injection events (one per faulted wire message), matching
+/// SimFaults::max_faults.
 struct SimReport {
   std::uint64_t trace_hash = 0;   // FNV-1a over the ordered event stream
   std::uint64_t events = 0;       // hashed events (send/deliver/switch/...)
@@ -51,6 +58,9 @@ struct SimReport {
   std::uint64_t msgs_duplicated = 0;
   std::uint64_t msgs_delayed = 0;
   std::uint64_t msgs_reordered = 0;
+  std::uint64_t faults_injected = 0;  // injection events (wire messages)
+  std::uint64_t agg_frames = 0;       // aggregation frames sent machine-wide
+  std::uint64_t agg_msgs_batched = 0; // messages that rode inside frames
   double final_virtual_us = 0.0;  // virtual clock at teardown
   bool quiesced = false;          // the quiescence exit fired at least once
 };
@@ -93,6 +103,10 @@ struct FuzzParams {
   int threads = 2;   // Cth threads per PE doing suspend/resume traffic
   SimFaults faults;
   bool plant_reorder_bug = false;
+  /// Run with small-message aggregation on (MachineConfig::aggregate_sends
+  /// = 1): adds aggregated send bursts and explicit CmiFlush calls to the
+  /// action mix, and the oracles see through frames.
+  bool aggregate = false;
 };
 
 struct FuzzResult {

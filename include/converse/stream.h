@@ -1,0 +1,30 @@
+// Cst — the small-message aggregation (streaming) layer.
+//
+// Fine-grained message-driven modules send many tiny messages; on the
+// in-process machine each one would pay a full ring slot, pool allocation
+// and consumer wakeup of its own.  When aggregation is enabled
+// (MachineConfig::aggregate_sends / CONVERSE_AGG), CmiSyncSend and
+// CmiSyncSendAndFree append messages of at most agg_max_msg bytes into a
+// per-(sender, destination) aggregate frame instead; the frame travels as
+// one machine message and is unpacked at the receiver, preserving
+// per-sender FIFO order with respect to large (bypass) messages.
+//
+// Frames flush automatically when they fill (agg_frame_bytes /
+// agg_frame_msgs), whenever the sending PE blocks or goes idle in the
+// scheduler, when the entry function returns, and on CmiFlush().  Large
+// messages, self-sends and immediate (out-of-band) messages always bypass
+// the layer.
+#pragma once
+
+namespace converse {
+
+/// Flush every open aggregation frame on the calling PE to the network.
+/// Returns the number of frames flushed (0 when none were open or the
+/// layer is disabled).  Call after a latency-sensitive send when the
+/// scheduler will not go idle soon.
+int CmiFlush();
+
+/// True when the aggregation layer is active on the calling PE.
+bool CmiAggActive();
+
+}  // namespace converse

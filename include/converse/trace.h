@@ -42,6 +42,8 @@ enum class TraceEventKind : std::uint8_t {
   kThreadCreate = 8,
   kObjectCreate = 9,
   kUserEvent = 10,
+  kAggFlush = 11,  // aggregation frame flushed (handler=msg count,
+                   // size=payload bytes, aux=destination PE)
 };
 
 struct TraceRecord {
@@ -61,10 +63,13 @@ struct TraceHandlerSummary {
 };
 
 struct TraceSummary {
-  std::uint64_t sends = 0;
-  std::uint64_t deliveries = 0;
+  std::uint64_t sends = 0;       // logical messages (aggregation-transparent)
+  std::uint64_t deliveries = 0;  // logical messages (carriers excluded)
   std::uint64_t enqueues = 0;
   std::uint64_t idle_periods = 0;
+  std::uint64_t agg_frames = 0;      // aggregation frames flushed
+  std::uint64_t agg_batched = 0;     // messages that rode in those frames
+  std::uint64_t bcast_forwards = 0;  // spanning-tree copies sent by this PE
   double idle_us = 0.0;
   std::vector<TraceHandlerSummary> per_handler;  // indexed by handler id
 };

@@ -30,6 +30,10 @@ class SpanningTree {
 
   int NumChildren(int pe) const;
 
+  /// Number of PEs in the subtree rooted at `pe` (including `pe` itself).
+  /// SubtreeSize(root()) == npes().
+  int SubtreeSize(int pe) const;
+
   /// Depth of `pe` (root has depth 0).
   int Depth(int pe) const;
 

@@ -41,10 +41,15 @@ void* CopyMessage(const void* msg, std::size_t size) {
   return copy;
 }
 
+}  // namespace
+
 /// Test one scatter registration against a delivered message; returns true
 /// if the message was consumed.
 bool TryScatter(PeState& pe, void* msg) {
   if (pe.scatters.empty()) return false;
+  // Carriers are machine-internal envelopes; scatters match the logical
+  // messages unpacked from them, never the envelope's own payload.
+  if ((Header(msg)->flags & kMsgFlagCarrierMask) != 0) return false;
   const std::size_t payload_size = CmiMsgPayloadSize(msg);
   const char* payload = static_cast<const char*>(CmiMsgPayload(msg));
   for (std::size_t i = 0; i < pe.scatters.size(); ++i) {
@@ -77,6 +82,8 @@ bool TryScatter(PeState& pe, void* msg) {
   }
   return false;
 }
+
+namespace {
 
 void FlushPendingMmi(PeState& pe) {
   void* stale = pe.pending_mmi;
@@ -225,6 +232,11 @@ int CoreModuleId() {
 void SendOwnedFrom(PeState& pe, int dest_pe, void* msg) {
   Machine& m = *pe.machine;
   assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
+  // Per-sender FIFO choke point: an open aggregation frame to this
+  // destination holds earlier messages, so it must hit the wire first.
+  // (CstFlushDest detaches the frame before re-entering here, so a frame's
+  // own send passes straight through.)
+  if (!pe.agg.open.empty()) CstFlushDest(pe, dest_pe);
   MsgHeader* h = Header(msg);
   check::OnSend(msg);
   assert(h->magic == kMsgMagicAlive && "sending a freed message");
@@ -234,11 +246,17 @@ void SendOwnedFrom(PeState& pe, int dest_pe, void* msg) {
          "sending a message with no handler");
   h->source_pe = static_cast<std::uint16_t>(pe.mype);
   h->seq = static_cast<std::uint32_t>(pe.send_seq++);
-  if (pe.hooks != nullptr && pe.hooks->on_send != nullptr) {
-    pe.hooks->on_send(pe.hooks->ud, h, dest_pe);
+  // Carriers (aggregation frames, broadcast wrappers) are physical
+  // envelopes: the logical messages inside were already counted — at
+  // append time or at the broadcast root — so the envelope itself stays
+  // invisible to the send counters and the trace.
+  if ((h->flags & kMsgFlagCarrierMask) == 0) {
+    if (pe.hooks != nullptr && pe.hooks->on_send != nullptr) {
+      pe.hooks->on_send(pe.hooks->ud, h, dest_pe);
+    }
+    ++pe.stats.msgs_sent;
+    ++pe.qd_created;
   }
-  ++pe.stats.msgs_sent;
-  ++pe.qd_created;
 
   if (SimCoordinator* sim = m.sim()) {
     // The simulator owns the whole delivery decision: fault injection,
@@ -332,11 +350,17 @@ int DeliverAvailable(PeState& pe, int budget) {
       msg = PopNet(pe);
       if (msg == nullptr) break;
     }
-    ++pe.stats.msgs_delivered;
     SimCoordinator* sim = pe.machine->sim();
-    if (sim != nullptr) sim->RecordDeliver(pe, msg);
-    DispatchMessage(msg, /*system_owned=*/true);
-    ++delivered;
+    if ((Header(msg)->flags & kMsgFlagCarrierMask) != 0) {
+      // One wire message, possibly many logical deliveries: a counted
+      // budget can overshoot (a frame unpacks atomically) but never stall.
+      delivered += CstDeliverCarrier(pe, msg);
+    } else {
+      ++pe.stats.msgs_delivered;
+      if (sim != nullptr) sim->RecordDeliver(pe, msg);
+      DispatchMessage(msg, /*system_owned=*/true);
+      ++delivered;
+    }
     // Dispatch boundaries are the sim's primary preemption points.
     if (sim != nullptr) sim->YieldPoint(pe);
   }
@@ -344,6 +368,9 @@ int DeliverAvailable(PeState& pe, int budget) {
 }
 
 void WaitForNet(PeState& pe) {
+  // A PE about to block must push its open aggregation frames first: the
+  // messages inside may be the very ones the awaited reply depends on.
+  CstFlushAll(pe);
   Machine& m = *pe.machine;
   if (SimCoordinator* sim = m.sim()) {
     // Under the simulator an idle PE releases the baton instead of parking
@@ -465,6 +492,7 @@ Machine::Machine(const MachineConfig& config)
     pe->netlane.ring.Init(ring_cap);
     pe->immlane.ring.Init(ring_cap);
     pe->pool = MsgPoolEnabled() ? MsgPoolForSlot(i) : nullptr;
+    CstInitPe(*pe);
     pes_.push_back(std::move(pe));
   }
   if (config.sim != nullptr) {
@@ -491,6 +519,7 @@ void Machine::DrainQueues(PeState& pe) {
   // Teardown: the machine reclaims every buffer it still owns; OnReclaim
   // tells the checker these frees are the machine layer's prerogative.
   // PE threads have joined, so the destructor is the rings' consumer.
+  CstDrain(pe);
   for (InLane* lane : {&pe.netlane, &pe.immlane}) {
     for (void* msg = lane->ring.TryPop(); msg != nullptr;
          msg = lane->ring.TryPop()) {
@@ -580,6 +609,9 @@ void Machine::Run(const std::function<void(int pe, int npes)>& entry) {
           // thread startup order cannot leak into the schedule.
           if (sim_ != nullptr) sim_->PeStart(pe);
           entry(pe.mype, pe.npes);
+          // Whatever the entry left in open aggregation frames still has
+          // to reach its receivers (their schedulers may still be running).
+          CstFlushAll(pe);
         } catch (MachineAborted&) {
           // Another PE failed; unwind quietly.
         } catch (...) {
@@ -638,8 +670,16 @@ double CmiCpuTimer() {
 }
 
 void CmiSyncSend(unsigned int dest_pe, unsigned int size, void* msg) {
-  detail::SendOwned(static_cast<int>(dest_pe),
-                    detail::CopyMessage(msg, size));
+  detail::PeState& pe = detail::CpvChecked();
+  // Small remote messages append into the destination's aggregation frame
+  // (one copy, no allocation) when the layer is on; everything else takes
+  // the classic copy-and-push path.
+  if (detail::CstTrySmallSend(pe, static_cast<int>(dest_pe), msg, size,
+                              nullptr)) {
+    return;
+  }
+  detail::SendOwnedFrom(pe, static_cast<int>(dest_pe),
+                        detail::CopyMessage(msg, size));
 }
 
 void CmiSyncSendAndFree(unsigned int dest_pe, unsigned int size, void* msg) {
@@ -659,37 +699,91 @@ void CmiSyncSendAndFree(unsigned int dest_pe, unsigned int size, void* msg) {
           pe.sysbuf_stack.back().grabbed) &&
          "CmiSyncSendAndFree on an ungrabbed system buffer; call "
          "CmiGrabBuffer first");
+  if (detail::CstTrySmallSend(pe, static_cast<int>(dest_pe), msg, size,
+                              nullptr)) {
+    // The frame holds a copy; the original goes through the normal send
+    // ownership transition (so CciCheck still diagnoses misuse) and is
+    // reclaimed by the machine layer right here.
+    detail::check::OnSend(msg);
+    detail::check::OnReclaim(msg);
+    CmiFree(msg);
+    return;
+  }
   detail::SendOwnedFrom(pe, static_cast<int>(dest_pe), msg);
 }
 
 CommHandle CmiAsyncSend(unsigned int dest_pe, unsigned int size, void* msg) {
-  // The in-process machine copies eagerly, so the operation completes
+  detail::PeState& pe = detail::CpvChecked();
+  if (detail::CstWouldAggregate(pe, static_cast<int>(dest_pe), size)) {
+    // The message sits in an open frame until it flushes: a genuinely
+    // deferred operation, tracked by a completion record.
+    auto* c = new detail::AsyncCompletion{0, false};
+    if (detail::CstTrySmallSend(pe, static_cast<int>(dest_pe), msg, size,
+                                c)) {
+      if (c->pending == 0) {  // the append itself filled the frame
+        delete c;
+        return CommHandle{nullptr};
+      }
+      return CommHandle{c};
+    }
+    delete c;
+  }
+  // Otherwise the machine copies eagerly, so the operation completes
   // before the call returns; the handle is born "done".
-  CmiSyncSend(dest_pe, size, msg);
+  detail::SendOwnedFrom(pe, static_cast<int>(dest_pe),
+                        detail::CopyMessage(msg, size));
   return CommHandle{nullptr};
 }
 
 int CmiAsyncMsgSent(CommHandle handle) {
   if (handle.rec == nullptr) return 1;
-  return *static_cast<bool*>(handle.rec) ? 1 : 0;
+  return static_cast<detail::AsyncCompletion*>(handle.rec)->pending == 0 ? 1
+                                                                         : 0;
 }
 
 void CmiReleaseCommHandle(CommHandle handle) {
-  delete static_cast<bool*>(handle.rec);
+  auto* c = static_cast<detail::AsyncCompletion*>(handle.rec);
+  if (c == nullptr) return;
+  if (c->pending == 0) {
+    delete c;
+  } else {
+    c->released = true;  // the last completion deletes it
+  }
 }
 
 CommHandle CmiVectorSend(int dest_pe, int handler_id, int len,
                          const int sizes[], const void* const data_array[]) {
   std::size_t payload = 0;
   for (int i = 0; i < len; ++i) payload += static_cast<std::size_t>(sizes[i]);
-  void* msg = CmiAlloc(sizeof(detail::MsgHeader) + payload);
+  const std::size_t total = sizeof(detail::MsgHeader) + payload;
+  detail::PeState& pe = detail::CpvChecked();
+  if (void* image = detail::CstReserveMsg(
+          pe, dest_pe, static_cast<std::uint32_t>(total))) {
+    // Gather the pieces straight into the reserved frame entry — no
+    // intermediate message buffer at all.
+    detail::MsgHeader h{};
+    h.handler = static_cast<std::uint32_t>(handler_id);
+    h.total_size = static_cast<std::uint32_t>(total);
+    h.queueing = static_cast<std::uint8_t>(Queueing::kFifo);
+    h.magic = detail::kMsgMagicAlive;
+    std::memcpy(image, &h, sizeof(h));
+    char* out = static_cast<char*>(image) + sizeof(h);
+    for (int i = 0; i < len; ++i) {
+      std::memcpy(out, data_array[i], static_cast<std::size_t>(sizes[i]));
+      out += sizes[i];
+    }
+    detail::CstCommitMsg(pe, dest_pe, image,
+                         static_cast<std::uint32_t>(total), nullptr);
+    return CommHandle{nullptr};
+  }
+  void* msg = CmiAlloc(total);
   CmiSetHandler(msg, handler_id);
   char* out = static_cast<char*>(CmiMsgPayload(msg));
   for (int i = 0; i < len; ++i) {
     std::memcpy(out, data_array[i], static_cast<std::size_t>(sizes[i]));
     out += sizes[i];
   }
-  detail::SendOwned(dest_pe, msg);
+  detail::SendOwnedFrom(pe, dest_pe, msg);
   return CommHandle{nullptr};
 }
 
@@ -697,11 +791,22 @@ void* CmiGetMsg() {
   detail::PeState& pe = detail::CpvChecked();
   detail::FlushPendingMmi(pe);
   void* msg = nullptr;
-  if (!pe.heldq.empty()) {
-    msg = pe.heldq.front();
-    pe.heldq.pop_front();
-  } else {
+  for (;;) {
+    if (!pe.heldq.empty()) {
+      msg = pe.heldq.front();
+      pe.heldq.pop_front();
+      break;
+    }
     msg = detail::PopNet(pe);
+    if (msg == nullptr) break;
+    if ((detail::Header(msg)->flags & detail::kMsgFlagCarrierMask) != 0) {
+      // Unpack the carrier's logical messages (which may be zero, if
+      // scatters consumed them all) and look again.
+      detail::CstUnpackToHeld(pe, msg);
+      msg = nullptr;
+      continue;
+    }
+    break;
   }
   if (msg != nullptr) {
     detail::check::OnMmiReturn(msg);
@@ -719,31 +824,40 @@ int CmiDeliverMsgs(int max_msgs) {
 void* CmiGetSpecificMsg(int handler_id) {
   detail::PeState& pe = detail::CpvChecked();
   detail::FlushPendingMmi(pe);
-  // First look through messages buffered by earlier calls.
-  for (auto it = pe.heldq.begin(); it != pe.heldq.end(); ++it) {
-    if (CmiGetHandler(*it) == handler_id) {
-      void* msg = *it;
-      pe.heldq.erase(it);
-      detail::check::OnMmiReturn(msg);
-      pe.pending_mmi = msg;
-      pe.pending_mmi_grabbed = false;
-      return msg;
+  // First look through messages buffered by earlier calls (and by carrier
+  // unpacking below).
+  const auto take_held = [&pe, handler_id]() -> void* {
+    for (auto it = pe.heldq.begin(); it != pe.heldq.end(); ++it) {
+      if (CmiGetHandler(*it) == handler_id) {
+        void* msg = *it;
+        pe.heldq.erase(it);
+        return msg;
+      }
     }
-  }
-  for (;;) {
-    void* msg = detail::PopNet(pe);
-    if (msg == nullptr) {
+    return nullptr;
+  };
+  void* msg = take_held();
+  while (msg == nullptr) {
+    void* net = detail::PopNet(pe);
+    if (net == nullptr) {
       detail::WaitForNet(pe);
       continue;
     }
-    if (CmiGetHandler(msg) == handler_id) {
-      detail::check::OnMmiReturn(msg);
-      pe.pending_mmi = msg;
-      pe.pending_mmi_grabbed = false;
-      return msg;
+    if ((detail::Header(net)->flags & detail::kMsgFlagCarrierMask) != 0) {
+      detail::CstUnpackToHeld(pe, net);
+      msg = take_held();
+      continue;
     }
-    pe.heldq.push_back(msg);  // buffer messages meant for other handlers
+    if (CmiGetHandler(net) == handler_id) {
+      msg = net;
+    } else {
+      pe.heldq.push_back(net);  // buffer messages meant for other handlers
+    }
   }
+  detail::check::OnMmiReturn(msg);
+  pe.pending_mmi = msg;
+  pe.pending_mmi_grabbed = false;
+  return msg;
 }
 
 void CmiGrabBuffer(void** pbuf) {
@@ -768,12 +882,18 @@ void CmiGrabBuffer(void** pbuf) {
          "delivered on this PE");
 }
 
-// All broadcast variants make exactly one pooled allocation per remote
-// destination, outside any destination lock: CopyMessage walks the source
-// once per copy on the sender's thread, and the per-lane ring push that
-// follows never holds a lock on the fast path.
+// Without a latency model, broadcasts go down the machine spanning tree
+// (CstTreeCast): the root sends one wrapper per tree child and interior PEs
+// re-forward, so no single PE pays O(npes) sends.  With a model attached
+// the flat per-destination loops below are kept — each copy must be priced
+// (and delayed) individually.
 void CmiSyncBroadcast(unsigned int size, void* msg) {
   detail::PeState& pe = detail::CpvChecked();
+  if (detail::CstUseTree(pe)) {
+    detail::CstTreeCast(pe, msg, size, /*include_self=*/false,
+                        /*defer=*/false);
+    return;
+  }
   for (int i = 0; i < pe.npes; ++i) {
     if (i == pe.mype) continue;
     detail::SendOwnedFrom(pe, i, detail::CopyMessage(msg, size));
@@ -782,6 +902,11 @@ void CmiSyncBroadcast(unsigned int size, void* msg) {
 
 void CmiSyncBroadcastAll(unsigned int size, void* msg) {
   detail::PeState& pe = detail::CpvChecked();
+  if (detail::CstUseTree(pe)) {
+    detail::CstTreeCast(pe, msg, size, /*include_self=*/true,
+                        /*defer=*/false);
+    return;
+  }
   for (int i = 0; i < pe.npes; ++i) {
     detail::SendOwnedFrom(pe, i, detail::CopyMessage(msg, size));
   }
@@ -796,6 +921,15 @@ void CmiSyncBroadcastAllAndFree(unsigned int size, void* msg) {
                            "(header magic 0x%08x)", h->magic);
   }
   assert(h->magic == detail::kMsgMagicAlive);
+  if (detail::CstUseTree(pe)) {
+    // The tree cast reads `msg` into the wrapper; the original is then
+    // delivered to self, honoring the and-free ownership transfer.
+    detail::CstTreeCast(pe, msg, size, /*include_self=*/false,
+                        /*defer=*/false);
+    h->total_size = size;
+    detail::SendOwnedFrom(pe, pe.mype, msg);
+    return;
+  }
   // Copies go to the other PEs; the original is delivered to self instead
   // of being copied once more and freed (npes allocations, not npes + 1).
   for (int i = 0; i < pe.npes; ++i) {
@@ -807,11 +941,23 @@ void CmiSyncBroadcastAllAndFree(unsigned int size, void* msg) {
 }
 
 CommHandle CmiAsyncBroadcast(unsigned int size, void* msg) {
+  detail::PeState& pe = detail::CpvChecked();
+  if (detail::CstUseTree(pe)) {
+    return CommHandle{detail::CstTreeCast(pe, msg, size,
+                                          /*include_self=*/false,
+                                          /*defer=*/true)};
+  }
   CmiSyncBroadcast(size, msg);
   return CommHandle{nullptr};
 }
 
 CommHandle CmiAsyncBroadcastAll(unsigned int size, void* msg) {
+  detail::PeState& pe = detail::CpvChecked();
+  if (detail::CstUseTree(pe)) {
+    return CommHandle{detail::CstTreeCast(pe, msg, size,
+                                          /*include_self=*/true,
+                                          /*defer=*/true)};
+  }
   CmiSyncBroadcastAll(size, msg);
   return CommHandle{nullptr};
 }

@@ -8,6 +8,7 @@
 #include "converse/check.h"
 #include "converse/handlers.h"
 #include "core/msg_pool.h"
+#include "core/stream.h"
 
 namespace converse {
 
@@ -37,6 +38,12 @@ void CmiFree(void* msg) {
   auto* h = detail::Header(msg);
   assert(h->magic == detail::kMsgMagicAlive && "CmiFree: not a live message");
   h->magic = detail::kMsgMagicFreed;
+  if ((h->flags & detail::kMsgFlagInFrame) != 0) {
+    // A view into a received aggregation frame: there is no standalone
+    // allocation to return, only the frame's reference count to release.
+    detail::CstFrameViewRelease(msg);
+    return;
+  }
   detail::MsgPoolFree(msg);
 }
 

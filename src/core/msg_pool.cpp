@@ -245,6 +245,9 @@ bool MsgPoolIsPooled(const void* msg) {
 
 void MsgPoolRestampFlag(void* msg) {
   MsgHeader* h = Header(msg);
+  // A restamped buffer is by definition a fresh standalone allocation; the
+  // source header may have belonged to an in-frame view.
+  h->flags = static_cast<std::uint8_t>(h->flags & ~kMsgFlagInFrame);
   if (MsgPoolIsPooled(msg)) {
     h->flags = static_cast<std::uint8_t>(h->flags | kMsgFlagPooled);
   } else {

@@ -24,6 +24,7 @@
 #include "converse/util/rng.h"
 #include "converse/util/spantree.h"
 #include "core/mpsc_ring.h"
+#include "core/stream.h"
 
 namespace converse::detail {
 
@@ -84,6 +85,13 @@ struct CoreHooks {
   void (*on_enqueue)(void* ud, const MsgHeader* h) = nullptr;
   void (*on_idle_begin)(void* ud) = nullptr;
   void (*on_idle_end)(void* ud) = nullptr;
+  // Aggregation layer (src/core/stream.cpp): a frame of `msgs` packed
+  // messages (`bytes` of entries) went to the wire / a spanning-tree
+  // broadcast carrier was forwarded to a tree child.
+  void (*on_agg_flush)(void* ud, int dest_pe, std::uint32_t msgs,
+                       std::uint32_t bytes) = nullptr;
+  void (*on_bcast_forward)(void* ud, int dest_pe,
+                           std::uint32_t size) = nullptr;
 };
 
 /// One-shot/persistent scatter registration (EMI advance receive).
@@ -144,6 +152,7 @@ struct PeState {
   CmiStats stats;
   std::uint64_t send_seq = 0;
   const CoreHooks* hooks = nullptr;
+  CstPeState agg;  // small-message aggregation state (core/stream.h)
 
   // Quiescence-relevant counters (read by the charm runtime).
   std::uint64_t qd_created = 0;    // messages sent or enqueued
@@ -227,6 +236,11 @@ void SendOwnedImmediate(int dest_pe, void* msg);
 /// Pop the next deliverable network message, applying scatter
 /// registrations; nullptr if none available right now.
 void* PopNet(PeState& pe);
+
+/// Test one scatter registration against a delivered message; true when
+/// the message was consumed.  Never matches carrier (frame/broadcast)
+/// messages — scatters apply to the logical messages inside.
+bool TryScatter(PeState& pe, void* msg);
 
 /// True when no network message is deliverable right now (both lanes and,
 /// under a net model, the timed queue).  Must run on `pe`'s own thread.

@@ -95,7 +95,13 @@ int CsdScheduleUntilIdle() {
       ++delivered;
       continue;
     }
-    if (got == 0) break;  // both queues drained, nothing new arrived
+    if (got == 0) {
+      // Both queues drained.  Idle is a flush point for the aggregation
+      // layer: push any open frames out, and only stop once no flush
+      // produced new work for us (a self-directed round trip may answer).
+      if (detail::CstFlushAll(pe) > 0) continue;
+      break;
+    }
   }
   --pe.sched_depth;
   return delivered;
@@ -112,14 +118,18 @@ int CsdSchedulePoll(int n) {
       break;
     }
     if (bounded && delivered >= n) break;
-    if (detail::DeliverAvailable(pe, 1) == 1) {
-      ++delivered;
+    const int got = detail::DeliverAvailable(pe, 1);
+    if (got > 0) {  // an aggregation frame may deliver several at once
+      delivered += got;
       continue;
     }
     if (RunOneFromQueue(pe)) {
       ++delivered;
       continue;
     }
+    // Going idle without blocking still counts as an aggregation flush
+    // point; sending is non-blocking, so poll semantics are preserved.
+    if (detail::CstFlushAll(pe) > 0) continue;
     break;  // nothing available and we never block
   }
   --pe.sched_depth;
@@ -168,6 +178,7 @@ std::size_t CsdLength() { return CpvChecked().schedq.Length(); }
 bool CsdIsIdle() {
   PeState& pe = CpvChecked();
   if (!pe.schedq.Empty() || !pe.heldq.empty()) return false;
+  if (detail::CstHasAnyOpen(pe)) return false;  // pending outbound frames
   return detail::NetIsIdle(pe);
 }
 

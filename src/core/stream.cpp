@@ -1,0 +1,494 @@
+// Cst — small-message aggregation frames and spanning-tree broadcast
+// carriers.  Layout and ownership rules in stream.h; the user-facing story
+// in converse/stream.h.
+#include "core/stream.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "converse/check.h"
+#include "converse/machine.h"
+#include "converse/stream.h"
+#include "converse/util/spantree.h"
+#include "core/msg_pool.h"
+#include "core/pe_state.h"
+#include "sim/sim_internal.h"
+
+namespace converse::detail {
+namespace {
+
+// u32 size + u32 pad + u64 frame back-pointer; 16 bytes so that every
+// entry's message image lands on MsgHeader's 16-byte alignment and can be
+// dispatched in place as a view.
+constexpr std::uint32_t kEntryHeaderBytes = 16;
+
+std::uint32_t PadTo16(std::uint32_t n) { return (n + 15u) & ~15u; }
+
+std::uint32_t EntryBytes(std::uint32_t size) {
+  return kEntryHeaderBytes + PadTo16(size);
+}
+
+static_assert(sizeof(MsgHeader) % 16 == 0 && sizeof(CstFrameWire) % 16 == 0,
+              "frame entries must stay 16-aligned");
+
+char* FrameEntries(void* frame) {
+  return static_cast<char*>(frame) + sizeof(MsgHeader) + sizeof(CstFrameWire);
+}
+const char* FrameEntries(const void* frame) {
+  return static_cast<const char*>(frame) + sizeof(MsgHeader) +
+         sizeof(CstFrameWire);
+}
+
+/// Walk a finalized frame's entries read-only: fn(image, size) per packed
+/// message (sim fault weighting; delivery uses ForEachView).
+template <typename Fn>
+void ForEachEntry(const void* frame, Fn&& fn) {
+  CstFrameWire wire;
+  std::memcpy(&wire, static_cast<const char*>(frame) + sizeof(MsgHeader),
+              sizeof(wire));
+  const char* p = FrameEntries(frame);
+  for (std::uint32_t i = 0; i < wire.count; ++i) {
+    std::uint32_t size;
+    std::memcpy(&size, p, sizeof(size));
+    fn(p + kEntryHeaderBytes, size);
+    p += EntryBytes(size);
+  }
+}
+
+/// Turn a received frame's entries into refcounted in-place views and hand
+/// each to fn, in packed order.  Ownership of the frame buffer passes to
+/// the views collectively: the last CstFrameViewRelease frees it, so the
+/// walk reads each entry's extent *before* handing out its view (the
+/// frame may die inside fn on the final entry).
+template <typename Fn>
+void ForEachView(void* frame, Fn&& fn) {
+  auto* wire = reinterpret_cast<CstFrameWire*>(static_cast<char*>(frame) +
+                                               sizeof(MsgHeader));
+  const std::uint32_t count = wire->count;
+  if (count == 0) {  // flush never emits an empty frame; stay safe anyway
+    CmiFree(frame);
+    return;
+  }
+  __atomic_store_n(&wire->refs, count, __ATOMIC_RELAXED);
+  char* p = FrameEntries(frame);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t size;
+    std::memcpy(&size, p, sizeof(size));
+    std::memcpy(p + 8, &frame, sizeof(frame));  // release back-pointer
+    char* const next = p + EntryBytes(size);
+    void* view = p + kEntryHeaderBytes;
+    MsgHeader* h = reinterpret_cast<MsgHeader*>(view);
+    h->flags = static_cast<std::uint8_t>((h->flags & ~kMsgFlagPooled) |
+                                         kMsgFlagInFrame);
+    check::OnAlloc(view, size);  // views live in the checker like messages
+    check::OnCopyReset(view);
+    fn(view);
+    p = next;
+  }
+}
+
+int FindFrameIdx(CstPeState& st, int dest) {
+  // Steady-state sends hit the same destination repeatedly (reserve then
+  // commit, bursts to one peer); the hint makes those lookups O(1).
+  const std::size_t hot = static_cast<std::size_t>(st.hot);
+  if (hot < st.open.size() && st.open[hot].dest == dest) {
+    return st.hot;
+  }
+  for (std::size_t i = 0; i < st.open.size(); ++i) {
+    if (st.open[i].dest == dest) {
+      st.hot = static_cast<int>(i);
+      return st.hot;
+    }
+  }
+  return -1;
+}
+
+/// Copy a `size`-byte message image into a fresh machine-owned buffer
+/// (broadcast inner materialization and self-delivery).
+void* CopyImage(const void* image, std::uint32_t size) {
+  void* msg = CmiAlloc(size);
+  std::memcpy(msg, image, size);
+  Header(msg)->total_size = size;
+  Header(msg)->magic = kMsgMagicAlive;
+  MsgPoolRestampFlag(msg);
+  check::OnCopyReset(msg);
+  return msg;
+}
+
+/// Detach the frame at `idx`, finalize its wire header and push it to the
+/// network as one machine message.  Returns 1 (frames flushed).
+int FlushFrameAt(PeState& pe, std::size_t idx) {
+  CstFrame f = std::move(pe.agg.open[idx]);
+  pe.agg.open.erase(pe.agg.open.begin() + static_cast<long>(idx));
+  MsgHeader* h = Header(f.buf);
+  h->total_size =
+      static_cast<std::uint32_t>(sizeof(MsgHeader) + sizeof(CstFrameWire)) +
+      f.used;
+  CstFrameWire wire{f.count, 0, 0};
+  std::memcpy(static_cast<char*>(f.buf) + sizeof(MsgHeader), &wire,
+              sizeof(wire));
+  ++pe.stats.agg_frames_sent;
+  pe.stats.agg_msgs_batched += f.count;
+  if (pe.hooks != nullptr && pe.hooks->on_agg_flush != nullptr) {
+    pe.hooks->on_agg_flush(pe.hooks->ud, f.dest, f.count, f.used);
+  }
+  // The frame is detached before this send, so SendOwnedFrom's own
+  // flush-open-frame choke point cannot recurse into it.
+  SendOwnedFrom(pe, f.dest, f.buf);
+  for (AsyncCompletion* c : f.waiters) CstCompleteOne(c);
+  return 1;
+}
+
+/// Shared append bookkeeping after an image was written into dest's frame.
+void CommitRaw(PeState& pe, int dest, std::uint32_t size,
+               AsyncCompletion* waiter) {
+  CstPeState& st = pe.agg;
+  const int idx = FindFrameIdx(st, dest);
+  assert(idx >= 0 && "commit without a matching reserve");
+  CstFrame& f = st.open[static_cast<std::size_t>(idx)];
+  f.used += EntryBytes(size);
+  ++f.count;
+  if (waiter != nullptr) {
+    ++waiter->pending;
+    f.waiters.push_back(waiter);
+  }
+  if (f.count >= st.frame_msgs || f.used >= st.frame_bytes) {
+    FlushFrameAt(pe, static_cast<std::size_t>(idx));
+  }
+}
+
+void NoteCarrierForward(PeState& pe, int child, std::uint32_t size) {
+  ++pe.stats.bcast_forwards;
+  if (pe.hooks != nullptr && pe.hooks->on_bcast_forward != nullptr) {
+    pe.hooks->on_bcast_forward(pe.hooks->ud, child, size);
+  }
+}
+
+/// Wrap a logical message image into a spanning-tree broadcast carrier
+/// rooted at the calling PE.  The inner image's identity (source_pe, seq)
+/// is stamped here, once — every PE in the tree materializes the same
+/// logical message.
+void* MakeWrapper(PeState& pe, const void* msg, std::uint32_t size,
+                  std::uint32_t seq) {
+  void* w = CmiAlloc(sizeof(MsgHeader) + sizeof(CstBcastWire) + size);
+  MsgHeader* wh = Header(w);
+  wh->handler = kCstCarrierHandler;
+  wh->flags = static_cast<std::uint8_t>(wh->flags | kMsgFlagBcast);
+  CstBcastWire wire{pe.mype, size};
+  std::memcpy(CmiMsgPayload(w), &wire, sizeof(wire));
+  char* dst = static_cast<char*>(CmiMsgPayload(w)) + sizeof(wire);
+  std::memcpy(dst, msg, size);
+  MsgHeader ih;
+  std::memcpy(&ih, msg, sizeof(ih));
+  ih.total_size = size;
+  ih.magic = kMsgMagicAlive;
+  ih.source_pe = static_cast<std::uint16_t>(pe.mype);
+  ih.seq = seq;
+  ih.flags = static_cast<std::uint8_t>(ih.flags & ~kMsgFlagCarrierMask);
+  std::memcpy(dst, &ih, sizeof(ih));
+  return w;
+}
+
+/// Take ownership of a received wrapper: re-forward it to this PE's tree
+/// children (cloning for all but the last), then return the materialized
+/// inner message, owned by the caller.
+void* OpenBcast(PeState& pe, void* wrapper) {
+  check::OnReclaim(wrapper);  // machine layer consumes the in-flight buffer
+  CstBcastWire wire;
+  std::memcpy(&wire, CmiMsgPayload(wrapper), sizeof(wire));
+  const char* inner_image =
+      static_cast<const char*>(CmiMsgPayload(wrapper)) + sizeof(wire);
+  void* inner = CopyImage(inner_image, wire.inner_size);
+  const util::SpanningTree tree(pe.npes, wire.root,
+                                pe.machine->config().spantree_branching);
+  const std::vector<int> kids = tree.Children(pe.mype);
+  const std::uint32_t wsize = Header(wrapper)->total_size;
+  for (std::size_t i = 0; i + 1 < kids.size(); ++i) {
+    NoteCarrierForward(pe, kids[i], wsize);
+    SendOwnedFrom(pe, kids[i], CloneMessage(wrapper));
+  }
+  if (!kids.empty()) {
+    NoteCarrierForward(pe, kids.back(), wsize);
+    SendOwnedFrom(pe, kids.back(), wrapper);
+  } else {
+    CmiFree(wrapper);
+  }
+  return inner;
+}
+
+/// Deliver one materialized (owned) logical message; opens a wrapper that
+/// rode inside a frame first.  Returns 1, or 0 when a scatter registration
+/// consumed the message (matching the flat PopNet path).
+int DeliverOne(PeState& pe, void* msg) {
+  if ((Header(msg)->flags & kMsgFlagBcast) != 0) {
+    msg = OpenBcast(pe, msg);
+  }
+  if (TryScatter(pe, msg)) return 0;
+  ++pe.stats.msgs_delivered;
+  SimCoordinator* sim = pe.machine->sim();
+  if (sim != nullptr) sim->RecordDeliver(pe, msg);
+  DispatchMessage(msg, /*system_owned=*/true);
+  return 1;
+}
+
+}  // namespace
+
+void CstInitPe(PeState& pe) {
+  const MachineConfig& cfg = pe.machine->config();
+  CstPeState& st = pe.agg;
+  int mode = cfg.aggregate_sends;
+  if (mode < 0) {
+    const char* e = std::getenv("CONVERSE_AGG");
+    mode = (e != nullptr && e[0] != '\0' && e[0] != '0') ? 1 : 0;
+  }
+  // A latency model prices each message individually; frames would turn
+  // per-message latencies into per-batch ones, so the layer stays off.
+  st.enabled = mode != 0 && pe.npes > 1 && cfg.model == nullptr;
+  if (!st.enabled) return;
+  st.frame_bytes = cfg.agg_frame_bytes < 64 ? 64 : cfg.agg_frame_bytes;
+  st.frame_msgs = cfg.agg_frame_msgs < 1 ? 1 : cfg.agg_frame_msgs;
+  const std::uint32_t cap = st.frame_bytes - kEntryHeaderBytes;
+  st.max_msg = cfg.agg_max_msg < cap ? cfg.agg_max_msg : cap;
+  if (st.max_msg < sizeof(MsgHeader)) st.enabled = false;
+}
+
+bool CstWouldAggregate(const PeState& pe, int dest, std::uint32_t size) {
+  return pe.agg.enabled && dest != pe.mype &&
+         size >= sizeof(MsgHeader) && size <= pe.agg.max_msg;
+}
+
+void* CstReserveMsg(PeState& pe, int dest, std::uint32_t size) {
+  if (!CstWouldAggregate(pe, dest, size)) return nullptr;
+  CstPeState& st = pe.agg;
+  int idx = FindFrameIdx(st, dest);
+  if (idx >= 0 &&
+      st.open[static_cast<std::size_t>(idx)].used + EntryBytes(size) >
+          st.frame_bytes) {
+    FlushFrameAt(pe, static_cast<std::size_t>(idx));
+    idx = -1;
+  }
+  if (idx < 0) {
+    void* buf = CmiAlloc(sizeof(MsgHeader) + sizeof(CstFrameWire) +
+                         st.frame_bytes);
+    MsgHeader* h = Header(buf);
+    h->handler = kCstCarrierHandler;
+    h->flags = static_cast<std::uint8_t>(h->flags | kMsgFlagFrame);
+    st.open.push_back(CstFrame{});
+    CstFrame& f = st.open.back();
+    f.buf = buf;
+    f.dest = dest;
+    idx = static_cast<int>(st.open.size()) - 1;
+  }
+  CstFrame& f = st.open[static_cast<std::size_t>(idx)];
+  char* entry = FrameEntries(f.buf) + f.used;
+  std::memcpy(entry, &size, sizeof(size));
+  if (pe.machine->sim() != nullptr) {
+    // The pad and back-pointer fields are dead on the wire (the receiver
+    // stamps the back-pointer at unpack); zero them only when the sim will
+    // hash the frame bytes, so the event trace stays deterministic.
+    std::memset(entry + sizeof(size), 0, kEntryHeaderBytes - sizeof(size));
+  }
+  return entry + kEntryHeaderBytes;
+}
+
+void CstCommitMsg(PeState& pe, int dest, void* image, std::uint32_t size,
+                  AsyncCompletion* waiter) {
+  // Stamp the packed copy's logical identity (the image is 16-aligned, so
+  // direct header access is legal) and account for it as one ordinary send.
+  MsgHeader* h = reinterpret_cast<MsgHeader*>(image);
+  h->total_size = size;
+  h->magic = kMsgMagicAlive;
+  h->source_pe = static_cast<std::uint16_t>(pe.mype);
+  h->seq = static_cast<std::uint32_t>(pe.send_seq++);
+  if (pe.hooks != nullptr && pe.hooks->on_send != nullptr) {
+    pe.hooks->on_send(pe.hooks->ud, h, dest);
+  }
+  ++pe.stats.msgs_sent;
+  ++pe.qd_created;
+  CommitRaw(pe, dest, size, waiter);
+}
+
+bool CstTrySmallSend(PeState& pe, int dest, const void* msg,
+                     std::uint32_t size, AsyncCompletion* waiter) {
+  void* image = CstReserveMsg(pe, dest, size);
+  if (image == nullptr) return false;
+  std::memcpy(image, msg, size);
+  CstCommitMsg(pe, dest, image, size, waiter);
+  return true;
+}
+
+bool CstTryAppendCarrier(PeState& pe, int dest, const void* image,
+                         std::uint32_t size, AsyncCompletion* waiter) {
+  void* spot = CstReserveMsg(pe, dest, size);
+  if (spot == nullptr) return false;
+  std::memcpy(spot, image, size);
+  CommitRaw(pe, dest, size, waiter);
+  return true;
+}
+
+int CstFlushDest(PeState& pe, int dest) {
+  const int idx = FindFrameIdx(pe.agg, dest);
+  if (idx < 0) return 0;
+  return FlushFrameAt(pe, static_cast<std::size_t>(idx));
+}
+
+int CstFlushAll(PeState& pe) {
+  int n = 0;
+  while (!pe.agg.open.empty()) n += FlushFrameAt(pe, 0);
+  return n;
+}
+
+bool CstHasAnyOpen(const PeState& pe) { return !pe.agg.open.empty(); }
+
+int CstDeliverCarrier(PeState& pe, void* carrier) {
+  if ((Header(carrier)->flags & kMsgFlagBcast) != 0) {
+    return DeliverOne(pe, carrier);
+  }
+  check::OnReclaim(carrier);
+  int delivered = 0;
+  // Entries dispatch in place as views; the frame dies with its last view.
+  ForEachView(carrier, [&](void* view) { delivered += DeliverOne(pe, view); });
+  return delivered;
+}
+
+void CstUnpackToHeld(PeState& pe, void* carrier) {
+  const auto hold = [&pe](void* msg) {
+    if ((Header(msg)->flags & kMsgFlagBcast) != 0) msg = OpenBcast(pe, msg);
+    if (!TryScatter(pe, msg)) pe.heldq.push_back(msg);
+  };
+  if ((Header(carrier)->flags & kMsgFlagBcast) != 0) {
+    hold(carrier);
+    return;
+  }
+  check::OnReclaim(carrier);
+  ForEachView(carrier, hold);
+}
+
+void CstFrameViewRelease(void* view) {
+  // The entry header in front of the view holds the frame back-pointer
+  // (stamped at unpack time; see ForEachView).
+  void* frame;
+  std::memcpy(&frame, static_cast<char*>(view) - 8, sizeof(frame));
+  auto* wire = reinterpret_cast<CstFrameWire*>(static_cast<char*>(frame) +
+                                               sizeof(MsgHeader));
+  // A grabbed view can be re-sent and freed on another PE, so the release
+  // must be atomic; the acquire/release pair orders every view's payload
+  // writes before the frame buffer returns to its pool.
+  if (__atomic_sub_fetch(&wire->refs, 1, __ATOMIC_ACQ_REL) == 0) {
+    CmiFree(frame);
+  }
+}
+
+bool CstUseTree(const PeState& pe) {
+  return pe.npes > 1 && !pe.machine->has_model();
+}
+
+AsyncCompletion* CstTreeCast(PeState& pe, const void* msg, std::uint32_t size,
+                             bool include_self, bool defer) {
+  assert(size >= sizeof(MsgHeader));
+  const std::uint32_t seq = static_cast<std::uint32_t>(pe.send_seq++);
+  // Logical accounting up front: the root sends one message to every other
+  // PE, whatever the physical fan-out below turns out to be.
+  const int remote = pe.npes - 1;
+  pe.stats.msgs_sent += static_cast<std::uint64_t>(remote);
+  pe.qd_created += static_cast<std::uint64_t>(remote);
+  if (pe.hooks != nullptr && pe.hooks->on_send != nullptr) {
+    MsgHeader h;
+    std::memcpy(&h, msg, sizeof(h));
+    h.total_size = size;
+    h.magic = kMsgMagicAlive;
+    h.source_pe = static_cast<std::uint16_t>(pe.mype);
+    h.seq = seq;
+    for (int i = 0; i < pe.npes; ++i) {
+      if (i != pe.mype) pe.hooks->on_send(pe.hooks->ud, &h, i);
+    }
+  }
+  const util::SpanningTree tree(pe.npes, pe.mype,
+                                pe.machine->config().spantree_branching);
+  const std::vector<int> kids = tree.Children(pe.mype);
+  AsyncCompletion* completion = nullptr;
+  if (!kids.empty()) {
+    void* w = MakeWrapper(pe, msg, size, seq);
+    const std::uint32_t wsize = Header(w)->total_size;
+    if (defer) {
+      // Async variant: small wrappers ride the aggregation frames, sharing
+      // one completion; flushing (or idling) finishes the operation.
+      auto* c = new AsyncCompletion{0, false};
+      for (int kid : kids) {
+        NoteCarrierForward(pe, kid, wsize);
+        if (!CstTryAppendCarrier(pe, kid, w, wsize, c)) {
+          SendOwnedFrom(pe, kid, CloneMessage(w));
+        }
+      }
+      CmiFree(w);
+      if (c->pending == 0) {
+        delete c;
+      } else {
+        completion = c;
+      }
+    } else {
+      for (std::size_t i = 0; i + 1 < kids.size(); ++i) {
+        NoteCarrierForward(pe, kids[i], wsize);
+        SendOwnedFrom(pe, kids[i], CloneMessage(w));
+      }
+      NoteCarrierForward(pe, kids.back(), wsize);
+      SendOwnedFrom(pe, kids.back(), w);
+    }
+  }
+  if (include_self) {
+    SendOwnedFrom(pe, pe.mype, CopyImage(msg, size));
+  }
+  return completion;
+}
+
+std::uint64_t CstMessageWeight(const Machine& m, int dest_pe,
+                               const void* msg) {
+  const std::uint8_t flags = Header(msg)->flags;
+  if ((flags & kMsgFlagBcast) != 0) {
+    CstBcastWire wire;
+    std::memcpy(&wire, CmiMsgPayload(msg), sizeof(wire));
+    const util::SpanningTree tree(m.npes(), wire.root,
+                                  m.config().spantree_branching);
+    return static_cast<std::uint64_t>(tree.SubtreeSize(dest_pe));
+  }
+  if ((flags & kMsgFlagFrame) != 0) {
+    std::uint64_t w = 0;
+    ForEachEntry(msg, [&](const char* image, std::uint32_t size) {
+      (void)size;
+      MsgHeader h;
+      std::memcpy(&h, image, sizeof(h));
+      if ((h.flags & kMsgFlagBcast) != 0) {
+        CstBcastWire wire;
+        std::memcpy(&wire, image + sizeof(MsgHeader), sizeof(wire));
+        const util::SpanningTree tree(m.npes(), wire.root,
+                                      m.config().spantree_branching);
+        w += static_cast<std::uint64_t>(tree.SubtreeSize(dest_pe));
+      } else {
+        w += 1;
+      }
+    });
+    return w;
+  }
+  return 1;
+}
+
+void CstDrain(PeState& pe) {
+  for (CstFrame& f : pe.agg.open) {
+    // Open frames were never handed to the machine layer (still owned), so
+    // a plain free is legal; their waiters complete vacuously.
+    CmiFree(f.buf);
+    for (AsyncCompletion* c : f.waiters) CstCompleteOne(c);
+  }
+  pe.agg.open.clear();
+}
+
+}  // namespace converse::detail
+
+namespace converse {
+
+int CmiFlush() { return detail::CstFlushAll(detail::CpvChecked()); }
+
+bool CmiAggActive() { return detail::CpvChecked().agg.enabled; }
+
+}  // namespace converse

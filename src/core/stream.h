@@ -1,0 +1,172 @@
+// Cst internals — per-destination aggregation frames and spanning-tree
+// broadcast carriers (public story in converse/stream.h).
+//
+// Wire formats (all offsets within the carrier's payload area):
+//
+//   frame   [ MsgHeader | CstFrameWire | entry ... ]       kMsgFlagFrame
+//   entry   [ u32 size | u32 pad | u64 frame back-pointer
+//             | size-byte message image | pad to 16 ]
+//   wrapper [ MsgHeader | CstBcastWire | inner message image ]
+//                                                          kMsgFlagBcast
+//
+// Every in-frame message image is 16-byte aligned (MsgHeader's natural
+// alignment), so receivers dispatch entries *in place*: each image becomes
+// a refcounted view (kMsgFlagInFrame) whose CmiFree decrements the frame's
+// CstFrameWire::refs, and the last release frees the frame buffer itself.
+// The receiver never copies or allocates per small message — that is the
+// whole throughput story of the layer.  The entry's back-pointer field is
+// dead on the wire (zero, sender-side) and stamped by the receiver just
+// before the view is handed out.
+// A wrapper's inner image carries the logical identity (handler,
+// source_pe, seq) stamped once at the broadcast root; the carrier's own
+// header belongs to the machine layer and is restamped on every hop.
+//
+// Carriers are never dispatched through the handler table: the delivery
+// paths (DeliverAvailable, CmiGetMsg, CmiGetSpecificMsg) intercept
+// kMsgFlagCarrierMask and unpack.  Logical accounting (CmiStats.msgs_sent,
+// the on_send trace hook, qd_created) happens per logical message at
+// append/broadcast time; carrier sends themselves are invisible to those
+// counters and visible only through agg_frames_sent / bcast_forwards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "converse/msg.h"
+
+namespace converse::detail {
+
+class Machine;
+struct PeState;
+
+/// Completion state shared by a CommHandle and the operations it covers
+/// (deferred frame appends, gptr round trips).  Touched only by the owning
+/// PE's thread.
+struct AsyncCompletion {
+  int pending = 0;       // operations not yet complete; 0 = done
+  bool released = false; // CmiReleaseCommHandle ran before completion
+};
+
+/// Mark one covered operation complete; frees the record if the handle was
+/// already released and this was the last one.
+inline void CstCompleteOne(AsyncCompletion* c) {
+  if (--c->pending == 0 && c->released) delete c;
+}
+
+struct CstFrameWire {
+  std::uint32_t count;  // packed entries
+  /// Receiver-side live-view count.  Zero on the wire; set to `count` when
+  /// the frame is unpacked, decremented (atomically: a grabbed view can be
+  /// re-sent and freed on another PE) by CstFrameViewRelease.
+  std::uint32_t refs;
+  std::uint64_t pad;  // keeps entries (and so every image) 16-aligned
+};
+static_assert(sizeof(CstFrameWire) == 16);
+
+struct CstBcastWire {
+  std::int32_t root;          // PE the spanning tree is rooted at
+  std::uint32_t inner_size;   // bytes of the inner message image
+};
+
+/// Handler id stamped on carriers.  Never dispatched (the delivery paths
+/// intercept on flags first); distinct from CmiAlloc's 0xffffffff "never
+/// set" marker so SendOwnedFrom's no-handler assert stays meaningful.
+inline constexpr std::uint32_t kCstCarrierHandler = 0xfffffffeu;
+
+/// One open per-destination aggregation frame.
+struct CstFrame {
+  void* buf = nullptr;     // the frame message (kMsgFlagFrame)
+  std::uint32_t used = 0;  // bytes of packed entries so far
+  std::uint32_t count = 0; // entries so far
+  int dest = -1;
+  std::vector<AsyncCompletion*> waiters;  // resolved at flush
+};
+
+/// Per-PE aggregation state (PeState::agg).
+struct CstPeState {
+  bool enabled = false;
+  std::uint32_t max_msg = 0;      // largest aggregable message (effective)
+  std::uint32_t frame_bytes = 0;  // entry-area capacity per frame
+  std::uint32_t frame_msgs = 0;
+  std::vector<CstFrame> open;     // flush order == open order (deterministic)
+  int hot = 0;  // index hint: the frame the last lookup landed on
+};
+
+/// Resolve the aggregation config (MachineConfig + CONVERSE_AGG) for one
+/// PE; called from the Machine constructor.
+void CstInitPe(PeState& pe);
+
+/// True when a `size`-byte message to `dest` would go through the
+/// aggregation layer (enabled, remote, within agg_max_msg).
+bool CstWouldAggregate(const PeState& pe, int dest, std::uint32_t size);
+
+/// Append `size` bytes of `msg` (a complete message image) into dest's
+/// frame as one logical send: stamps source/seq into the packed copy,
+/// fires the on_send hook, bumps msgs_sent/qd_created, may flush a full
+/// frame.  Returns false (no side effects) when the message is not
+/// eligible: layer disabled, self-send, or size > max_msg.  `waiter`, if
+/// non-null, gains one pending count resolved when the frame flushes.
+bool CstTrySmallSend(PeState& pe, int dest, const void* msg,
+                     std::uint32_t size, AsyncCompletion* waiter);
+
+/// Gather variant: reserve an entry for a `size`-byte message image in
+/// dest's frame and return the image area to write into (nullptr when not
+/// eligible, same rules as CstTrySmallSend).  The caller must fill all
+/// `size` bytes (header first) and then call CstCommitMsg; no flush can
+/// happen in between.
+void* CstReserveMsg(PeState& pe, int dest, std::uint32_t size);
+void CstCommitMsg(PeState& pe, int dest, void* image, std::uint32_t size,
+                  AsyncCompletion* waiter);
+
+/// Append a carrier image (broadcast wrapper) without logical accounting.
+bool CstTryAppendCarrier(PeState& pe, int dest, const void* image,
+                         std::uint32_t size, AsyncCompletion* waiter);
+
+/// Flush the open frame for `dest` (if any); returns frames flushed (0/1).
+int CstFlushDest(PeState& pe, int dest);
+
+/// Flush every open frame, in open order; returns frames flushed.
+int CstFlushAll(PeState& pe);
+
+bool CstHasAnyOpen(const PeState& pe);
+
+/// Deliver a received carrier: frames dispatch every packed message (tree
+/// wrappers packed inside are forwarded and opened), wrappers forward to
+/// the tree children and dispatch the inner.  Takes ownership.  Returns
+/// the number of logical messages dispatched (scatter-consumed entries are
+/// not counted, matching the flat path).
+int CstDeliverCarrier(PeState& pe, void* carrier);
+
+/// Like CstDeliverCarrier but the logical messages are placed onto
+/// pe.heldq (in order) instead of dispatched — for CmiGetMsg /
+/// CmiGetSpecificMsg.  Wrapper forwarding still happens immediately.
+void CstUnpackToHeld(PeState& pe, void* carrier);
+
+/// Release one view's reference on its frame (CmiFree's kMsgFlagInFrame
+/// path); frees the frame buffer when this was the last live view.  Safe
+/// from any thread.
+void CstFrameViewRelease(void* view);
+
+/// True when broadcasts go down the spanning tree (more than one PE, no
+/// latency model).  Independent of the aggregation toggle.
+bool CstUseTree(const PeState& pe);
+
+/// Spanning-tree broadcast of the `size`-byte message image `msg`
+/// (caller-owned, only read) to every other PE, with full logical
+/// accounting at the root; `include_self` adds a self-delivery.  With
+/// `defer`, small wrappers are appended into the children's aggregation
+/// frames and the returned completion (nullptr when everything went out
+/// immediately) resolves once those frames flush.
+AsyncCompletion* CstTreeCast(PeState& pe, const void* msg, std::uint32_t size,
+                             bool include_self, bool defer);
+
+/// Logical-message weight of a wire message for the sim's fault
+/// accounting: 1 for a plain message, the destination's subtree size for a
+/// broadcast wrapper, the sum of entry weights for a frame.
+std::uint64_t CstMessageWeight(const Machine& m, int dest_pe,
+                               const void* msg);
+
+/// Teardown: reclaim open frame buffers and resolve their waiters.
+void CstDrain(PeState& pe);
+
+}  // namespace converse::detail

@@ -28,7 +28,9 @@ struct GptrWire {
 
 struct Outstanding {
   void* lptr = nullptr;  // destination for get replies
-  bool* done = nullptr;  // completion flag owned by the CommHandle
+  // Completion record shared with the CommHandle (core/stream.h protocol:
+  // the reply completes it; whoever sees pending==0 && released frees it).
+  detail::AsyncCompletion* done = nullptr;
 };
 
 struct GptrState {
@@ -84,7 +86,7 @@ void Process(const void* msg) {
       if (wire->size > 0) {
         std::memcpy(it->second.lptr, wire + 1, wire->size);
       }
-      *it->second.done = true;
+      detail::CstCompleteOne(it->second.done);
       st.outstanding.erase(it);
       return;
     }
@@ -114,7 +116,7 @@ CommHandle Issue(WireKind kind, const GlobalPtr* gptr, void* lptr,
   GptrState& st = St();
   detail::PeState& pe = detail::CpvChecked();
 
-  bool* done = new bool(false);
+  auto* done = new detail::AsyncCompletion{1, false};
 
   // Local fast path: service the request without a network round trip, as
   // a real machine layer would for self-references.
@@ -125,7 +127,7 @@ CommHandle Issue(WireKind kind, const GlobalPtr* gptr, void* lptr,
     } else {
       std::memcpy(local, src, size);
     }
-    *done = true;
+    done->pending = 0;
     return CommHandle{done};
   }
 
@@ -143,9 +145,9 @@ CommHandle Issue(WireKind kind, const GlobalPtr* gptr, void* lptr,
 
 /// Wait for `done`, receiving only gptr traffic — serving remote requests
 /// and consuming replies, nothing else (SPM-safe).
-void WaitDone(const bool* done) {
+void WaitDone(const detail::AsyncCompletion* done) {
   GptrState& st = St();
-  while (!*done) {
+  while (done->pending != 0) {
     void* msg = CmiGetSpecificMsg(st.handler);
     Process(msg);
     // The buffer is MMI-owned; the next MMI receive reclaims it.
@@ -190,7 +192,7 @@ CommHandle CmiPut(const GlobalPtr* gptr, const void* lptr,
 
 void CmiWaitHandle(CommHandle handle) {
   if (handle.rec != nullptr) {
-    WaitDone(static_cast<const bool*>(handle.rec));
+    WaitDone(static_cast<const detail::AsyncCompletion*>(handle.rec));
   }
   CmiReleaseCommHandle(handle);
 }

@@ -37,6 +37,7 @@
 #include "converse/cth.h"
 #include "converse/machine.h"
 #include "converse/msg.h"
+#include "converse/stream.h"
 #include "converse/util/rng.h"
 #include "core/pe_state.h"
 
@@ -153,6 +154,23 @@ void SendBroadcast(Ctx& ctx, PerPe& me, int mype, int h_data) {
                              msg);
 }
 
+/// Aggregation stressor: a burst of small unicasts to one destination, the
+/// traffic shape the Cst layer batches into frames.  Stream accounting is
+/// identical to SendData, so every oracle applies unchanged.
+void SendBurst(Ctx& ctx, PerPe& me, int mype, int h_data) {
+  const int dest = static_cast<int>(me.rng.Below(
+      static_cast<std::uint64_t>(ctx.p.npes)));
+  const std::uint64_t burst = 4 + me.rng.Below(12);
+  for (std::uint64_t i = 0; i < burst; ++i) {
+    void* msg = MakeWire(h_data, kData, mype,
+                         me.next_uni[static_cast<std::size_t>(dest)]++, 0,
+                         me.rng.Below(96));
+    ++me.sent_net;
+    CmiSyncSendAndFree(static_cast<unsigned>(dest),
+                       static_cast<unsigned>(CmiMsgTotalSize(msg)), msg);
+  }
+}
+
 void SendImmediate(Ctx& ctx, PerPe& me, int mype, int h_imm) {
   const int dest = static_cast<int>(me.rng.Below(
       static_cast<std::uint64_t>(ctx.p.npes)));
@@ -226,7 +244,19 @@ void CmmOp(Ctx& ctx, PerPe& me) {
 /// One random action from handler/root/thread context.
 void RandomAction(Ctx& ctx, PerPe& me, int mype, int h_data, int h_imm,
                   int h_local, std::uint32_t ttl_budget) {
-  switch (me.rng.Below(10)) {
+  // Aggregated runs widen the draw by two actions (burst, explicit flush);
+  // non-aggregated runs keep the original Below(10) stream so existing
+  // seeds replay bit-for-bit.
+  const std::uint64_t pick = me.rng.Below(ctx.p.aggregate ? 12 : 10);
+  if (pick == 10) {
+    SendBurst(ctx, me, mype, h_data);
+    return;
+  }
+  if (pick == 11) {
+    CmiFlush();
+    return;
+  }
+  switch (pick) {
     case 0:
     case 1:
     case 2:
@@ -405,6 +435,9 @@ FuzzResult RunFuzzCase(const FuzzParams& params) {
   cfg.npes = params.npes;
   cfg.seed = params.seed;
   cfg.sim = &sim;
+  // Always explicit (never the -1 env default): a CONVERSE_AGG in the
+  // environment must not silently change what a seed replays.
+  cfg.aggregate_sends = params.aggregate ? 1 : 0;
   try {
     RunConverse(cfg, [&ctx](int pe, int) { PeEntry(ctx, pe); });
   } catch (const std::exception& e) {
@@ -490,6 +523,15 @@ FuzzParams Minimize(const FuzzParams& failing, int budget) {
         continue;
       }
     }
+    if (best.aggregate) {
+      FuzzParams t = best;
+      t.aggregate = false;
+      if (still_fails(t)) {
+        best = t;
+        improved = true;
+        continue;
+      }
+    }
     for (double SimFaults::*dim : {&SimFaults::drop, &SimFaults::dup,
                                    &SimFaults::delay, &SimFaults::reorder}) {
       if (best.faults.*dim == 0) continue;
@@ -523,6 +565,7 @@ std::string FormatReplay(const FuzzParams& params) {
   add_prob("--delay", params.faults.delay);
   add_prob("--reorder", params.faults.reorder);
   if (params.plant_reorder_bug) out += " --plant-bug";
+  if (params.aggregate) out += " --agg";
   return out;
 }
 

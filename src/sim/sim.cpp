@@ -11,6 +11,7 @@
 #include "converse/cmi.h"
 #include "converse/msg.h"
 #include "core/pe_state.h"
+#include "core/stream.h"
 
 namespace converse::detail {
 
@@ -230,6 +231,14 @@ void SimCoordinator::Send(PeState& src, int dest_pe, void* msg) {
             h->handler,
             (static_cast<std::uint64_t>(h->seq) << 32) | payload);
 
+  if ((h->flags & kMsgFlagFrame) != 0) {
+    CstFrameWire wire;
+    std::memcpy(&wire, static_cast<const char*>(msg) + sizeof(MsgHeader),
+                sizeof(wire));
+    ++agg_frames_;
+    agg_batched_ += wire.count;
+  }
+
   // Fault draws.  Each dimension draws only when enabled, so the schedule
   // stream is unperturbed by dimensions that are off.
   const SimFaults& f = cfg_.faults;
@@ -257,7 +266,10 @@ void SimCoordinator::Send(PeState& src, int dest_pe, void* msg) {
   }
 
   if (drop) {
-    ++dropped_;
+    // Dropping an aggregation frame or broadcast carrier loses every
+    // logical message it carries; weight the counter so conservation
+    // oracles balance (delivered == sent - dropped + duplicated).
+    dropped_ += CstMessageWeight(m_, dest_pe, msg);
     ++faults_injected_;
     HashEvent(Event::kDrop, static_cast<std::uint64_t>(dest_pe), h->handler,
               h->seq);
@@ -287,7 +299,7 @@ void SimCoordinator::Send(PeState& src, int dest_pe, void* msg) {
   if (dup) {
     clone = CloneMessage(msg);  // keeps handler/source/seq of the original
     check::OnSend(clone);
-    ++duplicated_;
+    duplicated_ += CstMessageWeight(m_, dest_pe, msg);  // weighted, see drop
     ++faults_injected_;
     HashEvent(Event::kDup, static_cast<std::uint64_t>(dest_pe), h->handler,
               h->seq);
@@ -339,6 +351,9 @@ void SimCoordinator::FillReport() {
   r.msgs_duplicated = duplicated_;
   r.msgs_delayed = delayed_;
   r.msgs_reordered = reordered_;
+  r.faults_injected = faults_injected_;
+  r.agg_frames = agg_frames_;
+  r.agg_msgs_batched = agg_batched_;
   r.final_virtual_us = NowUs();
   r.quiesced = quiesced_;
 }

@@ -159,10 +159,12 @@ class SimCoordinator {
   std::uint64_t hash_ = 1469598103934665603ull;  // FNV-1a offset basis
   std::uint64_t events_ = 0;
   std::uint64_t context_switches_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t duplicated_ = 0;
+  std::uint64_t dropped_ = 0;     // weighted: logical messages lost
+  std::uint64_t duplicated_ = 0;  // weighted: logical messages duplicated
   std::uint64_t delayed_ = 0;
   std::uint64_t reordered_ = 0;
+  std::uint64_t agg_frames_ = 0;   // aggregation frames seen on the wire
+  std::uint64_t agg_batched_ = 0;  // logical messages inside those frames
   bool quiesced_ = false;
 };
 

@@ -94,6 +94,22 @@ void OnIdleEnd(void* ud) {
   Record(st, TraceEventKind::kIdleEnd, 0, 0, 0);
 }
 
+void OnAggFlush(void* ud, int dest_pe, std::uint32_t msgs,
+                std::uint32_t bytes) {
+  auto& st = *static_cast<TraceState*>(ud);
+  ++st.summary.agg_frames;
+  st.summary.agg_batched += msgs;
+  Record(st, TraceEventKind::kAggFlush, msgs, bytes,
+         static_cast<std::uint16_t>(dest_pe));
+}
+
+void OnBcastForward(void* ud, int dest_pe, std::uint32_t size) {
+  auto& st = *static_cast<TraceState*>(ud);
+  (void)dest_pe;
+  (void)size;
+  ++st.summary.bcast_forwards;
+}
+
 int ModuleId() {
   static const int id = detail::RegisterModule(
       "trace",
@@ -106,6 +122,8 @@ int ModuleId() {
         st->hooks.on_enqueue = &OnEnqueue;
         st->hooks.on_idle_begin = &OnIdleBegin;
         st->hooks.on_idle_end = &OnIdleEnd;
+        st->hooks.on_agg_flush = &OnAggFlush;
+        st->hooks.on_bcast_forward = &OnBcastForward;
         detail::SetModuleState(module_id, st);
       },
       [](void* state) { delete static_cast<TraceState*>(state); });
@@ -125,6 +143,7 @@ const char* KindName(TraceEventKind k) {
     case TraceEventKind::kThreadCreate: return "THREAD_CREATE";
     case TraceEventKind::kObjectCreate: return "OBJECT_CREATE";
     case TraceEventKind::kUserEvent: return "USER_EVENT";
+    case TraceEventKind::kAggFlush: return "AGG_FLUSH";
   }
   return "?";
 }

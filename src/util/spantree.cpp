@@ -36,6 +36,23 @@ int SpanningTree::NumChildren(int pe) const {
   return (last < npes_ ? last : npes_ - 1) - first + 1;
 }
 
+int SpanningTree::SubtreeSize(int pe) const {
+  // The subtree below virtual rank r occupies one contiguous rank interval
+  // per level: [r, r], then [r*k+1, r*k+k], and so on; sum the clipped
+  // interval lengths level by level.
+  long a = ToRank(pe);
+  long b = a;
+  int size = 0;
+  const long k = branching_;
+  while (a < npes_) {
+    const long hi = b < npes_ - 1 ? b : npes_ - 1;
+    size += static_cast<int>(hi - a + 1);
+    a = a * k + 1;
+    b = b * k + k;
+  }
+  return size;
+}
+
 int SpanningTree::Depth(int pe) const {
   int d = 0;
   int r = ToRank(pe);

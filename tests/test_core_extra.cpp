@@ -79,7 +79,11 @@ TEST(CmiGetMsgPath, DeliverMsgsRespectsBudget) {
     }
     int got = 0;
     while (got < 2) got += CmiDeliverMsgs(2 - got);
-    EXPECT_EQ(handled.load(), 2);
+    // Aggregation frames deliver whole: the budget can overshoot by the
+    // tail of the final frame, never undershoot, and the return value
+    // always matches what the handlers saw.
+    EXPECT_GE(handled.load(), 2);
+    EXPECT_EQ(handled.load(), got);
     while (got < 6) got += CmiDeliverMsgs(-1);
     EXPECT_EQ(handled.load(), 6);
   });

@@ -80,6 +80,7 @@ TEST(Immediate, ProbeImmediatesFromLongRunningHandler) {
     if (pe == 0) {
       void* m = CmiMakeMessage(longrun, nullptr, 0);
       CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      CmiFlush();  // must reach PE1 before the immediate overtakes it
       // Let PE1 enter the long handler, then interrupt it.
       volatile double x = 1;
       for (int i = 0; i < 2000000; ++i) x = x * 1.0000001;

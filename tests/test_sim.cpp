@@ -83,7 +83,10 @@ TEST(Sim, FaultCapLimitsInjection) {
   p.faults.max_faults = 3;  // ...but the cap stops after three
   const sim::FuzzResult r = sim::RunFuzzCase(p);
   EXPECT_TRUE(r.ok) << r.failure;
-  EXPECT_EQ(r.report.msgs_dropped, 3u);
+  // The cap counts injection events; a dropped broadcast carrier loses its
+  // whole subtree of logical messages, so msgs_dropped can exceed the cap.
+  EXPECT_EQ(r.report.faults_injected, 3u);
+  EXPECT_GE(r.report.msgs_dropped, 3u);
 }
 
 TEST(Sim, PlantedOrderingBugIsCaughtAndShrunk) {

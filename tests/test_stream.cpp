@@ -1,0 +1,339 @@
+// Cst aggregation layer and spanning-tree broadcast pipeline tests
+// (converse/stream.h, src/core/stream.cpp).
+#include "test_helpers.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "converse/util/spantree.h"
+
+using namespace converse;
+
+namespace {
+
+MachineConfig AggConfig(int npes, int aggregate) {
+  MachineConfig cfg;
+  cfg.npes = npes;
+  cfg.aggregate_sends = aggregate;
+  return cfg;
+}
+
+struct SeqWire {
+  int seq;
+};
+
+}  // namespace
+
+TEST(Stream, SmallSendsRoundTripAndBatch) {
+  // A burst of small unicasts must arrive complete and in order, and the
+  // sender's counters must show that they traveled inside frames.
+  constexpr int kCount = 100;
+  std::atomic<int> received{0};
+  std::atomic<bool> order_ok{true};
+  std::atomic<std::uint64_t> frames{0}, batched{0};
+  RunConverse(AggConfig(2, 1), [&](int pe, int) {
+    int next = 0;
+    int h = CmiRegisterHandler([&](void* msg) {
+      SeqWire w;
+      std::memcpy(&w, CmiMsgPayload(msg), sizeof(w));
+      if (w.seq != next++) order_ok = false;
+      if (++received == kCount) ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      ASSERT_TRUE(CmiAggActive());
+      for (int i = 0; i < kCount; ++i) {
+        SeqWire w{i};
+        void* m = CmiMakeMessage(h, &w, sizeof(w));
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      }
+      CmiFlush();
+    }
+    CsdScheduler(-1);
+    if (pe == 0) {
+      const CmiStats s = CmiGetStats();
+      frames = s.agg_frames_sent;
+      batched = s.agg_msgs_batched;
+    }
+  });
+  EXPECT_EQ(received.load(), kCount);
+  EXPECT_TRUE(order_ok.load());
+  EXPECT_EQ(batched.load(), static_cast<std::uint64_t>(kCount));
+  // 100 messages at the default 32-per-frame cap: at least four frames,
+  // far fewer than one per message.
+  EXPECT_GE(frames.load(), 4u);
+  EXPECT_LT(frames.load(), static_cast<std::uint64_t>(kCount));
+}
+
+TEST(Stream, FifoPreservedAcrossSmallLargeInterleave) {
+  // Alternating aggregated (small) and bypass (large) messages to the same
+  // destination must still arrive in send order: a large send chokes the
+  // open frame out first.
+  constexpr int kPairs = 40;
+  std::atomic<int> received{0};
+  std::atomic<bool> order_ok{true};
+  RunConverse(AggConfig(2, 1), [&](int pe, int) {
+    int next = 0;
+    int h = CmiRegisterHandler([&](void* msg) {
+      SeqWire w;
+      std::memcpy(&w, CmiMsgPayload(msg), sizeof(w));
+      if (w.seq != next++) order_ok = false;
+      if (++received == 2 * kPairs) ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      char big[900];
+      std::memset(big, 0x5a, sizeof(big));
+      for (int i = 0; i < kPairs; ++i) {
+        SeqWire w{2 * i};
+        void* small = CmiMakeMessage(h, &w, sizeof(w));
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(small), small);
+        w.seq = 2 * i + 1;
+        std::memcpy(big, &w, sizeof(w));
+        void* large = CmiMakeMessage(h, big, sizeof(big));
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(large), large);
+      }
+      CmiFlush();
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(received.load(), 2 * kPairs);
+  EXPECT_TRUE(order_ok.load());
+}
+
+TEST(Stream, LargeMessagesBypassAggregation) {
+  std::atomic<int> received{0};
+  std::atomic<std::uint64_t> batched{1};
+  RunConverse(AggConfig(2, 1), [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void*) {
+      if (++received == 8) ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      char big[600];
+      std::memset(big, 0x33, sizeof(big));
+      for (int i = 0; i < 8; ++i) {
+        void* m = CmiMakeMessage(h, big, sizeof(big));
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      }
+    }
+    CsdScheduler(-1);
+    if (pe == 0) batched = CmiGetStats().agg_msgs_batched;
+  });
+  EXPECT_EQ(received.load(), 8);
+  EXPECT_EQ(batched.load(), 0u);
+}
+
+TEST(Stream, ExplicitFlushReportsOpenFrames) {
+  RunConverse(AggConfig(2, 1), [&](int pe, int) {
+    int h = CmiRegisterHandler([](void*) { ConverseBroadcastExit(); });
+    if (pe == 0) {
+      EXPECT_EQ(CmiFlush(), 0);  // nothing open yet
+      SeqWire w{7};
+      void* m = CmiMakeMessage(h, &w, sizeof(w));
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      EXPECT_EQ(CmiFlush(), 1);  // the open frame to PE1
+      EXPECT_EQ(CmiFlush(), 0);  // idempotent
+    }
+    CsdScheduler(-1);
+  });
+}
+
+TEST(Stream, IdleSchedulerFlushesWithoutExplicitFlush) {
+  // No CmiFlush anywhere: the frame must still go out when the sender's
+  // scheduler blocks idle (WaitForNet is a flush point).
+  std::atomic<int> received{0};
+  RunConverse(AggConfig(2, 1), [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void*) {
+      ++received;
+      ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      SeqWire w{1};
+      void* m = CmiMakeMessage(h, &w, sizeof(w));
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(Stream, AggregationDisabledByConfigZero) {
+  RunConverse(AggConfig(2, 0), [&](int pe, int) {
+    if (pe == 0) {
+      EXPECT_FALSE(CmiAggActive());
+      EXPECT_EQ(CmiFlush(), 0);
+    }
+  });
+}
+
+TEST(Stream, BroadcastUsesSpanningTree) {
+  // 8 PEs, branching 2: the root must perform exactly branching-factor
+  // wrapper sends; the whole tree performs npes-1 (one per edge).  The
+  // root's logical send count still reads as npes (broadcast-all).
+  constexpr int kNpes = 8;
+  std::vector<std::uint64_t> forwards(kNpes, 0);
+  std::atomic<std::uint64_t> root_sends{0};
+  std::atomic<int> received{0};
+  MachineConfig cfg = AggConfig(kNpes, 0);
+  cfg.spantree_branching = 2;
+  RunConverse(cfg, [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void*) { ++received; });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiSyncBroadcastAllAndFree(CmiMsgTotalSize(m), m);
+    }
+    // Exactly one logical delivery per PE — no exit broadcast, which would
+    // be a second tree broadcast and muddy the forward counters.
+    CsdScheduler(1);
+    const CmiStats s = CmiGetStats();
+    forwards[static_cast<std::size_t>(pe)] = s.bcast_forwards;
+    if (pe == 0) root_sends = s.msgs_sent;
+  });
+  EXPECT_EQ(received.load(), kNpes);
+  EXPECT_EQ(forwards[0], 2u);  // root sends only branching-factor copies
+  EXPECT_EQ(std::accumulate(forwards.begin(), forwards.end(), 0ull),
+            static_cast<std::uint64_t>(kNpes - 1));
+  EXPECT_EQ(root_sends.load(), static_cast<std::uint64_t>(kNpes));
+}
+
+TEST(Stream, AsyncBroadcastAllDefersUntilFlush) {
+  // Satellite regression: CmiAsyncBroadcastAll with aggregation on returns
+  // a genuinely deferred handle — incomplete until the carriers flush.
+  constexpr int kNpes = 4;
+  ctu::PerPeCounters hits(kNpes);
+  std::atomic<int> received{0};
+  std::atomic<bool> deferred{false}, completed{false};
+  RunConverse(AggConfig(kNpes, 1), [&](int pe, int np) {
+    int h = CmiRegisterHandler([&](void*) {
+      hits.Add(CmiMyPe());
+      if (++received == np) ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CommHandle ca = CmiAsyncBroadcastAll(CmiMsgTotalSize(m), m);
+      deferred = CmiAsyncMsgSent(ca) == 0;
+      CmiFlush();
+      completed = CmiAsyncMsgSent(ca) == 1;
+      CmiReleaseCommHandle(ca);
+      CmiFree(m);
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_TRUE(deferred.load());
+  EXPECT_TRUE(completed.load());
+  for (int i = 0; i < kNpes; ++i) EXPECT_EQ(hits.Get(i), 1);
+}
+
+namespace {
+
+/// Receive one CmiVectorSend result and hand its payload bytes back.
+std::vector<unsigned char> VectorRoundTrip(int aggregate) {
+  std::vector<unsigned char> got;
+  const unsigned char a[5] = {1, 2, 3, 4, 5};
+  const unsigned char b[3] = {9, 8, 7};
+  const unsigned char c[7] = {10, 20, 30, 40, 50, 60, 70};
+  RunConverse(AggConfig(2, aggregate), [&](int pe, int) {
+    int h = CmiRegisterHandler([&](void* msg) {
+      const auto* p = static_cast<const unsigned char*>(CmiMsgPayload(msg));
+      got.assign(p, p + CmiMsgPayloadSize(msg));
+      ConverseBroadcastExit();
+    });
+    if (pe == 0) {
+      const int sizes[3] = {5, 3, 7};
+      const void* const data[3] = {a, b, c};
+      CommHandle ch = CmiVectorSend(1, h, 3, sizes, data);
+      CmiReleaseCommHandle(ch);
+      CmiFlush();
+    }
+    CsdScheduler(-1);
+  });
+  return got;
+}
+
+}  // namespace
+
+TEST(Stream, VectorSendGathersIdenticalBytesBothModes) {
+  const std::vector<unsigned char> off = VectorRoundTrip(0);
+  const std::vector<unsigned char> on = VectorRoundTrip(1);
+  ASSERT_EQ(off.size(), 15u);
+  EXPECT_EQ(off, on);
+  const unsigned char want[15] = {1, 2,  3,  4,  5,  9,  8, 7,
+                                  10, 20, 30, 40, 50, 60, 70};
+  EXPECT_EQ(std::memcmp(off.data(), want, sizeof(want)), 0);
+}
+
+TEST(Stream, SubtreeSizeIsConsistentWithChildren) {
+  for (int npes : {1, 2, 5, 8, 13}) {
+    for (int branching : {2, 3, 4}) {
+      for (int root : {0, npes / 2}) {
+        util::SpanningTree t(npes, root, branching);
+        EXPECT_EQ(t.SubtreeSize(t.root()), npes);
+        for (int pe = 0; pe < npes; ++pe) {
+          int sum = 1;
+          for (int kid : t.Children(pe)) sum += t.SubtreeSize(kid);
+          EXPECT_EQ(t.SubtreeSize(pe), sum)
+              << "npes=" << npes << " b=" << branching << " pe=" << pe;
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamSim, TraceHashDeterministicWithAggregation) {
+  sim::FuzzParams p;
+  p.seed = 2026;
+  p.npes = 4;
+  p.actions = 32;
+  p.aggregate = true;
+  const sim::FuzzResult r1 = sim::RunFuzzCase(p);
+  const sim::FuzzResult r2 = sim::RunFuzzCase(p);
+  ASSERT_TRUE(r1.ok) << r1.failure;
+  ASSERT_TRUE(r2.ok) << r2.failure;
+  EXPECT_EQ(r1.report.trace_hash, r2.report.trace_hash);
+  EXPECT_GT(r1.report.agg_frames, 0u);
+  EXPECT_GE(r1.report.agg_msgs_batched, r1.report.agg_frames);
+}
+
+TEST(StreamSim, AggregationChangesTheSchedule) {
+  // Sanity that the aggregate toggle actually exercises a different wire
+  // pattern: same seed, agg on vs off, different trace hashes.
+  sim::FuzzParams p;
+  p.seed = 2026;
+  p.npes = 4;
+  p.actions = 32;
+  const sim::FuzzResult off = sim::RunFuzzCase(p);
+  p.aggregate = true;
+  const sim::FuzzResult on = sim::RunFuzzCase(p);
+  ASSERT_TRUE(off.ok) << off.failure;
+  ASSERT_TRUE(on.ok) << on.failure;
+  EXPECT_NE(off.report.trace_hash, on.report.trace_hash);
+  EXPECT_EQ(off.report.agg_frames, 0u);
+}
+
+TEST(StreamSim, FaultConservationSeesThroughFrames) {
+  // Drops and duplicates of whole frames must be accounted as their
+  // contained logical messages: the fuzz conservation oracle balances.
+  for (std::uint64_t seed : {3u, 11u, 27u, 58u}) {
+    sim::FuzzParams p;
+    p.seed = seed;
+    p.npes = 4;
+    p.actions = 40;
+    p.aggregate = true;
+    p.faults.drop = 0.08;
+    p.faults.dup = 0.08;
+    p.faults.delay = 0.1;
+    const sim::FuzzResult r = sim::RunFuzzCase(p);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.failure;
+  }
+}
+
+TEST(StreamSim, AggregatedBurstsWithDropsStayConserved) {
+  for (std::uint64_t seed : {5u, 21u}) {
+    sim::FuzzParams p;
+    p.seed = seed;
+    p.npes = 3;
+    p.actions = 48;
+    p.aggregate = true;
+    p.faults.drop = 0.15;
+    const sim::FuzzResult r = sim::RunFuzzCase(p);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.failure;
+  }
+}

@@ -192,7 +192,9 @@ TEST(Stress, RemoteFreeReturnRingsUnderEightPeAllToAll) {
   constexpr long kTotal =
       static_cast<long>(kNpes) * (kNpes - 1) * kPerDest;
   std::atomic<long> received{0};
+  std::atomic<bool> aggregated{false};
   RunConverse(kNpes, [&](int pe, int np) {
+    if (pe == 0) aggregated = CmiAggActive();
     int h = CmiRegisterHandler([&](void*) {
       if (++received == kTotal) ConverseBroadcastExit();
     });
@@ -209,6 +211,12 @@ TEST(Stress, RemoteFreeReturnRingsUnderEightPeAllToAll) {
   EXPECT_EQ(received.load(), kTotal);
   const CmiMemoryStats after = CmiGetMemoryStats();
   if (!after.pool_enabled) GTEST_SKIP() << "message pool disabled";
+  if (aggregated.load()) {
+    // Aggregated runs materialize (and free) the small messages on the
+    // receiver; only frame buffers cross threads, so the per-message
+    // remote-free invariant does not apply.
+    GTEST_SKIP() << "aggregation on: inners are receiver-local";
+  }
   // Every cross-PE message was freed on a thread that does not own it.
   EXPECT_GE(after.remote_frees - before.remote_frees,
             static_cast<std::uint64_t>(kTotal));

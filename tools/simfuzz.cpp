@@ -10,7 +10,7 @@
 //   simfuzz [--seed N] [--seeds COUNT] [--start N]
 //           [--pes N] [--actions N] [--threads N]
 //           [--drop P] [--dup P] [--delay P] [--reorder P]
-//           [--plant-bug] [--trace-hash] [--quiet]
+//           [--agg] [--plant-bug] [--trace-hash] [--quiet]
 //
 // With --seeds COUNT, seeds start..start+COUNT-1 are run and the first
 // failure stops the sweep.  Otherwise a single seed is run: --seed, else
@@ -31,8 +31,8 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--seed N] [--seeds COUNT] [--start N] [--pes N]\n"
       "          [--actions N] [--threads N] [--drop P] [--dup P]\n"
-      "          [--delay P] [--reorder P] [--plant-bug] [--trace-hash]\n"
-      "          [--quiet]\n",
+      "          [--delay P] [--reorder P] [--agg] [--plant-bug]\n"
+      "          [--trace-hash] [--quiet]\n",
       argv0);
 }
 
@@ -48,7 +48,7 @@ bool RunOne(const converse::sim::FuzzParams& params, bool trace_hash,
       std::printf(
           "seed %llu: ok (%llu events, %llu switches, virtual time %.0f us, "
           "faults: %llu dropped, %llu duplicated, %llu delayed, "
-          "%llu reordered)\n",
+          "%llu reordered, agg: %llu frames / %llu batched)\n",
           static_cast<unsigned long long>(params.seed),
           static_cast<unsigned long long>(res.report.events),
           static_cast<unsigned long long>(res.report.context_switches),
@@ -56,7 +56,9 @@ bool RunOne(const converse::sim::FuzzParams& params, bool trace_hash,
           static_cast<unsigned long long>(res.report.msgs_dropped),
           static_cast<unsigned long long>(res.report.msgs_duplicated),
           static_cast<unsigned long long>(res.report.msgs_delayed),
-          static_cast<unsigned long long>(res.report.msgs_reordered));
+          static_cast<unsigned long long>(res.report.msgs_reordered),
+          static_cast<unsigned long long>(res.report.agg_frames),
+          static_cast<unsigned long long>(res.report.agg_msgs_batched));
     }
     return true;
   }
@@ -118,6 +120,8 @@ int main(int argc, char** argv) {
       params.faults.delay = std::atof(next());
     } else if (arg == "--reorder") {
       params.faults.reorder = std::atof(next());
+    } else if (arg == "--agg") {
+      params.aggregate = true;
     } else if (arg == "--plant-bug") {
       params.plant_reorder_bug = true;
     } else if (arg == "--trace-hash") {
