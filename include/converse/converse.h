@@ -26,6 +26,7 @@
 #include "converse/netmodel.h"
 #include "converse/pgrp.h"
 #include "converse/queueing.h"
+#include "converse/race.h"
 #include "converse/sim.h"
 #include "converse/stream.h"
 #include "converse/trace.h"

@@ -94,6 +94,13 @@ void* CmiAlloc(std::size_t nbytes);
 /// Free a message previously obtained from CmiAlloc / CmiGrabBuffer.
 void CmiFree(void* msg);
 
+/// Initialize the header of a caller-managed `nbytes` buffer in place so it
+/// can be sent like a CmiAlloc'd message: invalid handler (CmiSetHandler is
+/// still required before sending), FIFO queueing, no flags, live magic.
+/// The buffer must be at least CmiMsgHeaderSizeBytes() and aligned like
+/// MsgHeader (16 bytes).  Converse never frees such a buffer's storage.
+void CmiInitMsgHeader(void* msg, std::size_t nbytes);
+
 /// Pointer to the payload area (first byte after the header).
 inline void* CmiMsgPayload(void* msg) {
   return static_cast<char*>(msg) + sizeof(detail::MsgHeader);

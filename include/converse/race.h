@@ -1,0 +1,216 @@
+// CciRace — happens-before race detection for message-driven programs.
+//
+// TSan sees *physical* races: two threads touching one word without
+// synchronization.  In a message-driven program the dangerous races are
+// *logical*: two handlers that are unordered under the message
+// happens-before relation touch the same buffer or Cpv/Csv state, even
+// though this particular run happened to serialize them on one thread (or
+// one sim baton).  CciRace detects exactly that class.
+//
+// Model (docs/ANALYSIS.md has the full story):
+//  * Every handler dispatch opens a *context*; contexts carry ancestor
+//    sets (which earlier contexts happen-before this one).  Edges are
+//    added at send / local-enqueue / handler-dispatch / spanning-tree
+//    broadcast / aggregation-frame boundaries — a frame carries the joined
+//    clock of its appenders once per carrier.
+//  * Message payloads registered by CmiAlloc, plus Cpv/Csv cells declared
+//    with the macros below, get shadow metadata.  Accesses are recorded at
+//    explicit annotation points (CmiRaceNoteRead/Write and the CpvAccess /
+//    CsvAccess macros); two conflicting accesses from contexts unordered
+//    by happens-before produce a candidate report with both provenance
+//    chains.
+//  * Sim-replay confirmation: CciRaceAnalyze re-executes the same seed
+//    with the two deliveries' order flipped and diffs the runs'
+//    order-insensitive outcome digests, classifying each candidate as
+//    confirmed-divergent, benign-commutative, or unreplayable.
+//
+// The detector is layered on the deterministic sim backend
+// (converse/sim.h) and is inert in normal threaded execution.  Like
+// CciCheck, everything here compiles to zero bytes on hot paths unless the
+// library was built with -DCONVERSE_RACE=ON (CONVERSE_RACE_ENABLED).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "converse/machine.h"
+
+namespace converse {
+
+/// Rule taxonomy.  Every report names exactly one rule.
+enum class CciRaceRule : int {
+  /// Conflicting unordered accesses to a CmiAlloc'd message payload
+  /// (including aggregation-frame views).
+  kPayloadRace = 0,
+  /// Conflicting unordered accesses to a CpvDeclare'd (per-PE private)
+  /// variable — necessarily two handlers of the same PE.
+  kCpvRace,
+  /// Conflicting unordered accesses to a CsvDeclare'd (node-shared)
+  /// variable or a CciRaceRegisterNamed cell.
+  kCsvRace,
+  /// Conflicting unordered accesses to annotated memory outside any
+  /// registered range.
+  kMemoryRace,
+};
+
+const char* CciRaceRuleName(CciRaceRule rule);
+
+/// What sim-replay confirmation concluded about a candidate pair.
+enum class CciRaceClass : int {
+  kUnconfirmed = 0,     ///< replay not attempted (confirm off / budget)
+  kConfirmedDivergent,  ///< flipping the deliveries changed the outcome
+  kBenignCommutative,   ///< flipped run produced the identical outcome
+  kUnreplayable,        ///< the pair's order could not be flipped
+};
+
+const char* CciRaceClassName(CciRaceClass c);
+
+/// True when the library was built with the detector compiled in.
+constexpr bool CciRaceEnabled() {
+#if CONVERSE_RACE_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// One side of a racy pair.
+struct CciRaceAccess {
+  int pe = -1;
+  bool is_write = false;
+  /// Message provenance chain, innermost context first:
+  /// "h5@pe1(msg pe0#12) <- h2@pe0(msg pe1#3) <- entry@pe1".
+  std::string chain;
+  /// Wire identity of the delivery that ran this context (replay handle);
+  /// wire_src < 0 means the context was not a replayable wire delivery.
+  int wire_src = -1;
+  std::uint32_t wire_seq = 0;
+  /// Global delivery-order stamp within the run (smaller = earlier).
+  std::uint64_t order = 0;
+};
+
+/// A candidate (or confirmed) logical race.
+struct CciRaceReport {
+  CciRaceRule rule{};
+  CciRaceClass classification = CciRaceClass::kUnconfirmed;
+  std::uintptr_t address = 0;
+  std::string object;      ///< "Cpv counter", "message payload", ...
+  CciRaceAccess first;     ///< the access whose delivery came first
+  CciRaceAccess second;
+  bool replayable = false; ///< both sides are flippable wire deliveries
+  std::string line;        ///< the formatted one-line report
+};
+
+/// Monotonic process-wide counters (handy for zero-cost pin tests).  When
+/// the detector is compiled out, `tracked_cells` is -1 and everything else
+/// is 0 — the counters are inert, not merely zero.
+struct CciRaceCounters {
+  long long tracked_cells = -1;  ///< currently registered ranges/cells
+  long long accesses = 0;        ///< annotation events recorded
+  long long candidates = 0;      ///< racy pairs detected
+  long long confirmed = 0;       ///< pairs classified confirmed-divergent
+};
+
+CciRaceCounters CciRaceGetCounters();
+
+/// Drain the reports published by machines that have since been torn down.
+/// Ownership moves to the caller; a second call returns an empty vector.
+std::vector<CciRaceReport> CciRaceTakeReports();
+
+/// Knobs for CciRaceAnalyze.
+struct CciRaceOptions {
+  /// Run the sim-replay confirmation pass over the candidates.
+  bool confirm = true;
+  /// Cap on re-executions; candidates beyond it stay kUnconfirmed.
+  int max_replays = 16;
+  /// Called before *every* machine run (the baseline and each replay) so
+  /// the entry closure's captured state can be re-initialized.
+  std::function<void()> reset;
+};
+
+/// Run `entry` under the sim backend described by cfg (cfg.sim must be
+/// set; fault injection is forced off so runs are comparable), collect
+/// candidate races, then — unless opts.confirm is off — re-execute the
+/// same seed once per replayable candidate with that pair's delivery
+/// order flipped and classify it by comparing outcome digests.  With the
+/// detector compiled out the program runs once and the result is empty.
+std::vector<CciRaceReport> CciRaceAnalyze(
+    const MachineConfig& cfg, const std::function<void(int, int)>& entry,
+    const CciRaceOptions& opts = {});
+
+/// Abort (CciCheck-style `[CciRace] fatal: rule=...` on stderr) on the
+/// first confirmed-divergent report.  Benign/unreplayable pairs pass.
+void CciRaceEnforce(const std::vector<CciRaceReport>& reports);
+
+/// Register a named shared cell (outside the Cpv/Csv macros) so accesses
+/// to it report rule csv-race with `name` in the object description.
+/// No-op outside a sim-backed machine or with the detector compiled out.
+void CciRaceRegisterNamed(const void* p, std::size_t n, const char* name);
+
+namespace detail::race {
+#if CONVERSE_RACE_ENABLED
+void NoteAccess(const void* p, std::size_t n, bool is_write);
+void OnCpvInit(const void* p, std::size_t n, const char* name);
+void OnCsvInit(const void* p, std::size_t n, const char* name);
+#else
+inline void NoteAccess(const void*, std::size_t, bool) {}
+inline void OnCpvInit(const void*, std::size_t, const char*) {}
+inline void OnCsvInit(const void*, std::size_t, const char*) {}
+#endif
+}  // namespace detail::race
+
+/// Annotate an access to tracked memory (message payload, frame view, or
+/// a registered cell).  Inert unless the current thread is a PE of a
+/// sim-backed machine with the detector compiled in.
+inline void CmiRaceNoteRead(const void* p, std::size_t n) {
+  detail::race::NoteAccess(p, n, /*is_write=*/false);
+}
+inline void CmiRaceNoteWrite(const void* p, std::size_t n) {
+  detail::race::NoteAccess(p, n, /*is_write=*/true);
+}
+
+}  // namespace converse
+
+// ---------------------------------------------------------------------------
+// Cpv/Csv — processor- and node-private variable macros (paper §3.2).
+//
+// CpvDeclare(type, name) declares per-PE storage (one instance per PE
+// thread); CsvDeclare declares node-shared storage.  CpvInitialize /
+// CsvInitialize must run before first use (per PE for Cpv) and register
+// the cell with CciRace when the detector is live.  CpvAccess/CsvAccess
+// yield an lvalue; under CciRace each expansion records one conservative
+// *write* access (cheaper and stricter than separating reads).
+// ---------------------------------------------------------------------------
+#define CpvDeclare(type, name) thread_local type Cpv_var_##name {}
+#define CpvStaticDeclare(type, name) static thread_local type Cpv_var_##name {}
+#define CpvExtern(type, name) extern thread_local type Cpv_var_##name
+
+#define CpvInitialize(type, name)                                           \
+  do {                                                                      \
+    Cpv_var_##name = decltype(Cpv_var_##name){};                            \
+    ::converse::detail::race::OnCpvInit(                                    \
+        &Cpv_var_##name, sizeof(Cpv_var_##name), #name);                    \
+  } while (0)
+
+#define CpvAccess(name)                                                     \
+  (::converse::detail::race::NoteAccess(&Cpv_var_##name,                    \
+                                        sizeof(Cpv_var_##name), true),      \
+   Cpv_var_##name)
+
+#define CsvDeclare(type, name) type Csv_var_##name {}
+#define CsvStaticDeclare(type, name) static type Csv_var_##name {}
+#define CsvExtern(type, name) extern type Csv_var_##name
+
+// CsvInitialize registers only (no zeroing write: the cell is shared, and
+// re-zeroing from every PE would itself be the race we are hunting).
+#define CsvInitialize(type, name)                                           \
+  ::converse::detail::race::OnCsvInit(&Csv_var_##name,                      \
+                                      sizeof(Csv_var_##name), #name)
+
+#define CsvAccess(name)                                                     \
+  (::converse::detail::race::NoteAccess(&Csv_var_##name,                    \
+                                        sizeof(Csv_var_##name), true),      \
+   Csv_var_##name)

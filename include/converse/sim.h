@@ -63,6 +63,29 @@ struct SimReport {
   std::uint64_t agg_msgs_batched = 0; // messages that rode inside frames
   double final_virtual_us = 0.0;  // virtual clock at teardown
   bool quiesced = false;          // the quiescence exit fired at least once
+  /// Order-insensitive digest of the logical deliveries: a commutative
+  /// (wrapping) sum over one hash per delivery of (pe, handler, payload
+  /// size, payload CRC).  Header bytes are excluded so per-sender seq
+  /// reassignment under a flipped schedule does not pollute it.  Two runs
+  /// with equal outcome_hash performed the same multiset of deliveries —
+  /// the comparison CciRace's replay confirmation classifies by.
+  std::uint64_t outcome_hash = 0;
+  /// True when SimConfig::flip found and flipped its target pair.
+  bool flip_applied = false;
+};
+
+/// A delivery-order flip for CciRace replay confirmation: hold the wire
+/// message (hold_src, hold_seq) back at its send until the wire message
+/// (until_src, until_seq) has been delivered, then release it — the two
+/// deliveries' order is exactly inverted relative to the baseline run.
+/// If the until-delivery never happens, the held message is released at
+/// quiescence and the report's flip_applied stays false (unreplayable).
+struct SimFlip {
+  bool enabled = false;
+  int hold_src = -1;
+  std::uint32_t hold_seq = 0;
+  int until_src = -1;
+  std::uint32_t until_seq = 0;
 };
 
 /// Attach to MachineConfig::sim to run that machine deterministically.
@@ -88,6 +111,18 @@ struct SimConfig {
 
   /// Optional out-param, filled when the machine finishes.
   SimReport* report = nullptr;
+
+  /// Run the CciRace happens-before detector on this machine (only
+  /// meaningful when the library was built with CONVERSE_RACE_ENABLED;
+  /// see converse/race.h).
+  bool race_detect = true;
+
+  /// Suppress CciRace candidate printing (CciRaceAnalyze sets this for its
+  /// replay runs, which re-detect the baseline's candidates).
+  bool race_quiet = false;
+
+  /// Delivery-order flip for CciRace replay confirmation.
+  SimFlip flip;
 };
 
 namespace sim {
@@ -137,6 +172,43 @@ FuzzParams Minimize(const FuzzParams& failing, int budget = 64);
 /// One-line replay command for a parameter set, e.g.
 /// "CONVERSE_SIM_SEED=7 tools/simfuzz --pes 3 --actions 12 --plant-bug".
 std::string FormatReplay(const FuzzParams& params);
+
+/// Parameters of one CciRace fuzz run (simfuzz --race): seeded token
+/// chains hop between PEs writing per-chain registered cells (causally
+/// ordered, so a sound detector must stay silent), optionally with a
+/// planted unordered pair on a shared cell.
+struct RaceFuzzParams {
+  std::uint64_t seed = 1;
+  int npes = 4;
+  int chains = 5;  // independent causal chains (never racy)
+  int hops = 6;    // cross-PE hops per chain
+  /// 0 = no plant; 1 = divergent pair (order-sensitive updates echoed to
+  /// the root — must classify confirmed-divergent); 2 = benign pair
+  /// (commutative increments — must classify benign-commutative).
+  int plant = 0;
+};
+
+struct RaceFuzzResult {
+  bool ok = false;
+  std::string failure;  // first violated expectation (empty when ok)
+  int candidates = 0;
+  int divergent = 0;
+  int benign = 0;
+  int unreplayable = 0;
+};
+
+/// True when the library was built with the race detector compiled in;
+/// RunRaceFuzzCase fails fast otherwise.
+bool RaceFuzzAvailable();
+
+/// Run one race-detection fuzz case through CciRaceAnalyze and check the
+/// expectations for its plant mode: no plant -> zero candidates; plant 1
+/// -> at least one confirmed-divergent; plant 2 -> at least one
+/// benign-commutative and zero divergent.
+RaceFuzzResult RunRaceFuzzCase(const RaceFuzzParams& params);
+
+/// One-line replay command, e.g. "tools/simfuzz --race --seed 7 --pes 4".
+std::string FormatRaceReplay(const RaceFuzzParams& params);
 
 }  // namespace sim
 }  // namespace converse

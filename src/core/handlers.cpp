@@ -5,6 +5,7 @@
 #include "converse/check.h"
 #include "converse/util/timer.h"
 #include "core/pe_state.h"
+#include "race/race_internal.h"
 
 namespace converse {
 
@@ -58,6 +59,7 @@ void DispatchMessage(void* msg, bool system_owned) {
     begin_us = util::NowUs();
   }
   ++pe.qd_processed;
+  race::OnDispatchBegin(pe, msg, system_owned);
 
   if (system_owned) {
     pe.sysbuf_stack.push_back(SysBuf{msg, false});
@@ -65,6 +67,7 @@ void DispatchMessage(void* msg, bool system_owned) {
     fn(msg);
     assert(pe.sysbuf_stack.size() == depth &&
            "handler unbalanced the system buffer stack");
+    race::OnDispatchEnd(pe);  // before the dispatcher reclaims the buffer
     const SysBuf sb = pe.sysbuf_stack.back();
     pe.sysbuf_stack.pop_back();
     if (!sb.grabbed) {
@@ -74,6 +77,7 @@ void DispatchMessage(void* msg, bool system_owned) {
   } else {
     // Scheduler-queue delivery: the handler owns the message.
     fn(msg);
+    race::OnDispatchEnd(pe);
   }
 
   if (hooks != nullptr && hooks->on_dispatch_end != nullptr) {

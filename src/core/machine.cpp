@@ -11,6 +11,7 @@
 #include "converse/util/timer.h"
 #include "core/msg_pool.h"
 #include "core/pe_state.h"
+#include "race/race_internal.h"
 #include "sim/sim_internal.h"
 
 namespace converse {
@@ -257,6 +258,7 @@ void SendOwnedFrom(PeState& pe, int dest_pe, void* msg) {
     ++pe.stats.msgs_sent;
     ++pe.qd_created;
   }
+  race::OnSend(pe, dest_pe, msg);
 
   if (SimCoordinator* sim = m.sim()) {
     // The simulator owns the whole delivery decision: fault injection,
@@ -301,6 +303,7 @@ void SendOwnedImmediate(int dest_pe, void* msg) {
   }
   ++pe.stats.msgs_sent;
   ++pe.qd_created;
+  race::OnSend(pe, dest_pe, msg);
   // Immediate messages bypass the sim's fault injector and latency model by
   // design — they are the reliable out-of-band control plane — but they are
   // still part of the deterministic trace.
@@ -357,6 +360,7 @@ int DeliverAvailable(PeState& pe, int budget) {
       delivered += CstDeliverCarrier(pe, msg);
     } else {
       ++pe.stats.msgs_delivered;
+      race::OnWireDeliver(pe, msg, /*was_bcast=*/false);
       if (sim != nullptr) sim->RecordDeliver(pe, msg);
       DispatchMessage(msg, /*system_owned=*/true);
       ++delivered;
@@ -500,18 +504,21 @@ Machine::Machine(const MachineConfig& config)
     config_.sim = &sim_config_;  // caller's SimConfig need not outlive us
     sim_ = std::make_unique<SimCoordinator>(*this, sim_config_);
   }
+  race::MachineCreate(*this);
 }
 
 Machine::~Machine() {
   if (sim_ != nullptr) {
-    // A message the fault injector still holds back (possible only after an
-    // abort) is machine-owned like everything else at teardown.
-    if (void* held = sim_->TakeHeldMessage()) {
+    // Messages the fault injector or the flip mechanism still holds back
+    // (possible only after an abort) are machine-owned like everything else
+    // at teardown.
+    while (void* held = sim_->TakeHeldMessage()) {
       detail::check::OnReclaim(held);
       CmiFree(held);
     }
     sim_->FillReport();
   }
+  race::MachineDestroy(*this);
   for (auto& pe : pes_) DrainQueues(*pe);
 }
 
@@ -755,15 +762,15 @@ CommHandle CmiVectorSend(int dest_pe, int handler_id, int len,
                          const int sizes[], const void* const data_array[]) {
   std::size_t payload = 0;
   for (int i = 0; i < len; ++i) payload += static_cast<std::size_t>(sizes[i]);
-  const std::size_t total = sizeof(detail::MsgHeader) + payload;
+  const std::size_t total_bytes = sizeof(detail::MsgHeader) + payload;
   detail::PeState& pe = detail::CpvChecked();
   if (void* image = detail::CstReserveMsg(
-          pe, dest_pe, static_cast<std::uint32_t>(total))) {
+          pe, dest_pe, static_cast<std::uint32_t>(total_bytes))) {
     // Gather the pieces straight into the reserved frame entry — no
     // intermediate message buffer at all.
     detail::MsgHeader h{};
     h.handler = static_cast<std::uint32_t>(handler_id);
-    h.total_size = static_cast<std::uint32_t>(total);
+    h.total_size = static_cast<std::uint32_t>(total_bytes);
     h.queueing = static_cast<std::uint8_t>(Queueing::kFifo);
     h.magic = detail::kMsgMagicAlive;
     std::memcpy(image, &h, sizeof(h));
@@ -773,10 +780,10 @@ CommHandle CmiVectorSend(int dest_pe, int handler_id, int len,
       out += sizes[i];
     }
     detail::CstCommitMsg(pe, dest_pe, image,
-                         static_cast<std::uint32_t>(total), nullptr);
+                         static_cast<std::uint32_t>(total_bytes), nullptr);
     return CommHandle{nullptr};
   }
-  void* msg = CmiAlloc(total);
+  void* msg = CmiAlloc(total_bytes);
   CmiSetHandler(msg, handler_id);
   char* out = static_cast<char*>(CmiMsgPayload(msg));
   for (int i = 0; i < len; ++i) {
@@ -810,6 +817,7 @@ void* CmiGetMsg() {
   }
   if (msg != nullptr) {
     detail::check::OnMmiReturn(msg);
+    detail::race::OnMmiReturn(pe, msg);
     pe.pending_mmi = msg;
     pe.pending_mmi_grabbed = false;
   }
@@ -818,7 +826,10 @@ void* CmiGetMsg() {
 
 int CmiDeliverMsgs(int max_msgs) {
   detail::PeState& pe = detail::CpvChecked();
-  return detail::DeliverAvailable(pe, max_msgs);
+  const int n = detail::DeliverAvailable(pe, max_msgs);
+  // The caller resumes having observed every handler the loop ran.
+  detail::race::OnSchedulerReturn(pe);
+  return n;
 }
 
 void* CmiGetSpecificMsg(int handler_id) {
@@ -855,6 +866,7 @@ void* CmiGetSpecificMsg(int handler_id) {
     }
   }
   detail::check::OnMmiReturn(msg);
+  detail::race::OnMmiReturn(pe, msg);
   pe.pending_mmi = msg;
   pe.pending_mmi_grabbed = false;
   return msg;
@@ -982,6 +994,8 @@ int CmiProbeImmediates() {
     void* msg = detail::LanePop(pe, pe.immlane, pe.imm_batchq);
     if (msg == nullptr) break;
     ++pe.stats.msgs_delivered;
+    detail::race::OnWireDeliver(pe, msg, /*was_bcast=*/false,
+                                /*immediate=*/true);
     if (sim != nullptr) sim->RecordDeliver(pe, msg);
     detail::DispatchMessage(msg, /*system_owned=*/true);
     ++delivered;

@@ -9,6 +9,7 @@
 #include "converse/handlers.h"
 #include "core/msg_pool.h"
 #include "core/stream.h"
+#include "race/race_internal.h"
 
 namespace converse {
 
@@ -29,12 +30,14 @@ void* CmiAlloc(std::size_t nbytes) {
   h->seq = 0;
   h->reserved = 0;
   detail::check::OnAlloc(msg, nbytes);
+  detail::race::OnAllocMsg(msg, nbytes);
   return msg;
 }
 
 void CmiFree(void* msg) {
   if (msg == nullptr) return;
   detail::check::OnFree(msg);
+  detail::race::OnFreeMsg(msg);
   auto* h = detail::Header(msg);
   assert(h->magic == detail::kMsgMagicAlive && "CmiFree: not a live message");
   h->magic = detail::kMsgMagicFreed;
@@ -45,6 +48,25 @@ void CmiFree(void* msg) {
     return;
   }
   detail::MsgPoolFree(msg);
+}
+
+void CmiInitMsgHeader(void* msg, std::size_t nbytes) {
+  assert(msg != nullptr);
+  assert(nbytes >= sizeof(detail::MsgHeader) &&
+         "CmiInitMsgHeader size must include CmiMsgHeaderSizeBytes()");
+  assert(reinterpret_cast<std::uintptr_t>(msg) % alignof(detail::MsgHeader) ==
+             0 &&
+         "CmiInitMsgHeader buffer must be MsgHeader-aligned");
+  auto* h = detail::Header(msg);
+  h->handler = 0xffffffffu;  // invalid until CmiSetHandler
+  h->total_size = static_cast<std::uint32_t>(nbytes);
+  h->int_prio = 0;
+  h->source_pe = 0;
+  h->queueing = static_cast<std::uint8_t>(Queueing::kFifo);
+  h->flags = static_cast<std::uint8_t>(detail::kMsgFlagNone);
+  h->magic = detail::kMsgMagicAlive;
+  h->seq = 0;
+  h->reserved = 0;
 }
 
 void* CmiMakeMessage(int handler, const void* payload,

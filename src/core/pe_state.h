@@ -32,6 +32,11 @@ class Machine;
 class MsgPool;
 class SimCoordinator;
 
+namespace race {
+class RaceDetector;   // src/race/race.cpp (CciRace, sim-only)
+struct RacePeState;
+}  // namespace race
+
 /// A message sitting in a PE's timed (net-model) in-queue.
 struct NetEntry {
   void* msg;
@@ -154,6 +159,10 @@ struct PeState {
   const CoreHooks* hooks = nullptr;
   CstPeState agg;  // small-message aggregation state (core/stream.h)
 
+  // CciRace per-PE state; non-null only under a sim-backed machine with
+  // the detector compiled in.  Every race hook is gated on this pointer.
+  race::RacePeState* race = nullptr;
+
   // Quiescence-relevant counters (read by the charm runtime).
   std::uint64_t qd_created = 0;    // messages sent or enqueued
   std::uint64_t qd_processed = 0;  // messages dispatched
@@ -186,6 +195,12 @@ class Machine {
 
   /// The deterministic-simulation coordinator (nullptr in normal mode).
   SimCoordinator* sim() const { return sim_.get(); }
+  /// The machine's copy of the sim config (meaningful only when sim()).
+  const SimConfig& sim_config() const { return sim_config_; }
+  /// The CciRace detector (nullptr unless sim-backed and compiled in).
+  race::RaceDetector* race_detector() const { return race_detector_; }
+  /// Internal: the CciRace wiring in race.cpp owns this slot.
+  race::RaceDetector*& race_detector_slot() { return race_detector_; }
   /// True when delivery goes through the timed priority queue (a net model
   /// is set, or the sim backend routes everything through virtual time).
   bool uses_timedq() const { return config_.model != nullptr || sim_ != nullptr; }
@@ -206,6 +221,7 @@ class Machine {
   NetModel model_;  // copy of *config.model (valid even if caller's dies)
   SimConfig sim_config_;  // copy of *config.sim (same lifetime rule)
   std::unique_ptr<SimCoordinator> sim_;
+  race::RaceDetector* race_detector_ = nullptr;  // owned; see race.cpp
   util::SpanningTree tree_;
   std::vector<std::unique_ptr<PeState>> pes_;
   std::int64_t start_ns_ = 0;

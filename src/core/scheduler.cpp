@@ -11,6 +11,7 @@
 
 #include "converse/check.h"
 #include "core/pe_state.h"
+#include "race/race_internal.h"
 
 namespace converse {
 namespace {
@@ -21,6 +22,7 @@ using detail::PeState;
 void NoteEnqueue(PeState& pe, void* msg) {
   ++pe.stats.msgs_enqueued;
   ++pe.qd_created;
+  detail::race::OnLocalEnqueue(pe, msg);
   if (pe.hooks != nullptr && pe.hooks->on_enqueue != nullptr) {
     pe.hooks->on_enqueue(pe.hooks->ud, detail::Header(msg));
   }
@@ -76,6 +78,7 @@ void CsdScheduler(int number_of_messages) {
     // machine layer has something for us.
     detail::WaitForNet(pe);
   }
+  detail::race::OnSchedulerReturn(pe);
   --pe.sched_depth;
 }
 
@@ -103,6 +106,7 @@ int CsdScheduleUntilIdle() {
       break;
     }
   }
+  detail::race::OnSchedulerReturn(pe);
   --pe.sched_depth;
   return delivered;
 }
@@ -132,6 +136,7 @@ int CsdSchedulePoll(int n) {
     if (detail::CstFlushAll(pe) > 0) continue;
     break;  // nothing available and we never block
   }
+  detail::race::OnSchedulerReturn(pe);
   --pe.sched_depth;
   return delivered;
 }

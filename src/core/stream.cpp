@@ -13,6 +13,7 @@
 #include "converse/util/spantree.h"
 #include "core/msg_pool.h"
 #include "core/pe_state.h"
+#include "race/race_internal.h"
 #include "sim/sim_internal.h"
 
 namespace converse::detail {
@@ -221,11 +222,13 @@ void* OpenBcast(PeState& pe, void* wrapper) {
 /// rode inside a frame first.  Returns 1, or 0 when a scatter registration
 /// consumed the message (matching the flat PopNet path).
 int DeliverOne(PeState& pe, void* msg) {
-  if ((Header(msg)->flags & kMsgFlagBcast) != 0) {
+  const bool was_bcast = (Header(msg)->flags & kMsgFlagBcast) != 0;
+  if (was_bcast) {
     msg = OpenBcast(pe, msg);
   }
   if (TryScatter(pe, msg)) return 0;
   ++pe.stats.msgs_delivered;
+  race::OnWireDeliver(pe, msg, was_bcast);
   SimCoordinator* sim = pe.machine->sim();
   if (sim != nullptr) sim->RecordDeliver(pe, msg);
   DispatchMessage(msg, /*system_owned=*/true);
@@ -306,6 +309,7 @@ void CstCommitMsg(PeState& pe, int dest, void* image, std::uint32_t size,
   }
   ++pe.stats.msgs_sent;
   ++pe.qd_created;
+  race::OnFrameAppend(pe, dest, image);
   CommitRaw(pe, dest, size, waiter);
 }
 
@@ -323,6 +327,9 @@ bool CstTryAppendCarrier(PeState& pe, int dest, const void* image,
   void* spot = CstReserveMsg(pe, dest, size);
   if (spot == nullptr) return false;
   std::memcpy(spot, image, size);
+  // The carrier wrapper keeps its own (broadcast) identity; the append
+  // still joins the sender's clock into the frame's carried clock.
+  race::OnFrameAppend(pe, dest, nullptr);
   CommitRaw(pe, dest, size, waiter);
   return true;
 }
@@ -388,6 +395,7 @@ AsyncCompletion* CstTreeCast(PeState& pe, const void* msg, std::uint32_t size,
                              bool include_self, bool defer) {
   assert(size >= sizeof(MsgHeader));
   const std::uint32_t seq = static_cast<std::uint32_t>(pe.send_seq++);
+  race::OnBcastRoot(pe, seq);
   // Logical accounting up front: the root sends one message to every other
   // PE, whatever the physical fan-out below turns out to be.
   const int remote = pe.npes - 1;

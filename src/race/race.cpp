@@ -1,0 +1,803 @@
+// CciRace implementation — see include/converse/race.h for the contract
+// and docs/ANALYSIS.md for the model.
+//
+// Happens-before is tracked per *context* (one handler dispatch, one entry
+// spine, or one post-send epoch of either), not per PE: in a message-driven
+// program two handlers on the same PE are unordered unless a message chain
+// connects them, so per-PE scalar clocks would invent edges that do not
+// exist.  Each context carries an ancestor bitset (`AncSet`) over context
+// ids; HB(a, b) iff b's set contains a's id.  Outgoing edges (send, frame
+// append, local enqueue, broadcast root) snapshot the sender's set for the
+// receiver to join — and *split* the sender's epoch with a fresh id, so
+// work the sender does after the send is not falsely ordered before the
+// receiver.  Incoming edges (dispatch, MMI return, scheduler-loop return)
+// join sets.
+//
+// The detector exists only under the deterministic sim backend: the baton
+// serializes execution, so one mutex around the detector state is cheap,
+// and the sim gives replay its determinism.  Everything except the cold
+// report sinks is compiled only under CONVERSE_RACE_ENABLED.
+#include "converse/race.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "converse/msg.h"
+#include "converse/sim.h"
+
+#if CONVERSE_RACE_ENABLED
+#include <cassert>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/pe_state.h"
+#include "race/race_internal.h"
+#endif
+
+namespace converse {
+
+const char* CciRaceRuleName(CciRaceRule rule) {
+  switch (rule) {
+    case CciRaceRule::kPayloadRace: return "payload-race";
+    case CciRaceRule::kCpvRace: return "cpv-race";
+    case CciRaceRule::kCsvRace: return "csv-race";
+    case CciRaceRule::kMemoryRace: return "memory-race";
+  }
+  return "unknown";
+}
+
+const char* CciRaceClassName(CciRaceClass c) {
+  switch (c) {
+    case CciRaceClass::kUnconfirmed: return "unconfirmed";
+    case CciRaceClass::kConfirmedDivergent: return "confirmed-divergent";
+    case CciRaceClass::kBenignCommutative: return "benign-commutative";
+    case CciRaceClass::kUnreplayable: return "unreplayable";
+  }
+  return "unknown";
+}
+
+namespace detail::race {
+namespace {
+
+// Process-wide counters.  Only ever written with the detector compiled in;
+// kept outside the #if so CciRaceGetCounters links in every build.
+std::atomic<long long> g_tracked{0};
+std::atomic<long long> g_accesses{0};
+std::atomic<long long> g_candidates{0};
+std::atomic<long long> g_confirmed{0};
+
+}  // namespace
+}  // namespace detail::race
+
+#if CONVERSE_RACE_ENABLED
+
+namespace detail::race {
+namespace {
+
+constexpr std::uint32_t kNoCtx = 0xffffffffu;
+
+/// Dynamic bitset over context ids.  Test beyond the stored prefix is
+/// false; Set grows on demand.
+struct AncSet {
+  std::vector<std::uint64_t> w;
+
+  void Set(std::uint32_t id) {
+    const std::size_t word = id >> 6;
+    if (word >= w.size()) w.resize(word + 1, 0);
+    w[word] |= 1ull << (id & 63u);
+  }
+  bool Test(std::uint32_t id) const {
+    const std::size_t word = id >> 6;
+    return word < w.size() && ((w[word] >> (id & 63u)) & 1u) != 0;
+  }
+  void Or(const AncSet& o) {
+    if (o.w.size() > w.size()) w.resize(o.w.size(), 0);
+    for (std::size_t i = 0; i < o.w.size(); ++i) w[i] |= o.w[i];
+  }
+};
+
+enum class WireKind : std::uint8_t {
+  kNone = 0,   // entry spine (no delivery behind it)
+  kPlain,      // plain unicast wire message (replayable)
+  kFrame,      // aggregation-frame view (replayable via the carrier)
+  kBcast,      // spanning-tree broadcast inner (not replayable)
+  kImmediate,  // immediate-lane delivery (not replayable)
+  kLocal,      // scheduler-queue local enqueue (not replayable)
+};
+
+/// Immutable description of one context (provenance + replay handle).
+/// Epoch splits copy their context's meta under the fresh id.
+struct CtxMeta {
+  int pe = -1;
+  std::uint32_t handler = 0xffffffffu;
+  int msg_src = -1;          // logical identity of the triggering message
+  std::uint32_t msg_seq = 0;
+  std::uint32_t parent = kNoCtx;  // sender/enqueuer epoch
+  int wire_src = -1;         // wire identity (carrier for frame views)
+  std::uint32_t wire_seq = 0;
+  WireKind wire_kind = WireKind::kNone;
+  std::uint64_t order = 0;   // global delivery-order stamp
+};
+
+struct RaceCtx {
+  std::uint32_t id = kNoCtx;
+  AncSet anc;   // causal past, includes id itself
+  AncSet done;  // join of finished children; folded at scheduler return
+};
+
+}  // namespace
+
+struct RacePeState {
+  RaceDetector* det = nullptr;
+  int pe = -1;
+  std::vector<RaceCtx> stack;  // [0] = entry spine
+  std::unordered_map<int, AncSet> frame_clock;  // dest -> appender joins
+  // Wire facts DeliverOne/CmiProbeImmediates capture for the dispatch that
+  // immediately follows (cleared when consumed).
+  bool pending_valid = false;
+  bool pending_bcast = false;
+  bool pending_immediate = false;
+};
+
+class RaceDetector {
+ public:
+  explicit RaceDetector(Machine& m) : machine(m), quiet(m.sim_config().race_quiet) {
+    const int n = m.npes();
+    pes.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto rp = std::make_unique<RacePeState>();
+      rp->det = this;
+      rp->pe = i;
+      RaceCtx spine;
+      spine.id = NewCtx(CtxMeta{i, 0xffffffffu, -1, 0, kNoCtx, -1, 0,
+                                WireKind::kNone, 0});
+      spine.anc.Set(spine.id);
+      rp->stack.push_back(std::move(spine));
+      pes.push_back(std::move(rp));
+    }
+  }
+
+  ~RaceDetector() {
+    g_tracked.fetch_sub(static_cast<long long>(ranges.size()),
+                        std::memory_order_relaxed);
+  }
+
+  std::uint32_t NewCtx(CtxMeta m) {
+    meta.push_back(m);
+    return static_cast<std::uint32_t>(meta.size() - 1);
+  }
+
+  /// Give the top context of rp a fresh epoch id (same meta) after an
+  /// outgoing HB edge, so later work is not ordered into the receiver.
+  void SplitEpoch(RacePeState& rp) {
+    RaceCtx& cur = rp.stack.back();
+    const std::uint32_t nid = NewCtx(meta[cur.id]);
+    cur.anc.Set(nid);
+    cur.id = nid;
+  }
+
+  struct SendRecord {
+    AncSet anc;
+    std::uint32_t parent = kNoCtx;
+  };
+
+  struct Range {
+    std::uintptr_t lo = 0;
+    std::uintptr_t hi = 0;
+    CciRaceRule rule = CciRaceRule::kMemoryRace;
+    std::string name;
+  };
+
+  static std::uint64_t WireKey(int src, std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           seq;
+  }
+
+  void RecordSend(RacePeState& rp, int src, std::uint32_t seq,
+                  bool if_absent) {
+    const std::uint64_t key = WireKey(src, seq);
+    if (if_absent && wire_clock.count(key) != 0) return;
+    RaceCtx& cur = rp.stack.back();
+    SendRecord rec;
+    rec.anc = cur.anc;
+    rec.parent = cur.id;
+    wire_clock[key] = std::move(rec);
+  }
+
+  const Range* FindRange(std::uintptr_t addr) const {
+    auto it = ranges.upper_bound(addr);
+    if (it == ranges.begin()) return nullptr;
+    --it;
+    return addr < it->second.hi ? &it->second : nullptr;
+  }
+
+  void Register(std::uintptr_t lo, std::size_t n, CciRaceRule rule,
+                const char* name) {
+    auto [it, inserted] = ranges.insert_or_assign(
+        lo, Range{lo, lo + n, rule, name != nullptr ? name : ""});
+    (void)it;
+    if (inserted) g_tracked.fetch_add(1, std::memory_order_relaxed);
+    ClearShadow(lo, n);
+  }
+
+  void Unregister(std::uintptr_t lo) {
+    auto it = ranges.find(lo);
+    if (it == ranges.end()) return;
+    ClearShadow(lo, it->second.hi - it->second.lo);
+    ranges.erase(it);
+    g_tracked.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void ClearShadow(std::uintptr_t lo, std::size_t n) {
+    for (std::uintptr_t g = lo & ~7ull; g < lo + n; g += 8) shadow.erase(g);
+  }
+
+  struct ShadowAccess {
+    std::uint32_t id = kNoCtx;
+    std::int16_t pe = -1;
+    bool is_write = false;
+  };
+  struct ShadowCell {
+    ShadowAccess write;
+    bool has_write = false;
+    std::vector<ShadowAccess> reads;  // bounded (kMaxReads)
+  };
+
+  static constexpr std::size_t kMaxReads = 16;
+  static constexpr std::size_t kMaxGranules = 128;
+  static constexpr std::size_t kMaxCandidates = 64;
+
+  void Access(RacePeState& rp, std::uintptr_t addr, std::size_t n,
+              bool is_write) {
+    g_accesses.fetch_add(1, std::memory_order_relaxed);
+    RaceCtx& cur = rp.stack.back();
+    const Range* range = FindRange(addr);
+    std::size_t granules = 0;
+    for (std::uintptr_t g = addr & ~7ull;
+         g < addr + n && granules < kMaxGranules; g += 8, ++granules) {
+      ShadowCell& cell = shadow[g];
+      if (cell.has_write && !cur.anc.Test(cell.write.id)) {
+        Candidate(cell.write, cur, rp, addr, range, is_write);
+      }
+      if (is_write) {
+        for (const ShadowAccess& rd : cell.reads) {
+          if (!cur.anc.Test(rd.id)) Candidate(rd, cur, rp, addr, range, true);
+        }
+        cell.write =
+            ShadowAccess{cur.id, static_cast<std::int16_t>(rp.pe), true};
+        cell.has_write = true;
+        cell.reads.clear();
+      } else {
+        bool present = false;
+        for (const ShadowAccess& rd : cell.reads) {
+          if (rd.id == cur.id) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) {
+          if (cell.reads.size() >= kMaxReads) {
+            cell.reads.erase(cell.reads.begin());
+          }
+          cell.reads.push_back(
+              ShadowAccess{cur.id, static_cast<std::int16_t>(rp.pe), false});
+        }
+      }
+    }
+  }
+
+  std::string Chain(std::uint32_t id) const {
+    std::string s;
+    int depth = 0;
+    while (id != kNoCtx) {
+      const CtxMeta& m = meta[id];
+      char buf[96];
+      if (m.wire_kind == WireKind::kNone) {
+        std::snprintf(buf, sizeof buf, "entry@pe%d", m.pe);
+        s += buf;
+        return s;
+      }
+      std::snprintf(buf, sizeof buf, "h%u@pe%d(msg pe%d#%u)", m.handler,
+                    m.pe, m.msg_src, m.msg_seq);
+      s += buf;
+      if (++depth >= 8) {
+        s += " <- ...";
+        return s;
+      }
+      s += " <- ";
+      id = m.parent;
+    }
+    s += "?";
+    return s;
+  }
+
+  static bool Replayable(const CtxMeta& m) {
+    return (m.wire_kind == WireKind::kPlain ||
+            m.wire_kind == WireKind::kFrame) &&
+           m.wire_src >= 0;
+  }
+
+  void Candidate(const ShadowAccess& prior, const RaceCtx& cur,
+                 const RacePeState& rp, std::uintptr_t addr,
+                 const Range* range, bool cur_is_write) {
+    const auto key = std::make_pair(prior.id, cur.id);
+    if (!reported_pairs.insert(key).second) return;
+    if (candidates.size() >= kMaxCandidates) {
+      ++suppressed;
+      return;
+    }
+    g_candidates.fetch_add(1, std::memory_order_relaxed);
+
+    CciRaceReport r;
+    r.rule = range != nullptr ? range->rule : CciRaceRule::kMemoryRace;
+    r.address = addr;
+    if (range != nullptr && !range->name.empty()) {
+      r.object = (r.rule == CciRaceRule::kCpvRace ? "Cpv " : "Csv ") +
+                 range->name;
+    } else if (range != nullptr && r.rule == CciRaceRule::kPayloadRace) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "message payload+%llu",
+                    static_cast<unsigned long long>(addr - range->lo));
+      r.object = buf;
+    } else {
+      r.object = "unregistered memory";
+    }
+
+    const CtxMeta& pm = meta[prior.id];
+    const CtxMeta& cm = meta[cur.id];
+    CciRaceAccess a;  // prior access (executed earlier under the baton)
+    a.pe = pm.pe;
+    a.is_write = prior.is_write;
+    a.chain = Chain(prior.id);
+    a.wire_src = Replayable(pm) ? pm.wire_src : -1;
+    a.wire_seq = pm.wire_seq;
+    a.order = pm.order;
+    CciRaceAccess b;
+    b.pe = cm.pe;
+    b.is_write = cur_is_write;
+    b.chain = Chain(cur.id);
+    b.wire_src = Replayable(cm) ? cm.wire_src : -1;
+    b.wire_seq = cm.wire_seq;
+    b.order = cm.order;
+    // "first" is the side whose delivery ran earlier in this execution.
+    const bool prior_first = pm.order <= cm.order;
+    r.first = prior_first ? a : b;
+    r.second = prior_first ? b : a;
+    r.replayable =
+        Replayable(pm) && Replayable(cm) &&
+        !(pm.wire_src == cm.wire_src && pm.wire_seq == cm.wire_seq);
+    FormatLine(&r);
+    if (!quiet) std::fprintf(stderr, "%s\n", r.line.c_str());
+    candidates.push_back(std::move(r));
+    (void)rp;
+  }
+
+  static void FormatLine(CciRaceReport* r) {
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "[CciRace] rule=%s class=%s pe=%d addr=0x%llx object=\"%s\" "
+                  "pair=%s/%s",
+                  CciRaceRuleName(r->rule), CciRaceClassName(r->classification),
+                  r->second.pe,
+                  static_cast<unsigned long long>(r->address),
+                  r->object.c_str(), r->first.is_write ? "write" : "read",
+                  r->second.is_write ? "write" : "read");
+    r->line = std::string(head) + " first={" + r->first.chain +
+              "} second={" + r->second.chain + "}";
+  }
+
+  Machine& machine;
+  bool quiet = false;
+  std::mutex mu;
+  std::vector<std::unique_ptr<RacePeState>> pes;
+  std::vector<CtxMeta> meta;
+  std::uint64_t order_counter = 0;
+
+  std::map<std::uint64_t, SendRecord> wire_clock;          // (src,seq)
+  std::unordered_map<const void*, SendRecord> local_clock; // by pointer
+  std::map<std::uintptr_t, Range> ranges;
+  std::unordered_map<std::uintptr_t, ShadowCell> shadow;
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> reported_pairs;
+  std::vector<CciRaceReport> candidates;
+  std::uint64_t suppressed = 0;
+};
+
+namespace {
+
+// Reports published by torn-down machines, drained by CciRaceTakeReports.
+std::mutex g_reports_mu;
+std::vector<CciRaceReport>& PendingReports() {
+  static std::vector<CciRaceReport> v;
+  return v;
+}
+
+/// Wire identity of a message about to be delivered: the enclosing frame
+/// (via the entry back-pointer ForEachView stamped) for in-frame views,
+/// the message's own header otherwise.
+struct WireId {
+  int src;
+  std::uint32_t seq;
+  bool in_frame;
+};
+
+WireId WireIdentityOf(const void* msg) {
+  const MsgHeader* h = Header(msg);
+  if ((h->flags & kMsgFlagInFrame) != 0) {
+    void* frame = nullptr;
+    std::memcpy(&frame, static_cast<const char*>(msg) - 8, sizeof(frame));
+    const MsgHeader* fh = Header(frame);
+    return WireId{static_cast<int>(fh->source_pe), fh->seq, true};
+  }
+  return WireId{static_cast<int>(h->source_pe), h->seq, false};
+}
+
+}  // namespace
+
+void MachineCreate(Machine& m) {
+  if (m.sim() == nullptr || !m.sim_config().race_detect) return;
+  auto* det = new RaceDetector(m);
+  for (int i = 0; i < m.npes(); ++i) m.Pe(i).race = det->pes[i].get();
+  m.race_detector_slot() = det;
+}
+
+void MachineDestroy(Machine& m) {
+  RaceDetector* det = m.race_detector();
+  if (det == nullptr) return;
+  for (int i = 0; i < m.npes(); ++i) m.Pe(i).race = nullptr;
+  {
+    std::scoped_lock lk(g_reports_mu, det->mu);
+    auto& pending = PendingReports();
+    for (auto& r : det->candidates) pending.push_back(std::move(r));
+    if (det->suppressed != 0 && !det->quiet) {
+      std::fprintf(stderr,
+                   "[CciRace] note: %llu further candidate pair(s) "
+                   "suppressed (cap %zu)\n",
+                   static_cast<unsigned long long>(det->suppressed),
+                   RaceDetector::kMaxCandidates);
+    }
+  }
+  m.race_detector_slot() = nullptr;
+  delete det;
+}
+
+void OnSendImpl(PeState& pe, int dest_pe, void* msg) {
+  RacePeState& rp = *pe.race;
+  RaceDetector& det = *rp.det;
+  MsgHeader* h = Header(msg);
+  std::lock_guard<std::mutex> lk(det.mu);
+  if ((h->flags & kMsgFlagBcast) != 0) {
+    // Wrapper forwards; the logical identity was recorded at the root.
+    return;
+  }
+  if ((h->flags & kMsgFlagFrame) != 0) {
+    // Carrier flush: the frame carries the join of every appender's clock
+    // (plus the flusher's own) once, under the carrier's wire identity.
+    RaceCtx& cur = rp.stack.back();
+    RaceDetector::SendRecord rec;
+    rec.anc = cur.anc;
+    rec.parent = cur.id;
+    auto it = rp.frame_clock.find(dest_pe);
+    if (it != rp.frame_clock.end()) {
+      rec.anc.Or(it->second);
+      rp.frame_clock.erase(it);
+    }
+    det.wire_clock[RaceDetector::WireKey(pe.mype, h->seq)] = std::move(rec);
+    det.SplitEpoch(rp);
+    return;
+  }
+  det.RecordSend(rp, pe.mype, h->seq, /*if_absent=*/false);
+  det.SplitEpoch(rp);
+}
+
+void OnBcastRootImpl(PeState& pe, std::uint32_t seq) {
+  RacePeState& rp = *pe.race;
+  RaceDetector& det = *rp.det;
+  std::lock_guard<std::mutex> lk(det.mu);
+  det.RecordSend(rp, pe.mype, seq, /*if_absent=*/true);
+  det.SplitEpoch(rp);
+}
+
+void OnFrameAppendImpl(PeState& pe, int dest_pe, void* msg) {
+  RacePeState& rp = *pe.race;
+  RaceDetector& det = *rp.det;
+  std::lock_guard<std::mutex> lk(det.mu);
+  if (msg != nullptr) {
+    // Record the view's own logical identity too: carrier resolution
+    // covers in-place dispatch, but CmiGetMsg materializations resolve by
+    // the view header.
+    const MsgHeader* h = Header(msg);
+    det.RecordSend(rp, static_cast<int>(h->source_pe), h->seq,
+                   /*if_absent=*/false);
+  }
+  RaceCtx& cur = rp.stack.back();
+  rp.frame_clock[dest_pe].Or(cur.anc);
+  det.SplitEpoch(rp);
+}
+
+void OnLocalEnqueueImpl(PeState& pe, void* msg) {
+  RacePeState& rp = *pe.race;
+  RaceDetector& det = *rp.det;
+  std::lock_guard<std::mutex> lk(det.mu);
+  RaceCtx& cur = rp.stack.back();
+  RaceDetector::SendRecord rec;
+  rec.anc = cur.anc;
+  rec.parent = cur.id;
+  det.local_clock[msg] = std::move(rec);
+  det.SplitEpoch(rp);
+}
+
+void OnWireDeliverImpl(PeState& pe, void* msg, bool was_bcast,
+                       bool immediate) {
+  (void)msg;
+  RacePeState& rp = *pe.race;
+  std::lock_guard<std::mutex> lk(rp.det->mu);
+  rp.pending_valid = true;
+  rp.pending_bcast = was_bcast;
+  rp.pending_immediate = immediate;
+}
+
+void OnDispatchBeginImpl(PeState& pe, void* msg, bool system_owned) {
+  RacePeState& rp = *pe.race;
+  RaceDetector& det = *rp.det;
+  const MsgHeader* h = Header(msg);
+  std::lock_guard<std::mutex> lk(det.mu);
+  RaceCtx& parent = rp.stack.back();
+
+  CtxMeta m;
+  m.pe = pe.mype;
+  m.handler = h->handler;
+  m.msg_src = static_cast<int>(h->source_pe);
+  m.msg_seq = h->seq;
+  m.order = ++det.order_counter;
+
+  const RaceDetector::SendRecord* rec = nullptr;
+  if (!system_owned) {
+    m.wire_kind = WireKind::kLocal;
+    auto it = det.local_clock.find(msg);
+    if (it != det.local_clock.end()) {
+      rec = &it->second;
+      m.parent = it->second.parent;
+    }
+  } else {
+    const WireId wid = WireIdentityOf(msg);
+    bool bcast = false, immediate = false;
+    if (rp.pending_valid) {
+      bcast = rp.pending_bcast;
+      immediate = rp.pending_immediate;
+      rp.pending_valid = false;
+    }
+    m.wire_src = wid.src;
+    m.wire_seq = wid.seq;
+    m.wire_kind = wid.in_frame  ? WireKind::kFrame
+                  : bcast       ? WireKind::kBcast
+                  : immediate   ? WireKind::kImmediate
+                                : WireKind::kPlain;
+    // Clock key: the carrier for in-frame views (it carries the joined
+    // appender clocks), the logical identity otherwise.
+    const std::uint64_t key =
+        wid.in_frame
+            ? RaceDetector::WireKey(wid.src, wid.seq)
+            : RaceDetector::WireKey(static_cast<int>(h->source_pe), h->seq);
+    auto it = det.wire_clock.find(key);
+    if (it != det.wire_clock.end()) {
+      rec = &it->second;
+      m.parent = it->second.parent;
+    }
+  }
+  if (m.parent == kNoCtx) m.parent = parent.id;
+
+  RaceCtx child;
+  child.anc = parent.anc;  // program order: spine/outer precedes handler
+  if (rec != nullptr) child.anc.Or(rec->anc);
+  child.id = det.NewCtx(m);
+  child.anc.Set(child.id);
+  if (!system_owned) det.local_clock.erase(msg);
+  rp.stack.push_back(std::move(child));
+}
+
+void OnDispatchEndImpl(PeState& pe) {
+  RacePeState& rp = *pe.race;
+  RaceDetector& det = *rp.det;
+  std::lock_guard<std::mutex> lk(det.mu);
+  if (rp.stack.size() <= 1) return;  // unbalanced under abort unwinds
+  RaceCtx child = std::move(rp.stack.back());
+  rp.stack.pop_back();
+  rp.stack.back().done.Or(child.anc);
+}
+
+void OnSchedulerReturnImpl(PeState& pe) {
+  RacePeState& rp = *pe.race;
+  RaceDetector& det = *rp.det;
+  std::lock_guard<std::mutex> lk(det.mu);
+  RaceCtx& cur = rp.stack.back();
+  // The caller resumes after every handler the loop ran: program order on
+  // this PE makes those contexts its past now.
+  cur.anc.Or(cur.done);
+  cur.done = AncSet{};
+}
+
+void OnMmiReturnImpl(PeState& pe, void* msg) {
+  RacePeState& rp = *pe.race;
+  RaceDetector& det = *rp.det;
+  const MsgHeader* h = Header(msg);
+  std::lock_guard<std::mutex> lk(det.mu);
+  const WireId wid = WireIdentityOf(msg);
+  const std::uint64_t key =
+      wid.in_frame
+          ? RaceDetector::WireKey(wid.src, wid.seq)
+          : RaceDetector::WireKey(static_cast<int>(h->source_pe), h->seq);
+  auto it = det.wire_clock.find(key);
+  if (it != det.wire_clock.end()) rp.stack.back().anc.Or(it->second.anc);
+}
+
+void OnAllocMsgImpl(PeState& pe, void* msg, std::size_t nbytes) {
+  RaceDetector& det = *pe.race->det;
+  std::lock_guard<std::mutex> lk(det.mu);
+  det.Register(reinterpret_cast<std::uintptr_t>(msg), nbytes,
+               CciRaceRule::kPayloadRace, nullptr);
+}
+
+void OnFreeMsgImpl(PeState& pe, void* msg) {
+  RaceDetector& det = *pe.race->det;
+  std::lock_guard<std::mutex> lk(det.mu);
+  det.Unregister(reinterpret_cast<std::uintptr_t>(msg));
+  det.local_clock.erase(msg);  // a freed pointer may be reused
+}
+
+void NoteAccess(const void* p, std::size_t n, bool is_write) {
+  PeState* pe = Cpv();
+  if (pe == nullptr || pe->race == nullptr || n == 0) return;
+  RacePeState& rp = *pe->race;
+  RaceDetector& det = *rp.det;
+  std::lock_guard<std::mutex> lk(det.mu);
+  det.Access(rp, reinterpret_cast<std::uintptr_t>(p), n, is_write);
+}
+
+namespace {
+
+void RegisterCell(const void* p, std::size_t n, const char* name,
+                  CciRaceRule rule) {
+  PeState* pe = Cpv();
+  if (pe == nullptr || pe->race == nullptr || n == 0) return;
+  RaceDetector& det = *pe->race->det;
+  std::lock_guard<std::mutex> lk(det.mu);
+  det.Register(reinterpret_cast<std::uintptr_t>(p), n, rule, name);
+}
+
+}  // namespace
+
+void OnCpvInit(const void* p, std::size_t n, const char* name) {
+  RegisterCell(p, n, name, CciRaceRule::kCpvRace);
+}
+
+void OnCsvInit(const void* p, std::size_t n, const char* name) {
+  RegisterCell(p, n, name, CciRaceRule::kCsvRace);
+}
+
+}  // namespace detail::race
+
+void CciRaceRegisterNamed(const void* p, std::size_t n, const char* name) {
+  detail::race::OnCsvInit(p, n, name);
+}
+
+CciRaceCounters CciRaceGetCounters() {
+  CciRaceCounters c;
+  c.tracked_cells = detail::race::g_tracked.load(std::memory_order_relaxed);
+  c.accesses = detail::race::g_accesses.load(std::memory_order_relaxed);
+  c.candidates =
+      detail::race::g_candidates.load(std::memory_order_relaxed);
+  c.confirmed = detail::race::g_confirmed.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::vector<CciRaceReport> CciRaceTakeReports() {
+  std::lock_guard<std::mutex> lk(detail::race::g_reports_mu);
+  std::vector<CciRaceReport> out;
+  out.swap(detail::race::PendingReports());
+  return out;
+}
+
+std::vector<CciRaceReport> CciRaceAnalyze(
+    const MachineConfig& cfg, const std::function<void(int, int)>& entry,
+    const CciRaceOptions& opts) {
+  if (cfg.sim == nullptr) {
+    if (opts.reset) opts.reset();
+    RunConverse(cfg, entry);
+    return {};
+  }
+  // Baseline: same seed, faults off (fault draws would make the replay
+  // diverge for reasons that are not the race under test).
+  SimConfig base_sim = *cfg.sim;
+  base_sim.faults = SimFaults{};
+  base_sim.plant_reorder_bug = false;
+  base_sim.race_detect = true;
+  SimReport base_rep;
+  base_sim.report = &base_rep;
+  MachineConfig mc = cfg;
+  mc.sim = &base_sim;
+  (void)CciRaceTakeReports();
+  if (opts.reset) opts.reset();
+  RunConverse(mc, entry);
+  std::vector<CciRaceReport> out = CciRaceTakeReports();
+  if (!opts.confirm) return out;
+
+  int budget = opts.max_replays;
+  for (CciRaceReport& r : out) {
+    if (!r.replayable) {
+      r.classification = CciRaceClass::kUnreplayable;
+      detail::race::RaceDetector::FormatLine(&r);
+      continue;
+    }
+    if (budget-- <= 0) break;  // stays kUnconfirmed
+    SimConfig rs = base_sim;
+    rs.race_quiet = true;  // replay re-detects the same candidates
+    SimReport rr;
+    rs.report = &rr;
+    rs.flip.enabled = true;
+    rs.flip.hold_src = r.first.wire_src;
+    rs.flip.hold_seq = r.first.wire_seq;
+    rs.flip.until_src = r.second.wire_src;
+    rs.flip.until_seq = r.second.wire_seq;
+    MachineConfig rc = cfg;
+    rc.sim = &rs;
+    bool ran = true;
+    try {
+      if (opts.reset) opts.reset();
+      RunConverse(rc, entry);
+    } catch (...) {
+      ran = false;  // the flipped schedule deadlocked or aborted
+    }
+    (void)CciRaceTakeReports();
+    if (!ran || !rr.flip_applied) {
+      r.classification = CciRaceClass::kUnreplayable;
+    } else if (rr.outcome_hash == base_rep.outcome_hash) {
+      r.classification = CciRaceClass::kBenignCommutative;
+    } else {
+      r.classification = CciRaceClass::kConfirmedDivergent;
+      detail::race::g_confirmed.fetch_add(1, std::memory_order_relaxed);
+    }
+    detail::race::RaceDetector::FormatLine(&r);
+  }
+  return out;
+}
+
+#else  // !CONVERSE_RACE_ENABLED
+
+void CciRaceRegisterNamed(const void*, std::size_t, const char*) {}
+
+CciRaceCounters CciRaceGetCounters() {
+  return CciRaceCounters{};  // tracked_cells = -1: inert
+}
+
+std::vector<CciRaceReport> CciRaceTakeReports() { return {}; }
+
+std::vector<CciRaceReport> CciRaceAnalyze(
+    const MachineConfig& cfg, const std::function<void(int, int)>& entry,
+    const CciRaceOptions& opts) {
+  if (opts.reset) opts.reset();
+  RunConverse(cfg, entry);
+  return {};
+}
+
+#endif  // CONVERSE_RACE_ENABLED
+
+void CciRaceEnforce(const std::vector<CciRaceReport>& reports) {
+  for (const CciRaceReport& r : reports) {
+    if (r.classification == CciRaceClass::kConfirmedDivergent) {
+      std::fprintf(stderr, "[CciRace] fatal: rule=%s %s\n",
+                   CciRaceRuleName(r.rule), r.line.c_str());
+      std::abort();
+    }
+  }
+}
+
+}  // namespace converse

@@ -1,0 +1,110 @@
+// CciRace internal hook surface.  Core runtime files (machine, scheduler,
+// stream, handlers, msg) call these at every happens-before-relevant
+// boundary; with CONVERSE_RACE_ENABLED unset they are empty inlines, and
+// even when set each wrapper bails on `pe.race == nullptr` (the detector
+// only exists under the deterministic sim backend), so the normal-mode
+// cost is one predictable branch per boundary in race builds and zero
+// bytes otherwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/pe_state.h"
+
+namespace converse::detail::race {
+
+#if CONVERSE_RACE_ENABLED
+
+/// Machine ctor: create the detector when the machine is sim-backed (and
+/// cfg.sim->race_detect), wiring every PeState::race pointer.
+void MachineCreate(Machine& m);
+/// Machine dtor: publish candidate reports to the process-wide pending
+/// list (CciRaceTakeReports) and free the detector.
+void MachineDestroy(Machine& m);
+
+// Implementations (race.cpp); call through the inline gates below.
+void OnSendImpl(PeState& pe, int dest_pe, void* msg);
+void OnBcastRootImpl(PeState& pe, std::uint32_t seq);
+void OnFrameAppendImpl(PeState& pe, int dest_pe, void* msg);
+void OnLocalEnqueueImpl(PeState& pe, void* msg);
+void OnWireDeliverImpl(PeState& pe, void* msg, bool was_bcast,
+                       bool immediate);
+void OnDispatchBeginImpl(PeState& pe, void* msg, bool system_owned);
+void OnDispatchEndImpl(PeState& pe);
+void OnSchedulerReturnImpl(PeState& pe);
+void OnMmiReturnImpl(PeState& pe, void* msg);
+void OnAllocMsgImpl(PeState& pe, void* msg, std::size_t nbytes);
+void OnFreeMsgImpl(PeState& pe, void* msg);
+
+/// A unicast (or carrier) send was stamped with (pe.mype, seq): record the
+/// sender's clock for the receiver to join.  Splits the sender's epoch.
+inline void OnSend(PeState& pe, int dest_pe, void* msg) {
+  if (pe.race != nullptr) OnSendImpl(pe, dest_pe, msg);
+}
+/// A spanning-tree broadcast allocated logical identity (pe.mype, seq) at
+/// the root; record it once (forwarders never call this).
+inline void OnBcastRoot(PeState& pe, std::uint32_t seq) {
+  if (pe.race != nullptr) OnBcastRootImpl(pe, seq);
+}
+/// A logical message was packed into the open frame for dest_pe; its
+/// clock joins the frame's carried clock (sent once per carrier at flush).
+inline void OnFrameAppend(PeState& pe, int dest_pe, void* msg) {
+  if (pe.race != nullptr) OnFrameAppendImpl(pe, dest_pe, msg);
+}
+/// CsdEnqueue* of a locally owned message.
+inline void OnLocalEnqueue(PeState& pe, void* msg) {
+  if (pe.race != nullptr) OnLocalEnqueueImpl(pe, msg);
+}
+/// A wire message is about to be dispatched; capture its wire identity
+/// (carrier for frame views) before DispatchMessage.
+inline void OnWireDeliver(PeState& pe, void* msg, bool was_bcast,
+                          bool immediate = false) {
+  if (pe.race != nullptr) OnWireDeliverImpl(pe, msg, was_bcast, immediate);
+}
+/// Handler dispatch: push a fresh context joining the message's clock.
+inline void OnDispatchBegin(PeState& pe, void* msg, bool system_owned) {
+  if (pe.race != nullptr) OnDispatchBeginImpl(pe, msg, system_owned);
+}
+/// Handler returned: fold the context into its parent's pending set.
+inline void OnDispatchEnd(PeState& pe) {
+  if (pe.race != nullptr) OnDispatchEndImpl(pe);
+}
+/// A scheduler loop returned to its caller: the caller resumes having
+/// observed every handler the loop ran (program order on this PE).
+inline void OnSchedulerReturn(PeState& pe) {
+  if (pe.race != nullptr) OnSchedulerReturnImpl(pe);
+}
+/// CmiGetMsg/CmiGetSpecificMsg returned msg to the polling context.
+inline void OnMmiReturn(PeState& pe, void* msg) {
+  if (pe.race != nullptr) OnMmiReturnImpl(pe, msg);
+}
+/// CmiAlloc/CmiFree: (un)register the payload range for shadow tracking.
+inline void OnAllocMsg(void* msg, std::size_t nbytes) {
+  PeState* pe = Cpv();
+  if (pe != nullptr && pe->race != nullptr) OnAllocMsgImpl(*pe, msg, nbytes);
+}
+inline void OnFreeMsg(void* msg) {
+  PeState* pe = Cpv();
+  if (pe != nullptr && pe->race != nullptr) OnFreeMsgImpl(*pe, msg);
+}
+
+#else  // !CONVERSE_RACE_ENABLED
+
+inline void MachineCreate(Machine&) {}
+inline void MachineDestroy(Machine&) {}
+inline void OnSend(PeState&, int, void*) {}
+inline void OnBcastRoot(PeState&, std::uint32_t) {}
+inline void OnFrameAppend(PeState&, int, void*) {}
+inline void OnLocalEnqueue(PeState&, void*) {}
+inline void OnWireDeliver(PeState&, void*, bool, bool = false) {}
+inline void OnDispatchBegin(PeState&, void*, bool) {}
+inline void OnDispatchEnd(PeState&) {}
+inline void OnSchedulerReturn(PeState&) {}
+inline void OnMmiReturn(PeState&, void*) {}
+inline void OnAllocMsg(void*, std::size_t) {}
+inline void OnFreeMsg(void*) {}
+
+#endif  // CONVERSE_RACE_ENABLED
+
+}  // namespace converse::detail::race

@@ -37,6 +37,7 @@
 #include "converse/cth.h"
 #include "converse/machine.h"
 #include "converse/msg.h"
+#include "converse/race.h"
 #include "converse/stream.h"
 #include "converse/util/rng.h"
 #include "core/pe_state.h"
@@ -567,6 +568,217 @@ std::string FormatReplay(const FuzzParams& params) {
   if (params.plant_reorder_bug) out += " --plant-bug";
   if (params.aggregate) out += " --agg";
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// CciRace fuzz workload (simfuzz --race).
+//
+// The workload is built so the expected report set is exactly computable:
+//  * `chains` independent token chains hop across PEs; every hop handler
+//    updates its chain's registered cell and then sends the next hop, so
+//    all accesses to one chain cell are totally ordered by happens-before.
+//    A sound detector must stay silent — any candidate is a false positive.
+//  * plant 1 injects two causally unordered handlers doing an
+//    order-sensitive update of a shared cell and echoing the observed
+//    value to PE 0: flipping their delivery order changes the echoed
+//    payload, so the pair must classify confirmed-divergent.
+//  * plant 2 injects two unordered commutative increments with no echo:
+//    the candidate must classify benign-commutative.
+//
+// All routing comes from pure hashes of (seed, chain, hop) — the workload
+// draws nothing from the simulator's RNG, so existing fuzz seeds replay
+// unchanged.  Aggregation alternates with seed parity to cover the
+// frame-carried clock path.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct RaceHopWire {
+  std::uint32_t chain;
+  std::uint32_t hop;
+};
+
+struct RacePlantWire {
+  std::uint32_t writer;  // 1 or 2: distinguishes the two planted updates
+  std::uint32_t mode;    // RaceFuzzParams::plant (1 divergent, 2 benign)
+};
+
+struct RaceWorkCtx {
+  RaceFuzzParams p;
+  std::vector<std::uint64_t> chain_cell;
+  std::uint64_t plant_cell = 0;
+
+  void Reset() {
+    chain_cell.assign(static_cast<std::size_t>(p.chains), 0);
+    plant_cell = 0;
+  }
+};
+
+int RouteHop(const RaceFuzzParams& p, int chain, int hop) {
+  util::SplitMix64 sm(p.seed ^
+                      (static_cast<std::uint64_t>(chain + 1) * 0x9e3779b9ull) ^
+                      (static_cast<std::uint64_t>(hop + 1) * 0x85ebca6bull));
+  return static_cast<int>(sm.Next() % static_cast<std::uint64_t>(p.npes));
+}
+
+void SendRaceWire(int dest, int handler, const void* wire, std::size_t n) {
+  void* msg =
+      CmiAlloc(static_cast<std::size_t>(CmiMsgHeaderSizeBytes()) + n);
+  CmiSetHandler(msg, handler);
+  std::memcpy(CmiMsgPayload(msg), wire, n);
+  CmiSyncSendAndFree(static_cast<unsigned>(dest),
+                     static_cast<unsigned>(CmiMsgTotalSize(msg)), msg);
+}
+
+void RacePeEntry(RaceWorkCtx& ctx, int mype) {
+  // Registration order is identical on every PE, so handler ids agree.
+  int h_chain = -1, h_plant = -1, h_echo = -1;
+  h_chain = CmiRegisterHandler([&ctx, &h_chain](void* msg) {
+    RaceHopWire w;
+    std::memcpy(&w, CmiMsgPayload(msg), sizeof(w));
+    std::uint64_t& cell = ctx.chain_cell[w.chain];
+    CmiRaceNoteWrite(&cell, sizeof(cell));
+    cell = cell * 31 + w.hop;
+    const int next_hop = static_cast<int>(w.hop) + 1;
+    if (next_hop < ctx.p.hops) {
+      RaceHopWire next{w.chain, static_cast<std::uint32_t>(next_hop)};
+      SendRaceWire(RouteHop(ctx.p, static_cast<int>(w.chain), next_hop),
+                   h_chain, &next, sizeof(next));
+    }
+  });
+  h_plant = CmiRegisterHandler([&ctx, &h_echo](void* msg) {
+    RacePlantWire w;
+    std::memcpy(&w, CmiMsgPayload(msg), sizeof(w));
+    CmiRaceNoteWrite(&ctx.plant_cell, sizeof(ctx.plant_cell));
+    if (w.mode == 1) {
+      // Order-sensitive: the echoed value depends on which writer ran
+      // first, so the flipped replay's outcome digest diverges.
+      ctx.plant_cell = ctx.plant_cell * 31 + w.writer;
+      const std::uint64_t echo = ctx.plant_cell;
+      SendRaceWire(0, h_echo, &echo, sizeof(echo));
+    } else {
+      // Commutative: either order produces the same final state and the
+      // same delivered payloads.
+      ctx.plant_cell += 1;
+    }
+  });
+  h_echo = CmiRegisterHandler([](void*) {
+    // The echoed payload participates in the outcome digest by arriving;
+    // nothing to do here.
+  });
+
+  if (mype == 0) {
+    CciRaceRegisterNamed(ctx.chain_cell.data(),
+                         ctx.chain_cell.size() * sizeof(std::uint64_t),
+                         "race-fuzz chain cells");
+    CciRaceRegisterNamed(&ctx.plant_cell, sizeof(ctx.plant_cell),
+                         "race-fuzz plant cell");
+    for (int c = 0; c < ctx.p.chains; ++c) {
+      RaceHopWire w{static_cast<std::uint32_t>(c), 0};
+      SendRaceWire(RouteHop(ctx.p, c, 0), h_chain, &w, sizeof(w));
+    }
+    if (ctx.p.plant != 0) {
+      // Two sends from one context are causally unordered at the receiver
+      // (the epoch splits after the first send), so the two plant handlers
+      // race on plant_cell by construction.
+      const int dest = ctx.p.npes > 1 ? 1 : 0;
+      for (std::uint32_t writer = 1; writer <= 2; ++writer) {
+        RacePlantWire w{writer, static_cast<std::uint32_t>(ctx.p.plant)};
+        SendRaceWire(dest, h_plant, &w, sizeof(w));
+        // Under aggregation the two plants would otherwise share one
+        // frame — a single wire message whose internal order cannot be
+        // flipped.  Flushing gives each its own carrier.
+        CmiFlush();
+      }
+    }
+  }
+  CsdScheduler(-1);
+}
+
+}  // namespace
+
+bool RaceFuzzAvailable() { return CciRaceEnabled(); }
+
+RaceFuzzResult RunRaceFuzzCase(const RaceFuzzParams& params) {
+  RaceFuzzResult res;
+  if (!CciRaceEnabled()) {
+    res.failure = "CciRace is compiled out (build with -DCONVERSE_RACE=ON)";
+    return res;
+  }
+  RaceWorkCtx ctx;
+  ctx.p = params;
+  if (ctx.p.npes < 1) ctx.p.npes = 1;
+  if (ctx.p.chains < 0) ctx.p.chains = 0;
+
+  SimConfig sim;
+  sim.seed = params.seed;
+  MachineConfig cfg;
+  cfg.npes = ctx.p.npes;
+  cfg.seed = params.seed;
+  cfg.sim = &sim;
+  cfg.aggregate_sends = (params.seed % 2 == 0) ? 1 : 0;
+
+  CciRaceOptions opts;
+  opts.reset = [&ctx] { ctx.Reset(); };
+  std::vector<CciRaceReport> reports;
+  try {
+    reports = CciRaceAnalyze(
+        cfg, [&ctx](int pe, int) { RacePeEntry(ctx, pe); }, opts);
+  } catch (const std::exception& e) {
+    res.failure = std::string("machine aborted: ") + e.what();
+    return res;
+  }
+
+  res.candidates = static_cast<int>(reports.size());
+  for (const auto& r : reports) {
+    switch (r.classification) {
+      case CciRaceClass::kConfirmedDivergent: ++res.divergent; break;
+      case CciRaceClass::kBenignCommutative: ++res.benign; break;
+      case CciRaceClass::kUnreplayable: ++res.unreplayable; break;
+      case CciRaceClass::kUnconfirmed: break;
+    }
+  }
+
+  switch (params.plant) {
+    case 0:
+      if (res.candidates != 0) {
+        res.failure = "false positive: candidate race reported for a "
+                      "causally ordered workload";
+      }
+      break;
+    case 1:
+      if (res.divergent < 1) {
+        res.failure = "planted order-sensitive race was not classified "
+                      "confirmed-divergent";
+      }
+      break;
+    case 2:
+      if (res.benign < 1) {
+        res.failure = "planted commutative pair was not classified "
+                      "benign-commutative";
+      } else if (res.divergent != 0) {
+        res.failure = "planted commutative pair misclassified as divergent";
+      }
+      break;
+    default:
+      res.failure = "unknown plant mode";
+      break;
+  }
+  res.ok = res.failure.empty();
+  return res;
+}
+
+std::string FormatRaceReplay(const RaceFuzzParams& params) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "tools/simfuzz --race --seed %llu --pes %d --chains %d "
+                "--hops %d%s",
+                static_cast<unsigned long long>(params.seed), params.npes,
+                params.chains, params.hops,
+                params.plant == 1   ? " --plant-race"
+                : params.plant == 2 ? " --plant-benign"
+                                    : "");
+  return buf;
 }
 
 }  // namespace converse::sim

@@ -10,6 +10,7 @@
 #include "converse/check.h"
 #include "converse/cmi.h"
 #include "converse/msg.h"
+#include "converse/util/crc.h"
 #include "core/pe_state.h"
 #include "core/stream.h"
 
@@ -138,6 +139,16 @@ void SimCoordinator::ScheduleNextLocked(std::unique_lock<std::mutex>& lk) {
       PushTimed(dst, msg, NowUs());
       continue;
     }
+    // Same for a flip-held message whose partner delivery never came:
+    // release it un-flipped (flip_applied_ stays false -> unreplayable).
+    if (flip_held_.msg != nullptr) {
+      void* msg = flip_held_.msg;
+      const int dst = flip_held_.dst;
+      flip_held_ = Held{};
+      flip_done_ = true;
+      PushTimed(dst, msg, NowUs());
+      continue;
+    }
 
     // Global quiescence: nothing can ever happen again on its own.
     HashEvent(Event::kQuiesce, 0, 0, 0);
@@ -239,6 +250,18 @@ void SimCoordinator::Send(PeState& src, int dest_pe, void* msg) {
     agg_batched_ += wire.count;
   }
 
+  // CciRace replay flip: hold the targeted wire message back at its send
+  // until its partner has been delivered (see SimFlip).  Checked before the
+  // fault draws so it never perturbs the fault RNG stream (replay runs
+  // disable faults anyway).
+  if (cfg_.flip.enabled && !flip_done_ && flip_held_.msg == nullptr &&
+      src.mype == cfg_.flip.hold_src && h->seq == cfg_.flip.hold_seq) {
+    HashEvent(Event::kHold, static_cast<std::uint64_t>(dest_pe), h->handler,
+              h->seq);
+    flip_held_ = Held{msg, src.mype, dest_pe};
+    return;
+  }
+
   // Fault draws.  Each dimension draws only when enabled, so the schedule
   // stream is unperturbed by dimensions that are off.
   const SimFaults& f = cfg_.faults;
@@ -329,9 +352,50 @@ void SimCoordinator::RecordImmediateSend(PeState& src, int dest_pe,
 
 void SimCoordinator::RecordDeliver(PeState& pe, const void* msg) {
   const MsgHeader* h = Header(const_cast<void*>(msg));
+  // Outcome digest fields, computed before taking mu_: payload bytes only
+  // (headers carry per-sender seqs, which a flipped schedule reassigns).
+  const std::size_t payload = CmiMsgPayloadSize(msg);
+  const std::uint32_t crc = util::Crc32c(CmiMsgPayload(msg), payload);
+  // The wire identity whose delivery releases a pending flip: for a view
+  // into an aggregation frame that is the carrier (the view's release
+  // back-pointer sits 8 bytes before the header), else the header's own.
+  int wire_src = h->source_pe;
+  std::uint32_t wire_seq = h->seq;
+  if ((h->flags & kMsgFlagInFrame) != 0) {
+    void* frame = nullptr;
+    std::memcpy(&frame, static_cast<const char*>(msg) - 8, sizeof(frame));
+    wire_src = Header(frame)->source_pe;
+    wire_seq = Header(frame)->seq;
+  }
+
   std::scoped_lock lk(mu_);
   HashEvent(Event::kDeliver, static_cast<std::uint64_t>(pe.mype), h->handler,
             (static_cast<std::uint64_t>(h->source_pe) << 32) | h->seq);
+  // Commutative (wrapping) sum over a per-delivery FNV-1a hash: equal
+  // multisets of deliveries produce equal digests regardless of order.
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t d = 1469598103934665603ull;
+  for (std::uint64_t w : {static_cast<std::uint64_t>(pe.mype),
+                          static_cast<std::uint64_t>(h->handler),
+                          (static_cast<std::uint64_t>(payload) << 32) | crc}) {
+    for (int i = 0; i < 8; ++i) {
+      d = (d ^ (w & 0xffu)) * kPrime;
+      w >>= 8;
+    }
+  }
+  outcome_ += d;
+
+  if (flip_held_.msg != nullptr && wire_src == cfg_.flip.until_src &&
+      wire_seq == cfg_.flip.until_seq) {
+    // The partner delivery happened: release the held message now, strictly
+    // after it — the pair's order is inverted relative to the baseline.
+    void* hm = flip_held_.msg;
+    const int dst = flip_held_.dst;
+    flip_held_ = Held{};
+    flip_done_ = true;
+    flip_applied_ = true;
+    PushTimed(dst, hm, NowUs());
+  }
 }
 
 void SimCoordinator::OnAbort() {
@@ -356,12 +420,18 @@ void SimCoordinator::FillReport() {
   r.agg_msgs_batched = agg_batched_;
   r.final_virtual_us = NowUs();
   r.quiesced = quiesced_;
+  r.outcome_hash = outcome_;
+  r.flip_applied = flip_applied_;
 }
 
 void* SimCoordinator::TakeHeldMessage() {
   std::scoped_lock lk(mu_);
   void* msg = held_.msg;
   held_ = Held{};
+  if (msg == nullptr) {
+    msg = flip_held_.msg;
+    flip_held_ = Held{};
+  }
   return msg;
 }
 

@@ -155,8 +155,17 @@ class SimCoordinator {
   Held held_;
   std::uint64_t faults_injected_ = 0;
 
+  // CciRace replay flip (all under mu_): a second, independent held slot so
+  // a flip coexists with reorder-fault holds.  flip_done_ latches once the
+  // flip either fired or was flushed at quiescence; flip_applied_ is set
+  // only when the inversion actually happened (SimReport::flip_applied).
+  Held flip_held_;
+  bool flip_applied_ = false;
+  bool flip_done_ = false;
+
   // Trace + report counters (all under mu_).
   std::uint64_t hash_ = 1469598103934665603ull;  // FNV-1a offset basis
+  std::uint64_t outcome_ = 0;  // order-insensitive delivery digest
   std::uint64_t events_ = 0;
   std::uint64_t context_switches_ = 0;
   std::uint64_t dropped_ = 0;     // weighted: logical messages lost

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "converse/handlers.h"
 #include "converse/msg.h"
 
 using namespace converse;
@@ -70,4 +71,18 @@ TEST(Msg, LargeMessage) {
   EXPECT_EQ(CmiMsgPayloadSize(m), kBig);
   EXPECT_EQ(static_cast<unsigned char*>(CmiMsgPayload(m))[kBig - 1], 0x5a);
   CmiFree(m);
+}
+
+TEST(Msg, InitMsgHeaderMakesCallerBufferSendable) {
+  alignas(16) unsigned char buf[128];
+  std::memset(buf, 0xee, sizeof(buf));
+  CmiInitMsgHeader(buf, sizeof(buf));
+  EXPECT_TRUE(CmiMsgIsValid(buf));
+  EXPECT_EQ(CmiMsgTotalSize(buf), sizeof(buf));
+  EXPECT_EQ(CmiMsgPayloadSize(buf),
+            sizeof(buf) - static_cast<std::size_t>(CmiMsgHeaderSizeBytes()));
+  EXPECT_EQ(CmiGetHandler(buf), -1);  // invalid until CmiSetHandler
+  CmiSetHandler(buf, 5);
+  EXPECT_EQ(CmiGetHandler(buf), 5);
+  // No CmiFree: the storage is the caller's.
 }

@@ -1,0 +1,313 @@
+// CciRace tests (include/converse/race.h).
+//
+// Three families:
+//  * detection tests — planted logical races must be reported with both
+//    provenance chains and classified by sim-replay confirmation
+//    (confirmed-divergent for order-sensitive pairs, benign-commutative
+//    for commutative ones);
+//  * death tests — CciRaceEnforce must abort with a one-line diagnostic
+//    naming the violated rule for every confirmed-divergent report class;
+//  * disabled-mode tests — with the detector compiled out the same
+//    programs run to completion and the counters API is inert.
+//
+// Death tests use the "threadsafe" style: the machine spawns one OS thread
+// per PE, so gtest must re-execute the binary instead of forking mid-run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "converse/converse.h"
+
+namespace converse {
+namespace {
+
+constexpr unsigned int kMsgBytes =
+    static_cast<unsigned int>(CmiMsgHeaderSizeBytes()) + 8;
+
+MachineConfig SimCfg(SimConfig& sim, int npes, std::uint64_t seed = 7) {
+  sim = SimConfig{};
+  sim.seed = seed;
+  MachineConfig cfg;
+  cfg.npes = npes;
+  cfg.seed = seed;
+  cfg.sim = &sim;
+  cfg.aggregate_sends = 0;  // explicit: ignore any CONVERSE_AGG in the env
+  return cfg;
+}
+
+void SendWord(int dest, int handler, std::uint64_t value) {
+  void* msg = CmiAlloc(kMsgBytes);
+  CmiSetHandler(msg, handler);
+  std::memcpy(CmiMsgPayload(msg), &value, sizeof(value));
+  CmiSyncSendAndFree(static_cast<unsigned>(dest), kMsgBytes, msg);
+}
+
+std::uint64_t PayloadWord(const void* msg) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, CmiMsgPayload(msg), sizeof(v));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Planted workloads.  Each entry registers the same handlers on every PE
+// (ids agree), PE 0 plants two causally unordered deliveries on PE 1, and
+// the run ends at the simulator's quiescence exit.  State lives in the
+// caller's frame and is re-initialized through CciRaceOptions::reset so
+// CciRaceAnalyze can re-execute the entry for its replay runs.
+// ---------------------------------------------------------------------------
+
+/// Payload race: two unordered handlers on PE 1 both read-modify-write the
+/// payload of a message PE 0 still owns, echoing the observed value (so
+/// the flipped replay diverges).
+struct PayloadRaceState {
+  void* victim = nullptr;
+};
+
+void PayloadRaceEntry(PayloadRaceState& st, int mype) {
+  int h_echo = CmiRegisterHandler([](void*) {});
+  const int h_writer = CmiRegisterHandler([&st, h_echo](void* msg) {
+    const std::uint64_t k = PayloadWord(msg);
+    auto* cell = static_cast<std::uint64_t*>(CmiMsgPayload(st.victim));
+    CmiRaceNoteWrite(cell, sizeof(*cell));
+    *cell = *cell * 31 + k;
+    SendWord(0, h_echo, *cell);
+  });
+  if (mype == 0) {
+    st.victim = CmiAlloc(kMsgBytes);
+    std::memset(CmiMsgPayload(st.victim), 0, 8);
+    SendWord(1, h_writer, 1);
+    SendWord(1, h_writer, 2);
+  }
+  CsdScheduler(-1);
+  if (mype == 0) {
+    CmiFree(st.victim);
+    st.victim = nullptr;
+  }
+}
+
+std::vector<CciRaceReport> AnalyzePayloadRace() {
+  PayloadRaceState st;
+  SimConfig sim;
+  const MachineConfig cfg = SimCfg(sim, 2);
+  CciRaceOptions opts;
+  opts.reset = [&st] { st = PayloadRaceState{}; };
+  return CciRaceAnalyze(
+      cfg, [&st](int pe, int) { PayloadRaceEntry(st, pe); }, opts);
+}
+
+/// Cpv race: two unordered handlers on PE 1 both update PE 1's instance of
+/// a CpvDeclare'd counter through CpvAccess (which self-annotates).
+CpvStaticDeclare(std::uint64_t, race_test_counter);
+
+void CpvRaceEntry(int mype) {
+  CpvInitialize(std::uint64_t, race_test_counter);
+  int h_echo = CmiRegisterHandler([](void*) {});
+  const int h_writer = CmiRegisterHandler([h_echo](void* msg) {
+    const std::uint64_t k = PayloadWord(msg);
+    CpvAccess(race_test_counter) = CpvAccess(race_test_counter) * 31 + k;
+    SendWord(0, h_echo, CpvAccess(race_test_counter));
+  });
+  if (mype == 0) {
+    SendWord(1, h_writer, 1);
+    SendWord(1, h_writer, 2);
+  }
+  CsdScheduler(-1);
+}
+
+std::vector<CciRaceReport> AnalyzeCpvRace() {
+  SimConfig sim;
+  const MachineConfig cfg = SimCfg(sim, 2);
+  return CciRaceAnalyze(cfg, [](int pe, int) { CpvRaceEntry(pe); });
+}
+
+/// Benign pair: two unordered commutative increments of a registered cell,
+/// nothing order-dependent escapes — the candidate must classify
+/// benign-commutative and CciRaceEnforce must pass.
+struct BenignState {
+  std::uint64_t cell = 0;
+};
+
+void BenignEntry(BenignState& st, int mype) {
+  const int h_inc = CmiRegisterHandler([&st](void*) {
+    CmiRaceNoteWrite(&st.cell, sizeof(st.cell));
+    st.cell += 1;
+  });
+  if (mype == 0) {
+    CciRaceRegisterNamed(&st.cell, sizeof(st.cell), "benign counter");
+    SendWord(1, h_inc, 1);
+    SendWord(1, h_inc, 2);
+  }
+  CsdScheduler(-1);
+}
+
+std::vector<CciRaceReport> AnalyzeBenign(BenignState& st) {
+  SimConfig sim;
+  const MachineConfig cfg = SimCfg(sim, 2);
+  CciRaceOptions opts;
+  opts.reset = [&st] { st.cell = 0; };
+  return CciRaceAnalyze(
+      cfg, [&st](int pe, int) { BenignEntry(st, pe); }, opts);
+}
+
+/// Causally ordered chain: each hop's handler performs the next send, so
+/// every access to the cell is ordered — a sound detector stays silent.
+void OrderedChainEntry(std::uint64_t* cell, int mype, int npes) {
+  int h_hop = -1;
+  h_hop = CmiRegisterHandler([cell, npes, &h_hop](void* msg) {
+    const std::uint64_t hop = PayloadWord(msg);
+    CmiRaceNoteWrite(cell, sizeof(*cell));
+    *cell = *cell * 31 + hop;
+    if (hop < 8) {
+      SendWord(static_cast<int>((hop + 1) % npes), h_hop, hop + 1);
+    }
+  });
+  if (mype == 0) {
+    CciRaceRegisterNamed(cell, sizeof(*cell), "chain cell");
+    SendWord(1 % npes, h_hop, 1);
+  }
+  CsdScheduler(-1);
+}
+
+// ---------------------------------------------------------------------------
+// Detection + classification
+// ---------------------------------------------------------------------------
+
+class CciRaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CciRaceEnabled()) {
+      GTEST_SKIP() << "library built without -DCONVERSE_RACE=ON";
+    }
+  }
+};
+
+TEST_F(CciRaceTest, PayloadRaceConfirmedDivergentWithBothChains) {
+  const auto reports = AnalyzePayloadRace();
+  ASSERT_EQ(reports.size(), 1u);
+  const CciRaceReport& r = reports[0];
+  EXPECT_EQ(r.rule, CciRaceRule::kPayloadRace);
+  EXPECT_EQ(r.classification, CciRaceClass::kConfirmedDivergent);
+  EXPECT_TRUE(r.replayable);
+  // Both provenance chains name the racing handler on PE 1 and trace the
+  // message back to PE 0's entry context.
+  EXPECT_NE(r.first.chain.find("@pe1(msg pe0#"), std::string::npos)
+      << r.first.chain;
+  EXPECT_NE(r.second.chain.find("@pe1(msg pe0#"), std::string::npos)
+      << r.second.chain;
+  EXPECT_NE(r.first.chain.find("entry@pe0"), std::string::npos);
+  EXPECT_NE(r.second.chain.find("entry@pe0"), std::string::npos);
+  EXPECT_LT(r.first.order, r.second.order);
+  EXPECT_NE(r.line.find("rule=payload-race"), std::string::npos) << r.line;
+  EXPECT_NE(r.line.find("class=confirmed-divergent"), std::string::npos);
+}
+
+TEST_F(CciRaceTest, CpvRaceConfirmedDivergentWithBothChains) {
+  const auto reports = AnalyzeCpvRace();
+  ASSERT_EQ(reports.size(), 1u);
+  const CciRaceReport& r = reports[0];
+  EXPECT_EQ(r.rule, CciRaceRule::kCpvRace);
+  EXPECT_EQ(r.classification, CciRaceClass::kConfirmedDivergent);
+  EXPECT_NE(r.object.find("race_test_counter"), std::string::npos)
+      << r.object;
+  EXPECT_FALSE(r.first.chain.empty());
+  EXPECT_FALSE(r.second.chain.empty());
+  EXPECT_NE(r.line.find("rule=cpv-race"), std::string::npos) << r.line;
+}
+
+TEST_F(CciRaceTest, BenignCommutativePairPassesEnforce) {
+  BenignState st;
+  const auto reports = AnalyzeBenign(st);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].rule, CciRaceRule::kCsvRace);
+  EXPECT_EQ(reports[0].classification, CciRaceClass::kBenignCommutative);
+  CciRaceEnforce(reports);  // must not abort
+}
+
+TEST_F(CciRaceTest, CausallyOrderedChainIsSilent) {
+  std::uint64_t cell = 0;
+  SimConfig sim;
+  const MachineConfig cfg = SimCfg(sim, 3);
+  CciRaceOptions opts;
+  opts.reset = [&cell] { cell = 0; };
+  const auto reports = CciRaceAnalyze(
+      cfg, [&cell](int pe, int npes) { OrderedChainEntry(&cell, pe, npes); },
+      opts);
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST_F(CciRaceTest, CountersAdvance) {
+  const CciRaceCounters before = CciRaceGetCounters();
+  (void)AnalyzePayloadRace();
+  const CciRaceCounters after = CciRaceGetCounters();
+  EXPECT_GT(after.accesses, before.accesses);
+  EXPECT_GT(after.candidates, before.candidates);
+  EXPECT_GT(after.confirmed, before.confirmed);
+}
+
+TEST(CciRaceNames, AreStable) {
+  EXPECT_STREQ(CciRaceRuleName(CciRaceRule::kPayloadRace), "payload-race");
+  EXPECT_STREQ(CciRaceRuleName(CciRaceRule::kCpvRace), "cpv-race");
+  EXPECT_STREQ(CciRaceRuleName(CciRaceRule::kCsvRace), "csv-race");
+  EXPECT_STREQ(CciRaceRuleName(CciRaceRule::kMemoryRace), "memory-race");
+  EXPECT_STREQ(CciRaceClassName(CciRaceClass::kUnconfirmed), "unconfirmed");
+  EXPECT_STREQ(CciRaceClassName(CciRaceClass::kConfirmedDivergent),
+               "confirmed-divergent");
+  EXPECT_STREQ(CciRaceClassName(CciRaceClass::kBenignCommutative),
+               "benign-commutative");
+  EXPECT_STREQ(CciRaceClassName(CciRaceClass::kUnreplayable),
+               "unreplayable");
+}
+
+// ---------------------------------------------------------------------------
+// Death tests: one per report class that must be fatal under Enforce.
+// ---------------------------------------------------------------------------
+
+class CciRaceDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CciRaceEnabled()) {
+      GTEST_SKIP() << "library built without -DCONVERSE_RACE=ON";
+    }
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+TEST_F(CciRaceDeathTest, PayloadRaceAborts) {
+  EXPECT_DEATH(CciRaceEnforce(AnalyzePayloadRace()),
+               "\\[CciRace\\] fatal: rule=payload-race");
+}
+
+TEST_F(CciRaceDeathTest, CpvRaceAborts) {
+  EXPECT_DEATH(CciRaceEnforce(AnalyzeCpvRace()),
+               "\\[CciRace\\] fatal: rule=cpv-race");
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode: everything is inert and the programs run to completion.
+// ---------------------------------------------------------------------------
+
+TEST(CciRaceDisabled, CountersAreInert) {
+  if (CciRaceEnabled()) {
+    GTEST_SKIP() << "library built with -DCONVERSE_RACE=ON";
+  }
+  const CciRaceCounters c = CciRaceGetCounters();
+  EXPECT_EQ(c.tracked_cells, -1);
+  EXPECT_EQ(c.accesses, 0);
+  EXPECT_EQ(c.candidates, 0);
+  EXPECT_EQ(c.confirmed, 0);
+  EXPECT_TRUE(CciRaceTakeReports().empty());
+}
+
+TEST(CciRaceDisabled, RacyProgramRunsToCompletion) {
+  if (CciRaceEnabled()) {
+    GTEST_SKIP() << "library built with -DCONVERSE_RACE=ON";
+  }
+  const auto reports = AnalyzePayloadRace();
+  EXPECT_TRUE(reports.empty());
+  CciRaceEnforce(reports);  // nothing to enforce
+}
+
+}  // namespace
+}  // namespace converse

@@ -197,3 +197,47 @@ TEST(Sim, ReportCountsContextSwitchesAndEvents) {
   EXPECT_GT(r.report.events, r.report.context_switches);
   EXPECT_GT(r.report.context_switches, 0u);
 }
+
+TEST(Sim, OutcomeHashIsDeterministicAndOrderInsensitive) {
+  // Same seed -> identical outcome digest (alongside the ordered trace
+  // hash); the digest also survives schedule changes that permute the same
+  // multiset of deliveries, which is what CciRace's replay relies on.
+  const sim::FuzzResult a = sim::RunFuzzCase(BaseParams(5));
+  const sim::FuzzResult b = sim::RunFuzzCase(BaseParams(5));
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  EXPECT_NE(a.report.outcome_hash, 0u);
+  EXPECT_EQ(a.report.outcome_hash, b.report.outcome_hash);
+  EXPECT_FALSE(a.report.flip_applied);  // no flip configured
+}
+
+TEST(Sim, FlipWithAbsentTargetLeavesFlipUnapplied) {
+  // A flip whose hold identity never hits the wire must flush cleanly at
+  // quiescence with flip_applied=false (the "unreplayable" signal).
+  SimReport report;
+  SimConfig sim;
+  sim.seed = 11;
+  sim.report = &report;
+  sim.flip.enabled = true;
+  sim.flip.hold_src = 0;
+  sim.flip.hold_seq = 0xfffffff0u;  // never allocated by this short run
+  sim.flip.until_src = 1;
+  sim.flip.until_seq = 0xfffffff1u;
+  MachineConfig cfg;
+  cfg.npes = 2;
+  cfg.sim = &sim;
+  cfg.aggregate_sends = 0;
+  RunConverse(cfg, [](int pe, int) {
+    const int h = CmiRegisterHandler([](void*) {});
+    if (pe == 0) {
+      void* msg = CmiAlloc(CmiMsgHeaderSizeBytes());
+      CmiSetHandler(msg, h);
+      CmiSyncSendAndFree(1, static_cast<unsigned>(CmiMsgHeaderSizeBytes()),
+                         msg);
+    }
+    CsdScheduler(-1);
+  });
+  EXPECT_TRUE(report.quiesced);
+  EXPECT_FALSE(report.flip_applied);
+  EXPECT_NE(report.outcome_hash, 0u);
+}

@@ -21,6 +21,18 @@
 //                              without a CmiGrabBuffer above it.
 //   grab-without-deref         CmiGrabBuffer(msg) instead of
 //                              CmiGrabBuffer(&msg) (takes void**).
+//   cpv-use-before-init        CpvAccess/CsvAccess of a variable that no
+//                              CpvInitialize/CsvInitialize in the same file
+//                              ever registers: the cell is read before the
+//                              runtime (and CciRace) know it exists.
+//   handler-register-after-start
+//                              CmiRegisterHandler inside a handler body:
+//                              registration after the scheduler starts gives
+//                              different indices on different PEs.
+//   send-uninit-header         CmiSyncSend*/CmiSyncBroadcast* of a raw char
+//                              buffer with no CmiInitMsgHeader/CmiSetHandler
+//                              above it in scope: the 32-byte header is
+//                              garbage on the wire.
 //
 // Usage: converse_lint <file.cpp> [more files...]
 //        converse_lint --list-rules
@@ -30,6 +42,7 @@
 #include <cstring>
 #include <fstream>
 #include <regex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,6 +69,13 @@ constexpr RuleInfo kRules[] = {
     {"enqueue-delivered-buffer",
      "CsdEnqueue of a delivered message with no CmiGrabBuffer in scope"},
     {"grab-without-deref", "CmiGrabBuffer(p) where p is not &lvalue"},
+    {"cpv-use-before-init",
+     "CpvAccess/CsvAccess with no CpvInitialize/CsvInitialize in the file"},
+    {"handler-register-after-start",
+     "CmiRegisterHandler inside a handler body (after scheduler start)"},
+    {"send-uninit-header",
+     "CmiSyncSend* of a raw buffer never passed to CmiInitMsgHeader/"
+     "CmiSetHandler"},
 };
 
 /// Strip // and /* */ comments and string literals so identifiers inside
@@ -134,6 +154,24 @@ class FileScanner {
         R"(Csd(Enqueue\w*|EnqueueGeneral)\s*\(\s*([A-Za-z_]\w*)\s*[,)])");
     static const std::regex grab_bad_re(
         R"(CmiGrabBuffer\s*\(\s*[A-Za-z_]\w*\s*\))");
+    static const std::regex cpv_access_re(
+        R"(C[ps]vAccess\s*\(\s*([A-Za-z_]\w*)\s*\))");
+    // The variable is the last argument (the first is the type, which may
+    // itself contain commas/colons — match greedily up to the final comma).
+    static const std::regex cpv_init_re(
+        R"(C[ps]vInitialize\s*\(.*,\s*([A-Za-z_]\w*)\s*\))");
+    // A handler body opens where a single-`void*` parameter list meets a
+    // brace; CmiHandler typedefs and declarations have no brace and the
+    // conventional two-arg entry signatures have a comma, so neither match.
+    static const std::regex handler_sig_re(
+        R"(\(\s*void\s*\*\s*[A-Za-z_]\w*\s*\)\s*(\{|$))");
+    static const std::regex register_re(R"(CmiRegisterHandler\s*\()");
+    static const std::regex char_buf_re(
+        R"((?:unsigned\s+)?char\s+([A-Za-z_]\w*)\s*\[)");
+    static const std::regex header_init_re(
+        R"((?:CmiInitMsgHeader|CmiSetHandler)\s*\(\s*&?\s*([A-Za-z_]\w*))");
+    static const std::regex send_last_arg_re(
+        R"(CmiSync\w*\s*\([^;]*[(,]\s*([A-Za-z_]\w*)\s*\)\s*;)");
 
     std::string raw;
     int lineno = 0;
@@ -143,8 +181,23 @@ class FileScanner {
     // reassigned.  Approximate by design; see the file comment.
     std::vector<std::pair<std::string, int>> sent;   // send-and-free'd vars
     std::vector<std::pair<std::string, int>> freed;  // CmiFree'd vars
+    // raw char buffers never blessed by CmiInitMsgHeader/CmiSetHandler
+    std::vector<std::pair<std::string, int>> raw_bufs;
     int depth = 0;
     bool saw_grab_in_fn = false;
+    // cpv-use-before-init is a whole-file property (the initialize may sit
+    // below the access — handlers are usually defined above the entry that
+    // initializes), so accesses are buffered and resolved at EOF.
+    struct CpvUse {
+      std::string raw;
+      std::string allow;
+      std::string var;
+      int line;
+    };
+    std::vector<CpvUse> cpv_uses;
+    std::set<std::string> cpv_inited;
+    int handler_depth = 0;  // brace depth of the open handler body, 0 = none
+    bool pending_handler_sig = false;  // sig seen, brace expected next line
 
     while (std::getline(in, raw)) {
       ++lineno;
@@ -163,6 +216,12 @@ class FileScanner {
         Forget(&sent, (*it)[1]);
         Forget(&freed, (*it)[1]);
       }
+
+      // Preprocessor lines define the Cpv/Csv and handler macros themselves;
+      // none of the new rules should fire on a #define.
+      const auto first_char = code.find_first_not_of(" \t");
+      const bool preprocessor =
+          first_char != std::string::npos && code[first_char] == '#';
 
       std::smatch m;
       if (std::regex_search(code, m, alloc_re)) {
@@ -225,13 +284,82 @@ class FileScanner {
         }
       }
 
+      if (!preprocessor) {
+        for (std::sregex_iterator it(code.begin(), code.end(), cpv_access_re),
+             end;
+             it != end; ++it) {
+          cpv_uses.push_back(CpvUse{raw, allow_context_, (*it)[1], lineno});
+        }
+        if (std::regex_search(code, m, cpv_init_re)) {
+          cpv_inited.insert(m[1]);
+        }
+
+        // Check registrations BEFORE opening a handler context so that a
+        // `CmiRegisterHandler([](void* msg) {` line flags only what is
+        // nested inside the lambda, not the registration itself.
+        if (handler_depth > 0 && std::regex_search(code, m, register_re)) {
+          Report(out, raw, lineno, "handler-register-after-start",
+                 "CmiRegisterHandler inside a handler body runs after the "
+                 "scheduler started; indices will differ across PEs — "
+                 "register from the entry function instead");
+        }
+        if (pending_handler_sig) {
+          pending_handler_sig = false;
+          if (handler_depth == 0 && first_char != std::string::npos &&
+              code[first_char] == '{') {
+            handler_depth = depth + 1;
+          }
+        }
+        if (handler_depth == 0 &&
+            std::regex_search(code, m, handler_sig_re)) {
+          if (m[1] == "{") {
+            handler_depth = depth + 1;
+          } else {
+            pending_handler_sig = true;  // Allman brace on the next line
+          }
+        }
+
+        for (std::sregex_iterator it(code.begin(), code.end(), char_buf_re),
+             end;
+             it != end; ++it) {
+          raw_bufs.emplace_back((*it)[1], lineno);
+        }
+        for (std::sregex_iterator it(code.begin(), code.end(),
+                                     header_init_re),
+             end;
+             it != end; ++it) {
+          Forget(&raw_bufs, (*it)[1]);
+        }
+        if (std::regex_search(code, m, send_last_arg_re)) {
+          const std::string var = m[1];
+          if (Find(raw_bufs, var) != -1) {
+            Report(out, raw, lineno, "send-uninit-header",
+                   "send of raw buffer '" + var + "' (declared on line " +
+                       std::to_string(Find(raw_bufs, var)) +
+                       ") with no CmiInitMsgHeader/CmiSetHandler above it: "
+                       "the 32-byte message header is uninitialized");
+          }
+        }
+      }
+
       depth += delta;
       if (delta < 0) {
         // A scope closed: tracked lifetimes are no longer comparable.
         sent.clear();
         freed.clear();
+        raw_bufs.clear();
         if (depth <= 1) saw_grab_in_fn = false;
       }
+      if (handler_depth > 0 && depth < handler_depth) handler_depth = 0;
+    }
+
+    for (const CpvUse& use : cpv_uses) {
+      if (cpv_inited.count(use.var) != 0) continue;
+      allow_context_ = use.allow;
+      Report(out, use.raw, use.line, "cpv-use-before-init",
+             "CpvAccess(" + use.var + ") but no CpvInitialize/CsvInitialize "
+             "of '" + use.var + "' anywhere in this file: the cell is never "
+             "registered (and for Cpv never zeroed) before use");
     }
     return true;
   }
@@ -281,7 +409,7 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "--list-rules") == 0) {
     for (const RuleInfo& r : kRules) {
-      std::printf("%-26s %s\n", r.name, r.what);
+      std::printf("%-28s %s\n", r.name, r.what);
     }
     return 0;
   }

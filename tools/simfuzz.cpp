@@ -11,12 +11,19 @@
 //           [--pes N] [--actions N] [--threads N]
 //           [--drop P] [--dup P] [--delay P] [--reorder P]
 //           [--agg] [--plant-bug] [--trace-hash] [--quiet]
+//   simfuzz --race [--seed N] [--seeds COUNT] [--start N] [--pes N]
+//           [--chains N] [--hops N] [--plant-race | --plant-benign] [--quiet]
 //
 // With --seeds COUNT, seeds start..start+COUNT-1 are run and the first
 // failure stops the sweep.  Otherwise a single seed is run: --seed, else
 // the CONVERSE_SIM_SEED environment variable, else 1.  --trace-hash prints
 // the run's event-trace hash (for determinism checks).  Exit status is 0
 // iff every run passed its oracles.
+//
+// --race switches to the CciRace fuzz workload (causally ordered token
+// chains that must produce zero reports, optionally with a planted racy
+// pair that must be caught and classified; see converse/race.h).  It
+// requires a library built with -DCONVERSE_RACE=ON and exits 2 otherwise.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,8 +39,11 @@ void Usage(const char* argv0) {
       "usage: %s [--seed N] [--seeds COUNT] [--start N] [--pes N]\n"
       "          [--actions N] [--threads N] [--drop P] [--dup P]\n"
       "          [--delay P] [--reorder P] [--agg] [--plant-bug]\n"
-      "          [--trace-hash] [--quiet]\n",
-      argv0);
+      "          [--trace-hash] [--quiet]\n"
+      "       %s --race [--seed N] [--seeds COUNT] [--start N] [--pes N]\n"
+      "          [--chains N] [--hops N] [--plant-race | --plant-benign]\n"
+      "          [--quiet]\n",
+      argv0, argv0);
 }
 
 bool RunOne(const converse::sim::FuzzParams& params, bool trace_hash,
@@ -76,13 +86,34 @@ bool RunOne(const converse::sim::FuzzParams& params, bool trace_hash,
   return false;
 }
 
+bool RunOneRace(const converse::sim::RaceFuzzParams& params, bool quiet) {
+  converse::sim::RaceFuzzResult res = converse::sim::RunRaceFuzzCase(params);
+  if (res.ok) {
+    if (!quiet) {
+      std::printf(
+          "seed %llu: ok (%d candidate(s): %d divergent, %d benign, "
+          "%d unreplayable)\n",
+          static_cast<unsigned long long>(params.seed), res.candidates,
+          res.divergent, res.benign, res.unreplayable);
+    }
+    return true;
+  }
+  std::fprintf(stderr, "seed %llu: FAILED: %s\n",
+               static_cast<unsigned long long>(params.seed),
+               res.failure.c_str());
+  std::fprintf(stderr, "replay with:\n  %s\n",
+               converse::sim::FormatRaceReplay(params).c_str());
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   converse::sim::FuzzParams params;
+  converse::sim::RaceFuzzParams race_params;
   unsigned long long seeds = 1, start = 1;
   bool explicit_seed = false, sweep = false;
-  bool trace_hash = false, quiet = false;
+  bool trace_hash = false, quiet = false, race = false;
 
   if (const char* env = std::getenv("CONVERSE_SIM_SEED")) {
     params.seed = std::strtoull(env, nullptr, 10);
@@ -108,6 +139,7 @@ int main(int argc, char** argv) {
       start = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--pes") {
       params.npes = std::atoi(next());
+      race_params.npes = params.npes;
     } else if (arg == "--actions") {
       params.actions = std::atoi(next());
     } else if (arg == "--threads") {
@@ -124,6 +156,16 @@ int main(int argc, char** argv) {
       params.aggregate = true;
     } else if (arg == "--plant-bug") {
       params.plant_reorder_bug = true;
+    } else if (arg == "--race") {
+      race = true;
+    } else if (arg == "--chains") {
+      race_params.chains = std::atoi(next());
+    } else if (arg == "--hops") {
+      race_params.hops = std::atoi(next());
+    } else if (arg == "--plant-race") {
+      race_params.plant = 1;
+    } else if (arg == "--plant-benign") {
+      race_params.plant = 2;
     } else if (arg == "--trace-hash") {
       trace_hash = true;
     } else if (arg == "--quiet") {
@@ -141,14 +183,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: invalid --pes/--actions/--threads\n", argv[0]);
     return 2;
   }
+  if (race && !converse::sim::RaceFuzzAvailable()) {
+    std::fprintf(stderr,
+                 "%s: --race needs the CciRace detector; rebuild with "
+                 "-DCONVERSE_RACE=ON\n",
+                 argv[0]);
+    return 2;
+  }
+  if (race && (race_params.chains < 0 || race_params.hops < 1)) {
+    std::fprintf(stderr, "%s: invalid --chains/--hops\n", argv[0]);
+    return 2;
+  }
 
   if (!sweep) {
-    return RunOne(params, trace_hash, quiet) ? 0 : 1;
+    race_params.seed = params.seed;
+    return (race ? RunOneRace(race_params, quiet)
+                 : RunOne(params, trace_hash, quiet))
+               ? 0
+               : 1;
   }
   if (explicit_seed) start = params.seed;
   for (unsigned long long s = start; s < start + seeds; ++s) {
     params.seed = s;
-    if (!RunOne(params, trace_hash, quiet)) return 1;
+    race_params.seed = s;
+    if (race) {
+      if (!RunOneRace(race_params, quiet)) return 1;
+    } else if (!RunOne(params, trace_hash, quiet)) {
+      return 1;
+    }
   }
   if (!quiet) {
     std::printf("all %llu seeds passed\n", seeds);
