@@ -14,12 +14,20 @@ struct Metric {
   std::string unit;
 };
 
+struct Percentile {
+  std::string series;
+  double quantile;
+  double value;
+  std::string unit;
+};
+
 struct State {
   std::string benchmark;
   std::string path;  // empty = stdout
   bool json = false;
   bool quick = false;
   std::vector<Metric> metrics;
+  std::vector<Percentile> percentiles;
 };
 
 State& S() {
@@ -55,6 +63,13 @@ void JsonAdd(const char* name, double value, const char* unit) {
   s.metrics.push_back(Metric{name, value, unit});
 }
 
+void JsonAddPercentile(const char* series, double quantile, double value,
+                       const char* unit) {
+  State& s = S();
+  if (!s.json) return;
+  s.percentiles.push_back(Percentile{series, quantile, value, unit});
+}
+
 int JsonFlush() {
   State& s = S();
   if (!s.json) return 0;
@@ -75,7 +90,22 @@ int JsonFlush() {
                  "\"unit\": \"%s\"}",
                  i == 0 ? "" : ",", m.name.c_str(), m.value, m.unit.c_str());
   }
-  std::fprintf(out, "\n]}\n");
+  std::fprintf(out, "\n]");
+  if (!s.percentiles.empty()) {
+    // Same no-library discipline as the metrics array: flat rows, numeric
+    // values only.  Present only when a benchmark recorded quantiles.
+    std::fprintf(out, ", \"percentiles\": [");
+    for (std::size_t i = 0; i < s.percentiles.size(); ++i) {
+      const Percentile& p = s.percentiles[i];
+      std::fprintf(out,
+                   "%s\n  {\"series\": \"%s\", \"quantile\": %g, "
+                   "\"value\": %.6g, \"unit\": \"%s\"}",
+                   i == 0 ? "" : ",", p.series.c_str(), p.quantile, p.value,
+                   p.unit.c_str());
+    }
+    std::fprintf(out, "\n]");
+  }
+  std::fprintf(out, "}\n");
   if (out != stdout) std::fclose(out);
   return 0;
 }

@@ -36,6 +36,16 @@ bool QuickRun();
 /// be plain ASCII without quotes or backslashes.
 void JsonAdd(const char* name, double value, const char* unit);
 
+/// Record one quantile of a named distribution series (no-op unless
+/// JsonEnabled()).  Emitted as a separate "percentiles" array of
+///   {"series": "latency/0.8x", "quantile": 0.99, "value": 41.2,
+///    "unit": "us"}
+/// rows, added to the object only when at least one row was recorded — a
+/// benchmark that never calls this keeps the original flat schema
+/// unchanged.
+void JsonAddPercentile(const char* series, double quantile, double value,
+                       const char* unit);
+
 /// Write the JSON object to the `--json` destination (no-op when disabled).
 /// Returns 0 on success, 1 if the output file could not be written.
 int JsonFlush();

@@ -1,0 +1,170 @@
+// Service-workload macro benchmark: tail latency vs offered rate, with
+// overload shedding (docs/PERFORMANCE.md "Service workload").
+//
+// Runs the converse/svc.h request/response service under the deterministic
+// simulation backend, so the latency distribution is exact virtual time —
+// bit-for-bit reproducible across machines and immune to host load, which
+// is what lets CI compare BENCH_service.json across commits.
+//
+// One run per offered rate (0.5x, 0.8x, 1.2x of analytic capacity):
+// p50/p99/p999 of admitted-request latency, goodput, and shed fraction.
+// The 1.2x point is the SLO demonstration: admission control must keep the
+// admitted-request p99 inside the queue-cap bound and goodput within 90%
+// of saturation while a fifth of the offered load is refused.
+//
+//   bench_service [--quick] [--relaxed] [--json[=path]]
+//
+// --quick cuts the request count to smoke size; --relaxed reports SLO
+// violations without failing the exit code (for perf-smoke runs where the
+// numbers are recorded but not gating).
+#include <cstdio>
+#include <cstring>
+
+#include "bench_json.h"
+#include "converse/machine.h"
+#include "converse/sim.h"
+#include "converse/svc.h"
+
+using namespace converse;
+using namespace converse::bench;
+
+namespace {
+
+constexpr int kNpes = 4;
+
+struct RateResult {
+  svc::SvcPeStats totals;
+  double virtual_us = 0.0;
+  double goodput_rps = 0.0;   // completed requests per virtual second
+  double shed_fraction = 0.0;
+};
+
+RateResult RunAtRate(const svc::SvcConfig& cfg, double rate_per_pe,
+                     std::uint64_t requests_per_pe) {
+  RateResult out;
+  svc::Service s(cfg, kNpes);
+  SimConfig sim;
+  sim.seed = 12;
+  SimReport report;
+  sim.report = &report;
+  MachineConfig m;
+  m.npes = kNpes;
+  m.seed = 12;
+  m.sim = &sim;
+  m.aggregate_sends = 0;
+  svc::SvcLoad load;
+  load.rate_per_pe = rate_per_pe;
+  load.requests_per_pe = requests_per_pe;
+  load.arrival = svc::Arrival::kPoisson;
+  load.seed = 12;
+  RunConverse(m, [&](int, int) {
+    s.Start();
+    s.GenerateLoad(load);
+    s.Serve();
+  });
+  out.totals = s.Total();
+  out.virtual_us = report.final_virtual_us;
+  if (out.virtual_us > 0) {
+    out.goodput_rps = static_cast<double>(out.totals.completed) /
+                      (out.virtual_us / 1e6);
+  }
+  if (out.totals.requests_received > 0) {
+    out.shed_fraction =
+        static_cast<double>(out.totals.shed_queue +
+                            out.totals.shed_deadline) /
+        static_cast<double>(out.totals.requests_received);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonInit("service", argc, argv);
+  bool relaxed = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--relaxed") == 0) relaxed = true;
+  }
+
+  svc::SvcConfig cfg;
+  cfg.sessions = 256;
+  cfg.workers = 4;
+  cfg.service_time_us = 5.0;
+  cfg.queue_cap = 32;
+  // Analytic capacity: `workers` concurrent requests of service_time each
+  // => workers / service_time completions per second per PE.
+  const double capacity_rps = cfg.workers / (cfg.service_time_us * 1e-6);
+  const std::uint64_t requests = QuickRun() ? 2000 : 10000;
+
+  std::printf("service workload: %d PEs, %d workers/PE, %.1f us service, "
+              "queue cap %u, capacity %.0f req/s/PE (virtual time)\n",
+              kNpes, cfg.workers, cfg.service_time_us, cfg.queue_cap,
+              capacity_rps);
+  std::printf("%-8s %12s %12s %8s %10s %10s %10s\n", "rate", "offered/s",
+              "goodput/s", "shed%", "p50_us", "p99_us", "p999_us");
+  JsonAdd("capacity_rps_per_pe", capacity_rps, "req/s");
+
+  // Saturation baseline: goodput at exactly 1.0x capacity.
+  const RateResult sat = RunAtRate(cfg, capacity_rps, requests);
+
+  bool slo_ok = true;
+  const struct {
+    const char* label;
+    double factor;
+  } kRates[] = {{"0.5x", 0.5}, {"0.8x", 0.8}, {"1.2x", 1.2}};
+  for (const auto& rate : kRates) {
+    const RateResult r = RunAtRate(cfg, capacity_rps * rate.factor, requests);
+    const util::LogHistogram& h = r.totals.latency_ns;
+    const double p50 = static_cast<double>(h.Quantile(0.5)) / 1000.0;
+    const double p99 = static_cast<double>(h.Quantile(0.99)) / 1000.0;
+    const double p999 = static_cast<double>(h.Quantile(0.999)) / 1000.0;
+    std::printf("%-8s %12.0f %12.0f %7.2f%% %10.2f %10.2f %10.2f\n",
+                rate.label, capacity_rps * rate.factor * kNpes,
+                r.goodput_rps, r.shed_fraction * 100.0, p50, p99, p999);
+
+    char name[64];
+    std::snprintf(name, sizeof(name), "goodput_rps/%s", rate.label);
+    JsonAdd(name, r.goodput_rps, "req/s");
+    std::snprintf(name, sizeof(name), "shed_fraction/%s", rate.label);
+    JsonAdd(name, r.shed_fraction, "ratio");
+    std::snprintf(name, sizeof(name), "latency/%s", rate.label);
+    JsonAddPercentile(name, 0.5, p50, "us");
+    JsonAddPercentile(name, 0.99, p99, "us");
+    JsonAddPercentile(name, 0.999, p999, "us");
+
+    if (rate.factor > 1.0) {
+      // The overload SLO: shedding must engage, admitted-request p99 must
+      // stay inside the queue-cap bound, and goodput must hold >= 90% of
+      // the saturation baseline.
+      const double bound_us =
+          cfg.service_time_us *
+          static_cast<double>((cfg.queue_cap - 1 + cfg.workers) /
+                                  cfg.workers +
+                              2);
+      if (r.totals.shed_queue + r.totals.shed_deadline == 0) {
+        std::printf("SLO VIOLATION: no shedding at %s offered load\n",
+                    rate.label);
+        slo_ok = false;
+      }
+      if (p99 > bound_us) {
+        std::printf("SLO VIOLATION: admitted p99 %.2f us exceeds queue-cap "
+                    "bound %.2f us\n",
+                    p99, bound_us);
+        slo_ok = false;
+      }
+      if (r.goodput_rps < 0.9 * sat.goodput_rps) {
+        std::printf("SLO VIOLATION: overload goodput %.0f below 90%% of "
+                    "saturation %.0f\n",
+                    r.goodput_rps, sat.goodput_rps);
+        slo_ok = false;
+      }
+    }
+  }
+  JsonAdd("saturation_goodput_rps", sat.goodput_rps, "req/s");
+
+  const int json_rc = JsonFlush();
+  if (!slo_ok && relaxed) {
+    std::printf("(--relaxed: SLO violations reported, not failing)\n");
+  }
+  return json_rc != 0 ? json_rc : (slo_ok || relaxed ? 0 : 1);
+}

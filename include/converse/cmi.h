@@ -56,6 +56,20 @@ void CmiSyncSend(unsigned int dest_pe, unsigned int size, void* msg);
 /// Extension over the paper's MMI, present in later Converse versions.
 void CmiSyncSendAndFree(unsigned int dest_pe, unsigned int size, void* msg);
 
+/// Timed send (extension): deliver `msg` to `dest_pe` no earlier than
+/// `delay_us` microseconds of machine time from now — virtual time under
+/// the simulation backend, modeled time under a NetModel — on top of the
+/// model's own latency.  Requires a timed machine (MachineConfig::sim or
+/// MachineConfig::model set); on a plain machine the delay is ignored and
+/// delivery is immediate (callers that need real-time pacing on a plain
+/// machine spin on CmiTimer instead).  Timed messages bypass
+/// the aggregation layer and carry no FIFO ordering guarantee relative to
+/// untimed sends.  Transfers ownership of `msg` like CmiSyncSendAndFree.
+/// This is the timer primitive the service runtime (converse/svc.h) builds
+/// virtual-time arrival generators and service-time clocks from.
+void CmiSyncSendDelayedAndFree(unsigned int dest_pe, unsigned int size,
+                               void* msg, double delay_us);
+
 /// Initiate an asynchronous send; the buffer must stay valid until
 /// CmiAsyncMsgSent(handle) returns nonzero.
 CommHandle CmiAsyncSend(unsigned int dest_pe, unsigned int size, void* msg);
@@ -159,6 +173,11 @@ struct CmiStats {
   std::uint64_t agg_msgs_batched = 0;  // messages that traveled inside frames
   std::uint64_t bcast_forwards = 0;    // spanning-tree wrapper sends (root
                                        // children + interior re-forwards)
+  // Service runtime (converse/svc.h): per-PE admission-control outcomes of
+  // requests arriving at sessions owned by this PE.
+  std::uint64_t svc_admitted = 0;   // requests accepted into a session queue
+  std::uint64_t svc_shed = 0;       // requests refused (queue cap / deadline)
+  std::uint64_t svc_completed = 0;  // admitted requests that sent a reply
 };
 
 /// Snapshot of the current PE's counters.

@@ -24,7 +24,9 @@ struct MachineConfig {
 
   /// Optional network latency model; nullptr = zero-latency shared memory.
   /// When set, a message becomes visible to its receiver only after
-  /// model.OnewayUs(payload) microseconds of wall time.
+  /// model.OnewayUs(payload) microseconds of wall time.  Sends a PE makes
+  /// to itself never cross the modeled network and pay no model latency
+  /// (so a delayed self-send is a pure timer; see converse/cmi.h).
   const NetModel* model = nullptr;
 
   /// Default stack size for thread objects created on this machine.

@@ -25,7 +25,10 @@
 namespace converse {
 
 /// Fault-injection probabilities, each in [0, 1), applied independently to
-/// every regular inter-PE message at send time.
+/// every regular inter-PE message at send time.  Messages a PE sends to
+/// itself are exempt (they never cross a network), as are immediate-lane
+/// messages and local scheduler enqueues — together they form the reliable
+/// control plane that timers and shutdown protocols can build on.
 struct SimFaults {
   double drop = 0.0;     // message silently freed, never delivered
   double dup = 0.0;      // an identical copy (same header seq) also arrives

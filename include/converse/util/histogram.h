@@ -1,0 +1,72 @@
+// Log-bucketed (HDR-style) latency histogram.
+//
+// Values are non-negative integers (the service layer records nanoseconds).
+// Below 2^sub_bits every value has its own bucket (exact); above that, each
+// power-of-two octave is split into 2^sub_bits equal sub-buckets, so the
+// relative quantile error is bounded by 2^-sub_bits everywhere (1.6% at the
+// default sub_bits = 6) while the whole 64-bit range fits in a few thousand
+// counters.  Count, sum, min and max are tracked exactly on the side, so
+// Min()/Max()/Mean() carry no bucketing error at all.
+//
+// Histograms with equal sub_bits merge by adding counters — merging is
+// associative and commutative (tests/test_histogram.cpp pins the
+// order-insensitivity), which is what makes per-PE recording + one merge at
+// the end correct.  No locking: each instance is single-writer (one PE);
+// merge after the machine joins.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace converse::util {
+
+class LogHistogram {
+ public:
+  static constexpr unsigned kDefaultSubBits = 6;
+
+  explicit LogHistogram(unsigned sub_bits = kDefaultSubBits);
+
+  /// Add one observation.
+  void Record(std::uint64_t value) { RecordN(value, 1); }
+  /// Add `n` observations of the same value.
+  void RecordN(std::uint64_t value, std::uint64_t n);
+
+  /// Fold another histogram (same sub_bits) into this one.
+  void Merge(const LogHistogram& other);
+
+  /// Value at quantile q in [0, 1]: the upper bound of the first bucket
+  /// whose cumulative count reaches rank ceil(q * Count()) (at least 1).
+  /// Exact for values below 2^sub_bits; otherwise overestimates by less
+  /// than one part in 2^sub_bits.  Returns 0 on an empty histogram;
+  /// q >= 1 returns the exact Max().
+  std::uint64_t Quantile(double q) const;
+
+  std::uint64_t Count() const { return count_; }
+  std::uint64_t Sum() const { return sum_; }
+  /// Exact extrema of everything recorded (0 when empty).
+  std::uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t Max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+
+  void Clear();
+
+  unsigned sub_bits() const { return sub_bits_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  // Bucket geometry, exposed so tests can state the "within one bucket"
+  // property without duplicating the index math.
+  std::size_t BucketIndex(std::uint64_t value) const;
+  std::uint64_t BucketLower(std::size_t index) const;
+  std::uint64_t BucketUpper(std::size_t index) const;
+
+ private:
+  unsigned sub_bits_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace converse::util

@@ -230,9 +230,11 @@ int CoreModuleId() {
   return id;
 }
 
-void SendOwnedFrom(PeState& pe, int dest_pe, void* msg) {
+void SendOwnedFrom(PeState& pe, int dest_pe, void* msg, double delay_us) {
   Machine& m = *pe.machine;
   assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
+  assert((delay_us == 0.0 || m.uses_timedq()) &&
+         "delayed sends need a timed machine (sim backend or net model)");
   // Per-sender FIFO choke point: an open aggregation frame to this
   // destination holds earlier messages, so it must hit the wire first.
   // (CstFlushDest detaches the frame before re-entering here, so a frame's
@@ -263,15 +265,19 @@ void SendOwnedFrom(PeState& pe, int dest_pe, void* msg) {
   if (SimCoordinator* sim = m.sim()) {
     // The simulator owns the whole delivery decision: fault injection,
     // virtual-time arrival stamping, trace hashing.  Takes ownership.
-    sim->Send(pe, dest_pe, msg);
+    sim->Send(pe, dest_pe, msg, delay_us);
     return;
   }
   PeState& dst = m.Pe(dest_pe);
   if (m.has_model()) {
     // Timed queue keeps the original mutex semantics: arrival ordering
     // needs the priority queue, and waiters sleep on arrival deadlines.
-    const double arrive_us =
-        m.ElapsedUs() + m.model().OnewayUs(CmiMsgPayloadSize(msg));
+    // A PE's sends to itself never cross the modeled network, so they pay
+    // no model latency — a delayed self-send is a pure timer.
+    const double oneway = dest_pe == pe.mype
+                              ? 0.0
+                              : m.model().OnewayUs(CmiMsgPayloadSize(msg));
+    const double arrive_us = m.ElapsedUs() + oneway + delay_us;
     {
       std::scoped_lock lk(dst.mu);
       dst.timedq.push(NetEntry{msg, arrive_us, dst.net_seq++});
@@ -717,6 +723,25 @@ void CmiSyncSendAndFree(unsigned int dest_pe, unsigned int size, void* msg) {
     return;
   }
   detail::SendOwnedFrom(pe, static_cast<int>(dest_pe), msg);
+}
+
+void CmiSyncSendDelayedAndFree(unsigned int dest_pe, unsigned int size,
+                               void* msg, double delay_us) {
+  auto* h = detail::Header(msg);
+  if (CciCheckEnabled() && h->magic != detail::kMsgMagicAlive) {
+    detail::check::Violate(CciRule::kUseAfterFree, msg,
+                           "CmiSyncSendDelayedAndFree of a freed message "
+                           "(header magic 0x%08x)", h->magic);
+  }
+  assert(h->magic == detail::kMsgMagicAlive);
+  assert(delay_us >= 0.0 && "negative send delay");
+  h->total_size = size;
+  detail::PeState& pe = detail::CpvChecked();
+  // Timed messages skip the aggregation layer on purpose: a frame would
+  // couple their delivery time to unrelated traffic to the same
+  // destination, and they carry no FIFO contract that frames preserve.
+  detail::SendOwnedFrom(pe, static_cast<int>(dest_pe), msg,
+                        pe.machine->uses_timedq() ? delay_us : 0.0);
 }
 
 CommHandle CmiAsyncSend(unsigned int dest_pe, unsigned int size, void* msg) {

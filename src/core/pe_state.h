@@ -242,8 +242,10 @@ PeState& CpvChecked();
 void SendOwned(int dest_pe, void* msg);
 
 /// SendOwned for callers that already resolved the sending PE (saves the
-/// thread-local lookup on hot paths).
-void SendOwnedFrom(PeState& pe, int dest_pe, void* msg);
+/// thread-local lookup on hot paths).  A nonzero `delay_us` defers delivery
+/// by that much machine time via the timed queue (CmiSyncSendDelayedAndFree);
+/// it requires a timed machine and is ignored on the plain lane path.
+void SendOwnedFrom(PeState& pe, int dest_pe, void* msg, double delay_us = 0.0);
 
 /// Internal immediate send: like SendOwned but into the receiver's
 /// out-of-band lane (paper §6 "preemptive messages" future work).

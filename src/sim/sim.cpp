@@ -232,7 +232,8 @@ void SimCoordinator::BlockForNet(PeState& pe) {
   }
 }
 
-void SimCoordinator::Send(PeState& src, int dest_pe, void* msg) {
+void SimCoordinator::Send(PeState& src, int dest_pe, void* msg,
+                          double extra_delay_us) {
   MsgHeader* h = Header(msg);
   const std::size_t payload = CmiMsgPayloadSize(msg);
   std::unique_lock lk(mu_);
@@ -263,11 +264,15 @@ void SimCoordinator::Send(PeState& src, int dest_pe, void* msg) {
   }
 
   // Fault draws.  Each dimension draws only when enabled, so the schedule
-  // stream is unperturbed by dimensions that are off.
+  // stream is unperturbed by dimensions that are off.  Self-sends never
+  // cross a network — no real machine can lose a message a PE hands to
+  // itself — so they are exempt: this is what makes delayed self-sends
+  // (the service runtime's timers) reliable under fault injection.
   const SimFaults& f = cfg_.faults;
+  const bool faultable = dest_pe != src.mype;
   bool drop = false, dup = false, hold = false;
   double extra_us = 0.0;
-  if (f.Any() && faults_injected_ < f.max_faults) {
+  if (faultable && f.Any() && faults_injected_ < f.max_faults) {
     if (f.drop > 0 && rng_.NextDouble() < f.drop) drop = true;
     if (!drop && f.dup > 0 && rng_.NextDouble() < f.dup) dup = true;
     if (!drop && f.delay > 0 && rng_.NextDouble() < f.delay) {
@@ -314,9 +319,12 @@ void SimCoordinator::Send(PeState& src, int dest_pe, void* msg) {
     ++delayed_;
     ++faults_injected_;
   }
-  const double latency =
-      m_.has_model() ? m_.model().OnewayUs(payload) : 0.0;
-  const double arrive = NowUs() + latency + extra_us;
+  // Self-sends pay no modeled network cost (same rationale as the fault
+  // exemption above): a delayed self-send is then an exact virtual timer.
+  const double latency = faultable && m_.has_model()
+                             ? m_.model().OnewayUs(payload)
+                             : 0.0;
+  const double arrive = NowUs() + latency + extra_us + extra_delay_us;
 
   void* clone = nullptr;
   if (dup) {

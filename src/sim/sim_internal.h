@@ -60,7 +60,12 @@ class SimCoordinator {
   void BlockForNet(PeState& pe);
 
   // ---- send path (called from SendOwnedFrom; takes ownership of msg) ----
-  void Send(PeState& src, int dest_pe, void* msg);
+  /// `extra_delay_us` is the caller-requested timer offset of a delayed
+  /// send (CmiSyncSendDelayedAndFree); it adds to the model latency and any
+  /// injected delay.  Self-sends (dest == src) never cross a network, so
+  /// the fault injector leaves them alone — that makes delayed self-sends a
+  /// reliable virtual-time timer even under fault injection.
+  void Send(PeState& src, int dest_pe, void* msg, double extra_delay_us = 0.0);
   /// Immediate-lane sends are never faulted or delayed; only traced.
   void RecordImmediateSend(PeState& src, int dest_pe, const void* msg);
   /// Trace one network delivery about to be dispatched on `pe`.

@@ -1,0 +1,253 @@
+// Service fuzzing (tools/simfuzz --service): run the request/response
+// service of converse/svc.h under the deterministic simulator and check the
+// request-conservation oracles of converse/svc.h against the injector's
+// exact fault counts.  Mirrors the structure of src/sim/fuzz.cpp: a case is
+// a pure function of SvcFuzzParams, failing seeds shrink greedily, and a
+// one-line replay command reproduces any failure.
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "converse/machine.h"
+#include "converse/svc.h"
+
+namespace converse::svc {
+namespace {
+
+/// Fixed workload knobs that are not worth fuzzing: a mean service time and
+/// a dequeue deadline a few multiples above it, so queue-cap sheds,
+/// deadline sheds, and plain completions all occur across the seed space.
+constexpr double kServiceUs = 3.0;
+constexpr double kDeadlineUs = 30.0;
+constexpr std::uint32_t kPlantEvery = 5;
+
+SvcConfig MakeConfig(const SvcFuzzParams& p) {
+  SvcConfig cfg;
+  cfg.sessions = p.sessions;
+  cfg.workers = p.workers;
+  cfg.queue_cap = p.queue_cap;
+  cfg.service_time_us = kServiceUs;
+  cfg.exp_service = true;  // PRNG-drawn, so still deterministic per seed
+  cfg.deadline_us = kDeadlineUs;
+  if (p.plant_lost_reply) cfg.lose_reply_every = kPlantEvery;
+  return cfg;
+}
+
+void Fail(SvcFuzzResult& res, const char* fmt, ...) {
+  if (!res.failure.empty()) return;
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  res.failure = buf;
+}
+
+}  // namespace
+
+SvcFuzzResult RunSvcFuzzCase(const SvcFuzzParams& params) {
+  SvcFuzzResult res;
+  Service svc(MakeConfig(params), params.npes);
+
+  SimConfig sim;
+  sim.seed = params.seed;
+  sim.faults = params.faults;
+  sim.report = &res.report;
+
+  MachineConfig cfg;
+  cfg.npes = params.npes;
+  cfg.seed = params.seed;
+  cfg.sim = &sim;
+  // Always explicit (never the -1 env default): a CONVERSE_AGG in the
+  // environment must not silently change what a seed replays.
+  cfg.aggregate_sends = 0;
+
+  SvcLoad load;
+  load.rate_per_pe = params.rate_per_pe;
+  load.requests_per_pe = params.requests_per_pe;
+  load.arrival = Arrival::kPoisson;
+  load.seed = params.seed;
+
+  try {
+    RunConverse(cfg, [&svc, &load](int, int) {
+      svc.Start();
+      svc.GenerateLoad(load);
+      svc.Serve();
+    });
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.failure = std::string("machine aborted: ") + e.what();
+    res.totals = svc.Total();
+    return res;
+  }
+  const SvcPeStats t = svc.Total();
+  res.totals = t;
+
+  if (!res.report.quiesced) {
+    Fail(res, "run did not end by global quiescence");
+  }
+  // Server bookkeeping balances exactly under any fault mix: every received
+  // request is either admitted or queue-shed, and every admitted request is
+  // either completed or deadline-shed (counters are per-PE single-writer).
+  if (t.requests_received != t.admitted + t.shed_queue) {
+    Fail(res,
+         "admission imbalance: %llu received != %llu admitted + %llu "
+         "queue-shed",
+         static_cast<unsigned long long>(t.requests_received),
+         static_cast<unsigned long long>(t.admitted),
+         static_cast<unsigned long long>(t.shed_queue));
+  }
+  if (t.admitted != t.completed + t.shed_deadline) {
+    Fail(res,
+         "service imbalance: %llu admitted != %llu completed + %llu "
+         "deadline-shed",
+         static_cast<unsigned long long>(t.admitted),
+         static_cast<unsigned long long>(t.completed),
+         static_cast<unsigned long long>(t.shed_deadline));
+  }
+  // Timers are delayed self-sends — exempt from fault injection — so they
+  // conserve exactly even when every fault dimension is enabled.
+  if (t.timers_fired != t.timers_sent) {
+    Fail(res, "timer conservation violated: %llu armed but %llu fired",
+         static_cast<unsigned long long>(t.timers_sent),
+         static_cast<unsigned long long>(t.timers_fired));
+  }
+  // Every completed reply is recorded into the latency histogram once.
+  if (t.latency_ns.Count() != t.replies_received) {
+    Fail(res, "histogram count %llu != %llu completed replies received",
+         static_cast<unsigned long long>(t.latency_ns.Count()),
+         static_cast<unsigned long long>(t.replies_received));
+  }
+  // Total message conservation: the service's send-side counters say how
+  // many wire messages it handed to the machine (requests, one reply per
+  // completion, one notice per shed, timers), the injector's report says
+  // exactly how many it ate or cloned, and the receive-side counters must
+  // account for the rest.  A reply that silently never gets sent
+  // (lose_reply_every) inflates the send tally without a matching receive
+  // or drop — this is the oracle that catches the planted bug.
+  const std::uint64_t sent = t.requests_sent + t.completed + t.shed_queue +
+                             t.shed_deadline + t.timers_sent;
+  const std::uint64_t received = t.requests_received + t.replies_received +
+                                 t.shed_notices_received + t.timers_fired;
+  const std::uint64_t expected =
+      sent - res.report.msgs_dropped + res.report.msgs_duplicated;
+  if (res.failure.empty() && received != expected) {
+    Fail(res,
+         "conservation violated: %llu service messages sent, %llu dropped + "
+         "%llu duplicated by injection, but %llu received (expected %llu)",
+         static_cast<unsigned long long>(sent),
+         static_cast<unsigned long long>(res.report.msgs_dropped),
+         static_cast<unsigned long long>(res.report.msgs_duplicated),
+         static_cast<unsigned long long>(received),
+         static_cast<unsigned long long>(expected));
+  }
+  if (!params.faults.Any() && res.failure.empty()) {
+    // No faults: end-to-end conservation, per message class.
+    if (t.requests_received != t.requests_sent) {
+      Fail(res, "no faults, yet %llu of %llu requests never arrived",
+           static_cast<unsigned long long>(t.requests_sent -
+                                           t.requests_received),
+           static_cast<unsigned long long>(t.requests_sent));
+    }
+    if (t.replies_received != t.completed) {
+      Fail(res, "no faults, yet %llu completed requests but only %llu "
+                "replies came back",
+           static_cast<unsigned long long>(t.completed),
+           static_cast<unsigned long long>(t.replies_received));
+    }
+    if (t.shed_notices_received != t.shed_queue + t.shed_deadline) {
+      Fail(res, "no faults, yet %llu sheds but only %llu notices came back",
+           static_cast<unsigned long long>(t.shed_queue + t.shed_deadline),
+           static_cast<unsigned long long>(t.shed_notices_received));
+    }
+  }
+  res.ok = res.failure.empty();
+  return res;
+}
+
+SvcFuzzParams MinimizeSvc(const SvcFuzzParams& failing, int budget) {
+  SvcFuzzParams best = failing;
+  auto still_fails = [&budget](const SvcFuzzParams& p) {
+    if (budget <= 0) return false;
+    --budget;
+    return !RunSvcFuzzCase(p).ok;
+  };
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+    if (best.requests_per_pe > 1) {
+      SvcFuzzParams t = best;
+      t.requests_per_pe = best.requests_per_pe / 2;
+      if (still_fails(t)) {
+        best = t;
+        improved = true;
+        continue;
+      }
+    }
+    if (best.workers > 1) {
+      SvcFuzzParams t = best;
+      t.workers = best.workers / 2;
+      if (still_fails(t)) {
+        best = t;
+        improved = true;
+        continue;
+      }
+    }
+    if (best.npes > 1) {
+      SvcFuzzParams t = best;
+      t.npes = best.npes > 2 ? best.npes / 2 : 1;
+      if (still_fails(t)) {
+        best = t;
+        improved = true;
+        continue;
+      }
+    }
+    if (best.sessions > 1) {
+      SvcFuzzParams t = best;
+      t.sessions = best.sessions / 2;
+      if (still_fails(t)) {
+        best = t;
+        improved = true;
+        continue;
+      }
+    }
+    for (double SimFaults::*dim : {&SimFaults::drop, &SimFaults::dup,
+                                   &SimFaults::delay, &SimFaults::reorder}) {
+      if (best.faults.*dim == 0) continue;
+      SvcFuzzParams t = best;
+      t.faults.*dim = 0;
+      if (still_fails(t)) {
+        best = t;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+std::string FormatSvcReplay(const SvcFuzzParams& params) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "tools/simfuzz --service --seed %llu --pes %d --sessions "
+                "%llu --workers %d --requests %llu --rate %g --qcap %u",
+                static_cast<unsigned long long>(params.seed), params.npes,
+                static_cast<unsigned long long>(params.sessions),
+                params.workers,
+                static_cast<unsigned long long>(params.requests_per_pe),
+                params.rate_per_pe, params.queue_cap);
+  std::string out = buf;
+  const auto add_prob = [&out, &buf](const char* flag, double v) {
+    if (v <= 0) return;
+    std::snprintf(buf, sizeof(buf), " %s %g", flag, v);
+    out += buf;
+  };
+  add_prob("--drop", params.faults.drop);
+  add_prob("--dup", params.faults.dup);
+  add_prob("--delay", params.faults.delay);
+  add_prob("--reorder", params.faults.reorder);
+  if (params.plant_lost_reply) out += " --plant-lost-reply";
+  return out;
+}
+
+}  // namespace converse::svc

@@ -1,0 +1,105 @@
+#include "converse/util/histogram.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace converse::util {
+
+LogHistogram::LogHistogram(unsigned sub_bits) : sub_bits_(sub_bits) {
+  assert(sub_bits >= 1 && sub_bits <= 16 && "unreasonable sub_bits");
+  // Exponents 0..sub_bits-1 collapse into the exact region (one group);
+  // exponents sub_bits..63 each contribute a group of 2^sub_bits buckets.
+  const std::size_t groups = 64 - sub_bits_ + 1;
+  buckets_.assign(groups << sub_bits_, 0);
+}
+
+std::size_t LogHistogram::BucketIndex(std::uint64_t value) const {
+  if (value < (std::uint64_t{1} << sub_bits_)) {
+    return static_cast<std::size_t>(value);  // exact region: one per value
+  }
+  const unsigned e = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned shift = e - sub_bits_;
+  const std::uint64_t sub = (value >> shift) - (std::uint64_t{1} << sub_bits_);
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(shift + 1) << sub_bits_) + sub);
+}
+
+std::uint64_t LogHistogram::BucketLower(std::size_t index) const {
+  const std::uint64_t i = index;
+  if (i < (std::uint64_t{1} << sub_bits_)) return i;
+  const std::uint64_t g = i >> sub_bits_;  // 1-based octave group
+  const std::uint64_t sub = i & ((std::uint64_t{1} << sub_bits_) - 1);
+  return ((std::uint64_t{1} << sub_bits_) + sub) << (g - 1);
+}
+
+std::uint64_t LogHistogram::BucketUpper(std::size_t index) const {
+  const std::uint64_t i = index;
+  if (i < (std::uint64_t{1} << sub_bits_)) return i;
+  const std::uint64_t g = i >> sub_bits_;
+  const std::uint64_t width = std::uint64_t{1} << (g - 1);
+  return BucketLower(index) + (width - 1);
+}
+
+void LogHistogram::RecordN(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  count_ += n;
+  sum_ += value * n;
+  buckets_[BucketIndex(value)] += n;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  assert(sub_bits_ == other.sub_bits_ &&
+         "merging histograms with different bucket geometry");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+std::uint64_t LogHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q >= 1.0) return max_;
+  if (q < 0.0) q = 0.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // The exact max is a tighter upper bound than the last bucket's edge.
+      const std::uint64_t upper = BucketUpper(i);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;  // unreachable: counts always sum to count_
+}
+
+double LogHistogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+void LogHistogram::Clear() {
+  count_ = sum_ = min_ = max_ = 0;
+  buckets_.assign(buckets_.size(), 0);
+}
+
+}  // namespace converse::util

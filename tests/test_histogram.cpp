@@ -1,0 +1,211 @@
+// Property tests for the log-bucketed latency histogram
+// (converse/util/histogram.h): quantiles against a sorted reference on
+// random and adversarial value streams, and merge order-insensitivity.
+#include "converse/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "converse/util/rng.h"
+
+using converse::util::LogHistogram;
+using converse::util::Xoshiro256;
+
+namespace {
+
+constexpr double kQuantiles[] = {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0};
+
+/// Exact quantile at the histogram's rank convention: the value at rank
+/// max(1, ceil(q * n)) of the sorted stream.
+std::uint64_t RefQuantile(std::vector<std::uint64_t> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+/// The histogram's accuracy contract: an estimated quantile lands in the
+/// same bucket as the exact one, or in an adjacent bucket (rank ties at a
+/// bucket edge may round either way).
+void ExpectWithinOneBucket(const LogHistogram& h,
+                           const std::vector<std::uint64_t>& values) {
+  for (double q : kQuantiles) {
+    const std::uint64_t est = h.Quantile(q);
+    const std::uint64_t exact = RefQuantile(values, q);
+    const auto bi_est = static_cast<long>(h.BucketIndex(est));
+    const auto bi_exact = static_cast<long>(h.BucketIndex(exact));
+    EXPECT_LE(std::labs(bi_est - bi_exact), 1)
+        << "q=" << q << " est=" << est << " exact=" << exact;
+    // The estimate is a bucket upper bound clamped to the stream max, so it
+    // never undershoots the exact value's bucket lower bound.
+    EXPECT_GE(est, h.BucketLower(h.BucketIndex(exact)))
+        << "q=" << q << " est=" << est << " exact=" << exact;
+  }
+}
+
+void RecordAll(LogHistogram& h, const std::vector<std::uint64_t>& values) {
+  for (std::uint64_t v : values) h.Record(v);
+}
+
+/// The generated distributions: uniform across magnitudes, clustered,
+/// heavy-tailed, and adversarial bucket-edge cases.
+std::vector<std::vector<std::uint64_t>> Distributions(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint64_t>> out;
+
+  std::vector<std::uint64_t> uniform_small;
+  for (int i = 0; i < 2000; ++i) uniform_small.push_back(rng.Below(50000));
+  out.push_back(std::move(uniform_small));
+
+  // Uniform in the exponent: one value per draw anywhere in [1, 2^56).
+  std::vector<std::uint64_t> log_uniform;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t shift = rng.Below(56);
+    log_uniform.push_back((std::uint64_t{1} << shift) + rng.Below(1u << 16));
+  }
+  out.push_back(std::move(log_uniform));
+
+  // Exponential-ish tail (latency-shaped): mostly small, rare huge.
+  std::vector<std::uint64_t> tail;
+  for (int i = 0; i < 3000; ++i) {
+    const double u = rng.NextDouble();
+    tail.push_back(static_cast<std::uint64_t>(-std::log(1.0 - u) * 2000.0));
+  }
+  out.push_back(std::move(tail));
+
+  // Adversarial: exact powers of two and their neighbors (bucket edges).
+  std::vector<std::uint64_t> edges;
+  for (unsigned e = 0; e < 63; ++e) {
+    const std::uint64_t p = std::uint64_t{1} << e;
+    edges.push_back(p - 1);
+    edges.push_back(p);
+    edges.push_back(p + 1);
+  }
+  out.push_back(std::move(edges));
+
+  out.push_back(std::vector<std::uint64_t>(500, 777));   // all equal
+  out.push_back({42});                                   // single value
+  out.push_back({0, 0, 0, UINT64_MAX, UINT64_MAX - 1});  // extremes
+  return out;
+}
+
+}  // namespace
+
+TEST(Histogram, EmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Values below 2^sub_bits get one bucket each: quantiles are exact.
+  LogHistogram h;
+  std::vector<std::uint64_t> values;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.Below(64));
+  RecordAll(h, values);
+  for (double q : kQuantiles) {
+    EXPECT_EQ(h.Quantile(q), RefQuantile(values, q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, BucketGeometryIsMonotoneAndContiguous) {
+  const LogHistogram h;
+  std::size_t prev = 0;
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}}) {
+    prev = h.BucketIndex(v);
+    EXPECT_EQ(h.BucketLower(prev), v);
+  }
+  // Walk every bucket boundary: lower bounds strictly increase and every
+  // bucket's upper + 1 is the next bucket's lower (no gaps, no overlaps).
+  prev = h.BucketIndex(1);
+  for (std::uint64_t v = 2; v < (std::uint64_t{1} << 20); v += 37) {
+    const std::size_t b = h.BucketIndex(v);
+    EXPECT_GE(b, prev);
+    EXPECT_LE(h.BucketLower(b), v);
+    EXPECT_GE(h.BucketUpper(b), v);
+    if (b != prev) {
+      EXPECT_EQ(h.BucketLower(b), h.BucketUpper(b - 1) + 1);
+    }
+    prev = b;
+  }
+}
+
+TEST(Histogram, QuantilesWithinOneBucketOfSortedReference) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const auto& values : Distributions(seed)) {
+      LogHistogram h;
+      RecordAll(h, values);
+      ASSERT_EQ(h.Count(), values.size());
+      std::uint64_t sum = 0, mn = UINT64_MAX, mx = 0;
+      for (std::uint64_t v : values) {
+        sum += v;
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      EXPECT_EQ(h.Sum(), sum);
+      EXPECT_EQ(h.Min(), mn);
+      EXPECT_EQ(h.Max(), mx);
+      ExpectWithinOneBucket(h, values);
+    }
+  }
+}
+
+TEST(Histogram, MergeIsOrderInsensitive) {
+  for (const auto& values : Distributions(11)) {
+    // Split the stream in two arbitrary halves.
+    LogHistogram a, b, whole;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      (i % 3 == 0 ? a : b).Record(values[i]);
+      whole.Record(values[i]);
+    }
+    LogHistogram ab = a;
+    ab.Merge(b);
+    LogHistogram ba = b;
+    ba.Merge(a);
+    // merge(a,b) == merge(b,a) == record-everything-in-one, bucket for
+    // bucket: identical counts, moments, and every quantile.
+    for (const LogHistogram* m : {&ab, &ba}) {
+      EXPECT_EQ(m->Count(), whole.Count());
+      EXPECT_EQ(m->Sum(), whole.Sum());
+      EXPECT_EQ(m->Min(), whole.Min());
+      EXPECT_EQ(m->Max(), whole.Max());
+    }
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+      EXPECT_EQ(ab.Quantile(q), ba.Quantile(q)) << "q=" << q;
+      EXPECT_EQ(ab.Quantile(q), whole.Quantile(q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  LogHistogram a, empty;
+  a.Record(5);
+  a.Record(500000);
+  LogHistogram merged = a;
+  merged.Merge(empty);
+  EXPECT_EQ(merged.Count(), a.Count());
+  EXPECT_EQ(merged.Min(), a.Min());
+  EXPECT_EQ(merged.Max(), a.Max());
+  LogHistogram other = empty;
+  other.Merge(a);
+  EXPECT_EQ(other.Count(), a.Count());
+  EXPECT_EQ(other.Quantile(1.0), a.Quantile(1.0));
+}
+
+TEST(Histogram, RecordNWeightsLikeRepeatedRecord) {
+  LogHistogram h1, hn;
+  for (int i = 0; i < 9; ++i) h1.Record(12345);
+  hn.RecordN(12345, 9);
+  EXPECT_EQ(h1.Count(), hn.Count());
+  EXPECT_EQ(h1.Sum(), hn.Sum());
+  EXPECT_EQ(h1.Quantile(0.5), hn.Quantile(0.5));
+}

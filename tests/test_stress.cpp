@@ -258,6 +258,73 @@ TEST(Stress, ManySequentialMachines) {
   }
 }
 
+TEST(Stress, CthParkAwakenHundredThousandCycles) {
+  // Session-scale thread churn (the service runtime's worker discipline,
+  // magnified): 32 threads per PE on 4 PEs each park and get awakened 800
+  // times — 102,400 suspend/awaken cycles — driven by wake tokens that
+  // circulate across the PEs.  Every cycle must be accounted for and the
+  // run must terminate cleanly; TSan / CONVERSE_RACE builds additionally
+  // check the park/awaken handoffs are race-free.
+  constexpr int kNpes = 4;
+  constexpr int kThreads = 32;
+  constexpr int kCycles = 800;
+  std::atomic<long> total_cycles{0};
+  std::atomic<int> pes_done{0};
+  std::atomic<int> tokens_swallowed{0};
+  RunConverse(kNpes, [&](int pe, int np) {
+    struct Slot {
+      CthThread* t = nullptr;
+      bool parked = false;
+    };
+    // Per-PE state, touched only from this PE's thread (handlers and Cth
+    // threads of one PE run cooperatively), so no locks needed.
+    std::vector<Slot> slots(kThreads);
+    int exited = 0;
+    int h = -1;
+    h = CmiRegisterHandler([&](void*) {
+      // A wake token: awaken every parked thread here, then pass the token
+      // on.  Once every PE's threads finished, each of the np circulating
+      // tokens is swallowed exactly once; the last one ends the run.
+      for (Slot& s : slots) {
+        if (s.parked) {
+          s.parked = false;
+          CthAwaken(s.t);
+        }
+      }
+      if (pes_done.load() == np) {
+        if (++tokens_swallowed == np) ConverseBroadcastExit();
+        return;
+      }
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiSyncSendAndFree(static_cast<unsigned>((pe + 1) % np),
+                         CmiMsgTotalSize(m), m);
+    });
+    for (int i = 0; i < kThreads; ++i) {
+      slots[i].t = CthCreate([&, i] {
+        Slot& self = slots[i];
+        for (int c = 0; c < kCycles; ++c) {
+          // No yield point between setting parked and suspending, so the
+          // token handler can never observe a half-parked thread.
+          self.parked = true;
+          CthSuspend();
+          ++total_cycles;
+        }
+        if (++exited == kThreads) ++pes_done;
+      });
+      CthAwaken(slots[i].t);  // run to the first park
+    }
+    // Each PE launches one token; np tokens circulate concurrently.
+    void* m = CmiMakeMessage(h, nullptr, 0);
+    CmiSyncSendAndFree(static_cast<unsigned>((pe + 1) % np),
+                       CmiMsgTotalSize(m), m);
+    CsdScheduler(-1);
+  });
+  EXPECT_EQ(total_cycles.load(),
+            static_cast<long>(kNpes) * kThreads * kCycles);
+  EXPECT_EQ(pes_done.load(), kNpes);
+  EXPECT_EQ(tokens_swallowed.load(), kNpes);
+}
+
 TEST(Stress, FuturesFanOutFanInUnderLoad) {
   constexpr int kWaves = 10;
   constexpr int kPerWave = 16;

@@ -24,12 +24,20 @@
 // chains that must produce zero reports, optionally with a planted racy
 // pair that must be caught and classified; see converse/race.h).  It
 // requires a library built with -DCONVERSE_RACE=ON and exits 2 otherwise.
+//
+// --service switches to the request/response service workload
+// (converse/svc.h) checked against its request-conservation oracles: every
+// admitted request yields exactly one reply or one shed notice, timers
+// conserve, and total message flow balances against the injector's exact
+// drop/duplicate counts.  --plant-lost-reply plants a silently dropped
+// reply that the oracle must catch (the CI self-test).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "converse/sim.h"
+#include "converse/svc.h"
 
 namespace {
 
@@ -42,8 +50,12 @@ void Usage(const char* argv0) {
       "          [--trace-hash] [--quiet]\n"
       "       %s --race [--seed N] [--seeds COUNT] [--start N] [--pes N]\n"
       "          [--chains N] [--hops N] [--plant-race | --plant-benign]\n"
-      "          [--quiet]\n",
-      argv0, argv0);
+      "          [--quiet]\n"
+      "       %s --service [--seed N] [--seeds COUNT] [--start N] [--pes N]\n"
+      "          [--sessions N] [--workers N] [--requests N] [--rate R]\n"
+      "          [--qcap N] [--drop P] [--dup P] [--delay P] [--reorder P]\n"
+      "          [--plant-lost-reply] [--trace-hash] [--quiet]\n",
+      argv0, argv0, argv0);
 }
 
 bool RunOne(const converse::sim::FuzzParams& params, bool trace_hash,
@@ -86,6 +98,49 @@ bool RunOne(const converse::sim::FuzzParams& params, bool trace_hash,
   return false;
 }
 
+bool RunOneService(const converse::svc::SvcFuzzParams& params,
+                   bool trace_hash, bool quiet) {
+  converse::svc::SvcFuzzResult res = converse::svc::RunSvcFuzzCase(params);
+  if (trace_hash) {
+    std::printf("%016llx\n",
+                static_cast<unsigned long long>(res.report.trace_hash));
+  }
+  if (res.ok) {
+    if (!quiet) {
+      std::printf(
+          "seed %llu: ok (%llu requests: %llu completed, %llu shed, "
+          "virtual time %.0f us, faults: %llu dropped, %llu duplicated, "
+          "%llu delayed, %llu reordered)\n",
+          static_cast<unsigned long long>(params.seed),
+          static_cast<unsigned long long>(res.totals.requests_sent),
+          static_cast<unsigned long long>(res.totals.completed),
+          static_cast<unsigned long long>(res.totals.shed_queue +
+                                          res.totals.shed_deadline),
+          res.report.final_virtual_us,
+          static_cast<unsigned long long>(res.report.msgs_dropped),
+          static_cast<unsigned long long>(res.report.msgs_duplicated),
+          static_cast<unsigned long long>(res.report.msgs_delayed),
+          static_cast<unsigned long long>(res.report.msgs_reordered));
+    }
+    return true;
+  }
+  std::fprintf(stderr, "seed %llu: FAILED: %s\n",
+               static_cast<unsigned long long>(params.seed),
+               res.failure.c_str());
+  std::fprintf(stderr, "minimizing...\n");
+  const converse::svc::SvcFuzzParams small =
+      converse::svc::MinimizeSvc(params);
+  converse::svc::SvcFuzzResult small_res =
+      converse::svc::RunSvcFuzzCase(small);
+  std::fprintf(stderr, "minimized failure: %s\n",
+               small_res.ok ? res.failure.c_str()
+                            : small_res.failure.c_str());
+  std::fprintf(stderr, "replay with:\n  %s\n",
+               converse::svc::FormatSvcReplay(small_res.ok ? params : small)
+                   .c_str());
+  return false;
+}
+
 bool RunOneRace(const converse::sim::RaceFuzzParams& params, bool quiet) {
   converse::sim::RaceFuzzResult res = converse::sim::RunRaceFuzzCase(params);
   if (res.ok) {
@@ -111,9 +166,10 @@ bool RunOneRace(const converse::sim::RaceFuzzParams& params, bool quiet) {
 int main(int argc, char** argv) {
   converse::sim::FuzzParams params;
   converse::sim::RaceFuzzParams race_params;
+  converse::svc::SvcFuzzParams svc_params;
   unsigned long long seeds = 1, start = 1;
   bool explicit_seed = false, sweep = false;
-  bool trace_hash = false, quiet = false, race = false;
+  bool trace_hash = false, quiet = false, race = false, service = false;
 
   if (const char* env = std::getenv("CONVERSE_SIM_SEED")) {
     params.seed = std::strtoull(env, nullptr, 10);
@@ -140,18 +196,38 @@ int main(int argc, char** argv) {
     } else if (arg == "--pes") {
       params.npes = std::atoi(next());
       race_params.npes = params.npes;
+      svc_params.npes = params.npes;
     } else if (arg == "--actions") {
       params.actions = std::atoi(next());
     } else if (arg == "--threads") {
       params.threads = std::atoi(next());
     } else if (arg == "--drop") {
       params.faults.drop = std::atof(next());
+      svc_params.faults.drop = params.faults.drop;
     } else if (arg == "--dup") {
       params.faults.dup = std::atof(next());
+      svc_params.faults.dup = params.faults.dup;
     } else if (arg == "--delay") {
       params.faults.delay = std::atof(next());
+      svc_params.faults.delay = params.faults.delay;
     } else if (arg == "--reorder") {
       params.faults.reorder = std::atof(next());
+      svc_params.faults.reorder = params.faults.reorder;
+    } else if (arg == "--service") {
+      service = true;
+    } else if (arg == "--sessions") {
+      svc_params.sessions = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--workers") {
+      svc_params.workers = std::atoi(next());
+    } else if (arg == "--requests") {
+      svc_params.requests_per_pe = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--rate") {
+      svc_params.rate_per_pe = std::atof(next());
+    } else if (arg == "--qcap") {
+      svc_params.queue_cap =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--plant-lost-reply") {
+      svc_params.plant_lost_reply = true;
     } else if (arg == "--agg") {
       params.aggregate = true;
     } else if (arg == "--plant-bug") {
@@ -194,20 +270,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: invalid --chains/--hops\n", argv[0]);
     return 2;
   }
+  if (race && service) {
+    std::fprintf(stderr, "%s: --race and --service are exclusive\n", argv[0]);
+    return 2;
+  }
+  if (service && (svc_params.workers < 1 || svc_params.sessions < 1 ||
+                  svc_params.rate_per_pe <= 0)) {
+    std::fprintf(stderr, "%s: invalid --workers/--sessions/--rate\n",
+                 argv[0]);
+    return 2;
+  }
 
   if (!sweep) {
     race_params.seed = params.seed;
-    return (race ? RunOneRace(race_params, quiet)
-                 : RunOne(params, trace_hash, quiet))
-               ? 0
-               : 1;
+    svc_params.seed = params.seed;
+    if (race) return RunOneRace(race_params, quiet) ? 0 : 1;
+    if (service) return RunOneService(svc_params, trace_hash, quiet) ? 0 : 1;
+    return RunOne(params, trace_hash, quiet) ? 0 : 1;
   }
   if (explicit_seed) start = params.seed;
   for (unsigned long long s = start; s < start + seeds; ++s) {
     params.seed = s;
     race_params.seed = s;
+    svc_params.seed = s;
     if (race) {
       if (!RunOneRace(race_params, quiet)) return 1;
+    } else if (service) {
+      if (!RunOneService(svc_params, trace_hash, quiet)) return 1;
     } else if (!RunOne(params, trace_hash, quiet)) {
       return 1;
     }
