@@ -62,6 +62,9 @@ enum class CciRule : int {
                          //   (warning, reported at machine teardown)
   kThreadLeak,           // live Cth threads at machine teardown (warning)
   kBufferLeak,           // live message buffers at machine teardown (warning)
+  // -- gather/scatter argument validation (fatal, checked in all builds) --
+  kGatherOverflow,       // CmiVectorSend segment sizes negative or summing
+                         //   past the 32-bit wire message size
 };
 
 /// Stable kebab-case name of a rule (what the diagnostic line prints).

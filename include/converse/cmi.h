@@ -173,6 +173,16 @@ struct CmiStats {
   std::uint64_t agg_msgs_batched = 0;  // messages that traveled inside frames
   std::uint64_t bcast_forwards = 0;    // spanning-tree wrapper sends (root
                                        // children + interior re-forwards)
+  // Zero-copy broadcast path (MachineConfig::bcast_share_min): payload
+  // copies made by broadcast calls on this PE (a shared-payload broadcast
+  // performs exactly one, at the root), shared blocks built here, and
+  // shared views dispatched here.
+  std::uint64_t bcast_payload_copies = 0;
+  std::uint64_t bcast_shared_blocks = 0;
+  std::uint64_t bcast_shared_views = 0;
+  // Zero-copy scatter landing: CmiVectorSend payloads written straight
+  // into a pre-registered scatter's user buffers, no message allocated.
+  std::uint64_t scatter_direct = 0;
   // Service runtime (converse/svc.h): per-PE admission-control outcomes of
   // requests arriving at sessions owned by this PE.
   std::uint64_t svc_admitted = 0;   // requests accepted into a session queue
@@ -186,6 +196,10 @@ CmiStats CmiGetStats();
 /// Message-allocator counters, summed over every PE's size-class pool.
 /// All zero when pooling is disabled (sanitizer builds, CONVERSE_POOL=0).
 struct CmiMemoryStats {
+  /// Upper bound on size classes a pool build can have; the valid prefix of
+  /// the per-class arrays below is `size_classes` entries.
+  static constexpr int kMaxSizeClasses = 16;
+
   bool pool_enabled = false;
   std::uint64_t pool_hits = 0;    // allocations served from a freelist
   std::uint64_t pool_misses = 0;  // freelist empty: fresh block carved
@@ -193,6 +207,21 @@ struct CmiMemoryStats {
   std::uint64_t local_frees = 0;     // freed on the owning PE's thread
   std::uint64_t remote_frees = 0;    // pushed to the owner's return stack
   std::uint64_t remote_reclaimed = 0;  // pulled back from the return stack
+  // First-touch arena placement: pool misses carve blocks out of per-PE
+  // arena chunks (touched by the owning thread, so pages land on its NUMA
+  // node) instead of hitting the global allocator per block.
+  std::uint64_t arena_chunks = 0;  // arena chunks allocated across all PEs
+  std::uint64_t arena_bytes = 0;   // total bytes in those chunks
+  // Oversize (> largest size class) messages keep a small per-PE cache of
+  // recently freed buffers so large-message traffic stops round-tripping
+  // through the global allocator.
+  std::uint64_t oversize_cached = 0;  // oversize frees parked in the cache
+  std::uint64_t oversize_reused = 0;  // oversize allocs served from it
+  // Per-size-class breakdown (valid prefix: `size_classes` entries).
+  int size_classes = 0;
+  std::uint64_t class_bytes[kMaxSizeClasses] = {};   // block size per class
+  std::uint64_t class_hits[kMaxSizeClasses] = {};    // freelist hits
+  std::uint64_t class_misses[kMaxSizeClasses] = {};  // arena carves
 };
 
 /// Process-wide snapshot of the message-pool counters.  Unlike

@@ -69,6 +69,23 @@ struct MachineConfig {
   /// when the sender's scheduler goes idle and on explicit CmiFlush()).
   std::uint32_t agg_frame_msgs = 32;
 
+  /// Adaptive solo-flush bypass: when consecutive frames to a destination
+  /// flush with a single entry (request/response traffic that pays frame
+  /// overhead for no batching), sends to it temporarily skip the
+  /// aggregation layer, re-probing periodically.  Off restores exact
+  /// every-send-frames behavior (some tests count frames precisely).
+  bool agg_solo_bypass = true;
+
+  /// Spanning-tree broadcasts whose total size (header + payload) is at
+  /// least this many bytes share one refcounted payload block instead of
+  /// copying once per destination: the block is allocated (and the user
+  /// message copied) exactly once at the root, forwarded down the tree by
+  /// pointer, and every PE dispatches a read-only view into it.
+  /// -1 (default) defers to the CONVERSE_SBCAST environment variable
+  /// (unset = 4096; "0" = off; a number = that threshold in bytes);
+  /// 0 forces off.  Like the tree itself, inactive under a latency model.
+  std::int64_t bcast_share_min = -1;
+
   /// Optional deterministic-simulation backend (converse/sim.h): PEs are
   /// serialized under a seeded scheduler and a virtual clock, with optional
   /// message-fault injection.  nullptr = normal threaded execution.  The

@@ -68,11 +68,22 @@ enum MsgFlags : std::uint8_t {
   /// (freeing the frame with the last view) instead of touching the pool.
   /// Cleared by MsgPoolRestampFlag wherever a whole header is memcpy'd.
   kMsgFlagInFrame = 0x20,
+  /// Machine-internal shared-broadcast block (src/core/stream.cpp): one
+  /// refcounted payload allocation delivered to every spanning-tree
+  /// destination.  CmiFree on the block pointer releases one reference;
+  /// the last release frees the storage.
+  kMsgFlagSbcast = 0x40,
+  /// The buffer is the read-only view embedded in a shared-broadcast block
+  /// (always combined with kMsgFlagInFrame): CmiFree resolves the owning
+  /// block through the view's back pointer and releases one reference.
+  /// Cleared by MsgPoolRestampFlag wherever a whole header is memcpy'd.
+  kMsgFlagShared = 0x80,
 };
 
-/// Either machine-internal carrier bit (frame or broadcast wrapper).
+/// Any machine-internal carrier bit (frame, broadcast wrapper, or
+/// shared-broadcast block).
 inline constexpr std::uint8_t kMsgFlagCarrierMask =
-    kMsgFlagFrame | kMsgFlagBcast;
+    kMsgFlagFrame | kMsgFlagBcast | kMsgFlagSbcast;
 
 inline MsgHeader* Header(void* msg) { return static_cast<MsgHeader*>(msg); }
 inline const MsgHeader* Header(const void* msg) {

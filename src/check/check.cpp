@@ -53,6 +53,7 @@ const char* CciRuleName(CciRule rule) {
     case CciRule::kExitImbalance: return "exit-imbalance";
     case CciRule::kThreadLeak: return "thread-leak";
     case CciRule::kBufferLeak: return "buffer-leak";
+    case CciRule::kGatherOverflow: return "gather-overflow";
   }
   return "unknown";
 }
@@ -79,6 +80,11 @@ MsgOwnState State(const void* msg) {
 }
 void SetState(void* msg, MsgOwnState s) {
   auto* h = Header(msg);
+  // A shared-broadcast view is one physical header dispatched concurrently
+  // on every PE of the tree; writing per-PE ownership state into it would
+  // be a data race (and nonsense — the block's refcount is the ownership).
+  // The view's state bits are cleared at the root and stay kStOwned.
+  if ((h->flags & kMsgFlagShared) != 0) return;
   h->flags = static_cast<std::uint8_t>((h->flags & ~kStateMask) | s);
 }
 
@@ -305,7 +311,9 @@ void OnDequeue(void* msg) {
             "scheduler queue returned a freed or corrupted message (header "
             "magic 0x%08x); something freed a queued buffer", h->magic);
   }
-  if (State(msg) != kStEnqueued) {
+  // Shared-broadcast views never carry state bits (see SetState), so a
+  // grabbed-then-enqueued view legitimately dequeues as kStOwned.
+  if ((h->flags & kMsgFlagShared) == 0 && State(msg) != kStEnqueued) {
     Violate(CciRule::kQueueCorruption, msg,
             "scheduler queue returned a message whose ownership state is "
             "%d, not enqueued; the queue or the header was corrupted",

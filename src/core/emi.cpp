@@ -2,38 +2,57 @@
 #include "converse/emi.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <mutex>
 
 #include "core/pe_state.h"
 
 namespace converse {
+
+// The registration table is normally touched only by its owning PE, but the
+// direct-scatter fast path (CmiVectorSend on another PE matching against
+// this table and writing user buffers) makes it shared state: every access
+// goes under pe.scatter_mu, with pe.scatter_armed as the lock-free
+// senders-side emptiness probe.
 
 int CmiScatterRegister(std::size_t match_offset, std::uint32_t match_value,
                        std::vector<ScatterPart> parts, int notify_handler,
                        bool persistent) {
   detail::PeState& pe = detail::CpvChecked();
   detail::ScatterReg reg;
-  reg.id = pe.next_scatter_id++;
   reg.match_offset = match_offset;
   reg.match_value = match_value;
   reg.parts = std::move(parts);
   reg.notify_handler = notify_handler;
   reg.persistent = persistent;
+  std::scoped_lock lock(pe.scatter_mu);
+  reg.id = pe.next_scatter_id++;
   pe.scatters.push_back(std::move(reg));
+  pe.scatter_armed.store(static_cast<int>(pe.scatters.size()),
+                         std::memory_order_release);
   return pe.scatters.back().id;
 }
 
 void CmiScatterCancel(int registration_id) {
   detail::PeState& pe = detail::CpvChecked();
+  std::scoped_lock lock(pe.scatter_mu);
   auto it = std::find_if(pe.scatters.begin(), pe.scatters.end(),
                          [registration_id](const detail::ScatterReg& r) {
                            return r.id == registration_id;
                          });
   if (it != pe.scatters.end()) pe.scatters.erase(it);
+  pe.scatter_armed.store(static_cast<int>(pe.scatters.size()),
+                         std::memory_order_release);
 }
 
 int CmiScatterCount() {
-  return static_cast<int>(detail::CpvChecked().scatters.size());
+  detail::PeState& pe = detail::CpvChecked();
+  // The lock (not just the atomic) gives the caller a happens-before edge
+  // with a remote direct-path fill: once the count observed here drops, the
+  // user buffers the match wrote are safe to read.
+  std::scoped_lock lock(pe.scatter_mu);
+  return static_cast<int>(pe.scatters.size());
 }
 
 }  // namespace converse

@@ -21,9 +21,12 @@ namespace {
 thread_local PeState* tls_pe = nullptr;
 Machine* g_current_machine = nullptr;
 
-/// Per-PE state of the core module itself: the exit-broadcast handler.
+/// Per-PE state of the core module itself: the exit-broadcast handler and
+/// the relay that re-creates receive-side scatter-notification semantics
+/// for sender-side (zero-copy) landings.
 struct CoreModuleState {
   int exit_handler = -1;
+  int scatter_note_handler = -1;
 };
 
 CoreModuleState& CoreState() {
@@ -47,41 +50,137 @@ void* CopyMessage(const void* msg, std::size_t size) {
 /// Test one scatter registration against a delivered message; returns true
 /// if the message was consumed.
 bool TryScatter(PeState& pe, void* msg) {
-  if (pe.scatters.empty()) return false;
+  // One relaxed load on the per-message fast path; registrations are rare.
+  if (pe.scatter_armed.load(std::memory_order_relaxed) == 0) return false;
   // Carriers are machine-internal envelopes; scatters match the logical
   // messages unpacked from them, never the envelope's own payload.
   if ((Header(msg)->flags & kMsgFlagCarrierMask) != 0) return false;
   const std::size_t payload_size = CmiMsgPayloadSize(msg);
   const char* payload = static_cast<const char*>(CmiMsgPayload(msg));
-  for (std::size_t i = 0; i < pe.scatters.size(); ++i) {
-    ScatterReg& reg = pe.scatters[i];
-    if (reg.match_offset + sizeof(std::uint32_t) > payload_size) continue;
-    std::uint32_t word;
-    std::memcpy(&word, payload + reg.match_offset, sizeof(word));
-    if (word != reg.match_value) continue;
-    for (const ScatterPart& part : reg.parts) {
-      assert(part.payload_offset + part.length <= payload_size &&
-             "scatter part exceeds message payload");
-      std::memcpy(part.destination, payload + part.payload_offset,
-                  part.length);
+  int notify = -1;
+  std::uint32_t value = 0;
+  bool matched = false;
+  {
+    // The registration table is shared with the sender-side zero-copy
+    // landing path (TryScatterDirect); scatter_mu is a leaf lock.
+    std::scoped_lock lk(pe.scatter_mu);
+    for (std::size_t i = 0; i < pe.scatters.size(); ++i) {
+      ScatterReg& reg = pe.scatters[i];
+      if (reg.match_offset + sizeof(std::uint32_t) > payload_size) continue;
+      std::uint32_t word;
+      std::memcpy(&word, payload + reg.match_offset, sizeof(word));
+      if (word != reg.match_value) continue;
+      for (const ScatterPart& part : reg.parts) {
+        assert(part.payload_offset + part.length <= payload_size &&
+               "scatter part exceeds message payload");
+        std::memcpy(part.destination, payload + part.payload_offset,
+                    part.length);
+      }
+      notify = reg.notify_handler;
+      value = reg.match_value;
+      matched = true;
+      if (!reg.persistent) {
+        pe.scatters.erase(pe.scatters.begin() + static_cast<long>(i));
+        pe.scatter_armed.store(static_cast<int>(pe.scatters.size()),
+                               std::memory_order_release);
+      }
+      break;
     }
-    const int notify = reg.notify_handler;
-    const std::uint32_t value = reg.match_value;
-    if (!reg.persistent) {
-      pe.scatters.erase(pe.scatters.begin() + static_cast<long>(i));
-    }
-    check::OnReclaim(msg);  // machine layer consumes the in-flight buffer
-    CmiFree(msg);
-    if (notify >= 0) {
-      // "queues a short empty message in addition ... to notify the
-      // recipient that the data has arrived" (paper, EMI).
-      void* note = CmiMakeMessage(notify, &value, sizeof(value));
-      pe.schedq.Enqueue(note);
-      ++pe.stats.msgs_enqueued;
-    }
-    return true;
   }
-  return false;
+  if (!matched) return false;
+  check::OnReclaim(msg);  // machine layer consumes the in-flight buffer
+  CmiFree(msg);
+  if (notify >= 0) {
+    // "queues a short empty message in addition ... to notify the
+    // recipient that the data has arrived" (paper, EMI).
+    void* note = CmiMakeMessage(notify, &value, sizeof(value));
+    pe.schedq.Enqueue(note);
+    ++pe.stats.msgs_enqueued;
+  }
+  return true;
+}
+
+namespace {
+
+/// Copy `n` bytes at logical offset `off` of the concatenated gather
+/// segments into `out`.  The caller guarantees off + n <= total size.
+void GatherRead(int len, const int sizes[], const void* const data_array[],
+                std::size_t off, std::size_t n, void* out) {
+  char* dst = static_cast<char*>(out);
+  for (int i = 0; i < len && n > 0; ++i) {
+    const std::size_t seg = static_cast<std::size_t>(sizes[i]);
+    if (off >= seg) {
+      off -= seg;
+      continue;
+    }
+    const std::size_t take = seg - off < n ? seg - off : n;
+    std::memcpy(dst, static_cast<const char*>(data_array[i]) + off, take);
+    dst += take;
+    n -= take;
+    off = 0;
+  }
+  assert(n == 0 && "gather read past the end of the segments");
+}
+
+}  // namespace
+
+bool TryScatterDirect(PeState& src, int dest_pe, int len, const int sizes[],
+                      const void* const data_array[],
+                      std::size_t payload_size) {
+  Machine& m = *src.machine;
+  // The sim backend and latency models keep per-message semantics (fault
+  // draws, arrival pricing, conservation oracles); a zero-copy landing
+  // would make the matched message invisible to them, so those builds use
+  // the receive-side TryScatter path unchanged.
+  if (m.sim() != nullptr || m.has_model()) return false;
+  PeState& dst = m.Pe(dest_pe);
+  if (dst.scatter_armed.load(std::memory_order_acquire) == 0) return false;
+  int notify = -1;
+  std::uint32_t value = 0;
+  bool matched = false;
+  {
+    std::scoped_lock lk(dst.scatter_mu);
+    for (std::size_t i = 0; i < dst.scatters.size(); ++i) {
+      ScatterReg& reg = dst.scatters[i];
+      if (reg.match_offset + sizeof(std::uint32_t) > payload_size) continue;
+      std::uint32_t word;
+      GatherRead(len, sizes, data_array, reg.match_offset, sizeof(word),
+                 &word);
+      if (word != reg.match_value) continue;
+      for (const ScatterPart& part : reg.parts) {
+        assert(part.payload_offset + part.length <= payload_size &&
+               "scatter part exceeds message payload");
+        GatherRead(len, sizes, data_array, part.payload_offset, part.length,
+                   part.destination);
+      }
+      notify = reg.notify_handler;
+      value = reg.match_value;
+      matched = true;
+      if (!reg.persistent) {
+        dst.scatters.erase(dst.scatters.begin() + static_cast<long>(i));
+        dst.scatter_armed.store(static_cast<int>(dst.scatters.size()),
+                                std::memory_order_release);
+      }
+      break;
+    }
+  }
+  if (!matched) return false;
+  ++src.stats.scatter_direct;
+  if (notify >= 0) {
+    // Recreate receive-side notification semantics exactly: a control
+    // message to the destination whose machine-internal handler enqueues
+    // the short notify message into the scheduler queue there (the notify
+    // handler owns its buffer on both paths).  It flushes the sender's
+    // open frame and rides the ordinary FIFO lane, so it arrives after any
+    // earlier traffic and publishes the user-buffer writes.
+    const std::uint32_t words[2] = {static_cast<std::uint32_t>(notify),
+                                    value};
+    void* ctl =
+        CmiMakeMessage(CoreState().scatter_note_handler, words,
+                       sizeof(words));
+    SendOwnedFrom(src, dest_pe, ctl);
+  }
+  return true;
 }
 
 namespace {
@@ -224,14 +323,57 @@ int CoreModuleId() {
         st->exit_handler = CmiRegisterHandler([](void*) {
           CsdExitScheduler();
         });
+        st->scatter_note_handler = CmiRegisterHandler([](void* msg) {
+          // Relay for sender-side (zero-copy) scatter landings: payload is
+          // {notify handler, match value}.  Enqueue the notify message into
+          // the scheduler queue here, exactly like the receive-side path.
+          std::uint32_t words[2];
+          std::memcpy(words, CmiMsgPayload(msg), sizeof(words));
+          PeState& pe = CpvChecked();
+          void* note = CmiMakeMessage(static_cast<int>(words[0]), &words[1],
+                                      sizeof(words[1]));
+          pe.schedq.Enqueue(note);
+          ++pe.stats.msgs_enqueued;
+        });
         SetModuleState(module_id, st);
       },
       [](void* state) { delete static_cast<CoreModuleState*>(state); });
   return id;
 }
 
+/// A grabbed shared-broadcast view is read-only (the same bytes are live
+/// on other PEs); send paths that restamp the header detach onto a private
+/// copy first, releasing the view's block reference.
+void* DetachSharedView(void* msg) {
+  if ((Header(msg)->flags & kMsgFlagShared) == 0) return msg;
+  void* copy = CloneMessage(msg);
+  CmiFree(msg);
+  return copy;
+}
+
+void SendSharedBlockFrom(PeState& pe, int dest_pe, void* block) {
+  Machine& m = *pe.machine;
+  assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
+  assert(!m.has_model() && "shared broadcasts need the plain (tree) path");
+  // Per-sender FIFO choke point, as in SendOwnedFrom: earlier small sends
+  // to this destination may still sit in an open frame.  No header
+  // restamp, no check/race send hooks, no logical counters: the fan-out
+  // was accounted at the broadcast root, the header is shared (read-only
+  // off the root), and the race clock identity rides (root, seq) from
+  // race::OnBcastRoot.
+  if (!pe.agg.open.empty()) CstFlushDest(pe, dest_pe);
+  if (SimCoordinator* sim = m.sim()) {
+    sim->Send(pe, dest_pe, block, 0.0);
+    return;
+  }
+  PeState& dst = m.Pe(dest_pe);
+  LanePush(dst, dst.netlane, block);
+  NotifyIfParked(dst);
+}
+
 void SendOwnedFrom(PeState& pe, int dest_pe, void* msg, double delay_us) {
   Machine& m = *pe.machine;
+  msg = DetachSharedView(msg);
   assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
   assert((delay_us == 0.0 || m.uses_timedq()) &&
          "delayed sends need a timed machine (sim backend or net model)");
@@ -296,6 +438,7 @@ void SendOwned(int dest_pe, void* msg) {
 void SendOwnedImmediate(int dest_pe, void* msg) {
   PeState& pe = CpvChecked();
   Machine& m = *pe.machine;
+  msg = DetachSharedView(msg);
   assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
   MsgHeader* h = Header(msg);
   check::OnSend(msg);
@@ -703,6 +846,8 @@ void CmiSyncSendAndFree(unsigned int dest_pe, unsigned int size, void* msg) {
                            "magic 0x%08x)", h->magic);
   }
   assert(h->magic == detail::kMsgMagicAlive);
+  msg = detail::DetachSharedView(msg);
+  h = detail::Header(msg);
   h->total_size = size;
   detail::PeState& pe = detail::CpvChecked();
   // Guard against handing the machine a buffer the dispatcher still owns.
@@ -735,6 +880,8 @@ void CmiSyncSendDelayedAndFree(unsigned int dest_pe, unsigned int size,
   }
   assert(h->magic == detail::kMsgMagicAlive);
   assert(delay_us >= 0.0 && "negative send delay");
+  msg = detail::DetachSharedView(msg);
+  h = detail::Header(msg);
   h->total_size = size;
   detail::PeState& pe = detail::CpvChecked();
   // Timed messages skip the aggregation layer on purpose: a frame would
@@ -785,10 +932,32 @@ void CmiReleaseCommHandle(CommHandle handle) {
 
 CommHandle CmiVectorSend(int dest_pe, int handler_id, int len,
                          const int sizes[], const void* const data_array[]) {
+  // The summed segment sizes become a u32 total_size on the wire; validate
+  // unconditionally (not just in debug builds) so a negative length or an
+  // overflowing sum can never silently wrap into a short allocation.
+  constexpr std::size_t kMaxTotal = 0xffffffffu;
   std::size_t payload = 0;
-  for (int i = 0; i < len; ++i) payload += static_cast<std::size_t>(sizes[i]);
+  for (int i = 0; i < len; ++i) {
+    if (sizes[i] < 0) {
+      detail::check::Violate(CciRule::kGatherOverflow, nullptr,
+                             "CmiVectorSend: segment %d has negative size %d",
+                             i, sizes[i]);
+    }
+    payload += static_cast<std::size_t>(sizes[i]);
+    if (payload > kMaxTotal - sizeof(detail::MsgHeader)) {
+      detail::check::Violate(CciRule::kGatherOverflow, nullptr,
+                             "CmiVectorSend: summed segment sizes overflow "
+                             "the 32-bit message size at segment %d", i);
+    }
+  }
   const std::size_t total_bytes = sizeof(detail::MsgHeader) + payload;
   detail::PeState& pe = detail::CpvChecked();
+  // A pre-registered scatter on the destination can land the pieces
+  // straight in the user's buffers — no message allocation at all.
+  if (detail::TryScatterDirect(pe, dest_pe, len, sizes, data_array,
+                               payload)) {
+    return CommHandle{nullptr};
+  }
   if (void* image = detail::CstReserveMsg(
           pe, dest_pe, static_cast<std::uint32_t>(total_bytes))) {
     // Gather the pieces straight into the reserved frame entry — no
@@ -933,6 +1102,7 @@ void CmiSyncBroadcast(unsigned int size, void* msg) {
   }
   for (int i = 0; i < pe.npes; ++i) {
     if (i == pe.mype) continue;
+    ++pe.stats.bcast_payload_copies;
     detail::SendOwnedFrom(pe, i, detail::CopyMessage(msg, size));
   }
 }
@@ -945,6 +1115,7 @@ void CmiSyncBroadcastAll(unsigned int size, void* msg) {
     return;
   }
   for (int i = 0; i < pe.npes; ++i) {
+    ++pe.stats.bcast_payload_copies;
     detail::SendOwnedFrom(pe, i, detail::CopyMessage(msg, size));
   }
 }
@@ -958,6 +1129,8 @@ void CmiSyncBroadcastAllAndFree(unsigned int size, void* msg) {
                            "(header magic 0x%08x)", h->magic);
   }
   assert(h->magic == detail::kMsgMagicAlive);
+  msg = detail::DetachSharedView(msg);
+  h = detail::Header(msg);
   if (detail::CstUseTree(pe)) {
     // The tree cast reads `msg` into the wrapper; the original is then
     // delivered to self, honoring the and-free ownership transfer.
@@ -971,6 +1144,7 @@ void CmiSyncBroadcastAllAndFree(unsigned int size, void* msg) {
   // of being copied once more and freed (npes allocations, not npes + 1).
   for (int i = 0; i < pe.npes; ++i) {
     if (i == pe.mype) continue;
+    ++pe.stats.bcast_payload_copies;
     detail::SendOwnedFrom(pe, i, detail::CopyMessage(msg, size));
   }
   h->total_size = size;
@@ -1007,6 +1181,7 @@ void CmiSyncSendImmediate(unsigned int dest_pe, unsigned int size,
 
 void CmiSyncSendImmediateAndFree(unsigned int dest_pe, unsigned int size,
                                  void* msg) {
+  msg = detail::DetachSharedView(msg);
   detail::Header(msg)->total_size = size;
   detail::SendOwnedImmediate(static_cast<int>(dest_pe), msg);
 }

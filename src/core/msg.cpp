@@ -36,6 +36,22 @@ void* CmiAlloc(std::size_t nbytes) {
 
 void CmiFree(void* msg) {
   if (msg == nullptr) return;
+  {
+    const std::uint8_t flags = detail::Header(msg)->flags;
+    if ((flags & detail::kMsgFlagShared) != 0) {
+      // A view embedded in a shared-broadcast block: the same pointer is
+      // live on several PEs at once, so ownership diagnostics and magic
+      // flips would race — resolve the block and release one reference.
+      detail::CstSbcastViewRelease(msg);
+      return;
+    }
+    if ((flags & detail::kMsgFlagSbcast) != 0) {
+      // The block itself (a lane entry, sim hold, or fault-drop reclaim):
+      // every holder of the pointer accounts for exactly one reference.
+      detail::CstSbcastBlockRelease(msg);
+      return;
+    }
+  }
   detail::check::OnFree(msg);
   detail::race::OnFreeMsg(msg);
   auto* h = detail::Header(msg);

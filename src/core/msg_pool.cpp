@@ -15,19 +15,35 @@ namespace detail {
 namespace {
 
 // Size classes cover the message's own bytes (header + payload); the
-// PoolPrefix rides in front of every block on top of these.
-constexpr std::size_t kClassBytes[] = {64, 128, 256, 512, 1024, 2048, 4096};
+// PoolPrefix rides in front of every block on top of these.  The range runs
+// to 64 KiB so aggregation frames and shared-broadcast blocks — the large
+// buffers on the zero-copy paths — recycle through freelists too.
+constexpr std::size_t kClassBytes[] = {64,   128,  256,   512,   1024,  2048,
+                                       4096, 8192, 16384, 32768, 65536};
 constexpr int kNumClasses =
     static_cast<int>(sizeof(kClassBytes) / sizeof(kClassBytes[0]));
+static_assert(kNumClasses <= CmiMemoryStats::kMaxSizeClasses);
+
+/// Freelist misses carve blocks out of arena chunks this large, allocated
+/// (and first written) by the owning PE's thread — so under a first-touch
+/// NUMA policy every page of a PE's pool lands on that PE's node, and the
+/// global allocator is hit once per chunk instead of once per block.
+constexpr std::size_t kArenaChunkBytes = 256 * 1024;
+
+/// Oversize (> largest class) buffers parked per owning PE, most recently
+/// freed first; bounds keep the cache from pinning unbounded memory.
+constexpr std::size_t kOversizeCacheSlots = 8;
+constexpr std::size_t kOversizeCacheBytes = 16u * 1024 * 1024;
 
 constexpr std::uint32_t kPrefixPooled = 0x506F4F4Cu;  // "PoOL"
 constexpr std::uint32_t kPrefixDirect = 0x44495243u;  // "DIRC"
+constexpr std::uint32_t kPrefixBig = 0x42494721u;     // "BIG!"
 
 struct PoolPrefix {
   void* owner_or_next;  // live: owning MsgPool*; free: freelist/return link
-  std::uint32_t tag;    // kPrefixPooled / kPrefixDirect
-  std::uint16_t size_class;
-  std::uint16_t unused;
+  std::uint32_t tag;    // kPrefixPooled / kPrefixDirect / kPrefixBig
+  std::uint16_t size_class;  // kPrefixBig: low half of the capacity
+  std::uint16_t unused;      // kPrefixBig: high half of the capacity
 };
 static_assert(sizeof(PoolPrefix) == 16,
               "prefix must preserve the message's 16-byte alignment");
@@ -39,6 +55,17 @@ PoolPrefix* PrefixOf(void* msg) {
 const PoolPrefix* PrefixOf(const void* msg) {
   return reinterpret_cast<const PoolPrefix*>(static_cast<const char*>(msg) -
                                              sizeof(PoolPrefix));
+}
+
+/// kPrefixBig capacity, split across the two u16 fields (u32 covers it:
+/// message sizes are u32 on the wire).
+std::size_t BigCapacity(const PoolPrefix* p) {
+  return static_cast<std::size_t>(p->size_class) |
+         (static_cast<std::size_t>(p->unused) << 16);
+}
+void SetBigCapacity(PoolPrefix* p, std::size_t bytes) {
+  p->size_class = static_cast<std::uint16_t>(bytes & 0xffffu);
+  p->unused = static_cast<std::uint16_t>((bytes >> 16) & 0xffffu);
 }
 
 int ClassFor(std::size_t nbytes) {
@@ -54,6 +81,10 @@ class OwnerCounter {
  public:
   void Inc() {
     v_.store(v_.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  }
+  void Add(std::uint64_t n) {
+    v_.store(v_.load(std::memory_order_relaxed) + n,
              std::memory_order_relaxed);
   }
   std::uint64_t Get() const { return v_.load(std::memory_order_relaxed); }
@@ -101,7 +132,7 @@ class MsgPool {
   /// Owner thread only.
   void* Alloc(std::size_t nbytes) {
     const int cls = ClassFor(nbytes);
-    if (cls < 0) return DirectAlloc(nbytes);
+    if (cls < 0) return OversizeAlloc(nbytes);
     void* blk = freelist_[cls];
     if (blk == nullptr) {
       ReclaimReturns();
@@ -109,12 +140,10 @@ class MsgPool {
     }
     if (blk != nullptr) {
       freelist_[cls] = PrefixOf(blk)->owner_or_next;
-      hits_.Inc();
+      class_hits_[cls].Inc();
     } else {
-      misses_.Inc();
-      void* raw = ::operator new(sizeof(PoolPrefix) + kClassBytes[cls],
-                                 std::align_val_t{16});
-      blk = static_cast<char*>(raw) + sizeof(PoolPrefix);
+      class_misses_[cls].Inc();
+      blk = CarveFromArena(sizeof(PoolPrefix) + kClassBytes[cls]);
     }
     PoolPrefix* p = PrefixOf(blk);
     p->owner_or_next = this;
@@ -132,6 +161,22 @@ class MsgPool {
     local_frees_.Inc();
   }
 
+  /// Owner thread only: park (or drop) an oversize buffer.
+  void OversizeFree(void* msg) {
+    PoolPrefix* p = PrefixOf(msg);
+    const std::size_t cap = BigCapacity(p);
+    if (big_cache_.size() >= kOversizeCacheSlots ||
+        big_cache_bytes_ + cap > kOversizeCacheBytes) {
+      ::operator delete(static_cast<char*>(msg) - sizeof(PoolPrefix),
+                        std::align_val_t{16});
+      return;
+    }
+    big_cache_.push_back(msg);
+    big_cache_bytes_ += cap;
+    oversize_cached_.Inc();
+    local_frees_.Inc();
+  }
+
   /// Any thread: Treiber push onto the owner's return stack.
   void RemoteFree(void* msg) {
     PoolPrefix* p = PrefixOf(msg);
@@ -145,21 +190,37 @@ class MsgPool {
   }
 
   void AccumInto(CmiMemoryStats& s) const {
-    s.pool_hits += hits_.Get();
-    s.pool_misses += misses_.Get();
+    s.size_classes = kNumClasses;
+    for (int c = 0; c < kNumClasses; ++c) {
+      s.class_bytes[c] = kClassBytes[c];
+      s.class_hits[c] += class_hits_[c].Get();
+      s.class_misses[c] += class_misses_[c].Get();
+      s.pool_hits += class_hits_[c].Get();
+      s.pool_misses += class_misses_[c].Get();
+    }
     s.local_frees += local_frees_.Get();
     s.remote_frees += remote_frees_.load(std::memory_order_relaxed);
     s.remote_reclaimed += remote_reclaimed_.Get();
+    s.arena_chunks += arena_chunks_.Get();
+    s.arena_bytes += arena_bytes_.Get();
+    s.oversize_cached += oversize_cached_.Get();
+    s.oversize_reused += oversize_reused_.Get();
   }
 
  private:
   /// Owner thread only: swap the whole return stack out at once (no ABA)
-  /// and sort the blocks back into the freelists.
+  /// and sort the blocks back into the freelists (or the oversize cache).
   void ReclaimReturns() {
     void* list = returns_.exchange(nullptr, std::memory_order_acquire);
     while (list != nullptr) {
       PoolPrefix* p = PrefixOf(list);
       void* next = p->owner_or_next;
+      if (p->tag == kPrefixBig) {
+        remote_reclaimed_.Inc();
+        OversizeFree(list);
+        list = next;
+        continue;
+      }
       assert(p->tag == kPrefixPooled && p->size_class < kNumClasses);
       p->owner_or_next = freelist_[p->size_class];
       freelist_[p->size_class] = list;
@@ -168,8 +229,59 @@ class MsgPool {
     }
   }
 
+  /// Owner thread only: bump-allocate `bytes` (a multiple of 16) from the
+  /// current arena chunk, starting a new chunk when it runs out.  The chunk
+  /// is written first by this thread (the prefix/header stores that follow
+  /// immediately), which is what places its pages locally under first-touch.
+  void* CarveFromArena(std::size_t bytes) {
+    assert(bytes % 16 == 0 && bytes <= kArenaChunkBytes);
+    if (static_cast<std::size_t>(arena_end_ - arena_cur_) < bytes) {
+      arena_cur_ =
+          static_cast<char*>(::operator new(kArenaChunkBytes,
+                                            std::align_val_t{16}));
+      arena_end_ = arena_cur_ + kArenaChunkBytes;  // chunk leaks with pool
+      arena_chunks_.Inc();
+      arena_bytes_.Add(kArenaChunkBytes);
+    }
+    char* raw = arena_cur_;
+    arena_cur_ += bytes;
+    return raw + sizeof(PoolPrefix);
+  }
+
+  /// Owner thread only: serve an oversize request from the LIFO cache
+  /// (most-recently-freed first — the warmest pages) or the allocator.
+  void* OversizeAlloc(std::size_t nbytes) {
+    for (std::size_t i = big_cache_.size(); i-- > 0;) {
+      void* msg = big_cache_[i];
+      PoolPrefix* p = PrefixOf(msg);
+      const std::size_t cap = BigCapacity(p);
+      if (cap < nbytes) continue;
+      big_cache_.erase(big_cache_.begin() + static_cast<std::ptrdiff_t>(i));
+      big_cache_bytes_ -= cap;
+      oversize_reused_.Inc();
+      p->owner_or_next = this;
+      return msg;
+    }
+    g_direct_allocs.fetch_add(1, std::memory_order_relaxed);
+    void* raw =
+        ::operator new(sizeof(PoolPrefix) + nbytes, std::align_val_t{16});
+    void* msg = static_cast<char*>(raw) + sizeof(PoolPrefix);
+    PoolPrefix* p = PrefixOf(msg);
+    p->owner_or_next = this;
+    p->tag = kPrefixBig;
+    SetBigCapacity(p, nbytes);
+    return msg;
+  }
+
   void* freelist_[kNumClasses] = {};
-  OwnerCounter hits_, misses_, local_frees_, remote_reclaimed_;
+  char* arena_cur_ = nullptr;
+  char* arena_end_ = nullptr;
+  std::vector<void*> big_cache_;
+  std::size_t big_cache_bytes_ = 0;
+  OwnerCounter class_hits_[kNumClasses], class_misses_[kNumClasses];
+  OwnerCounter local_frees_, remote_reclaimed_;
+  OwnerCounter arena_chunks_, arena_bytes_;
+  OwnerCounter oversize_cached_, oversize_reused_;
   alignas(64) std::atomic<void*> returns_{nullptr};
   std::atomic<std::uint64_t> remote_frees_{0};
 };
@@ -230,6 +342,15 @@ void MsgPoolFree(void* msg) {
                       std::align_val_t{16});
     return;
   }
+  if (p->tag == kPrefixBig) {
+    auto* owner = static_cast<MsgPool*>(p->owner_or_next);
+    if (owner == MyPool()) {
+      owner->OversizeFree(msg);
+    } else {
+      owner->RemoteFree(msg);
+    }
+    return;
+  }
   assert(p->tag == kPrefixPooled && "CmiFree of a non-CmiAlloc buffer");
   auto* owner = static_cast<MsgPool*>(p->owner_or_next);
   if (owner == MyPool()) {
@@ -246,8 +367,10 @@ bool MsgPoolIsPooled(const void* msg) {
 void MsgPoolRestampFlag(void* msg) {
   MsgHeader* h = Header(msg);
   // A restamped buffer is by definition a fresh standalone allocation; the
-  // source header may have belonged to an in-frame view.
-  h->flags = static_cast<std::uint8_t>(h->flags & ~kMsgFlagInFrame);
+  // source header may have belonged to an in-frame or shared-broadcast view
+  // (or a shared block whose image got CopyMessage'd wholesale).
+  h->flags = static_cast<std::uint8_t>(
+      h->flags & ~(kMsgFlagInFrame | kMsgFlagSbcast | kMsgFlagShared));
   if (MsgPoolIsPooled(msg)) {
     h->flags = static_cast<std::uint8_t>(h->flags | kMsgFlagPooled);
   } else {

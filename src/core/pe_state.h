@@ -151,7 +151,14 @@ struct PeState {
   bool exit_requested = false;
   int sched_depth = 0;  // nesting level of running scheduler loops
   std::vector<void*> module_state;
+  // Scatter registrations (EMI advance receive).  Guarded by scatter_mu:
+  // the zero-copy landing path (TryScatterDirect) matches and fills a
+  // registration from the *sending* PE's thread.  scatter_armed mirrors
+  // scatters.size() so the per-message fast path is one relaxed load.
+  // scatter_mu is a leaf lock: never acquire another lock while holding it.
+  std::mutex scatter_mu;
   std::vector<ScatterReg> scatters;
+  std::atomic<int> scatter_armed{0};
   int next_scatter_id = 0;
   util::Xoshiro256 rng{0};
   CmiStats stats;
@@ -259,6 +266,21 @@ void* PopNet(PeState& pe);
 /// the message was consumed.  Never matches carrier (frame/broadcast)
 /// messages — scatters apply to the logical messages inside.
 bool TryScatter(PeState& pe, void* msg);
+
+/// Zero-copy scatter landing for CmiVectorSend (called on the *sender*):
+/// if `dest_pe` has a matching registration, copy the gathered segments
+/// straight into its user buffers — no intermediate message — and true is
+/// returned.  Inactive under the sim backend or a latency model (those
+/// paths keep per-message fault/latency semantics).
+bool TryScatterDirect(PeState& src, int dest_pe, int len, const int sizes[],
+                      const void* const data_array[],
+                      std::size_t payload_size);
+
+/// Push a shared-broadcast block to `dest_pe`'s delivery lane (or the sim)
+/// without restamping its header or touching the logical send counters —
+/// the caller already accounted for the fan-out and holds a reference per
+/// push.  Flushes the sender's open frame to `dest_pe` first (FIFO).
+void SendSharedBlockFrom(PeState& pe, int dest_pe, void* block);
 
 /// True when no network message is deliverable right now (both lanes and,
 /// under a net model, the timed queue).  Must run on `pe`'s own thread.

@@ -80,8 +80,10 @@ void ForEachView(void* frame, Fn&& fn) {
     char* const next = p + EntryBytes(size);
     void* view = p + kEntryHeaderBytes;
     MsgHeader* h = reinterpret_cast<MsgHeader*>(view);
-    h->flags = static_cast<std::uint8_t>((h->flags & ~kMsgFlagPooled) |
-                                         kMsgFlagInFrame);
+    // Clear kMsgFlagShared too: the packed image may be a byte copy of a
+    // grabbed shared-broadcast view, and this view owns no block reference.
+    h->flags = static_cast<std::uint8_t>(
+        (h->flags & ~(kMsgFlagPooled | kMsgFlagShared)) | kMsgFlagInFrame);
     check::OnAlloc(view, size);  // views live in the checker like messages
     check::OnCopyReset(view);
     fn(view);
@@ -119,9 +121,25 @@ void* CopyImage(const void* image, std::uint32_t size) {
 
 /// Detach the frame at `idx`, finalize its wire header and push it to the
 /// network as one machine message.  Returns 1 (frames flushed).
+// Adaptive solo-flush bypass (see CstPeState::solo_streak): after this many
+// consecutive single-entry flushes to a destination, sends to it skip the
+// aggregation layer; after this many bypassed sends, aggregation is
+// re-probed in case the traffic turned bursty again.
+constexpr std::uint16_t kSoloStreakLimit = 2;
+constexpr std::uint16_t kSoloRetryEvery = 64;
+
 int FlushFrameAt(PeState& pe, std::size_t idx) {
   CstFrame f = std::move(pe.agg.open[idx]);
   pe.agg.open.erase(pe.agg.open.begin() + static_cast<long>(idx));
+  if (!pe.agg.solo_streak.empty()) {
+    std::uint16_t& streak =
+        pe.agg.solo_streak[static_cast<std::size_t>(f.dest)];
+    if (f.count == 1) {
+      if (streak < kSoloStreakLimit) ++streak;
+    } else {
+      streak = 0;
+    }
+  }
   MsgHeader* h = Header(f.buf);
   h->total_size =
       static_cast<std::uint32_t>(sizeof(MsgHeader) + sizeof(CstFrameWire)) +
@@ -180,6 +198,7 @@ void* MakeWrapper(PeState& pe, const void* msg, std::uint32_t size,
   std::memcpy(CmiMsgPayload(w), &wire, sizeof(wire));
   char* dst = static_cast<char*>(CmiMsgPayload(w)) + sizeof(wire);
   std::memcpy(dst, msg, size);
+  ++pe.stats.bcast_payload_copies;
   MsgHeader ih;
   std::memcpy(&ih, msg, sizeof(ih));
   ih.total_size = size;
@@ -201,6 +220,7 @@ void* OpenBcast(PeState& pe, void* wrapper) {
   const char* inner_image =
       static_cast<const char*>(CmiMsgPayload(wrapper)) + sizeof(wire);
   void* inner = CopyImage(inner_image, wire.inner_size);
+  ++pe.stats.bcast_payload_copies;
   const util::SpanningTree tree(pe.npes, wire.root,
                                 pe.machine->config().spantree_branching);
   const std::vector<int> kids = tree.Children(pe.mype);
@@ -208,6 +228,7 @@ void* OpenBcast(PeState& pe, void* wrapper) {
   for (std::size_t i = 0; i + 1 < kids.size(); ++i) {
     NoteCarrierForward(pe, kids[i], wsize);
     SendOwnedFrom(pe, kids[i], CloneMessage(wrapper));
+    ++pe.stats.bcast_payload_copies;
   }
   if (!kids.empty()) {
     NoteCarrierForward(pe, kids.back(), wsize);
@@ -235,11 +256,151 @@ int DeliverOne(PeState& pe, void* msg) {
   return 1;
 }
 
+char* SbcastEntry(void* block) {
+  return static_cast<char*>(block) + sizeof(MsgHeader) +
+         sizeof(CstSbcastWire);
+}
+
+CstSbcastWire* SbcastWire(void* block) {
+  return reinterpret_cast<CstSbcastWire*>(static_cast<char*>(block) +
+                                          sizeof(MsgHeader));
+}
+
+/// Take ownership of one reference on a received shared-broadcast block:
+/// forward the same pointer to this PE's tree children (bumping the
+/// refcount *before* the pushes, so a holder exists before its pointer
+/// does), then return the embedded view — whose single reference the
+/// caller now owns in place of the block reference it came in with.
+void* OpenShared(PeState& pe, void* block) {
+  CstSbcastWire* wire = SbcastWire(block);
+  if (pe.mype != wire->root) {
+    const util::SpanningTree tree(pe.npes, wire->root,
+                                  pe.machine->config().spantree_branching);
+    const std::vector<int> kids = tree.Children(pe.mype);
+    if (!kids.empty()) {
+      __atomic_add_fetch(&wire->refs,
+                         static_cast<std::uint32_t>(kids.size()),
+                         __ATOMIC_RELAXED);
+      const std::uint32_t bsize = Header(block)->total_size;
+      for (int kid : kids) {
+        NoteCarrierForward(pe, kid, bsize);
+        SendSharedBlockFrom(pe, kid, block);
+      }
+    }
+  }
+  ++pe.stats.bcast_shared_views;
+  return SbcastEntry(block) + kEntryHeaderBytes;
+}
+
+/// Deliver a received shared-broadcast block (CstDeliverCarrier's
+/// kMsgFlagSbcast arm): forward, then dispatch the view in place.
+int DeliverShared(PeState& pe, void* block) {
+  void* view = OpenShared(pe, block);
+  if (TryScatter(pe, view)) return 0;
+  ++pe.stats.msgs_delivered;
+  race::OnWireDeliver(pe, view, /*was_bcast=*/true);
+  SimCoordinator* sim = pe.machine->sim();
+  if (sim != nullptr) sim->RecordDeliver(pe, view);
+  DispatchMessage(view, /*system_owned=*/true);
+  return 1;
+}
+
+/// Broadcast `size` bytes of `msg` as one refcounted shared block: the
+/// payload is copied exactly once (here, at the root); every destination —
+/// the root included, when include_self — dispatches a read-only view into
+/// the same allocation, and the spanning tree forwards the block by
+/// pointer.  All sends complete before returning.
+void CstSharedCast(PeState& pe, const void* msg, std::uint32_t size,
+                   bool include_self) {
+  const std::uint32_t seq = static_cast<std::uint32_t>(pe.send_seq++);
+  race::OnBcastRoot(pe, seq);
+  // Logical accounting up front, as in CstTreeCast — plus the self
+  // delivery, which on this path rides the block like every other one
+  // (the wrapper path self-delivers through SendOwnedFrom instead).
+  const int logical = pe.npes - 1 + (include_self ? 1 : 0);
+  pe.stats.msgs_sent += static_cast<std::uint64_t>(logical);
+  pe.qd_created += static_cast<std::uint64_t>(logical);
+  if (pe.hooks != nullptr && pe.hooks->on_send != nullptr) {
+    MsgHeader h;
+    std::memcpy(&h, msg, sizeof(h));
+    h.total_size = size;
+    h.magic = kMsgMagicAlive;
+    h.source_pe = static_cast<std::uint16_t>(pe.mype);
+    h.seq = seq;
+    for (int i = 0; i < pe.npes; ++i) {
+      if (i != pe.mype || include_self) {
+        pe.hooks->on_send(pe.hooks->ud, &h, i);
+      }
+    }
+  }
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(sizeof(MsgHeader) + sizeof(CstSbcastWire)) +
+      kEntryHeaderBytes + size;
+  void* block = CmiAlloc(total);
+  MsgHeader* bh = Header(block);
+  bh->handler = kCstCarrierHandler;
+  bh->flags = static_cast<std::uint8_t>(bh->flags | kMsgFlagSbcast);
+  bh->source_pe = static_cast<std::uint16_t>(pe.mype);
+  bh->seq = seq;
+  char* entry = SbcastEntry(block);
+  std::memcpy(entry, &size, sizeof(size));
+  std::memset(entry + sizeof(size), 0, 4);
+  // The back-pointer is stamped once, here: the block is forwarded by
+  // pointer and never copied, so it stays valid on every PE.  (The sim's
+  // trace hash covers sizes and header identity, not payload bytes, so the
+  // absolute address does not perturb determinism.)
+  std::memcpy(entry + 8, &block, sizeof(block));
+  void* view = entry + kEntryHeaderBytes;
+  std::memcpy(view, msg, size);  // the one payload copy of this broadcast
+  ++pe.stats.bcast_payload_copies;
+  ++pe.stats.bcast_shared_blocks;
+  MsgHeader* vh = reinterpret_cast<MsgHeader*>(view);
+  vh->total_size = size;
+  vh->magic = kMsgMagicAlive;
+  vh->source_pe = static_cast<std::uint16_t>(pe.mype);
+  vh->seq = seq;
+  // Clear the CciCheck state bits (0x3) along with any inherited pool or
+  // carrier bits: the checker never tracks shared views, so their state
+  // field must read "owned" forever.
+  vh->flags = static_cast<std::uint8_t>(
+      (vh->flags &
+       ~(0x3u | kMsgFlagPooled | kMsgFlagCarrierMask | kMsgFlagShared)) |
+      kMsgFlagInFrame | kMsgFlagShared);
+  const util::SpanningTree tree(pe.npes, pe.mype,
+                                pe.machine->config().spantree_branching);
+  const std::vector<int> kids = tree.Children(pe.mype);
+  assert((!kids.empty() || include_self) && "shared cast with no receiver");
+  CstSbcastWire wire{pe.mype,
+                     static_cast<std::uint32_t>(kids.size() +
+                                                (include_self ? 1 : 0)),
+                     size, 0};
+  std::memcpy(static_cast<char*>(block) + sizeof(MsgHeader), &wire,
+              sizeof(wire));
+  for (int kid : kids) {
+    NoteCarrierForward(pe, kid, total);
+    SendSharedBlockFrom(pe, kid, block);
+  }
+  if (include_self) SendSharedBlockFrom(pe, pe.mype, block);
+}
+
 }  // namespace
 
 void CstInitPe(PeState& pe) {
   const MachineConfig& cfg = pe.machine->config();
   CstPeState& st = pe.agg;
+  // Shared-payload broadcast threshold.  Independent of the frame toggle,
+  // but like the spanning tree it needs the plain (no latency model) path:
+  // a model prices per-destination copies individually.
+  std::int64_t share = cfg.bcast_share_min;
+  if (share < 0) {
+    const char* e = std::getenv("CONVERSE_SBCAST");
+    share = (e != nullptr && e[0] != '\0') ? std::atoll(e) : 4096;
+    if (share < 0) share = 0;
+  }
+  if (share > 0xffffffffll) share = 0xffffffffll;
+  st.share_min = (pe.npes > 1 && cfg.model == nullptr)
+                     ? static_cast<std::uint32_t>(share)
+                     : 0;
   int mode = cfg.aggregate_sends;
   if (mode < 0) {
     const char* e = std::getenv("CONVERSE_AGG");
@@ -254,6 +415,10 @@ void CstInitPe(PeState& pe) {
   const std::uint32_t cap = st.frame_bytes - kEntryHeaderBytes;
   st.max_msg = cfg.agg_max_msg < cap ? cfg.agg_max_msg : cap;
   if (st.max_msg < sizeof(MsgHeader)) st.enabled = false;
+  if (st.enabled && cfg.agg_solo_bypass) {
+    st.solo_streak.assign(static_cast<std::size_t>(pe.npes), 0);
+    st.solo_bypassed.assign(static_cast<std::size_t>(pe.npes), 0);
+  }
 }
 
 bool CstWouldAggregate(const PeState& pe, int dest, std::uint32_t size) {
@@ -270,6 +435,20 @@ void* CstReserveMsg(PeState& pe, int dest, std::uint32_t size) {
           st.frame_bytes) {
     FlushFrameAt(pe, static_cast<std::size_t>(idx));
     idx = -1;
+  }
+  if (idx < 0 && !st.solo_streak.empty() &&
+      st.solo_streak[static_cast<std::size_t>(dest)] >= kSoloStreakLimit) {
+    // This destination's frames keep flushing with one entry — the shape
+    // pays frame overhead for no batching.  Send directly; once in a while
+    // let one message open a frame again to re-probe the traffic shape.
+    std::uint16_t& bypassed =
+        st.solo_bypassed[static_cast<std::size_t>(dest)];
+    if (++bypassed >= kSoloRetryEvery) {
+      bypassed = 0;
+      st.solo_streak[static_cast<std::size_t>(dest)] = 0;
+    } else {
+      return nullptr;
+    }
   }
   if (idx < 0) {
     void* buf = CmiAlloc(sizeof(MsgHeader) + sizeof(CstFrameWire) +
@@ -349,7 +528,11 @@ int CstFlushAll(PeState& pe) {
 bool CstHasAnyOpen(const PeState& pe) { return !pe.agg.open.empty(); }
 
 int CstDeliverCarrier(PeState& pe, void* carrier) {
-  if ((Header(carrier)->flags & kMsgFlagBcast) != 0) {
+  const std::uint8_t flags = Header(carrier)->flags;
+  if ((flags & kMsgFlagSbcast) != 0) {
+    return DeliverShared(pe, carrier);
+  }
+  if ((flags & kMsgFlagBcast) != 0) {
     return DeliverOne(pe, carrier);
   }
   check::OnReclaim(carrier);
@@ -360,6 +543,13 @@ int CstDeliverCarrier(PeState& pe, void* carrier) {
 }
 
 void CstUnpackToHeld(PeState& pe, void* carrier) {
+  if ((Header(carrier)->flags & kMsgFlagSbcast) != 0) {
+    // Tree forwarding happens now; the view waits in heldq like any other
+    // unpacked logical message.
+    void* view = OpenShared(pe, carrier);
+    if (!TryScatter(pe, view)) pe.heldq.push_back(view);
+    return;
+  }
   const auto hold = [&pe](void* msg) {
     if ((Header(msg)->flags & kMsgFlagBcast) != 0) msg = OpenBcast(pe, msg);
     if (!TryScatter(pe, msg)) pe.heldq.push_back(msg);
@@ -387,6 +577,33 @@ void CstFrameViewRelease(void* view) {
   }
 }
 
+void CstSbcastViewRelease(void* view) {
+  // The entry header in front of the view carries the block back-pointer,
+  // stamped once at the root (the block is never copied).
+  void* block;
+  std::memcpy(&block, static_cast<char*>(view) - 8, sizeof(block));
+  CstSbcastBlockRelease(block);
+}
+
+void CstSbcastBlockRelease(void* block) {
+  CstSbcastWire* wire = SbcastWire(block);
+  // The acquire/release pair orders every PE's reads of the shared payload
+  // before the block's storage is reused.
+  if (__atomic_sub_fetch(&wire->refs, 1, __ATOMIC_ACQ_REL) == 0) {
+    // Last holder: drop the routing flag so the block dies like an
+    // ordinary message — CciCheck sees the OnFree matching the root's
+    // OnAlloc, and the storage goes back to its pool.
+    Header(block)->flags = static_cast<std::uint8_t>(Header(block)->flags &
+                                                     ~kMsgFlagSbcast);
+    CmiFree(block);
+  }
+}
+
+bool CstWouldShareBcast(const PeState& pe, std::uint32_t size) {
+  return pe.agg.share_min != 0 && size >= pe.agg.share_min &&
+         CstUseTree(pe);
+}
+
 bool CstUseTree(const PeState& pe) {
   return pe.npes > 1 && !pe.machine->has_model();
 }
@@ -394,6 +611,13 @@ bool CstUseTree(const PeState& pe) {
 AsyncCompletion* CstTreeCast(PeState& pe, const void* msg, std::uint32_t size,
                              bool include_self, bool defer) {
   assert(size >= sizeof(MsgHeader));
+  if (CstWouldShareBcast(pe, size)) {
+    // Zero-copy path: one refcounted payload block, N views.  Every push
+    // completes before the call returns, so the deferred (async) variants
+    // get a born-done handle.
+    CstSharedCast(pe, msg, size, include_self);
+    return nullptr;
+  }
   const std::uint32_t seq = static_cast<std::uint32_t>(pe.send_seq++);
   race::OnBcastRoot(pe, seq);
   // Logical accounting up front: the root sends one message to every other
@@ -425,8 +649,11 @@ AsyncCompletion* CstTreeCast(PeState& pe, const void* msg, std::uint32_t size,
       auto* c = new AsyncCompletion{0, false};
       for (int kid : kids) {
         NoteCarrierForward(pe, kid, wsize);
-        if (!CstTryAppendCarrier(pe, kid, w, wsize, c)) {
+        if (CstTryAppendCarrier(pe, kid, w, wsize, c)) {
+          ++pe.stats.bcast_payload_copies;  // packed copy into the frame
+        } else {
           SendOwnedFrom(pe, kid, CloneMessage(w));
+          ++pe.stats.bcast_payload_copies;
         }
       }
       CmiFree(w);
@@ -439,6 +666,7 @@ AsyncCompletion* CstTreeCast(PeState& pe, const void* msg, std::uint32_t size,
       for (std::size_t i = 0; i + 1 < kids.size(); ++i) {
         NoteCarrierForward(pe, kids[i], wsize);
         SendOwnedFrom(pe, kids[i], CloneMessage(w));
+        ++pe.stats.bcast_payload_copies;
       }
       NoteCarrierForward(pe, kids.back(), wsize);
       SendOwnedFrom(pe, kids.back(), w);
@@ -446,6 +674,7 @@ AsyncCompletion* CstTreeCast(PeState& pe, const void* msg, std::uint32_t size,
   }
   if (include_self) {
     SendOwnedFrom(pe, pe.mype, CopyImage(msg, size));
+    ++pe.stats.bcast_payload_copies;
   }
   return completion;
 }
@@ -453,6 +682,16 @@ AsyncCompletion* CstTreeCast(PeState& pe, const void* msg, std::uint32_t size,
 std::uint64_t CstMessageWeight(const Machine& m, int dest_pe,
                                const void* msg) {
   const std::uint8_t flags = Header(msg)->flags;
+  if ((flags & kMsgFlagSbcast) != 0) {
+    // Dropping a shared block bound for dest_pe loses that PE's view and
+    // everything it would have forwarded below it — same weighting rule
+    // as a broadcast wrapper.
+    CstSbcastWire wire;
+    std::memcpy(&wire, CmiMsgPayload(msg), sizeof(wire));
+    const util::SpanningTree tree(m.npes(), wire.root,
+                                  m.config().spantree_branching);
+    return static_cast<std::uint64_t>(tree.SubtreeSize(dest_pe));
+  }
   if ((flags & kMsgFlagBcast) != 0) {
     CstBcastWire wire;
     std::memcpy(&wire, CmiMsgPayload(msg), sizeof(wire));

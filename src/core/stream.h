@@ -68,6 +68,25 @@ struct CstBcastWire {
   std::uint32_t inner_size;   // bytes of the inner message image
 };
 
+/// Descriptor of a shared-payload broadcast block (kMsgFlagSbcast):
+///
+///   block  [ MsgHeader | CstSbcastWire | entry header | view image ]
+///
+/// The single view image sits behind a standard frame entry header (u32
+/// size | u32 pad | u64 back-pointer), so CstFrameViewRelease-style
+/// back-pointer resolution works unchanged; the back-pointer is stamped
+/// once at the root (the block is never copied, so it stays valid).  Every
+/// holder of the block pointer — a delivery-lane entry, a sim hold, a
+/// fault-drop reclaim, teardown — owns exactly one reference; the view on
+/// each PE owns one more.  The last release frees the block storage.
+struct CstSbcastWire {
+  std::int32_t root;         // PE the spanning tree is rooted at
+  std::uint32_t refs;        // live references (atomic access only)
+  std::uint32_t inner_size;  // bytes of the embedded view image
+  std::uint32_t pad;         // keeps the entry header 16-aligned
+};
+static_assert(sizeof(CstSbcastWire) == 16);
+
 /// Handler id stamped on carriers.  Never dispatched (the delivery paths
 /// intercept on flags first); distinct from CmiAlloc's 0xffffffff "never
 /// set" marker so SendOwnedFrom's no-handler assert stays meaningful.
@@ -90,6 +109,16 @@ struct CstPeState {
   std::uint32_t frame_msgs = 0;
   std::vector<CstFrame> open;     // flush order == open order (deterministic)
   int hot = 0;  // index hint: the frame the last lookup landed on
+  /// Shared-payload broadcast threshold (bytes, header included); 0 = off.
+  /// Resolved from MachineConfig::bcast_share_min / CONVERSE_SBCAST and
+  /// meaningful even when frame aggregation itself is disabled.
+  std::uint32_t share_min = 0;
+  /// Adaptive solo-flush bypass: per destination, the streak of frames
+  /// that flushed with a single entry (a request/response shape that pays
+  /// frame overhead for no batching) and, once bypassing, the count of
+  /// direct sends since — the layer re-probes aggregation periodically.
+  std::vector<std::uint16_t> solo_streak;
+  std::vector<std::uint16_t> solo_bypassed;
 };
 
 /// Resolve the aggregation config (MachineConfig + CONVERSE_AGG) for one
@@ -146,6 +175,20 @@ void CstUnpackToHeld(PeState& pe, void* carrier);
 /// path); frees the frame buffer when this was the last live view.  Safe
 /// from any thread.
 void CstFrameViewRelease(void* view);
+
+/// Release the reference a shared-broadcast view (kMsgFlagShared) holds on
+/// its block, resolved through the view's back-pointer.  Safe from any
+/// thread.
+void CstSbcastViewRelease(void* view);
+
+/// Release one holder reference on a shared-broadcast block itself
+/// (CmiFree's kMsgFlagSbcast path: lane entries at teardown, sim drop
+/// reclaims, sim holds).  Safe from any thread.
+void CstSbcastBlockRelease(void* block);
+
+/// True when a `size`-byte broadcast (header included) takes the
+/// shared-payload path on this PE.
+bool CstWouldShareBcast(const PeState& pe, std::uint32_t size);
 
 /// True when broadcasts go down the spanning tree (more than one PE, no
 /// latency model).  Independent of the aggregation toggle.

@@ -328,8 +328,19 @@ void SimCoordinator::Send(PeState& src, int dest_pe, void* msg,
 
   void* clone = nullptr;
   if (dup) {
-    clone = CloneMessage(msg);  // keeps handler/source/seq of the original
-    check::OnSend(clone);
+    if ((h->flags & kMsgFlagSbcast) != 0) {
+      // A shared-broadcast block must not be cloned: its embedded view's
+      // back-pointer (stamped at the root) would still point at the
+      // original, and its refcount is the identity being shared.  Duplicate
+      // the *reference* instead — both lane entries release one ref each.
+      auto* wire = reinterpret_cast<CstSbcastWire*>(
+          static_cast<char*>(msg) + sizeof(MsgHeader));
+      __atomic_add_fetch(&wire->refs, 1, __ATOMIC_RELAXED);
+      clone = msg;
+    } else {
+      clone = CloneMessage(msg);  // keeps handler/source/seq of the original
+      check::OnSend(clone);
+    }
     duplicated_ += CstMessageWeight(m_, dest_pe, msg);  // weighted, see drop
     ++faults_injected_;
     HashEvent(Event::kDup, static_cast<std::uint64_t>(dest_pe), h->handler,
