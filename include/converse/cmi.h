@@ -188,6 +188,14 @@ struct CmiStats {
   std::uint64_t svc_admitted = 0;   // requests accepted into a session queue
   std::uint64_t svc_shed = 0;       // requests refused (queue cap / deadline)
   std::uint64_t svc_completed = 0;  // admitted requests that sent a reply
+  // Adaptive seed balancing (converse/cld.h kSteal / kPeriodic).  All three
+  // stay zero under the four legacy strategies (no adaptive code runs).
+  std::uint64_t ldb_steals = 0;     // successful steals landed on this PE
+                                    // (thief side: non-empty reply arrived)
+  std::uint64_t ldb_steal_msgs = 0; // steal protocol messages sent from here
+                                    // (requests + replies + surplus pushes)
+  std::uint64_t ldb_rebalance_moves = 0;  // seeds this PE pushed away during
+                                          // a kPeriodic rebalance tick
 };
 
 /// Snapshot of the current PE's counters.

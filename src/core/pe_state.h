@@ -160,6 +160,17 @@ struct PeState {
   std::vector<ScatterReg> scatters;
   std::atomic<int> scatter_armed{0};
   int next_scatter_id = 0;
+  // Idle hooks, run by blocking scheduler loops (CsdScheduler) right before
+  // the PE parks in WaitForNet.  A hook returns true when it did something
+  // that could produce new work (sent a message, enqueued locally) so the
+  // loop re-polls instead of blocking immediately.  Consumer-only state;
+  // runtime modules (the kSteal seed balancer, kCentral's drain flush)
+  // register at most one hook each per machine run.
+  struct IdleHook {
+    bool (*fn)(void* ud);
+    void* ud;
+  };
+  std::vector<IdleHook> idle_hooks;
   util::Xoshiro256 rng{0};
   CmiStats stats;
   std::uint64_t send_seq = 0;
@@ -306,5 +317,10 @@ void* CloneMessage(const void* msg);
 /// coordinator a chance to hand execution to another PE.  No-op (one
 /// thread-local load and a branch) in normal mode or outside a machine.
 void SimYieldHere();
+
+/// Fold a module-defined decision into the sim's event-trace hash (no-op
+/// on machines without the sim backend).  Defined in sim/sim.cpp.
+void SimTraceUser(PeState& pe, std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c);
 
 }  // namespace converse::detail

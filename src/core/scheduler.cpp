@@ -35,6 +35,16 @@ void NoteEnqueue(PeState& pe, void* msg) {
          "first (paper buffer-ownership protocol)");
 }
 
+/// Run every registered idle hook; true when any hook reported that it may
+/// have produced new work (so the caller should re-poll before blocking).
+bool RunIdleHooks(PeState& pe) {
+  bool again = false;
+  for (const PeState::IdleHook& h : pe.idle_hooks) {
+    if (h.fn(h.ud)) again = true;
+  }
+  return again;
+}
+
 /// Dispatch one scheduler-queue message if present. Returns true if one ran.
 bool RunOneFromQueue(PeState& pe) {
   void* msg = pe.schedq.Dequeue();
@@ -74,8 +84,10 @@ void CsdScheduler(int number_of_messages) {
     }
     if (got > 0) continue;
 
-    // Nothing from the network, nothing in the queue: block until the
-    // machine layer has something for us.
+    // Nothing from the network, nothing in the queue.  Give idle hooks a
+    // chance to generate work (the kSteal balancer sends its steal request
+    // here) before blocking until the machine layer has something for us.
+    if (RunIdleHooks(pe)) continue;
     detail::WaitForNet(pe);
   }
   detail::race::OnSchedulerReturn(pe);

@@ -57,10 +57,14 @@ void SimCoordinator::PushTimed(int dest_pe, void* msg, double arrive_us) {
   dst.timedq.push(NetEntry{msg, arrive_us, dst.net_seq++});
 }
 
+void SimCoordinator::WakeAllPesLocked() {
+  for (Slot& s : slots_) s.cv.notify_all();
+}
+
 void SimCoordinator::DeadlockAbortLocked(std::unique_lock<std::mutex>& lk,
                                          const std::string& reason) {
   abort_mode_ = true;
-  cv_.notify_all();
+  WakeAllPesLocked();
   std::string what = "converse sim: deadlock detected — " + reason +
                      " (replay with seed " + std::to_string(cfg_.seed) + ")";
   // Machine::Abort re-enters OnAbort (which takes mu_) and notifies every
@@ -72,7 +76,7 @@ void SimCoordinator::DeadlockAbortLocked(std::unique_lock<std::mutex>& lk,
 
 void SimCoordinator::ScheduleNextLocked(std::unique_lock<std::mutex>& lk) {
   if (abort_mode_) {
-    cv_.notify_all();
+    WakeAllPesLocked();
     return;
   }
   for (;;) {
@@ -94,13 +98,16 @@ void SimCoordinator::ScheduleNextLocked(std::unique_lock<std::mutex>& lk) {
     if (!cand_.empty()) {
       const int pick = cand_[static_cast<std::size_t>(
           rng_.Below(static_cast<std::uint64_t>(cand_.size())))];
-      slots_[static_cast<std::size_t>(pick)].state = PeRunState::kRunning;
+      Slot& granted = slots_[static_cast<std::size_t>(pick)];
+      granted.state = PeRunState::kRunning;
       if (pick != last_running_) {
         ++context_switches_;
         HashEvent(Event::kSwitch, static_cast<std::uint64_t>(pick), 0, 0);
         last_running_ = pick;
       }
-      cv_.notify_all();
+      // Wake only the granted PE.  When the caller re-granted itself, no
+      // thread is waiting on this cv and the notify is a no-op.
+      granted.cv.notify_all();
       return;
     }
     if (alive == 0) return;  // last PE just finished; nothing left to grant
@@ -176,7 +183,7 @@ void SimCoordinator::PeStart(PeState& pe) {
   if (registered_ == npes_) ScheduleNextLocked(lk);
   while (sp.state != PeRunState::kRunning) {
     if (abort_mode_) throw MachineAborted{};
-    cv_.wait(lk);
+    sp.cv.wait(lk);
   }
 }
 
@@ -198,7 +205,7 @@ void SimCoordinator::YieldPoint(PeState& pe) {
   ScheduleNextLocked(lk);
   while (sp.state != PeRunState::kRunning) {
     if (abort_mode_) return;  // silent: may be inside a fiber
-    cv_.wait(lk);
+    sp.cv.wait(lk);
   }
 }
 
@@ -228,7 +235,7 @@ void SimCoordinator::BlockForNet(PeState& pe) {
     }
     sp.state = PeRunState::kBlocked;
     ScheduleNextLocked(lk);
-    while (sp.state != PeRunState::kRunning && !abort_mode_) cv_.wait(lk);
+    while (sp.state != PeRunState::kRunning && !abort_mode_) sp.cv.wait(lk);
   }
 }
 
@@ -369,6 +376,17 @@ void SimCoordinator::RecordImmediateSend(PeState& src, int dest_pe,
             h->handler, h->seq);
 }
 
+void SimCoordinator::RecordUser(std::uint64_t a, std::uint64_t b,
+                                std::uint64_t c) {
+  std::scoped_lock lk(mu_);
+  HashEvent(Event::kUser, a, b, c);
+}
+
+void SimTraceUser(PeState& pe, std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c) {
+  if (SimCoordinator* sim = pe.machine->sim()) sim->RecordUser(a, b, c);
+}
+
 void SimCoordinator::RecordDeliver(PeState& pe, const void* msg) {
   const MsgHeader* h = Header(const_cast<void*>(msg));
   // Outcome digest fields, computed before taking mu_: payload bytes only
@@ -420,7 +438,7 @@ void SimCoordinator::RecordDeliver(PeState& pe, const void* msg) {
 void SimCoordinator::OnAbort() {
   std::scoped_lock lk(mu_);
   abort_mode_ = true;
-  cv_.notify_all();
+  WakeAllPesLocked();
 }
 
 void SimCoordinator::FillReport() {

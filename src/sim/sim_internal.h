@@ -70,6 +70,11 @@ class SimCoordinator {
   void RecordImmediateSend(PeState& src, int dest_pe, const void* msg);
   /// Trace one network delivery about to be dispatched on `pe`.
   void RecordDeliver(PeState& pe, const void* msg);
+  /// Fold a module-defined decision into the event-trace hash (e.g. the
+  /// seed balancer's steal/rebalance choices), so a replay that diverges in
+  /// module behavior diverges in trace hash even when the wire traffic
+  /// happens to coincide.  Callers go through detail::SimTraceUser.
+  void RecordUser(std::uint64_t a, std::uint64_t b, std::uint64_t c);
 
   /// Virtual microseconds since machine start.
   double NowUs() const {
@@ -101,10 +106,17 @@ class SimCoordinator {
     kDrop,
     kDup,
     kHold,
+    kUser,  // module-defined decision (RecordUser)
   };
 
   struct Slot {
     PeRunState state = PeRunState::kNew;
+    // Per-PE wakeup channel (all waits still use mu_).  A shared condvar
+    // with notify_all turns every baton handoff into a thundering herd —
+    // npes-1 spurious thread wakeups per event, which dominates wall time
+    // on hosts with fewer cores than PEs.  Targeted notifies wake only the
+    // granted PE.
+    std::condition_variable cv;
     // events_ value at the last time BlockForNet returned only because of a
     // pending quiescence exit; a second such return with no event in
     // between means the PE re-blocked without making progress (deadlock).
@@ -126,6 +138,9 @@ class SimCoordinator {
   /// True when `pe` has a message it could deliver right now.
   bool Deliverable(PeState& pe);
 
+  /// Wake every PE thread (abort / teardown paths).  Caller holds mu_.
+  void WakeAllPesLocked();
+
   /// Pick the next PE to run and grant it the baton; advances the virtual
   /// clock / fires quiescence / detects deadlock when nobody is runnable.
   void ScheduleNextLocked(std::unique_lock<std::mutex>& lk);
@@ -143,7 +158,6 @@ class SimCoordinator {
   const int npes_;
 
   std::mutex mu_;
-  std::condition_variable cv_;
   std::vector<Slot> slots_;
   util::Xoshiro256 rng_;
   int registered_ = 0;

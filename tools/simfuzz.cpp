@@ -31,11 +31,22 @@
 // conserve, and total message flow balances against the injector's exact
 // drop/duplicate counts.  --plant-lost-reply plants a silently dropped
 // reply that the oracle must catch (the CI self-test).
+//
+// --ldb switches to the seed load-balancer workload (converse/cld.h): a
+// skewed, wave-structured seed burst run under one of the six CldStrategy
+// values (--strategy 0..5, or drawn from the seed when omitted), checked
+// against the balancer's conservation oracles — the stealable backlog
+// drains exactly, balancer+workload message flow balances against the
+// injector's counts, and on clean schedules every spawned seed executes
+// exactly once.  --plant-lost-steal-reply plants a silently dropped steal
+// reply whose packed seeds vanish; the oracles must catch and shrink it
+// (the CI self-test).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "converse/cld.h"
 #include "converse/sim.h"
 #include "converse/svc.h"
 
@@ -54,8 +65,12 @@ void Usage(const char* argv0) {
       "       %s --service [--seed N] [--seeds COUNT] [--start N] [--pes N]\n"
       "          [--sessions N] [--workers N] [--requests N] [--rate R]\n"
       "          [--qcap N] [--drop P] [--dup P] [--delay P] [--reorder P]\n"
-      "          [--plant-lost-reply] [--trace-hash] [--quiet]\n",
-      argv0, argv0, argv0);
+      "          [--plant-lost-reply] [--trace-hash] [--quiet]\n"
+      "       %s --ldb [--seed N] [--seeds COUNT] [--start N] [--pes N]\n"
+      "          [--strategy 0..5] [--lseeds N] [--waves N] [--prio-frac F]\n"
+      "          [--drop P] [--dup P] [--delay P] [--reorder P]\n"
+      "          [--plant-lost-steal-reply] [--trace-hash] [--quiet]\n",
+      argv0, argv0, argv0, argv0);
 }
 
 bool RunOne(const converse::sim::FuzzParams& params, bool trace_hash,
@@ -141,6 +156,48 @@ bool RunOneService(const converse::svc::SvcFuzzParams& params,
   return false;
 }
 
+bool RunOneLdb(const converse::ldb::LdbFuzzParams& params, bool trace_hash,
+               bool quiet) {
+  converse::ldb::LdbFuzzResult res = converse::ldb::RunLdbFuzzCase(params);
+  if (trace_hash) {
+    std::printf("%016llx\n",
+                static_cast<unsigned long long>(res.report.trace_hash));
+  }
+  if (res.ok) {
+    if (!quiet) {
+      std::printf(
+          "seed %llu: ok (strategy %d, %llu seeds: %llu stolen, "
+          "%llu rebalanced, virtual time %.0f us, faults: %llu dropped, "
+          "%llu duplicated, %llu delayed, %llu reordered)\n",
+          static_cast<unsigned long long>(params.seed), res.strategy,
+          static_cast<unsigned long long>(res.spawned),
+          static_cast<unsigned long long>(res.totals.stolen_in),
+          static_cast<unsigned long long>(res.totals.rebalanced_out),
+          res.report.final_virtual_us,
+          static_cast<unsigned long long>(res.report.msgs_dropped),
+          static_cast<unsigned long long>(res.report.msgs_duplicated),
+          static_cast<unsigned long long>(res.report.msgs_delayed),
+          static_cast<unsigned long long>(res.report.msgs_reordered));
+    }
+    return true;
+  }
+  std::fprintf(stderr, "seed %llu: FAILED: %s\n",
+               static_cast<unsigned long long>(params.seed),
+               res.failure.c_str());
+  std::fprintf(stderr, "minimizing...\n");
+  const converse::ldb::LdbFuzzParams small =
+      converse::ldb::MinimizeLdb(params);
+  converse::ldb::LdbFuzzResult small_res =
+      converse::ldb::RunLdbFuzzCase(small);
+  std::fprintf(stderr, "minimized failure: %s\n",
+               small_res.ok ? res.failure.c_str()
+                            : small_res.failure.c_str());
+  std::fprintf(stderr, "replay with:\n  %s\n",
+               converse::ldb::FormatLdbReplay(small_res.ok ? params : small)
+                   .c_str());
+  return false;
+}
+
 bool RunOneRace(const converse::sim::RaceFuzzParams& params, bool quiet) {
   converse::sim::RaceFuzzResult res = converse::sim::RunRaceFuzzCase(params);
   if (res.ok) {
@@ -167,9 +224,11 @@ int main(int argc, char** argv) {
   converse::sim::FuzzParams params;
   converse::sim::RaceFuzzParams race_params;
   converse::svc::SvcFuzzParams svc_params;
+  converse::ldb::LdbFuzzParams ldb_params;
   unsigned long long seeds = 1, start = 1;
   bool explicit_seed = false, sweep = false;
   bool trace_hash = false, quiet = false, race = false, service = false;
+  bool ldb = false;
 
   if (const char* env = std::getenv("CONVERSE_SIM_SEED")) {
     params.seed = std::strtoull(env, nullptr, 10);
@@ -197,6 +256,7 @@ int main(int argc, char** argv) {
       params.npes = std::atoi(next());
       race_params.npes = params.npes;
       svc_params.npes = params.npes;
+      ldb_params.npes = params.npes;
     } else if (arg == "--actions") {
       params.actions = std::atoi(next());
     } else if (arg == "--threads") {
@@ -204,15 +264,31 @@ int main(int argc, char** argv) {
     } else if (arg == "--drop") {
       params.faults.drop = std::atof(next());
       svc_params.faults.drop = params.faults.drop;
+      ldb_params.faults.drop = params.faults.drop;
     } else if (arg == "--dup") {
       params.faults.dup = std::atof(next());
       svc_params.faults.dup = params.faults.dup;
+      ldb_params.faults.dup = params.faults.dup;
     } else if (arg == "--delay") {
       params.faults.delay = std::atof(next());
       svc_params.faults.delay = params.faults.delay;
+      ldb_params.faults.delay = params.faults.delay;
     } else if (arg == "--reorder") {
       params.faults.reorder = std::atof(next());
       svc_params.faults.reorder = params.faults.reorder;
+      ldb_params.faults.reorder = params.faults.reorder;
+    } else if (arg == "--ldb") {
+      ldb = true;
+    } else if (arg == "--strategy") {
+      ldb_params.strategy = std::atoi(next());
+    } else if (arg == "--lseeds") {
+      ldb_params.seeds_per_pe = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--waves") {
+      ldb_params.waves = std::atoi(next());
+    } else if (arg == "--prio-frac") {
+      ldb_params.prio_fraction = std::atof(next());
+    } else if (arg == "--plant-lost-steal-reply") {
+      ldb_params.plant_lost_steal_reply = true;
     } else if (arg == "--service") {
       service = true;
     } else if (arg == "--sessions") {
@@ -270,8 +346,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: invalid --chains/--hops\n", argv[0]);
     return 2;
   }
-  if (race && service) {
-    std::fprintf(stderr, "%s: --race and --service are exclusive\n", argv[0]);
+  if (static_cast<int>(race) + static_cast<int>(service) +
+          static_cast<int>(ldb) > 1) {
+    std::fprintf(stderr, "%s: --race, --service and --ldb are exclusive\n",
+                 argv[0]);
     return 2;
   }
   if (service && (svc_params.workers < 1 || svc_params.sessions < 1 ||
@@ -280,12 +358,21 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 2;
   }
+  if (ldb && (ldb_params.waves < 1 || ldb_params.seeds_per_pe < 1 ||
+              ldb_params.strategy >= converse::kCldStrategyCount ||
+              ldb_params.prio_fraction < 0 || ldb_params.prio_fraction > 1)) {
+    std::fprintf(stderr, "%s: invalid --waves/--lseeds/--strategy/--prio-frac\n",
+                 argv[0]);
+    return 2;
+  }
 
   if (!sweep) {
     race_params.seed = params.seed;
     svc_params.seed = params.seed;
+    ldb_params.seed = params.seed;
     if (race) return RunOneRace(race_params, quiet) ? 0 : 1;
     if (service) return RunOneService(svc_params, trace_hash, quiet) ? 0 : 1;
+    if (ldb) return RunOneLdb(ldb_params, trace_hash, quiet) ? 0 : 1;
     return RunOne(params, trace_hash, quiet) ? 0 : 1;
   }
   if (explicit_seed) start = params.seed;
@@ -293,10 +380,13 @@ int main(int argc, char** argv) {
     params.seed = s;
     race_params.seed = s;
     svc_params.seed = s;
+    ldb_params.seed = s;
     if (race) {
       if (!RunOneRace(race_params, quiet)) return 1;
     } else if (service) {
       if (!RunOneService(svc_params, trace_hash, quiet)) return 1;
+    } else if (ldb) {
+      if (!RunOneLdb(ldb_params, trace_hash, quiet)) return 1;
     } else if (!RunOne(params, trace_hash, quiet)) {
       return 1;
     }
