@@ -25,6 +25,28 @@ int CmiNumPes();
 /// Paper's spelling (appendix uses CmiNumPe()).
 inline int CmiNumPe() { return CmiNumPes(); }
 
+/// Node of the caller, in [0, CmiNumNodes()).  A "node" is the unit that
+/// shares an address space: all PEs of one node are threads of one process
+/// (converse/machine.h CmiTransport).  Single-process machines are one
+/// node, so CmiMyNode() == 0 and CmiNumNodes() == 1.
+int CmiMyNode();
+
+/// Number of nodes in the running machine.
+int CmiNumNodes();
+
+/// Node that owns PE `pe` (block distribution: each node owns a contiguous
+/// PE range).
+int CmiNodeOf(int pe);
+
+/// First PE of node `node`.
+int CmiNodeFirst(int node);
+
+/// Number of PEs on node `node`.
+int CmiNodeSize(int node);
+
+/// Rank of the caller within its node, in [0, CmiNodeSize(CmiMyNode())).
+int CmiMyRank();
+
 // ---------------------------------------------------------------------------
 // Timers (appendix §3.2)
 // ---------------------------------------------------------------------------
@@ -196,6 +218,18 @@ struct CmiStats {
                                     // (requests + replies + surplus pushes)
   std::uint64_t ldb_rebalance_moves = 0;  // seeds this PE pushed away during
                                           // a kPeriodic rebalance tick
+  // Transport layer (multi-node machines; converse/machine.h CmiTransport).
+  // The first two are per-PE (the sending PE is known when a record is
+  // created); the rest are node-level totals folded into every local PE's
+  // snapshot, mirroring how agg/bcast counters read machine-wide in tests.
+  // All six stay exactly zero on a single-node in-process machine.
+  std::uint64_t wire_frames_sent = 0;     // wire records this PE created
+  std::uint64_t wire_bytes_sent = 0;      // record header + body bytes
+  std::uint64_t wire_bytes_received = 0;  // node: body bytes parsed off wire
+  std::uint64_t wire_syscalls = 0;        // node: writev/read data syscalls
+  std::uint64_t wire_reconnects = 0;      // node: re-established peer links
+  std::uint64_t wire_dropped = 0;  // node: logical msgs lost to injected
+                                   // disconnects (loopback wire only)
 };
 
 /// Snapshot of the current PE's counters.

@@ -13,6 +13,25 @@ namespace converse {
 
 struct SimConfig;  // converse/sim.h
 
+/// Which communication substrate carries inter-PE messages (DESIGN.md
+/// "Transport interface").  All backends sit behind the same machine-layer
+/// hook, so aggregation frames, spanning-tree broadcasts, NetModel and the
+/// deterministic sim work identically on each.
+enum class CmiTransport {
+  /// Every PE is a thread of this process; delivery is the lock-free
+  /// in-process rings.  The only choice that allows nnodes == 1.
+  kInproc,
+
+  /// One OS process per PE ("node" == PE), connected by Unix-domain or TCP
+  /// sockets with batched writev frames.  Requires nnodes == npes.
+  kSocket,
+
+  /// Two-level SMP-node mode: PEs within a node are threads sharing the
+  /// in-process rings; nodes talk over sockets with one comm drain per
+  /// node.  nnodes in [1, npes].
+  kSmpNode,
+};
+
 struct MachineConfig {
   /// Number of processing elements (threads). May exceed hardware cores;
   /// all blocking in the runtime is condvar-based, so oversubscription is
@@ -53,8 +72,9 @@ struct MachineConfig {
   /// Small-message aggregation (converse/stream.h): batch messages below
   /// agg_max_msg bytes into per-destination frames so one ring slot, one
   /// allocation and one consumer wakeup amortize over a whole burst.
-  /// -1 (default) defers to the CONVERSE_AGG environment variable ("0" or
-  /// unset = off, anything else = on); 0 forces off; 1 forces on.
+  /// -1 (default) defers to the CONVERSE_AGG environment variable (unset or
+  /// "0" = off, any other integer = on; malformed values are rejected with
+  /// a "[Cmi]" diagnostic and treated as unset); 0 forces off; 1 forces on.
   /// Automatically off when a network latency model is attached (frames
   /// would distort per-message latency semantics).
   int aggregate_sends = -1;
@@ -82,9 +102,55 @@ struct MachineConfig {
   /// message copied) exactly once at the root, forwarded down the tree by
   /// pointer, and every PE dispatches a read-only view into it.
   /// -1 (default) defers to the CONVERSE_SBCAST environment variable
-  /// (unset = 4096; "0" = off; a number = that threshold in bytes);
-  /// 0 forces off.  Like the tree itself, inactive under a latency model.
+  /// (unset = 4096; "0" = off; a number = that threshold in bytes; a
+  /// malformed value is rejected with a "[Cmi]" diagnostic and treated as
+  /// unset); 0 forces off.  Like the tree itself, inactive under a latency
+  /// model.
   std::int64_t bcast_share_min = -1;
+
+  /// Communication substrate (see CmiTransport above).
+  CmiTransport transport = CmiTransport::kInproc;
+
+  /// Number of nodes the machine's PEs are split across (block
+  /// distribution: node n owns a contiguous PE range).  Meaningful for
+  /// kSmpNode; kSocket forces nnodes = npes; kInproc requires 1.
+  int nnodes = 1;
+
+  /// Which node THIS process hosts.  -1 (default) = loopback mode: this
+  /// process hosts every node and inter-node traffic crosses a virtual
+  /// wire in-memory (encode + validate + deliver) — this is how the
+  /// deterministic sim drives the socket backends.  >= 0 = real
+  /// multi-process mode: this process hosts exactly node `mynode` and
+  /// inter-node traffic crosses real sockets (launch with
+  /// tools/converserun, which sets the CONVERSE_NODE family of variables).
+  int mynode = -1;
+
+  /// Real mode rendezvous: directory where each node binds its Unix-domain
+  /// listening socket ("node<i>.sock").  nullptr defers to CONVERSE_RDV.
+  const char* rendezvous_dir = nullptr;
+
+  /// Real mode alternative rendezvous: when > 0, nodes listen on TCP
+  /// 127.0.0.1:(tcp_base_port + node) instead of Unix sockets.
+  int tcp_base_port = 0;
+
+  /// Real mode: abort the machine when a peer node stays unreachable
+  /// (reconnect attempts keep failing) for this long.  0 defers to
+  /// CONVERSE_WIRE_TIMEOUT_MS, default 10000.
+  int wire_timeout_ms = 0;
+
+  /// Loopback-mode fault injection (virtual wire only; real sockets never
+  /// inject faults): probability per wire record of a simulated transient
+  /// disconnect that loses the record (and counts the loss), plus how many
+  /// consecutive records one disconnect swallows.  Used by
+  /// `simfuzz --transport` conservation sweeps.
+  double wire_disconnect_rate = 0.0;
+  int wire_disconnect_lost = 1;
+  unsigned long long wire_seed = 0x77695265ULL;  // 'wiRe'
+
+  /// Planted-bug self-test: when > 0, the loopback wire silently drops the
+  /// N-th eligible record *without* counting it, so conservation oracles
+  /// must flag the run.  Proves the fuzz harness can see real losses.
+  int wire_plant_lost = 0;
 
   /// Optional deterministic-simulation backend (converse/sim.h): PEs are
   /// serialized under a seeded scheduler and a virtual clock, with optional
@@ -103,6 +169,15 @@ struct MachineConfig {
 /// runs `entry(pe, npes)` on every PE.  Returns when every PE's entry has
 /// returned and the machine has been torn down.  This is the in-process
 /// equivalent of `ConverseInit ... ConverseExit`.
+///
+/// When CONVERSE_NODE is set in the environment (tools/converserun sets it
+/// for every rank it spawns), the transport/topology fields above are
+/// overridden from CONVERSE_NODE / CONVERSE_NNODES / CONVERSE_NPES /
+/// CONVERSE_TRANSPORT / CONVERSE_RDV / CONVERSE_TCP_BASE /
+/// CONVERSE_WIRE_TIMEOUT_MS, so an unmodified single-process program
+/// becomes one rank of a multi-process run.  This process then spawns
+/// threads only for its own node's PEs, and `entry` runs once per local PE
+/// (still with the *global* pe / npes arguments).
 ///
 /// Machines are sequential within a process: at most one may run at a time.
 void RunConverse(const MachineConfig& config,

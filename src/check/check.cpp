@@ -373,8 +373,12 @@ void OnDispatchHandler(const void* msg, std::size_t table_size) {
   }
   if (h->handler >= table_size) {
     const PeState* pe = Cpv();
+    // The divergence diagnostic peeks at the sender's published handler
+    // count, which only exists when the sender PE is hosted in this
+    // process (multi-node machines host a contiguous slice).
     if (pe != nullptr && pe->machine != nullptr &&
-        h->source_pe < pe->npes) {
+        h->source_pe < pe->npes &&
+        pe->machine->IsLocalPe(h->source_pe)) {
       const std::uint32_t src_count =
           pe->machine->Pe(h->source_pe)
               .published_handlers.load(std::memory_order_acquire);

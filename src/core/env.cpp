@@ -1,0 +1,35 @@
+#include "core/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace converse::detail {
+
+bool ParseInt(const char* text, long long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (errno == ERANGE) return false;
+  if (end == text || *end != '\0') return false;  // no digits / trailing junk
+  *out = v;
+  return true;
+}
+
+long long GetEnvInt(const char* name, long long fallback, std::FILE* err,
+                    bool warn) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  long long v = 0;
+  if (ParseInt(text, &v)) return v;
+  if (warn && err != nullptr) {
+    std::fprintf(err,
+                 "[Cmi] ignoring malformed %s=\"%s\": expected an integer, "
+                 "using default %lld\n",
+                 name, text, fallback);
+    std::fflush(err);
+  }
+  return fallback;
+}
+
+}  // namespace converse::detail

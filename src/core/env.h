@@ -1,0 +1,26 @@
+// Strict parsing for CONVERSE_* environment variables.
+//
+// The historical readers were atoi-shaped: "CONVERSE_AGG=abc" silently
+// became 0 (or, worse, "anything non-zero-ish means on"), so a typo in a
+// job script changed machine behavior without a trace.  Every integer
+// knob now goes through ParseEnvInt: a malformed value is *rejected* —
+// the built-in default stays in force and a one-line "[Cmi]" diagnostic
+// names the variable and the offending text.
+#pragma once
+
+#include <cstdio>
+
+namespace converse::detail {
+
+/// Parse `text` as a base-10 integer (optional sign, digits only, no
+/// trailing garbage).  Returns true and fills *out on success.
+bool ParseInt(const char* text, long long* out);
+
+/// Read environment variable `name` as a strict integer.  Unset or empty
+/// returns `fallback`.  A malformed value returns `fallback` and, when
+/// `warn` is true, prints one "[Cmi]" diagnostic line to `err` (never
+/// nullptr; pass the machine's error stream so tests can capture it).
+long long GetEnvInt(const char* name, long long fallback, std::FILE* err,
+                    bool warn);
+
+}  // namespace converse::detail

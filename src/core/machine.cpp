@@ -2,6 +2,7 @@
 
 #include <barrier>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -9,8 +10,10 @@
 #include "converse/csd.h"
 #include "converse/detail/module.h"
 #include "converse/util/timer.h"
+#include "core/env.h"
 #include "core/msg_pool.h"
 #include "core/pe_state.h"
+#include "core/transport/transport.h"
 #include "race/race_internal.h"
 #include "sim/sim_internal.h"
 
@@ -133,6 +136,9 @@ bool TryScatterDirect(PeState& src, int dest_pe, int len, const int sizes[],
   // would make the matched message invisible to them, so those builds use
   // the receive-side TryScatter path unchanged.
   if (m.sim() != nullptr || m.has_model()) return false;
+  // Cross-node destinations have no shared address space (and the loopback
+  // wire emulates that): vector sends to them take the gather-copy path.
+  if (m.multi_node() && m.NodeOf(dest_pe) != src.node) return false;
   PeState& dst = m.Pe(dest_pe);
   if (dst.scatter_armed.load(std::memory_order_acquire) == 0) return false;
   int notify = -1;
@@ -371,7 +377,10 @@ void SendSharedBlockFrom(PeState& pe, int dest_pe, void* block) {
   NotifyIfParked(dst);
 }
 
-void SendOwnedFrom(PeState& pe, int dest_pe, void* msg, double delay_us) {
+namespace {
+
+void SendOwnedFromImpl(PeState& pe, int dest_pe, void* msg, double delay_us,
+                       bool allow_wire) {
   Machine& m = *pe.machine;
   msg = DetachSharedView(msg);
   assert(dest_pe >= 0 && dest_pe < m.npes() && "send to invalid PE");
@@ -404,6 +413,18 @@ void SendOwnedFrom(PeState& pe, int dest_pe, void* msg, double delay_us) {
   }
   race::OnSend(pe, dest_pe, msg);
 
+  // Destinations on another node cross the wire.  A real backend consumes
+  // the message (it now belongs to a peer process); the loopback wire
+  // validates + counts the record and falls through (or consumes it when
+  // the disconnect injector lost it), so sim/model delivery semantics are
+  // untouched.  Single-node machines have no transport: this is one load
+  // and one branch on the in-process fast path.
+  if (allow_wire && m.transport() != nullptr &&
+      m.NodeOf(dest_pe) != pe.node &&
+      m.transport()->SendRemote(pe, dest_pe, msg, /*immediate=*/false)) {
+    return;
+  }
+
   if (SimCoordinator* sim = m.sim()) {
     // The simulator owns the whole delivery decision: fault injection,
     // virtual-time arrival stamping, trace hashing.  Takes ownership.
@@ -431,8 +452,26 @@ void SendOwnedFrom(PeState& pe, int dest_pe, void* msg, double delay_us) {
   NotifyIfParked(dst);
 }
 
+}  // namespace
+
+void SendOwnedFrom(PeState& pe, int dest_pe, void* msg, double delay_us) {
+  SendOwnedFromImpl(pe, dest_pe, msg, delay_us, /*allow_wire=*/true);
+}
+
+void SendOwnedFromLocal(PeState& pe, int dest_pe, void* msg,
+                        double delay_us) {
+  SendOwnedFromImpl(pe, dest_pe, msg, delay_us, /*allow_wire=*/false);
+}
+
 void SendOwned(int dest_pe, void* msg) {
   SendOwnedFrom(CpvChecked(), dest_pe, msg);
+}
+
+void DeliverFromWire(Machine& m, int dest_pe, void* msg, bool immediate) {
+  assert(m.IsLocalPe(dest_pe) && "wire delivery to a PE we do not host");
+  PeState& dst = m.Pe(dest_pe);
+  LanePush(dst, immediate ? dst.immlane : dst.netlane, msg);
+  NotifyIfParked(dst);
 }
 
 void SendOwnedImmediate(int dest_pe, void* msg) {
@@ -458,6 +497,13 @@ void SendOwnedImmediate(int dest_pe, void* msg) {
   // still part of the deterministic trace.
   if (SimCoordinator* sim = m.sim()) {
     sim->RecordImmediateSend(pe, dest_pe, msg);
+  }
+  // Cross-node immediates ride the same wire but are exempt from the
+  // loopback disconnect injector (they are the reliable control plane, as
+  // with the sim's fault injector above).
+  if (m.transport() != nullptr && m.NodeOf(dest_pe) != pe.node &&
+      m.transport()->SendRemote(pe, dest_pe, msg, /*immediate=*/true)) {
+    return;
   }
   PeState& dst = m.Pe(dest_pe);
   LanePush(dst, dst.immlane, msg);
@@ -623,6 +669,75 @@ void WaitForNet(PeState& pe) {
   idle_end();
 }
 
+namespace {
+
+/// Fold launcher environment (tools/converserun sets the CONVERSE_NODE
+/// family on every rank it spawns) into the config and normalize the node
+/// topology.  All integer variables go through the strict parser: a
+/// malformed value keeps the built-in default and prints one "[Cmi]" line.
+void ResolveTransportConfig(MachineConfig& c, std::FILE* err) {
+  if (std::getenv("CONVERSE_NODE") != nullptr) {
+    c.mynode = static_cast<int>(
+        GetEnvInt("CONVERSE_NODE", c.mynode, err, /*warn=*/true));
+    c.nnodes = static_cast<int>(
+        GetEnvInt("CONVERSE_NNODES", c.nnodes, err, true));
+    c.npes = static_cast<int>(GetEnvInt("CONVERSE_NPES", c.npes, err, true));
+    if (const char* t = std::getenv("CONVERSE_TRANSPORT")) {
+      if (std::strcmp(t, "socket") == 0) {
+        c.transport = CmiTransport::kSocket;
+      } else if (std::strcmp(t, "smp") == 0) {
+        c.transport = CmiTransport::kSmpNode;
+      } else if (std::strcmp(t, "inproc") == 0) {
+        c.transport = CmiTransport::kInproc;
+      } else {
+        std::fprintf(err,
+                     "[Cmi] ignoring unknown CONVERSE_TRANSPORT=\"%s\" "
+                     "(want inproc|socket|smp)\n",
+                     t);
+      }
+    }
+  }
+  if (c.rendezvous_dir == nullptr) {
+    c.rendezvous_dir = std::getenv("CONVERSE_RDV");  // may stay null (TCP)
+  }
+  if (c.tcp_base_port == 0) {
+    c.tcp_base_port =
+        static_cast<int>(GetEnvInt("CONVERSE_TCP_BASE", 0, err, true));
+  }
+  if (c.wire_timeout_ms == 0) {
+    c.wire_timeout_ms = static_cast<int>(
+        GetEnvInt("CONVERSE_WIRE_TIMEOUT_MS", 10000, err, true));
+  }
+  switch (c.transport) {
+    case CmiTransport::kInproc:
+      c.nnodes = 1;
+      break;
+    case CmiTransport::kSocket:
+      c.nnodes = c.npes;  // one process per PE
+      break;
+    case CmiTransport::kSmpNode:
+      break;
+  }
+  if (c.nnodes < 1) c.nnodes = 1;
+  if (c.nnodes > c.npes) c.nnodes = c.npes;
+  if (c.nnodes == 1) c.mynode = c.mynode < 0 ? -1 : 0;
+  assert(c.mynode < c.nnodes && "CONVERSE_NODE out of range");
+  if (c.mynode >= 0) {
+    // Real multi-process mode: delivery decisions live partly in peer
+    // processes, which is incompatible with the sim's global serialization
+    // and with timed-queue (NetModel) arrival ordering.  Loopback mode
+    // (mynode == -1) supports both.
+    assert(c.sim == nullptr &&
+           "the deterministic sim drives socket transports in loopback "
+           "mode (mynode == -1), not across real processes");
+    assert(c.model == nullptr &&
+           "a NetModel cannot price wires it does not carry; real "
+           "multi-process machines must run without one");
+  }
+}
+
+}  // namespace
+
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       model_(config.model != nullptr ? *config.model : NetModel{}),
@@ -631,28 +746,37 @@ Machine::Machine(const MachineConfig& config)
       err_(config.err != nullptr ? config.err : stderr),
       in_(config.in != nullptr ? config.in : stdin) {
   assert(config.npes >= 1);
-  pes_.reserve(static_cast<std::size_t>(config.npes));
-  util::SplitMix64 seeder(config.seed);
-  const std::size_t ring_cap =
-      static_cast<std::size_t>(config.ring_capacity < 1 ? 1
-                                                        : config.ring_capacity);
-  for (int i = 0; i < config.npes; ++i) {
+  ResolveTransportConfig(config_, err_);
+  tree_ = util::SpanningTree(config_.npes, 0, config_.spantree_branching);
+  pe_begin_ = config_.mynode >= 0 ? NodeFirst(config_.mynode) : 0;
+  pe_end_ = config_.mynode >= 0 ? pe_begin_ + NodeSize(config_.mynode)
+                                : config_.npes;
+  pes_.reserve(static_cast<std::size_t>(local_npes()));
+  util::SplitMix64 seeder(config_.seed);
+  // Skip the seed draws of PEs hosted by lower-ranked processes so a PE's
+  // RNG stream is identical no matter which process hosts it.
+  for (int i = 0; i < pe_begin_; ++i) seeder.Next();
+  const std::size_t ring_cap = static_cast<std::size_t>(
+      config_.ring_capacity < 1 ? 1 : config_.ring_capacity);
+  for (int i = pe_begin_; i < pe_end_; ++i) {
     auto pe = std::make_unique<PeState>();
     pe->machine = this;
     pe->mype = i;
-    pe->npes = config.npes;
+    pe->npes = config_.npes;
+    pe->node = NodeOf(i);
     pe->rng = util::Xoshiro256(seeder.Next());
     pe->netlane.ring.Init(ring_cap);
     pe->immlane.ring.Init(ring_cap);
-    pe->pool = MsgPoolEnabled() ? MsgPoolForSlot(i) : nullptr;
+    pe->pool = MsgPoolEnabled() ? MsgPoolForSlot(i - pe_begin_) : nullptr;
     CstInitPe(*pe);
     pes_.push_back(std::move(pe));
   }
-  if (config.sim != nullptr) {
-    sim_config_ = *config.sim;
+  if (config_.sim != nullptr) {
+    sim_config_ = *config_.sim;
     config_.sim = &sim_config_;  // caller's SimConfig need not outlive us
     sim_ = std::make_unique<SimCoordinator>(*this, sim_config_);
   }
+  transport_ = MakeTransport(*this);
   race::MachineCreate(*this);
 }
 
@@ -744,12 +868,18 @@ void Machine::Run(const std::function<void(int pe, int npes)>& entry) {
   start_ns_ = util::NowNs();
   CoreModuleId();  // make sure the core module is registered
 
-  std::barrier start_barrier(config_.npes);
-  std::barrier finish_barrier(config_.npes);
+  // Barriers span the PEs *this process* hosts; in real multi-process
+  // mode remote PEs synchronize through the wire traffic itself (there is
+  // deliberately no global startup barrier — sends queue until peers
+  // finish their rendezvous).
+  const int local_n = local_npes();
+  std::barrier start_barrier(local_n);
+  std::barrier finish_barrier(local_n);
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(config_.npes));
+  threads.reserve(static_cast<std::size_t>(local_n));
+  if (transport_ != nullptr) transport_->Start();
 
-  for (int i = 0; i < config_.npes; ++i) {
+  for (int i = 0; i < local_n; ++i) {
     threads.emplace_back([this, i, &entry, &start_barrier, &finish_barrier] {
       PeState& pe = *pes_[static_cast<std::size_t>(i)];
       tls_pe = &pe;
@@ -786,6 +916,10 @@ void Machine::Run(const std::function<void(int pe, int npes)>& entry) {
     });
   }
   for (auto& t : threads) t.join();
+  // The comm thread is a lane producer, so it must stop before the
+  // destructor drains queues — and before rethrow, so an aborting machine
+  // still says goodbye to (or times out on) its peers.
+  if (transport_ != nullptr) transport_->Stop();
   g_current_machine = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
 }
@@ -813,6 +947,20 @@ bool CmiInsideMachine() { return detail::Cpv() != nullptr; }
 
 int CmiMyPe() { return detail::CpvChecked().mype; }
 int CmiNumPes() { return detail::CpvChecked().npes; }
+
+int CmiMyNode() { return detail::CpvChecked().node; }
+int CmiNumNodes() { return detail::CpvChecked().machine->nnodes(); }
+int CmiNodeOf(int pe) { return detail::CpvChecked().machine->NodeOf(pe); }
+int CmiNodeFirst(int node) {
+  return detail::CpvChecked().machine->NodeFirst(node);
+}
+int CmiNodeSize(int node) {
+  return detail::CpvChecked().machine->NodeSize(node);
+}
+int CmiMyRank() {
+  detail::PeState& pe = detail::CpvChecked();
+  return pe.mype - pe.machine->NodeFirst(pe.node);
+}
 
 double CmiTimer() {
   return detail::CpvChecked().machine->ElapsedUs() * 1e-6;
@@ -1203,7 +1351,15 @@ int CmiProbeImmediates() {
   return delivered;
 }
 
-CmiStats CmiGetStats() { return detail::CpvChecked().stats; }
+CmiStats CmiGetStats() {
+  detail::PeState& pe = detail::CpvChecked();
+  CmiStats s = pe.stats;
+  // Node-level wire counters mirror onto every local PE's snapshot, like
+  // the machine-wide reading of the agg/bcast counters in tests.  Absent
+  // a transport (single-node machine) they stay exactly zero.
+  if (detail::Transport* t = pe.machine->transport()) t->FoldStats(s);
+  return s;
+}
 
 void ConverseBroadcastExit() {
   const int handler = detail::CoreState().exit_handler;

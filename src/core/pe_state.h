@@ -31,6 +31,7 @@ namespace converse::detail {
 class Machine;
 class MsgPool;
 class SimCoordinator;
+class Transport;  // core/transport/transport.h (multi-node wire backends)
 
 namespace race {
 class RaceDetector;   // src/race/race.cpp (CciRace, sim-only)
@@ -117,6 +118,7 @@ struct PeState {
   Machine* machine = nullptr;
   int mype = 0;
   int npes = 1;
+  int node = 0;  // node owning this PE (== Machine::NodeOf(mype))
   MsgPool* pool = nullptr;  // this slot's message pool (null when disabled)
 
   // ---- network in-queue: producers are other PE threads ----
@@ -201,8 +203,41 @@ class Machine {
   /// Spawn PE threads, run `entry` everywhere, join, tear down.
   void Run(const std::function<void(int pe, int npes)>& entry);
 
-  PeState& Pe(int i) { return *pes_[i]; }
+  /// State of (locally hosted) PE `i`.  `i` is a *global* PE number; in
+  /// real multi-process mode only [pe_begin_, pe_end_) are hosted here and
+  /// anything else is a bug (gate with IsLocalPe first).
+  PeState& Pe(int i) { return *pes_[i - pe_begin_]; }
   int npes() const { return config_.npes; }
+
+  // ---- node topology (block distribution of npes over nnodes) ----
+  int nnodes() const { return config_.nnodes; }
+  /// Node this process hosts; -1 = loopback (this process hosts them all).
+  int mynode() const { return config_.mynode; }
+  bool multi_node() const { return config_.nnodes > 1; }
+  int NodeOf(int pe) const {
+    const int base = config_.npes / config_.nnodes;
+    const int rem = config_.npes % config_.nnodes;
+    const int cut = rem * (base + 1);
+    return pe < cut ? pe / (base + 1) : rem + (pe - cut) / base;
+  }
+  int NodeFirst(int node) const {
+    const int base = config_.npes / config_.nnodes;
+    const int rem = config_.npes % config_.nnodes;
+    return node * base + (node < rem ? node : rem);
+  }
+  int NodeSize(int node) const {
+    const int base = config_.npes / config_.nnodes;
+    return base + (node < config_.npes % config_.nnodes ? 1 : 0);
+  }
+  /// True when PE `i`'s state lives in this process.
+  bool IsLocalPe(int i) const { return i >= pe_begin_ && i < pe_end_; }
+  int pe_begin() const { return pe_begin_; }
+  int pe_end() const { return pe_end_; }
+  int local_npes() const { return pe_end_ - pe_begin_; }
+
+  /// The wire backend (nullptr on single-node machines).
+  Transport* transport() const { return transport_.get(); }
+
   const MachineConfig& config() const { return config_; }
   bool has_model() const { return config_.model != nullptr; }
   const NetModel& model() const { return model_; }
@@ -241,7 +276,10 @@ class Machine {
   std::unique_ptr<SimCoordinator> sim_;
   race::RaceDetector* race_detector_ = nullptr;  // owned; see race.cpp
   util::SpanningTree tree_;
-  std::vector<std::unique_ptr<PeState>> pes_;
+  std::unique_ptr<Transport> transport_;  // null on single-node machines
+  int pe_begin_ = 0;  // global PE range hosted by this process:
+  int pe_end_ = 0;    // [pe_begin_, pe_end_); == [0, npes) except real mode
+  std::vector<std::unique_ptr<PeState>> pes_;  // pes_[i - pe_begin_]
   std::int64_t start_ns_ = 0;
   std::FILE* out_;
   std::FILE* err_;
@@ -264,6 +302,20 @@ void SendOwned(int dest_pe, void* msg);
 /// by that much machine time via the timed queue (CmiSyncSendDelayedAndFree);
 /// it requires a timed machine and is ignored on the plain lane path.
 void SendOwnedFrom(PeState& pe, int dest_pe, void* msg, double delay_us = 0.0);
+
+/// SendOwnedFrom that never consults the wire backend: used by the
+/// transport layer itself when expanding a node-cast into per-PE local
+/// deliveries (the record already crossed — and was accounted on — the
+/// wire; re-entering the wire branch would double-count or double-drop).
+void SendOwnedFromLocal(PeState& pe, int dest_pe, void* msg,
+                        double delay_us = 0.0);
+
+/// Inject a message that arrived over a real socket into local PE
+/// `dest_pe`'s delivery lane (immediate lane when `immediate`).  Called
+/// from the transport comm thread — not a PE thread — so it takes no
+/// logical counters; the sender's node accounted the message when it was
+/// sent.  `msg` ownership transfers to the machine.
+void DeliverFromWire(Machine& m, int dest_pe, void* msg, bool immediate);
 
 /// Internal immediate send: like SendOwned but into the receiver's
 /// out-of-band lane (paper §6 "preemptive messages" future work).

@@ -11,8 +11,10 @@
 #include "converse/machine.h"
 #include "converse/stream.h"
 #include "converse/util/spantree.h"
+#include "core/env.h"
 #include "core/msg_pool.h"
 #include "core/pe_state.h"
+#include "core/transport/transport.h"
 #include "race/race_internal.h"
 #include "sim/sim_internal.h"
 
@@ -184,6 +186,51 @@ void NoteCarrierForward(PeState& pe, int child, std::uint32_t size) {
   }
 }
 
+/// Children of `pe.mype` in the tree that distributes a carrier rooted at
+/// (global PE) `root`.  Single-node machines use the whole-machine
+/// spanning tree — bit-identical to the pre-transport behavior.  On
+/// multi-node machines carriers are forwarded by pointer/clone and so
+/// never leave the node: each node runs a node-local tree (remote nodes
+/// got one wire record each instead), rooted at the root PE when it is
+/// in-node and at the node's first PE otherwise (where the node-cast
+/// record was injected).
+std::vector<int> CarrierKids(const PeState& pe, int root) {
+  const Machine& m = *pe.machine;
+  if (!m.multi_node()) {
+    const util::SpanningTree tree(pe.npes, root,
+                                  m.config().spantree_branching);
+    return tree.Children(pe.mype);
+  }
+  const int first = m.NodeFirst(pe.node);
+  const int size = m.NodeSize(pe.node);
+  const int local_root =
+      (root >= first && root < first + size) ? root - first : 0;
+  const util::SpanningTree tree(size, local_root,
+                                m.config().spantree_branching);
+  std::vector<int> kids = tree.Children(pe.mype - first);
+  for (int& k : kids) k += first;
+  return kids;
+}
+
+/// Logical messages lost when the carrier bound for `dest_pe` (rooted at
+/// `root`) is dropped: the destination's subtree in the same tree
+/// CarrierKids forwards along.
+std::uint64_t CarrierSubtreeWeight(const Machine& m, int dest_pe, int root) {
+  if (!m.multi_node()) {
+    const util::SpanningTree tree(m.npes(), root,
+                                  m.config().spantree_branching);
+    return static_cast<std::uint64_t>(tree.SubtreeSize(dest_pe));
+  }
+  const int node = m.NodeOf(dest_pe);
+  const int first = m.NodeFirst(node);
+  const int size = m.NodeSize(node);
+  const int local_root =
+      (root >= first && root < first + size) ? root - first : 0;
+  const util::SpanningTree tree(size, local_root,
+                                m.config().spantree_branching);
+  return static_cast<std::uint64_t>(tree.SubtreeSize(dest_pe - first));
+}
+
 /// Wrap a logical message image into a spanning-tree broadcast carrier
 /// rooted at the calling PE.  The inner image's identity (source_pe, seq)
 /// is stamped here, once — every PE in the tree materializes the same
@@ -221,9 +268,7 @@ void* OpenBcast(PeState& pe, void* wrapper) {
       static_cast<const char*>(CmiMsgPayload(wrapper)) + sizeof(wire);
   void* inner = CopyImage(inner_image, wire.inner_size);
   ++pe.stats.bcast_payload_copies;
-  const util::SpanningTree tree(pe.npes, wire.root,
-                                pe.machine->config().spantree_branching);
-  const std::vector<int> kids = tree.Children(pe.mype);
+  const std::vector<int> kids = CarrierKids(pe, wire.root);
   const std::uint32_t wsize = Header(wrapper)->total_size;
   for (std::size_t i = 0; i + 1 < kids.size(); ++i) {
     NoteCarrierForward(pe, kids[i], wsize);
@@ -273,10 +318,11 @@ CstSbcastWire* SbcastWire(void* block) {
 /// caller now owns in place of the block reference it came in with.
 void* OpenShared(PeState& pe, void* block) {
   CstSbcastWire* wire = SbcastWire(block);
-  if (pe.mype != wire->root) {
-    const util::SpanningTree tree(pe.npes, wire->root,
-                                  pe.machine->config().spantree_branching);
-    const std::vector<int> kids = tree.Children(pe.mype);
+  // root < 0 marks a pre-fanned block: the transport layer already pushed
+  // one reference to every PE of this node (CstNodeCastExpand), so
+  // receivers dispatch their view and never forward.
+  if (wire->root >= 0 && pe.mype != wire->root) {
+    const std::vector<int> kids = CarrierKids(pe, wire->root);
     if (!kids.empty()) {
       __atomic_add_fetch(&wire->refs,
                          static_cast<std::uint32_t>(kids.size()),
@@ -305,15 +351,40 @@ int DeliverShared(PeState& pe, void* block) {
   return 1;
 }
 
+/// Multi-node broadcast fan-out: one wire record per REMOTE node, each
+/// carrying the same stamped logical image (identity rule of MakeWrapper's
+/// inner image); the receiving node re-expands it locally
+/// (CstNodeCastExpand).  No-op on single-node machines.
+void CastToRemoteNodes(PeState& pe, const void* msg, std::uint32_t size,
+                       std::uint32_t seq) {
+  Machine& m = *pe.machine;
+  if (!m.multi_node()) return;
+  Transport* t = m.transport();
+  assert(t != nullptr);
+  void* image = CopyImage(msg, size);
+  MsgHeader* ih = Header(image);
+  ih->source_pe = static_cast<std::uint16_t>(pe.mype);
+  ih->seq = seq;
+  ih->flags = static_cast<std::uint8_t>(ih->flags & ~kMsgFlagCarrierMask);
+  for (int n = 0; n < m.nnodes(); ++n) {
+    if (n != pe.node) t->SendNodeCast(pe, n, image, size);
+  }
+  check::OnReclaim(image);
+  CmiFree(image);
+}
+
 /// Broadcast `size` bytes of `msg` as one refcounted shared block: the
 /// payload is copied exactly once (here, at the root); every destination —
 /// the root included, when include_self — dispatches a read-only view into
 /// the same allocation, and the spanning tree forwards the block by
-/// pointer.  All sends complete before returning.
+/// pointer.  All sends complete before returning.  On multi-node machines
+/// the block covers only the root's own node; remote nodes get one wire
+/// record each and build their own block (or wrapper) on arrival.
 void CstSharedCast(PeState& pe, const void* msg, std::uint32_t size,
                    bool include_self) {
   const std::uint32_t seq = static_cast<std::uint32_t>(pe.send_seq++);
   race::OnBcastRoot(pe, seq);
+  CastToRemoteNodes(pe, msg, size, seq);
   // Logical accounting up front, as in CstTreeCast — plus the self
   // delivery, which on this path rides the block like every other one
   // (the wrapper path self-delivers through SendOwnedFrom instead).
@@ -332,6 +403,14 @@ void CstSharedCast(PeState& pe, const void* msg, std::uint32_t size,
         pe.hooks->on_send(pe.hooks->ud, &h, i);
       }
     }
+  }
+  const std::vector<int> kids = CarrierKids(pe, pe.mype);
+  assert((!kids.empty() || include_self || pe.machine->multi_node()) &&
+         "shared cast with no receiver");
+  if (kids.empty() && !include_self) {
+    // Possible only on a multi-node machine whose local node has no other
+    // PE: the remote records above were the whole broadcast.
+    return;
   }
   const std::uint32_t total =
       static_cast<std::uint32_t>(sizeof(MsgHeader) + sizeof(CstSbcastWire)) +
@@ -366,10 +445,6 @@ void CstSharedCast(PeState& pe, const void* msg, std::uint32_t size,
       (vh->flags &
        ~(0x3u | kMsgFlagPooled | kMsgFlagCarrierMask | kMsgFlagShared)) |
       kMsgFlagInFrame | kMsgFlagShared);
-  const util::SpanningTree tree(pe.npes, pe.mype,
-                                pe.machine->config().spantree_branching);
-  const std::vector<int> kids = tree.Children(pe.mype);
-  assert((!kids.empty() || include_self) && "shared cast with no receiver");
   CstSbcastWire wire{pe.mype,
                      static_cast<std::uint32_t>(kids.size() +
                                                 (include_self ? 1 : 0)),
@@ -385,16 +460,95 @@ void CstSharedCast(PeState& pe, const void* msg, std::uint32_t size,
 
 }  // namespace
 
+void CstNodeCastExpand(Machine& m, PeState* src, int node, const void* image,
+                       std::uint32_t size) {
+  const int first = m.NodeFirst(node);
+  const int nlocal = m.NodeSize(node);
+  assert(m.IsLocalPe(first) &&
+         "node-cast expansion runs in the process hosting the node");
+  MsgHeader ih;
+  std::memcpy(&ih, image, sizeof(ih));
+  const int root = ih.source_pe;
+  // The share threshold is identical on every PE (same resolved config);
+  // written once at machine construction, so the comm-thread read is safe.
+  const std::uint32_t share_min = m.Pe(first).agg.share_min;
+  if (share_min != 0 && size >= share_min && nlocal > 1) {
+    // Shared-payload fan-out within the node: ONE allocation, one copy off
+    // the wire, `nlocal` views.  The block is pre-fanned — every PE gets
+    // its reference right here — so the root field carries the -1 sentinel
+    // telling OpenShared not to re-forward.
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(sizeof(MsgHeader) +
+                                   sizeof(CstSbcastWire)) +
+        kEntryHeaderBytes + size;
+    void* block = CmiAlloc(total);
+    MsgHeader* bh = Header(block);
+    bh->handler = kCstCarrierHandler;
+    bh->flags = static_cast<std::uint8_t>(bh->flags | kMsgFlagSbcast);
+    bh->source_pe = ih.source_pe;
+    bh->seq = ih.seq;
+    char* entry = SbcastEntry(block);
+    std::memcpy(entry, &size, sizeof(size));
+    std::memset(entry + sizeof(size), 0, 4);
+    std::memcpy(entry + 8, &block, sizeof(block));
+    void* view = entry + kEntryHeaderBytes;
+    std::memcpy(view, image, size);
+    MsgHeader* vh = reinterpret_cast<MsgHeader*>(view);
+    vh->total_size = size;
+    vh->magic = kMsgMagicAlive;
+    vh->flags = static_cast<std::uint8_t>(
+        (vh->flags &
+         ~(0x3u | kMsgFlagPooled | kMsgFlagCarrierMask | kMsgFlagShared)) |
+        kMsgFlagInFrame | kMsgFlagShared);
+    CstSbcastWire wire{-1, static_cast<std::uint32_t>(nlocal), size, 0};
+    std::memcpy(static_cast<char*>(block) + sizeof(MsgHeader), &wire,
+                sizeof(wire));
+    if (src != nullptr) {
+      ++src->stats.bcast_payload_copies;
+      ++src->stats.bcast_shared_blocks;
+      for (int i = first; i < first + nlocal; ++i) {
+        SendSharedBlockFrom(*src, i, block);
+      }
+    } else {
+      for (int i = first; i < first + nlocal; ++i) {
+        DeliverFromWire(m, i, block, /*immediate=*/false);
+      }
+    }
+    return;
+  }
+  // Small payload: one wrapper injected at the node's first PE, which
+  // fans out down the node-local spanning tree (CarrierKids roots a tree
+  // whose root PE is remote at local index 0 — exactly where this lands).
+  void* w = CmiAlloc(sizeof(MsgHeader) + sizeof(CstBcastWire) + size);
+  MsgHeader* wh = Header(w);
+  wh->handler = kCstCarrierHandler;
+  wh->flags = static_cast<std::uint8_t>(wh->flags | kMsgFlagBcast);
+  CstBcastWire bwire{root, size};
+  std::memcpy(CmiMsgPayload(w), &bwire, sizeof(bwire));
+  std::memcpy(static_cast<char*>(CmiMsgPayload(w)) + sizeof(bwire), image,
+              size);
+  if (src != nullptr) {
+    ++src->stats.bcast_payload_copies;
+    SendOwnedFromLocal(*src, first, w);
+  } else {
+    wh->source_pe = static_cast<std::uint16_t>(root);
+    wh->seq = ih.seq;
+    DeliverFromWire(m, first, w, /*immediate=*/false);
+  }
+}
+
 void CstInitPe(PeState& pe) {
   const MachineConfig& cfg = pe.machine->config();
   CstPeState& st = pe.agg;
   // Shared-payload broadcast threshold.  Independent of the frame toggle,
   // but like the spanning tree it needs the plain (no latency model) path:
   // a model prices per-destination copies individually.
+  // Strict env parsing: a malformed value keeps the default and prints one
+  // "[Cmi]" diagnostic (first local PE only, so one line per process).
+  const bool warn = pe.mype == pe.machine->pe_begin();
   std::int64_t share = cfg.bcast_share_min;
   if (share < 0) {
-    const char* e = std::getenv("CONVERSE_SBCAST");
-    share = (e != nullptr && e[0] != '\0') ? std::atoll(e) : 4096;
+    share = GetEnvInt("CONVERSE_SBCAST", 4096, pe.machine->err(), warn);
     if (share < 0) share = 0;
   }
   if (share > 0xffffffffll) share = 0xffffffffll;
@@ -403,8 +557,7 @@ void CstInitPe(PeState& pe) {
                      : 0;
   int mode = cfg.aggregate_sends;
   if (mode < 0) {
-    const char* e = std::getenv("CONVERSE_AGG");
-    mode = (e != nullptr && e[0] != '\0' && e[0] != '0') ? 1 : 0;
+    mode = GetEnvInt("CONVERSE_AGG", 0, pe.machine->err(), warn) != 0 ? 1 : 0;
   }
   // A latency model prices each message individually; frames would turn
   // per-message latencies into per-batch ones, so the layer stays off.
@@ -636,9 +789,8 @@ AsyncCompletion* CstTreeCast(PeState& pe, const void* msg, std::uint32_t size,
       if (i != pe.mype) pe.hooks->on_send(pe.hooks->ud, &h, i);
     }
   }
-  const util::SpanningTree tree(pe.npes, pe.mype,
-                                pe.machine->config().spantree_branching);
-  const std::vector<int> kids = tree.Children(pe.mype);
+  CastToRemoteNodes(pe, msg, size, seq);
+  const std::vector<int> kids = CarrierKids(pe, pe.mype);
   AsyncCompletion* completion = nullptr;
   if (!kids.empty()) {
     void* w = MakeWrapper(pe, msg, size, seq);
@@ -685,19 +837,17 @@ std::uint64_t CstMessageWeight(const Machine& m, int dest_pe,
   if ((flags & kMsgFlagSbcast) != 0) {
     // Dropping a shared block bound for dest_pe loses that PE's view and
     // everything it would have forwarded below it — same weighting rule
-    // as a broadcast wrapper.
+    // as a broadcast wrapper.  A pre-fanned block (root < 0) is never
+    // re-forwarded, so exactly one view is lost.
     CstSbcastWire wire;
     std::memcpy(&wire, CmiMsgPayload(msg), sizeof(wire));
-    const util::SpanningTree tree(m.npes(), wire.root,
-                                  m.config().spantree_branching);
-    return static_cast<std::uint64_t>(tree.SubtreeSize(dest_pe));
+    if (wire.root < 0) return 1;
+    return CarrierSubtreeWeight(m, dest_pe, wire.root);
   }
   if ((flags & kMsgFlagBcast) != 0) {
     CstBcastWire wire;
     std::memcpy(&wire, CmiMsgPayload(msg), sizeof(wire));
-    const util::SpanningTree tree(m.npes(), wire.root,
-                                  m.config().spantree_branching);
-    return static_cast<std::uint64_t>(tree.SubtreeSize(dest_pe));
+    return CarrierSubtreeWeight(m, dest_pe, wire.root);
   }
   if ((flags & kMsgFlagFrame) != 0) {
     std::uint64_t w = 0;
@@ -708,9 +858,7 @@ std::uint64_t CstMessageWeight(const Machine& m, int dest_pe,
       if ((h.flags & kMsgFlagBcast) != 0) {
         CstBcastWire wire;
         std::memcpy(&wire, image + sizeof(MsgHeader), sizeof(wire));
-        const util::SpanningTree tree(m.npes(), wire.root,
-                                      m.config().spantree_branching);
-        w += static_cast<std::uint64_t>(tree.SubtreeSize(dest_pe));
+        w += CarrierSubtreeWeight(m, dest_pe, wire.root);
       } else {
         w += 1;
       }

@@ -203,6 +203,18 @@ bool CstUseTree(const PeState& pe);
 AsyncCompletion* CstTreeCast(PeState& pe, const void* msg, std::uint32_t size,
                              bool include_self, bool defer);
 
+/// Receiving-side fan-out of a node-cast record: rebuild the broadcast
+/// for the PEs of `node` from the stamped message image that crossed the
+/// wire — a pre-fanned shared block (root = -1 sentinel, one reference
+/// per PE) when the image is at or past the node's share threshold, else
+/// a wrapper injected at the node's first PE that walks the node-local
+/// spanning tree.  `src` is the sending PE for loopback mode (pushes go
+/// through the normal send paths so the sim sees them); nullptr in real
+/// mode (the comm thread pushes straight onto delivery lanes via
+/// DeliverFromWire).
+void CstNodeCastExpand(Machine& m, PeState* src, int node, const void* image,
+                       std::uint32_t size);
+
 /// Logical-message weight of a wire message for the sim's fault
 /// accounting: 1 for a plain message, the destination's subtree size for a
 /// broadcast wrapper, the sum of entry weights for a frame.

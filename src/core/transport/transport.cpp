@@ -1,0 +1,159 @@
+#include "core/transport/transport.h"
+
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#include "converse/check.h"
+#include "converse/msg.h"
+#include "converse/util/rng.h"
+#include "core/pe_state.h"
+#include "core/stream.h"
+#include "core/transport/wire.h"
+
+namespace converse::detail {
+
+// Trace-hash tags for wire events (folded via SimTraceUser so two
+// sim-driven replays of one seed hash identically only when every wire
+// decision matched).
+inline constexpr std::uint64_t kWireTraceSend = 0x77697265u;  // 'wire'
+inline constexpr std::uint64_t kWireTraceDrop = 0x7764726fu;  // 'wdro'
+
+Transport::~Transport() = default;
+
+void Transport::CountRecordSent(PeState& src, std::uint32_t body_len) {
+  src.stats.wire_frames_sent += 1;
+  src.stats.wire_bytes_sent += kWireRecBytes + body_len;
+}
+
+namespace {
+
+/// Virtual wire for loopback mode (config.mynode == -1): every node lives
+/// in this process, so "crossing the wire" means encoding the record
+/// header, validating it parses back, advancing the counters, rolling the
+/// deterministic disconnect injector — and then letting the machine's
+/// normal local delivery run (SendRemote returns false), which keeps the
+/// sim, NetModel, and race-detector semantics byte-identical to a
+/// single-node run.  Injected losses consume the message instead and are
+/// accounted in `dropped_` with the same logical weight the sim's own
+/// fault injector would charge, so conservation oracles read:
+///   sum(delivered) == sum(sent) - wire_dropped.
+class LoopbackWire : public Transport {
+ public:
+  explicit LoopbackWire(Machine& m)
+      : machine_(m),
+        rate_(m.config().wire_disconnect_rate),
+        lost_per_disconnect_(m.config().wire_disconnect_lost < 1
+                                 ? 1
+                                 : m.config().wire_disconnect_lost),
+        plant_left_(m.config().wire_plant_lost),
+        rng_(m.config().wire_seed) {}
+
+  const char* name() const override { return "loopback"; }
+
+  bool SendRemote(PeState& src, int dest_pe, void* msg,
+                  bool immediate) override {
+    MsgHeader* h = Header(msg);
+    // Pointer-forwarded carriers never cross a wire: broadcasts reach
+    // remote nodes as node-cast records, and shared blocks stay in-node.
+    assert((h->flags & (kMsgFlagBcast | kMsgFlagSbcast)) == 0);
+    const std::uint32_t len = h->total_size;
+    ValidateHeader(immediate ? kWireImmediate : kWireMessage, dest_pe, len);
+    CountRecordSent(src, len);
+    if (!immediate) {  // immediates are the reliable control plane
+      const int lost = Toss();
+      if (lost != kDelivered) {
+        if (lost == kLostCounted) {
+          dropped_.fetch_add(CstMessageWeight(machine_, dest_pe, msg),
+                             std::memory_order_relaxed);
+          SimTraceUser(src, kWireTraceDrop,
+                       static_cast<std::uint64_t>(dest_pe), len);
+        }
+        check::OnReclaim(msg);  // the (virtual) failed link ate the buffer
+        CmiFree(msg);
+        return true;  // consumed by the (virtual) failed link
+      }
+    }
+    bytes_received_.fetch_add(len, std::memory_order_relaxed);
+    SimTraceUser(src, kWireTraceSend, static_cast<std::uint64_t>(dest_pe),
+                 len);
+    return false;  // fall through to normal local delivery
+  }
+
+  void SendNodeCast(PeState& src, int node, const void* image,
+                    std::uint32_t size) override {
+    assert(node != src.node);
+    ValidateHeader(kWireNodeCast, machine_.NodeFirst(node), size);
+    CountRecordSent(src, size);
+    const int lost = Toss();
+    if (lost != kDelivered) {
+      if (lost == kLostCounted) {
+        dropped_.fetch_add(
+            static_cast<std::uint64_t>(machine_.NodeSize(node)),
+            std::memory_order_relaxed);
+        SimTraceUser(src, kWireTraceDrop, 0x100u + node, size);
+      }
+      return;  // the whole node's fan-out is lost
+    }
+    bytes_received_.fetch_add(size, std::memory_order_relaxed);
+    SimTraceUser(src, kWireTraceSend, 0x100u + node, size);
+    CstNodeCastExpand(machine_, &src, node, image, size);
+  }
+
+ private:
+  enum { kDelivered = 0, kLostCounted = 1, kLostPlanted = 2 };
+
+  /// Roll the disconnect injector for one eligible record.  A disconnect
+  /// swallows `lost_per_disconnect_` consecutive records, then the link
+  /// "reconnects" (counted).  The planted bug drops exactly one record
+  /// without counting anything — conservation oracles must notice.
+  int Toss() {
+    if (rate_ <= 0.0 && plant_left_ <= 0) return kDelivered;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plant_left_ > 0 && --plant_left_ == 0) return kLostPlanted;
+    if (rate_ <= 0.0) return kDelivered;
+    if (lost_left_ == 0 && rng_.NextDouble() < rate_)
+      lost_left_ = lost_per_disconnect_;
+    if (lost_left_ == 0) return kDelivered;
+    if (--lost_left_ == 0)
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+    return kLostCounted;
+  }
+
+  /// Exercise the codec the way a real socket would: encode the record
+  /// header, decode it back, and insist every field round-trips.
+  void ValidateHeader(std::uint8_t kind, int dest_pe, std::uint32_t len) {
+    WireRec rec;
+    rec.length = len;
+    rec.dest_pe = static_cast<std::uint16_t>(dest_pe);
+    rec.src_node = static_cast<std::uint16_t>(
+        machine_.mynode() >= 0 ? machine_.mynode() : 0);
+    rec.kind = kind;
+    unsigned char buf[kWireRecBytes];
+    WireEncode(rec, buf);
+    WireRec back;
+    const bool ok = WireDecode(buf, &back);
+    assert(ok && back.length == len && back.kind == kind &&
+           back.dest_pe == rec.dest_pe);
+    (void)ok;
+  }
+
+  Machine& machine_;
+  const double rate_;
+  const int lost_per_disconnect_;
+  std::mutex mu_;  // injector state (plain-threaded loopback machines)
+  int plant_left_;
+  int lost_left_ = 0;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeTransport(Machine& m) {
+  const MachineConfig& c = m.config();
+  if (c.nnodes <= 1) return nullptr;
+  if (c.mynode < 0) return std::make_unique<LoopbackWire>(m);
+  return MakeSocketEngine(m);
+}
+
+}  // namespace converse::detail

@@ -386,6 +386,121 @@ TEST(Machine, EntryExceptionPropagatesToCaller) {
       std::runtime_error);
 }
 
+namespace {
+
+// RAII save/restore for one environment variable, so env-parsing tests
+// can't leak state into other tests in this binary.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = getenv(name)) {
+      had_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_ = false;
+};
+
+// Run a tiny machine with `err` captured, returning everything the
+// machine wrote to its error stream.
+std::string CaptureMachineErr(int npes,
+                              const std::function<void(int, int)>& entry) {
+  char* buf = nullptr;
+  std::size_t buflen = 0;
+  std::FILE* mem = open_memstream(&buf, &buflen);
+  MachineConfig cfg;
+  cfg.npes = npes;
+  cfg.err = mem;
+  RunConverse(cfg, entry);
+  std::fclose(mem);
+  std::string s(buf, buflen);
+  free(buf);
+  return s;
+}
+
+}  // namespace
+
+TEST(MachineEnv, MalformedIntegerIsRejectedWithDiagnostic) {
+  // CONVERSE_AGG=abc must NOT enable aggregation (the historical atoi
+  // reader treated junk as 0 silently; worse typos flipped behavior).
+  // The default stays in force and exactly one "[Cmi]" line names the
+  // variable and the offending text.
+  ScopedEnv agg("CONVERSE_AGG", "abc");
+  std::atomic<std::uint64_t> frames{0};
+  const std::string err = CaptureMachineErr(2, [&](int pe, int) {
+    int h = CmiRegisterHandler([](void*) { CsdExitScheduler(); });
+    if (pe == 0) {
+      void* m = CmiMakeMessage(h, nullptr, 0);
+      CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      CsdExitScheduler();
+    }
+    CsdScheduler(-1);
+    frames += CmiGetStats().agg_frames_sent;
+  });
+  EXPECT_EQ(frames.load(), 0u);  // default (off) stayed in force
+  EXPECT_NE(err.find("[Cmi] ignoring malformed CONVERSE_AGG=\"abc\""),
+            std::string::npos)
+      << "got: " << err;
+  // One diagnostic per process, not one per PE.
+  EXPECT_EQ(err.find("[Cmi] ignoring malformed"),
+            err.rfind("[Cmi] ignoring malformed"));
+}
+
+TEST(MachineEnv, TrailingGarbageAndOverflowAreRejected) {
+  for (const char* bad : {"12junk", "", "999999999999999999999999", "-",
+                          "0x10"}) {
+    ScopedEnv sb("CONVERSE_SBCAST", bad);
+    const std::string err = CaptureMachineErr(2, [&](int, int) {});
+    if (bad[0] == '\0') {
+      // Empty means "unset" — no diagnostic.
+      EXPECT_EQ(err.find("[Cmi]"), std::string::npos) << "value: empty";
+    } else {
+      EXPECT_NE(err.find("[Cmi] ignoring malformed CONVERSE_SBCAST"),
+                std::string::npos)
+          << "value: " << bad << " got: " << err;
+    }
+  }
+}
+
+TEST(MachineEnv, WellFormedIntegerIsAcceptedSilently) {
+  ScopedEnv agg("CONVERSE_AGG", "1");
+  std::atomic<std::uint64_t> frames{0};
+  const std::string err = CaptureMachineErr(2, [&](int pe, int) {
+    int seen = 0;
+    int h = CmiRegisterHandler([&seen](void*) {
+      if (++seen == 8) CsdExitScheduler();
+    });
+    if (pe == 0) {
+      for (int i = 0; i < 8; ++i) {
+        void* m = CmiMakeMessage(h, &i, sizeof(i));
+        CmiSyncSendAndFree(1, CmiMsgTotalSize(m), m);
+      }
+      CmiFlush();
+      CsdExitScheduler();
+    }
+    CsdScheduler(-1);
+    frames += CmiGetStats().agg_frames_sent;
+  });
+  EXPECT_EQ(err.find("[Cmi]"), std::string::npos) << "got: " << err;
+  EXPECT_GT(frames.load(), 0u);  // aggregation really turned on
+}
+
 TEST(Machine, MessageIntegrityRandomSizes) {
   // Property test: payloads of many sizes arrive with matching CRC.
   constexpr int kMsgs = 60;

@@ -1,0 +1,192 @@
+// converserun — multi-process launcher for the socket / SMP-node
+// transport backends (DESIGN.md "Transport interface").
+//
+//   converserun -np 4 ./examples/quickstart          # 4 procs x 1 PE (socket)
+//   converserun -np 8 -ppn 4 ./examples/quickstart   # 2 procs x 4 PEs (smp)
+//
+// Forks one OS process per node and points them at each other through the
+// CONVERSE_* environment family (see converse/machine.h): every child runs
+// the unmodified program binary; RunConverse picks the overrides up and
+// hosts only its node's contiguous PE slice, with the socket engine
+// carrying inter-node traffic.  Rendezvous is a fresh temporary directory
+// of Unix sockets by default, or loopback TCP with --tcp.
+//
+// Exit status is the first child's failure (or 0); when one child fails,
+// the rest are killed so a dead rank cannot wedge the launcher.
+//
+// Usage:
+//   converserun -np N [-ppn K] [--tcp BASEPORT] [--timeout MS] [-v]
+//               program [args...]
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s -np N [-ppn K] [--tcp BASEPORT] [--timeout MS] [-v] "
+      "program [args...]\n"
+      "  -np N         total PEs across all processes\n"
+      "  -ppn K        PEs per process (default 1: one process per PE,\n"
+      "                socket transport; K>1 selects the two-level\n"
+      "                SMP-node transport: threads in-node, sockets "
+      "between)\n"
+      "  --tcp PORT    rendezvous over loopback TCP from PORT instead of\n"
+      "                a temporary directory of unix sockets\n"
+      "  --timeout MS  wire timeout (CONVERSE_WIRE_TIMEOUT_MS)\n"
+      "  -v            print the per-process environment before launch\n",
+      argv0);
+}
+
+struct Options {
+  int np = 0;
+  int ppn = 1;
+  int tcp_base = 0;
+  int timeout_ms = 0;
+  bool verbose = false;
+  int prog_index = -1;  // argv index of the program
+};
+
+bool ParseArgs(int argc, char** argv, Options* o) {
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-np" || arg == "--np") {
+      o->np = std::atoi(next());
+    } else if (arg == "-ppn" || arg == "--ppn") {
+      o->ppn = std::atoi(next());
+    } else if (arg == "--tcp") {
+      o->tcp_base = std::atoi(next());
+    } else if (arg == "--timeout") {
+      o->timeout_ms = std::atoi(next());
+    } else if (arg == "-v" || arg == "--verbose") {
+      o->verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option %s\n", argv[0], arg.c_str());
+      return false;
+    } else {
+      o->prog_index = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetEnvInt(const char* name, long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  setenv(name, buf, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!ParseArgs(argc, argv, &o) || o.np < 1 || o.ppn < 1 ||
+      o.prog_index < 0) {
+    Usage(argv[0]);
+    return 2;
+  }
+  const int nnodes = (o.np + o.ppn - 1) / o.ppn;
+  const char* transport = o.ppn > 1 ? "smp" : "socket";
+
+  // Rendezvous directory (unix sockets) unless TCP was requested.
+  char rdv[] = "/tmp/converserun.XXXXXX";
+  bool have_rdv = false;
+  if (o.tcp_base == 0) {
+    if (mkdtemp(rdv) == nullptr) {
+      std::perror("converserun: mkdtemp");
+      return 1;
+    }
+    have_rdv = true;
+  }
+
+  // Environment shared by every child; CONVERSE_NODE is set per fork.
+  SetEnvInt("CONVERSE_NPES", o.np);
+  SetEnvInt("CONVERSE_NNODES", nnodes);
+  setenv("CONVERSE_TRANSPORT", transport, 1);
+  if (have_rdv) {
+    setenv("CONVERSE_RDV", rdv, 1);
+    unsetenv("CONVERSE_TCP_BASE");
+  } else {
+    SetEnvInt("CONVERSE_TCP_BASE", o.tcp_base);
+    unsetenv("CONVERSE_RDV");
+  }
+  if (o.timeout_ms > 0) SetEnvInt("CONVERSE_WIRE_TIMEOUT_MS", o.timeout_ms);
+
+  if (o.verbose) {
+    std::fprintf(stderr,
+                 "converserun: %d pes over %d processes (%s transport, "
+                 "rendezvous %s)\n",
+                 o.np, nnodes, transport,
+                 have_rdv ? rdv : "tcp loopback");
+  }
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(nnodes), -1);
+  for (int node = 0; node < nnodes; ++node) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("converserun: fork");
+      for (pid_t p : pids) {
+        if (p > 0) kill(p, SIGKILL);
+      }
+      return 1;
+    }
+    if (pid == 0) {
+      SetEnvInt("CONVERSE_NODE", node);
+      execvp(argv[o.prog_index], argv + o.prog_index);
+      std::perror("converserun: exec");
+      _exit(127);
+    }
+    pids[static_cast<std::size_t>(node)] = pid;
+  }
+
+  int status = 0, exit_code = 0;
+  for (int left = nnodes; left > 0; --left) {
+    const pid_t pid = waitpid(-1, &status, 0);
+    if (pid < 0) break;
+    int code = 0;
+    if (WIFEXITED(status)) {
+      code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      code = 128 + WTERMSIG(status);
+    }
+    if (code != 0 && exit_code == 0) {
+      exit_code = code;
+      // One rank failed: take the rest down rather than hang the launch.
+      for (pid_t p : pids) {
+        if (p > 0 && p != pid) kill(p, SIGTERM);
+      }
+    }
+  }
+
+  if (have_rdv) {
+    for (int node = 0; node < nnodes; ++node) {
+      std::string sock = std::string(rdv) + "/node" +
+                         std::to_string(node) + ".sock";
+      unlink(sock.c_str());
+    }
+    rmdir(rdv);
+  }
+  return exit_code;
+}

@@ -41,6 +41,15 @@
 // exactly once.  --plant-lost-steal-reply plants a silently dropped steal
 // reply whose packed seeds vanish; the oracles must catch and shrink it
 // (the CI self-test).
+//
+// --transport switches to the transport-layer workload
+// (converse/transport.h): a loopback multi-node machine whose inter-node
+// traffic crosses the virtual wire, with deterministic disconnect
+// injection, checked against wire conservation (delivered == sent -
+// wire_dropped; immediates never dropped).  --nodes picks the node count
+// (== --pes gives the socket one-PE-per-node shape), --disconnect /
+// --lost shape the injector, and --plant-lost plants a silent one-record
+// loss the oracle must catch (the CI self-test).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +58,7 @@
 #include "converse/cld.h"
 #include "converse/sim.h"
 #include "converse/svc.h"
+#include "converse/transport.h"
 
 namespace {
 
@@ -69,8 +79,11 @@ void Usage(const char* argv0) {
       "       %s --ldb [--seed N] [--seeds COUNT] [--start N] [--pes N]\n"
       "          [--strategy 0..5] [--lseeds N] [--waves N] [--prio-frac F]\n"
       "          [--drop P] [--dup P] [--delay P] [--reorder P]\n"
-      "          [--plant-lost-steal-reply] [--trace-hash] [--quiet]\n",
-      argv0, argv0, argv0, argv0);
+      "          [--plant-lost-steal-reply] [--trace-hash] [--quiet]\n"
+      "       %s --transport [--seed N] [--seeds COUNT] [--start N]\n"
+      "          [--pes N] [--nodes N] [--actions N] [--disconnect P]\n"
+      "          [--lost N] [--agg] [--plant-lost] [--trace-hash] [--quiet]\n",
+      argv0, argv0, argv0, argv0, argv0);
 }
 
 bool RunOne(const converse::sim::FuzzParams& params, bool trace_hash,
@@ -198,6 +211,47 @@ bool RunOneLdb(const converse::ldb::LdbFuzzParams& params, bool trace_hash,
   return false;
 }
 
+bool RunOneTransport(const converse::transport::TransportFuzzParams& params,
+                     bool trace_hash, bool quiet) {
+  converse::transport::TransportFuzzResult res =
+      converse::transport::RunTransportFuzzCase(params);
+  if (trace_hash) {
+    std::printf("%016llx\n",
+                static_cast<unsigned long long>(res.report.trace_hash));
+  }
+  if (res.ok) {
+    if (!quiet) {
+      std::printf(
+          "seed %llu: ok (%d pes / %d nodes, %llu wire records, "
+          "%llu dropped, %llu reconnects, virtual time %.0f us)\n",
+          static_cast<unsigned long long>(params.seed), params.npes,
+          params.nnodes,
+          static_cast<unsigned long long>(res.wire_frames_sent),
+          static_cast<unsigned long long>(res.wire_dropped),
+          static_cast<unsigned long long>(res.wire_reconnects),
+          res.report.final_virtual_us);
+    }
+    return true;
+  }
+  std::fprintf(stderr, "seed %llu: FAILED: %s\n",
+               static_cast<unsigned long long>(params.seed),
+               res.failure.c_str());
+  std::fprintf(stderr, "minimizing...\n");
+  const converse::transport::TransportFuzzParams small =
+      converse::transport::MinimizeTransport(params);
+  converse::transport::TransportFuzzResult small_res =
+      converse::transport::RunTransportFuzzCase(small);
+  std::fprintf(stderr, "minimized failure: %s\n",
+               small_res.ok ? res.failure.c_str()
+                            : small_res.failure.c_str());
+  std::fprintf(
+      stderr, "replay with:\n  %s\n",
+      converse::transport::FormatTransportReplay(small_res.ok ? params
+                                                              : small)
+          .c_str());
+  return false;
+}
+
 bool RunOneRace(const converse::sim::RaceFuzzParams& params, bool quiet) {
   converse::sim::RaceFuzzResult res = converse::sim::RunRaceFuzzCase(params);
   if (res.ok) {
@@ -225,10 +279,11 @@ int main(int argc, char** argv) {
   converse::sim::RaceFuzzParams race_params;
   converse::svc::SvcFuzzParams svc_params;
   converse::ldb::LdbFuzzParams ldb_params;
+  converse::transport::TransportFuzzParams tr_params;
   unsigned long long seeds = 1, start = 1;
   bool explicit_seed = false, sweep = false;
   bool trace_hash = false, quiet = false, race = false, service = false;
-  bool ldb = false;
+  bool ldb = false, transport = false;
 
   if (const char* env = std::getenv("CONVERSE_SIM_SEED")) {
     params.seed = std::strtoull(env, nullptr, 10);
@@ -257,8 +312,10 @@ int main(int argc, char** argv) {
       race_params.npes = params.npes;
       svc_params.npes = params.npes;
       ldb_params.npes = params.npes;
+      tr_params.npes = params.npes;
     } else if (arg == "--actions") {
       params.actions = std::atoi(next());
+      tr_params.actions = params.actions;
     } else if (arg == "--threads") {
       params.threads = std::atoi(next());
     } else if (arg == "--drop") {
@@ -304,8 +361,19 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--plant-lost-reply") {
       svc_params.plant_lost_reply = true;
+    } else if (arg == "--transport") {
+      transport = true;
+    } else if (arg == "--nodes") {
+      tr_params.nnodes = std::atoi(next());
+    } else if (arg == "--disconnect") {
+      tr_params.disconnect_rate = std::atof(next());
+    } else if (arg == "--lost") {
+      tr_params.disconnect_lost = std::atoi(next());
+    } else if (arg == "--plant-lost") {
+      tr_params.plant_lost = true;
     } else if (arg == "--agg") {
       params.aggregate = true;
+      tr_params.aggregate = true;
     } else if (arg == "--plant-bug") {
       params.plant_reorder_bug = true;
     } else if (arg == "--race") {
@@ -347,8 +415,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (static_cast<int>(race) + static_cast<int>(service) +
-          static_cast<int>(ldb) > 1) {
-    std::fprintf(stderr, "%s: --race, --service and --ldb are exclusive\n",
+          static_cast<int>(ldb) + static_cast<int>(transport) > 1) {
+    std::fprintf(stderr,
+                 "%s: --race, --service, --ldb and --transport are "
+                 "exclusive\n",
+                 argv[0]);
+    return 2;
+  }
+  if (transport &&
+      (tr_params.nnodes < 1 || tr_params.disconnect_rate < 0 ||
+       tr_params.disconnect_rate > 1 || tr_params.disconnect_lost < 1)) {
+    std::fprintf(stderr, "%s: invalid --nodes/--disconnect/--lost\n",
                  argv[0]);
     return 2;
   }
@@ -370,9 +447,11 @@ int main(int argc, char** argv) {
     race_params.seed = params.seed;
     svc_params.seed = params.seed;
     ldb_params.seed = params.seed;
+    tr_params.seed = params.seed;
     if (race) return RunOneRace(race_params, quiet) ? 0 : 1;
     if (service) return RunOneService(svc_params, trace_hash, quiet) ? 0 : 1;
     if (ldb) return RunOneLdb(ldb_params, trace_hash, quiet) ? 0 : 1;
+    if (transport) return RunOneTransport(tr_params, trace_hash, quiet) ? 0 : 1;
     return RunOne(params, trace_hash, quiet) ? 0 : 1;
   }
   if (explicit_seed) start = params.seed;
@@ -381,12 +460,15 @@ int main(int argc, char** argv) {
     race_params.seed = s;
     svc_params.seed = s;
     ldb_params.seed = s;
+    tr_params.seed = s;
     if (race) {
       if (!RunOneRace(race_params, quiet)) return 1;
     } else if (service) {
       if (!RunOneService(svc_params, trace_hash, quiet)) return 1;
     } else if (ldb) {
       if (!RunOneLdb(ldb_params, trace_hash, quiet)) return 1;
+    } else if (transport) {
+      if (!RunOneTransport(tr_params, trace_hash, quiet)) return 1;
     } else if (!RunOne(params, trace_hash, quiet)) {
       return 1;
     }
